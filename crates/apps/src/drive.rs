@@ -1,0 +1,125 @@
+//! Shared moving-client harness for the §4.2 experiments.
+
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::Route;
+use wiscape_simcore::{SimDuration, SimTime};
+
+/// A client driving back and forth along a route at constant speed,
+/// started at a reference time (the paper "ran the car on the same road
+/// segment multiple times during the experiment").
+#[derive(Debug, Clone)]
+pub struct DrivingClient {
+    route: Route,
+    speed_mps: f64,
+    start: SimTime,
+}
+
+impl DrivingClient {
+    /// Creates a driving client on `route` at `speed_mps`, departing at
+    /// `start` from the route's beginning.
+    pub fn new(route: Route, speed_mps: f64, start: SimTime) -> Self {
+        Self {
+            route,
+            speed_mps: speed_mps.clamp(1.0, 40.0),
+            start,
+        }
+    }
+
+    /// The route driven.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// Position at time `t` (shuttling; defined for all `t >= start`,
+    /// clamped to the start point before departure).
+    pub fn position_at(&self, t: SimTime) -> GeoPoint {
+        let elapsed = (t - self.start).as_secs_f64().max(0.0);
+        let len = self.route.length_m();
+        let dist = elapsed * self.speed_mps;
+        let phase = (dist / len).rem_euclid(2.0);
+        let s = if phase <= 1.0 {
+            phase * len
+        } else {
+            (2.0 - phase) * len
+        };
+        self.route.point_at(s)
+    }
+}
+
+/// Outcome of a drive-through workload run.
+#[derive(Debug, Clone)]
+pub struct DriveOutcome {
+    /// Total wall-clock time to complete all requests.
+    pub total: SimDuration,
+    /// Per-request completion latencies.
+    pub per_request: Vec<SimDuration>,
+    /// Total bytes transferred.
+    pub bytes: u64,
+}
+
+impl DriveOutcome {
+    /// Mean per-request latency in seconds.
+    pub fn mean_request_secs(&self) -> f64 {
+        if self.per_request.is_empty() {
+            return 0.0;
+        }
+        self.per_request
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum::<f64>()
+            / self.per_request.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_mobility::short_segment_route;
+    use wiscape_simcore::StreamRng;
+
+    fn client() -> DrivingClient {
+        let center = GeoPoint::new(43.0731, -89.4012).unwrap();
+        let route = short_segment_route(center, 0.7, &StreamRng::new(1));
+        DrivingClient::new(route, 15.0, SimTime::at(1, 9.0))
+    }
+
+    #[test]
+    fn starts_at_route_start() {
+        let c = client();
+        let p0 = c.position_at(SimTime::at(1, 9.0));
+        assert!(p0.haversine_distance(&c.route().point_at(0.0)) < 1.0);
+        // Before start: clamped.
+        let before = c.position_at(SimTime::at(1, 8.0));
+        assert!(before.haversine_distance(&p0) < 1.0);
+    }
+
+    #[test]
+    fn moves_at_speed_and_shuttles_back() {
+        let c = client();
+        let len = c.route().length_m();
+        let one_leg_s = len / 15.0;
+        let mid = c.position_at(SimTime::at(1, 9.0) + SimDuration::from_secs_f64(one_leg_s / 2.0));
+        let d_mid = c.route().point_at(0.0).haversine_distance(&mid);
+        assert!((d_mid - len / 2.0).abs() < len * 0.2, "d {d_mid} vs {len}");
+        // After a full round trip it is back near the start.
+        let back =
+            c.position_at(SimTime::at(1, 9.0) + SimDuration::from_secs_f64(2.0 * one_leg_s));
+        assert!(back.haversine_distance(&c.route().point_at(0.0)) < 200.0);
+    }
+
+    #[test]
+    fn outcome_mean_latency() {
+        let o = DriveOutcome {
+            total: SimDuration::from_secs(10),
+            per_request: vec![SimDuration::from_secs(2), SimDuration::from_secs(4)],
+            bytes: 100,
+        };
+        assert_eq!(o.mean_request_secs(), 3.0);
+        let empty = DriveOutcome {
+            total: SimDuration::ZERO,
+            per_request: vec![],
+            bytes: 0,
+        };
+        assert_eq!(empty.mean_request_secs(), 0.0);
+    }
+}

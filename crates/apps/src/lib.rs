@@ -1,0 +1,28 @@
+//! Applications over WiScape (paper §4.2).
+//!
+//! Two multi-network applications consume WiScape's coarse per-zone
+//! quality map:
+//!
+//! * [`multisim`] — a phone with multiple SIMs picks the best network
+//!   for its current zone instead of staying on one carrier or guessing;
+//! * [`mar`] — a MAR-style vehicular gateway stripes concurrent
+//!   downloads across all three networks; the WiScape-informed scheduler
+//!   beats throughput-weighted round robin by assigning work where the
+//!   current zone actually delivers.
+//!
+//! Both run over [`drive`], a shared moving-client experiment harness,
+//! and read the [`netmap::ZoneQualityMap`] — the application-facing view
+//! of WiScape's published estimates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drive;
+pub mod mar;
+pub mod multisim;
+pub mod netmap;
+
+pub use drive::{DriveOutcome, DrivingClient};
+pub use mar::{run_mar_drive, MarOutcome, MarScheduler};
+pub use multisim::{run_multisim_drive, SelectionPolicy};
+pub use netmap::ZoneQualityMap;

@@ -1,0 +1,27 @@
+//! One Criterion bench per paper table/figure: each regenerates the
+//! artifact end to end (dataset generation + analysis) at Quick scale.
+//!
+//! These are throughput meters for the reproduction pipeline itself —
+//! "how long does it take to regenerate Fig 8" — and double as a
+//! guarantee that every regenerator stays runnable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wiscape_experiments::{run_by_name, Scale, ALL_EXPERIMENTS};
+
+fn experiment_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    // Experiments take 0.1–2 s each; keep sampling light.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for name in ALL_EXPERIMENTS {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_by_name(name, 7, Scale::Quick).expect("known experiment")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, experiment_benches);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the framework's composite paths: dataset
+//! generation rates and the full deployment loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wiscape_bench::bench_landscape;
+use wiscape_core::{Deployment, DeploymentConfig, ZoneIndex};
+use wiscape_datasets::{standalone, wirover};
+use wiscape_mobility::Fleet;
+use wiscape_simcore::{SimDuration, SimTime};
+
+fn dataset_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let land = bench_landscape();
+    group.bench_function("standalone_1day_2buses", |b| {
+        b.iter(|| {
+            black_box(standalone::generate(
+                &land,
+                1,
+                &standalone::StandaloneParams {
+                    days: 1,
+                    buses: 2,
+                    download_interval_s: 600,
+                    ping_interval_s: 120,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.bench_function("wirover_1day_2buses", |b| {
+        b.iter(|| {
+            black_box(wirover::generate(
+                &land,
+                1,
+                &wirover::WiRoverParams {
+                    days: 1,
+                    buses: 2,
+                    include_intercity: false,
+                    ping_interval_s: 60,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn deployment_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function("three_bus_morning", |b| {
+        b.iter(|| {
+            let land = bench_landscape();
+            let mut fleet = Fleet::new(1);
+            fleet.add_transit_buses(3, land.origin(), 5000.0, 8);
+            let index = ZoneIndex::around(land.origin(), 6000.0).unwrap();
+            let mut d = Deployment::new(
+                land,
+                fleet,
+                index,
+                DeploymentConfig {
+                    checkin_interval: SimDuration::from_secs(120),
+                    ..Default::default()
+                },
+            );
+            d.run(SimTime::at(1, 8.0), SimTime::at(1, 11.0));
+            black_box(d.stats())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dataset_benches, deployment_benches);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Prints the quality-ablation report (see `DESIGN.md` § Ablations).
+//!
+//! ```text
+//! cargo run -p wiscape-bench --bin ablations --release [--seed N]
+//! ```
+
+use wiscape_bench::ablations;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    println!("# WiScape design ablations (seed {seed})\n");
+
+    println!("## Zone radius vs estimation accuracy (extends Fig 4/Fig 8)");
+    println!("radius | zones | within-4% | median error");
+    for r in ablations::zone_radius(seed) {
+        println!(
+            "{:>5.0} m | {:>5} | {:>8.0}% | {:>6.1}%",
+            r.radius_m,
+            r.zones,
+            r.frac_within_4pct * 100.0,
+            r.median_error * 100.0
+        );
+    }
+
+    println!("\n## Epoch policy (justifies §3.2.2)");
+    println!("policy | epoch | mean error | samples used");
+    for r in ablations::epoch_policy(seed) {
+        println!(
+            "{:<14} | {:>5.0} min | {:>6.1}% | {}",
+            r.policy,
+            r.epoch_min,
+            r.mean_error * 100.0,
+            r.samples_used
+        );
+    }
+
+    println!("\n## Probe count vs estimate error (extends Table 5)");
+    println!("packets | mean error | p95 error");
+    for r in ablations::sample_count(seed) {
+        println!(
+            "{:>7} | {:>7.2}% | {:>6.2}%",
+            r.packets,
+            r.mean_error * 100.0,
+            r.p95_error * 100.0
+        );
+    }
+
+    println!("\n## Change-alert threshold (justifies §3.4's 2σ)");
+    println!("sigma | game-day alerts | quiet-day alerts");
+    for r in ablations::change_threshold(seed) {
+        println!(
+            "{:>5.1} | {:>15} | {:>16}",
+            r.sigma, r.game_day_alerts, r.quiet_day_alerts
+        );
+    }
+
+    println!("\n## MAR scheduler (extends Table 6)");
+    println!("scheduler | batch completion");
+    for r in ablations::mar_schedulers(seed) {
+        println!("{:<18} | {:>7.1} s", r.scheduler, r.total_s);
+    }
+}

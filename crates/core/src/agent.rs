@@ -1,0 +1,121 @@
+//! The client-side measurement agent.
+//!
+//! The paper envisions "a simple user agent in each client device, e.g.,
+//! as part of the software in the mobile phones or bundled with drivers
+//! of cellular NICs" (§3.4). Given a task from the coordinator, the
+//! agent runs the probe against the (simulated) network at its actual
+//! GPS position and returns a [`MeasurementReport`] carrying the precise
+//! zone where the task ran.
+
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::ClientId;
+use wiscape_simcore::SimTime;
+use wiscape_simnet::{Landscape, UnknownNetwork};
+
+use crate::coordinator::{MeasurementTask, SampleReport};
+use crate::zone::ZoneIndex;
+
+/// Alias kept for API clarity: what the agent returns is the
+/// coordinator's report type.
+pub type MeasurementReport = SampleReport;
+
+/// A client-side agent bound to one client identity.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientAgent {
+    id: ClientId,
+}
+
+impl ClientAgent {
+    /// Creates the agent for `client`.
+    pub fn new(id: ClientId) -> Self {
+        Self { id }
+    }
+
+    /// This agent's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Executes `task` at the client's true position `point` at time `t`
+    /// against `land`, reporting per-packet throughput samples and the
+    /// GPS-precise zone (which may differ from the coarse zone the
+    /// coordinator assumed — the coordinator bins by the reported zone).
+    pub fn execute(
+        &self,
+        land: &Landscape,
+        index: &ZoneIndex,
+        task: &MeasurementTask,
+        point: &GeoPoint,
+        t: SimTime,
+    ) -> Result<MeasurementReport, UnknownNetwork> {
+        let train = land.probe_train(
+            task.network,
+            task.kind,
+            point,
+            t,
+            task.n_packets,
+            task.packet_bytes,
+        )?;
+        Ok(SampleReport {
+            client: self.id,
+            task: *task,
+            zone: index.zone_of(point),
+            t,
+            samples: train.received_kbps(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_simnet::{LandscapeConfig, NetworkId, TransportKind};
+
+    #[test]
+    fn executes_task_and_reports_precise_zone() {
+        let land = Landscape::new(LandscapeConfig::madison(13));
+        let index = ZoneIndex::around(land.origin(), 7000.0).unwrap();
+        let agent = ClientAgent::new(ClientId(9));
+        assert_eq!(agent.id(), ClientId(9));
+        // Coordinator thought the client was at the center...
+        let coarse_zone = index.zone_of(&land.origin());
+        let task = MeasurementTask {
+            zone: coarse_zone,
+            network: NetworkId::NetB,
+            kind: TransportKind::Udp,
+            n_packets: 25,
+            packet_bytes: 1200,
+        };
+        // ...but it actually is 1.5 km away.
+        let actual = land.origin().destination(1.0, 1500.0);
+        let t = SimTime::at(2, 11.0);
+        let rep = agent.execute(&land, &index, &task, &actual, t).unwrap();
+        assert_eq!(rep.client, ClientId(9));
+        assert_eq!(rep.zone, index.zone_of(&actual));
+        assert_ne!(rep.zone, coarse_zone);
+        assert!(rep.samples.len() >= 24, "{} samples", rep.samples.len());
+        let mean = rep.samples.iter().sum::<f64>() / rep.samples.len() as f64;
+        let truth = land
+            .link_quality(NetworkId::NetB, &actual, t)
+            .unwrap()
+            .udp_kbps;
+        assert!((mean - truth).abs() / truth < 0.2, "mean {mean} truth {truth}");
+    }
+
+    #[test]
+    fn unknown_network_propagates() {
+        let land = Landscape::new(LandscapeConfig::new_brunswick(13));
+        let index = ZoneIndex::around(land.origin(), 5000.0).unwrap();
+        let agent = ClientAgent::new(ClientId(1));
+        let task = MeasurementTask {
+            zone: index.zone_of(&land.origin()),
+            network: NetworkId::NetA,
+            kind: TransportKind::Udp,
+            n_packets: 10,
+            packet_bytes: 1200,
+        };
+        assert!(agent
+            .execute(&land, &index, &task, &land.origin(), SimTime::EPOCH)
+            .is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! Operator-facing anomaly detection (paper §4.1).
+//!
+//! Two detectors:
+//!
+//! * [`PingFailureTracker`] — zones with at least one failed ping per day
+//!   for many consecutive days are flagged; the paper shows these
+//!   chronically failing zones concentrate almost all of the
+//!   high-variability mass (Fig 9), so they are exactly where an
+//!   operator should send an RF survey truck.
+//! * [`LatencySurgeDetector`] — a zone whose binned latency rises by a
+//!   large factor over its baseline for a sustained period (the football
+//!   game of Fig 10: 113 → 418 ms for ~3 h).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+use wiscape_simcore::SimTime;
+
+use crate::zone::ZoneId;
+
+/// Tracks per-zone daily ping failures.
+#[derive(Debug, Clone, Default)]
+pub struct PingFailureTracker {
+    /// zone -> set of day indices with ≥1 failure.
+    failure_days: HashMap<ZoneId, BTreeSet<i64>>,
+    /// zone -> set of day indices with ≥1 ping attempt.
+    active_days: HashMap<ZoneId, BTreeSet<i64>>,
+}
+
+impl PingFailureTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a ping attempt in `zone` at `t`; `failed` marks a lost
+    /// ping.
+    pub fn record(&mut self, zone: ZoneId, t: SimTime, failed: bool) {
+        let day = t.day_index();
+        self.active_days.entry(zone).or_default().insert(day);
+        if failed {
+            self.failure_days.entry(zone).or_default().insert(day);
+        }
+    }
+
+    /// Longest run of consecutive *active* days (days with at least one
+    /// ping attempt in the zone) during which every active day saw at
+    /// least one failure.
+    ///
+    /// Activity-relative counting matters for opportunistic collection:
+    /// a bus may skip a zone for a day, and that gap says nothing about
+    /// the zone's health — "every day we looked, it failed" is the
+    /// chronic-failure signal the paper's 20-day criterion captures.
+    pub fn longest_failure_streak(&self, zone: ZoneId) -> usize {
+        let Some(fails) = self.failure_days.get(&zone) else {
+            return 0;
+        };
+        let Some(active) = self.active_days.get(&zone) else {
+            return 0;
+        };
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for d in active {
+            if fails.contains(d) {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+
+    /// Zones whose failure streak reaches `min_days` (the paper uses 20
+    /// consecutive days).
+    pub fn chronic_zones(&self, min_days: usize) -> Vec<ZoneId> {
+        let mut out: Vec<ZoneId> = self
+            .failure_days
+            .keys()
+            .copied()
+            .filter(|z| self.longest_failure_streak(*z) >= min_days)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of zones with any ping activity.
+    pub fn active_zone_count(&self) -> usize {
+        self.active_days.len()
+    }
+}
+
+/// A detected sustained latency surge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurgeEvent {
+    /// Zone where the surge happened.
+    pub zone: ZoneId,
+    /// First bin of the surge.
+    pub start: SimTime,
+    /// Last bin of the surge.
+    pub end: SimTime,
+    /// Peak binned latency during the surge, ms.
+    pub peak_ms: f64,
+    /// Baseline latency, ms.
+    pub baseline_ms: f64,
+}
+
+impl SurgeEvent {
+    /// Peak-to-baseline ratio (the paper's 3.7×).
+    pub fn ratio(&self) -> f64 {
+        self.peak_ms / self.baseline_ms
+    }
+}
+
+/// Detects sustained latency surges from binned per-zone series.
+#[derive(Debug, Clone)]
+pub struct LatencySurgeDetector {
+    /// Surge trigger: bin mean > `factor` × baseline.
+    pub factor: f64,
+    /// Minimum consecutive surged bins to report (suppresses blips; the
+    /// paper cares about events persisting "in the order of an epoch").
+    pub min_bins: usize,
+}
+
+impl Default for LatencySurgeDetector {
+    fn default() -> Self {
+        Self {
+            factor: 2.0,
+            min_bins: 3,
+        }
+    }
+}
+
+impl LatencySurgeDetector {
+    /// Scans a zone's binned latency series `(bin_start, mean_ms)` —
+    /// bins must be in time order. Baseline is the median of all bins.
+    pub fn detect(&self, zone: ZoneId, bins: &[(SimTime, f64)]) -> Vec<SurgeEvent> {
+        if bins.len() < self.min_bins {
+            return Vec::new();
+        }
+        let mut vals: Vec<f64> = bins.iter().map(|b| b.1).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let baseline = vals[vals.len() / 2];
+        if baseline <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut run: Vec<(SimTime, f64)> = Vec::new();
+        for &(t, v) in bins {
+            if v > self.factor * baseline {
+                run.push((t, v));
+            } else {
+                self.emit(zone, baseline, &mut run, &mut out);
+            }
+        }
+        self.emit(zone, baseline, &mut run, &mut out);
+        out
+    }
+
+    fn emit(
+        &self,
+        zone: ZoneId,
+        baseline: f64,
+        run: &mut Vec<(SimTime, f64)>,
+        out: &mut Vec<SurgeEvent>,
+    ) {
+        if run.len() >= self.min_bins {
+            out.push(SurgeEvent {
+                zone,
+                start: run[0].0,
+                end: run[run.len() - 1].0,
+                peak_ms: run.iter().map(|b| b.1).fold(f64::MIN, f64::max),
+                baseline_ms: baseline,
+            });
+        }
+        run.clear();
+    }
+}
+
+/// Convenience: bins a raw latency series into `bin` wide means keyed by
+/// bin start (for feeding [`LatencySurgeDetector::detect`]).
+pub fn bin_latency_series(
+    samples: &[(SimTime, f64)],
+    bin: wiscape_simcore::SimDuration,
+) -> Vec<(SimTime, f64)> {
+    let mut bins: BTreeMap<i64, (f64, u32)> = BTreeMap::new();
+    let w = bin.as_micros().max(1);
+    for &(t, v) in samples {
+        let k = t.as_micros().div_euclid(w);
+        let e = bins.entry(k).or_insert((0.0, 0));
+        e.0 += v;
+        e.1 += 1;
+    }
+    bins.into_iter()
+        .map(|(k, (sum, n))| (SimTime::from_micros(k * w), sum / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_geo::CellId;
+    use wiscape_simcore::SimDuration;
+
+    fn z(i: i32) -> ZoneId {
+        ZoneId(CellId::new(i, 0))
+    }
+
+    #[test]
+    fn streaks_break_on_clean_active_days() {
+        let mut t = PingFailureTracker::new();
+        for day in [0, 1, 2, 4, 5] {
+            t.record(z(1), SimTime::at(day, 10.0), true);
+        }
+        // Day 3 was visited and had no failure: the run breaks there.
+        t.record(z(1), SimTime::at(3, 10.0), false);
+        assert_eq!(t.longest_failure_streak(z(1)), 3);
+        assert_eq!(t.longest_failure_streak(z(2)), 0);
+    }
+
+    #[test]
+    fn unvisited_days_do_not_break_streaks() {
+        // The zone was not visited on day 3; failures on every day the
+        // collector looked still count as one chronic run.
+        let mut t = PingFailureTracker::new();
+        for day in [0, 1, 2, 4, 5] {
+            t.record(z(1), SimTime::at(day, 10.0), true);
+        }
+        assert_eq!(t.longest_failure_streak(z(1)), 5);
+    }
+
+    #[test]
+    fn chronic_zones_threshold() {
+        let mut t = PingFailureTracker::new();
+        for day in 0..25 {
+            t.record(z(1), SimTime::at(day, 9.0), true);
+            t.record(z(2), SimTime::at(day, 9.0), day % 2 == 0); // alternating
+            t.record(z(3), SimTime::at(day, 9.0), false);
+        }
+        assert_eq!(t.chronic_zones(20), vec![z(1)]);
+        assert_eq!(t.active_zone_count(), 3);
+    }
+
+    #[test]
+    fn surge_detected_with_paper_like_shape() {
+        // 113 ms baseline, 3 h surge to ~418 ms in 10 min bins.
+        let mut bins = Vec::new();
+        for k in 0..60 {
+            let t = SimTime::from_secs(k * 600);
+            let v = if (20..38).contains(&k) { 418.0 } else { 113.0 };
+            bins.push((t, v));
+        }
+        let det = LatencySurgeDetector::default();
+        let events = det.detect(z(7), &bins);
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        assert!((e.ratio() - 3.7).abs() < 0.1, "ratio {}", e.ratio());
+        assert_eq!(e.start, SimTime::from_secs(20 * 600));
+        assert_eq!(e.end, SimTime::from_secs(37 * 600));
+    }
+
+    #[test]
+    fn short_blips_are_ignored() {
+        let mut bins: Vec<(SimTime, f64)> =
+            (0..30).map(|k| (SimTime::from_secs(k * 600), 100.0)).collect();
+        bins[10].1 = 500.0;
+        bins[11].1 = 500.0; // only 2 bins, min is 3
+        let det = LatencySurgeDetector::default();
+        assert!(det.detect(z(1), &bins).is_empty());
+    }
+
+    #[test]
+    fn surge_at_series_end_is_emitted() {
+        let mut bins: Vec<(SimTime, f64)> =
+            (0..30).map(|k| (SimTime::from_secs(k * 600), 100.0)).collect();
+        for b in bins.iter_mut().skip(26) {
+            b.1 = 400.0;
+        }
+        let det = LatencySurgeDetector::default();
+        let events = det.detect(z(1), &bins);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let det = LatencySurgeDetector::default();
+        assert!(det.detect(z(1), &[]).is_empty());
+        assert!(det
+            .detect(z(1), &[(SimTime::EPOCH, 100.0)])
+            .is_empty());
+    }
+
+    #[test]
+    fn binning_averages_and_orders() {
+        let samples = vec![
+            (SimTime::from_secs(5), 100.0),
+            (SimTime::from_secs(30), 200.0),
+            (SimTime::from_secs(65), 300.0),
+        ];
+        let bins = bin_latency_series(&samples, SimDuration::from_secs(60));
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].1, 150.0);
+        assert_eq!(bins[1].1, 300.0);
+        assert!(bins[0].0 < bins[1].0);
+    }
+}

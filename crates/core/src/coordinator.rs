@@ -1,0 +1,567 @@
+//! The measurement coordinator (paper §3.4, "Putting it all together").
+//!
+//! Deployment loop:
+//!
+//! 1. each client periodically reports its coarse zone (in real systems,
+//!    from its associated cell tower) — [`Coordinator::client_checkin`];
+//! 2. once per **epoch** per zone, the coordinator hands out measurement
+//!    tasks with a probability chosen so the epoch collects roughly the
+//!    required number of samples (from the NKLD analysis, ≈100);
+//! 3. clients execute tasks and report samples —
+//!    [`Coordinator::ingest_report`];
+//! 4. at epoch end the coordinator forms the zone estimate; if it moved
+//!    by more than `change_threshold_sigma` standard deviations from the
+//!    published value, the published record is updated and a
+//!    [`ChangeAlert`] is emitted (the operator signal of §4.1).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use wiscape_mobility::ClientId;
+use wiscape_simcore::{SimDuration, SimTime};
+use wiscape_simnet::{NetworkId, TransportKind};
+use wiscape_stats::RunningStats;
+
+use crate::zone::{ZoneId, ZoneIndex};
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoordinatorConfig {
+    /// Samples the coordinator tries to collect per zone per epoch
+    /// (paper: ~100, from the NKLD analysis).
+    pub target_samples_per_epoch: u32,
+    /// Packets per issued probe task (paper Table 5 range).
+    pub packets_per_task: u32,
+    /// Probe packet size, bytes.
+    pub packet_bytes: u32,
+    /// Epoch used for a zone until an Allan estimate is available.
+    pub default_epoch: SimDuration,
+    /// Publish/alert threshold in standard deviations (paper: "say by
+    /// more than twice the standard deviation").
+    pub change_threshold_sigma: f64,
+    /// Expected number of client check-ins per zone per epoch, used to
+    /// set the task probability. In a real deployment the coordinator
+    /// measures this; here it is configured.
+    pub expected_checkins_per_epoch: f64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            target_samples_per_epoch: 100,
+            packets_per_task: 20,
+            packet_bytes: 1200,
+            default_epoch: SimDuration::from_mins(30),
+            change_threshold_sigma: 2.0,
+            expected_checkins_per_epoch: 50.0,
+        }
+    }
+}
+
+/// A measurement task issued to a client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementTask {
+    /// Zone the coordinator believes the client is in.
+    pub zone: ZoneId,
+    /// Network to measure.
+    pub network: NetworkId,
+    /// Transport to probe.
+    pub kind: TransportKind,
+    /// Number of back-to-back packets to send.
+    pub n_packets: u32,
+    /// Packet size, bytes.
+    pub packet_bytes: u32,
+}
+
+/// A published per-zone, per-network estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneEstimate {
+    /// The zone.
+    pub zone: ZoneId,
+    /// The network.
+    pub network: NetworkId,
+    /// Mean of the epoch's samples (kbit/s for throughput tasks).
+    pub mean: f64,
+    /// Standard deviation of the epoch's samples.
+    pub std_dev: f64,
+    /// Number of samples behind the estimate.
+    pub samples: u64,
+    /// Epoch end time at which this estimate was formed.
+    pub formed_at: SimTime,
+}
+
+/// Emitted when a zone's published estimate moved substantially.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangeAlert {
+    /// The zone whose estimate changed.
+    pub zone: ZoneId,
+    /// The network.
+    pub network: NetworkId,
+    /// Previously published mean.
+    pub old_mean: f64,
+    /// Newly published mean.
+    pub new_mean: f64,
+    /// Magnitude of the change in previous standard deviations.
+    pub sigmas: f64,
+    /// When the change was detected.
+    pub at: SimTime,
+}
+
+/// Per-(zone, network) epoch state.
+#[derive(Debug, Clone)]
+struct ZoneState {
+    epoch: SimDuration,
+    epoch_start: SimTime,
+    current: RunningStats,
+    issued_this_epoch: u32,
+    published: Option<ZoneEstimate>,
+    /// Per-zone sample quota override (from the NKLD tuner); falls back
+    /// to the config's global target when unset.
+    quota: Option<u32>,
+}
+
+/// A client's sample report for a task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleReport {
+    /// Reporting client.
+    pub client: ClientId,
+    /// The task this answers.
+    pub task: MeasurementTask,
+    /// Fine zone confirmed by the client's GPS at execution time.
+    pub zone: ZoneId,
+    /// When the measurement ran.
+    pub t: SimTime,
+    /// Per-packet samples (throughput kbit/s).
+    pub samples: Vec<f64>,
+}
+
+/// The WiScape measurement coordinator.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    config: CoordinatorConfig,
+    index: ZoneIndex,
+    state: HashMap<(ZoneId, NetworkId), ZoneState>,
+    alerts: Vec<ChangeAlert>,
+    /// Total packets requested from clients (the client-burden meter).
+    packets_requested: u64,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over a zone index.
+    pub fn new(index: ZoneIndex, config: CoordinatorConfig) -> Self {
+        Self {
+            config,
+            index,
+            state: HashMap::new(),
+            alerts: Vec::new(),
+            packets_requested: 0,
+        }
+    }
+
+    /// The zone index.
+    pub fn index(&self) -> &ZoneIndex {
+        &self.index
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.config
+    }
+
+    /// Installs a zone-specific epoch (e.g. from an Allan-deviation
+    /// estimate) for all networks in that zone.
+    pub fn set_zone_epoch(&mut self, zone: ZoneId, network: NetworkId, epoch: SimDuration) {
+        let state = self.state.entry((zone, network)).or_insert_with(|| ZoneState {
+            epoch: self.config.default_epoch,
+            epoch_start: SimTime::EPOCH,
+            current: RunningStats::new(),
+            issued_this_epoch: 0,
+            published: None,
+            quota: None,
+        });
+        state.epoch = epoch;
+    }
+
+    /// The epoch currently in force for a zone/network.
+    pub fn zone_epoch(&self, zone: ZoneId, network: NetworkId) -> SimDuration {
+        self.state
+            .get(&(zone, network))
+            .map(|s| s.epoch)
+            .unwrap_or(self.config.default_epoch)
+    }
+
+    /// Installs a zone-specific per-epoch sample quota (from the NKLD
+    /// tuner, paper §3.4).
+    pub fn set_zone_quota(&mut self, zone: ZoneId, network: NetworkId, quota: u32) {
+        let state = self.state.entry((zone, network)).or_insert_with(|| ZoneState {
+            epoch: self.config.default_epoch,
+            epoch_start: SimTime::EPOCH,
+            current: RunningStats::new(),
+            issued_this_epoch: 0,
+            published: None,
+            quota: None,
+        });
+        state.quota = Some(quota.max(1));
+    }
+
+    /// The sample quota currently in force for a zone/network.
+    pub fn zone_quota(&self, zone: ZoneId, network: NetworkId) -> u32 {
+        self.state
+            .get(&(zone, network))
+            .and_then(|s| s.quota)
+            .unwrap_or(self.config.target_samples_per_epoch)
+    }
+
+    /// Task-issuance probability for a zone that still needs `needed`
+    /// task executions this epoch (exposed so deployments can inspect
+    /// the coordinator's pacing).
+    pub fn issue_probability(&self, needed: u32) -> f64 {
+        (needed as f64 / self.config.expected_checkins_per_epoch).clamp(0.0, 1.0)
+    }
+
+    /// A client reports being (coarsely) at `point` at time `t`;
+    /// the coordinator may hand back measurement tasks.
+    ///
+    /// `coin` is a uniform `[0,1)` draw supplied by the caller (keeps the
+    /// coordinator deterministic and testable).
+    pub fn client_checkin(
+        &mut self,
+        _client: ClientId,
+        point: &wiscape_geo::GeoPoint,
+        t: SimTime,
+        networks: &[NetworkId],
+        coin: f64,
+    ) -> Vec<MeasurementTask> {
+        let zone = self.index.zone_of(point);
+        let mut tasks = Vec::new();
+        for &network in networks {
+            let default_epoch = self.config.default_epoch;
+            let state = self.state.entry((zone, network)).or_insert_with(|| ZoneState {
+                epoch: default_epoch,
+                epoch_start: t,
+                current: RunningStats::new(),
+                issued_this_epoch: 0,
+                published: None,
+                quota: None,
+            });
+            // Epoch rollover is handled in ingest/finalize; here we only
+            // roll the window forward if long past.
+            if t - state.epoch_start >= state.epoch {
+                // Epoch ended without finalization (e.g. no samples) —
+                // start a fresh one.
+                Self::finalize_epoch(
+                    &mut self.alerts,
+                    self.config.change_threshold_sigma,
+                    zone,
+                    network,
+                    state,
+                    t,
+                );
+                state.epoch_start = t;
+                state.current = RunningStats::new();
+                state.issued_this_epoch = 0;
+            }
+            let target = state.quota.unwrap_or(self.config.target_samples_per_epoch);
+            let have = state.current.count() as u32
+                + state.issued_this_epoch * self.config.packets_per_task;
+            if have >= target {
+                continue;
+            }
+            let needed_tasks = (target - have).div_ceil(self.config.packets_per_task);
+            let p = (needed_tasks as f64 / self.config.expected_checkins_per_epoch)
+                .clamp(0.0, 1.0);
+            if coin < p {
+                state.issued_this_epoch += 1;
+                self.packets_requested += self.config.packets_per_task as u64;
+                tasks.push(MeasurementTask {
+                    zone,
+                    network,
+                    kind: TransportKind::Udp,
+                    n_packets: self.config.packets_per_task,
+                    packet_bytes: self.config.packet_bytes,
+                });
+            }
+        }
+        tasks
+    }
+
+    fn finalize_epoch(
+        alerts: &mut Vec<ChangeAlert>,
+        threshold_sigma: f64,
+        zone: ZoneId,
+        network: NetworkId,
+        state: &mut ZoneState,
+        now: SimTime,
+    ) {
+        if state.current.is_empty() {
+            return;
+        }
+        let estimate = ZoneEstimate {
+            zone,
+            network,
+            mean: state.current.mean(),
+            std_dev: state.current.sample_std_dev(),
+            samples: state.current.count(),
+            formed_at: now,
+        };
+        match state.published {
+            None => state.published = Some(estimate),
+            Some(prev) => {
+                let sigma = prev.std_dev.max(prev.mean.abs() * 1e-3).max(1e-9);
+                let sigmas = (estimate.mean - prev.mean).abs() / sigma;
+                if sigmas > threshold_sigma {
+                    alerts.push(ChangeAlert {
+                        zone,
+                        network,
+                        old_mean: prev.mean,
+                        new_mean: estimate.mean,
+                        sigmas,
+                        at: now,
+                    });
+                    state.published = Some(estimate);
+                }
+                // Otherwise: keep the published record (the paper's
+                // server only updates on substantial change).
+            }
+        }
+    }
+
+    /// Ingests a client's sample report.
+    pub fn ingest_report(&mut self, report: &SampleReport) {
+        let key = (report.zone, report.task.network);
+        let default_epoch = self.config.default_epoch;
+        let state = self.state.entry(key).or_insert_with(|| ZoneState {
+            epoch: default_epoch,
+            epoch_start: report.t,
+            current: RunningStats::new(),
+            issued_this_epoch: 0,
+            published: None,
+            quota: None,
+        });
+        if report.t - state.epoch_start >= state.epoch {
+            Self::finalize_epoch(
+                &mut self.alerts,
+                self.config.change_threshold_sigma,
+                report.zone,
+                report.task.network,
+                state,
+                report.t,
+            );
+            state.epoch_start = report.t;
+            state.current = RunningStats::new();
+            state.issued_this_epoch = 0;
+        }
+        for &s in &report.samples {
+            state.current.push(s);
+        }
+    }
+
+    /// Forces epoch finalization for every zone at `now` (end-of-run
+    /// flush).
+    pub fn flush(&mut self, now: SimTime) {
+        let threshold = self.config.change_threshold_sigma;
+        for ((zone, network), state) in self.state.iter_mut() {
+            Self::finalize_epoch(&mut self.alerts, threshold, *zone, *network, state, now);
+        }
+    }
+
+    /// The published estimate for a zone/network, if any.
+    pub fn published(&self, zone: ZoneId, network: NetworkId) -> Option<ZoneEstimate> {
+        self.state.get(&(zone, network)).and_then(|s| s.published)
+    }
+
+    /// All published estimates.
+    pub fn all_published(&self) -> Vec<ZoneEstimate> {
+        let mut out: Vec<ZoneEstimate> = self
+            .state
+            .values()
+            .filter_map(|s| s.published)
+            .collect();
+        out.sort_by_key(|a| (a.zone, a.network));
+        out
+    }
+
+    /// Change alerts emitted so far.
+    pub fn alerts(&self) -> &[ChangeAlert] {
+        &self.alerts
+    }
+
+    /// Total probe packets requested from clients (the overhead meter —
+    /// WiScape's whole point is keeping this small).
+    pub fn packets_requested(&self) -> u64 {
+        self.packets_requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_geo::GeoPoint;
+
+    fn center() -> GeoPoint {
+        GeoPoint::new(43.0731, -89.4012).unwrap()
+    }
+
+    fn coordinator() -> Coordinator {
+        Coordinator::new(
+            ZoneIndex::around(center(), 5000.0).unwrap(),
+            CoordinatorConfig::default(),
+        )
+    }
+
+    fn report(c: &Coordinator, t: SimTime, values: &[f64]) -> SampleReport {
+        let zone = c.index().zone_of(&center());
+        SampleReport {
+            client: ClientId(1),
+            task: MeasurementTask {
+                zone,
+                network: NetworkId::NetB,
+                kind: TransportKind::Udp,
+                n_packets: values.len() as u32,
+                packet_bytes: 1200,
+            },
+            zone,
+            t,
+            samples: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn issues_tasks_until_target_met() {
+        let mut c = coordinator();
+        let nets = [NetworkId::NetB];
+        let mut issued = 0;
+        // Stay within one 30-minute epoch.
+        for k in 0..150 {
+            let t = SimTime::from_secs(k * 10);
+            // coin = 0 -> always issue when needed.
+            issued += c.client_checkin(ClientId(k as u32), &center(), t, &nets, 0.0).len();
+        }
+        // 100 samples / 20 per task = 5 tasks, then stop for the epoch.
+        assert_eq!(issued, 5);
+        assert_eq!(c.packets_requested(), 100);
+        // The next epoch starts collection afresh.
+        issued += c
+            .client_checkin(ClientId(9), &center(), SimTime::from_secs(31 * 60), &nets, 0.0)
+            .len();
+        assert_eq!(issued, 6);
+    }
+
+    #[test]
+    fn issue_probability_scales_with_need() {
+        let c = coordinator();
+        assert!((c.issue_probability(5) - 0.1).abs() < 1e-12);
+        assert_eq!(c.issue_probability(1000), 1.0);
+        assert_eq!(c.issue_probability(0), 0.0);
+    }
+
+    #[test]
+    fn coin_gates_task_issue() {
+        let mut c = coordinator();
+        let nets = [NetworkId::NetB];
+        // needed 5 tasks of 50 expected checkins -> p = 0.1.
+        let t = SimTime::from_secs(1);
+        assert!(c.client_checkin(ClientId(1), &center(), t, &nets, 0.5).is_empty());
+        assert_eq!(c.client_checkin(ClientId(1), &center(), t, &nets, 0.05).len(), 1);
+    }
+
+    #[test]
+    fn publishes_first_estimate_after_epoch() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 110.0]));
+        assert!(c.published(zone, NetworkId::NetB).is_none());
+        // Next report lands after the default 30 min epoch -> finalize.
+        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[120.0]));
+        let e = c.published(zone, NetworkId::NetB).unwrap();
+        assert_eq!(e.samples, 2);
+        assert_eq!(e.mean, 105.0);
+        assert!(c.alerts().is_empty(), "first publish is not a change");
+    }
+
+    #[test]
+    fn stable_zone_does_not_alert() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        for k in 0..5 {
+            let t = SimTime::from_secs(k * 31 * 60);
+            c.ingest_report(&report(&c, t, &[100.0, 102.0, 98.0, 101.0]));
+        }
+        c.flush(SimTime::from_secs(3 * 3600));
+        assert!(c.published(zone, NetworkId::NetB).is_some());
+        assert!(c.alerts().is_empty());
+    }
+
+    #[test]
+    fn big_shift_alerts_and_updates() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 102.0, 98.0]));
+        // Finalizes first epoch, publishes ~100.
+        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[400.0, 410.0, 390.0]));
+        // Finalizes second epoch (mean 400, >> 2 sigma away).
+        c.ingest_report(&report(&c, SimTime::from_secs(62 * 60), &[400.0]));
+        assert_eq!(c.alerts().len(), 1);
+        let a = c.alerts()[0];
+        assert_eq!(a.old_mean, 100.0);
+        assert_eq!(a.new_mean, 400.0);
+        assert!(a.sigmas > 2.0);
+        assert_eq!(c.published(zone, NetworkId::NetB).unwrap().mean, 400.0);
+    }
+
+    #[test]
+    fn small_shift_keeps_old_published_value() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 110.0, 90.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[105.0, 108.0, 102.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(62 * 60), &[105.0]));
+        // Second estimate within 2 sigma of first -> record unchanged.
+        assert_eq!(c.published(zone, NetworkId::NetB).unwrap().mean, 100.0);
+        assert!(c.alerts().is_empty());
+    }
+
+    #[test]
+    fn zone_epoch_override_is_used() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        c.set_zone_epoch(zone, NetworkId::NetB, SimDuration::from_mins(75));
+        assert_eq!(
+            c.zone_epoch(zone, NetworkId::NetB),
+            SimDuration::from_mins(75)
+        );
+        // A report 40 min later must NOT finalize (epoch is 75 min now).
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(40 * 60), &[200.0]));
+        assert!(c.published(zone, NetworkId::NetB).is_none());
+        // But 80 min later it must.
+        c.ingest_report(&report(&c, SimTime::from_secs(80 * 60), &[200.0]));
+        assert!(c.published(zone, NetworkId::NetB).is_some());
+    }
+
+    #[test]
+    fn separate_zones_are_independent() {
+        let mut c = coordinator();
+        let far = center().destination(0.0, 3000.0);
+        let z1 = c.index().zone_of(&center());
+        let z2 = c.index().zone_of(&far);
+        assert_ne!(z1, z2);
+        let mut r = report(&c, SimTime::from_secs(0), &[100.0]);
+        c.ingest_report(&r);
+        r.zone = z2;
+        r.samples = vec![900.0];
+        c.ingest_report(&r);
+        c.flush(SimTime::from_secs(3600 * 2));
+        assert_eq!(c.published(z1, NetworkId::NetB).unwrap().mean, 100.0);
+        assert_eq!(c.published(z2, NetworkId::NetB).unwrap().mean, 900.0);
+        assert_eq!(c.all_published().len(), 2);
+    }
+
+    #[test]
+    fn overhead_meter_counts_packets() {
+        let mut c = coordinator();
+        let nets = [NetworkId::NetB, NetworkId::NetC];
+        c.client_checkin(ClientId(1), &center(), SimTime::from_secs(0), &nets, 0.0);
+        assert_eq!(c.packets_requested(), 40); // one 20-packet task per net
+    }
+}

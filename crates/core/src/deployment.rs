@@ -1,0 +1,372 @@
+//! End-to-end WiScape deployment simulation (paper §3.4).
+//!
+//! Wires the full control loop over simulated time:
+//!
+//! 1. mobile clients (a [`wiscape_mobility::Fleet`]) periodically check
+//!    in with their coarse position;
+//! 2. the [`Coordinator`] probabilistically issues measurement tasks so
+//!    each zone collects its per-epoch sample quota;
+//! 3. each client's [`ClientAgent`] executes its tasks against the
+//!    simulated landscape and reports per-packet samples tagged with the
+//!    GPS-precise zone;
+//! 4. the coordinator aggregates, finalizes epochs, and emits
+//!    [`crate::ChangeAlert`]s on 2σ shifts.
+//!
+//! This is what the examples and integration tests drive; the validation
+//! experiment (Fig 8) compares the resulting published map against the
+//! landscape's ground truth.
+
+use wiscape_mobility::Fleet;
+use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+use wiscape_simnet::{Landscape, NetworkId};
+
+use crate::agent::ClientAgent;
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::tuning::{EpochTuner, HistoryStore, QuotaTuner};
+use crate::zone::ZoneIndex;
+
+/// Configuration of a deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Coordinator tuning.
+    pub coordinator: CoordinatorConfig,
+    /// How often each client checks in.
+    pub checkin_interval: SimDuration,
+    /// Which networks to monitor (defaults to all present).
+    pub networks: Vec<NetworkId>,
+    /// Enable closed-loop tuning (paper §3.4): per-zone sample quotas
+    /// from the NKLD analysis and per-zone epochs from the Allan
+    /// deviation, re-estimated every `retune_interval`.
+    pub auto_tune: bool,
+    /// How often the tuners re-run over accumulated history.
+    pub retune_interval: SimDuration,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        Self {
+            coordinator: CoordinatorConfig::default(),
+            checkin_interval: SimDuration::from_secs(60),
+            networks: Vec::new(),
+            auto_tune: false,
+            retune_interval: SimDuration::from_hours(6),
+        }
+    }
+}
+
+/// Outcome counters of a deployment run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeploymentStats {
+    /// Client check-ins processed.
+    pub checkins: u64,
+    /// Measurement tasks issued.
+    pub tasks_issued: u64,
+    /// Reports successfully ingested.
+    pub reports: u64,
+    /// Probe packets clients were asked to send (the client burden).
+    pub packets_requested: u64,
+    /// Zones whose sample quota has been NKLD-tuned.
+    pub quotas_tuned: u64,
+    /// Zones whose epoch has been Allan-tuned.
+    pub epochs_tuned: u64,
+}
+
+/// A running WiScape deployment over a simulated landscape.
+pub struct Deployment {
+    land: Landscape,
+    fleet: Fleet,
+    coordinator: Coordinator,
+    config: DeploymentConfig,
+    stream: StreamRng,
+    stats: DeploymentStats,
+    history: HistoryStore,
+    quota_tuner: QuotaTuner,
+    epoch_tuner: EpochTuner,
+    last_retune: Option<SimTime>,
+}
+
+impl Deployment {
+    /// Creates a deployment monitoring `networks` (all of the
+    /// landscape's networks when the config list is empty).
+    pub fn new(land: Landscape, fleet: Fleet, index: ZoneIndex, mut config: DeploymentConfig) -> Self {
+        if config.networks.is_empty() {
+            config.networks = land.networks();
+        }
+        let coordinator = Coordinator::new(index, config.coordinator.clone());
+        let stream = StreamRng::new(land.config().seed).fork("deployment");
+        Self {
+            land,
+            fleet,
+            coordinator,
+            config,
+            stream,
+            stats: DeploymentStats::default(),
+            history: HistoryStore::new(),
+            quota_tuner: QuotaTuner::default(),
+            epoch_tuner: EpochTuner::default(),
+            last_retune: None,
+        }
+    }
+
+    /// Accumulated per-zone sample history (feeds the §3.4 tuners).
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// Re-runs the NKLD quota tuner and the Allan epoch tuner over every
+    /// zone with enough history, installing the results in the
+    /// coordinator. Called automatically from [`Deployment::run`] when
+    /// `auto_tune` is on; public so operators can retune on demand.
+    pub fn retune(&mut self, now: SimTime) {
+        let min = self
+            .quota_tuner
+            .min_history
+            .min(self.epoch_tuner.min_history);
+        for (zone, net) in self.history.keys_with_min(min) {
+            let Some(h) = self.history.history(zone, net) else {
+                continue;
+            };
+            let seed = self
+                .stream
+                .fork("retune")
+                .fork_idx(now.as_micros() as u64)
+                .draw_u64();
+            if let Some(q) = self.quota_tuner.quota(h, seed) {
+                self.coordinator.set_zone_quota(zone, net, q);
+                self.stats.quotas_tuned += 1;
+            }
+            if let Some(e) = self.epoch_tuner.epoch(h) {
+                self.coordinator.set_zone_epoch(zone, net, e);
+                self.stats.epochs_tuned += 1;
+            }
+        }
+        self.last_retune = Some(now);
+    }
+
+    /// The coordinator (and its published map).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// The landscape under measurement.
+    pub fn landscape(&self) -> &Landscape {
+        &self.land
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> DeploymentStats {
+        self.stats
+    }
+
+    /// Advances the deployment from `start` to `end` (exclusive),
+    /// processing one check-in round per client per
+    /// `checkin_interval`.
+    pub fn run(&mut self, start: SimTime, end: SimTime) {
+        let mut now = start;
+        let mut round: u64 = 0;
+        while now < end {
+            round += 1;
+            for client in self.fleet.clients() {
+                let Some(fix) = client.position_at(now) else {
+                    continue;
+                };
+                self.stats.checkins += 1;
+                let coin = self
+                    .stream
+                    .fork("coin")
+                    .fork_idx(round)
+                    .fork_idx(client.id().0 as u64)
+                    .draw_unit_f64();
+                let tasks = self.coordinator.client_checkin(
+                    client.id(),
+                    &fix.point,
+                    now,
+                    &self.config.networks,
+                    coin,
+                );
+                let agent = ClientAgent::new(client.id());
+                for task in tasks {
+                    self.stats.tasks_issued += 1;
+                    if let Ok(report) = agent.execute(
+                        &self.land,
+                        self.coordinator.index(),
+                        &task,
+                        &fix.point,
+                        now,
+                    ) {
+                        if self.config.auto_tune {
+                            self.history.record(
+                                report.zone,
+                                report.task.network,
+                                report.t,
+                                &report.samples,
+                            );
+                        }
+                        self.coordinator.ingest_report(&report);
+                        self.stats.reports += 1;
+                    }
+                }
+            }
+            if self.config.auto_tune {
+                let due = match self.last_retune {
+                    None => true,
+                    Some(last) => now - last >= self.config.retune_interval,
+                };
+                if due {
+                    self.retune(now);
+                }
+            }
+            now = now + self.config.checkin_interval;
+        }
+        self.coordinator.flush(end);
+        self.stats.packets_requested = self.coordinator.packets_requested();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_simnet::LandscapeConfig;
+
+    fn small_deployment(seed: u64) -> Deployment {
+        let land = Landscape::new(LandscapeConfig::madison(seed));
+        let mut fleet = Fleet::new(seed);
+        fleet.add_transit_buses(3, land.origin(), 5000.0, 8);
+        fleet.add_static_spot(land.origin());
+        let index = ZoneIndex::around(land.origin(), 6000.0).unwrap();
+        Deployment::new(
+            land,
+            fleet,
+            index,
+            DeploymentConfig {
+                checkin_interval: SimDuration::from_secs(120),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn deployment_produces_published_estimates() {
+        let mut d = small_deployment(60);
+        d.run(SimTime::at(1, 8.0), SimTime::at(1, 14.0));
+        let stats = d.stats();
+        assert!(stats.checkins > 300, "{stats:?}");
+        assert!(stats.tasks_issued > 20, "{stats:?}");
+        assert_eq!(stats.reports, stats.tasks_issued, "all tasks on known nets");
+        let published = d.coordinator().all_published();
+        assert!(published.len() > 5, "{} published estimates", published.len());
+        for e in &published {
+            assert!(e.mean > 50.0 && e.mean < 7200.0, "estimate {e:?}");
+            assert!(e.samples >= 1);
+        }
+    }
+
+    #[test]
+    fn estimates_track_ground_truth() {
+        let mut d = small_deployment(61);
+        d.run(SimTime::at(1, 8.0), SimTime::at(1, 16.0));
+        // The static spot's zone gets steady samples; compare against
+        // ground truth there.
+        let p = d.landscape().origin();
+        let zone = d.coordinator().index().zone_of(&p);
+        let est = d
+            .coordinator()
+            .published(zone, NetworkId::NetB)
+            .expect("spot zone is measured");
+        let truth = d
+            .landscape()
+            .link_quality(NetworkId::NetB, &p, SimTime::at(1, 12.0))
+            .unwrap()
+            .udp_kbps;
+        let err = (est.mean - truth).abs() / truth;
+        assert!(err < 0.25, "estimate {} vs truth {truth}: err {err}", est.mean);
+    }
+
+    #[test]
+    fn overhead_is_bounded_by_design() {
+        // The whole point of WiScape: per zone per epoch, at most
+        // ~target_samples packets are requested.
+        let mut d = small_deployment(62);
+        let cfg = d.config.coordinator.clone();
+        d.run(SimTime::at(1, 8.0), SimTime::at(1, 12.0));
+        let zones_touched: std::collections::HashSet<_> = d
+            .coordinator()
+            .all_published()
+            .iter()
+            .map(|e| (e.zone, e.network))
+            .collect();
+        // 4 hours / 30 min epochs = up to 8 epochs per zone-network.
+        let max_packets = (zones_touched.len().max(1) as u64 + 200)
+            * cfg.target_samples_per_epoch as u64
+            * 9;
+        assert!(
+            d.stats().packets_requested < max_packets,
+            "{} packets vs bound {max_packets}",
+            d.stats().packets_requested
+        );
+    }
+
+    #[test]
+    fn auto_tune_installs_quotas_and_epochs() {
+        // A static spot feeds one zone steadily; with auto-tune on and a
+        // short retune interval, that zone's quota and epoch get set
+        // from its own history.
+        let land = Landscape::new(LandscapeConfig::madison(64));
+        let spot = land.origin();
+        let mut fleet = Fleet::new(64);
+        fleet.add_static_spot(spot);
+        let index = ZoneIndex::around(land.origin(), 6000.0).unwrap();
+        let mut d = Deployment::new(
+            land,
+            fleet,
+            index,
+            DeploymentConfig {
+                checkin_interval: SimDuration::from_secs(30),
+                auto_tune: true,
+                retune_interval: SimDuration::from_hours(2),
+                ..Default::default()
+            },
+        );
+        // Lower the tuners' history requirements so a day suffices.
+        d.quota_tuner.min_history = 300;
+        d.epoch_tuner.min_history = 300;
+        d.run(SimTime::at(1, 0.0), SimTime::at(2, 0.0));
+        let stats = d.stats();
+        assert!(stats.quotas_tuned > 0, "{stats:?}");
+        assert!(stats.epochs_tuned > 0, "{stats:?}");
+        let zone = d.coordinator().index().zone_of(&spot);
+        let quota = d.coordinator().zone_quota(zone, NetworkId::NetB);
+        assert!(
+            (10..=300).contains(&quota),
+            "tuned quota {quota} should be Fig 7-scale"
+        );
+        let epoch = d.coordinator().zone_epoch(zone, NetworkId::NetB);
+        let cfg = d.epoch_tuner.config.clone();
+        assert!(epoch >= cfg.min_epoch && epoch <= cfg.max_epoch);
+        assert!(!d.history().keys_with_min(100).is_empty());
+    }
+
+    #[test]
+    fn auto_tune_off_keeps_defaults() {
+        let mut d = small_deployment(65);
+        d.run(SimTime::at(1, 9.0), SimTime::at(1, 12.0));
+        assert_eq!(d.stats().quotas_tuned, 0);
+        assert_eq!(d.stats().epochs_tuned, 0);
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let run = |seed| {
+            let mut d = small_deployment(seed);
+            d.run(SimTime::at(1, 9.0), SimTime::at(1, 11.0));
+            (d.stats(), d.coordinator().all_published())
+        };
+        let (s1, p1) = run(63);
+        let (s2, p2) = run(63);
+        assert_eq!(s1, s2);
+        assert_eq!(p1.len(), p2.len());
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a, b);
+        }
+    }
+}

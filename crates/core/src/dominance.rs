@@ -1,0 +1,251 @@
+//! Persistent network dominance (paper §4.2.1).
+//!
+//! A zone is *persistently dominated* by a network when the unfavorable
+//! tail of the best network's metric still beats the favorable tail of
+//! every other network: for a higher-is-better metric (throughput), the
+//! best network's **5th percentile** exceeds the others' **95th
+//! percentiles**; for lower-is-better (latency), the comparison flips.
+//! Persistence is what makes the advantage observable with WiScape's
+//! infrequent sampling — and exploitable by multi-network applications
+//! (multi-sim phones, MAR gateways).
+
+use serde::{Deserialize, Serialize};
+use wiscape_simnet::NetworkId;
+use wiscape_stats::Ecdf;
+
+/// Whether larger metric values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Better {
+    /// Larger is better (throughput).
+    Higher,
+    /// Smaller is better (latency, loss).
+    Lower,
+}
+
+/// Outcome of a dominance test in one zone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DominanceOutcome {
+    /// One network persistently dominates.
+    Dominant(NetworkId),
+    /// No network persistently dominates.
+    None,
+    /// Not enough data to decide (some network had < 2 samples).
+    Insufficient,
+}
+
+impl DominanceOutcome {
+    /// The dominant network, if any.
+    pub fn network(&self) -> Option<NetworkId> {
+        match self {
+            DominanceOutcome::Dominant(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Applies the paper's 5/95-percentile persistence rule to per-network
+/// sample sets from one zone.
+pub fn persistent_dominant(
+    samples: &[(NetworkId, Vec<f64>)],
+    better: Better,
+) -> DominanceOutcome {
+    if samples.len() < 2 {
+        return DominanceOutcome::Insufficient;
+    }
+    let mut ecdfs = Vec::with_capacity(samples.len());
+    for (net, vals) in samples {
+        if vals.len() < 2 {
+            return DominanceOutcome::Insufficient;
+        }
+        match Ecdf::new(vals.clone()) {
+            Ok(e) => ecdfs.push((*net, e)),
+            Err(_) => return DominanceOutcome::Insufficient,
+        }
+    }
+    'candidates: for (cand, cand_ecdf) in &ecdfs {
+        for (other, other_ecdf) in &ecdfs {
+            if cand == other {
+                continue;
+            }
+            let wins = match better {
+                // Candidate's worst 5% still beats the other's best 5%.
+                Better::Higher => cand_ecdf.percentile(5.0) > other_ecdf.percentile(95.0),
+                Better::Lower => cand_ecdf.percentile(95.0) < other_ecdf.percentile(5.0),
+            };
+            if !wins {
+                continue 'candidates;
+            }
+        }
+        return DominanceOutcome::Dominant(*cand);
+    }
+    DominanceOutcome::None
+}
+
+/// Per-network share of dominated zones plus the undominated remainder —
+/// the Fig 11/12 statistic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DominanceBreakdown {
+    /// Number of zones tested (with sufficient data).
+    pub zones: usize,
+    /// `(network, fraction of zones it dominates)`.
+    pub per_network: Vec<(NetworkId, f64)>,
+    /// Fraction of zones with no dominant network.
+    pub none: f64,
+}
+
+impl DominanceBreakdown {
+    /// Total fraction of zones with *some* dominant network (Fig 11's
+    /// "One Dominant" bar).
+    pub fn any_dominant(&self) -> f64 {
+        1.0 - self.none
+    }
+}
+
+/// Evaluates dominance across many zones.
+///
+/// `zones` maps each zone to its per-network samples; zones with
+/// insufficient data are excluded from the denominator (the paper only
+/// counts zones with enough measurements).
+pub fn dominance_ratio(
+    zones: &[Vec<(NetworkId, Vec<f64>)>],
+    better: Better,
+) -> DominanceBreakdown {
+    let mut counted = 0usize;
+    let mut none = 0usize;
+    let mut per: std::collections::BTreeMap<NetworkId, usize> = std::collections::BTreeMap::new();
+    for zone in zones {
+        match persistent_dominant(zone, better) {
+            DominanceOutcome::Insufficient => {}
+            DominanceOutcome::None => {
+                counted += 1;
+                none += 1;
+            }
+            DominanceOutcome::Dominant(n) => {
+                counted += 1;
+                *per.entry(n).or_default() += 1;
+            }
+        }
+    }
+    let denom = counted.max(1) as f64;
+    DominanceBreakdown {
+        zones: counted,
+        per_network: per
+            .into_iter()
+            .map(|(n, c)| (n, c as f64 / denom))
+            .collect(),
+        none: none as f64 / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spread(center: f64, width: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| center - width / 2.0 + width * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn clear_winner_higher_is_better() {
+        let samples = vec![
+            (NetworkId::NetA, spread(1000.0, 100.0, 50)),
+            (NetworkId::NetB, spread(500.0, 100.0, 50)),
+        ];
+        assert_eq!(
+            persistent_dominant(&samples, Better::Higher),
+            DominanceOutcome::Dominant(NetworkId::NetA)
+        );
+    }
+
+    #[test]
+    fn clear_winner_lower_is_better() {
+        let samples = vec![
+            (NetworkId::NetB, spread(110.0, 20.0, 50)),
+            (NetworkId::NetC, spread(200.0, 20.0, 50)),
+        ];
+        assert_eq!(
+            persistent_dominant(&samples, Better::Lower),
+            DominanceOutcome::Dominant(NetworkId::NetB)
+        );
+    }
+
+    #[test]
+    fn overlapping_tails_mean_no_dominance() {
+        // Means differ but the 5/95 tails overlap.
+        let samples = vec![
+            (NetworkId::NetA, spread(1000.0, 600.0, 50)),
+            (NetworkId::NetB, spread(900.0, 600.0, 50)),
+        ];
+        assert_eq!(
+            persistent_dominant(&samples, Better::Higher),
+            DominanceOutcome::None
+        );
+    }
+
+    #[test]
+    fn three_network_dominance_requires_beating_both() {
+        let samples = vec![
+            (NetworkId::NetA, spread(1500.0, 100.0, 50)),
+            (NetworkId::NetB, spread(900.0, 100.0, 50)),
+            (NetworkId::NetC, spread(1400.0, 300.0, 50)), // overlaps A
+        ];
+        assert_eq!(
+            persistent_dominant(&samples, Better::Higher),
+            DominanceOutcome::None
+        );
+    }
+
+    #[test]
+    fn insufficient_data() {
+        let samples = vec![(NetworkId::NetA, vec![1.0, 2.0])];
+        assert_eq!(
+            persistent_dominant(&samples, Better::Higher),
+            DominanceOutcome::Insufficient
+        );
+        let samples = vec![
+            (NetworkId::NetA, vec![1.0]),
+            (NetworkId::NetB, vec![1.0, 2.0]),
+        ];
+        assert_eq!(
+            persistent_dominant(&samples, Better::Higher),
+            DominanceOutcome::Insufficient
+        );
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let zones = vec![
+            vec![
+                (NetworkId::NetA, spread(1000.0, 50.0, 30)),
+                (NetworkId::NetB, spread(500.0, 50.0, 30)),
+            ],
+            vec![
+                (NetworkId::NetA, spread(500.0, 50.0, 30)),
+                (NetworkId::NetB, spread(1000.0, 50.0, 30)),
+            ],
+            vec![
+                (NetworkId::NetA, spread(900.0, 500.0, 30)),
+                (NetworkId::NetB, spread(1000.0, 500.0, 30)),
+            ],
+            vec![(NetworkId::NetA, vec![1.0])], // insufficient, excluded
+        ];
+        let b = dominance_ratio(&zones, Better::Higher);
+        assert_eq!(b.zones, 3);
+        let sum: f64 = b.per_network.iter().map(|(_, f)| f).sum::<f64>() + b.none;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((b.any_dominant() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.per_network.len(), 2);
+    }
+
+    #[test]
+    fn outcome_network_accessor() {
+        assert_eq!(
+            DominanceOutcome::Dominant(NetworkId::NetC).network(),
+            Some(NetworkId::NetC)
+        );
+        assert_eq!(DominanceOutcome::None.network(), None);
+        assert_eq!(DominanceOutcome::Insufficient.network(), None);
+    }
+}

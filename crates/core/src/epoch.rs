@@ -1,0 +1,224 @@
+//! Zone-specific epoch estimation via Allan deviation (paper §3.2.2).
+//!
+//! A zone's **epoch** is the time granularity over which its metrics are
+//! stable: WiScape re-measures each zone once per epoch. The paper
+//! computes the Allan deviation of the zone's measurement series over a
+//! range of candidate intervals and picks the interval minimizing it
+//! (Fig 6: ≈75 min for the Madison zone, ≈15 min for New Brunswick).
+
+use serde::{Deserialize, Serialize};
+use wiscape_simcore::SimDuration;
+use wiscape_stats::{allan_deviation_profile, profile_argmin, AllanPoint, StatsError, TimedValue};
+
+/// Configuration of the epoch search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochConfig {
+    /// Candidate intervals, minutes (log-spaced like the paper's Fig 6
+    /// x-axis, 1…1000 min).
+    pub candidate_mins: Vec<f64>,
+    /// Shortest epoch WiScape will schedule.
+    pub min_epoch: SimDuration,
+    /// Longest epoch WiScape will schedule.
+    pub max_epoch: SimDuration,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        // 24 log-spaced candidates between 1 and 1000 minutes.
+        let n = 24;
+        let candidate_mins = (0..n)
+            .map(|i| 10f64.powf(3.0 * i as f64 / (n - 1) as f64))
+            .collect();
+        Self {
+            candidate_mins,
+            min_epoch: SimDuration::from_mins(5),
+            max_epoch: SimDuration::from_mins(240),
+        }
+    }
+}
+
+/// Result of an epoch search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochEstimate {
+    /// The chosen epoch (argmin of the profile, clamped to the config
+    /// bounds).
+    pub epoch: SimDuration,
+    /// The unclamped argmin interval.
+    pub raw_argmin: SimDuration,
+    /// The full Allan-deviation profile (for Fig 6-style plots).
+    pub profile: Vec<AllanPoint>,
+}
+
+/// Minimum interval count for a candidate τ to be eligible as the
+/// profile argmin (see [`EpochEstimator::estimate`]).
+pub const MIN_INTERVALS_FOR_ARGMIN: usize = 10;
+
+/// Estimates zone epochs from measurement series.
+#[derive(Debug, Clone, Default)]
+pub struct EpochEstimator {
+    config: EpochConfig,
+}
+
+impl EpochEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: EpochConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EpochConfig {
+        &self.config
+    }
+
+    /// Runs the Allan-deviation search on a measurement series
+    /// (timestamps in **seconds**, as produced by dataset `series()`).
+    pub fn estimate(&self, series: &[TimedValue]) -> Result<EpochEstimate, StatsError> {
+        // Work in minutes to match candidate units.
+        let series_min: Vec<TimedValue> = series
+            .iter()
+            .map(|tv| TimedValue::new(tv.t / 60.0, tv.value))
+            .collect();
+        let profile = allan_deviation_profile(&series_min, &self.config.candidate_mins)?;
+        // Candidates whose interval count is tiny produce statistically
+        // meaningless deviations (two 16-hour bins of a 2-day trace say
+        // nothing); exclude them from the argmin but keep them in the
+        // reported profile.
+        let trusted: Vec<AllanPoint> = profile
+            .iter()
+            .copied()
+            .filter(|p| p.intervals >= MIN_INTERVALS_FOR_ARGMIN)
+            .collect();
+        let best = profile_argmin(&trusted)
+            .or_else(|| profile_argmin(&profile))
+            .ok_or(StatsError::NotEnoughSamples {
+                needed: 2,
+                got: profile.len(),
+            })?;
+        let raw = SimDuration::from_secs_f64(best.tau * 60.0);
+        let clamped = raw
+            .max(self.config.min_epoch)
+            .min(self.config.max_epoch);
+        Ok(EpochEstimate {
+            epoch: clamped,
+            raw_argmin: raw,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic series with multi-scale drift anchored at a coherence
+    /// time: octaves at spacings `tau, 2tau, 4tau, 8tau` whose amplitude
+    /// *grows* toward coarse scales (rising Allan flank above `tau`),
+    /// plus a diurnal wave and strong per-sample noise (falling flank
+    /// below). The Allan minimum lands between them and moves with
+    /// `tau_min` — the WI (75 min) vs NJ (15 min) contrast of Fig 6.
+    fn series_with_coherence(tau_min: f64, days: usize) -> Vec<TimedValue> {
+        fn h(k: u64, salt: u64) -> f64 {
+            (((k ^ salt.wrapping_mul(0xABCD_1234_5677)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                >> 11)
+                % 1000) as f64
+                / 1000.0
+                - 0.5
+        }
+        fn lattice(t_min: f64, spacing: f64, salt: u64) -> f64 {
+            let x = t_min / spacing;
+            let i0 = x.floor() as i64 as u64;
+            let frac = x - x.floor();
+            let sm = frac * frac * (3.0 - 2.0 * frac);
+            h(i0, salt) + (h(i0.wrapping_add(1), salt) - h(i0, salt)) * sm
+        }
+        let mut out = Vec::new();
+        let step_s = 30.0;
+        let n = (days * 86_400) as f64 / step_s;
+        for i in 0..(n as usize) {
+            let t_s = i as f64 * step_s;
+            let t_min = t_s / 60.0;
+            let mut drift = 0.0;
+            let mut norm = 0.0;
+            for o in 0..5 {
+                let amp = 2.0f64.powi(o);
+                drift += amp * lattice(t_min, tau_min * 2f64.powi(o), 1000 + o as u64);
+                norm += amp;
+            }
+            drift /= norm;
+            let diurnal = 0.05 * (std::f64::consts::TAU * t_s / 86_400.0).sin();
+            let noise = h(i as u64 ^ 0xABCD, 7);
+            out.push(TimedValue::new(
+                t_s,
+                1000.0 * (1.0 + 0.30 * drift + diurnal) + 400.0 * noise,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_an_intermediate_epoch_for_75_minute_coherence() {
+        let est = EpochEstimator::default();
+        let series = series_with_coherence(75.0, 14);
+        let result = est.estimate(&series).unwrap();
+        let raw = result.raw_argmin.as_mins_f64();
+        assert!(
+            (10.0..=130.0).contains(&raw),
+            "raw argmin {raw} min should be intermediate"
+        );
+        // The profile must be U-ish: finest candidate worse than best.
+        let best_dev = result
+            .profile
+            .iter()
+            .map(|p| p.deviation)
+            .fold(f64::INFINITY, f64::min);
+        let finest = &result.profile[0];
+        assert!(finest.deviation > best_dev);
+    }
+
+    #[test]
+    fn shorter_coherence_yields_shorter_epoch() {
+        let est = EpochEstimator::default();
+        let short = est.estimate(&series_with_coherence(15.0, 14)).unwrap();
+        let long = est.estimate(&series_with_coherence(75.0, 14)).unwrap();
+        assert!(
+            short.raw_argmin.as_mins_f64() < long.raw_argmin.as_mins_f64(),
+            "short {} vs long {}",
+            short.raw_argmin.as_mins_f64(),
+            long.raw_argmin.as_mins_f64()
+        );
+        assert!(short.raw_argmin.as_mins_f64() <= 40.0);
+        assert!(long.raw_argmin.as_mins_f64() >= 40.0);
+    }
+
+    #[test]
+    fn epoch_is_clamped() {
+        let cfg = EpochConfig {
+            min_epoch: SimDuration::from_mins(30),
+            max_epoch: SimDuration::from_mins(60),
+            ..Default::default()
+        };
+        let est = EpochEstimator::new(cfg);
+        let r = est.estimate(&series_with_coherence(15.0, 3)).unwrap();
+        let mins = r.epoch.as_mins_f64();
+        assert!((30.0..=60.0).contains(&mins), "{mins}");
+    }
+
+    #[test]
+    fn rejects_tiny_series() {
+        let est = EpochEstimator::default();
+        let series: Vec<TimedValue> = (0..3).map(|i| TimedValue::new(i as f64, 1.0)).collect();
+        assert!(est.estimate(&series).is_err());
+    }
+
+    #[test]
+    fn default_candidates_span_fig6_axis() {
+        let cfg = EpochConfig::default();
+        assert!((cfg.candidate_mins[0] - 1.0).abs() < 1e-9);
+        assert!((cfg.candidate_mins.last().unwrap() - 1000.0).abs() < 1e-6);
+        assert!(cfg.candidate_mins.len() >= 20);
+        // Strictly increasing.
+        for w in cfg.candidate_mins.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

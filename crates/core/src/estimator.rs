@@ -1,0 +1,130 @@
+//! Validation of WiScape estimates against ground truth (paper Fig 8).
+//!
+//! The paper splits the Standalone dataset per zone into a small
+//! "client-sourced" subset and a large "ground truth" subset and compares
+//! the WiScape estimate against the ground-truth expectation; the CDF of
+//! the per-zone relative error is the framework's headline accuracy
+//! figure (≤4% error for >70% of zones, ≤15% worst case).
+
+use serde::{Deserialize, Serialize};
+use wiscape_stats::Ecdf;
+
+use crate::zone::ZoneId;
+
+/// Per-zone estimation-error entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneError {
+    /// The zone.
+    pub zone: ZoneId,
+    /// WiScape's estimate.
+    pub estimate: f64,
+    /// Ground-truth expectation.
+    pub truth: f64,
+    /// `|estimate - truth| / truth`, in `[0, ∞)`.
+    pub rel_error: f64,
+}
+
+/// Compares per-zone estimates against ground truth.
+///
+/// Zones present in only one of the two maps are skipped (no basis for
+/// comparison). Returns entries sorted by zone.
+pub fn zone_errors(
+    estimates: &[(ZoneId, f64)],
+    truths: &[(ZoneId, f64)],
+) -> Vec<ZoneError> {
+    let truth_map: std::collections::HashMap<ZoneId, f64> = truths.iter().copied().collect();
+    let mut out: Vec<ZoneError> = estimates
+        .iter()
+        .filter_map(|&(zone, estimate)| {
+            let truth = *truth_map.get(&zone)?;
+            if !(truth.is_finite() && truth != 0.0 && estimate.is_finite()) {
+                return None;
+            }
+            Some(ZoneError {
+                zone,
+                estimate,
+                truth,
+                rel_error: (estimate - truth).abs() / truth.abs(),
+            })
+        })
+        .collect();
+    out.sort_by_key(|a| a.zone);
+    out
+}
+
+/// Summary of an error distribution in the terms the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Number of zones compared.
+    pub zones: usize,
+    /// Fraction of zones with relative error ≤ 4% (the paper's headline:
+    /// >70%).
+    pub frac_within_4pct: f64,
+    /// Median relative error.
+    pub median: f64,
+    /// 90th percentile relative error.
+    pub p90: f64,
+    /// Maximum relative error (paper: ≈15%).
+    pub max: f64,
+}
+
+/// Summarizes per-zone errors; `None` when empty.
+pub fn summarize(errors: &[ZoneError]) -> Option<ErrorSummary> {
+    if errors.is_empty() {
+        return None;
+    }
+    let vals: Vec<f64> = errors.iter().map(|e| e.rel_error).collect();
+    let ecdf = Ecdf::new(vals).ok()?;
+    Some(ErrorSummary {
+        zones: errors.len(),
+        frac_within_4pct: ecdf.eval(0.04),
+        median: ecdf.median(),
+        p90: ecdf.percentile(90.0),
+        max: ecdf.max(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_geo::CellId;
+
+    fn z(i: i32) -> ZoneId {
+        ZoneId(CellId::new(i, 0))
+    }
+
+    #[test]
+    fn errors_match_definition() {
+        let est = [(z(1), 103.0), (z(2), 90.0), (z(3), 50.0)];
+        let truth = [(z(1), 100.0), (z(2), 100.0)];
+        let errs = zone_errors(&est, &truth);
+        assert_eq!(errs.len(), 2); // zone 3 has no truth
+        assert!((errs[0].rel_error - 0.03).abs() < 1e-12);
+        assert!((errs[1].rel_error - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_or_nonfinite_truth_skipped() {
+        let est = [(z(1), 1.0), (z(2), 1.0)];
+        let truth = [(z(1), 0.0), (z(2), f64::NAN)];
+        assert!(zone_errors(&est, &truth).is_empty());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let errs: Vec<ZoneError> = (0..100)
+            .map(|i| ZoneError {
+                zone: z(i),
+                estimate: 0.0,
+                truth: 1.0,
+                rel_error: i as f64 / 1000.0, // 0.000 … 0.099
+            })
+            .collect();
+        let s = summarize(&errs).unwrap();
+        assert_eq!(s.zones, 100);
+        assert!((s.frac_within_4pct - 0.41).abs() < 0.02, "{}", s.frac_within_4pct);
+        assert!((s.max - 0.099).abs() < 1e-12);
+        assert!(s.median < s.p90);
+        assert!(summarize(&[]).is_none());
+    }
+}

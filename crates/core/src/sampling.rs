@@ -1,0 +1,349 @@
+//! Sample-count sizing (paper §3.3).
+//!
+//! Two questions govern how little WiScape can measure:
+//!
+//! 1. **Distribution similarity** — after how many client-sourced samples
+//!    does their distribution become statistically similar (NKLD ≤ 0.1)
+//!    to the zone's long-term distribution? (Fig 7: ~50–90 in Madison,
+//!    ~80–120 in New Brunswick.) → [`samples_until_similar`].
+//! 2. **Point accuracy** — how many back-to-back packets are needed so
+//!    the mean estimate lands within X% of ground truth with high
+//!    confidence? (Table 5: 40–120 depending on network/region.)
+//!    → [`packets_for_accuracy`].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use wiscape_stats::{nkld, Histogram, StatsError, NKLD_SIMILARITY_THRESHOLD};
+
+/// Histogram bins used when discretizing distributions for NKLD. The
+/// paper does not report its binning; 10 bins over the pooled range is
+/// fine-grained enough to distinguish shifted distributions yet coarse
+/// enough that a few tens of samples can populate it (the regime where
+/// Fig 7's curves cross the 0.1 threshold).
+pub const NKLD_BINS: usize = 10;
+
+/// Laplace smoothing applied to NKLD histograms so divergences stay
+/// finite on sparse samples.
+pub const NKLD_SMOOTHING: f64 = 0.5;
+
+/// NKLD between two sample sets over their pooled support.
+pub fn sample_nkld(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::NotEnoughSamples { needed: 1, got: 0 });
+    }
+    let lo = a
+        .iter()
+        .chain(b)
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = a
+        .iter()
+        .chain(b)
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let hi = if hi > lo { hi } else { lo + 1.0 };
+    let ha = Histogram::from_samples(lo, hi, NKLD_BINS, a)?;
+    let hb = Histogram::from_samples(lo, hi, NKLD_BINS, b)?;
+    nkld(
+        &ha.pmf_smoothed(NKLD_SMOOTHING),
+        &hb.pmf_smoothed(NKLD_SMOOTHING),
+    )
+}
+
+/// How [`nkld_curve_mode`] draws an `n`-sample subset from the incoming
+/// pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// A random contiguous window — "one client collected n consecutive
+    /// samples in one sitting". Exposes epoch-scale drift: the window
+    /// sits inside one epoch, so its distribution is offset from the
+    /// long-term one until n spans several epochs.
+    Contiguous,
+    /// A random scattered subset — "n samples accumulated across visits
+    /// at different times within the zone", which is how WiScape's
+    /// opportunistic collection actually accumulates an epoch's quota.
+    Scattered,
+}
+
+/// The Fig 7 curve: average NKLD between `n` samples drawn from
+/// `incoming` (per `mode`) and the `reference` distribution, for each
+/// `n` in `checkpoints`, averaged over `iterations` random draws.
+pub fn nkld_curve_mode<R: Rng>(
+    reference: &[f64],
+    incoming: &[f64],
+    checkpoints: &[usize],
+    iterations: usize,
+    mode: WindowMode,
+    rng: &mut R,
+) -> Result<Vec<(usize, f64)>, StatsError> {
+    if reference.len() < 4 || incoming.len() < 4 {
+        return Err(StatsError::NotEnoughSamples {
+            needed: 4,
+            got: reference.len().min(incoming.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for &n in checkpoints {
+        let n = n.max(1);
+        let mut acc = 0.0;
+        let mut cnt = 0;
+        for _ in 0..iterations.max(1) {
+            let take: Vec<f64> = if n >= incoming.len() {
+                incoming.to_vec()
+            } else {
+                match mode {
+                    WindowMode::Contiguous => {
+                        let start = rng.gen_range(0..=incoming.len() - n);
+                        incoming[start..start + n].to_vec()
+                    }
+                    WindowMode::Scattered => {
+                        incoming.choose_multiple(rng, n).copied().collect()
+                    }
+                }
+            };
+            acc += sample_nkld(reference, &take)?;
+            cnt += 1;
+        }
+        out.push((n, acc / cnt as f64));
+    }
+    Ok(out)
+}
+
+/// [`nkld_curve_mode`] with contiguous windows (the conservative mode).
+pub fn nkld_curve<R: Rng>(
+    reference: &[f64],
+    incoming: &[f64],
+    checkpoints: &[usize],
+    iterations: usize,
+    rng: &mut R,
+) -> Result<Vec<(usize, f64)>, StatsError> {
+    nkld_curve_mode(
+        reference,
+        incoming,
+        checkpoints,
+        iterations,
+        WindowMode::Contiguous,
+        rng,
+    )
+}
+
+/// Smallest checkpoint count at which the averaged NKLD drops to the
+/// paper's similarity threshold (0.1); `None` if it never does.
+pub fn samples_until_similar<R: Rng>(
+    reference: &[f64],
+    incoming: &[f64],
+    checkpoints: &[usize],
+    iterations: usize,
+    rng: &mut R,
+) -> Result<Option<usize>, StatsError> {
+    let curve = nkld_curve(reference, incoming, checkpoints, iterations, rng)?;
+    Ok(curve
+        .into_iter()
+        .find(|(_, v)| *v <= NKLD_SIMILARITY_THRESHOLD)
+        .map(|(n, _)| n))
+}
+
+/// Accuracy target for [`packets_for_accuracy`].
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyTarget {
+    /// Maximum relative error of the mean estimate (paper: 3% → "97%
+    /// accuracy").
+    pub rel_error: f64,
+    /// Required success probability across trials (we use 95%).
+    pub confidence: f64,
+    /// Resampling iterations per candidate count (paper: 100).
+    pub iterations: usize,
+}
+
+impl Default for AccuracyTarget {
+    fn default() -> Self {
+        Self {
+            rel_error: 0.03,
+            confidence: 0.95,
+            iterations: 100,
+        }
+    }
+}
+
+/// Table 5's question: the minimum number of back-to-back packets whose
+/// mean estimates `truth` within `target.rel_error` in at least
+/// `target.confidence` of trials. Candidates are multiples of 10
+/// (matching the paper's granularity); returns `None` if even
+/// `max_packets` fails.
+pub fn packets_for_accuracy<R: Rng>(
+    pool: &[f64],
+    truth: f64,
+    max_packets: usize,
+    target: &AccuracyTarget,
+    rng: &mut R,
+) -> Option<usize> {
+    if pool.is_empty() || !(truth.is_finite() && truth != 0.0) {
+        return None;
+    }
+    let mut n = 10;
+    while n <= max_packets {
+        let mut ok = 0;
+        for _ in 0..target.iterations {
+            let mean: f64 = pool
+                .choose_multiple(rng, n.min(pool.len()))
+                .sum::<f64>()
+                / n.min(pool.len()) as f64;
+            if ((mean - truth) / truth).abs() <= target.rel_error {
+                ok += 1;
+            }
+        }
+        if ok as f64 >= target.confidence * target.iterations as f64 {
+            return Some(n);
+        }
+        n += 10;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    /// Log-normal-ish samples around `mean` with relative spread `cv`.
+    fn pool(mean: f64, cv: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let d = wiscape_simcore::dist::LogNormal::from_mean_cv(mean, cv).unwrap();
+        (0..n).map(|_| d.sample(&mut r)).collect()
+    }
+
+    #[test]
+    fn same_distribution_becomes_similar_within_paper_scale() {
+        // The Fig 7 regime: windows drawn from the same distribution
+        // cross the 0.1 threshold at on the order of 100 samples.
+        let p = pool(1000.0, 0.1, 4000, 1);
+        let q = pool(1000.0, 0.1, 4000, 2);
+        let checkpoints: Vec<usize> = (1..=25).map(|k| k * 10).collect();
+        let mut r = rng();
+        let n = samples_until_similar(&p, &q, &checkpoints, 50, &mut r).unwrap();
+        let n = n.expect("must converge by 250 samples");
+        assert!((60..=250).contains(&n), "crossing at {n}");
+    }
+
+    #[test]
+    fn nkld_curve_decreases_with_n() {
+        let reference = pool(1000.0, 0.12, 4000, 2);
+        let incoming = pool(1000.0, 0.12, 4000, 3);
+        let mut r = rng();
+        let curve =
+            nkld_curve(&reference, &incoming, &[5, 20, 80, 320], 50, &mut r).unwrap();
+        assert!(curve[0].1 > curve[3].1, "curve {curve:?}");
+    }
+
+    #[test]
+    fn different_distributions_never_similar() {
+        let reference = pool(1000.0, 0.1, 2000, 4);
+        let shifted = pool(2000.0, 0.1, 2000, 5);
+        let mut r = rng();
+        let n = samples_until_similar(&reference, &shifted, &[20, 80, 320], 30, &mut r).unwrap();
+        assert_eq!(n, None);
+    }
+
+    /// Samples with block-wise mean drift: consecutive blocks of
+    /// `block` samples share a mean offset of relative scale
+    /// `drift_cv` — the structure client-sourced windows actually have
+    /// (a window lands inside one epoch of the zone's drift).
+    fn drifting_pool(mean: f64, cv: f64, drift_cv: f64, block: usize, n: usize, seed: u64) -> Vec<f64> {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let noise = wiscape_simcore::dist::LogNormal::from_mean_cv(1.0, cv).unwrap();
+        let shift = wiscape_simcore::dist::Normal::new(0.0, drift_cv).unwrap();
+        let mut out = Vec::with_capacity(n);
+        let mut offset = 0.0;
+        for i in 0..n {
+            if i % block == 0 {
+                offset = shift.sample(&mut r);
+            }
+            out.push(mean * (1.0 + offset) * noise.sample(&mut r));
+        }
+        out
+    }
+
+    #[test]
+    fn higher_variance_needs_more_samples() {
+        // The Fig 7 WI-vs-NJ contrast: zones with stronger epoch-scale
+        // drift need more contiguous samples before their window
+        // distribution matches the long-term one.
+        let checkpoints: Vec<usize> = (1..=40).map(|k| k * 5).collect();
+        let calm_ref = drifting_pool(1000.0, 0.10, 0.02, 50, 6000, 6);
+        let calm_in = drifting_pool(1000.0, 0.10, 0.02, 50, 6000, 7);
+        let wild_ref = drifting_pool(1000.0, 0.10, 0.15, 50, 6000, 8);
+        let wild_in = drifting_pool(1000.0, 0.10, 0.15, 50, 6000, 9);
+        let mut r = rng();
+        let n_calm = samples_until_similar(&calm_ref, &calm_in, &checkpoints, 60, &mut r)
+            .unwrap()
+            .expect("calm should converge");
+        let n_wild = samples_until_similar(&wild_ref, &wild_in, &checkpoints, 60, &mut r)
+            .unwrap()
+            .unwrap_or(usize::MAX);
+        assert!(n_wild > n_calm, "wild {n_wild} vs calm {n_calm}");
+    }
+
+    #[test]
+    fn packets_for_accuracy_tracks_cv_like_table5() {
+        // cv 0.145 (NetA-WI UDP) needs ~90; cv 0.097 (NetC-WI) ~40.
+        let mut r = rng();
+        let high = packets_for_accuracy(
+            &pool(1000.0, 0.145, 20_000, 10),
+            1000.0,
+            400,
+            &AccuracyTarget::default(),
+            &mut r,
+        )
+        .unwrap();
+        let low = packets_for_accuracy(
+            &pool(1000.0, 0.097, 20_000, 11),
+            1000.0,
+            400,
+            &AccuracyTarget::default(),
+            &mut r,
+        )
+        .unwrap();
+        assert!(high > low, "high-cv {high} vs low-cv {low}");
+        assert!((60..=150).contains(&high), "high {high}");
+        assert!((20..=80).contains(&low), "low {low}");
+    }
+
+    #[test]
+    fn packets_for_accuracy_edge_cases() {
+        let mut r = rng();
+        assert_eq!(
+            packets_for_accuracy(&[], 100.0, 100, &AccuracyTarget::default(), &mut r),
+            None
+        );
+        assert_eq!(
+            packets_for_accuracy(&[1.0], 0.0, 100, &AccuracyTarget::default(), &mut r),
+            None
+        );
+        // Impossible target never met.
+        let p = pool(1000.0, 0.5, 1000, 12);
+        let res = packets_for_accuracy(
+            &p,
+            1000.0,
+            20,
+            &AccuracyTarget {
+                rel_error: 0.001,
+                ..Default::default()
+            },
+            &mut r,
+        );
+        assert_eq!(res, None);
+    }
+
+    #[test]
+    fn sample_nkld_edges() {
+        assert!(sample_nkld(&[], &[1.0]).is_err());
+        // Constant identical samples: NKLD 0.
+        let v = vec![5.0; 50];
+        assert!(sample_nkld(&v, &v).unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,293 @@
+//! Closed-loop tuning of the coordinator's per-zone parameters
+//! (paper §3.4).
+//!
+//! Two knobs the paper says are set *from the data, regularly*:
+//!
+//! * **Sample quota** — "the number of measurement samples collected
+//!   over each iteration is sufficient for estimating accurate
+//!   statistics, as determined by the NKLD algorithm". The
+//!   [`QuotaTuner`] keeps each zone's accumulated samples, and once
+//!   enough history exists, finds the smallest sample count whose
+//!   windows are NKLD-similar to the zone's long-term distribution.
+//! * **Epoch** — "the rate of refreshing the measurements for each zone
+//!   would depend on the coherence period of that zone as determined by
+//!   looking at the Allan deviation ... estimated regularly for each
+//!   zone". The [`EpochTuner`] re-runs the Allan search over each zone's
+//!   timestamped history.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use wiscape_simcore::{SimDuration, SimTime};
+use wiscape_simnet::NetworkId;
+use wiscape_stats::TimedValue;
+
+use crate::epoch::{EpochConfig, EpochEstimator};
+use crate::sampling::{samples_until_similar, WindowMode};
+use crate::zone::ZoneId;
+
+/// Per-(zone, network) sample history with a bounded memory footprint.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneHistory {
+    /// Timestamped samples, oldest first.
+    samples: Vec<TimedValue>,
+}
+
+/// Maximum samples retained per zone (oldest evicted beyond this).
+pub const MAX_HISTORY: usize = 20_000;
+
+impl ZoneHistory {
+    /// Records one sample.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        self.samples.push(TimedValue::new(t.as_secs_f64(), value));
+        if self.samples.len() > MAX_HISTORY {
+            let excess = self.samples.len() - MAX_HISTORY;
+            self.samples.drain(..excess);
+        }
+    }
+
+    /// The retained samples.
+    pub fn samples(&self) -> &[TimedValue] {
+        &self.samples
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Accumulates per-zone histories for both tuners (one instance per
+/// metric; WiScape's default pipeline feeds it UDP throughput).
+#[derive(Debug, Clone, Default)]
+pub struct HistoryStore {
+    map: HashMap<(ZoneId, NetworkId), ZoneHistory>,
+}
+
+impl HistoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records samples from a report.
+    pub fn record(&mut self, zone: ZoneId, net: NetworkId, t: SimTime, values: &[f64]) {
+        let h = self.map.entry((zone, net)).or_default();
+        for &v in values {
+            h.push(t, v);
+        }
+    }
+
+    /// History of one zone/network, if any.
+    pub fn history(&self, zone: ZoneId, net: NetworkId) -> Option<&ZoneHistory> {
+        self.map.get(&(zone, net))
+    }
+
+    /// All keys with at least `min` samples.
+    pub fn keys_with_min(&self, min: usize) -> Vec<(ZoneId, NetworkId)> {
+        let mut out: Vec<_> = self
+            .map
+            .iter()
+            .filter(|(_, h)| h.len() >= min)
+            .map(|(k, _)| *k)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// NKLD-driven sample-quota tuner.
+#[derive(Debug, Clone)]
+pub struct QuotaTuner {
+    /// Candidate quotas examined, ascending.
+    pub checkpoints: Vec<usize>,
+    /// Resampling iterations per checkpoint.
+    pub iterations: usize,
+    /// Minimum history before tuning is attempted.
+    pub min_history: usize,
+    /// Quota used when the NKLD never converges (keep measuring hard).
+    pub fallback: u32,
+}
+
+impl Default for QuotaTuner {
+    fn default() -> Self {
+        Self {
+            checkpoints: (1..=30).map(|k| k * 10).collect(),
+            iterations: 40,
+            min_history: 600,
+            fallback: 150,
+        }
+    }
+}
+
+impl QuotaTuner {
+    /// The per-epoch sample quota for one zone's history: the smallest
+    /// checkpoint whose windows are NKLD-similar to the long-term
+    /// distribution, or the fallback. `None` when history is too short
+    /// to tune.
+    pub fn quota(&self, history: &ZoneHistory, seed: u64) -> Option<u32> {
+        if history.len() < self.min_history {
+            return None;
+        }
+        let values: Vec<f64> = history.samples().iter().map(|tv| tv.value).collect();
+        // Reference = full history; incoming = the same pool (windows of
+        // it emulate future collection rounds from this zone).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let crossing = crate::sampling::nkld_curve_mode(
+            &values,
+            &values,
+            &self.checkpoints,
+            self.iterations,
+            WindowMode::Scattered,
+            &mut rng,
+        )
+        .ok()?
+        .into_iter()
+        .find(|(_, v)| *v <= wiscape_stats::NKLD_SIMILARITY_THRESHOLD)
+        .map(|(n, _)| n as u32);
+        Some(crossing.unwrap_or(self.fallback))
+    }
+}
+
+/// Allan-deviation epoch tuner.
+#[derive(Debug, Clone)]
+pub struct EpochTuner {
+    /// Epoch-search configuration.
+    pub config: EpochConfig,
+    /// Minimum history before tuning is attempted.
+    pub min_history: usize,
+}
+
+impl Default for EpochTuner {
+    fn default() -> Self {
+        Self {
+            config: EpochConfig::default(),
+            min_history: 800,
+        }
+    }
+}
+
+impl EpochTuner {
+    /// The epoch for one zone's history, or `None` while history is too
+    /// short (or statistically degenerate).
+    pub fn epoch(&self, history: &ZoneHistory) -> Option<SimDuration> {
+        if history.len() < self.min_history {
+            return None;
+        }
+        EpochEstimator::new(self.config.clone())
+            .estimate(history.samples())
+            .ok()
+            .map(|e| e.epoch)
+    }
+}
+
+/// Convenience: the smallest sample count at which a zone's *external*
+/// samples match its reference distribution — exposed for operators who
+/// want the Fig 7 analysis on live zones.
+pub fn converged_sample_count(
+    reference: &ZoneHistory,
+    incoming: &ZoneHistory,
+    seed: u64,
+) -> Option<usize> {
+    let r: Vec<f64> = reference.samples().iter().map(|tv| tv.value).collect();
+    let i: Vec<f64> = incoming.samples().iter().map(|tv| tv.value).collect();
+    let checkpoints: Vec<usize> = (1..=30).map(|k| k * 10).collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    samples_until_similar(&r, &i, &checkpoints, 40, &mut rng).ok()?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_geo::CellId;
+
+    fn zone(i: i32) -> ZoneId {
+        ZoneId(CellId::new(i, 0))
+    }
+
+    fn filled_history(n: usize, cv: f64, seed: u64) -> ZoneHistory {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let d = wiscape_simcore::dist::LogNormal::from_mean_cv(1000.0, cv).unwrap();
+        let mut h = ZoneHistory::default();
+        for k in 0..n {
+            h.push(SimTime::from_secs(k as i64 * 30), d.sample(&mut rng));
+        }
+        h
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = ZoneHistory::default();
+        for k in 0..(MAX_HISTORY + 500) {
+            h.push(SimTime::from_secs(k as i64), k as f64);
+        }
+        assert_eq!(h.len(), MAX_HISTORY);
+        // Oldest evicted: first retained sample is sample #500.
+        assert_eq!(h.samples()[0].value, 500.0);
+    }
+
+    #[test]
+    fn store_records_and_filters() {
+        let mut s = HistoryStore::new();
+        s.record(zone(1), NetworkId::NetB, SimTime::from_secs(0), &[1.0, 2.0]);
+        s.record(zone(2), NetworkId::NetB, SimTime::from_secs(0), &[1.0]);
+        assert_eq!(s.history(zone(1), NetworkId::NetB).unwrap().len(), 2);
+        assert_eq!(s.keys_with_min(2), vec![(zone(1), NetworkId::NetB)]);
+        assert!(s.history(zone(3), NetworkId::NetB).is_none());
+    }
+
+    #[test]
+    fn quota_needs_history() {
+        let tuner = QuotaTuner::default();
+        let short = filled_history(100, 0.1, 1);
+        assert_eq!(tuner.quota(&short, 9), None);
+    }
+
+    #[test]
+    fn tight_zones_get_smaller_quotas_than_wild_zones() {
+        let tuner = QuotaTuner::default();
+        let tight = filled_history(3000, 0.06, 2);
+        let wild = filled_history(3000, 0.45, 3);
+        let q_tight = tuner.quota(&tight, 9).unwrap();
+        let q_wild = tuner.quota(&wild, 9).unwrap();
+        assert!(
+            q_tight <= q_wild,
+            "tight {q_tight} should need no more than wild {q_wild}"
+        );
+        assert!((10..=300).contains(&(q_tight as usize)));
+    }
+
+    #[test]
+    fn quota_is_deterministic_per_seed() {
+        let tuner = QuotaTuner::default();
+        let h = filled_history(2000, 0.12, 4);
+        assert_eq!(tuner.quota(&h, 5), tuner.quota(&h, 5));
+    }
+
+    #[test]
+    fn epoch_tuner_needs_history_then_produces_bounded_epoch() {
+        let tuner = EpochTuner::default();
+        let short = filled_history(100, 0.1, 5);
+        assert_eq!(tuner.epoch(&short), None);
+        let long = filled_history(5000, 0.15, 6);
+        let e = tuner.epoch(&long).expect("long history tunes");
+        let mins = e.as_mins_f64();
+        let cfg = &tuner.config;
+        assert!(mins >= cfg.min_epoch.as_mins_f64() - 1e-9);
+        assert!(mins <= cfg.max_epoch.as_mins_f64() + 1e-9);
+    }
+
+    #[test]
+    fn converged_sample_count_matches_fig7_scale() {
+        let a = filled_history(4000, 0.10, 7);
+        let b = filled_history(4000, 0.10, 8);
+        let n = converged_sample_count(&a, &b, 11).expect("converges");
+        assert!((30..=300).contains(&n), "crossing {n}");
+    }
+}

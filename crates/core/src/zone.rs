@@ -1,0 +1,157 @@
+//! Zones: WiScape's spatial aggregation unit.
+//!
+//! The paper partitions the world into zones of ≈0.2 km² (circular
+//! radius 250 m, chosen in §3.1 / Fig 4 as the size where 97% of zones
+//! keep TCP-throughput relative standard deviation below 8%). For
+//! indexing, WiScape uses an area-matched square grid: each cell has the
+//! same area as a 250 m-radius disc (edge `r·√π`), so zone counts and
+//! sample densities match the paper's while lookups stay O(1).
+
+use serde::{Deserialize, Serialize};
+use wiscape_geo::{BoundingBox, CellId, GeoPoint, SquareGrid};
+
+/// The zone radius the paper settles on (§3.1).
+pub const DEFAULT_ZONE_RADIUS_M: f64 = 250.0;
+
+/// Identifier of a zone (a cell of the zone grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ZoneId(pub CellId);
+
+impl core::fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "zone({},{})", self.0.col, self.0.row)
+    }
+}
+
+/// Maps geographic points to zones.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZoneIndex {
+    grid: SquareGrid,
+    radius_m: f64,
+}
+
+impl ZoneIndex {
+    /// Creates a zone index covering `bounds` with zones equivalent to
+    /// discs of `radius_m` (cell edge = `radius · √π`).
+    pub fn new(bounds: BoundingBox, radius_m: f64) -> Result<Self, wiscape_geo::GeoError> {
+        let edge = radius_m * std::f64::consts::PI.sqrt();
+        Ok(Self {
+            grid: SquareGrid::new(bounds, edge)?,
+            radius_m,
+        })
+    }
+
+    /// Convenience: an index covering `extent_m` around `center` with the
+    /// paper's default 250 m zones.
+    pub fn around(center: GeoPoint, extent_m: f64) -> Result<Self, wiscape_geo::GeoError> {
+        Self::new(BoundingBox::around(center, extent_m), DEFAULT_ZONE_RADIUS_M)
+    }
+
+    /// The nominal zone radius, meters.
+    pub fn radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    /// Zone area in km² (equals the area of a `radius_m` disc).
+    pub fn zone_area_sq_km(&self) -> f64 {
+        let e = self.grid.cell_size_m();
+        e * e / 1e6
+    }
+
+    /// The zone containing `p` (total: out-of-bounds points map to
+    /// out-of-range zone ids rather than failing).
+    pub fn zone_of(&self, p: &GeoPoint) -> ZoneId {
+        ZoneId(self.grid.cell_of(p))
+    }
+
+    /// Geographic center of a zone.
+    pub fn center_of(&self, z: ZoneId) -> GeoPoint {
+        self.grid.cell_center(z.0)
+    }
+
+    /// Whether a zone lies within the nominal coverage area.
+    pub fn in_bounds(&self, z: ZoneId) -> bool {
+        self.grid.in_bounds(z.0)
+    }
+
+    /// Iterates all in-bounds zones.
+    pub fn zones(&self) -> impl Iterator<Item = ZoneId> + '_ {
+        self.grid.cells().map(ZoneId)
+    }
+
+    /// Number of in-bounds zones.
+    pub fn zone_count(&self) -> usize {
+        self.grid.cell_count()
+    }
+
+    /// The underlying grid bounds.
+    pub fn bounds(&self) -> &BoundingBox {
+        self.grid.bounds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn center() -> GeoPoint {
+        GeoPoint::new(43.0731, -89.4012).unwrap()
+    }
+
+    #[test]
+    fn default_zone_area_matches_paper() {
+        let idx = ZoneIndex::around(center(), 7000.0).unwrap();
+        // The paper describes zones as ~0.2 km² (250 m radius disc).
+        assert!((idx.zone_area_sq_km() - 0.196).abs() < 0.01, "{}", idx.zone_area_sq_km());
+        assert_eq!(idx.radius_m(), 250.0);
+    }
+
+    #[test]
+    fn city_has_hundreds_of_zones() {
+        // A 155 km² city at 0.2 km²/zone → ~790 zones; our 14 km box has
+        // a comparable count.
+        let idx = ZoneIndex::around(center(), 7000.0).unwrap();
+        assert!(idx.zone_count() > 500, "{}", idx.zone_count());
+        assert!(idx.zone_count() < 2000, "{}", idx.zone_count());
+    }
+
+    #[test]
+    fn nearby_points_share_zone() {
+        let idx = ZoneIndex::around(center(), 7000.0).unwrap();
+        let z = idx.zone_of(&center());
+        let near = center().destination(0.3, 50.0);
+        assert_eq!(idx.zone_of(&near), z);
+        let far = center().destination(0.3, 2000.0);
+        assert_ne!(idx.zone_of(&far), z);
+    }
+
+    #[test]
+    fn zone_center_round_trips() {
+        let idx = ZoneIndex::around(center(), 5000.0).unwrap();
+        for z in idx.zones().step_by(17) {
+            assert_eq!(idx.zone_of(&idx.center_of(z)), z);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_points_get_out_of_bounds_zones() {
+        let idx = ZoneIndex::around(center(), 2000.0).unwrap();
+        let outside = center().destination(0.0, 10_000.0);
+        let z = idx.zone_of(&outside);
+        assert!(!idx.in_bounds(z));
+    }
+
+    #[test]
+    fn custom_radius_changes_granularity() {
+        let coarse = ZoneIndex::new(BoundingBox::around(center(), 5000.0), 750.0).unwrap();
+        let fine = ZoneIndex::new(BoundingBox::around(center(), 5000.0), 50.0).unwrap();
+        assert!(fine.zone_count() > 50 * coarse.zone_count());
+    }
+
+    #[test]
+    fn display_format() {
+        let idx = ZoneIndex::around(center(), 2000.0).unwrap();
+        let z = idx.zone_of(&center());
+        assert!(z.to_string().starts_with("zone("));
+    }
+}

@@ -1,0 +1,281 @@
+//! Trace (de)serialization.
+//!
+//! The paper promised to release its traces through CRAWDAD; this module
+//! is the equivalent for the regenerated datasets: a stable, documented
+//! CSV schema (plus JSON via serde) so traces can leave the Rust world
+//! and analyses can be rerun on stored data instead of regenerating.
+//!
+//! CSV schema (one record per line, header included):
+//!
+//! ```text
+//! client,network,metric,t_us,lat_deg,lon_deg,speed_mps,value
+//! 3,NetB,TcpKbps,43200000000,43.073100,-89.401200,8.215,847.31
+//! ```
+
+use std::io::{BufRead, Write};
+
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::ClientId;
+use wiscape_simcore::SimTime;
+use wiscape_simnet::NetworkId;
+
+use crate::record::{Dataset, MeasurementRecord, Metric};
+
+/// Errors from trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse {
+        /// 1-based line number within the stream.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// The CSV header line.
+pub const CSV_HEADER: &str = "client,network,metric,t_us,lat_deg,lon_deg,speed_mps,value";
+
+fn metric_name(m: Metric) -> &'static str {
+    match m {
+        Metric::TcpKbps => "TcpKbps",
+        Metric::UdpKbps => "UdpKbps",
+        Metric::PingRttMs => "PingRttMs",
+        Metric::JitterMs => "JitterMs",
+        Metric::LossRate => "LossRate",
+        Metric::PingFailure => "PingFailure",
+    }
+}
+
+fn parse_metric(s: &str) -> Option<Metric> {
+    Some(match s {
+        "TcpKbps" => Metric::TcpKbps,
+        "UdpKbps" => Metric::UdpKbps,
+        "PingRttMs" => Metric::PingRttMs,
+        "JitterMs" => Metric::JitterMs,
+        "LossRate" => Metric::LossRate,
+        "PingFailure" => Metric::PingFailure,
+        _ => return None,
+    })
+}
+
+fn parse_network(s: &str) -> Option<NetworkId> {
+    Some(match s {
+        "NetA" => NetworkId::NetA,
+        "NetB" => NetworkId::NetB,
+        "NetC" => NetworkId::NetC,
+        _ => return None,
+    })
+}
+
+/// Writes a dataset as CSV.
+pub fn write_csv<W: Write>(ds: &Dataset, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for r in &ds.records {
+        writeln!(
+            w,
+            "{},{},{},{},{:.6},{:.6},{:.3},{}",
+            r.client.0,
+            r.network,
+            metric_name(r.metric),
+            r.t.as_micros(),
+            r.point.lat_deg(),
+            r.point.lon_deg(),
+            r.speed_mps,
+            r.value,
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset from CSV produced by [`write_csv`]. The dataset name
+/// is supplied by the caller (CSV carries no metadata).
+pub fn read_csv<R: BufRead>(name: &str, r: R) -> Result<Dataset, TraceIoError> {
+    let mut ds = Dataset::new(name);
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        if idx == 0 {
+            if line.trim() != CSV_HEADER {
+                return Err(TraceIoError::Parse {
+                    line: line_no,
+                    message: format!("bad header: {line}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(TraceIoError::Parse {
+                line: line_no,
+                message: format!("expected 8 fields, got {}", fields.len()),
+            });
+        }
+        let parse_f64 = |s: &str, what: &str| -> Result<f64, TraceIoError> {
+            s.parse().map_err(|_| TraceIoError::Parse {
+                line: line_no,
+                message: format!("bad {what}: {s}"),
+            })
+        };
+        let client = ClientId(fields[0].parse().map_err(|_| TraceIoError::Parse {
+            line: line_no,
+            message: format!("bad client id: {}", fields[0]),
+        })?);
+        let network = parse_network(fields[1]).ok_or_else(|| TraceIoError::Parse {
+            line: line_no,
+            message: format!("unknown network: {}", fields[1]),
+        })?;
+        let metric = parse_metric(fields[2]).ok_or_else(|| TraceIoError::Parse {
+            line: line_no,
+            message: format!("unknown metric: {}", fields[2]),
+        })?;
+        let t_us: i64 = fields[3].parse().map_err(|_| TraceIoError::Parse {
+            line: line_no,
+            message: format!("bad timestamp: {}", fields[3]),
+        })?;
+        let lat = parse_f64(fields[4], "latitude")?;
+        let lon = parse_f64(fields[5], "longitude")?;
+        let point = GeoPoint::new(lat, lon).map_err(|e| TraceIoError::Parse {
+            line: line_no,
+            message: format!("bad coordinates: {e}"),
+        })?;
+        ds.records.push(MeasurementRecord {
+            client,
+            network,
+            metric,
+            t: SimTime::from_micros(t_us),
+            point,
+            speed_mps: parse_f64(fields[6], "speed")?,
+            value: parse_f64(fields[7], "value")?,
+        });
+    }
+    Ok(ds)
+}
+
+/// Writes a dataset to a CSV file at `path`.
+pub fn save_csv(ds: &Dataset, path: &std::path::Path) -> Result<(), TraceIoError> {
+    let f = std::fs::File::create(path)?;
+    write_csv(ds, std::io::BufWriter::new(f))
+}
+
+/// Loads a dataset from a CSV file at `path` (named after the file stem).
+pub fn load_csv(path: &std::path::Path) -> Result<Dataset, TraceIoError> {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".into());
+    let f = std::fs::File::open(path)?;
+    read_csv(&name, std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new("roundtrip");
+        for k in 0..50 {
+            ds.records.push(MeasurementRecord {
+                client: ClientId(k % 5),
+                network: [NetworkId::NetA, NetworkId::NetB, NetworkId::NetC][(k % 3) as usize],
+                metric: [
+                    Metric::TcpKbps,
+                    Metric::UdpKbps,
+                    Metric::PingRttMs,
+                    Metric::JitterMs,
+                    Metric::LossRate,
+                    Metric::PingFailure,
+                ][(k % 6) as usize],
+                t: SimTime::from_micros(k as i64 * 31_415_926),
+                point: GeoPoint::new(43.0 + k as f64 * 1e-4, -89.4 - k as f64 * 1e-4).unwrap(),
+                speed_mps: k as f64 * 0.125,
+                value: 800.0 + k as f64 * 3.5,
+            });
+        }
+        ds
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv("roundtrip", std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.records.iter().zip(&back.records) {
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.network, b.network);
+            assert_eq!(a.metric, b.metric);
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.speed_mps, b.speed_mps);
+            assert_eq!(a.value, b.value);
+            // Coordinates are serialized at 1e-6 degrees (≈0.1 m).
+            assert!((a.point.lat_deg() - b.point.lat_deg()).abs() < 1e-6);
+            assert!((a.point.lon_deg() - b.point.lon_deg()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header_and_fields() {
+        let bad_header = "nope\n1,NetB,TcpKbps,0,43.0,-89.0,0.0,1.0\n";
+        assert!(matches!(
+            read_csv("x", std::io::Cursor::new(bad_header)),
+            Err(TraceIoError::Parse { line: 1, .. })
+        ));
+        let bad_fields = format!("{CSV_HEADER}\n1,NetB,TcpKbps,0,43.0\n");
+        assert!(matches!(
+            read_csv("x", std::io::Cursor::new(bad_fields.as_bytes())),
+            Err(TraceIoError::Parse { line: 2, .. })
+        ));
+        let bad_net = format!("{CSV_HEADER}\n1,NetZ,TcpKbps,0,43.0,-89.0,0.0,1.0\n");
+        assert!(read_csv("x", std::io::Cursor::new(bad_net.as_bytes())).is_err());
+        let bad_lat = format!("{CSV_HEADER}\n1,NetB,TcpKbps,0,943.0,-89.0,0.0,1.0\n");
+        assert!(read_csv("x", std::io::Cursor::new(bad_lat.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_and_blank_lines() {
+        let mut buf = Vec::new();
+        write_csv(&Dataset::new("empty"), &mut buf).unwrap();
+        let text = format!("{}\n\n", String::from_utf8(buf).unwrap());
+        let back = read_csv("empty", std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = sample_dataset();
+        let dir = std::env::temp_dir().join("wiscape-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        save_csv(&ds, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back.name, "trace");
+        assert_eq!(back.len(), ds.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

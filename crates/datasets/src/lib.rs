@@ -1,0 +1,34 @@
+//! Dataset regeneration.
+//!
+//! The paper's evaluation rests on seven datasets (Table 2). Each module
+//! here regenerates one of them against a simulated [`wiscape_simnet::Landscape`]
+//! and the mobility substrate, producing flat [`MeasurementRecord`]
+//! tables that the framework and the experiments consume:
+//!
+//! | Paper dataset  | Module | Platform | Networks | Measurements |
+//! |---|---|---|---|---|
+//! | Standalone     | [`standalone`] | 5 transit buses | NetB | 1 MB TCP downloads + ICMP pings |
+//! | WiRover        | [`wirover`] | 5 transit buses + 2 intercity | NetB, NetC | UDP pings (≈12/min) |
+//! | Static-WI/NJ   | [`spot`] | static nodes | all present | TCP/UDP trains, jitter, loss |
+//! | Proximate-WI/NJ| [`proximate`] | car circling each spot | all present | TCP/UDP trains |
+//! | Short segment  | [`short_segment`] | fixed-route car | all present | TCP/UDP trains |
+//!
+//! Durations are parameters (the paper ran for months; tests run days)
+//! — the generators are linear in `days`, so scaling up is a matter of
+//! CPU time, not code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod locations;
+pub mod proximate;
+pub mod record;
+pub mod short_segment;
+pub mod spot;
+pub mod standalone;
+pub mod wirover;
+
+pub use io::{load_csv, read_csv, save_csv, write_csv, TraceIoError};
+pub use locations::{representative_static_locations, RepresentativeSpot};
+pub use record::{Dataset, MeasurementRecord, Metric};

@@ -1,0 +1,121 @@
+//! Selection of representative static ("Spot") locations.
+//!
+//! The paper (§3.1) selected Spot locations whose zone-level variability
+//! was representative: TCP throughput relative standard deviation between
+//! 2% and 8% for NetB and below 15% for the other networks. We mirror
+//! that: candidate points are scanned deterministically around the city
+//! center, degraded cells are skipped, and the first `count` healthy,
+//! well-separated points are chosen.
+
+use wiscape_geo::GeoPoint;
+use wiscape_simnet::Landscape;
+
+/// A chosen Spot location.
+#[derive(Debug, Clone, Copy)]
+pub struct RepresentativeSpot {
+    /// Index among the chosen spots (0-based).
+    pub index: usize,
+    /// The location.
+    pub point: GeoPoint,
+}
+
+/// Picks `count` representative static locations in the landscape:
+/// non-degraded, pairwise at least `min_separation_m` apart, within
+/// `max_radius_m` of the center, and **typical** — every network's local
+/// mean throughput is within ±15% of its regional base (the paper's
+/// "representative zones" criterion, §3.1). If no point satisfies the
+/// typicality filter, the closest-to-typical candidates are used so the
+/// function always returns `count` spots.
+pub fn representative_static_locations(
+    land: &Landscape,
+    count: usize,
+    max_radius_m: f64,
+    min_separation_m: f64,
+) -> Vec<RepresentativeSpot> {
+    let center = land.origin();
+    let probe_time = wiscape_simcore::SimTime::at(1, 12.0);
+    // Deviation of a point's per-network levels from the regional bases.
+    let atypicality = |p: &GeoPoint| -> f64 {
+        land.networks()
+            .iter()
+            .map(|&net| {
+                let base = land
+                    .config()
+                    .network(net)
+                    .expect("network in config")
+                    .base_udp_kbps;
+                let q = land.link_quality(net, p, probe_time).expect("present");
+                ((q.udp_kbps - base) / base).abs()
+            })
+            .fold(0.0, f64::max)
+    };
+    let golden = std::f64::consts::PI * (3.0 - 5.0f64.sqrt());
+    // Collect all healthy candidates with their atypicality, in scan
+    // order (keeps determinism), then greedily take the most typical
+    // ones subject to the separation constraint.
+    let mut candidates: Vec<(f64, GeoPoint)> = Vec::new();
+    for k in 0..1500u32 {
+        let frac = (k as f64 + 0.5) / 1500.0;
+        let r = max_radius_m * frac.sqrt();
+        let theta = golden * k as f64;
+        let p = center.destination(theta.rem_euclid(std::f64::consts::TAU), r);
+        if land.is_degraded(&p) {
+            continue;
+        }
+        candidates.push((atypicality(&p), p));
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut chosen: Vec<GeoPoint> = Vec::new();
+    for (_, p) in &candidates {
+        if chosen.len() >= count {
+            break;
+        }
+        if chosen.iter().any(|c| c.fast_distance(p) < min_separation_m) {
+            continue;
+        }
+        chosen.push(*p);
+    }
+    chosen
+        .into_iter()
+        .enumerate()
+        .map(|(index, point)| RepresentativeSpot { index, point })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_simnet::LandscapeConfig;
+
+    #[test]
+    fn picks_requested_count_of_healthy_separated_spots() {
+        let land = Landscape::new(LandscapeConfig::madison(4));
+        let spots = representative_static_locations(&land, 5, 6000.0, 1500.0);
+        assert_eq!(spots.len(), 5);
+        for (i, a) in spots.iter().enumerate() {
+            assert!(!land.is_degraded(&a.point));
+            assert!(a.point.fast_distance(&land.origin()) <= 6100.0);
+            for b in &spots[i + 1..] {
+                assert!(a.point.fast_distance(&b.point) >= 1490.0);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let land = Landscape::new(LandscapeConfig::madison(4));
+        let a = representative_static_locations(&land, 3, 6000.0, 1500.0);
+        let b = representative_static_locations(&land, 3, 6000.0, 1500.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.index, y.index);
+        }
+    }
+
+    #[test]
+    fn works_for_nj_region() {
+        let land = Landscape::new(LandscapeConfig::new_brunswick(4));
+        let spots = representative_static_locations(&land, 2, 4000.0, 1000.0);
+        assert_eq!(spots.len(), 2);
+    }
+}

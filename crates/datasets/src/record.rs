@@ -1,0 +1,183 @@
+//! Measurement records and datasets.
+
+use serde::{Deserialize, Serialize};
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::ClientId;
+use wiscape_simcore::SimTime;
+use wiscape_simnet::NetworkId;
+use wiscape_stats::TimedValue;
+
+/// What a record measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// TCP throughput estimate, kbit/s.
+    TcpKbps,
+    /// UDP throughput estimate, kbit/s.
+    UdpKbps,
+    /// Round-trip time from a ping, ms.
+    PingRttMs,
+    /// IPDV jitter estimate, ms.
+    JitterMs,
+    /// Loss rate observed by a probe train, in `[0, 1]`.
+    LossRate,
+    /// A failed ping (value is always 1.0; used for Fig 9's chronic
+    /// failure detection).
+    PingFailure,
+}
+
+/// One logged measurement: the paper's Table 1 log fields (sequence/
+/// timestamp/GPS) plus the derived metric value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementRecord {
+    /// Which client produced the sample.
+    pub client: ClientId,
+    /// Which network was measured.
+    pub network: NetworkId,
+    /// Which metric `value` carries.
+    pub metric: Metric,
+    /// When the measurement completed.
+    pub t: SimTime,
+    /// GPS fix at measurement time.
+    pub point: GeoPoint,
+    /// Client ground speed at measurement time, m/s.
+    pub speed_mps: f64,
+    /// The measured value (unit per [`Metric`]).
+    pub value: f64,
+}
+
+/// A named collection of measurement records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name (matches the paper's Table 2 naming).
+    pub name: String,
+    /// All records, in generation order (time-sorted per client).
+    pub records: Vec<MeasurementRecord>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records of one metric for one network.
+    pub fn select(&self, network: NetworkId, metric: Metric) -> Vec<&MeasurementRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.network == network && r.metric == metric)
+            .collect()
+    }
+
+    /// Metric values of one metric for one network.
+    pub fn values(&self, network: NetworkId, metric: Metric) -> Vec<f64> {
+        self.select(network, metric).iter().map(|r| r.value).collect()
+    }
+
+    /// Timestamped series (seconds since epoch) of one metric for one
+    /// network — the shape the binning/Allan routines consume.
+    pub fn series(&self, network: NetworkId, metric: Metric) -> Vec<TimedValue> {
+        self.select(network, metric)
+            .iter()
+            .map(|r| TimedValue::new(r.t.as_secs_f64(), r.value))
+            .collect()
+    }
+
+    /// Merges another dataset's records into this one.
+    pub fn extend(&mut self, other: Dataset) {
+        self.records.extend(other.records);
+    }
+
+    /// The networks that appear in this dataset.
+    pub fn networks(&self) -> Vec<NetworkId> {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &self.records {
+            seen.insert(r.network);
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Time span `(first, last)` of the records, if any.
+    pub fn time_span(&self) -> Option<(SimTime, SimTime)> {
+        let first = self.records.iter().map(|r| r.t).min()?;
+        let last = self.records.iter().map(|r| r.t).max()?;
+        Some((first, last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(net: NetworkId, metric: Metric, t: i64, value: f64) -> MeasurementRecord {
+        MeasurementRecord {
+            client: ClientId(0),
+            network: net,
+            metric,
+            t: SimTime::from_secs(t),
+            point: GeoPoint::new(43.0, -89.0).unwrap(),
+            speed_mps: 0.0,
+            value,
+        }
+    }
+
+    #[test]
+    fn select_filters_by_network_and_metric() {
+        let mut d = Dataset::new("test");
+        d.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 1, 100.0));
+        d.records.push(rec(NetworkId::NetB, Metric::TcpKbps, 2, 200.0));
+        d.records.push(rec(NetworkId::NetA, Metric::UdpKbps, 3, 300.0));
+        assert_eq!(d.values(NetworkId::NetA, Metric::TcpKbps), vec![100.0]);
+        assert_eq!(d.values(NetworkId::NetB, Metric::TcpKbps), vec![200.0]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.networks(), vec![NetworkId::NetA, NetworkId::NetB]);
+    }
+
+    #[test]
+    fn series_preserves_time() {
+        let mut d = Dataset::new("test");
+        d.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 10, 1.0));
+        d.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 20, 2.0));
+        let s = d.series(NetworkId::NetA, Metric::TcpKbps);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].t, 10.0);
+        assert_eq!(s[1].value, 2.0);
+    }
+
+    #[test]
+    fn time_span_and_extend() {
+        let mut a = Dataset::new("a");
+        a.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 5, 1.0));
+        let mut b = Dataset::new("b");
+        b.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 50, 1.0));
+        a.extend(b);
+        let (lo, hi) = a.time_span().unwrap();
+        assert_eq!(lo, SimTime::from_secs(5));
+        assert_eq!(hi, SimTime::from_secs(50));
+        assert!(Dataset::new("empty").time_span().is_none());
+        assert!(Dataset::new("empty").is_empty());
+    }
+
+    #[test]
+    fn dataset_serializes() {
+        let mut d = Dataset::new("json");
+        d.records.push(rec(NetworkId::NetC, Metric::PingRttMs, 1, 120.0));
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.name, "json");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.records[0].value, 120.0);
+    }
+}

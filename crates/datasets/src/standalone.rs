@@ -1,0 +1,180 @@
+//! The Standalone dataset: bus-mounted nodes measuring NetB city-wide.
+//!
+//! Paper Table 2: "155 sq.km. city-wide area, 11 months, NetB only",
+//! collected by up to five public transit buses running 1 MB TCP
+//! downloads and ICMP pings (the Standalone platform used pings instead
+//! of UDP flows).
+
+use wiscape_mobility::Fleet;
+use wiscape_simcore::{SimDuration, SimTime};
+use wiscape_simnet::{Landscape, NetworkId, PingOutcome};
+
+use crate::record::{Dataset, MeasurementRecord, Metric};
+
+/// Generation parameters for the Standalone dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct StandaloneParams {
+    /// Number of simulated days (the paper ran ~11 months; tests use a
+    /// few days).
+    pub days: i64,
+    /// Number of transit buses (paper: up to 5).
+    pub buses: usize,
+    /// Seconds between consecutive 1 MB downloads per bus.
+    pub download_interval_s: i64,
+    /// Seconds between pings per bus.
+    pub ping_interval_s: i64,
+    /// Download size in bytes (paper: 1 MB).
+    pub download_bytes: u64,
+    /// City radius covered by bus routes, meters (155 km² ≈ 7 km radius).
+    pub city_radius_m: f64,
+}
+
+impl Default for StandaloneParams {
+    fn default() -> Self {
+        Self {
+            days: 10,
+            buses: 5,
+            download_interval_s: 300,
+            ping_interval_s: 60,
+            download_bytes: 1_000_000,
+            city_radius_m: 7000.0,
+        }
+    }
+}
+
+/// Generates the Standalone dataset.
+///
+/// Produces [`Metric::TcpKbps`] records (per-download goodput) and
+/// [`Metric::PingRttMs`] / [`Metric::PingFailure`] records.
+pub fn generate(land: &Landscape, seed: u64, params: &StandaloneParams) -> Dataset {
+    let mut fleet = Fleet::new(seed ^ 0x5741); // "WA"
+    fleet.add_transit_buses(params.buses, land.origin(), params.city_radius_m, 12);
+    let mut ds = Dataset::new("Standalone");
+    let net = NetworkId::NetB;
+
+    for bus in fleet.clients() {
+        let mut seq: u64 = 0;
+        for day in 0..params.days {
+            // Service window is 06:00-24:00; step through it.
+            let day_start = SimTime::at(day, 6.0);
+            let day_end = SimTime::at(day, 24.0);
+            // Downloads.
+            let mut t = day_start;
+            while t < day_end {
+                if let Some(fix) = bus.position_at(t) {
+                    if let Ok(dl) = land.tcp_download(net, &fix.point, t, params.download_bytes) {
+                        ds.records.push(MeasurementRecord {
+                            client: bus.id(),
+                            network: net,
+                            metric: Metric::TcpKbps,
+                            t: t + dl.duration,
+                            point: fix.point,
+                            speed_mps: fix.speed_mps,
+                            value: dl.goodput_kbps,
+                        });
+                    }
+                }
+                t = t + SimDuration::from_secs(params.download_interval_s);
+            }
+            // Pings.
+            let mut t = day_start;
+            while t < day_end {
+                if let Some(fix) = bus.position_at(t) {
+                    seq += 1;
+                    match land.ping(net, &fix.point, t, seq) {
+                        Ok(PingOutcome::Reply { rtt_ms }) => ds.records.push(MeasurementRecord {
+                            client: bus.id(),
+                            network: net,
+                            metric: Metric::PingRttMs,
+                            t,
+                            point: fix.point,
+                            speed_mps: fix.speed_mps,
+                            value: rtt_ms,
+                        }),
+                        Ok(PingOutcome::Lost) => ds.records.push(MeasurementRecord {
+                            client: bus.id(),
+                            network: net,
+                            metric: Metric::PingFailure,
+                            t,
+                            point: fix.point,
+                            speed_mps: fix.speed_mps,
+                            value: 1.0,
+                        }),
+                        Err(_) => {}
+                    }
+                }
+                t = t + SimDuration::from_secs(params.ping_interval_s);
+            }
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_simnet::LandscapeConfig;
+
+    fn small() -> Dataset {
+        let land = Landscape::new(LandscapeConfig::madison(8));
+        generate(
+            &land,
+            8,
+            &StandaloneParams {
+                days: 2,
+                buses: 2,
+                download_interval_s: 600,
+                ping_interval_s: 120,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn produces_netb_downloads_and_pings() {
+        let ds = small();
+        assert_eq!(ds.networks(), vec![NetworkId::NetB]);
+        let tcp = ds.values(NetworkId::NetB, Metric::TcpKbps);
+        let ping = ds.values(NetworkId::NetB, Metric::PingRttMs);
+        // 2 buses × 2 days × 18 h: ~36 downloads/bus/day at 10 min.
+        assert!(tcp.len() > 100, "{} downloads", tcp.len());
+        assert!(ping.len() > 500, "{} pings", ping.len());
+        // Plausible ranges.
+        assert!(tcp.iter().all(|&v| v > 50.0 && v < 3100.0));
+        assert!(ping.iter().all(|&v| v > 20.0 && v < 3000.0));
+    }
+
+    #[test]
+    fn throughput_near_netb_base() {
+        let ds = small();
+        let tcp = ds.values(NetworkId::NetB, Metric::TcpKbps);
+        let mean = tcp.iter().sum::<f64>() / tcp.len() as f64;
+        // NetB TCP base is ~845 kbps; goodput includes setup overhead.
+        assert!((600.0..1000.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.records[10], b.records[10]);
+    }
+
+    #[test]
+    fn records_carry_moving_positions() {
+        let ds = small();
+        let moving = ds
+            .records
+            .iter()
+            .filter(|r| r.speed_mps > 0.0)
+            .count();
+        assert!(moving > ds.len() / 2, "buses should usually be moving");
+        // Positions spread across the city.
+        let bb = wiscape_geo::BoundingBox::from_points(
+            &ds.records.iter().map(|r| r.point).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(bb.width_m() > 5000.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The WiRover dataset: two-network latency monitoring from buses.
+//!
+//! Paper Table 2: 155 km² city area **plus** the 240 km Madison–Chicago
+//! corridor, 6 months, NetB and NetC. Because the WiRover nodes carried
+//! passenger traffic, only lightweight UDP pings were collected (~12 per
+//! minute); we generate one ping per network every `ping_interval_s`.
+
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::Fleet;
+use wiscape_simcore::{SimDuration, SimTime};
+use wiscape_simnet::{Landscape, NetworkId, PingOutcome};
+
+use crate::record::{Dataset, MeasurementRecord, Metric};
+
+/// Generation parameters for the WiRover dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct WiRoverParams {
+    /// Simulated days.
+    pub days: i64,
+    /// Transit buses in the city.
+    pub buses: usize,
+    /// Whether to include the two intercity buses on the corridor.
+    pub include_intercity: bool,
+    /// Seconds between pings (paper: ~5 s → 12/min).
+    pub ping_interval_s: i64,
+    /// City radius, meters.
+    pub city_radius_m: f64,
+}
+
+impl Default for WiRoverParams {
+    fn default() -> Self {
+        Self {
+            days: 7,
+            buses: 5,
+            include_intercity: true,
+            ping_interval_s: 5,
+            city_radius_m: 7000.0,
+        }
+    }
+}
+
+/// Chicago-side terminus of the corridor.
+pub fn chicago() -> GeoPoint {
+    GeoPoint::new(41.8781, -87.6298).expect("static coordinates are valid")
+}
+
+/// Generates the WiRover dataset: [`Metric::PingRttMs`] (and
+/// [`Metric::PingFailure`]) for NetB and NetC, with vehicle speed on
+/// every record (Fig 2's speed-vs-latency analysis needs it).
+pub fn generate(land: &Landscape, seed: u64, params: &WiRoverParams) -> Dataset {
+    let mut fleet = Fleet::new(seed ^ 0x5752); // "WR"
+    fleet.add_transit_buses(params.buses, land.origin(), params.city_radius_m, 12);
+    if params.include_intercity {
+        fleet.add_intercity_buses(land.origin(), chicago());
+    }
+    let mut ds = Dataset::new("WiRover");
+    let nets = [NetworkId::NetB, NetworkId::NetC];
+
+    for bus in fleet.clients() {
+        let mut seq: u64 = 0;
+        for day in 0..params.days {
+            let day_start = SimTime::at(day, 6.0);
+            let day_end = SimTime::at(day, 24.0);
+            let mut t = day_start;
+            while t < day_end {
+                if let Some(fix) = bus.position_at(t) {
+                    for net in nets {
+                        seq += 1;
+                        match land.ping(net, &fix.point, t, seq) {
+                            Ok(PingOutcome::Reply { rtt_ms }) => {
+                                ds.records.push(MeasurementRecord {
+                                    client: bus.id(),
+                                    network: net,
+                                    metric: Metric::PingRttMs,
+                                    t,
+                                    point: fix.point,
+                                    speed_mps: fix.speed_mps,
+                                    value: rtt_ms,
+                                })
+                            }
+                            Ok(PingOutcome::Lost) => ds.records.push(MeasurementRecord {
+                                client: bus.id(),
+                                network: net,
+                                metric: Metric::PingFailure,
+                                t,
+                                point: fix.point,
+                                speed_mps: fix.speed_mps,
+                                value: 1.0,
+                            }),
+                            Err(_) => {}
+                        }
+                    }
+                }
+                t = t + SimDuration::from_secs(params.ping_interval_s);
+            }
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_simnet::LandscapeConfig;
+
+    fn small() -> Dataset {
+        let land = Landscape::new(LandscapeConfig::madison(9));
+        generate(
+            &land,
+            9,
+            &WiRoverParams {
+                days: 1,
+                buses: 2,
+                include_intercity: true,
+                ping_interval_s: 60,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn covers_both_networks_with_latency() {
+        let ds = small();
+        let b = ds.values(NetworkId::NetB, Metric::PingRttMs);
+        let c = ds.values(NetworkId::NetC, Metric::PingRttMs);
+        assert!(b.len() > 300, "NetB pings: {}", b.len());
+        assert!(c.len() > 300, "NetC pings: {}", c.len());
+        let mean_b = b.iter().sum::<f64>() / b.len() as f64;
+        assert!((80.0..200.0).contains(&mean_b), "NetB mean rtt {mean_b}");
+    }
+
+    #[test]
+    fn includes_highway_speed_samples() {
+        let ds = small();
+        let fast = ds.records.iter().filter(|r| r.speed_mps > 20.0).count();
+        assert!(fast > 50, "intercity samples at highway speed: {fast}");
+        // And far from Madison.
+        let far = ds
+            .records
+            .iter()
+            .filter(|r| r.point.fast_distance(&GeoPoint::new(43.0731, -89.4012).unwrap()) > 50_000.0)
+            .count();
+        assert!(far > 50, "corridor samples: {far}");
+    }
+
+    #[test]
+    fn speeds_span_the_papers_range() {
+        let ds = small();
+        let max_kmh = ds
+            .records
+            .iter()
+            .map(|r| r.speed_mps * 3.6)
+            .fold(0.0f64, f64::max);
+        assert!((80.0..130.0).contains(&max_kmh), "max speed {max_kmh} km/h");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.records[5], b.records[5]);
+    }
+}

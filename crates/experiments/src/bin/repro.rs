@@ -1,0 +1,90 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--seed N] [--full] [--out DIR] [EXPERIMENT...]
+//! ```
+//!
+//! With no experiment names, runs all of them. Writes one JSON file per
+//! experiment into `DIR` (default `results/`) and prints each markdown
+//! summary to stdout (the content of `EXPERIMENTS.md`).
+
+use std::io::Write as _;
+
+use wiscape_experiments::{run_by_name_with_charts, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut seed: u64 = 7;
+    let mut scale = Scale::Quick;
+    let mut out_dir = String::from("results");
+    let mut svg = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                out_dir = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--svg" => svg = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--seed N] [--full|--quick] [--out DIR] [--svg] [EXPERIMENT...]\n\
+                     experiments: {}",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| die(&format!("mkdir {out_dir}: {e}")));
+    println!(
+        "# WiScape reproduction run (seed {seed}, scale {scale:?})\n",
+    );
+    println!("{}", wiscape_experiments::inventory::table1());
+    println!("{}", wiscape_experiments::inventory::table2());
+    for name in names {
+        let started = std::time::Instant::now();
+        match run_by_name_with_charts(&name, seed, scale) {
+            Some((summary, json, charts)) => {
+                let path = format!("{out_dir}/{name}.json");
+                let mut f = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+                f.write_all(json.as_bytes())
+                    .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+                if svg {
+                    for (fname, body) in &charts {
+                        let cpath = format!("{out_dir}/{fname}");
+                        std::fs::write(&cpath, body)
+                            .unwrap_or_else(|e| die(&format!("write {cpath}: {e}")));
+                    }
+                }
+                println!("{summary}\n");
+                eprintln!(
+                    "[{name}] done in {:.1}s -> {path} (+{} charts)",
+                    started.elapsed().as_secs_f64(),
+                    if svg { charts.len() } else { 0 }
+                );
+            }
+            None => {
+                eprintln!("unknown experiment '{name}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,255 @@
+//! Chart builders: turn experiment results into SVG figures.
+
+use crate::plot::{line_chart, ChartOptions};
+
+type Charts = Vec<(String, String)>;
+
+fn push(charts: &mut Charts, name: &str, svg: Option<String>) {
+    if let Some(svg) = svg {
+        charts.push((name.to_string(), svg));
+    }
+}
+
+/// Charts for Fig 2 (per-zone correlation-coefficient CDFs).
+pub fn fig02(r: &crate::fig02::Fig02) -> Charts {
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig02b_cc_cdf.svg",
+        line_chart(
+            &r.cc_cdf,
+            &ChartOptions::new(
+                "Fig 2b — CDF of per-zone speed-latency correlation",
+                "correlation coefficient",
+                "CDF",
+            ),
+        ),
+    );
+    push(
+        &mut out,
+        "fig02a_scatter.svg",
+        line_chart(
+            &r.scatter,
+            &ChartOptions::new(
+                "Fig 2a — latency vs speed (sampled, drawn as traces)",
+                "speed (km/h)",
+                "latency (ms)",
+            ),
+        ),
+    );
+    out
+}
+
+/// Charts for Fig 4 (rel-std CDFs per zone radius).
+pub fn fig04(r: &crate::fig04::Fig04) -> Charts {
+    let series: Vec<(String, Vec<(f64, f64)>)> = r
+        .rows
+        .iter()
+        .map(|row| (format!("{:.0} m", row.radius_m), row.cdf.clone()))
+        .collect();
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig04_relstd_cdf.svg",
+        line_chart(
+            &series,
+            &ChartOptions::new(
+                "Fig 4 — CDF of per-zone relative std-dev (TCP, NetB)",
+                "relative std dev",
+                "CDF",
+            ),
+        ),
+    );
+    out
+}
+
+/// Charts for Fig 5 (one panel per region/metric).
+pub fn fig05(r: &crate::fig05::Fig05) -> Charts {
+    let mut out = Vec::new();
+    for p in &r.panels {
+        push(
+            &mut out,
+            &format!("fig05_{}_{}.svg", p.region.to_lowercase(), p.metric),
+            line_chart(
+                &p.curves,
+                &ChartOptions::new(
+                    &format!("Fig 5 — 30-min {} CDF ({})", p.metric, p.region),
+                    &p.metric.clone(),
+                    "CDF",
+                ),
+            ),
+        );
+    }
+    out
+}
+
+/// Charts for Fig 6 (Allan profiles, log-τ axis).
+pub fn fig06(r: &crate::fig06::Fig06) -> Charts {
+    let series: Vec<(String, Vec<(f64, f64)>)> = r
+        .profiles
+        .iter()
+        .map(|p| (p.region.clone(), p.profile.clone()))
+        .collect();
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig06_allan.svg",
+        line_chart(
+            &series,
+            &ChartOptions::new(
+                "Fig 6 — Allan deviation vs interval",
+                "interval (min, log)",
+                "normalized Allan deviation",
+            )
+            .with_log_x(),
+        ),
+    );
+    out
+}
+
+/// Charts for Fig 7 (NKLD vs sample count).
+pub fn fig07(r: &crate::fig07::Fig07) -> Charts {
+    let series: Vec<(String, Vec<(f64, f64)>)> = r
+        .panels
+        .iter()
+        .map(|p| (format!("{} {}", p.region, p.mode), p.curve.clone()))
+        .collect();
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig07_nkld.svg",
+        line_chart(
+            &series,
+            &ChartOptions::new("Fig 7 — NKLD vs samples", "samples", "NKLD"),
+        ),
+    );
+    out
+}
+
+/// Chart for Fig 8 (estimation-error CDF).
+pub fn fig08(r: &crate::fig08::Fig08) -> Charts {
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig08_error_cdf.svg",
+        line_chart(
+            &[("error".to_string(), r.error_cdf_pct.clone())],
+            &ChartOptions::new(
+                "Fig 8 — WiScape estimation error",
+                "error (%)",
+                "CDF",
+            ),
+        ),
+    );
+    out
+}
+
+/// Chart for Fig 9 (overall vs failing-zone rel-std CDFs).
+pub fn fig09(r: &crate::fig09::Fig09) -> Charts {
+    let series = vec![
+        ("all zones".to_string(), r.overall_cdf.clone()),
+        ("failed-ping zones".to_string(), r.failing_cdf.clone()),
+    ];
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig09_relstd_cdf.svg",
+        line_chart(
+            &series,
+            &ChartOptions::new(
+                "Fig 9 — rel-std of TCP throughput",
+                "relative std dev",
+                "CDF",
+            ),
+        ),
+    );
+    out
+}
+
+/// Chart for Fig 10 (game-day latency timeline).
+pub fn fig10(r: &crate::fig10::Fig10) -> Charts {
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig10_stadium.svg",
+        line_chart(
+            &r.timelines,
+            &ChartOptions::new(
+                "Fig 10 — latency near the stadium on game day",
+                "hour of day",
+                "latency (ms, 10-min bins)",
+            ),
+        ),
+    );
+    out
+}
+
+/// Chart for Fig 11 (dominance vs radius).
+pub fn fig11(r: &crate::fig11::Fig11) -> Charts {
+    let series = vec![(
+        "one dominant".to_string(),
+        r.rows
+            .iter()
+            .map(|row| (row.radius_m, row.one_dominant * 100.0))
+            .collect::<Vec<_>>(),
+    )];
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig11_dominance.svg",
+        line_chart(
+            &series,
+            &ChartOptions::new(
+                "Fig 11 — persistent latency dominance vs zone radius",
+                "radius (m)",
+                "zones with a dominant network (%)",
+            ),
+        ),
+    );
+    out
+}
+
+/// Chart for Fig 13 (per-zone means along the road).
+pub fn fig13(r: &crate::fig13::Fig13) -> Charts {
+    // Re-shape: one series per network over zone index.
+    let mut nets: std::collections::BTreeMap<String, Vec<(f64, f64)>> = Default::default();
+    for z in &r.zones {
+        for (net, mean) in &z.means {
+            nets.entry(net.clone())
+                .or_default()
+                .push((z.zone_idx as f64, *mean));
+        }
+    }
+    let series: Vec<(String, Vec<(f64, f64)>)> = nets.into_iter().collect();
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig13_road.svg",
+        line_chart(
+            &series,
+            &ChartOptions::new(
+                "Fig 13 — per-zone mean TCP throughput along the road",
+                "zone (city → rural)",
+                "throughput (kbps)",
+            ),
+        ),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::Scale;
+
+    #[test]
+    fn figure_charts_render() {
+        let c2 = super::fig02(&crate::fig02::run(70, Scale::Quick));
+        assert_eq!(c2.len(), 2);
+        let c6 = super::fig06(&crate::fig06::run(70, Scale::Quick));
+        assert_eq!(c6.len(), 1);
+        assert!(c6[0].1.contains("<svg"));
+        let c13 = super::fig13(&crate::fig13::run(70, Scale::Quick));
+        assert_eq!(c13.len(), 1);
+        assert!(c13[0].1.contains("NetA"));
+    }
+}

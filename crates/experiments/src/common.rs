@@ -1,0 +1,115 @@
+//! Shared helpers for experiment modules.
+
+use serde::{Deserialize, Serialize};
+use wiscape_datasets::Dataset;
+
+/// How big to make the generated datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Small datasets for tests/benches (seconds of CPU).
+    Quick,
+    /// Paper-scale-ish datasets for `EXPERIMENTS.md` (minutes of CPU;
+    /// still far below the paper's year of wall-clock, but enough for
+    /// stable statistics).
+    Full,
+}
+
+impl Scale {
+    /// Picks a value by scale.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Minimal interface shared by all experiments (used by the `repro`
+/// binary and documentation generators).
+pub trait Experiment: Serialize {
+    /// One-paragraph markdown summary with the headline numbers,
+    /// paper-vs-measured.
+    fn summary(&self) -> String;
+}
+
+/// Formats a `(x, y)` series compactly for markdown.
+pub fn fmt_series(series: &[(f64, f64)], dp: usize) -> String {
+    series
+        .iter()
+        .map(|(x, y)| format!("{x:.0}:{y:.prec$}", prec = dp))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Deterministically splits a dataset's records into (client-sourced,
+/// ground-truth) subsets with roughly `client_fraction` going to the
+/// first, by hashing the record index.
+pub fn split_dataset(ds: &Dataset, client_fraction: f64) -> (Dataset, Dataset) {
+    let mut client = Dataset::new(format!("{} (client sourced)", ds.name));
+    let mut truth = Dataset::new(format!("{} (ground truth)", ds.name));
+    for (i, r) in ds.records.iter().enumerate() {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        if (h as f64 / (1u64 << 24) as f64) < client_fraction {
+            client.records.push(*r);
+        } else {
+            truth.records.push(*r);
+        }
+    }
+    (client, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 10), 1);
+        assert_eq!(Scale::Full.pick(1, 10), 10);
+    }
+
+    #[test]
+    fn mean_of_slice() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn split_fraction_roughly_respected() {
+        use wiscape_datasets::{MeasurementRecord, Metric};
+        let mut ds = Dataset::new("x");
+        for i in 0..4000 {
+            ds.records.push(MeasurementRecord {
+                client: wiscape_mobility::ClientId(0),
+                network: wiscape_simnet::NetworkId::NetB,
+                metric: Metric::TcpKbps,
+                t: wiscape_simcore::SimTime::from_secs(i),
+                point: wiscape_geo::GeoPoint::new(43.0, -89.0).unwrap(),
+                speed_mps: 0.0,
+                value: i as f64,
+            });
+        }
+        let (c, t) = split_dataset(&ds, 0.25);
+        assert_eq!(c.len() + t.len(), 4000);
+        let frac = c.len() as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "frac {frac}");
+        // Deterministic.
+        let (c2, _) = split_dataset(&ds, 0.25);
+        assert_eq!(c.len(), c2.len());
+    }
+
+    #[test]
+    fn fmt_series_compact() {
+        let s = fmt_series(&[(50.0, 0.123456), (150.0, 0.9)], 3);
+        assert_eq!(s, "50:0.123 150:0.900");
+    }
+}

@@ -1,0 +1,157 @@
+//! **Fig 2** — latency vs vehicle speed.
+//!
+//! The paper's sanity check that bus-collected measurements represent
+//! the network rather than mobility: (a) a latency-vs-speed scatter with
+//! no visible trend, and (b) the CDF of per-zone Pearson correlation
+//! coefficients between speed and latency, with |cc| ≤ 0.16 for 95% of
+//! zones.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use wiscape_core::{ZoneId, ZoneIndex};
+use wiscape_datasets::{wirover, Metric};
+use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
+use wiscape_stats::{pearson_correlation, Ecdf};
+
+use crate::common::Scale;
+
+/// Result of the Fig 2 regeneration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig02 {
+    /// Scatter subsample per network: `(speed_kmh, latency_ms)`.
+    pub scatter: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-network CDF of per-zone correlation coefficients.
+    pub cc_cdf: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-network 95th percentile of |cc| (paper: ≤ 0.16).
+    pub p95_abs_cc: Vec<(String, f64)>,
+    /// Global speed↔latency correlation per network (paper: ≈ 0).
+    pub overall_cc: Vec<(String, f64)>,
+}
+
+/// Runs the experiment.
+pub fn run(seed: u64, scale: Scale) -> Fig02 {
+    let land = Landscape::new(LandscapeConfig::madison(seed));
+    let params = wirover::WiRoverParams {
+        days: scale.pick(2, 10),
+        ping_interval_s: scale.pick(30, 10),
+        ..Default::default()
+    };
+    let ds = wirover::generate(&land, seed, &params);
+    let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
+
+    let mut scatter = Vec::new();
+    let mut cc_cdf = Vec::new();
+    let mut p95 = Vec::new();
+    let mut overall = Vec::new();
+    for net in [NetworkId::NetB, NetworkId::NetC] {
+        let recs = ds.select(net, Metric::PingRttMs);
+        // Scatter subsample.
+        let pts: Vec<(f64, f64)> = recs
+            .iter()
+            .step_by((recs.len() / 400).max(1))
+            .map(|r| (r.speed_mps * 3.6, r.value))
+            .collect();
+        scatter.push((net.to_string(), pts));
+        // Overall correlation.
+        let speeds: Vec<f64> = recs.iter().map(|r| r.speed_mps).collect();
+        let lats: Vec<f64> = recs.iter().map(|r| r.value).collect();
+        let cc_all = pearson_correlation(&speeds, &lats).unwrap_or(0.0);
+        overall.push((net.to_string(), cc_all));
+        // Per-zone correlations (zones with enough samples and some
+        // speed variation).
+        let mut by_zone: HashMap<ZoneId, (Vec<f64>, Vec<f64>)> = HashMap::new();
+        for r in &recs {
+            let z = index.zone_of(&r.point);
+            let e = by_zone.entry(z).or_default();
+            e.0.push(r.speed_mps);
+            e.1.push(r.value);
+        }
+        // Enough visits per zone that a near-zero true correlation does
+        // not read as spurious finite-sample correlation.
+        let min_samples = scale.pick(20, 60);
+        let ccs: Vec<f64> = by_zone
+            .values()
+            .filter(|(s, _)| s.len() >= min_samples)
+            .filter_map(|(s, l)| pearson_correlation(s, l).ok())
+            .collect();
+        if let Ok(ecdf) = Ecdf::new(ccs.clone()) {
+            cc_cdf.push((net.to_string(), ecdf.curve(60)));
+        }
+        let abs_ecdf = Ecdf::new(ccs.iter().map(|c| c.abs()).collect::<Vec<_>>());
+        if let Ok(e) = abs_ecdf {
+            p95.push((net.to_string(), e.percentile(95.0)));
+        }
+    }
+    Fig02 {
+        scatter,
+        cc_cdf,
+        p95_abs_cc: p95,
+        overall_cc: overall,
+    }
+}
+
+impl Fig02 {
+    /// Markdown summary.
+    pub fn summary(&self) -> String {
+        let p95 = self
+            .p95_abs_cc
+            .iter()
+            .map(|(n, v)| format!("{n}: {v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let overall = self
+            .overall_cc
+            .iter()
+            .map(|(n, v)| format!("{n}: {v:+.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "**Fig 2 (speed vs latency).** Overall speed↔latency correlation \
+             ({overall}) — paper reports ≈0. 95th percentile of per-zone |cc| \
+             ({p95}) — paper: ≤0.16 for 95% of zones."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_uncorrelated_with_speed() {
+        let r = run(32, Scale::Quick);
+        assert_eq!(r.overall_cc.len(), 2);
+        for (net, cc) in &r.overall_cc {
+            assert!(cc.abs() < 0.1, "{net}: overall cc {cc}");
+        }
+        for (net, p95) in &r.p95_abs_cc {
+            assert!(*p95 <= 0.35, "{net}: p95 |cc| {p95}");
+        }
+        // Scatter latencies are around ~120 ms regardless of speed.
+        for (_, pts) in &r.scatter {
+            assert!(pts.len() > 100);
+            let lat_mean =
+                pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
+            assert!((80.0..250.0).contains(&lat_mean), "mean {lat_mean}");
+        }
+        assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn cc_cdf_is_centered_near_zero() {
+        let r = run(33, Scale::Quick);
+        for (net, curve) in &r.cc_cdf {
+            // The CDF should pass ~0.5 near cc = 0.
+            let near_zero = curve
+                .iter()
+                .min_by(|a, b| a.0.abs().partial_cmp(&b.0.abs()).unwrap())
+                .unwrap();
+            assert!(
+                (0.15..=0.85).contains(&near_zero.1),
+                "{net}: F(~0) = {}",
+                near_zero.1
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! **Fig 5** — CDFs of 30-minute-averaged metrics at representative
+//! static locations in Madison (a–d) and New Brunswick (e–h).
+//!
+//! Paper claims: throughput variation below 0.15 of the long-term mean
+//! at both locations (NJ more variable than WI); jitter ≤ ~7 ms with
+//! NetA the jitteriest; loss < 1% everywhere; NetA's throughput ≥50%
+//! above the worst network in WI.
+
+use serde::{Deserialize, Serialize};
+use wiscape_datasets::{locations, spot, Metric};
+use wiscape_mobility::ClientId;
+use wiscape_simnet::{Landscape, LandscapeConfig};
+use wiscape_stats::{bin_means, Ecdf};
+
+use crate::common::Scale;
+
+/// One CDF panel entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Panel {
+    /// Region label ("WI"/"NJ").
+    pub region: String,
+    /// Metric label ("tcp"/"udp"/"jitter"/"loss").
+    pub metric: String,
+    /// Per-network CDF of 30-min bin means.
+    pub curves: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-network relative std-dev of the bin means.
+    pub rel_std: Vec<(String, f64)>,
+    /// Per-network long-term mean.
+    pub means: Vec<(String, f64)>,
+}
+
+/// Result of the Fig 5 regeneration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig05 {
+    /// The eight panels (4 metrics × 2 regions).
+    pub panels: Vec<Panel>,
+}
+
+fn region_panels(land: &Landscape, seed: u64, scale: Scale, region: &str) -> Vec<Panel> {
+    let spot_pt = locations::representative_static_locations(land, 1, 5000.0, 100.0)[0].point;
+    let ds = spot::generate(
+        land,
+        ClientId(500),
+        spot_pt,
+        &spot::SpotParams {
+            days: scale.pick(3, 10),
+            interval_s: scale.pick(180, 60),
+            ..Default::default()
+        },
+    );
+    let _ = seed;
+    let mut panels = Vec::new();
+    for (metric, label) in [
+        (Metric::TcpKbps, "tcp"),
+        (Metric::UdpKbps, "udp"),
+        (Metric::JitterMs, "jitter"),
+        (Metric::LossRate, "loss"),
+    ] {
+        let mut curves = Vec::new();
+        let mut rel_std = Vec::new();
+        let mut means = Vec::new();
+        for net in land.networks() {
+            let series = ds.series(net, metric);
+            if series.is_empty() {
+                continue;
+            }
+            let bins = bin_means(&series, 1800.0).expect("binning succeeds");
+            if bins.len() < 3 {
+                continue;
+            }
+            let mean = crate::common::mean(&bins);
+            means.push((net.to_string(), mean));
+            rel_std.push((net.to_string(), wiscape_stats::rel_std_dev(&bins)));
+            if let Ok(e) = Ecdf::new(bins) {
+                curves.push((net.to_string(), e.curve(50)));
+            }
+        }
+        panels.push(Panel {
+            region: region.to_string(),
+            metric: label.to_string(),
+            curves,
+            rel_std,
+            means,
+        });
+    }
+    panels
+}
+
+/// Runs the experiment.
+pub fn run(seed: u64, scale: Scale) -> Fig05 {
+    let wi = Landscape::new(LandscapeConfig::madison(seed));
+    let nj = Landscape::new(LandscapeConfig::new_brunswick(seed));
+    let mut panels = region_panels(&wi, seed, scale, "WI");
+    panels.extend(region_panels(&nj, seed, scale, "NJ"));
+    Fig05 { panels }
+}
+
+impl Fig05 {
+    fn panel(&self, region: &str, metric: &str) -> Option<&Panel> {
+        self.panels
+            .iter()
+            .find(|p| p.region == region && p.metric == metric)
+    }
+
+    /// Markdown summary.
+    pub fn summary(&self) -> String {
+        let fmt_rel = |p: Option<&Panel>| {
+            p.map(|p| {
+                p.rel_std
+                    .iter()
+                    .map(|(n, v)| format!("{n}:{v:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default()
+        };
+        format!(
+            "**Fig 5 (30-min CDFs).** Rel-std of 30-min TCP means — WI: {}; \
+             NJ: {} (paper: ≤0.15, NJ more variable). Jitter means — WI: {} \
+             ms (paper: NetA≈7, NetB/C≈3).",
+            fmt_rel(self.panel("WI", "tcp")),
+            fmt_rel(self.panel("NJ", "tcp")),
+            self.panel("WI", "jitter")
+                .map(|p| p
+                    .means
+                    .iter()
+                    .map(|(n, v)| format!("{n}:{v:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(" "))
+                .unwrap_or_default()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variation_is_bounded_and_nj_is_wilder() {
+        let r = run(35, Scale::Quick);
+        assert_eq!(r.panels.len(), 8);
+        let wi_tcp = r.panel("WI", "tcp").unwrap();
+        assert_eq!(wi_tcp.curves.len(), 3, "three networks in WI");
+        for (net, rel) in &wi_tcp.rel_std {
+            assert!(*rel < 0.25, "{net} WI tcp rel-std {rel}");
+        }
+        let nj_tcp = r.panel("NJ", "tcp").unwrap();
+        assert_eq!(nj_tcp.curves.len(), 2, "two networks in NJ");
+        let mean_rel = |p: &Panel| {
+            p.rel_std.iter().map(|x| x.1).sum::<f64>() / p.rel_std.len() as f64
+        };
+        assert!(
+            mean_rel(nj_tcp) > mean_rel(wi_tcp) * 0.8,
+            "NJ {} vs WI {}",
+            mean_rel(nj_tcp),
+            mean_rel(wi_tcp)
+        );
+    }
+
+    #[test]
+    fn jitter_and_loss_match_paper_levels() {
+        let r = run(35, Scale::Quick);
+        let jit = r.panel("WI", "jitter").unwrap();
+        let get = |net: &str| jit.means.iter().find(|(n, _)| n == net).unwrap().1;
+        assert!(get("NetA") > get("NetB"), "NetA jitteriest");
+        assert!((1.0..12.0).contains(&get("NetA")));
+        let loss = r.panel("WI", "loss").unwrap();
+        for (net, v) in &loss.means {
+            assert!(*v < 0.01, "{net} loss {v}");
+        }
+    }
+
+    #[test]
+    fn neta_leads_wi_throughput() {
+        let r = run(36, Scale::Quick);
+        let tcp = r.panel("WI", "tcp").unwrap();
+        let get = |net: &str| tcp.means.iter().find(|(n, _)| n == net).map(|x| x.1);
+        let a = get("NetA").unwrap();
+        let b = get("NetB").unwrap();
+        assert!(a > b, "NetA {a} vs NetB {b}");
+        assert!(!r.summary().is_empty());
+    }
+}

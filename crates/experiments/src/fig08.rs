@@ -1,0 +1,121 @@
+//! **Fig 8** — validation: error of WiScape's client-sourced estimates
+//! against ground truth, per zone.
+//!
+//! The paper splits the Standalone dataset per zone into a client-
+//! sourced subset and a ground-truth subset; the CDF of the per-zone
+//! estimation error shows <4% error for >70% of zones and ≤~15% worst
+//! case.
+
+use serde::{Deserialize, Serialize};
+use wiscape_core::estimator::{summarize, zone_errors, ErrorSummary};
+use wiscape_core::{Observation, ZoneAggregator, ZoneIndex};
+use wiscape_datasets::{standalone, Dataset, Metric};
+use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
+use wiscape_stats::Ecdf;
+
+use crate::common::{split_dataset, Scale};
+
+/// Result of the Fig 8 regeneration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig08 {
+    /// CDF of per-zone relative error (%).
+    pub error_cdf_pct: Vec<(f64, f64)>,
+    /// Error summary.
+    pub summary_stats: ErrorSummary,
+    /// Zones compared.
+    pub zones: usize,
+    /// Client-sourced samples per zone (mean).
+    pub mean_client_samples: f64,
+}
+
+fn zone_means(ds: &Dataset, index: &ZoneIndex, min: u64) -> Vec<(wiscape_core::ZoneId, f64, u64)> {
+    let mut agg = ZoneAggregator::new(index.clone(), false);
+    for r in ds.select(NetworkId::NetB, Metric::TcpKbps) {
+        agg.ingest(&Observation {
+            network: r.network,
+            point: r.point,
+            t: r.t,
+            value: r.value,
+        });
+    }
+    agg.zone_map(NetworkId::NetB, min)
+        .into_iter()
+        .map(|z| (z.zone, z.mean, z.count))
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(seed: u64, scale: Scale) -> Fig08 {
+    let land = Landscape::new(LandscapeConfig::madison(seed));
+    let params = standalone::StandaloneParams {
+        days: scale.pick(4, 25),
+        download_interval_s: scale.pick(180, 90),
+        ..Default::default()
+    };
+    let ds = standalone::generate(&land, seed, &params);
+    // Paper: client-sourced subset is small; ground truth is the bulk.
+    let (client, truth) = split_dataset(&ds, 0.3);
+    let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid index");
+    let min_client = scale.pick(8, 30);
+    let min_truth = scale.pick(20, 100);
+    let client_means = zone_means(&client, &index, min_client);
+    let truth_means = zone_means(&truth, &index, min_truth);
+    let est: Vec<_> = client_means.iter().map(|&(z, m, _)| (z, m)).collect();
+    let tru: Vec<_> = truth_means.iter().map(|&(z, m, _)| (z, m)).collect();
+    let errors = zone_errors(&est, &tru);
+    let stats = summarize(&errors).expect("zones overlap");
+    let ecdf = Ecdf::new(errors.iter().map(|e| e.rel_error * 100.0).collect::<Vec<_>>())
+        .expect("non-empty");
+    let mean_client_samples = client_means
+        .iter()
+        .map(|&(_, _, c)| c as f64)
+        .sum::<f64>()
+        / client_means.len().max(1) as f64;
+    Fig08 {
+        error_cdf_pct: ecdf.curve(60),
+        summary_stats: stats,
+        zones: errors.len(),
+        mean_client_samples,
+    }
+}
+
+impl Fig08 {
+    /// Markdown summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "**Fig 8 (estimation accuracy).** {} zones; {:.0}% of zones within \
+             4% error (paper: >70%); median {:.1}%, p90 {:.1}%, max {:.1}% \
+             (paper max ≈15%); mean client-sourced samples/zone {:.0}.",
+            self.zones,
+            self.summary_stats.frac_within_4pct * 100.0,
+            self.summary_stats.median * 100.0,
+            self.summary_stats.p90 * 100.0,
+            self.summary_stats.max * 100.0,
+            self.mean_client_samples,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_are_accurate_like_the_paper() {
+        let r = run(43, Scale::Quick);
+        assert!(r.zones > 30, "{} zones", r.zones);
+        assert!(
+            r.summary_stats.frac_within_4pct > 0.5,
+            "within-4%: {}",
+            r.summary_stats.frac_within_4pct
+        );
+        assert!(
+            r.summary_stats.max < 0.35,
+            "max error {}",
+            r.summary_stats.max
+        );
+        // CDF sanity.
+        assert_eq!(r.error_cdf_pct.last().unwrap().1, 1.0);
+        assert!(!r.summary().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! **Fig 10** — network latency near the football stadium on game day.
+//!
+//! The paper's operator use case: during a Saturday game (80,000
+//! attendees), WiScape's 10-minute binned latencies near the stadium
+//! rose from ~113 ms to ~418 ms (≈3.7×) for about three hours — long
+//! enough for infrequent sampling to catch.
+
+use serde::{Deserialize, Serialize};
+use wiscape_core::anomaly::{bin_latency_series, LatencySurgeDetector};
+use wiscape_core::ZoneIndex;
+use wiscape_simcore::{SimDuration, SimTime};
+use wiscape_simnet::config::stadium_location;
+use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId, PingOutcome};
+
+use crate::common::Scale;
+
+/// Result of the Fig 10 regeneration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// Per-network 10-minute binned latency timeline on game day
+    /// `(hour_of_day, mean_ms)`.
+    pub timelines: Vec<(String, Vec<(f64, f64)>)>,
+    /// Quiet-hours baseline per network, ms.
+    pub baselines: Vec<(String, f64)>,
+    /// Peak binned latency per network, ms.
+    pub peaks: Vec<(String, f64)>,
+    /// Peak/baseline ratio per network (paper: ≈3.7 for NetB).
+    pub ratios: Vec<(String, f64)>,
+    /// Detected surge window length in hours per network.
+    pub surge_hours: Vec<(String, f64)>,
+}
+
+/// Runs the experiment.
+pub fn run(seed: u64, scale: Scale) -> Fig10 {
+    let land = Landscape::new(LandscapeConfig::madison(seed));
+    let stadium = stadium_location();
+    let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid index");
+    let zone = index.zone_of(&stadium);
+    // Game day is Saturday (day 5 of the sim week).
+    let day = 5i64;
+    let cadence = scale.pick(60, 20);
+    let mut timelines = Vec::new();
+    let mut baselines = Vec::new();
+    let mut peaks = Vec::new();
+    let mut ratios = Vec::new();
+    let mut surge_hours = Vec::new();
+    for net in [NetworkId::NetB, NetworkId::NetC] {
+        let mut samples = Vec::new();
+        let mut t = SimTime::at(day, 6.0);
+        let end = SimTime::at(day, 20.0);
+        let mut seq = 0;
+        while t < end {
+            seq += 1;
+            if let Ok(PingOutcome::Reply { rtt_ms }) = land.ping(net, &stadium, t, seq) {
+                samples.push((t, rtt_ms));
+            }
+            t = t + SimDuration::from_secs(cadence);
+        }
+        let bins = bin_latency_series(&samples, SimDuration::from_mins(10));
+        let timeline: Vec<(f64, f64)> = bins
+            .iter()
+            .map(|(bt, v)| (bt.hour_of_day(), *v))
+            .collect();
+        // Baseline: bins before 10:00 (pre-game).
+        let quiet: Vec<f64> = timeline
+            .iter()
+            .filter(|(h, _)| *h < 10.0)
+            .map(|(_, v)| *v)
+            .collect();
+        let base = crate::common::mean(&quiet);
+        let peak = timeline.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+        let detector = LatencySurgeDetector::default();
+        let events = detector.detect(zone, &bins);
+        let hours = events
+            .iter()
+            .map(|e| (e.end - e.start).as_secs_f64() / 3600.0)
+            .fold(0.0, f64::max);
+        timelines.push((net.to_string(), timeline));
+        baselines.push((net.to_string(), base));
+        peaks.push((net.to_string(), peak));
+        ratios.push((net.to_string(), peak / base));
+        surge_hours.push((net.to_string(), hours));
+    }
+    Fig10 {
+        timelines,
+        baselines,
+        peaks,
+        ratios,
+        surge_hours,
+    }
+}
+
+impl Fig10 {
+    /// Markdown summary.
+    pub fn summary(&self) -> String {
+        let rows = self
+            .ratios
+            .iter()
+            .zip(&self.baselines)
+            .zip(&self.peaks)
+            .zip(&self.surge_hours)
+            .map(|((((n, r), (_, b)), (_, p)), (_, h))| {
+                format!("{n}: {b:.0}→{p:.0} ms ({r:.1}×, surge ≈{h:.1} h)")
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        format!(
+            "**Fig 10 (stadium game).** {rows}. Paper: NetB 113→418 ms \
+             (≈3.7×) for ≈3 hours."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn game_day_surge_matches_paper_shape() {
+        let r = run(45, Scale::Quick);
+        let netb_ratio = r.ratios.iter().find(|(n, _)| n == "NetB").unwrap().1;
+        assert!(
+            (2.5..=4.5).contains(&netb_ratio),
+            "NetB ratio {netb_ratio} (paper 3.7)"
+        );
+        let base = r.baselines.iter().find(|(n, _)| n == "NetB").unwrap().1;
+        assert!((80.0..180.0).contains(&base), "baseline {base}");
+        let hours = r.surge_hours.iter().find(|(n, _)| n == "NetB").unwrap().1;
+        assert!((2.0..=4.5).contains(&hours), "surge {hours} h (paper ≈3)");
+        assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn both_networks_surge() {
+        let r = run(46, Scale::Quick);
+        for (net, ratio) in &r.ratios {
+            assert!(*ratio > 2.0, "{net}: ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! **Fig 12** — which network dominates each zone of the 20 km short
+//! segment (TCP throughput, 5/95 percentile rule).
+//!
+//! The paper's inset table: NetA dominates 26% of zones, NetB 13%,
+//! NetC 13%, and 48% have no persistent winner — 52% of zones have a
+//! dominant network a multi-network client could exploit.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use wiscape_core::{dominance_ratio, persistent_dominant, Better, DominanceOutcome, ZoneId, ZoneIndex};
+use wiscape_datasets::{short_segment, Metric};
+use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
+
+use crate::common::Scale;
+
+/// Result of the Fig 12 regeneration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12 {
+    /// Fraction of zones dominated per network.
+    pub per_network: Vec<(String, f64)>,
+    /// Fraction with no dominant network (paper: 48%).
+    pub none: f64,
+    /// Zones evaluated.
+    pub zones: usize,
+    /// Ordered along the road: each zone's winner ("-" for none).
+    pub road_map: Vec<String>,
+}
+
+/// Runs the experiment.
+pub fn run(seed: u64, scale: Scale) -> Fig12 {
+    let land = Landscape::new(LandscapeConfig::madison(seed));
+    let params = short_segment::ShortSegmentParams {
+        days: scale.pick(4, 20),
+        interval_s: scale.pick(60, 30),
+        ..Default::default()
+    };
+    let ds = short_segment::generate(&land, seed, &params);
+    let route = short_segment::segment_route(&land, &params);
+    let index = ZoneIndex::around(land.origin(), 25_000.0).expect("valid index");
+    let min_samples = scale.pick(10, 40);
+
+    let mut zones: HashMap<ZoneId, HashMap<NetworkId, Vec<f64>>> = HashMap::new();
+    for r in &ds.records {
+        if r.metric != Metric::TcpKbps {
+            continue;
+        }
+        zones
+            .entry(index.zone_of(&r.point))
+            .or_default()
+            .entry(r.network)
+            .or_default()
+            .push(r.value);
+    }
+    type ZoneSamples = Vec<(NetworkId, Vec<f64>)>;
+    let qualifying: Vec<(ZoneId, ZoneSamples)> = zones
+        .into_iter()
+        .filter(|(_, m)| m.len() == 3 && m.values().all(|v| v.len() >= min_samples))
+        .map(|(z, m)| (z, m.into_iter().collect()))
+        .collect();
+    let breakdown = dominance_ratio(
+        &qualifying.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+        Better::Higher,
+    );
+    // Road map: winner per zone ordered by arc length of zone center.
+    let mut road: Vec<(f64, String)> = qualifying
+        .iter()
+        .map(|(z, samples)| {
+            let center = index.center_of(*z);
+            // Order along the route by distance from its start.
+            let s = route.point_at(0.0).fast_distance(&center);
+            let label = match persistent_dominant(samples, Better::Higher) {
+                DominanceOutcome::Dominant(n) => n.to_string(),
+                _ => "-".to_string(),
+            };
+            (s, label)
+        })
+        .collect();
+    road.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    Fig12 {
+        per_network: breakdown
+            .per_network
+            .iter()
+            .map(|(n, f)| (n.to_string(), *f))
+            .collect(),
+        none: breakdown.none,
+        zones: breakdown.zones,
+        road_map: road.into_iter().map(|(_, l)| l).collect(),
+    }
+}
+
+impl Fig12 {
+    /// Fraction for one network (0 if absent).
+    pub fn frac(&self, net: &str) -> f64 {
+        self.per_network
+            .iter()
+            .find(|(n, _)| n == net)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0)
+    }
+
+    /// Markdown summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "**Fig 12 (short-segment dominance map).** {} zones: NetA {:.0}% \
+             (paper 26%), NetB {:.0}% (13%), NetC {:.0}% (13%), none {:.0}% \
+             (48%). Road order: {}",
+            self.zones,
+            self.frac("NetA") * 100.0,
+            self.frac("NetB") * 100.0,
+            self.frac("NetC") * 100.0,
+            self.none * 100.0,
+            self.road_map.join(" "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_half_the_road_is_dominated_with_neta_leading() {
+        let r = run(48, Scale::Quick);
+        assert!(r.zones >= 20, "{} zones", r.zones);
+        let total_dominated = 1.0 - r.none;
+        assert!(
+            (0.25..=0.85).contains(&total_dominated),
+            "dominated fraction {total_dominated} (paper 0.52)"
+        );
+        // NetA (highest base throughput) must dominate the most zones.
+        assert!(
+            r.frac("NetA") >= r.frac("NetB"),
+            "NetA {} vs NetB {}",
+            r.frac("NetA"),
+            r.frac("NetB")
+        );
+        assert!(
+            r.frac("NetA") >= r.frac("NetC"),
+            "NetA {} vs NetC {}",
+            r.frac("NetA"),
+            r.frac("NetC")
+        );
+        assert_eq!(r.road_map.len(), r.zones);
+        assert!(!r.summary().is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Minimal SVG line charts for the regenerated figures.
+//!
+//! No plotting dependency: a figure here is a handful of polylines with
+//! axes, ticks, and a legend — ~100 lines of SVG. The `repro --svg` run
+//! writes one chart per figure next to its JSON so the reproduction can
+//! be eyeballed against the paper.
+
+/// Chart options.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic x axis (Fig 6's tau axis).
+    pub log_x: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl ChartOptions {
+    /// Standard options with the given labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            log_x: false,
+            width: 640,
+            height: 420,
+        }
+    }
+
+    /// Enables a logarithmic x axis.
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+}
+
+/// Series colors (colorblind-safe-ish hues).
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 10.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// Renders named series as an SVG line chart. Returns `None` when no
+/// series has at least two finite points.
+pub fn line_chart(series: &[(String, Vec<(f64, f64)>)], opts: &ChartOptions) -> Option<String> {
+    let tx = |x: f64| if opts.log_x { x.max(1e-12).log10() } else { x };
+    // Gather bounds over finite points.
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for (_, pts) in series {
+        for &(x, y) in pts {
+            if x.is_finite() && y.is_finite() {
+                xs.push(tx(x));
+                ys.push(y);
+            }
+        }
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    let (x0, x1) = xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (y0, y1) = ys.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (y0, y1) = if (y1 - y0).abs() < 1e-12 {
+        (y0 - 1.0, y1 + 1.0)
+    } else {
+        // 5% headroom.
+        (y0 - (y1 - y0) * 0.05, y1 + (y1 - y0) * 0.05)
+    };
+    let (x0, x1) = if (x1 - x0).abs() < 1e-12 {
+        (x0 - 1.0, x1 + 1.0)
+    } else {
+        (x0, x1)
+    };
+
+    let (w, h) = (opts.width as f64, opts.height as f64);
+    let (ml, mr, mt, mb) = (64.0, 16.0, 36.0, 52.0); // margins
+    let px = |x: f64| ml + (tx(x) - x0) / (x1 - x0) * (w - ml - mr);
+    let py = |y: f64| h - mb - (y - y0) / (y1 - y0) * (h - mt - mb);
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
+    ));
+    svg.push_str(&format!(
+        r#"<rect width="{w}" height="{h}" fill="white"/>"#
+    ));
+    // Title and axis labels.
+    svg.push_str(&format!(
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+        w / 2.0,
+        xml_escape(&opts.title)
+    ));
+    svg.push_str(&format!(
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        h - 12.0,
+        xml_escape(&opts.x_label)
+    ));
+    svg.push_str(&format!(
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        h / 2.0,
+        h / 2.0,
+        xml_escape(&opts.y_label)
+    ));
+    // Axes box.
+    svg.push_str(&format!(
+        r##"<rect x="{ml}" y="{mt}" width="{}" height="{}" fill="none" stroke="#444"/>"##,
+        w - ml - mr,
+        h - mt - mb
+    ));
+    // Ticks: 5 per axis.
+    for k in 0..=4 {
+        let fx = x0 + (x1 - x0) * k as f64 / 4.0;
+        let x_px = ml + (fx - x0) / (x1 - x0) * (w - ml - mr);
+        let label = if opts.log_x { 10f64.powf(fx) } else { fx };
+        svg.push_str(&format!(
+            r##"<line x1="{x_px}" y1="{}" x2="{x_px}" y2="{}" stroke="#bbb" stroke-dasharray="3,3"/>"##,
+            mt,
+            h - mb
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{x_px}" y="{}" text-anchor="middle">{}</text>"#,
+            h - mb + 16.0,
+            fmt_tick(label)
+        ));
+        let fy = y0 + (y1 - y0) * k as f64 / 4.0;
+        let y_px = py(fy);
+        svg.push_str(&format!(
+            r##"<line x1="{ml}" y1="{y_px}" x2="{}" y2="{y_px}" stroke="#bbb" stroke-dasharray="3,3"/>"##,
+            w - mr
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+            ml - 6.0,
+            y_px + 4.0,
+            fmt_tick(fy)
+        ));
+    }
+    // Series.
+    for (i, (name, pts)) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        if path.len() >= 2 {
+            svg.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                path.join(" ")
+            ));
+        }
+        // Legend entry.
+        let ly = mt + 14.0 + i as f64 * 16.0;
+        svg.push_str(&format!(
+            r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+            w - mr - 110.0,
+            w - mr - 86.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}">{}</text>"#,
+            w - mr - 80.0,
+            ly + 4.0,
+            xml_escape(name)
+        ));
+    }
+    svg.push_str("</svg>");
+    Some(svg)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<(String, Vec<(f64, f64)>)> {
+        vec![
+            (
+                "NetB".into(),
+                (0..20).map(|i| (i as f64, (i as f64).sin())).collect(),
+            ),
+            (
+                "NetC".into(),
+                (0..20).map(|i| (i as f64, (i as f64 * 0.5).cos())).collect(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = line_chart(&demo_series(), &ChartOptions::new("t", "x", "y")).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("NetB"));
+        assert!(svg.contains("NetC"));
+        // Balanced-ish tags: every text opened is closed.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn log_axis_handles_wide_ranges() {
+        let series = vec![(
+            "tau".to_string(),
+            vec![(1.0, 0.5), (10.0, 0.2), (100.0, 0.1), (1000.0, 0.4)],
+        )];
+        let svg = line_chart(&series, &ChartOptions::new("a", "b", "c").with_log_x()).unwrap();
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(line_chart(&[], &ChartOptions::new("a", "b", "c")).is_none());
+        let one_point = vec![("x".to_string(), vec![(1.0, 1.0)])];
+        assert!(line_chart(&one_point, &ChartOptions::new("a", "b", "c")).is_none());
+        let nans = vec![("x".to_string(), vec![(f64::NAN, 1.0), (1.0, f64::NAN)])];
+        assert!(line_chart(&nans, &ChartOptions::new("a", "b", "c")).is_none());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = line_chart(
+            &demo_series(),
+            &ChartOptions::new("a<b & c>", "x", "y"),
+        )
+        .unwrap();
+        assert!(svg.contains("a&lt;b &amp; c&gt;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let series = vec![("flat".to_string(), vec![(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)])];
+        let svg = line_chart(&series, &ChartOptions::new("a", "b", "c")).unwrap();
+        assert!(svg.contains("polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+}

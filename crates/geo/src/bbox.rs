@@ -1,0 +1,229 @@
+//! Geographic bounding boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, GeoPoint};
+
+/// An axis-aligned geographic bounding box.
+///
+/// Stored as south/north latitudes and west/east longitudes in degrees.
+/// Boxes never wrap the antimeridian (all regions in this workspace are in
+/// the continental US).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    south: f64,
+    north: f64,
+    west: f64,
+    east: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from corner coordinates.
+    pub fn new(south: f64, north: f64, west: f64, east: f64) -> Result<Self, GeoError> {
+        // Validate via the point constructor for range checks.
+        GeoPoint::new(south, west)?;
+        GeoPoint::new(north, east)?;
+        if south > north || west > east {
+            return Err(GeoError::InvalidBounds);
+        }
+        Ok(Self {
+            south,
+            north,
+            west,
+            east,
+        })
+    }
+
+    /// The tightest box containing all `points`. Returns `None` for an
+    /// empty slice.
+    pub fn from_points(points: &[GeoPoint]) -> Option<Self> {
+        let first = points.first()?;
+        let mut b = Self {
+            south: first.lat_deg(),
+            north: first.lat_deg(),
+            west: first.lon_deg(),
+            east: first.lon_deg(),
+        };
+        for p in &points[1..] {
+            b.south = b.south.min(p.lat_deg());
+            b.north = b.north.max(p.lat_deg());
+            b.west = b.west.min(p.lon_deg());
+            b.east = b.east.max(p.lon_deg());
+        }
+        Some(b)
+    }
+
+    /// A box centered on `center` extending `half_extent_m` meters in each
+    /// cardinal direction.
+    pub fn around(center: GeoPoint, half_extent_m: f64) -> Self {
+        let north_pt = center.destination(0.0, half_extent_m);
+        let south_pt = center.destination(std::f64::consts::PI, half_extent_m);
+        let east_pt = center.destination(std::f64::consts::FRAC_PI_2, half_extent_m);
+        let west_pt = center.destination(1.5 * std::f64::consts::PI, half_extent_m);
+        Self {
+            south: south_pt.lat_deg(),
+            north: north_pt.lat_deg(),
+            west: west_pt.lon_deg(),
+            east: east_pt.lon_deg(),
+        }
+    }
+
+    /// Southern latitude bound in degrees.
+    pub fn south(&self) -> f64 {
+        self.south
+    }
+
+    /// Northern latitude bound in degrees.
+    pub fn north(&self) -> f64 {
+        self.north
+    }
+
+    /// Western longitude bound in degrees.
+    pub fn west(&self) -> f64 {
+        self.west
+    }
+
+    /// Eastern longitude bound in degrees.
+    pub fn east(&self) -> f64 {
+        self.east
+    }
+
+    /// Geometric center of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            0.5 * (self.south + self.north),
+            0.5 * (self.west + self.east),
+        )
+        .expect("center of a valid box is valid")
+    }
+
+    /// Whether `p` lies inside the box (bounds inclusive).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat_deg() >= self.south
+            && p.lat_deg() <= self.north
+            && p.lon_deg() >= self.west
+            && p.lon_deg() <= self.east
+    }
+
+    /// The smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        BoundingBox {
+            south: self.south.min(other.south),
+            north: self.north.max(other.north),
+            west: self.west.min(other.west),
+            east: self.east.max(other.east),
+        }
+    }
+
+    /// Box expanded by `margin_m` meters on every side.
+    pub fn expanded(&self, margin_m: f64) -> BoundingBox {
+        let c = self.center();
+        let dlat = (margin_m / crate::EARTH_RADIUS_M).to_degrees();
+        let dlon = dlat / c.lat_rad().cos();
+        BoundingBox {
+            south: (self.south - dlat).max(-90.0),
+            north: (self.north + dlat).min(90.0),
+            west: (self.west - dlon).max(-180.0),
+            east: (self.east + dlon).min(180.0),
+        }
+    }
+
+    /// Approximate width (east-west extent at center latitude) in meters.
+    pub fn width_m(&self) -> f64 {
+        let c = self.center();
+        let w = GeoPoint::new(c.lat_deg(), self.west).expect("valid");
+        let e = GeoPoint::new(c.lat_deg(), self.east).expect("valid");
+        w.fast_distance(&e)
+    }
+
+    /// Approximate height (north-south extent) in meters.
+    pub fn height_m(&self) -> f64 {
+        let c = self.center();
+        let s = GeoPoint::new(self.south, c.lon_deg()).expect("valid");
+        let n = GeoPoint::new(self.north, c.lon_deg()).expect("valid");
+        s.fast_distance(&n)
+    }
+
+    /// Approximate area in square kilometers.
+    pub fn area_sq_km(&self) -> f64 {
+        self.width_m() * self.height_m() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        assert_eq!(
+            BoundingBox::new(44.0, 43.0, -89.0, -88.0),
+            Err(GeoError::InvalidBounds)
+        );
+        assert_eq!(
+            BoundingBox::new(43.0, 44.0, -88.0, -89.0),
+            Err(GeoError::InvalidBounds)
+        );
+    }
+
+    #[test]
+    fn contains_bounds_inclusive() {
+        let b = BoundingBox::new(43.0, 44.0, -89.0, -88.0).unwrap();
+        assert!(b.contains(&p(43.0, -89.0)));
+        assert!(b.contains(&p(44.0, -88.0)));
+        assert!(b.contains(&p(43.5, -88.5)));
+        assert!(!b.contains(&p(42.99, -88.5)));
+        assert!(!b.contains(&p(43.5, -87.99)));
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = [p(43.1, -89.5), p(43.3, -89.2), p(43.0, -89.4)];
+        let b = BoundingBox::from_points(&pts).unwrap();
+        assert_eq!(b.south(), 43.0);
+        assert_eq!(b.north(), 43.3);
+        assert_eq!(b.west(), -89.5);
+        assert_eq!(b.east(), -89.2);
+        assert!(BoundingBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn around_has_expected_extent() {
+        let b = BoundingBox::around(p(43.0731, -89.4012), 5000.0);
+        assert!((b.width_m() - 10_000.0).abs() < 50.0, "{}", b.width_m());
+        assert!((b.height_m() - 10_000.0).abs() < 50.0, "{}", b.height_m());
+        assert!((b.area_sq_km() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = BoundingBox::new(43.0, 43.5, -89.5, -89.0).unwrap();
+        let b = BoundingBox::new(43.4, 44.0, -89.2, -88.5).unwrap();
+        let u = a.union(&b);
+        assert!(u.contains(&p(43.0, -89.5)));
+        assert!(u.contains(&p(44.0, -88.5)));
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let b = BoundingBox::around(p(43.0731, -89.4012), 1000.0);
+        let e = b.expanded(500.0);
+        assert!(e.south() < b.south());
+        assert!(e.north() > b.north());
+        assert!(e.west() < b.west());
+        assert!(e.east() > b.east());
+        assert!((e.width_m() - (b.width_m() + 1000.0)).abs() < 20.0);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = BoundingBox::new(43.0, 44.0, -89.0, -88.0).unwrap();
+        let c = b.center();
+        assert!((c.lat_deg() - 43.5).abs() < 1e-12);
+        assert!((c.lon_deg() - -88.5).abs() < 1e-12);
+    }
+}

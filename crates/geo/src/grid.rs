@@ -1,0 +1,226 @@
+//! Square grids over a bounding box.
+//!
+//! WiScape's zones are spatial bins; a square grid whose cell edge equals
+//! the zone diameter is the canonical zone index. The same grid type also
+//! backs spatially correlated noise fields in the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BoundingBox, GeoError, GeoPoint, LocalProjection, Vec2};
+
+/// Integer identifier of a grid cell: column (east) and row (north) index.
+///
+/// Indices may be negative for points west/south of the grid origin, so a
+/// grid remains usable for points slightly outside its nominal bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId {
+    /// Column index (increases eastward).
+    pub col: i32,
+    /// Row index (increases northward).
+    pub row: i32,
+}
+
+impl CellId {
+    /// Creates a cell id from column and row indices.
+    pub fn new(col: i32, row: i32) -> Self {
+        Self { col, row }
+    }
+
+    /// The 8 surrounding cells plus self (Moore neighborhood).
+    pub fn neighborhood(&self) -> [CellId; 9] {
+        let mut out = [*self; 9];
+        let mut k = 0;
+        for dr in -1..=1 {
+            for dc in -1..=1 {
+                out[k] = CellId::new(self.col + dc, self.row + dr);
+                k += 1;
+            }
+        }
+        out
+    }
+}
+
+/// A uniform square grid over a geographic region.
+///
+/// The grid projects points into local meters around the region center and
+/// bins them into square cells of edge `cell_size_m`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SquareGrid {
+    bounds: BoundingBox,
+    proj: LocalProjection,
+    cell_size_m: f64,
+    cols: i32,
+    rows: i32,
+    /// Local-meter coordinates of the grid's southwest corner.
+    sw: Vec2,
+}
+
+impl SquareGrid {
+    /// Creates a grid covering `bounds` with cells of edge `cell_size_m`
+    /// meters.
+    pub fn new(bounds: BoundingBox, cell_size_m: f64) -> Result<Self, GeoError> {
+        if !(cell_size_m.is_finite() && cell_size_m > 0.0) {
+            return Err(GeoError::InvalidCellSize(cell_size_m));
+        }
+        let proj = LocalProjection::new(bounds.center());
+        let sw = proj.to_xy(
+            &GeoPoint::new(bounds.south(), bounds.west()).expect("box corners are valid"),
+        );
+        let ne = proj.to_xy(
+            &GeoPoint::new(bounds.north(), bounds.east()).expect("box corners are valid"),
+        );
+        let cols = (((ne.x - sw.x) / cell_size_m).ceil() as i32).max(1);
+        let rows = (((ne.y - sw.y) / cell_size_m).ceil() as i32).max(1);
+        Ok(Self {
+            bounds,
+            proj,
+            cell_size_m,
+            cols,
+            rows,
+            sw,
+        })
+    }
+
+    /// The region this grid covers.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+
+    /// Cell edge length in meters.
+    pub fn cell_size_m(&self) -> f64 {
+        self.cell_size_m
+    }
+
+    /// Number of columns within the nominal bounds.
+    pub fn cols(&self) -> i32 {
+        self.cols
+    }
+
+    /// Number of rows within the nominal bounds.
+    pub fn rows(&self) -> i32 {
+        self.rows
+    }
+
+    /// The cell containing `p`. Points outside the nominal bounds map to
+    /// cells with out-of-range (possibly negative) indices rather than
+    /// failing, which keeps trajectory binning total.
+    pub fn cell_of(&self, p: &GeoPoint) -> CellId {
+        let v = self.proj.to_xy(p);
+        CellId {
+            col: ((v.x - self.sw.x) / self.cell_size_m).floor() as i32,
+            row: ((v.y - self.sw.y) / self.cell_size_m).floor() as i32,
+        }
+    }
+
+    /// Geographic center of a cell.
+    pub fn cell_center(&self, cell: CellId) -> GeoPoint {
+        let v = Vec2::new(
+            self.sw.x + (cell.col as f64 + 0.5) * self.cell_size_m,
+            self.sw.y + (cell.row as f64 + 0.5) * self.cell_size_m,
+        );
+        self.proj.from_xy(&v)
+    }
+
+    /// Whether `cell` lies within the nominal grid extent.
+    pub fn in_bounds(&self, cell: CellId) -> bool {
+        cell.col >= 0 && cell.col < self.cols && cell.row >= 0 && cell.row < self.rows
+    }
+
+    /// Iterates over every in-bounds cell, row-major from the southwest.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |row| (0..cols).map(move |col| CellId { col, row }))
+    }
+
+    /// Total number of in-bounds cells.
+    pub fn cell_count(&self) -> usize {
+        (self.cols as usize) * (self.rows as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> SquareGrid {
+        let center = GeoPoint::new(43.0731, -89.4012).unwrap();
+        SquareGrid::new(BoundingBox::around(center, 5000.0), 500.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        let b = BoundingBox::around(GeoPoint::new(43.0, -89.0).unwrap(), 1000.0);
+        assert!(SquareGrid::new(b, 0.0).is_err());
+        assert!(SquareGrid::new(b, -1.0).is_err());
+        assert!(SquareGrid::new(b, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn dimensions_match_extent() {
+        let g = grid();
+        // 10 km extent at 500 m cells -> 20x20 (+/-1 for rounding).
+        assert!((g.cols() - 20).abs() <= 1, "cols={}", g.cols());
+        assert!((g.rows() - 20).abs() <= 1, "rows={}", g.rows());
+        assert_eq!(g.cell_count(), (g.cols() * g.rows()) as usize);
+    }
+
+    #[test]
+    fn cell_center_round_trips() {
+        let g = grid();
+        for cell in [CellId::new(0, 0), CellId::new(5, 7), CellId::new(19, 19)] {
+            let c = g.cell_center(cell);
+            assert_eq!(g.cell_of(&c), cell, "cell {cell:?}");
+        }
+    }
+
+    #[test]
+    fn all_cells_round_trip() {
+        let g = grid();
+        for cell in g.cells() {
+            assert_eq!(g.cell_of(&g.cell_center(cell)), cell);
+        }
+    }
+
+    #[test]
+    fn nearby_points_share_cell_far_points_do_not() {
+        let g = grid();
+        let c = g.cell_center(CellId::new(10, 10));
+        let near = c.destination(0.7, 50.0);
+        let far = c.destination(0.7, 2000.0);
+        assert_eq!(g.cell_of(&c), g.cell_of(&near));
+        assert_ne!(g.cell_of(&c), g.cell_of(&far));
+    }
+
+    #[test]
+    fn out_of_bounds_points_get_cells() {
+        let g = grid();
+        let outside = g.bounds().center().destination(0.0, 20_000.0);
+        let cell = g.cell_of(&outside);
+        assert!(!g.in_bounds(cell));
+    }
+
+    #[test]
+    fn neighborhood_contains_self_and_eight() {
+        let n = CellId::new(3, 4).neighborhood();
+        assert_eq!(n.len(), 9);
+        assert!(n.contains(&CellId::new(3, 4)));
+        assert!(n.contains(&CellId::new(2, 3)));
+        assert!(n.contains(&CellId::new(4, 5)));
+        let unique: std::collections::HashSet<_> = n.iter().collect();
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn cells_iterator_is_row_major_unique() {
+        let g = SquareGrid::new(
+            BoundingBox::around(GeoPoint::new(43.0, -89.0).unwrap(), 1000.0),
+            500.0,
+        )
+        .unwrap();
+        let cells: Vec<_> = g.cells().collect();
+        assert_eq!(cells.len(), g.cell_count());
+        let unique: std::collections::HashSet<_> = cells.iter().collect();
+        assert_eq!(unique.len(), cells.len());
+        assert_eq!(cells[0], CellId::new(0, 0));
+    }
+}

@@ -1,0 +1,65 @@
+//! Geodesy substrate for WiScape.
+//!
+//! This crate provides the spatial vocabulary used by every other crate in
+//! the workspace: geographic points, great-circle and fast planar distances,
+//! a local east-north (ENU) projection, bounding boxes, polylines with
+//! arc-length interpolation (used for roads and bus routes), and square
+//! grids (used for zone indexing and spatial fields).
+//!
+//! Design notes, following the smoltcp idioms adopted in `DESIGN.md`:
+//!
+//! * everything is a plain value type — no hidden globals, no interior
+//!   mutability;
+//! * all distances are in **meters**, all speeds in **meters/second**;
+//! * no `unsafe`, no panicking paths in the public API for valid inputs —
+//!   constructors validate and return [`GeoError`] where inputs can be
+//!   out of range.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod grid;
+mod point;
+mod polyline;
+mod proj;
+
+pub use bbox::BoundingBox;
+pub use grid::{CellId, SquareGrid};
+pub use point::{GeoPoint, EARTH_RADIUS_M};
+pub use polyline::Polyline;
+pub use proj::{LocalProjection, Vec2};
+
+/// Errors produced by geodesy constructors and operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside `[-90, +90]` degrees.
+    InvalidLatitude(f64),
+    /// Longitude outside `[-180, +180]` degrees.
+    InvalidLongitude(f64),
+    /// A polyline needs at least two points.
+    PolylineTooShort(usize),
+    /// Grid cell size must be strictly positive and finite.
+    InvalidCellSize(f64),
+    /// A bounding box must have south <= north and west <= east.
+    InvalidBounds,
+    /// A non-finite coordinate was supplied.
+    NonFinite,
+}
+
+impl core::fmt::Display for GeoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => write!(f, "latitude {v} out of [-90, 90]"),
+            GeoError::InvalidLongitude(v) => write!(f, "longitude {v} out of [-180, 180]"),
+            GeoError::PolylineTooShort(n) => {
+                write!(f, "polyline needs >= 2 points, got {n}")
+            }
+            GeoError::InvalidCellSize(v) => write!(f, "invalid grid cell size {v}"),
+            GeoError::InvalidBounds => write!(f, "bounding box has inverted bounds"),
+            GeoError::NonFinite => write!(f, "non-finite coordinate"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}

@@ -1,0 +1,233 @@
+//! Geographic points and distance computations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GeoError;
+
+/// Mean Earth radius in meters (IUGG value).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A point on the Earth's surface, in WGS-84 degrees.
+///
+/// `GeoPoint` is `Copy` and compares by exact coordinate equality. All
+/// distance results are in meters.
+///
+/// ```
+/// use wiscape_geo::GeoPoint;
+/// let madison = GeoPoint::new(43.0731, -89.4012).unwrap();
+/// let chicago = GeoPoint::new(41.8781, -87.6298).unwrap();
+/// let d = madison.haversine_distance(&chicago);
+/// assert!((d - 196_000.0).abs() < 5_000.0); // ~196 km as the crow flies
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating that latitude is within `[-90, 90]` and
+    /// longitude within `[-180, 180]` degrees and both are finite.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<Self, GeoError> {
+        if !lat_deg.is_finite() || !lon_deg.is_finite() {
+            return Err(GeoError::NonFinite);
+        }
+        if !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(GeoError::InvalidLatitude(lat_deg));
+        }
+        if !(-180.0..=180.0).contains(&lon_deg) {
+            return Err(GeoError::InvalidLongitude(lon_deg));
+        }
+        Ok(Self { lat_deg, lon_deg })
+    }
+
+    /// Latitude in degrees.
+    pub fn lat_deg(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees.
+    pub fn lon_deg(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat_deg.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon_deg.to_radians()
+    }
+
+    /// Great-circle distance to `other` in meters, via the haversine
+    /// formula. Accurate to ~0.5% everywhere (spherical Earth model),
+    /// which is far below the zone radii (50–1000 m) WiScape cares about.
+    pub fn haversine_distance(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat_rad(), self.lon_rad());
+        let (lat2, lon2) = (other.lat_rad(), other.lon_rad());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
+    }
+
+    /// Fast equirectangular approximation of the distance to `other`, in
+    /// meters. For city-scale separations (< 50 km) this differs from the
+    /// haversine result by well under 0.1% and is several times cheaper;
+    /// the zone index uses it on hot paths.
+    pub fn fast_distance(&self, other: &GeoPoint) -> f64 {
+        let mean_lat = 0.5 * (self.lat_rad() + other.lat_rad());
+        let dx = (other.lon_rad() - self.lon_rad()) * mean_lat.cos();
+        let dy = other.lat_rad() - self.lat_rad();
+        EARTH_RADIUS_M * (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Initial bearing from this point toward `other`, in radians in
+    /// `[0, 2π)`, measured clockwise from north.
+    pub fn bearing_to(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat_rad(), self.lon_rad());
+        let (lat2, lon2) = (other.lat_rad(), other.lon_rad());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let theta = y.atan2(x);
+        (theta + std::f64::consts::TAU) % std::f64::consts::TAU
+    }
+
+    /// The point reached by traveling `distance_m` meters from this point
+    /// along the great circle with initial `bearing_rad` (clockwise from
+    /// north).
+    pub fn destination(&self, bearing_rad: f64, distance_m: f64) -> GeoPoint {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let lat1 = self.lat_rad();
+        let lon1 = self.lon_rad();
+        let lat2 = (lat1.sin() * delta.cos()
+            + lat1.cos() * delta.sin() * bearing_rad.cos())
+        .clamp(-1.0, 1.0)
+        .asin();
+        let lon2 = lon1
+            + (bearing_rad.sin() * delta.sin() * lat1.cos())
+                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+        // Normalize longitude to [-180, 180].
+        let mut lon_deg = lon2.to_degrees();
+        if lon_deg > 180.0 {
+            lon_deg -= 360.0;
+        } else if lon_deg < -180.0 {
+            lon_deg += 360.0;
+        }
+        GeoPoint {
+            lat_deg: lat2.to_degrees().clamp(-90.0, 90.0),
+            lon_deg,
+        }
+    }
+
+    /// Linear interpolation between two points at fraction `t` in `[0, 1]`.
+    ///
+    /// Interpolates coordinates directly, which is accurate for the short
+    /// (sub-kilometer) segments that make up routes in this workspace.
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        let t = t.clamp(0.0, 1.0);
+        GeoPoint {
+            lat_deg: self.lat_deg + (other.lat_deg - self.lat_deg) * t,
+            lon_deg: self.lon_deg + (other.lon_deg - self.lon_deg) * t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            GeoPoint::new(91.0, 0.0),
+            Err(GeoError::InvalidLatitude(91.0))
+        );
+        assert_eq!(
+            GeoPoint::new(0.0, 181.0),
+            Err(GeoError::InvalidLongitude(181.0))
+        );
+        assert_eq!(GeoPoint::new(f64::NAN, 0.0), Err(GeoError::NonFinite));
+        assert_eq!(GeoPoint::new(0.0, f64::INFINITY), Err(GeoError::NonFinite));
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = p(43.07, -89.40);
+        assert_eq!(a.haversine_distance(&a), 0.0);
+        assert_eq!(a.fast_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn haversine_known_value() {
+        // One degree of latitude is ~111.2 km.
+        let a = p(43.0, -89.0);
+        let b = p(44.0, -89.0);
+        let d = a.haversine_distance(&b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn fast_distance_matches_haversine_at_city_scale() {
+        let a = p(43.0731, -89.4012);
+        for (dlat, dlon) in [(0.01, 0.0), (0.0, 0.01), (0.02, -0.03), (-0.05, 0.04)] {
+            let b = p(43.0731 + dlat, -89.4012 + dlon);
+            let h = a.haversine_distance(&b);
+            let f = a.fast_distance(&b);
+            assert!((h - f).abs() / h < 1e-3, "h={h} f={f}");
+        }
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let a = p(43.0731, -89.4012);
+        for bearing_deg in [0.0, 45.0, 90.0, 180.0, 270.0, 359.0] {
+            let b = a.destination(f64::to_radians(bearing_deg), 1000.0);
+            let d = a.haversine_distance(&b);
+            assert!((d - 1000.0).abs() < 1.0, "bearing {bearing_deg}: d={d}");
+        }
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let a = p(43.0, -89.0);
+        let north = p(44.0, -89.0);
+        let east = p(43.0, -88.0);
+        assert!(a.bearing_to(&north).abs() < 1e-6);
+        assert!((a.bearing_to(&east) - std::f64::consts::FRAC_PI_2).abs() < 0.02);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = p(43.0, -89.0);
+        let b = p(44.0, -88.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.lat_deg() - 43.5).abs() < 1e-12);
+        assert!((m.lon_deg() - -88.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_clamps_t() {
+        let a = p(43.0, -89.0);
+        let b = p(44.0, -88.0);
+        assert_eq!(a.lerp(&b, -3.0), a);
+        assert_eq!(a.lerp(&b, 7.0), b);
+    }
+
+    #[test]
+    fn destination_normalizes_longitude() {
+        let a = p(0.0, 179.9);
+        let b = a.destination(std::f64::consts::FRAC_PI_2, 50_000.0);
+        assert!(b.lon_deg() <= 180.0 && b.lon_deg() >= -180.0);
+    }
+}

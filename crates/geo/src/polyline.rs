@@ -1,0 +1,198 @@
+//! Polylines with arc-length parameterization.
+//!
+//! Roads and bus routes are polylines; vehicles are positioned by distance
+//! traveled along them, so the core operation is "point at arc length s".
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BoundingBox, GeoError, GeoPoint};
+
+/// A piecewise-linear path over the Earth's surface.
+///
+/// Cumulative segment lengths are precomputed at construction so that
+/// [`Polyline::point_at`] is a binary search plus one interpolation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<GeoPoint>,
+    /// `cum[i]` = distance in meters from the start to `points[i]`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from at least two points.
+    pub fn new(points: Vec<GeoPoint>) -> Result<Self, GeoError> {
+        if points.len() < 2 {
+            return Err(GeoError::PolylineTooShort(points.len()));
+        }
+        let mut cum = Vec::with_capacity(points.len());
+        cum.push(0.0);
+        for w in points.windows(2) {
+            let d = w[0].haversine_distance(&w[1]);
+            let last = *cum.last().expect("cum is non-empty");
+            cum.push(last + d);
+        }
+        Ok(Self { points, cum })
+    }
+
+    /// The vertices of the polyline.
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    /// Total length in meters.
+    pub fn length_m(&self) -> f64 {
+        *self.cum.last().expect("cum is non-empty")
+    }
+
+    /// The point at arc length `s` meters from the start. `s` is clamped
+    /// to `[0, length_m()]`.
+    pub fn point_at(&self, s: f64) -> GeoPoint {
+        let total = self.length_m();
+        let s = s.clamp(0.0, total);
+        if s <= 0.0 {
+            return self.points[0];
+        }
+        if s >= total {
+            return *self.points.last().expect("non-empty");
+        }
+        // Find the segment containing s: first index with cum[i] > s.
+        let i = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("cum is finite"))
+        {
+            Ok(i) => return self.points[i],
+            Err(i) => i, // cum[i-1] <= s < cum[i]
+        };
+        let seg_start = self.cum[i - 1];
+        let seg_len = self.cum[i] - seg_start;
+        if seg_len <= 0.0 {
+            return self.points[i - 1];
+        }
+        let t = (s - seg_start) / seg_len;
+        self.points[i - 1].lerp(&self.points[i], t)
+    }
+
+    /// Resamples the polyline at a fixed spacing, returning points at arc
+    /// lengths `0, spacing, 2*spacing, ..., length`. The final point is
+    /// always included. `spacing` must be positive.
+    pub fn resample(&self, spacing_m: f64) -> Result<Vec<GeoPoint>, GeoError> {
+        if !(spacing_m.is_finite() && spacing_m > 0.0) {
+            return Err(GeoError::InvalidCellSize(spacing_m));
+        }
+        let total = self.length_m();
+        let mut out = Vec::with_capacity((total / spacing_m) as usize + 2);
+        let mut s = 0.0;
+        while s < total {
+            out.push(self.point_at(s));
+            s += spacing_m;
+        }
+        out.push(self.point_at(total));
+        Ok(out)
+    }
+
+    /// The tightest bounding box around the vertices.
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::from_points(&self.points).expect("polyline has >= 2 points")
+    }
+
+    /// Distance from `p` to the nearest vertex of the polyline, in meters.
+    /// (Vertex granularity is sufficient for zone-scale queries as routes
+    /// are built with dense vertices.)
+    pub fn distance_to_nearest_vertex(&self, p: &GeoPoint) -> f64 {
+        self.points
+            .iter()
+            .map(|v| v.fast_distance(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn line() -> Polyline {
+        // Roughly 3 segments heading north, each ~1112 m (0.01 deg lat).
+        Polyline::new(vec![
+            p(43.00, -89.40),
+            p(43.01, -89.40),
+            p(43.02, -89.40),
+            p(43.03, -89.40),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(matches!(
+            Polyline::new(vec![p(43.0, -89.0)]),
+            Err(GeoError::PolylineTooShort(1))
+        ));
+        assert!(matches!(
+            Polyline::new(vec![]),
+            Err(GeoError::PolylineTooShort(0))
+        ));
+    }
+
+    #[test]
+    fn length_is_sum_of_segments() {
+        let l = line();
+        assert!((l.length_m() - 3.0 * 1111.95).abs() < 5.0, "{}", l.length_m());
+    }
+
+    #[test]
+    fn point_at_endpoints_and_clamping() {
+        let l = line();
+        assert_eq!(l.point_at(0.0), l.points()[0]);
+        assert_eq!(l.point_at(l.length_m()), *l.points().last().unwrap());
+        assert_eq!(l.point_at(-100.0), l.points()[0]);
+        assert_eq!(l.point_at(1e9), *l.points().last().unwrap());
+    }
+
+    #[test]
+    fn point_at_is_monotone_along_path() {
+        let l = line();
+        let mut prev = l.point_at(0.0);
+        for i in 1..=30 {
+            let s = l.length_m() * (i as f64) / 30.0;
+            let cur = l.point_at(s);
+            assert!(cur.lat_deg() >= prev.lat_deg(), "not monotone at {s}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn point_at_distance_consistency() {
+        let l = line();
+        let s = 1500.0;
+        let q = l.point_at(s);
+        // Distance from start along a straight north path equals s.
+        let d = l.points()[0].haversine_distance(&q);
+        assert!((d - s).abs() < 2.0, "d={d}");
+    }
+
+    #[test]
+    fn resample_spacing_and_endpoints() {
+        let l = line();
+        let pts = l.resample(500.0).unwrap();
+        assert_eq!(pts[0], l.points()[0]);
+        assert_eq!(*pts.last().unwrap(), *l.points().last().unwrap());
+        for w in pts.windows(2).take(pts.len().saturating_sub(2)) {
+            let d = w[0].haversine_distance(&w[1]);
+            assert!((d - 500.0).abs() < 1.0, "spacing {d}");
+        }
+        assert!(l.resample(0.0).is_err());
+        assert!(l.resample(-5.0).is_err());
+    }
+
+    #[test]
+    fn nearest_vertex_distance() {
+        let l = line();
+        let q = p(43.0, -89.41); // ~810 m west of first vertex
+        let d = l.distance_to_nearest_vertex(&q);
+        assert!((d - 815.0).abs() < 10.0, "d={d}");
+    }
+}

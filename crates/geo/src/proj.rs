@@ -1,0 +1,136 @@
+//! Local planar projection around an origin point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoPoint, EARTH_RADIUS_M};
+
+/// A 2-D vector in local east/north meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Meters east of the projection origin.
+    pub x: f64,
+    /// Meters north of the projection origin.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector from east/north components in meters.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean norm in meters.
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Euclidean distance to `other` in meters.
+    pub fn distance(&self, other: &Vec2) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// An equirectangular east-north projection centered on an origin.
+///
+/// Over a city-scale region (tens of kilometers) the equirectangular
+/// projection's distortion is negligible relative to WiScape's coarse zone
+/// granularity, and projecting once lets hot loops (zone indexing, spatial
+/// noise fields) work in plain Euclidean meters.
+///
+/// ```
+/// use wiscape_geo::{GeoPoint, LocalProjection};
+/// let origin = GeoPoint::new(43.0731, -89.4012).unwrap();
+/// let proj = LocalProjection::new(origin);
+/// let p = origin.destination(0.0, 500.0); // 500 m north
+/// let xy = proj.to_xy(&p);
+/// assert!(xy.x.abs() < 1.0 && (xy.y - 500.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    cos_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centered on `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        Self {
+            origin,
+            cos_lat: origin.lat_rad().cos(),
+        }
+    }
+
+    /// The projection origin.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a geographic point to local east/north meters.
+    pub fn to_xy(&self, p: &GeoPoint) -> Vec2 {
+        let dlat = p.lat_rad() - self.origin.lat_rad();
+        let dlon = p.lon_rad() - self.origin.lon_rad();
+        Vec2 {
+            x: EARTH_RADIUS_M * dlon * self.cos_lat,
+            y: EARTH_RADIUS_M * dlat,
+        }
+    }
+
+    /// Inverse projection: local east/north meters back to a geographic
+    /// point. The result is clamped to valid coordinate ranges; within a
+    /// city-scale region the round-trip error is sub-millimeter.
+    pub fn from_xy(&self, v: &Vec2) -> GeoPoint {
+        let lat = self.origin.lat_rad() + v.y / EARTH_RADIUS_M;
+        let lon = self.origin.lon_rad() + v.x / (EARTH_RADIUS_M * self.cos_lat);
+        // Clamping keeps the constructor infallible for any in-region input.
+        GeoPoint::new(
+            lat.to_degrees().clamp(-90.0, 90.0),
+            ((lon.to_degrees() + 180.0).rem_euclid(360.0)) - 180.0,
+        )
+        .expect("clamped coordinates are always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(43.0731, -89.4012).unwrap()
+    }
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let proj = LocalProjection::new(origin());
+        let v = proj.to_xy(&origin());
+        assert!(v.norm() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_city_scale() {
+        let proj = LocalProjection::new(origin());
+        for (x, y) in [(0.0, 0.0), (1000.0, -2500.0), (-7000.0, 4000.0), (12000.0, 9000.0)] {
+            let v = Vec2::new(x, y);
+            let p = proj.from_xy(&v);
+            let back = proj.to_xy(&p);
+            assert!(back.distance(&v) < 1e-6, "({x},{y}) -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn projected_distance_matches_haversine() {
+        let proj = LocalProjection::new(origin());
+        let a = origin().destination(1.0, 3000.0);
+        let b = origin().destination(4.0, 5000.0);
+        let planar = proj.to_xy(&a).distance(&proj.to_xy(&b));
+        let sphere = a.haversine_distance(&b);
+        assert!((planar - sphere).abs() / sphere < 1e-3);
+    }
+
+    #[test]
+    fn vec2_norm_and_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.distance(&Vec2::new(0.0, 0.0)), 5.0);
+        assert_eq!(Vec2::default().norm(), 0.0);
+    }
+}

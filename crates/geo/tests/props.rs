@@ -1,0 +1,112 @@
+//! Property-based tests for the geodesy substrate.
+
+use proptest::prelude::*;
+use wiscape_geo::{BoundingBox, GeoPoint, LocalProjection, Polyline, SquareGrid, Vec2};
+
+/// Latitudes in the mid-latitude band the workspace operates in.
+fn lat() -> impl Strategy<Value = f64> {
+    25.0..50.0f64
+}
+
+fn lon() -> impl Strategy<Value = f64> {
+    -120.0..-70.0f64
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a_lat in lat(), a_lon in lon(), b_lat in lat(), b_lon in lon()) {
+        let a = GeoPoint::new(a_lat, a_lon).unwrap();
+        let b = GeoPoint::new(b_lat, b_lon).unwrap();
+        let ab = a.haversine_distance(&b);
+        let ba = b.haversine_distance(&a);
+        prop_assert!((ab - ba).abs() <= 1e-6 * ab.max(1.0));
+    }
+
+    #[test]
+    fn distance_triangle_inequality(
+        a_lat in lat(), a_lon in lon(),
+        b_lat in lat(), b_lon in lon(),
+        c_lat in lat(), c_lon in lon(),
+    ) {
+        let a = GeoPoint::new(a_lat, a_lon).unwrap();
+        let b = GeoPoint::new(b_lat, b_lon).unwrap();
+        let c = GeoPoint::new(c_lat, c_lon).unwrap();
+        let ab = a.haversine_distance(&b);
+        let bc = b.haversine_distance(&c);
+        let ac = a.haversine_distance(&c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn destination_travels_requested_distance(
+        a_lat in lat(), a_lon in lon(),
+        bearing in 0.0..std::f64::consts::TAU,
+        dist in 1.0..50_000.0f64,
+    ) {
+        let a = GeoPoint::new(a_lat, a_lon).unwrap();
+        let b = a.destination(bearing, dist);
+        let d = a.haversine_distance(&b);
+        prop_assert!((d - dist).abs() < dist * 1e-3 + 0.5, "asked {dist}, got {d}");
+    }
+
+    #[test]
+    fn projection_round_trip(
+        o_lat in lat(), o_lon in lon(),
+        x in -20_000.0..20_000.0f64,
+        y in -20_000.0..20_000.0f64,
+    ) {
+        let proj = LocalProjection::new(GeoPoint::new(o_lat, o_lon).unwrap());
+        let v = Vec2::new(x, y);
+        let back = proj.to_xy(&proj.from_xy(&v));
+        prop_assert!(back.distance(&v) < 1e-6);
+    }
+
+    #[test]
+    fn grid_cell_round_trip(
+        c_lat in lat(), c_lon in lon(),
+        cell_m in 50.0..2000.0f64,
+        dx in -4000.0..4000.0f64,
+        dy in -4000.0..4000.0f64,
+    ) {
+        let center = GeoPoint::new(c_lat, c_lon).unwrap();
+        let grid = SquareGrid::new(BoundingBox::around(center, 5000.0), cell_m).unwrap();
+        let proj = LocalProjection::new(center);
+        let p = proj.from_xy(&Vec2::new(dx, dy));
+        let cell = grid.cell_of(&p);
+        let cc = grid.cell_center(cell);
+        // Point must be within half a cell diagonal of its cell center.
+        let max_d = cell_m * std::f64::consts::SQRT_2 / 2.0 * 1.01;
+        prop_assert!(p.fast_distance(&cc) <= max_d);
+        // And the center maps back to the same cell.
+        prop_assert_eq!(grid.cell_of(&cc), cell);
+    }
+
+    #[test]
+    fn polyline_point_at_stays_on_path_extent(
+        start_lat in lat(), start_lon in lon(),
+        s in 0.0..1.0f64,
+    ) {
+        let a = GeoPoint::new(start_lat, start_lon).unwrap();
+        let b = a.destination(0.3, 2000.0);
+        let c = b.destination(1.2, 3000.0);
+        let line = Polyline::new(vec![a, b, c]).unwrap();
+        let q = line.point_at(s * line.length_m());
+        let bb = line.bounding_box().expanded(10.0);
+        prop_assert!(bb.contains(&q));
+    }
+
+    #[test]
+    fn polyline_arc_length_additive(
+        start_lat in lat(), start_lon in lon(),
+        f1 in 0.0..1.0f64, f2 in 0.0..1.0f64,
+    ) {
+        let a = GeoPoint::new(start_lat, start_lon).unwrap();
+        let b = a.destination(0.0, 5000.0); // straight north line
+        let line = Polyline::new(vec![a, b]).unwrap();
+        let (lo, hi) = if f1 < f2 { (f1, f2) } else { (f2, f1) };
+        let p1 = line.point_at(lo * line.length_m());
+        let p2 = line.point_at(hi * line.length_m());
+        let expect = (hi - lo) * line.length_m();
+        prop_assert!((p1.haversine_distance(&p2) - expect).abs() < 2.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Fleet builders for the paper's collection platforms.
+
+use std::sync::Arc;
+
+use wiscape_geo::GeoPoint;
+use wiscape_simcore::{SimTime, StreamRng};
+
+use crate::bus::{IntercityBus, TransitBus};
+use crate::car::{FixedRouteCar, ProximateDriver};
+use crate::client::{ClientId, MobileClient, PositionFix};
+use crate::route::{intercity_route, madison_routes, short_segment_route};
+use crate::spot::StaticClient;
+
+/// A heterogeneous collection of measurement clients.
+///
+/// Mirrors the paper's deployment: up to five transit buses, two
+/// intercity buses, fixed-route cars, proximate drivers, and static
+/// spots, all reproducible from one seed.
+pub struct Fleet {
+    clients: Vec<Box<dyn MobileClient + Send + Sync>>,
+    next_id: u32,
+    stream: StreamRng,
+}
+
+impl Fleet {
+    /// Creates an empty fleet with a randomness stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            clients: Vec::new(),
+            next_id: 0,
+            stream: StreamRng::new(seed).fork("fleet"),
+        }
+    }
+
+    fn take_id(&mut self) -> ClientId {
+        let id = ClientId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Adds `n` transit buses sharing a generated city route set of
+    /// `n_routes` routes around `center`.
+    pub fn add_transit_buses(
+        &mut self,
+        n: usize,
+        center: GeoPoint,
+        city_radius_m: f64,
+        n_routes: usize,
+    ) -> &mut Self {
+        let routes = Arc::new(madison_routes(
+            center,
+            city_radius_m,
+            n_routes.max(1),
+            &self.stream.fork("city-routes"),
+        ));
+        for _ in 0..n {
+            let id = self.take_id();
+            self.clients
+                .push(Box::new(TransitBus::new(id, routes.clone(), self.stream)));
+        }
+        self
+    }
+
+    /// Adds two intercity buses (morning and afternoon departures) on the
+    /// corridor from `from` to `to`.
+    pub fn add_intercity_buses(&mut self, from: GeoPoint, to: GeoPoint) -> &mut Self {
+        let route = Arc::new(intercity_route(from, to, &self.stream.fork("corridor")));
+        let id1 = self.take_id();
+        self.clients
+            .push(Box::new(IntercityBus::new(id1, route.clone(), 8.0, 27.0)));
+        let id2 = self.take_id();
+        self.clients
+            .push(Box::new(IntercityBus::new(id2, route, 14.0, 29.0)));
+        self
+    }
+
+    /// Adds a car repeatedly driving the 20 km short segment from
+    /// `center` at ~55 km/h (the paper's Short-segment platform).
+    pub fn add_short_segment_car(&mut self, center: GeoPoint, bearing_rad: f64) -> &mut Self {
+        let route = Arc::new(short_segment_route(
+            center,
+            bearing_rad,
+            &self.stream.fork("segment"),
+        ));
+        let id = self.take_id();
+        self.clients
+            .push(Box::new(FixedRouteCar::new(id, route, 4, 15.3, self.stream)));
+        self
+    }
+
+    /// Adds a static spot client at `point`.
+    pub fn add_static_spot(&mut self, point: GeoPoint) -> &mut Self {
+        let id = self.take_id();
+        self.clients.push(Box::new(StaticClient::new(id, point)));
+        self
+    }
+
+    /// Adds a proximate driver circling `center` within `radius_m`.
+    pub fn add_proximate_driver(&mut self, center: GeoPoint, radius_m: f64) -> &mut Self {
+        let id = self.take_id();
+        self.clients
+            .push(Box::new(ProximateDriver::new(id, center, radius_m, self.stream)));
+        self
+    }
+
+    /// All clients.
+    pub fn clients(&self) -> &[Box<dyn MobileClient + Send + Sync>] {
+        &self.clients
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Every client's fix at time `t` (omitting out-of-service clients).
+    pub fn positions_at(&self, t: SimTime) -> Vec<(ClientId, PositionFix)> {
+        self.clients
+            .iter()
+            .filter_map(|c| c.position_at(t).map(|f| (c.id(), f)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn center() -> GeoPoint {
+        GeoPoint::new(43.0731, -89.4012).unwrap()
+    }
+
+    #[test]
+    fn builds_the_paper_platform_mix() {
+        let chicago = GeoPoint::new(41.8781, -87.6298).unwrap();
+        let mut fleet = Fleet::new(1);
+        fleet
+            .add_transit_buses(5, center(), 7000.0, 10)
+            .add_intercity_buses(center(), chicago)
+            .add_short_segment_car(center(), 0.7)
+            .add_static_spot(center().destination(1.0, 900.0))
+            .add_proximate_driver(center().destination(1.0, 900.0), 250.0);
+        assert_eq!(fleet.len(), 5 + 2 + 1 + 1 + 1);
+        assert!(!fleet.is_empty());
+        // Ids are unique.
+        let ids: std::collections::HashSet<u32> =
+            fleet.clients().iter().map(|c| c.id().0).collect();
+        assert_eq!(ids.len(), fleet.len());
+    }
+
+    #[test]
+    fn positions_at_midday_include_buses_and_spot() {
+        let mut fleet = Fleet::new(2);
+        fleet
+            .add_transit_buses(3, center(), 7000.0, 6)
+            .add_static_spot(center());
+        let fixes = fleet.positions_at(SimTime::at(1, 12.0));
+        assert_eq!(fixes.len(), 4, "all in service at noon");
+        let night = fleet.positions_at(SimTime::at(1, 3.0));
+        assert_eq!(night.len(), 1, "only the spot at 03:00");
+    }
+
+    #[test]
+    fn fleet_is_reproducible() {
+        let build = || {
+            let mut f = Fleet::new(3);
+            f.add_transit_buses(2, center(), 7000.0, 5);
+            f
+        };
+        let a = build();
+        let b = build();
+        let t = SimTime::at(4, 10.5);
+        let pa = a.positions_at(t);
+        let pb = b.positions_at(t);
+        assert_eq!(pa.len(), pb.len());
+        for ((ia, fa), (ib, fb)) in pa.iter().zip(&pb) {
+            assert_eq!(ia, ib);
+            assert_eq!(fa.point, fb.point);
+        }
+    }
+}

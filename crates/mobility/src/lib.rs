@@ -1,0 +1,36 @@
+//! Client mobility substrate.
+//!
+//! The paper's datasets were collected by Linux nodes on Madison transit
+//! buses, intercity buses to Chicago, personal cars driven on fixed
+//! routes, and static indoor "spot" machines (Table 2). This crate
+//! regenerates those collection platforms: each client is a deterministic
+//! function from [`wiscape_simcore::SimTime`] to an optional position fix
+//! (clients are offline outside service hours), so dataset generators can
+//! ask "where was bus 3 at 09:41 on day 12?" without simulating motion
+//! step by step.
+//!
+//! * [`client`] — client identities, device categories, position fixes;
+//! * [`route`] — route construction (city networks, the 240 km intercity
+//!   corridor, the 20 km short segment);
+//! * [`bus`] — transit buses (daily random route assignment, 06:00–24:00
+//!   service) and intercity buses;
+//! * [`car`] — fixed-route personal cars and proximate-circuit drivers;
+//! * [`spot`] — static clients;
+//! * [`fleet`] — convenience builders for the paper's platforms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod car;
+pub mod client;
+pub mod fleet;
+pub mod route;
+pub mod spot;
+
+pub use bus::{IntercityBus, TransitBus};
+pub use car::{FixedRouteCar, ProximateDriver};
+pub use client::{ClientId, DeviceCategory, MobileClient, PositionFix};
+pub use fleet::Fleet;
+pub use route::{intercity_route, madison_routes, short_segment_route, Route};
+pub use spot::StaticClient;

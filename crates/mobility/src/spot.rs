@@ -1,0 +1,70 @@
+//! Static spot clients.
+
+use wiscape_geo::GeoPoint;
+use wiscape_simcore::SimTime;
+
+use crate::client::{ClientId, DeviceCategory, MobileClient, PositionFix};
+
+/// An always-on static measurement node (the paper's Spot datasets:
+/// indoor machines measuring continuously for up to five months).
+#[derive(Debug, Clone, Copy)]
+pub struct StaticClient {
+    id: ClientId,
+    point: GeoPoint,
+    category: DeviceCategory,
+}
+
+impl StaticClient {
+    /// Creates a static client at `point`.
+    pub fn new(id: ClientId, point: GeoPoint) -> Self {
+        Self {
+            id,
+            point,
+            category: DeviceCategory::LaptopModem,
+        }
+    }
+
+    /// The fixed location.
+    pub fn location(&self) -> GeoPoint {
+        self.point
+    }
+}
+
+impl MobileClient for StaticClient {
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn category(&self) -> DeviceCategory {
+        self.category
+    }
+
+    fn platform(&self) -> &'static str {
+        "static-spot"
+    }
+
+    fn position_at(&self, _t: SimTime) -> Option<PositionFix> {
+        Some(PositionFix {
+            point: self.point,
+            speed_mps: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_available_never_moves() {
+        let p = GeoPoint::new(43.07, -89.40).unwrap();
+        let c = StaticClient::new(ClientId(1), p);
+        for day in [0, 30, 150] {
+            let f = c.position_at(SimTime::at(day, 13.0)).unwrap();
+            assert_eq!(f.point, p);
+            assert_eq!(f.speed_mps, 0.0);
+        }
+        assert_eq!(c.location(), p);
+        assert_eq!(c.platform(), "static-spot");
+    }
+}

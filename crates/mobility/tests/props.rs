@@ -1,0 +1,100 @@
+//! Property-based tests for the mobility substrate.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::{
+    madison_routes, short_segment_route, ClientId, FixedRouteCar, MobileClient, ProximateDriver,
+    StaticClient, TransitBus,
+};
+use wiscape_simcore::{SimTime, StreamRng};
+
+fn center() -> GeoPoint {
+    GeoPoint::new(43.0731, -89.4012).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn buses_are_deterministic_and_on_schedule(
+        seed in any::<u64>(),
+        day in 0i64..60,
+        hour in 0.0..24.0f64,
+        bus_id in 0u32..8,
+    ) {
+        let routes = Arc::new(madison_routes(center(), 7000.0, 8, &StreamRng::new(seed)));
+        let b1 = TransitBus::new(ClientId(bus_id), routes.clone(), StreamRng::new(seed));
+        let b2 = TransitBus::new(ClientId(bus_id), routes, StreamRng::new(seed));
+        let t = SimTime::at(day, hour);
+        let f1 = b1.position_at(t);
+        let f2 = b2.position_at(t);
+        match (f1, f2) {
+            (None, None) => prop_assert!(!(6.0..24.0).contains(&hour)),
+            (Some(a), Some(b)) => {
+                prop_assert!((6.0..24.0).contains(&hour));
+                prop_assert_eq!(a.point, b.point);
+                prop_assert_eq!(a.speed_mps, b.speed_mps);
+                prop_assert!((4.5..=12.5).contains(&a.speed_mps));
+            }
+            _ => prop_assert!(false, "determinism violated"),
+        }
+    }
+
+    #[test]
+    fn bus_positions_stay_near_the_city(
+        seed in any::<u64>(),
+        day in 0i64..30,
+        hour in 6.0..24.0f64,
+    ) {
+        let routes = Arc::new(madison_routes(center(), 7000.0, 10, &StreamRng::new(seed)));
+        let b = TransitBus::new(ClientId(0), routes, StreamRng::new(seed));
+        if let Some(fix) = b.position_at(SimTime::at(day, hour)) {
+            // Routes span ~1.8 city radii; positions must stay within a
+            // generous envelope of the metro area.
+            prop_assert!(fix.point.fast_distance(&center()) < 16_000.0);
+        }
+    }
+
+    #[test]
+    fn cars_only_exist_during_drives_and_on_route(
+        seed in any::<u64>(),
+        day in 0i64..30,
+        hour in 0.0..24.0f64,
+    ) {
+        let route = Arc::new(short_segment_route(center(), 0.7, &StreamRng::new(seed)));
+        let car = FixedRouteCar::new(ClientId(1), route.clone(), 3, 15.0, StreamRng::new(seed));
+        if let Some(fix) = car.position_at(SimTime::at(day, hour)) {
+            prop_assert_eq!(fix.speed_mps, 15.0);
+            let d = route.path().distance_to_nearest_vertex(&fix.point);
+            prop_assert!(d < 1000.0, "off route by {d} m");
+        }
+    }
+
+    #[test]
+    fn proximate_driver_never_leaves_its_zone(
+        seed in any::<u64>(),
+        radius in 30.0..250.0f64,
+        day in 0i64..10,
+        hour in 0.0..24.0f64,
+    ) {
+        let d = ProximateDriver::new(ClientId(2), center(), radius, StreamRng::new(seed));
+        if let Some(fix) = d.position_at(SimTime::at(day, hour)) {
+            prop_assert!(fix.point.fast_distance(&center()) <= radius + 5.0);
+        }
+    }
+
+    #[test]
+    fn static_clients_are_fixed_points(
+        lat in 30.0..45.0f64,
+        lon in -100.0..-80.0f64,
+        us in 0i64..10_000_000_000_000,
+    ) {
+        let p = GeoPoint::new(lat, lon).unwrap();
+        let c = StaticClient::new(ClientId(3), p);
+        let fix = c.position_at(SimTime::from_micros(us)).unwrap();
+        prop_assert_eq!(fix.point, p);
+        prop_assert_eq!(fix.speed_mps, 0.0);
+    }
+}

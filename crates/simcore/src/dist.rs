@@ -1,0 +1,290 @@
+//! Random-variate samplers.
+//!
+//! Implemented from first principles (Box–Muller, inverse transform) so
+//! the workspace's dependency set stays within the approved list — see
+//! DESIGN.md. Each sampler is a small value type drawing from any
+//! `rand::Rng`, mirroring `rand_distr`'s API shape.
+
+use rand::Rng;
+
+/// Normal (Gaussian) distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution. `std_dev` must be non-negative and
+    /// finite; otherwise `None`.
+    pub fn new(mean: f64, std_dev: f64) -> Option<Self> {
+        (mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0)
+            .then_some(Self { mean, std_dev })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        // Box–Muller; u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution parameterized by the mean/σ of the underlying
+/// normal (location µ, scale σ of ln X).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with underlying normal `N(mu, sigma²)`.
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        Normal::new(mu, sigma).map(|norm| Self { norm })
+    }
+
+    /// Creates a log-normal with a target *arithmetic* mean and relative
+    /// standard deviation (cv = σ/mean of X itself). Convenient for
+    /// "throughput ~ 1 Mbps ± 15%" style specifications.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Option<Self> {
+        if !(mean.is_finite() && cv.is_finite()) || mean <= 0.0 || cv < 0.0 {
+            return None;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate λ (mean 1/λ), via inverse transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Option<Self> {
+        (lambda.is_finite() && lambda > 0.0).then_some(Self { rate: lambda })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Bounded Pareto distribution on `[lo, hi]` with shape α — the classic
+/// heavy-tailed model for web object sizes (used by the SURGE workload).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    alpha: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto. Requires `0 < lo < hi` and `alpha > 0`.
+    pub fn new(alpha: f64, lo: f64, hi: f64) -> Option<Self> {
+        (alpha > 0.0 && lo > 0.0 && hi > lo && alpha.is_finite() && hi.is_finite())
+            .then_some(Self { alpha, lo, hi })
+    }
+
+    /// Draws one sample via inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la))
+            .powf(-1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`, via inverse
+/// transform over the precomputed CDF. Models web-page popularity.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n >= 1` ranks with exponent
+    /// `s >= 0` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Some(Self { cdf })
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    fn sample_n<F: FnMut(&mut ChaCha8Rng) -> f64>(n: usize, mut f: F) -> Vec<f64> {
+        let mut r = rng();
+        (0..n).map(|_| f(&mut r)).collect()
+    }
+
+    fn mean_std(v: &[f64]) -> (f64, f64) {
+        let n = v.len() as f64;
+        let m = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1.0);
+        (m, var.sqrt())
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let xs = sample_n(50_000, |r| d.sample(r));
+        let (m, s) = mean_std(&xs);
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+        assert!((s - 2.0).abs() < 0.05, "std {s}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let d = Normal::new(5.0, 0.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 5.0);
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_none());
+        assert!(Normal::new(f64::NAN, 1.0).is_none());
+        assert!(Normal::new(0.0, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn lognormal_from_mean_cv_hits_target() {
+        let d = LogNormal::from_mean_cv(1000.0, 0.15).unwrap();
+        let xs = sample_n(50_000, |r| d.sample(r));
+        let (m, s) = mean_std(&xs);
+        assert!((m - 1000.0).abs() / 1000.0 < 0.02, "mean {m}");
+        assert!((s / m - 0.15).abs() < 0.02, "cv {}", s / m);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::from_mean_cv(-1.0, 0.5).is_none());
+        assert!(LogNormal::from_mean_cv(1.0, -0.5).is_none());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.5).unwrap();
+        let xs = sample_n(50_000, |r| d.sample(r));
+        let (m, _) = mean_std(&xs);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+        assert!(Exponential::new(0.0).is_none());
+        assert!(Exponential::new(-1.0).is_none());
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_skew() {
+        let d = BoundedPareto::new(1.2, 2800.0, 3_200_000.0).unwrap();
+        let xs = sample_n(20_000, |r| d.sample(r));
+        assert!(xs.iter().all(|&x| (2800.0..=3_200_000.0).contains(&x)));
+        let (m, _) = mean_std(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        assert!(m > 2.0 * median, "heavy tail: mean {m} median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_rejects_bad_params() {
+        assert!(BoundedPareto::new(0.0, 1.0, 2.0).is_none());
+        assert!(BoundedPareto::new(1.0, 0.0, 2.0).is_none());
+        assert!(BoundedPareto::new(1.0, 2.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn zipf_rank_one_is_most_popular() {
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut counts = vec![0usize; 101];
+        let mut r = rng();
+        for _ in 0..50_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        assert_eq!(counts[0], 0);
+        // Zipf law: count(1)/count(2) ≈ 2.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let d = Zipf::new(10, 0.0).unwrap();
+        let mut counts = [0usize; 11];
+        let mut r = rng();
+        for _ in 0..50_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate().skip(1) {
+            assert!((c as f64 - 5000.0).abs() < 400.0, "rank {k}: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(10, -1.0).is_none());
+        assert!(Zipf::new(10, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let a: Vec<f64> = sample_n(5, |r| d.sample(r));
+        let b: Vec<f64> = sample_n(5, |r| d.sample(r));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Discrete-event queue with deterministic ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered event queue.
+///
+/// Events scheduled for the same instant pop in insertion order (a
+/// monotonically increasing sequence number breaks ties), so simulation
+/// runs are reproducible regardless of heap internals.
+///
+/// ```
+/// use wiscape_simcore::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(5), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// q.schedule(SimTime::from_secs(5), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(5), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops the earliest event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains the whole queue in time order.
+    pub fn drain_ordered(&mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for s in [7, 3, 9, 1, 4] {
+            q.schedule(SimTime::from_secs(s), s);
+        }
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 3, 4, 7, 9]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "later");
+        q.schedule(SimTime::from_secs(1), "now");
+        assert_eq!(q.pop_due(SimTime::from_secs(5)), Some((SimTime::from_secs(1), "now")));
+        assert_eq!(q.pop_due(SimTime::from_secs(5)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(SimTime::from_secs(10)), Some((SimTime::from_secs(10), "later")));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop_due(SimTime::from_secs(100)), None);
+    }
+
+    #[test]
+    fn drain_ordered_empties_queue() {
+        let mut q = EventQueue::new();
+        let base = SimTime::EPOCH;
+        for i in (0..50).rev() {
+            q.schedule(base + SimDuration::from_millis(i), i);
+        }
+        let drained = q.drain_ordered();
+        assert_eq!(drained.len(), 50);
+        assert!(q.is_empty());
+        for (w, (_, e)) in drained.iter().enumerate() {
+            assert_eq!(*e, w as i64);
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(SimTime::from_secs(3), "b");
+        q.schedule(SimTime::from_secs(1), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        q.schedule(SimTime::from_secs(0), "d");
+        assert_eq!(q.pop().unwrap().1, "d");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic simulation kernel for WiScape.
+//!
+//! Following the smoltcp idiom adopted for this workspace, the simulator
+//! is **event-driven with an explicit clock**: no component reads wall
+//! time or a global RNG; every call takes a [`SimTime`] and randomness
+//! comes from named, seed-derived [`rng::StreamRng`] streams. Two runs
+//! with the same master seed produce bit-identical results.
+//!
+//! Contents:
+//! * [`time`] — simulated clock ([`SimTime`], [`SimDuration`]) with
+//!   calendar helpers (time of day, day index) used by diurnal models and
+//!   bus schedules;
+//! * [`events`] — a stable-order event queue for discrete-event loops;
+//! * [`rng`] — hierarchical deterministic RNG streams;
+//! * [`dist`] — textbook samplers (normal, lognormal, exponential,
+//!   Pareto, Zipf) so the workspace needs no `rand_distr` dependency;
+//! * [`noise`] — smooth hash-based value noise in 1-D (time) and 2-D
+//!   (space), the building block of spatially/temporally correlated
+//!   performance fields;
+//! * [`process`] — diurnal load profiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod events;
+pub mod noise;
+pub mod process;
+pub mod rng;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::StreamRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,261 @@
+//! Smooth deterministic value noise.
+//!
+//! The simulator needs *correlated* random fields that can be queried at
+//! arbitrary coordinates without storing state:
+//!
+//! * spatial fields (2-D) — a network's base performance varies smoothly
+//!   across terrain, so nearby locations are similar (which is exactly the
+//!   intra-zone homogeneity WiScape exploits, paper §3.1);
+//! * temporal tracks (1-D) — a zone's performance drifts slowly with a
+//!   zone-specific coherence time (the epoch structure of §3.2).
+//!
+//! Classic lattice value noise provides both: hash the integer lattice
+//! points to pseudo-random values, interpolate with a smoothstep, and the
+//! result is a deterministic, continuous function whose correlation length
+//! equals the lattice spacing. Fractal sums (fBm) add multi-scale detail.
+
+use crate::rng::StreamRng;
+
+/// Quintic smoothstep `6t⁵ - 15t⁴ + 10t³`: C² interpolation weight.
+fn smooth(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// 1-D value noise: a smooth function of `x` with values in `[-1, 1]`,
+/// correlation length ≈ 1 lattice unit.
+///
+/// Scale the input to set the coherence length: `noise.at(t / tau)` has
+/// coherence time ≈ `tau`.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise1D {
+    stream: StreamRng,
+}
+
+impl ValueNoise1D {
+    /// Creates a noise track from a stream node.
+    pub fn new(stream: StreamRng) -> Self {
+        Self { stream }
+    }
+
+    fn lattice(&self, i: i64) -> f64 {
+        self.stream.fork_idx(i as u64).draw_unit_f64() * 2.0 - 1.0
+    }
+
+    /// Evaluates the noise at `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        let i = x.floor() as i64;
+        let t = x - i as f64;
+        let a = self.lattice(i);
+        let b = self.lattice(i + 1);
+        a + (b - a) * smooth(t)
+    }
+
+    /// Fractal Brownian motion: `octaves` layers of self-similar detail,
+    /// each at double frequency and `gain` amplitude of the previous.
+    /// Output stays within `[-1/(1-gain), 1/(1-gain)]` scaled back to
+    /// roughly `[-1, 1]`.
+    pub fn fbm(&self, x: f64, octaves: u32, gain: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut amp = 1.0;
+        let mut freq = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            let layer = ValueNoise1D {
+                stream: self.stream.fork_idx(1000 + o as u64),
+            };
+            sum += amp * layer.at(x * freq);
+            norm += amp;
+            amp *= gain;
+            freq *= 2.0;
+        }
+        if norm > 0.0 {
+            sum / norm
+        } else {
+            0.0
+        }
+    }
+}
+
+/// 2-D value noise: a smooth function of the plane with values in
+/// `[-1, 1]`, correlation length ≈ 1 lattice unit in each axis.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise2D {
+    stream: StreamRng,
+}
+
+impl ValueNoise2D {
+    /// Creates a noise field from a stream node.
+    pub fn new(stream: StreamRng) -> Self {
+        Self { stream }
+    }
+
+    fn lattice(&self, i: i64, j: i64) -> f64 {
+        // Interleave signs into the index mapping so negative coordinates
+        // do not collide with positive ones.
+        let zi = ((i << 1) ^ (i >> 63)) as u64;
+        let zj = ((j << 1) ^ (j >> 63)) as u64;
+        self.stream
+            .fork_idx(zi)
+            .fork_idx(zj)
+            .draw_unit_f64()
+            * 2.0
+            - 1.0
+    }
+
+    /// Evaluates the noise at `(x, y)`.
+    pub fn at(&self, x: f64, y: f64) -> f64 {
+        let i = x.floor() as i64;
+        let j = y.floor() as i64;
+        let tx = smooth(x - i as f64);
+        let ty = smooth(y - j as f64);
+        let v00 = self.lattice(i, j);
+        let v10 = self.lattice(i + 1, j);
+        let v01 = self.lattice(i, j + 1);
+        let v11 = self.lattice(i + 1, j + 1);
+        let a = v00 + (v10 - v00) * tx;
+        let b = v01 + (v11 - v01) * tx;
+        a + (b - a) * ty
+    }
+
+    /// Fractal Brownian motion over the plane (see [`ValueNoise1D::fbm`]).
+    pub fn fbm(&self, x: f64, y: f64, octaves: u32, gain: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut amp = 1.0;
+        let mut freq = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            let layer = ValueNoise2D {
+                stream: self.stream.fork_idx(2000 + o as u64),
+            };
+            sum += amp * layer.at(x * freq, y * freq);
+            norm += amp;
+            amp *= gain;
+            freq *= 2.0;
+        }
+        if norm > 0.0 {
+            sum / norm
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n1(seed: u64) -> ValueNoise1D {
+        ValueNoise1D::new(StreamRng::new(seed).fork("t"))
+    }
+
+    fn n2(seed: u64) -> ValueNoise2D {
+        ValueNoise2D::new(StreamRng::new(seed).fork("s"))
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = n1(3);
+        let b = n1(3);
+        for i in 0..100 {
+            let x = i as f64 * 0.173;
+            assert_eq!(a.at(x), b.at(x));
+        }
+        let f1 = n2(4);
+        let f2 = n2(4);
+        assert_eq!(f1.at(3.7, -2.1), f2.at(3.7, -2.1));
+    }
+
+    #[test]
+    fn bounded() {
+        let n = n1(5);
+        let f = n2(6);
+        for i in 0..2000 {
+            let x = (i as f64 - 1000.0) * 0.37;
+            assert!(n.at(x).abs() <= 1.0 + 1e-12);
+            assert!(f.at(x, x * 0.7).abs() <= 1.0 + 1e-12);
+            assert!(n.fbm(x, 4, 0.5).abs() <= 1.0 + 1e-9);
+            assert!(f.fbm(x, -x, 4, 0.5).abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn continuous_small_steps_small_changes() {
+        let n = n1(7);
+        let mut prev = n.at(0.0);
+        for i in 1..10_000 {
+            let x = i as f64 * 1e-3;
+            let cur = n.at(x);
+            assert!((cur - prev).abs() < 0.02, "jump at x={x}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn continuous_2d() {
+        let f = n2(8);
+        let mut prev = f.at(0.0, 0.0);
+        for i in 1..5000 {
+            let x = i as f64 * 1e-3;
+            let cur = f.at(x, x * 0.5);
+            assert!((cur - prev).abs() < 0.02, "jump at x={x}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn correlation_decays_with_distance() {
+        // Samples one lattice unit apart should be far less correlated
+        // than samples 0.05 apart.
+        let n = n1(9);
+        let xs: Vec<f64> = (0..4000).map(|i| i as f64 * 0.25).collect();
+        let corr_at = |lag: f64| {
+            let a: Vec<f64> = xs.iter().map(|&x| n.at(x)).collect();
+            let b: Vec<f64> = xs.iter().map(|&x| n.at(x + lag)).collect();
+            let ma = a.iter().sum::<f64>() / a.len() as f64;
+            let mb = b.iter().sum::<f64>() / b.len() as f64;
+            let cov: f64 = a.iter().zip(&b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+            let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        assert!(corr_at(0.05) > 0.95);
+        assert!(corr_at(5.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn different_seeds_give_different_fields() {
+        let a = n2(10);
+        let b = n2(11);
+        let diffs = (0..100)
+            .filter(|&i| {
+                let x = i as f64 * 0.31;
+                (a.at(x, -x) - b.at(x, -x)).abs() > 1e-6
+            })
+            .count();
+        assert!(diffs > 90);
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let f = n2(12);
+        // Must be continuous across zero and distinct across sign.
+        let eps = 1e-4;
+        assert!((f.at(-eps, 0.5) - f.at(eps, 0.5)).abs() < 0.01);
+        assert!((f.at(-5.5, -3.5) - f.at(5.5, 3.5)).abs() > 1e-9);
+    }
+
+    #[test]
+    fn fbm_adds_fine_detail() {
+        // fBm should vary more over short distances than single-octave
+        // noise of the same base frequency.
+        let n = n1(13);
+        let step = 0.02;
+        let tv_single: f64 = (0..2000)
+            .map(|i| (n.at((i + 1) as f64 * step) - n.at(i as f64 * step)).abs())
+            .sum();
+        let tv_fbm: f64 = (0..2000)
+            .map(|i| (n.fbm((i + 1) as f64 * step, 5, 0.6) - n.fbm(i as f64 * step, 5, 0.6)).abs())
+            .sum();
+        assert!(tv_fbm > tv_single, "fbm {tv_fbm} vs single {tv_single}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Temporal load processes.
+//!
+//! Cellular performance has a pronounced daily rhythm driven by human
+//! activity: light load overnight, a morning ramp, sustained daytime
+//! load, an evening peak. [`DiurnalProfile`] models this as a smooth
+//! periodic multiplier applied to a network's base capacity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A smooth 24-hour load profile.
+///
+/// `load(t)` in `[0, 1]` peaks in the evening and bottoms out at night;
+/// `capacity_factor(t)` converts load into a multiplicative factor on
+/// deliverable throughput: `1 - depth * load`, so heavier load means less
+/// available capacity. Weekends can be scaled separately (buses and
+/// people move differently).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Fraction of capacity removed at peak load (e.g. 0.25 = -25%).
+    pub depth: f64,
+    /// Multiplier applied to load on Saturdays/Sundays.
+    pub weekend_factor: f64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        Self {
+            depth: 0.2,
+            weekend_factor: 0.8,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// Creates a profile; `depth` is clamped to `[0, 0.9]` and
+    /// `weekend_factor` to `[0, 2]`.
+    pub fn new(depth: f64, weekend_factor: f64) -> Self {
+        Self {
+            depth: depth.clamp(0.0, 0.9),
+            weekend_factor: weekend_factor.clamp(0.0, 2.0),
+        }
+    }
+
+    /// Normalized load in `[0, 1]` at simulated time `t`.
+    ///
+    /// The shape is a sum of two harmonics tuned to put the minimum around
+    /// 04:00 and the maximum around 19:00 — the canonical shape of
+    /// aggregate mobile traffic.
+    pub fn load(&self, t: SimTime) -> f64 {
+        let h = t.hour_of_day();
+        // Base daily wave: raised cosine with minimum at 04:00 and
+        // maximum at 16:00.
+        let w1 = 0.5 - 0.5 * ((h - 4.0) / 24.0 * std::f64::consts::TAU).cos();
+        // Second harmonic skews the peak toward the evening (~19:00).
+        let w2 = 0.15 * ((h - 7.0) / 12.0 * std::f64::consts::TAU).sin();
+        let load = (w1 + w2).clamp(0.0, 1.0);
+        if t.is_weekend() {
+            (load * self.weekend_factor).clamp(0.0, 1.0)
+        } else {
+            load
+        }
+    }
+
+    /// Capacity multiplier in `[1 - depth, 1]` at time `t`.
+    pub fn capacity_factor(&self, t: SimTime) -> f64 {
+        1.0 - self.depth * self.load(t)
+    }
+
+    /// Latency multiplier at time `t`: queueing delay grows with load;
+    /// `1 + depth * load` keeps it inverse-symmetric with capacity.
+    pub fn latency_factor(&self, t: SimTime) -> f64 {
+        1.0 + self.depth * self.load(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_bounded() {
+        let p = DiurnalProfile::default();
+        for i in 0..24 * 7 * 4 {
+            let t = SimTime::from_secs(i * 900);
+            let l = p.load(t);
+            assert!((0.0..=1.0).contains(&l), "load {l} at {t}");
+            let c = p.capacity_factor(t);
+            assert!((1.0 - p.depth..=1.0).contains(&c));
+            assert!(p.latency_factor(t) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn night_is_lighter_than_evening() {
+        let p = DiurnalProfile::default();
+        let night = p.load(SimTime::at(1, 4.0));
+        let evening = p.load(SimTime::at(1, 19.0));
+        assert!(
+            evening > night + 0.3,
+            "evening {evening} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn capacity_moves_opposite_latency() {
+        let p = DiurnalProfile::default();
+        let busy = SimTime::at(2, 18.0);
+        let quiet = SimTime::at(2, 4.0);
+        assert!(p.capacity_factor(busy) < p.capacity_factor(quiet));
+        assert!(p.latency_factor(busy) > p.latency_factor(quiet));
+    }
+
+    #[test]
+    fn weekend_scaling_applies() {
+        let p = DiurnalProfile::new(0.3, 0.5);
+        let weekday = p.load(SimTime::at(2, 17.0));
+        let weekend = p.load(SimTime::at(5, 17.0));
+        assert!((weekend - weekday * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_is_periodic_across_weekdays() {
+        let p = DiurnalProfile::default();
+        // Same hour on two weekdays -> same load.
+        assert_eq!(p.load(SimTime::at(1, 13.0)), p.load(SimTime::at(3, 13.0)));
+    }
+
+    #[test]
+    fn constructor_clamps() {
+        let p = DiurnalProfile::new(5.0, -1.0);
+        assert_eq!(p.depth, 0.9);
+        assert_eq!(p.weekend_factor, 0.0);
+    }
+
+    #[test]
+    fn load_is_continuous_over_midnight() {
+        let p = DiurnalProfile::default();
+        let before = p.load(SimTime::at(1, 23.999));
+        let after = p.load(SimTime::at(2, 0.001));
+        assert!((before - after).abs() < 0.01);
+    }
+}

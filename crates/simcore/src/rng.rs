@@ -1,0 +1,182 @@
+//! Hierarchical deterministic RNG streams.
+//!
+//! Every stochastic component of the simulation draws from a stream
+//! derived from the master seed and a *path* of names/indices, e.g.
+//! `master -> "bus" -> 17 -> "route-choice" -> day 42`. Deriving streams
+//! by hashing the path (SplitMix64 over FNV-1a of the labels) rather than
+//! sharing one sequential RNG means:
+//!
+//! * components can be reordered, added, or run in parallel without
+//!   perturbing each other's randomness;
+//! * any sub-stream can be reproduced in isolation (key for debugging a
+//!   single bus or zone);
+//! * results are stable across `rand` versions, because the generator is
+//!   the portable `ChaCha8` stream cipher, not `StdRng`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// FNV-1a 64-bit hash, used to fold stream labels into seed material.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates nearby seed values.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A node in the deterministic stream hierarchy.
+///
+/// `StreamRng` is *not* itself an RNG: it is a factory. Call
+/// [`StreamRng::rng`] to obtain a concrete `ChaCha8Rng` for drawing, or
+/// [`StreamRng::fork`]/[`StreamRng::fork_idx`] to descend the hierarchy.
+///
+/// ```
+/// use wiscape_simcore::StreamRng;
+/// use rand::Rng;
+/// let root = StreamRng::new(42);
+/// let a1 = root.fork("bus").fork_idx(1).rng().gen::<u64>();
+/// let a2 = root.fork("bus").fork_idx(1).rng().gen::<u64>();
+/// let b = root.fork("bus").fork_idx(2).rng().gen::<u64>();
+/// assert_eq!(a1, a2); // same path, same stream
+/// assert_ne!(a1, b);  // different path, independent stream
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRng {
+    state: u64,
+}
+
+impl StreamRng {
+    /// Creates the root of a stream hierarchy from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            state: splitmix64(master_seed ^ 0x5752_4F4F_5453_4545), // "WROOTSEE"
+        }
+    }
+
+    /// Child stream identified by a string label.
+    pub fn fork(&self, label: &str) -> StreamRng {
+        StreamRng {
+            state: splitmix64(self.state ^ fnv1a(label.as_bytes())),
+        }
+    }
+
+    /// Child stream identified by an integer index.
+    pub fn fork_idx(&self, idx: u64) -> StreamRng {
+        StreamRng {
+            state: splitmix64(self.state.rotate_left(17) ^ splitmix64(idx ^ 0xA5A5_5A5A)),
+        }
+    }
+
+    /// A concrete generator for this node. Each call returns a fresh
+    /// generator positioned at the start of the (fixed) stream.
+    pub fn rng(&self) -> ChaCha8Rng {
+        let mut seed = [0u8; 32];
+        let mut s = self.state;
+        for chunk in seed.chunks_mut(8) {
+            s = splitmix64(s);
+            chunk.copy_from_slice(&s.to_le_bytes());
+        }
+        ChaCha8Rng::from_seed(seed)
+    }
+
+    /// A single deterministic `u64` for this node — a cheap hash draw for
+    /// hot paths (per-packet noise) where constructing a full ChaCha
+    /// generator would dominate.
+    pub fn draw_u64(&self) -> u64 {
+        splitmix64(self.state ^ 0xD1B5_4A32_D192_ED03)
+    }
+
+    /// A single deterministic uniform sample in `[0, 1)` for this node.
+    pub fn draw_unit_f64(&self) -> f64 {
+        // 53 high bits -> [0,1) double, the standard construction.
+        (self.draw_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_path_same_stream() {
+        let r1 = StreamRng::new(7).fork("a").fork_idx(3);
+        let r2 = StreamRng::new(7).fork("a").fork_idx(3);
+        let x1: Vec<u64> = r1.rng().sample_iter(rand::distributions::Standard).take(10).collect();
+        let x2: Vec<u64> = r2.rng().sample_iter(rand::distributions::Standard).take(10).collect();
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let root = StreamRng::new(7);
+        assert_ne!(root.fork("a").draw_u64(), root.fork("b").draw_u64());
+        assert_ne!(root.fork_idx(0).draw_u64(), root.fork_idx(1).draw_u64());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(StreamRng::new(1).draw_u64(), StreamRng::new(2).draw_u64());
+    }
+
+    #[test]
+    fn order_of_sibling_forks_is_irrelevant() {
+        let root = StreamRng::new(99);
+        let a_then_b = (root.fork("a").draw_u64(), root.fork("b").draw_u64());
+        let b_then_a = (root.fork("b").draw_u64(), root.fork("a").draw_u64());
+        assert_eq!(a_then_b.0, b_then_a.1);
+        assert_eq!(a_then_b.1, b_then_a.0);
+    }
+
+    #[test]
+    fn path_is_not_commutative() {
+        let root = StreamRng::new(5);
+        assert_ne!(
+            root.fork("x").fork("y").draw_u64(),
+            root.fork("y").fork("x").draw_u64()
+        );
+    }
+
+    #[test]
+    fn unit_draws_are_in_range_and_spread() {
+        let root = StreamRng::new(1234);
+        let vals: Vec<f64> = (0..10_000).map(|i| root.fork_idx(i).draw_unit_f64()).collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // Crude uniformity check over deciles.
+        let mut deciles = [0usize; 10];
+        for v in &vals {
+            deciles[(v * 10.0) as usize] += 1;
+        }
+        for (i, d) in deciles.iter().enumerate() {
+            assert!((800..1200).contains(d), "decile {i} = {d}");
+        }
+    }
+
+    #[test]
+    fn adjacent_indices_are_decorrelated() {
+        let root = StreamRng::new(77).fork("pkt");
+        // Correlation of consecutive hash draws should be negligible.
+        let xs: Vec<f64> = (0..5000).map(|i| root.fork_idx(i).draw_unit_f64()).collect();
+        let a: Vec<f64> = xs[..xs.len() - 1].to_vec();
+        let b: Vec<f64> = xs[1..].to_vec();
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(&b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum::<f64>() / n;
+        let r = cov / va;
+        assert!(r.abs() < 0.05, "serial correlation {r}");
+    }
+}

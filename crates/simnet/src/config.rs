@@ -1,0 +1,365 @@
+//! Landscape configuration and region presets.
+//!
+//! The presets encode the calibration targets taken directly from the
+//! paper's tables:
+//!
+//! * base throughputs per network-region from Table 3 (Static columns);
+//! * per-packet dispersion (`fine_cv_*`) back-solved from Table 5's
+//!   "packets needed for 97% accuracy" via `n ≈ (1.96·cv/0.03)²`;
+//! * epoch-scale drift amplitudes from Table 4's 30-minute standard
+//!   deviations;
+//! * coherence times from Fig 6 (≈75 min in the Madison zone, ≈15 min in
+//!   the New Brunswick zone);
+//! * jitter and RTT levels from Table 3 / Fig 2 / Fig 10.
+
+use serde::{Deserialize, Serialize};
+use wiscape_geo::GeoPoint;
+use wiscape_simcore::process::DiurnalProfile;
+use wiscape_simcore::SimDuration;
+
+use crate::events::{DegradedZoneModel, SpecialEvent};
+use crate::network::NetworkId;
+
+/// Per-network tunables of the ground-truth field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Which operator this parameterizes.
+    pub id: NetworkId,
+    /// Region-wide mean UDP downlink throughput, kbit/s.
+    pub base_udp_kbps: f64,
+    /// TCP mean as a fraction of the UDP mean (protocol overhead &
+    /// congestion control keep it slightly below 1 in most cells).
+    pub tcp_ratio: f64,
+    /// Region-wide mean application-level RTT, ms.
+    pub base_rtt_ms: f64,
+    /// Region-wide mean IPDV jitter, ms.
+    pub base_jitter_ms: f64,
+    /// Baseline packet-loss probability.
+    pub base_loss: f64,
+    /// Coefficient of variation of per-packet UDP throughput samples.
+    pub fine_cv_udp: f64,
+    /// Coefficient of variation of per-packet TCP throughput samples.
+    pub fine_cv_tcp: f64,
+    /// Coefficient of variation of per-ping RTT samples.
+    pub fine_cv_rtt: f64,
+    /// Amplitude (± fraction) of the smooth spatial field.
+    pub spatial_amp: f64,
+    /// Amplitude (± fraction) of the epoch-scale temporal drift.
+    pub drift_amp: f64,
+    /// Tower lattice spacing, meters.
+    pub tower_spacing_m: f64,
+    /// Strength of tower proximity on throughput (0 = ignore towers,
+    /// 1 = full proximity factor).
+    pub tower_weight: f64,
+    /// Fraction of throughput lost far outside the metro core (0 = flat
+    /// coverage). Operators deployed their 3G buildouts differently:
+    /// the HSPA network concentrated on the city, which is why the
+    /// paper's road-stretch analysis (Figs 12-13) finds different
+    /// networks dominating different parts of the corridor.
+    pub rural_falloff: f64,
+    /// Radius of full-strength metro coverage, meters.
+    pub metro_radius_m: f64,
+    /// Distance over which coverage fades from metro to rural level,
+    /// meters.
+    pub rural_taper_m: f64,
+    /// Daily load rhythm.
+    pub diurnal: DiurnalProfile,
+}
+
+impl NetworkParams {
+    /// Mean TCP throughput implied by the parameters, kbit/s.
+    pub fn base_tcp_kbps(&self) -> f64 {
+        self.base_udp_kbps * self.tcp_ratio
+    }
+}
+
+/// Which of the paper's two study regions a preset models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionPreset {
+    /// Madison, WI — the 155 km² city area plus the corridor to Chicago.
+    MadisonWi,
+    /// New Brunswick / Princeton, NJ — faster but more variable networks.
+    NewBrunswickNj,
+}
+
+/// Full landscape configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LandscapeConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Projection / noise-field origin (city center).
+    pub origin: GeoPoint,
+    /// Which region this landscape models (affects labels only; the
+    /// numbers live in the other fields).
+    pub region: RegionPreset,
+    /// The networks present in this region.
+    pub networks: Vec<NetworkParams>,
+    /// Correlation length of the spatial performance field, meters.
+    /// Larger values make zones more homogeneous (paper §3.1).
+    pub spatial_corr_m: f64,
+    /// Typical coherence time of the epoch-scale drift. The *local*
+    /// coherence time varies around this by ±`coherence_spread`.
+    pub coherence_base: SimDuration,
+    /// Fractional spread of local coherence times (0 = uniform).
+    pub coherence_spread: f64,
+    /// Spatial cell size used for drift coherence (zone-scale), meters.
+    pub drift_cell_m: f64,
+    /// Spatial cell size of chronic degradation patches, meters. Larger
+    /// than a zone so a degraded patch fully covers the zones inside it
+    /// (the paper's failed-ping zones are *whole* zones gone bad).
+    pub degraded_cell_m: f64,
+    /// Model of chronically degraded zones (paper §4.1, Fig 9).
+    pub degraded: DegradedZoneModel,
+    /// Scheduled special events (paper §4.1, Fig 10).
+    pub events: Vec<SpecialEvent>,
+}
+
+/// Madison city center used as the origin of the WI landscape.
+pub fn madison_center() -> GeoPoint {
+    GeoPoint::new(43.0731, -89.4012).expect("static coordinates are valid")
+}
+
+/// New Brunswick center used as the origin of the NJ landscape.
+pub fn new_brunswick_center() -> GeoPoint {
+    GeoPoint::new(40.4862, -74.4518).expect("static coordinates are valid")
+}
+
+/// Camp Randall stadium (the 80,000-seat football stadium of §4.1).
+pub fn stadium_location() -> GeoPoint {
+    GeoPoint::new(43.0699, -89.4124).expect("static coordinates are valid")
+}
+
+impl LandscapeConfig {
+    /// The Madison, WI preset: all three networks, calibrated to the WI
+    /// columns of Tables 3–5 and the 75-minute coherence time of Fig 6a.
+    ///
+    /// Includes the paper's football-Saturday latency surge (Fig 10) as a
+    /// pre-scheduled event on day 5 (Saturday), 11:00–14:00, and a small
+    /// population of chronically degraded zones (Fig 9).
+    pub fn madison(seed: u64) -> Self {
+        let diurnal = DiurnalProfile::new(0.06, 0.8);
+        Self {
+            seed,
+            origin: madison_center(),
+            region: RegionPreset::MadisonWi,
+            networks: vec![
+                NetworkParams {
+                    id: NetworkId::NetA,
+                    base_udp_kbps: 1241.0,
+                    tcp_ratio: 1.0,
+                    base_rtt_ms: 158.0,
+                    base_jitter_ms: 7.4,
+                    base_loss: 0.002,
+                    fine_cv_udp: 0.145,
+                    fine_cv_tcp: 0.118,
+                    fine_cv_rtt: 0.05,
+                    spatial_amp: 0.50,
+                    drift_amp: 0.13,
+                    tower_spacing_m: 2600.0,
+                    tower_weight: 0.55,
+                    rural_falloff: 0.45,
+                    metro_radius_m: 7000.0,
+                    rural_taper_m: 9000.0,
+                    diurnal,
+                },
+                NetworkParams {
+                    id: NetworkId::NetB,
+                    base_udp_kbps: 867.0,
+                    tcp_ratio: 0.975,
+                    base_rtt_ms: 113.0,
+                    base_jitter_ms: 3.0,
+                    base_loss: 0.002,
+                    fine_cv_udp: 0.118,
+                    fine_cv_tcp: 0.097,
+                    fine_cv_rtt: 0.05,
+                    spatial_amp: 0.50,
+                    drift_amp: 0.09,
+                    tower_spacing_m: 2400.0,
+                    tower_weight: 0.55,
+                    rural_falloff: 0.08,
+                    metro_radius_m: 7000.0,
+                    rural_taper_m: 9000.0,
+                    diurnal,
+                },
+                NetworkParams {
+                    id: NetworkId::NetC,
+                    base_udp_kbps: 1017.0,
+                    tcp_ratio: 1.05,
+                    base_rtt_ms: 150.0,
+                    base_jitter_ms: 3.4,
+                    base_loss: 0.002,
+                    fine_cv_udp: 0.097,
+                    fine_cv_tcp: 0.097,
+                    fine_cv_rtt: 0.05,
+                    spatial_amp: 0.50,
+                    drift_amp: 0.09,
+                    tower_spacing_m: 2500.0,
+                    tower_weight: 0.55,
+                    rural_falloff: 0.18,
+                    metro_radius_m: 7000.0,
+                    rural_taper_m: 9000.0,
+                    diurnal,
+                },
+            ],
+            spatial_corr_m: 3000.0,
+            coherence_base: SimDuration::from_mins(75),
+            coherence_spread: 0.35,
+            drift_cell_m: 500.0,
+            degraded_cell_m: 1100.0,
+            degraded: DegradedZoneModel::default(),
+            events: vec![SpecialEvent::football_game(
+                stadium_location(),
+                // Saturday (day index 5), 11:00-14:00, ~3.7x latency.
+                5,
+                11.0,
+                3.0,
+            )],
+        }
+    }
+
+    /// The New Brunswick / Princeton, NJ preset: NetB and NetC only
+    /// (matching the paper's Table 2), faster bases, higher dispersion,
+    /// and the ~15-minute coherence time of Fig 6b.
+    pub fn new_brunswick(seed: u64) -> Self {
+        let diurnal = DiurnalProfile::new(0.07, 0.85);
+        Self {
+            seed,
+            origin: new_brunswick_center(),
+            region: RegionPreset::NewBrunswickNj,
+            networks: vec![
+                NetworkParams {
+                    id: NetworkId::NetB,
+                    base_udp_kbps: 1690.0,
+                    tcp_ratio: 0.884, // 1494/1690
+                    base_rtt_ms: 105.0,
+                    base_jitter_ms: 2.8,
+                    base_loss: 0.002,
+                    fine_cv_udp: 0.167,
+                    fine_cv_tcp: 0.167,
+                    fine_cv_rtt: 0.05,
+                    spatial_amp: 0.50,
+                    drift_amp: 0.20,
+                    tower_spacing_m: 2100.0,
+                    tower_weight: 0.55,
+                    rural_falloff: 0.10,
+                    metro_radius_m: 6000.0,
+                    rural_taper_m: 8000.0,
+                    diurnal,
+                },
+                NetworkParams {
+                    id: NetworkId::NetC,
+                    base_udp_kbps: 2204.0,
+                    tcp_ratio: 0.839, // 1850/2204
+                    base_rtt_ms: 98.0,
+                    base_jitter_ms: 1.6,
+                    base_loss: 0.002,
+                    fine_cv_udp: 0.128,
+                    fine_cv_tcp: 0.108,
+                    fine_cv_rtt: 0.05,
+                    spatial_amp: 0.50,
+                    drift_amp: 0.22,
+                    tower_spacing_m: 2200.0,
+                    tower_weight: 0.55,
+                    rural_falloff: 0.15,
+                    metro_radius_m: 6000.0,
+                    rural_taper_m: 8000.0,
+                    diurnal,
+                },
+            ],
+            spatial_corr_m: 2600.0,
+            coherence_base: SimDuration::from_mins(15),
+            coherence_spread: 0.35,
+            drift_cell_m: 500.0,
+            degraded_cell_m: 1100.0,
+            degraded: DegradedZoneModel::default(),
+            events: vec![],
+        }
+    }
+
+    /// Parameters for a given network, if present in this region.
+    pub fn network(&self, id: NetworkId) -> Option<&NetworkParams> {
+        self.networks.iter().find(|n| n.id == id)
+    }
+
+    /// Identifiers of the networks present in this region.
+    pub fn network_ids(&self) -> Vec<NetworkId> {
+        self.networks.iter().map(|n| n.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn madison_has_three_networks() {
+        let c = LandscapeConfig::madison(1);
+        assert_eq!(c.network_ids(), vec![NetworkId::NetA, NetworkId::NetB, NetworkId::NetC]);
+        assert!(c.network(NetworkId::NetA).is_some());
+    }
+
+    #[test]
+    fn new_brunswick_has_two_networks() {
+        let c = LandscapeConfig::new_brunswick(1);
+        assert_eq!(c.network_ids(), vec![NetworkId::NetB, NetworkId::NetC]);
+        assert!(c.network(NetworkId::NetA).is_none());
+    }
+
+    #[test]
+    fn bases_match_paper_table3() {
+        let wi = LandscapeConfig::madison(1);
+        assert_eq!(wi.network(NetworkId::NetA).unwrap().base_udp_kbps, 1241.0);
+        assert_eq!(wi.network(NetworkId::NetB).unwrap().base_udp_kbps, 867.0);
+        let nb = wi.network(NetworkId::NetB).unwrap();
+        assert!((nb.base_tcp_kbps() - 845.0).abs() < 5.0);
+
+        let nj = LandscapeConfig::new_brunswick(1);
+        let njb = nj.network(NetworkId::NetB).unwrap();
+        assert!((njb.base_tcp_kbps() - 1494.0).abs() < 5.0);
+        let njc = nj.network(NetworkId::NetC).unwrap();
+        assert!((njc.base_tcp_kbps() - 1850.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn coherence_times_match_fig6() {
+        assert_eq!(
+            LandscapeConfig::madison(1).coherence_base,
+            SimDuration::from_mins(75)
+        );
+        assert_eq!(
+            LandscapeConfig::new_brunswick(1).coherence_base,
+            SimDuration::from_mins(15)
+        );
+    }
+
+    #[test]
+    fn fine_cv_implies_table5_packet_counts() {
+        // n ≈ (1.96 * cv / 0.03)² should land near the paper's counts.
+        let n_for = |cv: f64| (1.96 * cv / 0.03f64).powi(2);
+        let wi = LandscapeConfig::madison(1);
+        let a = wi.network(NetworkId::NetA).unwrap();
+        assert!((n_for(a.fine_cv_udp) - 90.0).abs() < 10.0);
+        assert!((n_for(a.fine_cv_tcp) - 60.0).abs() < 10.0);
+        let nj = LandscapeConfig::new_brunswick(1);
+        let b = nj.network(NetworkId::NetB).unwrap();
+        assert!((n_for(b.fine_cv_udp) - 120.0).abs() < 12.0);
+    }
+
+    #[test]
+    fn madison_schedules_the_football_game() {
+        let c = LandscapeConfig::madison(1);
+        assert_eq!(c.events.len(), 1);
+        let e = &c.events[0];
+        assert!(e.window_start.is_weekend());
+        assert!(e.latency_multiplier > 3.0);
+    }
+
+    #[test]
+    fn config_serializes_round_trip() {
+        let c = LandscapeConfig::madison(99);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: LandscapeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, 99);
+        assert_eq!(back.networks.len(), 3);
+    }
+}

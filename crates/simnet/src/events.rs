@@ -1,0 +1,228 @@
+//! Special events and chronically degraded zones.
+//!
+//! Two departures from steady-state behavior that the paper's §4.1 uses
+//! to show what operators gain from WiScape:
+//!
+//! * **Special events** — localized, scheduled load surges. The canonical
+//!   example is the football Saturday at the 80,000-seat stadium, where
+//!   latencies rose ~3.7× for about three hours (Fig 10).
+//! * **Degraded zones** — a small fraction of zones with chronic radio
+//!   problems: daily ping failures and several-fold higher throughput
+//!   variability (Fig 9 shows failed-ping zones concentrate nearly all of
+//!   the >20% relative-std-dev mass).
+
+use serde::{Deserialize, Serialize};
+use wiscape_geo::GeoPoint;
+use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+
+/// A scheduled, localized performance event (e.g. a stadium game).
+///
+/// While active and within `radius_m` of `center`, latency is multiplied
+/// by `latency_multiplier` and throughput by `throughput_multiplier`,
+/// with a smooth half-cosine roll-in/out over `ramp` so the event has no
+/// unphysical step edges. The event recurs weekly if `weekly` is set
+/// (home games happen on Saturdays all season).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecialEvent {
+    /// Epicenter of the event.
+    pub center: GeoPoint,
+    /// Affected radius around the epicenter, meters.
+    pub radius_m: f64,
+    /// Start of the (first) active window.
+    pub window_start: SimTime,
+    /// Length of the active window.
+    pub duration: SimDuration,
+    /// Multiplier on RTT while active (paper: ≈3.7).
+    pub latency_multiplier: f64,
+    /// Multiplier on throughput while active (<1: congestion).
+    pub throughput_multiplier: f64,
+    /// Roll-in/roll-out ramp length.
+    pub ramp: SimDuration,
+    /// If true, the window repeats every 7 days.
+    pub weekly: bool,
+}
+
+impl SpecialEvent {
+    /// The paper's football-game surge: `day` (0 = Monday), starting at
+    /// `start_hour`, lasting `duration_hours`; 3.7× latency and 0.45×
+    /// throughput within 600 m of the stadium, recurring weekly.
+    pub fn football_game(stadium: GeoPoint, day: i64, start_hour: f64, duration_hours: f64) -> Self {
+        Self {
+            center: stadium,
+            radius_m: 600.0,
+            window_start: SimTime::at(day, start_hour),
+            duration: SimDuration::from_secs_f64(duration_hours * 3600.0),
+            latency_multiplier: 3.7,
+            throughput_multiplier: 0.45,
+            ramp: SimDuration::from_mins(15),
+            weekly: true,
+        }
+    }
+
+    /// Activation level in `[0, 1]` at time `t`: 0 outside the window,
+    /// 1 in the plateau, cosine-ramped at the edges.
+    pub fn activation(&self, t: SimTime) -> f64 {
+        let mut offset = (t - self.window_start).as_secs_f64();
+        if self.weekly {
+            let week = 7.0 * 86_400.0;
+            offset = offset.rem_euclid(week);
+        }
+        let dur = self.duration.as_secs_f64();
+        let ramp = self.ramp.as_secs_f64().max(1.0);
+        if offset < 0.0 || offset > dur {
+            return 0.0;
+        }
+        let edge = offset.min(dur - offset);
+        if edge >= ramp {
+            1.0
+        } else {
+            0.5 - 0.5 * (std::f64::consts::PI * edge / ramp).cos()
+        }
+    }
+
+    /// Spatial weight in `[0, 1]` at point `p`: 1 at the epicenter,
+    /// fading to 0 at `radius_m` (half-cosine).
+    pub fn spatial_weight(&self, p: &GeoPoint) -> f64 {
+        let d = self.center.fast_distance(p);
+        if d >= self.radius_m {
+            return 0.0;
+        }
+        0.5 + 0.5 * (std::f64::consts::PI * d / self.radius_m).cos()
+    }
+
+    /// Combined latency multiplier at `(p, t)` (1 when inactive).
+    pub fn latency_factor(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        let w = self.activation(t) * self.spatial_weight(p);
+        1.0 + (self.latency_multiplier - 1.0) * w
+    }
+
+    /// Combined throughput multiplier at `(p, t)` (1 when inactive).
+    pub fn throughput_factor(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        let w = self.activation(t) * self.spatial_weight(p);
+        1.0 + (self.throughput_multiplier - 1.0) * w
+    }
+}
+
+/// Model of chronically degraded zones.
+///
+/// Degradation is assigned per *drift cell* (the zone-scale spatial unit
+/// of the landscape) by a deterministic hash draw, so it is stable over
+/// the whole study period — matching the paper's observation of zones
+/// with ping failures on 20+ consecutive days.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DegradedZoneModel {
+    /// Fraction of cells that are degraded.
+    pub fraction: f64,
+    /// Probability that any single ping in a degraded cell fails
+    /// (healthy cells use the network's base loss).
+    pub ping_fail_prob: f64,
+    /// Multiplier on throughput drift amplitude in degraded cells
+    /// (drives the ~40% relative std-dev of Fig 9).
+    pub variability_multiplier: f64,
+    /// Multiplier on mean throughput in degraded cells (<1).
+    pub throughput_penalty: f64,
+}
+
+impl Default for DegradedZoneModel {
+    fn default() -> Self {
+        Self {
+            fraction: 0.045,
+            ping_fail_prob: 0.25,
+            variability_multiplier: 9.0,
+            throughput_penalty: 0.85,
+        }
+    }
+}
+
+impl DegradedZoneModel {
+    /// Whether the drift cell `(i, j)` is degraded, per `stream`.
+    pub fn is_degraded(&self, stream: &StreamRng, i: i64, j: i64) -> bool {
+        let zi = ((i << 1) ^ (i >> 63)) as u64;
+        let zj = ((j << 1) ^ (j >> 63)) as u64;
+        stream.fork("degraded").fork_idx(zi).fork_idx(zj).draw_unit_f64() < self.fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stadium() -> GeoPoint {
+        GeoPoint::new(43.0699, -89.4124).unwrap()
+    }
+
+    fn game() -> SpecialEvent {
+        SpecialEvent::football_game(stadium(), 5, 11.0, 3.0)
+    }
+
+    #[test]
+    fn inactive_outside_window() {
+        let e = game();
+        assert_eq!(e.activation(SimTime::at(5, 9.0)), 0.0);
+        assert_eq!(e.activation(SimTime::at(5, 15.0)), 0.0);
+        assert_eq!(e.activation(SimTime::at(3, 12.0)), 0.0);
+    }
+
+    #[test]
+    fn full_activation_mid_game() {
+        let e = game();
+        assert_eq!(e.activation(SimTime::at(5, 12.5)), 1.0);
+    }
+
+    #[test]
+    fn ramps_are_partial() {
+        let e = game();
+        let a = e.activation(SimTime::at(5, 11.1)); // 6 min into a 15 min ramp
+        assert!(a > 0.0 && a < 1.0, "a = {a}");
+    }
+
+    #[test]
+    fn recurs_weekly() {
+        let e = game();
+        assert_eq!(e.activation(SimTime::at(12, 12.5)), 1.0);
+        assert_eq!(e.activation(SimTime::at(19, 12.5)), 1.0);
+        assert_eq!(e.activation(SimTime::at(11, 12.5)), 0.0); // Friday
+    }
+
+    #[test]
+    fn spatial_weight_decays_to_zero() {
+        let e = game();
+        assert!(e.spatial_weight(&stadium()) > 0.999);
+        let at_300m = stadium().destination(1.0, 300.0);
+        let w = e.spatial_weight(&at_300m);
+        assert!(w > 0.3 && w < 0.8, "w = {w}");
+        let far = stadium().destination(1.0, 700.0);
+        assert_eq!(e.spatial_weight(&far), 0.0);
+    }
+
+    #[test]
+    fn latency_factor_matches_paper_scale() {
+        let e = game();
+        let f = e.latency_factor(&stadium(), SimTime::at(5, 12.5));
+        assert!((f - 3.7).abs() < 1e-9, "f = {f}");
+        assert_eq!(e.latency_factor(&stadium(), SimTime::at(5, 8.0)), 1.0);
+        let tf = e.throughput_factor(&stadium(), SimTime::at(5, 12.5));
+        assert!((tf - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_fraction_is_respected() {
+        let m = DegradedZoneModel::default();
+        let stream = StreamRng::new(11);
+        let degraded = (0..10_000)
+            .filter(|&k| m.is_degraded(&stream, k % 100, k / 100))
+            .count();
+        let frac = degraded as f64 / 10_000.0;
+        assert!((frac - m.fraction).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn degraded_assignment_is_stable() {
+        let m = DegradedZoneModel::default();
+        let s1 = StreamRng::new(11);
+        let s2 = StreamRng::new(11);
+        for k in 0..100 {
+            assert_eq!(m.is_degraded(&s1, k, -k), m.is_degraded(&s2, k, -k));
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! The ground-truth performance field.
+//!
+//! [`NetworkField`] evaluates the *expected* (mean) link quality of one
+//! operator at any `(location, time)`. Per-packet dispersion on top of
+//! these means is applied by the probe engine ([`crate::probe`]), keeping
+//! "what the network truly offers" separate from "what one packet saw" —
+//! the distinction WiScape's sample-count analysis (§3.3) is about.
+
+use serde::{Deserialize, Serialize};
+use wiscape_geo::{GeoPoint, LocalProjection};
+use wiscape_simcore::noise::{ValueNoise1D, ValueNoise2D};
+use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+
+use crate::config::{LandscapeConfig, NetworkParams};
+use crate::network::NetworkId;
+use crate::towers::TowerLayout;
+
+/// Expected link quality of one network at one place and instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkQuality {
+    /// Mean TCP downlink throughput, kbit/s.
+    pub tcp_kbps: f64,
+    /// Mean UDP downlink throughput, kbit/s.
+    pub udp_kbps: f64,
+    /// Mean application-level round-trip time, ms.
+    pub rtt_ms: f64,
+    /// Mean instantaneous packet delay variation (IPDV jitter), ms.
+    pub jitter_ms: f64,
+    /// Packet loss probability in `[0, 1]`.
+    pub loss_rate: f64,
+}
+
+/// The ground-truth field of a single operator.
+#[derive(Debug, Clone)]
+pub struct NetworkField {
+    params: NetworkParams,
+    proj: LocalProjection,
+    towers: TowerLayout,
+    spatial_tput: ValueNoise2D,
+    spatial_rtt: ValueNoise2D,
+    spatial_jitter: ValueNoise2D,
+    /// Stream for per-cell temporal drift tracks.
+    drift_stream: StreamRng,
+    /// Stream for per-cell coherence-time assignment.
+    coherence_stream: StreamRng,
+    degraded_stream: StreamRng,
+    spatial_corr_m: f64,
+    drift_cell_m: f64,
+    degraded_cell_m: f64,
+    coherence_base: SimDuration,
+    coherence_spread: f64,
+    degraded: crate::events::DegradedZoneModel,
+    events: Vec<crate::events::SpecialEvent>,
+    /// Spatial mean of the tower proximity factor, measured at
+    /// construction so the tower term can be centered (keeps regional
+    /// means on calibration).
+    tower_mean: f64,
+}
+
+/// Integer drift-cell coordinates (zone-scale temporal coherence unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DriftCell {
+    /// Column (east) index.
+    pub i: i64,
+    /// Row (north) index.
+    pub j: i64,
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+impl NetworkField {
+    /// Builds the field of network `id` from a landscape configuration.
+    ///
+    /// Returns `None` when the network is absent from the region.
+    pub fn new(config: &LandscapeConfig, id: NetworkId) -> Option<Self> {
+        let params = config.network(id)?.clone();
+        let proj = LocalProjection::new(config.origin);
+        let root = StreamRng::new(config.seed).fork("net").fork_idx(id.index());
+        let towers = TowerLayout::new(proj, params.tower_spacing_m, root.fork("towers"));
+        // Measure the layout's mean proximity factor over a wide lattice
+        // of sample points; used to center the tower term at 1.
+        let tower_mean = {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for i in -12..=12 {
+                for j in -12..=12 {
+                    let p = proj.from_xy(&wiscape_geo::Vec2::new(
+                        i as f64 * 1370.0,
+                        j as f64 * 1370.0,
+                    ));
+                    sum += towers.proximity_factor(&p);
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        Some(Self {
+            proj,
+            towers,
+            spatial_tput: ValueNoise2D::new(root.fork("spatial-tput")),
+            spatial_rtt: ValueNoise2D::new(root.fork("spatial-rtt")),
+            spatial_jitter: ValueNoise2D::new(root.fork("spatial-jitter")),
+            drift_stream: root.fork("drift"),
+            coherence_stream: StreamRng::new(config.seed).fork("coherence"),
+            degraded_stream: StreamRng::new(config.seed).fork("zones"),
+            spatial_corr_m: config.spatial_corr_m,
+            drift_cell_m: config.drift_cell_m,
+            degraded_cell_m: config.degraded_cell_m,
+            coherence_base: config.coherence_base,
+            coherence_spread: config.coherence_spread,
+            degraded: config.degraded,
+            events: config.events.clone(),
+            tower_mean,
+            params,
+        })
+    }
+
+    /// The parameters this field was built from.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// The drift cell containing `p`.
+    pub fn drift_cell(&self, p: &GeoPoint) -> DriftCell {
+        let v = self.proj.to_xy(p);
+        DriftCell {
+            i: (v.x / self.drift_cell_m).floor() as i64,
+            j: (v.y / self.drift_cell_m).floor() as i64,
+        }
+    }
+
+    /// Whether `p` lies in a chronically degraded cell.
+    ///
+    /// Degradation is a *zone* property shared by all networks (bad
+    /// terrain, obstructions), so it is keyed off a landscape-level
+    /// stream rather than a per-network one.
+    pub fn is_degraded(&self, p: &GeoPoint) -> bool {
+        let v = self.proj.to_xy(p);
+        let i = (v.x / self.degraded_cell_m).floor() as i64;
+        let j = (v.y / self.degraded_cell_m).floor() as i64;
+        self.degraded.is_degraded(&self.degraded_stream, i, j)
+    }
+
+    /// The local coherence time of the epoch-scale drift at `p`.
+    ///
+    /// Varies around the regional base by ±`coherence_spread`, assigned
+    /// per drift cell; shared across networks (it models how the local
+    /// user population's behavior changes, not operator internals).
+    pub fn coherence_time(&self, p: &GeoPoint) -> SimDuration {
+        let c = self.drift_cell(p);
+        let u = self
+            .coherence_stream
+            .fork_idx(zigzag(c.i))
+            .fork_idx(zigzag(c.j))
+            .draw_unit_f64();
+        let factor = 1.0 + self.coherence_spread * (2.0 * u - 1.0);
+        SimDuration::from_secs_f64(self.coherence_base.as_secs_f64() * factor)
+    }
+
+    /// Smooth coverage multiplier from metro/rural buildout: 1 inside
+    /// the metro core, fading to `1 - rural_falloff` over the taper.
+    fn coverage_factor(&self, p: &GeoPoint) -> f64 {
+        if self.params.rural_falloff <= 0.0 {
+            return 1.0;
+        }
+        let d = self.proj.to_xy(p).norm();
+        let t = ((d - self.params.metro_radius_m) / self.params.rural_taper_m)
+            .clamp(0.0, 1.0);
+        let smooth = t * t * (3.0 - 2.0 * t);
+        1.0 - self.params.rural_falloff * smooth
+    }
+
+    /// Smooth spatial multiplier for throughput at `p` (mean ≈ 1 inside
+    /// the metro area).
+    fn spatial_tput_factor(&self, p: &GeoPoint) -> f64 {
+        let v = self.proj.to_xy(p);
+        let n = self
+            .spatial_tput
+            .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 3, 0.5);
+        let tower = self.towers.proximity_factor(p);
+        (1.0 + self.params.spatial_amp * n)
+            * (1.0 + self.params.tower_weight * (tower - self.tower_mean))
+            * self.coverage_factor(p)
+    }
+
+    /// Zone-coherent temporal drift multiplier at `(p, t)` (mean ≈ 1).
+    ///
+    /// A 1-D value-noise track per drift cell, with the time axis scaled
+    /// by the cell's coherence time: the track decorrelates over roughly
+    /// one coherence time, which is what the Allan-deviation epoch search
+    /// (Fig 6) recovers.
+    fn drift_factor(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        let c = self.drift_cell(p);
+        let track = ValueNoise1D::new(
+            self.drift_stream.fork_idx(zigzag(c.i)).fork_idx(zigzag(c.j)),
+        );
+        let tau = self.coherence_time(p).as_secs_f64();
+        let mut amp = self.params.drift_amp;
+        if self.is_degraded(p) {
+            amp *= self.degraded.variability_multiplier;
+        }
+        // Multi-scale drift with energy *rising* toward coarse scales
+        // (octave spacings τ, 2τ, 4τ, 8τ with growing amplitude): below
+        // the coherence time the track is smooth, above it the Allan
+        // deviation keeps climbing — which is what makes the Fig 6
+        // minimum land near τ instead of running off to infinity.
+        let x = t.as_secs_f64() / tau;
+        (1.0 + amp * track.fbm(x / 16.0, 5, 0.5)).max(0.05)
+    }
+
+    /// Centered diurnal multiplier for capacity (long-run mean ≈ 1).
+    fn diurnal_tput_factor(&self, t: SimTime) -> f64 {
+        1.0 - self.params.diurnal.depth * (self.params.diurnal.load(t) - 0.5)
+    }
+
+    /// Centered diurnal multiplier for latency (long-run mean ≈ 1).
+    fn diurnal_rtt_factor(&self, t: SimTime) -> f64 {
+        1.0 + self.params.diurnal.depth * (self.params.diurnal.load(t) - 0.5)
+    }
+
+    /// Product of all special-event throughput factors at `(p, t)`.
+    fn event_tput_factor(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.throughput_factor(p, t))
+            .product()
+    }
+
+    /// Product of all special-event latency factors at `(p, t)`.
+    fn event_rtt_factor(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        self.events.iter().map(|e| e.latency_factor(p, t)).product()
+    }
+
+    /// Mean UDP throughput at `(p, t)`, kbit/s, capped at the radio
+    /// technology's rated ceiling.
+    pub fn mean_udp_kbps(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        let mut v = self.params.base_udp_kbps
+            * self.spatial_tput_factor(p)
+            * self.drift_factor(p, t)
+            * self.diurnal_tput_factor(t)
+            * self.event_tput_factor(p, t);
+        if self.is_degraded(p) {
+            v *= self.degraded.throughput_penalty;
+        }
+        v.clamp(10.0, self.params.id.max_downlink_kbps())
+    }
+
+    /// Mean TCP throughput at `(p, t)`, kbit/s.
+    pub fn mean_tcp_kbps(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        (self.mean_udp_kbps(p, t) * self.params.tcp_ratio)
+            .clamp(10.0, self.params.id.max_downlink_kbps())
+    }
+
+    /// Mean RTT at `(p, t)`, ms. Latency moves inversely with the
+    /// capacity drift (congested epochs are both slower and laggier) and
+    /// is multiplied by any active event (Fig 10).
+    pub fn mean_rtt_ms(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        let v = self.proj.to_xy(p);
+        let spatial = 1.0
+            + 0.45
+                * self
+                    .spatial_rtt
+                    .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 3, 0.5);
+        // Reuse the capacity drift track, inverted and attenuated: a 10%
+        // capacity dip raises RTT ~1.5% (latency reacts much less than
+        // throughput to epoch-scale load changes).
+        let drift = self.drift_factor(p, t);
+        let drift_rtt = 1.0 + 0.15 * (1.0 - drift);
+        (self.params.base_rtt_ms
+            * spatial
+            * drift_rtt
+            * self.diurnal_rtt_factor(t)
+            * self.event_rtt_factor(p, t))
+        .max(5.0)
+    }
+
+    /// Mean IPDV jitter at `(p, t)`, ms.
+    pub fn mean_jitter_ms(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        let v = self.proj.to_xy(p);
+        let spatial = 1.0
+            + 0.25
+                * self
+                    .spatial_jitter
+                    .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 2, 0.5);
+        (self.params.base_jitter_ms * spatial * self.event_rtt_factor(p, t).sqrt()).max(0.1)
+    }
+
+    /// Packet-loss probability at `(p, t)`. Degraded zones use the
+    /// chronic failure probability (Fig 9); events add congestion loss.
+    pub fn loss_rate(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        let base = if self.is_degraded(p) {
+            self.degraded.ping_fail_prob
+        } else {
+            self.params.base_loss
+        };
+        let event_extra = 0.02 * (self.event_rtt_factor(p, t) - 1.0).max(0.0);
+        (base + event_extra).clamp(0.0, 0.5)
+    }
+
+    /// Full mean link quality at `(p, t)`.
+    pub fn link_quality(&self, p: &GeoPoint, t: SimTime) -> LinkQuality {
+        LinkQuality {
+            tcp_kbps: self.mean_tcp_kbps(p, t),
+            udp_kbps: self.mean_udp_kbps(p, t),
+            rtt_ms: self.mean_rtt_ms(p, t),
+            jitter_ms: self.mean_jitter_ms(p, t),
+            loss_rate: self.loss_rate(p, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{madison_center, stadium_location};
+
+    fn field(net: NetworkId) -> NetworkField {
+        NetworkField::new(&LandscapeConfig::madison(42), net).unwrap()
+    }
+
+    fn noon() -> SimTime {
+        SimTime::at(1, 12.0)
+    }
+
+    #[test]
+    fn absent_network_yields_none() {
+        let cfg = LandscapeConfig::new_brunswick(1);
+        assert!(NetworkField::new(&cfg, NetworkId::NetA).is_none());
+        assert!(NetworkField::new(&cfg, NetworkId::NetB).is_some());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = field(NetworkId::NetB);
+        let b = field(NetworkId::NetB);
+        let p = madison_center().destination(0.9, 2345.0);
+        assert_eq!(a.link_quality(&p, noon()), b.link_quality(&p, noon()));
+    }
+
+    #[test]
+    fn regional_mean_tracks_calibration() {
+        // Spatio-temporal average over many points/times should land near
+        // the configured base (Table 3).
+        let f = field(NetworkId::NetB);
+        let c = madison_center();
+        let mut sum = 0.0;
+        let mut n = 0;
+        // Sample widely: the spatial field's correlation length is 3 km,
+        // so averaging out its ±50% swings needs many patches.
+        for i in 0..1600 {
+            let p = c.destination(i as f64 * 0.7, 200.0 + (i as f64 * 209.0) % 14_000.0);
+            if f.is_degraded(&p) {
+                continue; // degraded cells are deliberately below base
+            }
+            let t = SimTime::at((i % 7) as i64, (i % 24) as f64);
+            sum += f.mean_udp_kbps(&p, t);
+            n += 1;
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 867.0).abs() / 867.0 < 0.10,
+            "regional mean {mean} vs base 867"
+        );
+    }
+
+    #[test]
+    fn spatial_variation_is_smooth_within_a_drift_cell() {
+        // The smooth spatial field never jumps; the *drift* layer is
+        // zone-granular by design (a per-cell temporal track), so only
+        // same-cell neighbors are required to be close.
+        let f = field(NetworkId::NetA);
+        let c = madison_center();
+        let mut prev = f.mean_udp_kbps(&c, noon());
+        let mut prev_cell = f.drift_cell(&c);
+        let mut checked = 0;
+        for i in 1..500 {
+            let p = c.destination(0.3, i as f64 * 10.0);
+            let cur = f.mean_udp_kbps(&p, noon());
+            let cell = f.drift_cell(&p);
+            if cell == prev_cell {
+                assert!(
+                    (cur - prev).abs() / prev < 0.08,
+                    "spatial jump at {i}: {prev} -> {cur}"
+                );
+                checked += 1;
+            }
+            prev = cur;
+            prev_cell = cell;
+        }
+        assert!(checked > 400, "too few same-cell comparisons: {checked}");
+    }
+
+    #[test]
+    fn nearby_points_are_similar_far_points_differ_more() {
+        // The zone-homogeneity premise (paper §3.1).
+        let f = field(NetworkId::NetB);
+        let c = madison_center();
+        let mut near_diff = 0.0;
+        let mut far_diff = 0.0;
+        for i in 0..60 {
+            let base = c.destination(i as f64 * 0.4, (i as f64 * 211.0) % 7000.0);
+            let q0 = f.mean_udp_kbps(&base, noon());
+            let near = f.mean_udp_kbps(&base.destination(1.0, 100.0), noon());
+            let far = f.mean_udp_kbps(&base.destination(1.0, 4000.0), noon());
+            near_diff += (near - q0).abs() / q0;
+            far_diff += (far - q0).abs() / q0;
+        }
+        assert!(
+            far_diff > 2.0 * near_diff,
+            "near {near_diff} vs far {far_diff}"
+        );
+    }
+
+    #[test]
+    fn drift_changes_over_an_epoch_but_not_within_seconds() {
+        let f = field(NetworkId::NetB);
+        let p = madison_center().destination(1.3, 1234.0);
+        let t0 = noon();
+        let v0 = f.mean_udp_kbps(&p, t0);
+        let v_sec = f.mean_udp_kbps(&p, t0 + SimDuration::from_secs(10));
+        assert!((v_sec - v0).abs() / v0 < 0.01, "10 s moved {v0} -> {v_sec}");
+        // Across many whole coherence times, drift must visibly move.
+        let mut max_rel = 0.0f64;
+        for k in 1..40 {
+            let v = f.mean_udp_kbps(&p, t0 + SimDuration::from_mins(75 * k));
+            max_rel = max_rel.max((v - v0).abs() / v0);
+        }
+        assert!(max_rel > 0.02, "drift too small: {max_rel}");
+    }
+
+    #[test]
+    fn stadium_event_raises_latency_about_3_7x() {
+        let f = field(NetworkId::NetB);
+        let p = stadium_location();
+        let quiet = f.mean_rtt_ms(&p, SimTime::at(5, 9.0));
+        let game = f.mean_rtt_ms(&p, SimTime::at(5, 12.5));
+        let ratio = game / quiet;
+        assert!(
+            (3.0..=4.5).contains(&ratio),
+            "stadium ratio {ratio} (quiet {quiet}, game {game})"
+        );
+        // Throughput drops during the game.
+        let tq = f.mean_udp_kbps(&p, SimTime::at(5, 9.0));
+        let tg = f.mean_udp_kbps(&p, SimTime::at(5, 12.5));
+        assert!(tg < 0.7 * tq, "throughput {tq} -> {tg}");
+    }
+
+    #[test]
+    fn degraded_cells_exist_and_lose_pings() {
+        let f = field(NetworkId::NetB);
+        let c = madison_center();
+        let mut found = 0;
+        let mut total = 0;
+        for i in 0..3000 {
+            let p = c.destination(i as f64 * 0.13, 100.0 + (i as f64 * 97.0) % 9000.0);
+            total += 1;
+            if f.is_degraded(&p) {
+                found += 1;
+                assert!(f.loss_rate(&p, noon()) >= 0.05);
+            } else {
+                assert!(f.loss_rate(&p, noon()) < 0.01);
+            }
+        }
+        let frac = found as f64 / total as f64;
+        assert!(frac > 0.01 && frac < 0.12, "degraded fraction {frac}");
+    }
+
+    #[test]
+    fn throughput_respects_technology_ceiling() {
+        for net in NetworkId::ALL {
+            let f = field(net);
+            let c = madison_center();
+            for i in 0..200 {
+                let p = c.destination(i as f64, (i as f64 * 131.0) % 8000.0);
+                let t = SimTime::at((i % 7) as i64, (i % 24) as f64);
+                assert!(f.mean_udp_kbps(&p, t) <= net.max_downlink_kbps());
+                assert!(f.mean_tcp_kbps(&p, t) <= net.max_downlink_kbps());
+            }
+        }
+    }
+
+    #[test]
+    fn coherence_time_varies_by_cell_within_spread() {
+        let f = field(NetworkId::NetB);
+        let c = madison_center();
+        let base = 75.0 * 60.0;
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..50 {
+            let p = c.destination(0.7, i as f64 * 700.0);
+            let tau = f.coherence_time(&p).as_secs_f64();
+            assert!(tau >= base * 0.6 && tau <= base * 1.4, "tau {tau}");
+            distinct.insert((tau * 1000.0) as i64);
+        }
+        assert!(distinct.len() > 5, "coherence should vary across cells");
+    }
+
+    #[test]
+    fn jitter_and_rtt_levels_match_calibration() {
+        let f_a = field(NetworkId::NetA);
+        let f_b = field(NetworkId::NetB);
+        let c = madison_center();
+        let mut ja = 0.0;
+        let mut jb = 0.0;
+        let mut rb = 0.0;
+        let mut n = 0;
+        for i in 0..200 {
+            let p = c.destination(i as f64 * 1.1, 150.0 + (i as f64 * 71.0) % 5000.0);
+            let t = SimTime::at((i % 5) as i64, 6.0 + (i % 16) as f64);
+            ja += f_a.mean_jitter_ms(&p, t);
+            jb += f_b.mean_jitter_ms(&p, t);
+            rb += f_b.mean_rtt_ms(&p, t);
+            n += 1;
+        }
+        let (ja, jb, rb) = (ja / n as f64, jb / n as f64, rb / n as f64);
+        assert!((ja - 7.4).abs() < 1.5, "NetA jitter {ja}");
+        assert!((jb - 3.0).abs() < 1.0, "NetB jitter {jb}");
+        assert!((rb - 113.0).abs() < 25.0, "NetB rtt {rb}");
+        assert!(ja > jb, "NetA must be jitterier than NetB");
+    }
+}

@@ -1,0 +1,117 @@
+//! Network identities and radio technologies.
+
+use serde::{Deserialize, Serialize};
+
+/// The three (anonymized) nation-wide cellular operators of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NetworkId {
+    /// GSM HSPA operator (up to 7.2 Mbps downlink).
+    NetA,
+    /// CDMA2000 1xEV-DO Rev. A operator (up to 3.1 Mbps downlink).
+    NetB,
+    /// CDMA2000 1xEV-DO Rev. A operator (up to 3.1 Mbps downlink).
+    NetC,
+}
+
+impl NetworkId {
+    /// All three networks, in canonical order.
+    pub const ALL: [NetworkId; 3] = [NetworkId::NetA, NetworkId::NetB, NetworkId::NetC];
+
+    /// The radio technology this operator runs (per the paper's Table 1).
+    pub fn technology(&self) -> Technology {
+        match self {
+            NetworkId::NetA => Technology::Hspa,
+            NetworkId::NetB | NetworkId::NetC => Technology::EvdoRevA,
+        }
+    }
+
+    /// Rated downlink ceiling in kbit/s (Table 1).
+    pub fn max_downlink_kbps(&self) -> f64 {
+        self.technology().max_downlink_kbps()
+    }
+
+    /// Rated uplink ceiling in kbit/s (Table 1).
+    pub fn max_uplink_kbps(&self) -> f64 {
+        self.technology().max_uplink_kbps()
+    }
+
+    /// Short display name, matching the paper's anonymization.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkId::NetA => "NetA",
+            NetworkId::NetB => "NetB",
+            NetworkId::NetC => "NetC",
+        }
+    }
+
+    /// A stable small integer for seeding per-network RNG streams.
+    pub fn index(&self) -> u64 {
+        match self {
+            NetworkId::NetA => 0,
+            NetworkId::NetB => 1,
+            NetworkId::NetC => 2,
+        }
+    }
+}
+
+impl core::fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Radio access technologies of the measured operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// GSM High-Speed Packet Access.
+    Hspa,
+    /// CDMA2000 1x EV-DO Revision A.
+    EvdoRevA,
+}
+
+impl Technology {
+    /// Rated downlink ceiling in kbit/s.
+    pub fn max_downlink_kbps(&self) -> f64 {
+        match self {
+            Technology::Hspa => 7200.0,
+            Technology::EvdoRevA => 3100.0,
+        }
+    }
+
+    /// Rated uplink ceiling in kbit/s.
+    pub fn max_uplink_kbps(&self) -> f64 {
+        match self {
+            Technology::Hspa => 1200.0,
+            Technology::EvdoRevA => 1800.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technologies_match_paper_table1() {
+        assert_eq!(NetworkId::NetA.technology(), Technology::Hspa);
+        assert_eq!(NetworkId::NetB.technology(), Technology::EvdoRevA);
+        assert_eq!(NetworkId::NetC.technology(), Technology::EvdoRevA);
+        assert_eq!(NetworkId::NetA.max_downlink_kbps(), 7200.0);
+        assert_eq!(NetworkId::NetA.max_uplink_kbps(), 1200.0);
+        assert_eq!(NetworkId::NetB.max_downlink_kbps(), 3100.0);
+        assert_eq!(NetworkId::NetB.max_uplink_kbps(), 1800.0);
+    }
+
+    #[test]
+    fn indices_are_distinct_and_stable() {
+        let idx: Vec<u64> = NetworkId::ALL.iter().map(|n| n.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn names_round_trip_display() {
+        assert_eq!(NetworkId::NetA.to_string(), "NetA");
+        assert_eq!(NetworkId::NetB.to_string(), "NetB");
+        assert_eq!(NetworkId::NetC.to_string(), "NetC");
+    }
+}

@@ -1,0 +1,500 @@
+//! Packet-level measurement primitives.
+//!
+//! These functions generate the raw records a WiScape client would log
+//! (paper Table 1: packet sequence number, receive timestamp, GPS
+//! coordinates): UDP/TCP probe trains, full TCP downloads, and pings.
+//! All randomness is keyed by `(stream, send-time, sequence number)`, so
+//! probes are reproducible and independent of call order.
+
+use serde::{Deserialize, Serialize};
+use wiscape_geo::GeoPoint;
+use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+
+use crate::field::NetworkField;
+
+/// Transport used by a probe train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// TCP measurement packets.
+    Tcp,
+    /// UDP measurement packets.
+    Udp,
+}
+
+/// One probe packet as logged by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketSample {
+    /// Sequence number within the train.
+    pub seq: u32,
+    /// When the packet was sent.
+    pub send_time: SimTime,
+    /// When it arrived; `None` if lost.
+    pub recv_time: Option<SimTime>,
+    /// Payload size in bytes.
+    pub size_bytes: u32,
+    /// Instantaneous throughput this packet observed, kbit/s
+    /// (meaningless if lost).
+    pub inst_kbps: f64,
+    /// One-way delay experienced, ms (meaningless if lost).
+    pub one_way_delay_ms: f64,
+}
+
+/// Result of a probe train (back-to-back measurement packets).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UdpTrain {
+    /// Transport used.
+    pub kind: TransportKind,
+    /// Per-packet records.
+    pub packets: Vec<PacketSample>,
+}
+
+impl UdpTrain {
+    /// Number of packets sent.
+    pub fn sent(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Number of packets received.
+    pub fn received(&self) -> usize {
+        self.packets.iter().filter(|p| p.recv_time.is_some()).count()
+    }
+
+    /// Observed loss rate in `[0, 1]`.
+    pub fn loss_rate(&self) -> f64 {
+        if self.packets.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.received() as f64 / self.sent() as f64
+    }
+
+    /// Throughput estimate: mean of per-packet instantaneous throughputs
+    /// over received packets, kbit/s. `None` if nothing arrived.
+    pub fn estimated_kbps(&self) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .packets
+            .iter()
+            .filter(|p| p.recv_time.is_some())
+            .map(|p| p.inst_kbps)
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Per-packet instantaneous throughputs of received packets.
+    pub fn received_kbps(&self) -> Vec<f64> {
+        self.packets
+            .iter()
+            .filter(|p| p.recv_time.is_some())
+            .map(|p| p.inst_kbps)
+            .collect()
+    }
+
+    /// IPDV jitter estimate: mean absolute difference of consecutive
+    /// received packets' one-way delays, ms (RFC 3393 style).
+    pub fn jitter_ms(&self) -> Option<f64> {
+        let delays: Vec<f64> = self
+            .packets
+            .iter()
+            .filter(|p| p.recv_time.is_some())
+            .map(|p| p.one_way_delay_ms)
+            .collect();
+        if delays.len() < 2 {
+            return None;
+        }
+        let sum: f64 = delays.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        Some(sum / (delays.len() - 1) as f64)
+    }
+
+    /// Wall-clock duration from first send to last receive.
+    pub fn duration(&self) -> SimDuration {
+        let start = match self.packets.first() {
+            Some(p) => p.send_time,
+            None => return SimDuration::ZERO,
+        };
+        let end = self
+            .packets
+            .iter()
+            .filter_map(|p| p.recv_time)
+            .max()
+            .unwrap_or(start);
+        end - start
+    }
+}
+
+/// Result of a full TCP object download.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpDownload {
+    /// Object size, bytes.
+    pub size_bytes: u64,
+    /// Total transfer time (connection setup + slow start + transfer).
+    pub duration: SimDuration,
+    /// Application goodput, kbit/s.
+    pub goodput_kbps: f64,
+}
+
+/// Outcome of a single ping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PingOutcome {
+    /// Reply received with this round-trip time, ms.
+    Reply {
+        /// Round-trip time in milliseconds.
+        rtt_ms: f64,
+    },
+    /// Timed out / lost.
+    Lost,
+}
+
+impl PingOutcome {
+    /// RTT if a reply arrived.
+    pub fn rtt_ms(&self) -> Option<f64> {
+        match self {
+            PingOutcome::Reply { rtt_ms } => Some(*rtt_ms),
+            PingOutcome::Lost => None,
+        }
+    }
+}
+
+/// Standard normal variate from a hash node (Box–Muller on two hash
+/// uniforms) — cheap enough for per-packet use.
+fn std_normal(node: StreamRng) -> f64 {
+    let u1 = 1.0 - node.fork_idx(0).draw_unit_f64();
+    let u2 = node.fork_idx(1).draw_unit_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal multiplier with arithmetic mean 1 and coefficient of
+/// variation `cv`, drawn from a hash node.
+fn lognormal_unit_mean(node: StreamRng, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = -sigma2 / 2.0;
+    (mu + sigma2.sqrt() * std_normal(node)).exp()
+}
+
+/// Uniform `[0,1)` draw from a hash node.
+fn unit(node: StreamRng) -> f64 {
+    node.draw_unit_f64()
+}
+
+/// Sends a train of `n_packets` back-to-back probe packets of
+/// `size_bytes` each over `kind`, starting at `start` from point `p`.
+///
+/// Each packet observes an instantaneous throughput drawn log-normally
+/// around the field mean with the network's per-packet `fine_cv`; its
+/// arrival spacing follows from that rate, so the train's duration is
+/// consistent with its measured throughput.
+pub fn probe_train(
+    field: &NetworkField,
+    stream: &StreamRng,
+    kind: TransportKind,
+    p: &GeoPoint,
+    start: SimTime,
+    n_packets: u32,
+    size_bytes: u32,
+) -> UdpTrain {
+    probe_train_with_device(field, stream, kind, p, start, n_packets, size_bytes, 1.0)
+}
+
+/// [`probe_train`] for a device whose radio front-end attenuates
+/// deliverable throughput by `device_factor` (≤ 1). The paper (§3.3)
+/// notes that phones, with their constrained antennas, cannot be
+/// composed with laptop measurements without normalization — this hook
+/// is what makes that heterogeneity exist in the simulation so the
+/// normalizer (`wiscape-core::normalize`) has something to learn.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_train_with_device(
+    field: &NetworkField,
+    stream: &StreamRng,
+    kind: TransportKind,
+    p: &GeoPoint,
+    start: SimTime,
+    n_packets: u32,
+    size_bytes: u32,
+    device_factor: f64,
+) -> UdpTrain {
+    let params = field.params();
+    let (cv, kind_label) = match kind {
+        TransportKind::Tcp => (params.fine_cv_tcp, 1u64),
+        TransportKind::Udp => (params.fine_cv_udp, 2u64),
+    };
+    let mut packets = Vec::with_capacity(n_packets as usize);
+    let mut send_time = start;
+    // A train lasts a few seconds at most — far below the drift and
+    // diurnal time scales — so evaluate the field means once.
+    let device_factor = device_factor.clamp(0.05, 1.0);
+    let mean_kbps = device_factor
+        * match kind {
+            TransportKind::Tcp => field.mean_tcp_kbps(p, start),
+            TransportKind::Udp => field.mean_udp_kbps(p, start),
+        };
+    let loss_rate = field.loss_rate(p, start);
+    let rtt = field.mean_rtt_ms(p, start);
+    // Jitter sigma giving the target mean IPDV: E|ΔN(0,σ)| = 2σ/√π.
+    let jitter_sigma = field.mean_jitter_ms(p, start) * std::f64::consts::PI.sqrt() / 2.0;
+    for seq in 0..n_packets {
+        let t = send_time;
+        let node = stream
+            .fork("train")
+            .fork_idx(kind_label)
+            .fork_idx(t.as_micros() as u64)
+            .fork_idx(seq as u64);
+        let inst_kbps = (mean_kbps * lognormal_unit_mean(node.fork("tput"), cv))
+            .clamp(1.0, params.id.max_downlink_kbps());
+        let lost = unit(node.fork("loss")) < loss_rate;
+        let one_way_delay_ms =
+            (rtt / 2.0 + jitter_sigma * std_normal(node.fork("delay"))).max(0.1);
+        // Wire time of this packet at the observed instantaneous rate.
+        let wire_ms = (size_bytes as f64 * 8.0) / inst_kbps; // kbit / kbps = ms
+        let recv_time = (!lost).then(|| {
+            t + SimDuration::from_secs_f64(wire_ms / 1000.0)
+                + SimDuration::from_secs_f64(one_way_delay_ms / 1000.0)
+        });
+        packets.push(PacketSample {
+            seq,
+            send_time: t,
+            recv_time,
+            size_bytes,
+            inst_kbps,
+            one_way_delay_ms,
+        });
+        send_time = t + SimDuration::from_secs_f64(wire_ms / 1000.0);
+    }
+    UdpTrain { kind, packets }
+}
+
+/// Downloads a `size_bytes` object over TCP starting at `start`.
+///
+/// The transfer model is: connection setup (1.5 RTT) + slow-start ramp
+/// (≈2 RTT equivalent) + bulk transfer at an effective rate drawn around
+/// the field's TCP mean. Per-download dispersion shrinks with object
+/// size (`cv / sqrt(packets)`), matching how a 1 MB download averages
+/// ~700 packets' worth of channel noise — this is why the Standalone
+/// dataset's per-download samples are far tighter than per-packet ones.
+pub fn tcp_download(
+    field: &NetworkField,
+    stream: &StreamRng,
+    p: &GeoPoint,
+    start: SimTime,
+    size_bytes: u64,
+) -> TcpDownload {
+    let params = field.params();
+    let mean_kbps = field.mean_tcp_kbps(p, start);
+    let rtt_ms = field.mean_rtt_ms(p, start);
+    let mss = 1200.0;
+    let n_pkts = (size_bytes as f64 / mss).max(1.0);
+    // Residual per-download dispersion: channel noise averaged over the
+    // packets, floored by session-level effects (~1.5%).
+    let cv = (params.fine_cv_tcp / n_pkts.sqrt()).max(0.015);
+    let node = stream
+        .fork("dl")
+        .fork_idx(start.as_micros() as u64)
+        .fork_idx(size_bytes);
+    let rate_kbps = (mean_kbps * lognormal_unit_mean(node, cv))
+        .clamp(1.0, params.id.max_downlink_kbps());
+    let setup_ms = 1.5 * rtt_ms;
+    let slow_start_ms = 2.0 * rtt_ms;
+    let transfer_ms = size_bytes as f64 * 8.0 / rate_kbps;
+    let total_ms = setup_ms + slow_start_ms + transfer_ms;
+    TcpDownload {
+        size_bytes,
+        duration: SimDuration::from_secs_f64(total_ms / 1000.0),
+        goodput_kbps: size_bytes as f64 * 8.0 / total_ms,
+    }
+}
+
+/// Sends one ping at time `t` with sequence `seq`.
+pub fn ping(
+    field: &NetworkField,
+    stream: &StreamRng,
+    p: &GeoPoint,
+    t: SimTime,
+    seq: u64,
+) -> PingOutcome {
+    let node = stream
+        .fork("ping")
+        .fork_idx(t.as_micros() as u64)
+        .fork_idx(seq);
+    if unit(node.fork("loss")) < field.loss_rate(p, t) {
+        return PingOutcome::Lost;
+    }
+    let mean = field.mean_rtt_ms(p, t);
+    let cv = field.params().fine_cv_rtt;
+    PingOutcome::Reply {
+        rtt_ms: (mean * lognormal_unit_mean(node.fork("rtt"), cv)).max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{madison_center, LandscapeConfig};
+    use crate::network::NetworkId;
+
+    fn setup() -> (NetworkField, StreamRng) {
+        let cfg = LandscapeConfig::madison(7);
+        (
+            NetworkField::new(&cfg, NetworkId::NetB).unwrap(),
+            StreamRng::new(7).fork("probe"),
+        )
+    }
+
+    fn healthy_point(field: &NetworkField) -> GeoPoint {
+        let c = madison_center();
+        for i in 0..200 {
+            let p = c.destination(i as f64 * 0.37, 120.0 + i as f64 * 61.0);
+            if !field.is_degraded(&p) {
+                return p;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn train_is_deterministic() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let t = SimTime::at(2, 10.0);
+        let a = probe_train(&f, &s, TransportKind::Udp, &p, t, 50, 1200);
+        let b = probe_train(&f, &s, TransportKind::Udp, &p, t, 50, 1200);
+        assert_eq!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn train_estimate_converges_to_field_mean() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let t = SimTime::at(2, 10.0);
+        let truth = f.mean_udp_kbps(&p, t);
+        let train = probe_train(&f, &s, TransportKind::Udp, &p, t, 400, 1200);
+        let est = train.estimated_kbps().unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn more_packets_estimate_better_on_average() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        for k in 0..40 {
+            let t = SimTime::at(2, 8.0) + SimDuration::from_mins(k * 7);
+            let truth = f.mean_udp_kbps(&p, t);
+            let small = probe_train(&f, &s.fork_idx(k as u64), TransportKind::Udp, &p, t, 5, 1200);
+            let large =
+                probe_train(&f, &s.fork_idx(k as u64), TransportKind::Udp, &p, t, 150, 1200);
+            err_small += ((small.estimated_kbps().unwrap() - truth) / truth).abs();
+            err_large += ((large.estimated_kbps().unwrap() - truth) / truth).abs();
+        }
+        assert!(
+            err_large < 0.5 * err_small,
+            "150-pkt error {err_large} vs 5-pkt {err_small}"
+        );
+    }
+
+    #[test]
+    fn jitter_estimate_matches_field_mean() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let t = SimTime::at(2, 10.0);
+        let train = probe_train(&f, &s, TransportKind::Udp, &p, t, 600, 1200);
+        let est = train.jitter_ms().unwrap();
+        let truth = f.mean_jitter_ms(&p, t);
+        assert!((est - truth).abs() / truth < 0.15, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn loss_is_rare_on_healthy_paths() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let train = probe_train(&f, &s, TransportKind::Udp, &p, SimTime::at(1, 9.0), 1000, 1200);
+        assert!(train.loss_rate() < 0.01, "loss {}", train.loss_rate());
+    }
+
+    #[test]
+    fn tcp_train_uses_tcp_mean() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let t = SimTime::at(2, 10.0);
+        let train = probe_train(&f, &s, TransportKind::Tcp, &p, t, 300, 1200);
+        let est = train.estimated_kbps().unwrap();
+        let truth = f.mean_tcp_kbps(&p, t);
+        assert!((est - truth).abs() / truth < 0.06, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn download_duration_consistent_with_goodput() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let dl = tcp_download(&f, &s, &p, SimTime::at(3, 14.0), 1_000_000);
+        let implied = dl.size_bytes as f64 * 8.0 / dl.duration.as_millis_f64();
+        assert!((implied - dl.goodput_kbps).abs() < 1.0);
+        // 1 MB at ~845 kbps is ~10 s.
+        let secs = dl.duration.as_secs_f64();
+        assert!((5.0..25.0).contains(&secs), "duration {secs}");
+    }
+
+    #[test]
+    fn small_downloads_pay_proportionally_more_latency() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let t = SimTime::at(3, 14.0);
+        let small = tcp_download(&f, &s, &p, t, 3_000);
+        let big = tcp_download(&f, &s, &p, t, 1_000_000);
+        assert!(small.goodput_kbps < 0.5 * big.goodput_kbps);
+    }
+
+    #[test]
+    fn ping_reflects_field_rtt() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let t = SimTime::at(2, 10.0);
+        let mut sum = 0.0;
+        let mut n = 0;
+        for seq in 0..500 {
+            if let PingOutcome::Reply { rtt_ms } = ping(&f, &s, &p, t, seq) {
+                sum += rtt_ms;
+                n += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        let truth = f.mean_rtt_ms(&p, t);
+        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} truth {truth}");
+        assert!(n > 490);
+    }
+
+    #[test]
+    fn pings_fail_often_in_degraded_cells() {
+        let cfg = LandscapeConfig::madison(7);
+        let f = NetworkField::new(&cfg, NetworkId::NetB).unwrap();
+        let s = StreamRng::new(7).fork("probe");
+        let c = madison_center();
+        // Find a degraded point.
+        let p = (0..5000)
+            .map(|i| c.destination(i as f64 * 0.11, 100.0 + i as f64 * 41.0))
+            .find(|p| f.is_degraded(p))
+            .expect("some degraded cell exists");
+        let lost = (0..500)
+            .filter(|&seq| matches!(ping(&f, &s, &p, SimTime::at(1, 9.0), seq), PingOutcome::Lost))
+            .count();
+        assert!(lost > 10, "expected frequent failures, got {lost}/500");
+    }
+
+    #[test]
+    fn empty_train_edge_cases() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let train = probe_train(&f, &s, TransportKind::Udp, &p, SimTime::EPOCH, 0, 1200);
+        assert_eq!(train.sent(), 0);
+        assert_eq!(train.estimated_kbps(), None);
+        assert_eq!(train.jitter_ms(), None);
+        assert_eq!(train.loss_rate(), 0.0);
+        assert_eq!(train.duration(), SimDuration::ZERO);
+    }
+}

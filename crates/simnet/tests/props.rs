@@ -1,0 +1,114 @@
+//! Property-based tests for the cellular landscape.
+
+use proptest::prelude::*;
+use wiscape_simcore::SimTime;
+use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId, TransportKind};
+
+fn land(seed: u64) -> Landscape {
+    Landscape::new(LandscapeConfig::madison(seed))
+}
+
+/// Offsets within the metro + near-rural area.
+fn offset() -> impl Strategy<Value = (f64, f64)> {
+    (0.0..std::f64::consts::TAU, 0.0..15_000.0f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn link_quality_is_always_physical(
+        seed in 0u64..50,
+        (bearing, dist) in offset(),
+        day in 0i64..14,
+        hour in 0.0..24.0f64,
+    ) {
+        let land = land(seed);
+        let p = land.origin().destination(bearing, dist);
+        let t = SimTime::at(day, hour);
+        for net in land.networks() {
+            let q = land.link_quality(net, &p, t).unwrap();
+            prop_assert!(q.udp_kbps > 0.0 && q.udp_kbps <= net.max_downlink_kbps());
+            prop_assert!(q.tcp_kbps > 0.0 && q.tcp_kbps <= net.max_downlink_kbps());
+            prop_assert!(q.rtt_ms >= 5.0 && q.rtt_ms < 5000.0, "rtt {}", q.rtt_ms);
+            prop_assert!(q.jitter_ms > 0.0 && q.jitter_ms < 100.0);
+            prop_assert!((0.0..=0.5).contains(&q.loss_rate));
+        }
+    }
+
+    #[test]
+    fn landscape_is_a_pure_function(
+        seed in 0u64..50,
+        (bearing, dist) in offset(),
+        hour in 0.0..24.0f64,
+    ) {
+        let a = land(seed);
+        let b = land(seed);
+        let p = a.origin().destination(bearing, dist);
+        let t = SimTime::at(2, hour);
+        prop_assert_eq!(
+            a.link_quality(NetworkId::NetC, &p, t).unwrap(),
+            b.link_quality(NetworkId::NetC, &p, t).unwrap()
+        );
+        prop_assert_eq!(a.is_degraded(&p), b.is_degraded(&p));
+    }
+
+    #[test]
+    fn probe_trains_are_reasonable_estimators(
+        seed in 0u64..20,
+        (bearing, dist) in offset(),
+        n in 50u32..200,
+    ) {
+        let land = land(seed);
+        let p = land.origin().destination(bearing, dist);
+        let t = SimTime::at(1, 11.0);
+        let train = land
+            .probe_train(NetworkId::NetB, TransportKind::Udp, &p, t, n, 1200)
+            .unwrap();
+        prop_assert_eq!(train.sent(), n as usize);
+        if let Some(est) = train.estimated_kbps() {
+            let truth = land.link_quality(NetworkId::NetB, &p, t).unwrap().udp_kbps;
+            // A 50+-packet train lands within ~3 fine-cv standard errors.
+            prop_assert!(
+                (est - truth).abs() / truth < 0.15,
+                "est {est} vs truth {truth} with n {n}"
+            );
+        }
+        prop_assert!((0.0..=1.0).contains(&train.loss_rate()));
+    }
+
+    #[test]
+    fn downloads_scale_sanely_with_size(
+        seed in 0u64..20,
+        (bearing, dist) in offset(),
+        size_kb in 10u64..2000,
+    ) {
+        let land = land(seed);
+        let p = land.origin().destination(bearing, dist);
+        let t = SimTime::at(1, 15.0);
+        let small = land.tcp_download(NetworkId::NetB, &p, t, size_kb * 1000).unwrap();
+        let big = land.tcp_download(NetworkId::NetB, &p, t, size_kb * 2000).unwrap();
+        prop_assert!(big.duration >= small.duration);
+        prop_assert!(small.goodput_kbps > 0.0);
+        prop_assert!(small.goodput_kbps <= NetworkId::NetB.max_downlink_kbps());
+    }
+
+    #[test]
+    fn nearby_points_have_similar_quality(
+        seed in 0u64..20,
+        (bearing, dist) in (0.0..std::f64::consts::TAU, 0.0..6000.0f64),
+    ) {
+        // Intra-zone homogeneity (the paper's §3.1 premise) as an
+        // invariant: 50 m apart in the same drift cell -> a few percent.
+        let land = land(seed);
+        let p = land.origin().destination(bearing, dist);
+        let q = p.destination(bearing + 1.0, 50.0);
+        let f = land.field(NetworkId::NetB).unwrap();
+        prop_assume!(f.drift_cell(&p) == f.drift_cell(&q));
+        prop_assume!(land.is_degraded(&p) == land.is_degraded(&q));
+        let t = SimTime::at(1, 10.0);
+        let a = land.link_quality(NetworkId::NetB, &p, t).unwrap().udp_kbps;
+        let b = land.link_quality(NetworkId::NetB, &q, t).unwrap().udp_kbps;
+        prop_assert!((a - b).abs() / a < 0.06, "{a} vs {b}");
+    }
+}

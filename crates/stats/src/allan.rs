@@ -1,0 +1,224 @@
+//! Allan deviation: the epoch-selection statistic of paper §3.2.2.
+//!
+//! WiScape must pick, per zone, the time granularity ("epoch") over which a
+//! metric is stable. The paper uses the Allan deviation — the square root
+//! of the Allan variance, half the mean squared difference of *successive*
+//! interval averages:
+//!
+//! ```text
+//! σ_y(τ)² = Σ_{i=1}^{N-1} (T_{i+1} - T_i)² / (2 (N - 1))
+//! ```
+//!
+//! where `T_i` is the average of the metric over the i-th consecutive
+//! interval of length `τ`. A small Allan deviation at `τ` means interval
+//! averages barely change between neighbors — the metric is coherent at
+//! that time scale — so WiScape picks the `τ` minimizing the (relative)
+//! Allan deviation as the zone's epoch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{binning::TimedValue, StatsError};
+
+/// One point of an Allan-deviation profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllanPoint {
+    /// Averaging interval τ, in the same time unit as the input series.
+    pub tau: f64,
+    /// Allan deviation of the interval averages, normalized by the overall
+    /// mean of the series so that profiles of different zones/metrics are
+    /// comparable (the paper plots values in `[0, 1]`).
+    pub deviation: f64,
+    /// Number of interval averages that contributed.
+    pub intervals: usize,
+}
+
+/// Allan deviation of a series of *already equally spaced* interval
+/// averages.
+///
+/// Returns the raw (unnormalized) deviation. Needs at least two values.
+pub fn allan_deviation(averages: &[f64]) -> Result<f64, StatsError> {
+    if averages.len() < 2 {
+        return Err(StatsError::NotEnoughSamples {
+            needed: 2,
+            got: averages.len(),
+        });
+    }
+    crate::ensure_finite(averages)?;
+    let n = averages.len();
+    let sum_sq: f64 = averages
+        .windows(2)
+        .map(|w| (w[1] - w[0]).powi(2))
+        .sum();
+    Ok((sum_sq / (2.0 * (n - 1) as f64)).sqrt())
+}
+
+/// Computes the normalized Allan-deviation profile of an irregular
+/// timestamped series over a set of candidate intervals `taus` (same unit
+/// as the timestamps).
+///
+/// For each `τ`, samples are binned into consecutive `τ`-length intervals
+/// from the first timestamp; empty intervals are skipped (client-sourced
+/// data is sporadic). The deviation of the interval means is normalized by
+/// the global mean, giving a dimensionless stability measure in which the
+/// paper's "pick the minimum" rule is scale-free.
+///
+/// Requires at least two non-empty intervals for a `τ` to produce a point;
+/// `τ` values that cannot are omitted from the result.
+pub fn allan_deviation_profile(
+    series: &[TimedValue],
+    taus: &[f64],
+) -> Result<Vec<AllanPoint>, StatsError> {
+    if series.len() < 4 {
+        return Err(StatsError::NotEnoughSamples {
+            needed: 4,
+            got: series.len(),
+        });
+    }
+    let global_mean = {
+        let s: f64 = series.iter().map(|tv| tv.value).sum();
+        s / series.len() as f64
+    };
+    if !global_mean.is_finite() || global_mean == 0.0 {
+        return Err(StatsError::NonFinite);
+    }
+    let mut out = Vec::with_capacity(taus.len());
+    for &tau in taus {
+        if !(tau.is_finite() && tau > 0.0) {
+            return Err(StatsError::InvalidBinWidth);
+        }
+        let averages = crate::binning::bin_means(series, tau)?;
+        if averages.len() < 2 {
+            continue;
+        }
+        let dev = allan_deviation(&averages)?;
+        out.push(AllanPoint {
+            tau,
+            deviation: dev / global_mean.abs(),
+            intervals: averages.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// The `τ` with the smallest deviation in a profile, if any.
+pub fn profile_argmin(profile: &[AllanPoint]) -> Option<AllanPoint> {
+    profile
+        .iter()
+        .copied()
+        .min_by(|a, b| a.deviation.partial_cmp(&b.deviation).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(t: f64, v: f64) -> TimedValue {
+        TimedValue { t, value: v }
+    }
+
+    #[test]
+    fn constant_series_has_zero_deviation() {
+        assert_eq!(allan_deviation(&[5.0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn needs_two_values() {
+        assert!(matches!(
+            allan_deviation(&[1.0]),
+            Err(StatsError::NotEnoughSamples { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn known_two_point_value() {
+        // σ² = (b-a)²/2 for two averages.
+        let d = allan_deviation(&[1.0, 3.0]).unwrap();
+        assert!((d - (4.0f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_beats_drifting_series() {
+        // Rapidly alternating neighbors -> large successive differences.
+        let alternating: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        // Same overall variance but slow drift -> small successive diffs.
+        let drifting: Vec<f64> = (0..100).map(|i| 1.0 + (i as f64) / 99.0).collect();
+        assert!(allan_deviation(&alternating).unwrap() > allan_deviation(&drifting).unwrap());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(allan_deviation(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn profile_finds_coherence_time() {
+        // White noise (std ~2) shrinks with averaging as 1/sqrt(tau);
+        // a slow linear drift grows the difference of successive interval
+        // means proportionally to tau. Their sum is U-shaped with a
+        // minimum at an intermediate tau (~30 here).
+        let mut series = Vec::new();
+        for i in 0u64..4000 {
+            let t = i as f64;
+            // Deterministic hash-based white noise in [-2, 2].
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+            let noise = ((h % 4001) as f64 / 1000.0) - 2.0;
+            let drift = 0.01 * t;
+            series.push(tv(t, 50.0 + drift + noise));
+        }
+        let taus = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0, 1000.0];
+        let profile = allan_deviation_profile(&series, &taus).unwrap();
+        let best = profile_argmin(&profile).unwrap();
+        assert!(
+            best.tau >= 5.0 && best.tau <= 200.0,
+            "expected intermediate tau, got {best:?}"
+        );
+        // The coarsest tau must also be worse than the best (drift term).
+        let coarsest = profile.iter().find(|p| p.tau == 1000.0).unwrap();
+        assert!(coarsest.deviation > best.deviation);
+        // The finest tau must be worse than the best.
+        let finest = profile.iter().find(|p| p.tau == 1.0).unwrap();
+        assert!(finest.deviation > best.deviation);
+    }
+
+    #[test]
+    fn profile_is_normalized() {
+        // Scaling all values by a constant must not change the profile.
+        let series: Vec<TimedValue> = (0..500)
+            .map(|i| tv(i as f64, 100.0 + ((i * 37) % 17) as f64))
+            .collect();
+        let scaled: Vec<TimedValue> = series
+            .iter()
+            .map(|tv_| tv(tv_.t, tv_.value * 7.0))
+            .collect();
+        let taus = [5.0, 25.0, 125.0];
+        let p1 = allan_deviation_profile(&series, &taus).unwrap();
+        let p2 = allan_deviation_profile(&scaled, &taus).unwrap();
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a.deviation - b.deviation).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn profile_rejects_tiny_input_and_bad_tau() {
+        let series: Vec<TimedValue> = (0..3).map(|i| tv(i as f64, 1.0)).collect();
+        assert!(allan_deviation_profile(&series, &[1.0]).is_err());
+        let series: Vec<TimedValue> = (0..10).map(|i| tv(i as f64, 1.0 + i as f64)).collect();
+        assert!(allan_deviation_profile(&series, &[-1.0]).is_err());
+        assert!(allan_deviation_profile(&series, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn taus_too_large_are_omitted() {
+        let series: Vec<TimedValue> = (0..100).map(|i| tv(i as f64, 5.0 + (i % 3) as f64)).collect();
+        // tau = 1000 covers the whole series in one bin -> cannot produce
+        // two interval averages -> omitted.
+        let profile = allan_deviation_profile(&series, &[10.0, 1000.0]).unwrap();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].tau, 10.0);
+    }
+
+    #[test]
+    fn profile_argmin_empty_is_none() {
+        assert!(profile_argmin(&[]).is_none());
+    }
+}

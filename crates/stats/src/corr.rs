@@ -1,0 +1,98 @@
+//! Pearson correlation.
+//!
+//! Used by the paper's §2 sanity check: per zone, the correlation between
+//! vehicle speed and measured latency should be ≈0 (Fig 2), establishing
+//! that bus-collected samples represent the network rather than mobility
+//! artifacts.
+
+use crate::StatsError;
+
+/// Pearson product-moment correlation coefficient of two equal-length
+/// series, in `[-1, 1]`.
+///
+/// Returns 0 when either series is constant (correlation is undefined;
+/// zero is the convention that suits the paper's "no relationship" test,
+/// since a constant series carries no linear relationship).
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() || x.is_empty() {
+        return Err(StatsError::LengthMismatch);
+    }
+    if x.len() < 2 {
+        return Err(StatsError::NotEnoughSamples { needed: 2, got: 1 });
+    }
+    crate::ensure_finite(x)?;
+    crate::ensure_finite(y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_yields_zero() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0];
+        assert_eq!(pearson_correlation(&x, &y).unwrap(), 0.0);
+        assert_eq!(pearson_correlation(&y, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn independent_patterns_are_weakly_correlated() {
+        // Deterministic "independent" sequences: orthogonal-ish phases.
+        let x: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 101) as f64).collect();
+        let y: Vec<f64> = (0..1000).map(|i| ((i * 104729) % 97) as f64).collect();
+        let r = pearson_correlation(&x, &y).unwrap();
+        assert!(r.abs() < 0.1, "r = {r}");
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(pearson_correlation(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson_correlation(&[], &[]).is_err());
+        assert!(pearson_correlation(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn known_intermediate_value() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson_correlation(&x, &y).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
+        assert!(
+            (pearson_correlation(&x, &y).unwrap() - pearson_correlation(&y, &x).unwrap()).abs()
+                < 1e-15
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// An empirical CDF built from a finite sample.
+///
+/// Sorted at construction; evaluation and quantiles are `O(log n)`.
+/// This backs every "CDF of ..." figure in the paper and the 5th/95th
+/// percentile persistent-dominance rule (§4.2.1).
+///
+/// ```
+/// use wiscape_stats::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(e.eval(2.5), 0.5);
+/// assert_eq!(e.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF. Requires at least one finite sample; non-finite
+    /// input is rejected.
+    pub fn new(mut samples: Vec<f64>) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::NotEnoughSamples { needed: 1, got: 0 });
+        }
+        crate::ensure_finite(&samples)?;
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Self { sorted: samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction requires at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), using the nearest-rank method
+    /// (inverse ECDF): the smallest sample `v` with `eval(v) >= q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// Percentile convenience wrapper: `percentile(95.0)` = 0.95-quantile.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Median (0.5-quantile, nearest rank).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the ECDF at `n_points` evenly spaced abscissae spanning
+    /// `[min, max]`, producing the `(x, F(x))` series used to plot the
+    /// paper's CDF figures.
+    pub fn curve(&self, n_points: usize) -> Vec<(f64, f64)> {
+        let n = n_points.max(2);
+        let (lo, hi) = (self.min(), self.max());
+        let span = hi - lo;
+        (0..n)
+            .map(|i| {
+                let x = lo + span * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(vals: &[f64]) -> Ecdf {
+        Ecdf::new(vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(matches!(
+            Ecdf::new(vec![]),
+            Err(StatsError::NotEnoughSamples { .. })
+        ));
+        assert!(matches!(
+            Ecdf::new(vec![1.0, f64::NAN]),
+            Err(StatsError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn eval_step_function() {
+        let c = e(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.9), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let c = e(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(c.quantile(0.0), 10.0);
+        assert_eq!(c.quantile(0.2), 10.0);
+        assert_eq!(c.quantile(0.21), 20.0);
+        assert_eq!(c.median(), 30.0);
+        assert_eq!(c.quantile(1.0), 50.0);
+        assert_eq!(c.percentile(95.0), 50.0);
+        assert_eq!(c.percentile(5.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let c = e(&[1.0, 2.0]);
+        assert_eq!(c.quantile(-1.0), 1.0);
+        assert_eq!(c.quantile(2.0), 2.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let c = e(&[5.0, 5.0, 5.0, 7.0]);
+        assert_eq!(c.eval(5.0), 0.75);
+        assert_eq!(c.eval(6.0), 0.75);
+        assert_eq!(c.median(), 5.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let c = e(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.samples(), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 3.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_spans_range() {
+        let c = e(&[1.0, 4.0, 2.0, 8.0, 3.0]);
+        let curve = c.curve(50);
+        assert_eq!(curve.len(), 50);
+        assert_eq!(curve[0].0, 1.0);
+        assert_eq!(curve.last().unwrap().0, 8.0);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn eval_quantile_are_inverse_like() {
+        let c = e(&(1..=100).map(|i| i as f64).collect::<Vec<_>>());
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            let v = c.quantile(q);
+            assert!(c.eval(v) >= q - 1e-12, "q={q} v={v} F(v)={}", c.eval(v));
+        }
+    }
+}

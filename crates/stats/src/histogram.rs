@@ -1,0 +1,193 @@
+//! Fixed-range uniform histograms.
+//!
+//! Histograms are the discretization step behind the NKLD similarity test
+//! (paper §3.3): two sample sets are compared by binning both onto a
+//! *common* support and computing the symmetric normalized KL divergence
+//! of the resulting probability mass functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// A uniform-bin histogram over a fixed `[lo, hi)` range.
+///
+/// Samples below `lo` are clamped into the first bin and samples at or
+/// above `hi` into the last bin, so the histogram is total over ℝ and two
+/// histograms with equal parameters always share support — a requirement
+/// for KL divergence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` uniform bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            return Err(StatsError::InvalidRange);
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidBinWidth);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Builds a histogram over `[lo, hi)` and fills it with `samples`.
+    pub fn from_samples(lo: f64, hi: f64, bins: usize, samples: &[f64]) -> Result<Self, StatsError> {
+        let mut h = Self::new(lo, hi, bins)?;
+        for &s in samples {
+            h.add(s);
+        }
+        Ok(h)
+    }
+
+    /// Adds one sample. Non-finite samples are ignored.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self.bin_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// The bin a value falls into (with boundary clamping).
+    pub fn bin_index(&self, value: f64) -> usize {
+        let n = self.counts.len();
+        let t = (value - self.lo) / (self.hi - self.lo);
+        ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total samples added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// The probability mass function with additive (Laplace) smoothing:
+    /// `p[i] = (count[i] + alpha) / (total + alpha * bins)`.
+    ///
+    /// Smoothing with a small `alpha` keeps every bin strictly positive so
+    /// KL divergence is finite even when one distribution has empty bins —
+    /// the standard remedy when comparing empirical PMFs.
+    pub fn pmf_smoothed(&self, alpha: f64) -> Vec<f64> {
+        let n = self.counts.len() as f64;
+        let denom = self.total as f64 + alpha * n;
+        if denom <= 0.0 {
+            // Empty histogram with no smoothing: uniform by convention.
+            return vec![1.0 / n; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 + alpha) / denom)
+            .collect()
+    }
+
+    /// Unsmoothed PMF (`alpha = 0`).
+    pub fn pmf(&self) -> Vec<f64> {
+        self.pmf_smoothed(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(Histogram::new(1.0, 1.0, 4), Err(StatsError::InvalidRange)));
+        assert!(matches!(Histogram::new(2.0, 1.0, 4), Err(StatsError::InvalidRange)));
+        assert!(matches!(Histogram::new(0.0, 1.0, 0), Err(StatsError::InvalidBinWidth)));
+        assert!(matches!(
+            Histogram::new(f64::NAN, 1.0, 2),
+            Err(StatsError::InvalidRange)
+        ));
+    }
+
+    #[test]
+    fn bins_values_correctly() {
+        let h = Histogram::from_samples(0.0, 10.0, 10, &[0.5, 1.5, 1.6, 9.9]).unwrap();
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let h = Histogram::from_samples(0.0, 10.0, 5, &[-3.0, 12.0, 10.0]).unwrap();
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 2); // hi and beyond land in the last bin
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let h = Histogram::from_samples(0.0, 1.0, 2, &[0.1, f64::NAN, f64::INFINITY]).unwrap();
+        // INFINITY is non-finite and ignored entirely (not clamped).
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let h = Histogram::from_samples(0.0, 1.0, 8, &[0.1, 0.2, 0.9, 0.5, 0.5]).unwrap();
+        let sum: f64 = h.pmf().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let sum_s: f64 = h.pmf_smoothed(0.5).iter().sum();
+        assert!((sum_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_makes_all_bins_positive() {
+        let h = Histogram::from_samples(0.0, 1.0, 10, &[0.05; 3]).unwrap();
+        assert!(h.pmf().contains(&0.0));
+        assert!(h.pmf_smoothed(0.1).iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn empty_histogram_pmf_is_uniform() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for p in h.pmf() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 10).unwrap();
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+}

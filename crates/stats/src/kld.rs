@@ -1,0 +1,206 @@
+//! Entropy, Kullback–Leibler divergence, and the symmetric normalized KLD.
+//!
+//! The paper (§3.3) measures similarity of a client-sourced sample
+//! distribution to the long-term ground-truth distribution using the
+//! *symmetric normalized KL divergence*:
+//!
+//! ```text
+//! NKLD(p, q) = 1/2 * ( D(p||q)/H(p) + D(q||p)/H(q) )
+//! ```
+//!
+//! where `D` is KL divergence and `H` is Shannon entropy, computed over a
+//! common discretized support. The paper deems two distributions similar
+//! when `NKLD <= 0.1`; see [`NKLD_SIMILARITY_THRESHOLD`].
+//!
+//! Note the paper follows Shrivastava et al. (IMC'07) in using the
+//! *absolute value* of each log-ratio term, which keeps the per-bin
+//! contributions non-negative.
+
+use crate::StatsError;
+
+/// The NKLD value at or below which the paper considers two measurement
+/// distributions statistically similar (§3.3).
+pub const NKLD_SIMILARITY_THRESHOLD: f64 = 0.1;
+
+fn validate_pmf(p: &[f64]) -> Result<(), StatsError> {
+    if p.is_empty() {
+        return Err(StatsError::NotEnoughSamples { needed: 1, got: 0 });
+    }
+    crate::ensure_finite(p)?;
+    if p.iter().any(|&v| v < 0.0) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Shannon entropy `H(p) = Σ p(x) log(1/p(x))` in nats. Zero-probability
+/// bins contribute zero (the standard `0 log 0 = 0` convention).
+pub fn entropy(p: &[f64]) -> Result<f64, StatsError> {
+    validate_pmf(p)?;
+    Ok(p.iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| -v * v.ln())
+        .sum())
+}
+
+/// Kullback–Leibler divergence `D(p||q) = Σ p(x) |log(p(x)/q(x))|` in nats,
+/// with the absolute-value convention of the paper's reference \[19\].
+///
+/// Both slices must be equal-length PMFs; `q` must be strictly positive
+/// wherever `p` is positive (use smoothed histograms, see
+/// [`crate::Histogram::pmf_smoothed`]).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    validate_pmf(p)?;
+    validate_pmf(q)?;
+    if p.len() != q.len() {
+        return Err(StatsError::LengthMismatch);
+    }
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return Err(StatsError::NonFinite);
+            }
+            d += pi * (pi / qi).ln().abs();
+        }
+    }
+    Ok(d)
+}
+
+/// Symmetric normalized KL divergence (paper §3.3):
+/// `NKLD(p,q) = (D(p||q)/H(p) + D(q||p)/H(q)) / 2`.
+///
+/// Returns 0 for identical distributions. When either entropy is zero
+/// (a point-mass distribution), the corresponding term is defined as 0 if
+/// its divergence is also 0, and `+inf`-like large values are avoided by
+/// returning `f64::MAX` — a point mass compared against anything else is
+/// maximally dissimilar.
+pub fn nkld(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    let dpq = kl_divergence(p, q)?;
+    let dqp = kl_divergence(q, p)?;
+    let hp = entropy(p)?;
+    let hq = entropy(q)?;
+    let term = |d: f64, h: f64| -> f64 {
+        if d == 0.0 {
+            0.0
+        } else if h == 0.0 {
+            f64::MAX
+        } else {
+            d / h
+        }
+    };
+    let t1 = term(dpq, hp);
+    let t2 = term(dqp, hq);
+    if t1 == f64::MAX || t2 == f64::MAX {
+        return Ok(f64::MAX);
+    }
+    Ok(0.5 * (t1 + t2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let p = [0.25; 4];
+        let h = entropy(&p).unwrap();
+        assert!((h - 4f64.ln() * 0.25 * 4.0).abs() < 1e-12);
+        assert!((h - (4f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn kld_identical_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert_eq!(kl_divergence(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn kld_is_positive_for_different() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        assert!(kl_divergence(&p, &q).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn kld_abs_convention_is_symmetric_nonneg_terms() {
+        // With |log| terms each contribution is non-negative even when
+        // p < q on some bins.
+        let p = [0.5, 0.5];
+        let q = [0.25, 0.75];
+        let d = kl_divergence(&p, &q).unwrap();
+        let expect = 0.5 * (0.5f64 / 0.25).ln().abs() + 0.5 * (0.5f64 / 0.75).ln().abs();
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kld_rejects_mismatched_and_zero_support() {
+        assert!(matches!(
+            kl_divergence(&[0.5, 0.5], &[1.0]),
+            Err(StatsError::LengthMismatch)
+        ));
+        assert!(matches!(
+            kl_divergence(&[0.5, 0.5], &[1.0, 0.0]),
+            Err(StatsError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn nkld_zero_for_identical() {
+        let p = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(nkld(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nkld_is_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.3, 0.4, 0.3];
+        let a = nkld(&p, &q).unwrap();
+        let b = nkld(&q, &p).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn nkld_grows_with_dissimilarity() {
+        let p = [0.5, 0.3, 0.2];
+        let close = [0.48, 0.32, 0.2];
+        let far = [0.05, 0.15, 0.8];
+        let n_close = nkld(&p, &close).unwrap();
+        let n_far = nkld(&p, &far).unwrap();
+        assert!(n_close < NKLD_SIMILARITY_THRESHOLD, "close: {n_close}");
+        assert!(n_far > n_close);
+    }
+
+    #[test]
+    fn nkld_point_mass_against_smoothed_is_max() {
+        // A point mass has zero entropy; against a distribution that is
+        // positive on its support (so both divergences are finite), the
+        // normalization blows up and NKLD saturates at f64::MAX.
+        let p = [0.999_999, 1e-6];
+        let p = {
+            // Renormalize exactly.
+            let s: f64 = p.iter().sum();
+            [p[0] / s, p[1] / s]
+        };
+        let q = [0.5, 0.5];
+        let n = nkld(&p, &q).unwrap();
+        assert!(n > 1.0, "near-point-mass should be very dissimilar: {n}");
+
+        // True point mass vs q with support where p is zero: D(q||p) is
+        // undefined, so nkld reports an error rather than a number.
+        assert!(nkld(&[1.0, 0.0], &q).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_negative() {
+        assert!(entropy(&[]).is_err());
+        assert!(entropy(&[-0.1, 1.1]).is_err());
+        assert!(nkld(&[], &[]).is_err());
+    }
+}

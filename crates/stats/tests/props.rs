@@ -1,0 +1,151 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wiscape_stats::{
+    allan_deviation, bin_means, kl_divergence, nkld, pearson_correlation, Ecdf, Histogram,
+    RunningStats, TimedValue,
+};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, len)
+}
+
+fn pmf(bins: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01..1.0f64, bins).prop_map(|raw| {
+        let s: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / s).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn running_stats_match_naive(data in finite_vec(1..200)) {
+        let s = RunningStats::from_slice(&data);
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if data.len() >= 2 {
+            let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.sample_variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+        prop_assert_eq!(s.min().unwrap(), data.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max().unwrap(), data.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn merge_is_associative_enough(a in finite_vec(0..50), b in finite_vec(0..50), c in finite_vec(1..50)) {
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).cloned().collect();
+        let whole = RunningStats::from_slice(&all);
+        let mut left = RunningStats::from_slice(&a);
+        left.merge(&RunningStats::from_slice(&b));
+        left.merge(&RunningStats::from_slice(&c));
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.sample_variance() - whole.sample_variance()).abs()
+                < 1e-4 * (1.0 + whole.sample_variance().abs())
+        );
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(data in finite_vec(1..100), probe in -1e6..1e6f64) {
+        let e = Ecdf::new(data).unwrap();
+        let f = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(e.eval(probe + 1.0) >= f);
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts_eval(data in finite_vec(1..100), q in 0.0..1.0f64) {
+        let e = Ecdf::new(data).unwrap();
+        let v = e.quantile(q);
+        prop_assert!(e.eval(v) + 1e-12 >= q);
+        prop_assert!(v >= e.min() && v <= e.max());
+    }
+
+    #[test]
+    fn histogram_conserves_mass(data in finite_vec(0..200)) {
+        let h = Histogram::from_samples(-1e6, 1e6, 32, &data).unwrap();
+        prop_assert_eq!(h.total() as usize, data.len());
+        prop_assert_eq!(h.counts().iter().sum::<u64>() as usize, data.len());
+        if !data.is_empty() {
+            let sum: f64 = h.pmf().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nkld_symmetric_nonnegative_zero_iff_equal(p in pmf(16), q in pmf(16)) {
+        let n_pq = nkld(&p, &q).unwrap();
+        let n_qp = nkld(&q, &p).unwrap();
+        prop_assert!(n_pq >= 0.0);
+        prop_assert!((n_pq - n_qp).abs() < 1e-9);
+        prop_assert!(nkld(&p, &p).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn kld_zero_iff_identical(p in pmf(8)) {
+        prop_assert!(kl_divergence(&p, &p).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn allan_deviation_scale_covariant(data in finite_vec(2..100), k in 0.1..10.0f64) {
+        let scaled: Vec<f64> = data.iter().map(|v| v * k).collect();
+        let d1 = allan_deviation(&data).unwrap();
+        let d2 = allan_deviation(&scaled).unwrap();
+        prop_assert!((d2 - k * d1).abs() < 1e-6 * (1.0 + d2.abs()));
+    }
+
+    #[test]
+    fn allan_deviation_shift_invariant(data in finite_vec(2..100), c in -1e5..1e5f64) {
+        let shifted: Vec<f64> = data.iter().map(|v| v + c).collect();
+        let d1 = allan_deviation(&data).unwrap();
+        let d2 = allan_deviation(&shifted).unwrap();
+        prop_assert!((d2 - d1).abs() < 1e-5 * (1.0 + d1.abs()));
+    }
+
+    #[test]
+    fn correlation_bounded(x in finite_vec(2..100), seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let y: Vec<f64> = (0..x.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let r = pearson_correlation(&x, &y).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn correlation_affine_invariant(x in finite_vec(3..60), a in 0.1..5.0f64, b in -100.0..100.0f64) {
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| v + (i as f64)).collect();
+        let y2: Vec<f64> = y.iter().map(|v| a * v + b).collect();
+        let r1 = pearson_correlation(&x, &y).unwrap();
+        let r2 = pearson_correlation(&x, &y2).unwrap();
+        prop_assert!((r1 - r2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bin_means_lie_within_data_range(
+        values in prop::collection::vec((0.0..1e4f64, -100.0..100.0f64), 1..100),
+        width in 0.1..1e3f64,
+    ) {
+        let series: Vec<TimedValue> = values.iter().map(|&(t, v)| TimedValue::new(t, v)).collect();
+        let lo = values.iter().map(|v| v.1).fold(f64::INFINITY, f64::min);
+        let hi = values.iter().map(|v| v.1).fold(f64::NEG_INFINITY, f64::max);
+        for m in bin_means(&series, width).unwrap() {
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bin_count_conserved(
+        values in prop::collection::vec((0.0..1e4f64, -100.0..100.0f64), 1..100),
+        width in 0.1..1e3f64,
+    ) {
+        let series: Vec<TimedValue> = values.iter().map(|&(t, v)| TimedValue::new(t, v)).collect();
+        let bins = wiscape_stats::bin_series(&series, width).unwrap();
+        let total: u64 = bins.iter().map(|b| b.count()).sum();
+        prop_assert_eq!(total as usize, values.len());
+    }
+}

@@ -1,0 +1,142 @@
+//! HTTP transfer-latency model over the simulated networks.
+//!
+//! A fetch is a sequence of object downloads over one network interface.
+//! Objects are fetched sequentially over a persistent connection (each
+//! still pays a request round trip plus transfer time, via the probe
+//! engine's TCP model); the clock and the client's position advance as
+//! the fetch progresses, so long fetches experience changing zones —
+//! exactly why location-aware scheduling helps on a moving vehicle.
+
+use wiscape_geo::GeoPoint;
+use wiscape_simcore::{SimDuration, SimTime};
+use wiscape_simnet::{Landscape, NetworkId, UnknownNetwork};
+
+/// Result of fetching a set of objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchResult {
+    /// Total wall-clock time.
+    pub duration: SimDuration,
+    /// Total bytes transferred.
+    pub bytes: u64,
+}
+
+impl FetchResult {
+    /// Average goodput of the fetch, kbit/s.
+    pub fn goodput_kbps(&self) -> f64 {
+        let ms = self.duration.as_millis_f64();
+        if ms <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / ms
+    }
+}
+
+/// Fetches `objects` (sizes in bytes) sequentially over `net` starting
+/// at `start`, with the client position supplied per elapsed time by
+/// `position_at` (a static client just returns a constant).
+pub fn fetch_objects(
+    land: &Landscape,
+    net: NetworkId,
+    start: SimTime,
+    objects: &[u64],
+    mut position_at: impl FnMut(SimTime) -> GeoPoint,
+) -> Result<FetchResult, UnknownNetwork> {
+    let mut now = start;
+    let mut bytes = 0u64;
+    for &size in objects {
+        let p = position_at(now);
+        let dl = land.tcp_download(net, &p, now, size)?;
+        now = now + dl.duration;
+        bytes += size;
+    }
+    Ok(FetchResult {
+        duration: now - start,
+        bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_simnet::LandscapeConfig;
+
+    fn land() -> Landscape {
+        Landscape::new(LandscapeConfig::madison(20))
+    }
+
+    #[test]
+    fn fetch_accumulates_time_and_bytes() {
+        let land = land();
+        let p = land.origin();
+        let r = fetch_objects(
+            &land,
+            NetworkId::NetB,
+            SimTime::at(1, 10.0),
+            &[100_000, 200_000, 50_000],
+            |_| p,
+        )
+        .unwrap();
+        assert_eq!(r.bytes, 350_000);
+        let secs = r.duration.as_secs_f64();
+        // 350 KB at ~850 kbps plus 3 connection setups: a few seconds.
+        assert!((2.0..20.0).contains(&secs), "duration {secs}");
+        assert!(r.goodput_kbps() > 100.0);
+    }
+
+    #[test]
+    fn faster_network_fetches_faster() {
+        let land = land();
+        // Find a point where NetA clearly beats NetB in ground truth.
+        let t = SimTime::at(1, 10.0);
+        let p = (0..200)
+            .map(|i| land.origin().destination(i as f64 * 0.37, (i * 53) as f64 % 6000.0))
+            .find(|p| {
+                let a = land.link_quality(NetworkId::NetA, p, t).unwrap().tcp_kbps;
+                let b = land.link_quality(NetworkId::NetB, p, t).unwrap().tcp_kbps;
+                a > 1.4 * b
+            })
+            .expect("NetA dominates somewhere");
+        let objs = [500_000u64; 4];
+        let fast = fetch_objects(&land, NetworkId::NetA, t, &objs, |_| p).unwrap();
+        let slow = fetch_objects(&land, NetworkId::NetB, t, &objs, |_| p).unwrap();
+        assert!(fast.duration < slow.duration);
+    }
+
+    #[test]
+    fn moving_client_positions_are_queried() {
+        let land = land();
+        let start_p = land.origin();
+        let mut queried = Vec::new();
+        let _ = fetch_objects(
+            &land,
+            NetworkId::NetB,
+            SimTime::at(1, 10.0),
+            &[500_000, 500_000],
+            |t| {
+                queried.push(t);
+                start_p
+            },
+        )
+        .unwrap();
+        assert_eq!(queried.len(), 2);
+        assert!(queried[1] > queried[0], "time advances between objects");
+    }
+
+    #[test]
+    fn empty_fetch_is_zero() {
+        let land = land();
+        let r = fetch_objects(&land, NetworkId::NetB, SimTime::EPOCH, &[], |_| land.origin())
+            .unwrap();
+        assert_eq!(r.bytes, 0);
+        assert_eq!(r.duration, SimDuration::ZERO);
+        assert_eq!(r.goodput_kbps(), 0.0);
+    }
+
+    #[test]
+    fn unknown_network_errors() {
+        let land = Landscape::new(LandscapeConfig::new_brunswick(20));
+        assert!(fetch_objects(&land, NetworkId::NetA, SimTime::EPOCH, &[1000], |_| land
+            .origin())
+        .is_err());
+    }
+}

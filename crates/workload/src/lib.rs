@@ -1,0 +1,21 @@
+//! Web workloads for the §4.2 application experiments.
+//!
+//! * [`surge`] — a SURGE-style page pool (Barford & Crovella): 1000
+//!   pages with heavy-tailed sizes between 2.8 KB and 3.2 MB and
+//!   Zipf-distributed popularity, exactly the workload the paper drives
+//!   through its multi-sim and MAR experiments (Table 6);
+//! * [`sites`] — synthetic page sets for the four named sites of Fig 14
+//!   (cnn, microsoft, youtube, amazon), fetched to depth 1;
+//! * [`http`] — an HTTP transfer-latency model over the simulated
+//!   networks (per-object TCP downloads, sequential within a fetch).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod sites;
+pub mod surge;
+
+pub use http::fetch_objects;
+pub use sites::{site_page_set, Site, SITES};
+pub use surge::{Page, PagePool};

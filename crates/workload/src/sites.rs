@@ -1,0 +1,124 @@
+//! Synthetic page sets for the named web sites of Fig 14.
+//!
+//! The paper downloads well-known sites "to a depth of 1 from their
+//! starting page". Real 2011 page compositions are long gone, so each
+//! site is modeled by a deterministic object-size profile whose totals
+//! and object counts are plausible for the era and — more importantly —
+//! *differ* between sites, which is what produces per-site differences
+//! in Fig 14.
+
+use serde::{Deserialize, Serialize};
+
+/// A modeled web site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    /// News front page: many medium objects.
+    Cnn,
+    /// Corporate page: few small objects (paper: smallest improvement).
+    Microsoft,
+    /// Video portal: a few large objects.
+    Youtube,
+    /// Store front: many objects, mixed sizes (paper: biggest win).
+    Amazon,
+}
+
+/// All modeled sites in Fig 14 order.
+pub const SITES: [Site; 4] = [Site::Cnn, Site::Microsoft, Site::Youtube, Site::Amazon];
+
+impl Site {
+    /// Display name (lowercase, as in the paper's figure).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Site::Cnn => "cnn",
+            Site::Microsoft => "microsoft",
+            Site::Youtube => "youtube",
+            Site::Amazon => "amazon",
+        }
+    }
+}
+
+impl core::fmt::Display for Site {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Object sizes (bytes) for fetching `site` to depth 1: the root page
+/// followed by its embedded/linked objects.
+pub fn site_page_set(site: Site) -> Vec<u64> {
+    fn spread(base: u64, count: usize, growth_pct: u64) -> Vec<u64> {
+        // Deterministic spread of object sizes around a base.
+        (0..count)
+            .map(|i| base + base * growth_pct * (i as u64 % 7) / 100)
+            .collect()
+    }
+    match site {
+        Site::Cnn => {
+            // ~90 objects, mostly 8-40 KB images/scripts, ~2.4 MB total.
+            let mut v = vec![95_000]; // root HTML
+            v.extend(spread(18_000, 80, 40));
+            v.extend(spread(60_000, 8, 30));
+            v
+        }
+        Site::Microsoft => {
+            // Lean page: ~25 objects, ~600 KB total.
+            let mut v = vec![45_000];
+            v.extend(spread(14_000, 20, 35));
+            v.extend(spread(55_000, 4, 20));
+            v
+        }
+        Site::Youtube => {
+            // Few but heavy objects (thumbnails + player + preroll).
+            let mut v = vec![70_000];
+            v.extend(spread(25_000, 18, 30));
+            v.extend(spread(350_000, 4, 25));
+            v
+        }
+        Site::Amazon => {
+            // Object-heavy storefront: ~110 objects, ~3 MB total.
+            let mut v = vec![120_000];
+            v.extend(spread(16_000, 90, 45));
+            v.extend(spread(90_000, 14, 25));
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sites_have_objects() {
+        for site in SITES {
+            let objs = site_page_set(site);
+            assert!(objs.len() > 10, "{site}: {} objects", objs.len());
+            assert!(objs.iter().all(|&b| b > 1000));
+        }
+    }
+
+    #[test]
+    fn totals_differ_across_sites() {
+        let totals: Vec<u64> = SITES
+            .iter()
+            .map(|&s| site_page_set(s).iter().sum::<u64>())
+            .collect();
+        let unique: std::collections::HashSet<u64> = totals.iter().copied().collect();
+        assert_eq!(unique.len(), 4);
+        // Microsoft is the lightest, Amazon among the heaviest.
+        let ms = site_page_set(Site::Microsoft).iter().sum::<u64>();
+        let az = site_page_set(Site::Amazon).iter().sum::<u64>();
+        assert!(ms < az / 3, "microsoft {ms} vs amazon {az}");
+    }
+
+    #[test]
+    fn page_sets_are_deterministic() {
+        assert_eq!(site_page_set(Site::Cnn), site_page_set(Site::Cnn));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Site::Cnn.to_string(), "cnn");
+        assert_eq!(Site::Amazon.name(), "amazon");
+    }
+}

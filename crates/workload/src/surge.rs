@@ -1,0 +1,146 @@
+//! SURGE-style web workload generation.
+//!
+//! The paper's clients "requested pages from a webserver hosting a pool
+//! of 1000 web pages with sizes between 2.8 KBytes and 3.2 MBytes,
+//! generated using SURGE". SURGE models object sizes with a heavy-tailed
+//! (bounded Pareto) body and Zipf request popularity; we reproduce both.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wiscape_simcore::dist::{BoundedPareto, Zipf};
+use wiscape_simcore::StreamRng;
+
+/// One page in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Page {
+    /// Page index in the pool.
+    pub id: u32,
+    /// Transfer size, bytes.
+    pub size_bytes: u64,
+}
+
+/// A pool of web pages with a popularity law.
+#[derive(Debug, Clone)]
+pub struct PagePool {
+    pages: Vec<Page>,
+    popularity: Zipf,
+}
+
+/// Smallest page in the paper's pool, bytes.
+pub const MIN_PAGE_BYTES: u64 = 2_800;
+/// Largest page in the paper's pool, bytes.
+pub const MAX_PAGE_BYTES: u64 = 3_200_000;
+
+impl PagePool {
+    /// Generates the paper's pool: `n_pages` pages, bounded-Pareto sizes
+    /// in `[2.8 KB, 3.2 MB]`, Zipf popularity with exponent 0.8.
+    ///
+    /// The Pareto shape (0.6) is chosen so the mean page is ~80 KB:
+    /// heavy enough that run totals are transfer-dominated, which the
+    /// paper's Table 6 implies (its fixed-carrier latencies order by
+    /// carrier throughput).
+    pub fn surge(n_pages: usize, stream: &StreamRng) -> Self {
+        let dist = BoundedPareto::new(0.6, MIN_PAGE_BYTES as f64, MAX_PAGE_BYTES as f64)
+            .expect("static parameters are valid");
+        let mut rng = stream.fork("surge-sizes").rng();
+        let pages = (0..n_pages)
+            .map(|id| Page {
+                id: id as u32,
+                size_bytes: dist.sample(&mut rng) as u64,
+            })
+            .collect();
+        Self {
+            pages,
+            popularity: Zipf::new(n_pages.max(1), 0.8).expect("static parameters are valid"),
+        }
+    }
+
+    /// All pages.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total bytes across the pool.
+    pub fn total_bytes(&self) -> u64 {
+        self.pages.iter().map(|p| p.size_bytes).sum()
+    }
+
+    /// Draws one page by Zipf popularity (rank 1 = most popular = page 0).
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> Page {
+        let rank = self.popularity.sample(rng);
+        self.pages[rank - 1]
+    }
+
+    /// Draws a request sequence of `n` pages.
+    pub fn request_sequence<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Page> {
+        (0..n).map(|_| self.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> PagePool {
+        PagePool::surge(1000, &StreamRng::new(1))
+    }
+
+    #[test]
+    fn pool_matches_paper_spec() {
+        let p = pool();
+        assert_eq!(p.len(), 1000);
+        assert!(!p.is_empty());
+        for page in p.pages() {
+            assert!(page.size_bytes >= MIN_PAGE_BYTES);
+            assert!(page.size_bytes <= MAX_PAGE_BYTES);
+        }
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let p = pool();
+        let mut sizes: Vec<u64> = p.pages().iter().map(|x| x.size_bytes).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2] as f64;
+        let mean = p.total_bytes() as f64 / p.len() as f64;
+        assert!(mean > 2.0 * median, "mean {mean} median {median}");
+        // Some large pages exist.
+        assert!(*sizes.last().unwrap() > 1_000_000);
+    }
+
+    #[test]
+    fn popular_pages_requested_more() {
+        let p = pool();
+        let mut rng = StreamRng::new(2).fork("req").rng();
+        let seq = p.request_sequence(20_000, &mut rng);
+        let count = |id: u32| seq.iter().filter(|pg| pg.id == id).count();
+        assert!(count(0) > count(100));
+        assert!(count(0) > 3 * count(900).max(1));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PagePool::surge(100, &StreamRng::new(3));
+        let b = PagePool::surge(100, &StreamRng::new(3));
+        assert_eq!(a.pages(), b.pages());
+        let c = PagePool::surge(100, &StreamRng::new(4));
+        assert_ne!(a.pages(), c.pages());
+    }
+
+    #[test]
+    fn request_sequence_length() {
+        let p = pool();
+        let mut rng = StreamRng::new(5).fork("req").rng();
+        assert_eq!(p.request_sequence(17, &mut rng).len(), 17);
+    }
+}

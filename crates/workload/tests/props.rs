@@ -1,0 +1,57 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+use wiscape_simcore::{SimTime, StreamRng};
+use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
+use wiscape_workload::surge::{MAX_PAGE_BYTES, MIN_PAGE_BYTES};
+use wiscape_workload::{fetch_objects, site_page_set, PagePool, Site, SITES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn page_pools_respect_bounds(seed in any::<u64>(), n in 1usize..500) {
+        let pool = PagePool::surge(n, &StreamRng::new(seed));
+        prop_assert_eq!(pool.len(), n);
+        for p in pool.pages() {
+            prop_assert!(p.size_bytes >= MIN_PAGE_BYTES);
+            prop_assert!(p.size_bytes <= MAX_PAGE_BYTES);
+        }
+    }
+
+    #[test]
+    fn request_sequences_draw_from_the_pool(seed in any::<u64>(), n_req in 1usize..200) {
+        let pool = PagePool::surge(100, &StreamRng::new(seed));
+        let mut rng = StreamRng::new(seed ^ 1).fork("req").rng();
+        let seq = pool.request_sequence(n_req, &mut rng);
+        prop_assert_eq!(seq.len(), n_req);
+        for p in &seq {
+            prop_assert!(pool.pages().contains(p));
+        }
+    }
+
+    #[test]
+    fn fetch_duration_is_monotone_in_object_count(
+        seed in 0u64..20,
+        sizes in prop::collection::vec(1_000u64..500_000, 1..10),
+    ) {
+        let land = Landscape::new(LandscapeConfig::madison(seed));
+        let p = land.origin();
+        let t = SimTime::at(1, 10.0);
+        let all = fetch_objects(&land, NetworkId::NetB, t, &sizes, |_| p).unwrap();
+        let fewer = fetch_objects(&land, NetworkId::NetB, t, &sizes[..sizes.len() - 1], |_| p);
+        prop_assert_eq!(all.bytes, sizes.iter().sum::<u64>());
+        if let Ok(fewer) = fewer {
+            prop_assert!(all.duration >= fewer.duration);
+        }
+        prop_assert!(all.goodput_kbps() <= NetworkId::NetB.max_downlink_kbps());
+    }
+}
+
+#[test]
+fn sites_are_stable_and_distinct() {
+    for site in SITES {
+        assert_eq!(site_page_set(site), site_page_set(site));
+    }
+    assert_ne!(site_page_set(Site::Cnn), site_page_set(Site::Amazon));
+}

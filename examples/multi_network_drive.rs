@@ -1,0 +1,117 @@
+//! Multi-network applications: multi-sim and MAR over a 20 km drive
+//! (the paper's §4.2 / Table 6 / Fig 14 scenario).
+//!
+//! ```text
+//! cargo run --example multi_network_drive --release
+//! ```
+//!
+//! Builds the client-sourced WiScape quality map for the short road
+//! segment, then compares: a multi-sim phone on each fixed carrier vs
+//! WiScape-informed switching, and a MAR gateway with weighted
+//! round-robin vs WiScape-informed striping.
+
+use wiscape::apps::{run_mar_drive, run_multisim_drive, DrivingClient};
+use wiscape::datasets::short_segment;
+use wiscape::experiments::{tab06, Scale};
+use wiscape::prelude::*;
+use wiscape::workload::{site_page_set, Site};
+
+fn main() {
+    let seed = 11;
+    let land = Landscape::new(LandscapeConfig::madison(seed));
+
+    // WiScape's knowledge: per-zone throughput + RTT along the segment,
+    // built from client-sourced measurements.
+    println!("building the WiScape zone map from client-sourced drives ...");
+    let map = tab06::wiscape_map(&land, seed, Scale::Quick);
+    println!("map: {} zone-network estimates\n", map.len());
+
+    let route = short_segment::segment_route(&land, &short_segment::ShortSegmentParams::default());
+    let start = SimTime::at(2, 9.0);
+    let driver = DrivingClient::new(route, 15.3, start);
+
+    // ---- multi-sim: 120 SURGE pages fetched back to back ----
+    let pool = PagePool::surge(1000, &StreamRng::new(seed));
+    let mut rng = StreamRng::new(seed).fork("req").rng();
+    let pages = pool.request_sequence(120, &mut rng);
+    let requests: Vec<Vec<u64>> = pages.iter().map(|p| vec![p.size_bytes]).collect();
+
+    println!("== multi-sim phone: 120 pages while driving ==");
+    let mut best_fixed = f64::INFINITY;
+    for net in NetworkId::ALL {
+        let out = run_multisim_drive(
+            &land,
+            &driver,
+            start,
+            &requests,
+            SelectionPolicy::Fixed(net),
+            None,
+            &NetworkId::ALL,
+        )
+        .expect("networks present");
+        best_fixed = best_fixed.min(out.total.as_secs_f64());
+        println!("  fixed {net}: {:>7.1} s", out.total.as_secs_f64());
+    }
+    let ws = run_multisim_drive(
+        &land,
+        &driver,
+        start,
+        &requests,
+        SelectionPolicy::WiScapeBest,
+        Some(&map),
+        &NetworkId::ALL,
+    )
+    .expect("networks present");
+    println!(
+        "  WiScape   : {:>7.1} s  ({:+.0}% vs best fixed; paper ~-30%)",
+        ws.total.as_secs_f64(),
+        (ws.total.as_secs_f64() / best_fixed - 1.0) * 100.0
+    );
+
+    // ---- MAR gateway: stripe the same batch over all interfaces ----
+    println!("\n== MAR gateway: same batch striped over 3 interfaces ==");
+    let sizes: Vec<u64> = pages.iter().map(|p| p.size_bytes).collect();
+    let rr = run_mar_drive(&land, &driver, start, &sizes, MarScheduler::WeightedRoundRobin, Some(&map))
+        .expect("networks present");
+    let mws = run_mar_drive(&land, &driver, start, &sizes, MarScheduler::WiScape, Some(&map))
+        .expect("networks present");
+    println!("  MAR-RR     : {:>7.1} s", rr.total.as_secs_f64());
+    println!(
+        "  MAR-WiScape: {:>7.1} s  ({:+.0}% vs RR; paper ~-32%)",
+        mws.total.as_secs_f64(),
+        (mws.total.as_secs_f64() / rr.total.as_secs_f64() - 1.0) * 100.0
+    );
+
+    // ---- named sites, depth-1 fetches (Fig 14) ----
+    println!("\n== named sites (depth-1 fetch while driving) ==");
+    for site in [Site::Cnn, Site::Microsoft, Site::Youtube, Site::Amazon] {
+        let objects = site_page_set(site);
+        let reqs: Vec<Vec<u64>> = objects.iter().map(|&o| vec![o]).collect();
+        let ws = run_multisim_drive(
+            &land,
+            &driver,
+            start,
+            &reqs,
+            SelectionPolicy::WiScapeBest,
+            Some(&map),
+            &NetworkId::ALL,
+        )
+        .expect("networks present");
+        let fixed_b = run_multisim_drive(
+            &land,
+            &driver,
+            start,
+            &reqs,
+            SelectionPolicy::Fixed(NetworkId::NetB),
+            None,
+            &NetworkId::ALL,
+        )
+        .expect("networks present");
+        println!(
+            "  {:<10} WiScape {:>6.1} s   fixed-NetB {:>6.1} s",
+            site.to_string(),
+            ws.total.as_secs_f64(),
+            fixed_b.total.as_secs_f64()
+        );
+    }
+}

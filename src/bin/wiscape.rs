@@ -1,0 +1,249 @@
+//! `wiscape` — command-line front end for the WiScape reproduction.
+//!
+//! ```text
+//! wiscape map    [--seed N] [--hours H] [--out map.csv]     run a deployment, dump the zone map
+//! wiscape trace  <standalone|wirover|spot|short-segment>
+//!                [--seed N] [--days D] [--out trace.csv]    regenerate a dataset as CSV
+//! wiscape epoch  [--seed N] [--region wi|nj]                Allan-deviation epoch profile
+//! wiscape quality [--seed N] [--lat L --lon L] [--hour H]   ground-truth link quality lookup
+//! ```
+
+use wiscape::datasets::{save_csv, short_segment, spot, standalone, wirover};
+use wiscape::prelude::*;
+
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Self {
+        let mut flags = std::collections::HashMap::new();
+        let mut positional = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = raw.next().unwrap_or_else(|| die(&format!("--{name} needs a value")));
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Self { flags, positional }
+    }
+
+    fn u64_flag(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name}: not an integer: {v}"))))
+            .unwrap_or(default)
+    }
+
+    fn f64_flag(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name}: not a number: {v}"))))
+            .unwrap_or(default)
+    }
+
+    fn str_flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("wiscape: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  wiscape map     [--seed N] [--hours H] [--out map.csv]\n  \
+         wiscape trace   <standalone|wirover|spot|short-segment> [--seed N] [--days D] [--out trace.csv]\n  \
+         wiscape epoch   [--seed N] [--region wi|nj]\n  \
+         wiscape quality [--seed N] [--lat L --lon L] [--hour H]"
+    );
+    std::process::exit(2);
+}
+
+fn landscape(args: &Args) -> Landscape {
+    let seed = args.u64_flag("seed", 7);
+    match args.str_flag("region").unwrap_or("wi") {
+        "wi" => Landscape::new(LandscapeConfig::madison(seed)),
+        "nj" => Landscape::new(LandscapeConfig::new_brunswick(seed)),
+        other => die(&format!("unknown region '{other}' (wi|nj)")),
+    }
+}
+
+fn cmd_map(args: &Args) {
+    let seed = args.u64_flag("seed", 7);
+    let hours = args.f64_flag("hours", 8.0);
+    let land = landscape(args);
+    let mut fleet = Fleet::new(seed);
+    fleet
+        .add_transit_buses(5, land.origin(), 6000.0, 10)
+        .add_static_spot(land.origin());
+    let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
+    let mut deployment = Deployment::new(land, fleet, index, DeploymentConfig::default());
+    let start = SimTime::at(1, 7.0);
+    deployment.run(start, start + SimDuration::from_secs_f64(hours * 3600.0));
+    let stats = deployment.stats();
+    eprintln!(
+        "deployment: {} checkins, {} tasks, {} packets requested",
+        stats.checkins, stats.tasks_issued, stats.packets_requested
+    );
+    let published = deployment.coordinator().all_published();
+    let mut out = String::from("zone_col,zone_row,lat_deg,lon_deg,network,mean_kbps,std_kbps,samples\n");
+    for e in &published {
+        let c = deployment.coordinator().index().center_of(e.zone);
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{},{:.1},{:.1},{}\n",
+            e.zone.0.col,
+            e.zone.0.row,
+            c.lat_deg(),
+            c.lon_deg(),
+            e.network,
+            e.mean,
+            e.std_dev,
+            e.samples
+        ));
+    }
+    match args.str_flag("out") {
+        Some(path) => {
+            std::fs::write(path, out).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            eprintln!("{} zone estimates -> {path}", published.len());
+        }
+        None => print!("{out}"),
+    }
+}
+
+fn cmd_trace(args: &Args) {
+    let seed = args.u64_flag("seed", 7);
+    let days = args.u64_flag("days", 2) as i64;
+    let land = landscape(args);
+    let which = args
+        .positional
+        .get(1)
+        .unwrap_or_else(|| die("trace needs a dataset name"));
+    let ds = match which.as_str() {
+        "standalone" => standalone::generate(
+            &land,
+            seed,
+            &standalone::StandaloneParams {
+                days,
+                ..Default::default()
+            },
+        ),
+        "wirover" => wirover::generate(
+            &land,
+            seed,
+            &wirover::WiRoverParams {
+                days,
+                ..Default::default()
+            },
+        ),
+        "spot" => {
+            let p = wiscape::datasets::representative_static_locations(&land, 1, 5000.0, 100.0)[0]
+                .point;
+            spot::generate(
+                &land,
+                ClientId(0),
+                p,
+                &spot::SpotParams {
+                    days,
+                    ..Default::default()
+                },
+            )
+        }
+        "short-segment" => short_segment::generate(
+            &land,
+            seed,
+            &short_segment::ShortSegmentParams {
+                days,
+                ..Default::default()
+            },
+        ),
+        other => die(&format!("unknown dataset '{other}'")),
+    };
+    eprintln!("{}: {} records over {days} day(s)", ds.name, ds.len());
+    match args.str_flag("out") {
+        Some(path) => {
+            save_csv(&ds, std::path::Path::new(path))
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            eprintln!("-> {path}");
+        }
+        None => {
+            let mut buf = Vec::new();
+            wiscape::datasets::write_csv(&ds, &mut buf).expect("in-memory write");
+            print!("{}", String::from_utf8_lossy(&buf));
+        }
+    }
+}
+
+fn cmd_epoch(args: &Args) {
+    use wiscape::core::{EpochConfig, EpochEstimator};
+    use wiscape::stats::TimedValue;
+    let land = landscape(args);
+    let p = wiscape::datasets::representative_static_locations(&land, 1, 5000.0, 100.0)[0].point;
+    let days = args.u64_flag("days", 8) as i64;
+    eprintln!("collecting {days} day(s) of UDP measurements ...");
+    let mut series = Vec::new();
+    for day in 0..days {
+        let mut t = SimTime::at(day, 0.0);
+        while t < SimTime::at(day + 1, 0.0) {
+            if let Ok(train) = land.probe_train(NetworkId::NetB, TransportKind::Udp, &p, t, 40, 1200)
+            {
+                if let Some(est) = train.estimated_kbps() {
+                    series.push(TimedValue::new(t.as_secs_f64(), est));
+                }
+            }
+            t = t + SimDuration::from_secs(90);
+        }
+    }
+    let est = EpochEstimator::new(EpochConfig::default())
+        .estimate(&series)
+        .unwrap_or_else(|e| die(&format!("epoch estimation failed: {e}")));
+    println!("tau_min,allan_deviation");
+    for pt in &est.profile {
+        println!("{:.2},{:.6}", pt.tau, pt.deviation);
+    }
+    eprintln!(
+        "argmin {:.0} min -> epoch {:.0} min (true coherence {:.0} min)",
+        est.raw_argmin.as_mins_f64(),
+        est.epoch.as_mins_f64(),
+        land.coherence_time(&p).expect("networks exist").as_mins_f64()
+    );
+}
+
+fn cmd_quality(args: &Args) {
+    let land = landscape(args);
+    let lat = args.f64_flag("lat", land.origin().lat_deg());
+    let lon = args.f64_flag("lon", land.origin().lon_deg());
+    let hour = args.f64_flag("hour", 12.0);
+    let p = GeoPoint::new(lat, lon).unwrap_or_else(|e| die(&format!("bad coordinates: {e}")));
+    let t = SimTime::at(1, hour);
+    println!("network,tcp_kbps,udp_kbps,rtt_ms,jitter_ms,loss_rate,degraded");
+    for net in land.networks() {
+        let q = land.link_quality(net, &p, t).expect("network present");
+        println!(
+            "{net},{:.0},{:.0},{:.1},{:.2},{:.4},{}",
+            q.tcp_kbps,
+            q.udp_kbps,
+            q.rtt_ms,
+            q.jitter_ms,
+            q.loss_rate,
+            land.is_degraded(&p)
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    match args.positional.first().map(|s| s.as_str()) {
+        Some("map") => cmd_map(&args),
+        Some("trace") => cmd_trace(&args),
+        Some("epoch") => cmd_epoch(&args),
+        Some("quality") => cmd_quality(&args),
+        _ => usage(),
+    }
+}

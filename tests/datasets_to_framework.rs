@@ -1,0 +1,138 @@
+//! Cross-crate integration: dataset generators feeding the framework's
+//! statistical machinery, mirroring how the paper's analysis pipeline
+//! consumes its traces.
+
+use wiscape::core::{Observation, ZoneAggregator};
+use wiscape::datasets::{proximate, spot, standalone, wirover, Metric};
+use wiscape::prelude::*;
+use wiscape::stats::pearson_correlation;
+
+#[test]
+fn standalone_dataset_populates_hundreds_of_zones() {
+    let land = Landscape::new(LandscapeConfig::madison(110));
+    let ds = standalone::generate(
+        &land,
+        110,
+        &standalone::StandaloneParams {
+            days: 3,
+            download_interval_s: 180,
+            ping_interval_s: 300,
+            ..Default::default()
+        },
+    );
+    let index = ZoneIndex::around(land.origin(), 7000.0).unwrap();
+    let mut agg = ZoneAggregator::new(index, false);
+    for r in ds.select(NetworkId::NetB, Metric::TcpKbps) {
+        agg.ingest(&Observation {
+            network: r.network,
+            point: r.point,
+            t: r.t,
+            value: r.value,
+        });
+    }
+    let populated = agg.populated(5);
+    assert!(
+        populated.len() > 100,
+        "only {} zones with 5+ downloads",
+        populated.len()
+    );
+    // The paper's Fig 4 regime: most well-sampled zones are homogeneous.
+    let rels = agg.rel_std_devs(NetworkId::NetB, 20);
+    let good = rels.iter().filter(|&&r| r < 0.15).count();
+    assert!(
+        good * 10 >= rels.len() * 7,
+        "{good}/{} zones under 15% rel-std",
+        rels.len()
+    );
+}
+
+#[test]
+fn wirover_speed_latency_independence_holds_system_wide() {
+    let land = Landscape::new(LandscapeConfig::madison(111));
+    let ds = wirover::generate(
+        &land,
+        111,
+        &wirover::WiRoverParams {
+            days: 1,
+            ping_interval_s: 30,
+            ..Default::default()
+        },
+    );
+    for net in [NetworkId::NetB, NetworkId::NetC] {
+        let recs = ds.select(net, Metric::PingRttMs);
+        let speeds: Vec<f64> = recs.iter().map(|r| r.speed_mps).collect();
+        let rtts: Vec<f64> = recs.iter().map(|r| r.value).collect();
+        let cc = pearson_correlation(&speeds, &rtts).unwrap();
+        assert!(cc.abs() < 0.12, "{net}: speed-latency cc {cc}");
+    }
+}
+
+#[test]
+fn spot_and_proximate_agree_at_every_representative_location() {
+    // The Table 3 claim, across several spots and both regions.
+    for (cfg, n_spots) in [
+        (LandscapeConfig::madison(112), 3usize),
+        (LandscapeConfig::new_brunswick(112), 2),
+    ] {
+        let land = Landscape::new(cfg);
+        let spots = wiscape::datasets::locations::representative_static_locations(
+            &land, n_spots, 5000.0, 1200.0,
+        );
+        assert_eq!(spots.len(), n_spots);
+        for s in &spots {
+            let stat = spot::generate(
+                &land,
+                ClientId(300 + s.index as u32),
+                s.point,
+                &spot::SpotParams {
+                    days: 3,
+                    interval_s: 300,
+                    ..Default::default()
+                },
+            );
+            let prox = proximate::generate(
+                &land,
+                s.index as u32,
+                s.point,
+                112,
+                &proximate::ProximateParams {
+                    days: 3,
+                    interval_s: 180,
+                    ..Default::default()
+                },
+            );
+            for net in land.networks() {
+                let m_stat = mean(&stat.values(net, Metric::UdpKbps));
+                let m_prox = mean(&prox.values(net, Metric::UdpKbps));
+                let err = (m_prox - m_stat).abs() / m_stat;
+                assert!(
+                    err < 0.12,
+                    "spot {} {net}: static {m_stat:.0} vs proximate {m_prox:.0} ({err:.2})",
+                    s.index
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn datasets_share_one_ground_truth() {
+    // Two different collection platforms measuring the same zone at the
+    // same hour must agree (they sample one landscape).
+    let land = Landscape::new(LandscapeConfig::madison(113));
+    let p = land.origin();
+    let t = SimTime::at(1, 10.0);
+    let train = land
+        .probe_train(NetworkId::NetB, TransportKind::Udp, &p, t, 200, 1200)
+        .unwrap();
+    let from_probe = train.estimated_kbps().unwrap();
+    let from_field = land.link_quality(NetworkId::NetB, &p, t).unwrap().udp_kbps;
+    assert!(
+        (from_probe - from_field).abs() / from_field < 0.05,
+        "probe {from_probe} vs field {from_field}"
+    );
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}

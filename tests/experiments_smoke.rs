@@ -1,0 +1,35 @@
+//! Smoke integration over the experiment harness: every table/figure
+//! regenerator runs at Quick scale, serializes, and reports a summary
+//! containing its paper anchor.
+
+use wiscape::experiments::{run_by_name, Scale, ALL_EXPERIMENTS};
+
+#[test]
+fn every_experiment_runs_and_serializes() {
+    for name in ALL_EXPERIMENTS {
+        let (summary, json) =
+            run_by_name(name, 9, Scale::Quick).unwrap_or_else(|| panic!("{name} must exist"));
+        assert!(
+            summary.to_lowercase().contains("paper"),
+            "{name}: summary must anchor to the paper: {summary}"
+        );
+        let value: serde_json::Value =
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: bad JSON: {e}"));
+        assert!(value.is_object() || value.is_array(), "{name}: JSON shape");
+        assert!(json.len() > 100, "{name}: suspiciously small payload");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(run_by_name("fig99", 1, Scale::Quick).is_none());
+}
+
+#[test]
+fn experiments_are_deterministic_per_seed() {
+    for name in ["fig04", "tab05", "fig12"] {
+        let a = run_by_name(name, 33, Scale::Quick).unwrap();
+        let b = run_by_name(name, 33, Scale::Quick).unwrap();
+        assert_eq!(a.1, b.1, "{name}: same seed must give identical JSON");
+    }
+}
