@@ -88,6 +88,44 @@ fn simulator_benches(c: &mut Criterion) {
             )
         })
     });
+    // The pre-cursor evaluation shape: each metric resolved
+    // independently (what the probe path did before the shared-resolve
+    // refactor). Kept as the denominator for the cursor speedup.
+    let field = land.field(NetworkId::NetB).unwrap();
+    c.bench_function("field_per_metric_5_calls", |b| {
+        b.iter(|| {
+            black_box((
+                field.mean_tcp_kbps(black_box(&p), t),
+                field.mean_udp_kbps(&p, t),
+                field.mean_rtt_ms(&p, t),
+                field.mean_jitter_ms(&p, t),
+                field.loss_rate(&p, t),
+            ))
+        })
+    });
+    c.bench_function("field_link_quality_cursor", |b| {
+        let mut cursor = wiscape_simnet::FieldCursor::new(field);
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            black_box(cursor.link_quality(
+                black_box(&p),
+                t + wiscape_simcore::SimDuration::from_secs(k % 3600),
+            ))
+        })
+    });
+    let walk: Vec<(wiscape_geo::GeoPoint, SimTime)> = (0..1000)
+        .map(|i| {
+            (
+                land.origin()
+                    .destination(i as f64 * 0.83, 50.0 + (i as f64 * 137.0) % 9000.0),
+                t + wiscape_simcore::SimDuration::from_secs(i % 3600),
+            )
+        })
+        .collect();
+    c.bench_function("field_link_quality_batch_1k", |b| {
+        b.iter(|| black_box(field.link_quality_batch(black_box(&walk))))
+    });
     c.bench_function("probe_train_100_packets", |b| {
         b.iter(|| {
             black_box(

@@ -1,0 +1,192 @@
+//! Machine-readable core performance baseline.
+//!
+//! ```text
+//! cargo run -p wiscape-bench --release --bin baseline [-- --out PATH]
+//! ```
+//!
+//! Measures the field-evaluation hot path (per-metric calls, shared
+//! `link_quality`, `FieldCursor`, batched API) in evaluations per
+//! second, plus the wall-clock of every experiment at `Scale::Quick`
+//! on the deterministic parallel executor, and writes the numbers to
+//! `results/BENCH_core.json` (or `--out PATH`). The `WISCAPE_THREADS`
+//! environment variable pins the worker count.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+use wiscape_bench::{bench_landscape, bench_point};
+use wiscape_experiments::{run_many_with_charts, Scale, ALL_EXPERIMENTS};
+use wiscape_simcore::{exec, SimDuration, SimTime};
+use wiscape_simnet::{FieldCursor, NetworkField, NetworkId};
+
+/// Field-evaluation throughput, evaluations per second. One
+/// "evaluation" always produces all five link metrics at one `(p, t)`.
+#[derive(Serialize)]
+struct EvalRates {
+    /// Five independent per-metric calls (the pre-cursor probe shape).
+    per_metric_eval_s: f64,
+    /// One `link_quality` call (shared point resolution).
+    link_quality_eval_s: f64,
+    /// `FieldCursor` at a fixed point, sweeping time.
+    cursor_eval_s: f64,
+    /// `link_quality_batch` over a 1000-point mobility-style walk.
+    batch_eval_s: f64,
+    /// `cursor_eval_s / per_metric_eval_s`.
+    cursor_speedup_vs_per_metric: f64,
+}
+
+#[derive(Serialize)]
+struct ExperimentTiming {
+    name: String,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct BenchCore {
+    /// Worker count used (WISCAPE_THREADS or available parallelism).
+    threads: usize,
+    field_eval: EvalRates,
+    /// Per-experiment wall-clock at Scale::Quick, paper order.
+    experiments: Vec<ExperimentTiming>,
+    /// Wall-clock of the whole parallel experiment run, seconds.
+    experiments_wall_s: f64,
+    /// Sum of per-experiment seconds (the serial-run estimate).
+    experiments_cpu_s: f64,
+    /// `experiments_cpu_s / experiments_wall_s`.
+    parallel_speedup_estimate: f64,
+}
+
+/// Runs `f` repeatedly for at least `budget_s`, returning calls/sec.
+fn rate(budget_s: f64, mut f: impl FnMut()) -> f64 {
+    // Warm-up + calibration pass.
+    let t0 = Instant::now();
+    let mut calls = 0u64;
+    while t0.elapsed().as_secs_f64() < budget_s * 0.2 {
+        f();
+        calls += 1;
+    }
+    let per_call = t0.elapsed().as_secs_f64() / calls as f64;
+    let iters = ((budget_s / per_call) as u64).max(1);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / t1.elapsed().as_secs_f64()
+}
+
+fn field_eval_rates(field: &NetworkField, p: wiscape_geo::GeoPoint) -> EvalRates {
+    let t = SimTime::at(1, 12.0);
+    let budget = 0.5;
+
+    let per_metric_eval_s = rate(budget, || {
+        black_box((
+            field.mean_tcp_kbps(black_box(&p), t),
+            field.mean_udp_kbps(&p, t),
+            field.mean_rtt_ms(&p, t),
+            field.mean_jitter_ms(&p, t),
+            field.loss_rate(&p, t),
+        ));
+    });
+
+    let link_quality_eval_s = rate(budget, || {
+        black_box(field.link_quality(black_box(&p), t));
+    });
+
+    let mut cursor = FieldCursor::new(field);
+    let mut k = 0i64;
+    let cursor_eval_s = rate(budget, || {
+        k += 1;
+        black_box(cursor.link_quality(black_box(&p), t + SimDuration::from_secs(k % 3600)));
+    });
+
+    let walk: Vec<(wiscape_geo::GeoPoint, SimTime)> = (0..1000)
+        .map(|i| {
+            (
+                p.destination(i as f64 * 0.83, (i as f64 * 137.0) % 9000.0),
+                t + SimDuration::from_secs(i % 3600),
+            )
+        })
+        .collect();
+    let batch_eval_s = 1000.0
+        * rate(budget, || {
+            black_box(field.link_quality_batch(black_box(&walk)));
+        });
+
+    EvalRates {
+        per_metric_eval_s,
+        link_quality_eval_s,
+        cursor_eval_s,
+        batch_eval_s,
+        cursor_speedup_vs_per_metric: cursor_eval_s / per_metric_eval_s,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("results/BENCH_core.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("baseline: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("baseline: unknown argument '{other}' (usage: baseline [--out PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let threads = exec::thread_count();
+    eprintln!("[baseline] field evaluation rates ({threads} worker(s) configured)...");
+    let land = bench_landscape();
+    let p = bench_point(&land);
+    let field = land.field(NetworkId::NetB).expect("NetB present");
+    let field_eval = field_eval_rates(field, p);
+    eprintln!(
+        "[baseline] per-metric {:.0}/s, link_quality {:.0}/s, cursor {:.0}/s ({:.1}x), batch {:.0}/s",
+        field_eval.per_metric_eval_s,
+        field_eval.link_quality_eval_s,
+        field_eval.cursor_eval_s,
+        field_eval.cursor_speedup_vs_per_metric,
+        field_eval.batch_eval_s,
+    );
+
+    eprintln!("[baseline] running all experiments at Scale::Quick...");
+    let names: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    let wall = Instant::now();
+    let results = run_many_with_charts(&names, 7, Scale::Quick);
+    let experiments_wall_s = wall.elapsed().as_secs_f64();
+    let experiments: Vec<ExperimentTiming> = names
+        .iter()
+        .zip(results)
+        .map(|(name, r)| ExperimentTiming {
+            name: name.clone(),
+            seconds: r.expect("all names are known").3,
+        })
+        .collect();
+    let experiments_cpu_s: f64 = experiments.iter().map(|e| e.seconds).sum();
+
+    let report = BenchCore {
+        threads,
+        field_eval,
+        experiments,
+        experiments_wall_s,
+        experiments_cpu_s,
+        parallel_speedup_estimate: experiments_cpu_s / experiments_wall_s,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!(
+        "[baseline] {} experiments: {experiments_cpu_s:.1}s cpu / {experiments_wall_s:.1}s wall \
+         ({:.1}x) -> {out_path}",
+        report.experiments.len(),
+        report.parallel_speedup_estimate,
+    );
+}

@@ -55,11 +55,10 @@ pub fn bench_series(n: usize) -> Vec<wiscape_stats::TimedValue> {
 /// Two large sample pools drawn from the same distribution (NKLD
 /// benches).
 pub fn bench_pools(n: usize) -> (Vec<f64>, Vec<f64>) {
-    use rand::Rng;
     let mut rng = StreamRng::new(17).fork("pools").rng();
     let d = wiscape_simcore::dist::LogNormal::from_mean_cv(1000.0, 0.12).expect("valid");
     let a = (0..n).map(|_| d.sample(&mut rng)).collect();
-    let b = (0..n).map(|_| rng.gen::<f64>() * 0.0 + d.sample(&mut rng)).collect();
+    let b = (0..n).map(|_| d.sample(&mut rng)).collect();
     (a, b)
 }
 

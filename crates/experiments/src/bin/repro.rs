@@ -10,7 +10,7 @@
 
 use std::io::Write as _;
 
-use wiscape_experiments::{run_by_name_with_charts, Scale, ALL_EXPERIMENTS};
+use wiscape_experiments::{run_many_with_charts, Scale, ALL_EXPERIMENTS};
 
 fn main() {
     let mut seed: u64 = 7;
@@ -53,10 +53,14 @@ fn main() {
     );
     println!("{}", wiscape_experiments::inventory::table1());
     println!("{}", wiscape_experiments::inventory::table2());
-    for name in names {
-        let started = std::time::Instant::now();
-        match run_by_name_with_charts(&name, seed, scale) {
-            Some((summary, json, charts)) => {
+    // All experiments run concurrently on the deterministic executor
+    // (worker count: WISCAPE_THREADS, default all cores); outputs are
+    // byte-identical to a serial run, and are written in input order.
+    let wall = std::time::Instant::now();
+    let results = run_many_with_charts(&names, seed, scale);
+    for (name, result) in names.iter().zip(results) {
+        match result {
+            Some((summary, json, charts, secs)) => {
                 let path = format!("{out_dir}/{name}.json");
                 let mut f = std::fs::File::create(&path)
                     .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
@@ -71,8 +75,7 @@ fn main() {
                 }
                 println!("{summary}\n");
                 eprintln!(
-                    "[{name}] done in {:.1}s -> {path} (+{} charts)",
-                    started.elapsed().as_secs_f64(),
+                    "[{name}] done in {secs:.1}s -> {path} (+{} charts)",
                     if svg { charts.len() } else { 0 }
                 );
             }
@@ -82,6 +85,12 @@ fn main() {
             }
         }
     }
+    eprintln!(
+        "[repro] {} experiments in {:.1}s on {} worker(s)",
+        names.len(),
+        wall.elapsed().as_secs_f64(),
+        wiscape_simcore::exec::thread_count()
+    );
 }
 
 fn die(msg: &str) -> ! {

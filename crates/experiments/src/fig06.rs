@@ -49,8 +49,12 @@ fn packet_series(
     cadence_s: i64,
 ) -> Vec<TimedValue> {
     let net = NetworkId::NetB;
-    let mut out = Vec::new();
-    for day in 0..days {
+    // Days are independent (every probe is keyed by its own send time),
+    // so fan them out on the deterministic executor; concatenating the
+    // per-day series in day order reproduces the serial result exactly.
+    let day_idx: Vec<i64> = (0..days).collect();
+    wiscape_simcore::exec::par_map(&day_idx, |_, &day| {
+        let mut out = Vec::new();
         let mut t = SimTime::at(day, 0.0);
         let end = SimTime::at(day + 1, 0.0);
         while t < end {
@@ -62,8 +66,11 @@ fn packet_series(
             }
             t = t + SimDuration::from_secs(cadence_s);
         }
-    }
-    out
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn region_profile(land: &Landscape, scale: Scale, region: &str) -> AllanProfile {
@@ -85,13 +92,14 @@ fn region_profile(land: &Landscape, scale: Scale, region: &str) -> AllanProfile 
 
 /// Runs the experiment.
 pub fn run(seed: u64, scale: Scale) -> Fig06 {
-    let wi = Landscape::new(LandscapeConfig::madison(seed));
-    let nj = Landscape::new(LandscapeConfig::new_brunswick(seed));
+    let regions: [(LandscapeConfig, &str); 2] = [
+        (LandscapeConfig::madison(seed), "WI"),
+        (LandscapeConfig::new_brunswick(seed), "NJ"),
+    ];
     Fig06 {
-        profiles: vec![
-            region_profile(&wi, scale, "WI"),
-            region_profile(&nj, scale, "NJ"),
-        ],
+        profiles: wiscape_simcore::exec::par_map(&regions, |_, (cfg, label)| {
+            region_profile(&Landscape::new(cfg.clone()), scale, label)
+        }),
     }
 }
 

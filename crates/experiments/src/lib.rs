@@ -161,3 +161,22 @@ pub fn run_by_name_with_charts(
 pub fn run_by_name(name: &str, seed: u64, scale: Scale) -> Option<(String, String)> {
     run_by_name_with_charts(name, seed, scale).map(|(s, j, _)| (s, j))
 }
+
+/// Runs a list of experiments concurrently on the deterministic
+/// executor ([`wiscape_simcore::exec`]), returning per-experiment
+/// results **in input order** together with each experiment's
+/// wall-clock seconds. Every experiment is a pure function of
+/// `(name, seed, scale)`, so the output bytes are identical to running
+/// them serially — the worker count (`WISCAPE_THREADS`) only changes
+/// how long it takes.
+pub fn run_many_with_charts(
+    names: &[String],
+    seed: u64,
+    scale: Scale,
+) -> Vec<Option<(String, String, NamedCharts, f64)>> {
+    wiscape_simcore::exec::par_map(names, |_, name| {
+        let started = std::time::Instant::now();
+        run_by_name_with_charts(name, seed, scale)
+            .map(|(summary, json, charts)| (summary, json, charts, started.elapsed().as_secs_f64()))
+    })
+}

@@ -1,0 +1,61 @@
+//! Regression tests for the determinism contract of the parallel
+//! executor and the cached field-evaluation paths: worker count and
+//! caching must never change a single output byte.
+
+use wiscape_experiments::{run_by_name, Scale};
+use wiscape_simcore::SimTime;
+use wiscape_simnet::{FieldCursor, Landscape, LandscapeConfig, NetworkId};
+
+/// fig06 (the heaviest exec user: parallel regions and days) and tab03
+/// must produce byte-identical summaries and JSON with 1 worker and
+/// with 4. Both runs happen inside one test so the `WISCAPE_THREADS`
+/// mutation cannot race another test's `thread_count()` read — keep
+/// this the only test in this binary that touches the variable.
+#[test]
+fn quick_experiments_are_thread_count_invariant() {
+    for name in ["fig06", "tab03"] {
+        std::env::set_var("WISCAPE_THREADS", "1");
+        let (summary_1, json_1) = run_by_name(name, 7, Scale::Quick).expect("known experiment");
+        std::env::set_var("WISCAPE_THREADS", "4");
+        let (summary_4, json_4) = run_by_name(name, 7, Scale::Quick).expect("known experiment");
+        std::env::remove_var("WISCAPE_THREADS");
+        assert_eq!(
+            json_1, json_4,
+            "{name}: JSON must be byte-identical for 1 vs 4 workers"
+        );
+        assert_eq!(summary_1, summary_4, "{name}: summaries must match");
+    }
+}
+
+/// The landscape-level cursor and batch APIs agree exactly (bitwise)
+/// with per-call `link_quality` (the field-level equivalence is tested
+/// in `wiscape-simnet`).
+#[test]
+fn landscape_cursor_and_batch_match_uncached() {
+    let land = Landscape::new(LandscapeConfig::madison(7));
+    let net = NetworkId::NetB;
+    let queries: Vec<_> = (0..200)
+        .map(|i| {
+            (
+                land.origin()
+                    .destination(i as f64 * 0.79, 60.0 + (i as f64 * 143.0) % 12_000.0),
+                SimTime::at((i % 7) as i64, (i % 24) as f64),
+            )
+        })
+        .collect();
+    let mut cursor = land.cursor(net).unwrap();
+    let batch = land.link_quality_batch(net, &queries).unwrap();
+    for ((p, t), from_batch) in queries.iter().zip(&batch) {
+        let direct = land.link_quality(net, p, *t).unwrap();
+        assert_eq!(cursor.link_quality(p, *t), direct);
+        assert_eq!(*from_batch, direct);
+    }
+    // A cursor rebuilt from the raw field behaves identically.
+    let mut field_cursor = FieldCursor::new(land.field(net).unwrap());
+    for (p, t) in &queries {
+        assert_eq!(
+            field_cursor.link_quality(p, *t),
+            land.link_quality(net, p, *t).unwrap()
+        );
+    }
+}

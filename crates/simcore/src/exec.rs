@@ -1,0 +1,167 @@
+//! Deterministic parallel execution.
+//!
+//! The simulator's determinism contract — same seed, bit-identical
+//! output — must survive parallelism. This module provides an
+//! order-preserving parallel map whose results are **independent of the
+//! worker count**: work is split into fixed-size chunks whose boundaries
+//! depend only on the input length (never on how many threads run), each
+//! item is evaluated by a pure function of `(index, item)`, and results
+//! are reassembled in input order. Running with 1 thread or 16 produces
+//! the same bytes.
+//!
+//! For randomized stages, [`par_map_seeded`] derives each item's
+//! [`StreamRng`] by forking a caller-provided stream on the chunk index
+//! and the item's offset within the chunk — an explicit, schedule-free
+//! seeding path, so no thread ever shares (or races on) RNG state.
+//!
+//! The worker count comes from the `WISCAPE_THREADS` environment
+//! variable when set, else from [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::StreamRng;
+
+/// Items per chunk. Fixed (not derived from the thread count) so the
+/// chunk structure — and therefore every chunk-keyed RNG fork — is a
+/// function of the input length alone.
+const CHUNK_SIZE: usize = 64;
+
+/// Worker threads to use: `WISCAPE_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+pub fn thread_count() -> usize {
+    std::env::var("WISCAPE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` in parallel on [`thread_count`] workers,
+/// returning results in input order. `f` must be a pure function of its
+/// arguments; under that contract the output is bitwise identical for
+/// any worker count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (the `WISCAPE_THREADS`
+/// override resolved by the caller, or a test pinning both sides of a
+/// determinism comparison).
+pub fn par_map_with_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n_chunks = items.len().div_ceil(CHUNK_SIZE);
+    let workers = threads.max(1).min(n_chunks);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Workers pull chunk indices from a shared dispenser and push
+    // `(chunk index, chunk results)`; the merge step restores input
+    // order, so scheduling never leaks into the output.
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * CHUNK_SIZE;
+                let end = (start + CHUNK_SIZE).min(items.len());
+                let out: Vec<U> = (start..end).map(|i| f(i, &items[i])).collect();
+                done.lock().expect("worker panicked holding lock").push((c, out));
+            });
+        }
+    });
+    let mut chunks = done.into_inner().expect("workers joined");
+    chunks.sort_unstable_by_key(|(c, _)| *c);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, chunk) in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Parallel map for randomized stages: each item's closure receives a
+/// [`StreamRng`] forked from `stream` on `(chunk index, offset within
+/// chunk)`. The chunk structure depends only on the input length, so
+/// the derived streams — and the results — are identical for any worker
+/// count.
+pub fn par_map_seeded<T, U, F>(stream: &StreamRng, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(StreamRng, usize, &T) -> U + Sync,
+{
+    let stream = *stream;
+    par_map(items, move |i, x| {
+        let node = stream
+            .fork_idx((i / CHUNK_SIZE) as u64)
+            .fork_idx((i % CHUNK_SIZE) as u64);
+        f(node, i, x)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = par_map_with_threads(threads, &items, |i, x| x * 3 + i as u64);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map_with_threads(4, &empty, |_, x| *x), empty);
+        assert_eq!(par_map_with_threads(4, &[7u32], |i, x| *x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn seeded_map_is_thread_count_invariant() {
+        let stream = StreamRng::new(99).fork("exec-test");
+        let items: Vec<u64> = (0..500).collect();
+        // `par_map_seeded` resolves the worker count internally, so pin
+        // both sides through the underlying primitive instead.
+        let stream2 = stream;
+        let run = |threads: usize| {
+            par_map_with_threads(threads, &items, |i, x: &u64| {
+                let node = stream2
+                    .fork_idx((i / 64) as u64)
+                    .fork_idx((i % 64) as u64);
+                node.draw_u64() ^ x
+            })
+        };
+        assert_eq!(run(1), run(4));
+        // And the public seeded entry point agrees with the same
+        // derivation.
+        let via_api = par_map_seeded(&stream, &items, |node, _, x| node.draw_u64() ^ x);
+        assert_eq!(via_api, run(1));
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

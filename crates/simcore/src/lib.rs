@@ -17,13 +17,16 @@
 //! * [`noise`] — smooth hash-based value noise in 1-D (time) and 2-D
 //!   (space), the building block of spatially/temporally correlated
 //!   performance fields;
-//! * [`process`] — diurnal load profiles.
+//! * [`process`] — diurnal load profiles;
+//! * [`exec`] — deterministic parallel execution (order-preserving
+//!   `par_map` whose output is independent of the worker count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod events;
+pub mod exec;
 pub mod noise;
 pub mod process;
 pub mod rng;

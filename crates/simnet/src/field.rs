@@ -5,9 +5,28 @@
 //! these means is applied by the probe engine ([`crate::probe`]), keeping
 //! "what the network truly offers" separate from "what one packet saw" —
 //! the distinction WiScape's sample-count analysis (§3.3) is about.
+//!
+//! # Evaluation paths
+//!
+//! Every metric is assembled from small `*_value` helpers, so the three
+//! evaluation paths cannot drift apart numerically:
+//!
+//! * per-metric methods (`mean_udp_kbps`, `mean_rtt_ms`, …) — one metric
+//!   at one `(p, t)`;
+//! * [`NetworkField::link_quality`] — all five metrics at once, sharing
+//!   the resolved point context (projection, drift cell, coherence time,
+//!   degraded flag, spatial factors) across metrics;
+//! * [`FieldCursor`] / [`NetworkField::link_quality_batch`] — repeated
+//!   queries, additionally memoizing per-cell state across points.
+//!
+//! All three produce bitwise-identical results by construction: they
+//! evaluate the same expression trees in the same order, only the
+//! caching of intermediate inputs differs.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
-use wiscape_geo::{GeoPoint, LocalProjection};
+use wiscape_geo::{GeoPoint, LocalProjection, Vec2};
 use wiscape_simcore::noise::{ValueNoise1D, ValueNoise2D};
 use wiscape_simcore::{SimDuration, SimTime, StreamRng};
 
@@ -66,6 +85,48 @@ pub struct DriftCell {
     pub j: i64,
 }
 
+/// Everything about a point that does not depend on time: projected
+/// position, drift cell and its noise track, coherence time, degraded
+/// flag, and the three spatial multipliers. Resolving it once and
+/// reusing it across evaluations skips the RNG forking, hashing, and
+/// `ValueNoise` reconstruction that dominate single-point queries.
+#[derive(Debug, Clone, Copy)]
+pub struct PointCtx {
+    p: GeoPoint,
+    cell: DriftCell,
+    degraded: bool,
+    tau: SimDuration,
+    track: ValueNoise1D,
+    /// Drift amplitude, already multiplied by the degraded-zone
+    /// variability factor where applicable.
+    drift_amp: f64,
+    spatial_tput: f64,
+    spatial_rtt: f64,
+    spatial_jitter: f64,
+}
+
+impl PointCtx {
+    /// The point this context was resolved at.
+    pub fn point(&self) -> GeoPoint {
+        self.p
+    }
+
+    /// The drift cell containing the point.
+    pub fn cell(&self) -> DriftCell {
+        self.cell
+    }
+
+    /// Whether the point lies in a chronically degraded cell.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The local drift coherence time.
+    pub fn coherence_time(&self) -> SimDuration {
+        self.tau
+    }
+}
+
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
@@ -122,13 +183,30 @@ impl NetworkField {
         &self.params
     }
 
-    /// The drift cell containing `p`.
-    pub fn drift_cell(&self, p: &GeoPoint) -> DriftCell {
-        let v = self.proj.to_xy(p);
+    /// The drift cell containing projected position `v`.
+    fn cell_of_xy(&self, v: &Vec2) -> DriftCell {
         DriftCell {
             i: (v.x / self.drift_cell_m).floor() as i64,
             j: (v.y / self.drift_cell_m).floor() as i64,
         }
+    }
+
+    /// The drift cell containing `p`.
+    pub fn drift_cell(&self, p: &GeoPoint) -> DriftCell {
+        self.cell_of_xy(&self.proj.to_xy(p))
+    }
+
+    /// The degraded-grid cell indices of projected position `v`.
+    fn degraded_indices(&self, v: &Vec2) -> (i64, i64) {
+        (
+            (v.x / self.degraded_cell_m).floor() as i64,
+            (v.y / self.degraded_cell_m).floor() as i64,
+        )
+    }
+
+    /// Whether degraded-grid cell `(i, j)` is chronically degraded.
+    fn degraded_cell(&self, i: i64, j: i64) -> bool {
+        self.degraded.is_degraded(&self.degraded_stream, i, j)
     }
 
     /// Whether `p` lies in a chronically degraded cell.
@@ -138,18 +216,17 @@ impl NetworkField {
     /// stream rather than a per-network one.
     pub fn is_degraded(&self, p: &GeoPoint) -> bool {
         let v = self.proj.to_xy(p);
-        let i = (v.x / self.degraded_cell_m).floor() as i64;
-        let j = (v.y / self.degraded_cell_m).floor() as i64;
-        self.degraded.is_degraded(&self.degraded_stream, i, j)
+        let (i, j) = self.degraded_indices(&v);
+        self.degraded_cell(i, j)
     }
 
-    /// The local coherence time of the epoch-scale drift at `p`.
-    ///
-    /// Varies around the regional base by ±`coherence_spread`, assigned
-    /// per drift cell; shared across networks (it models how the local
-    /// user population's behavior changes, not operator internals).
-    pub fn coherence_time(&self, p: &GeoPoint) -> SimDuration {
-        let c = self.drift_cell(p);
+    /// The 1-D drift noise track of cell `c`.
+    fn cell_track(&self, c: DriftCell) -> ValueNoise1D {
+        ValueNoise1D::new(self.drift_stream.fork_idx(zigzag(c.i)).fork_idx(zigzag(c.j)))
+    }
+
+    /// The coherence time assigned to cell `c`.
+    fn cell_coherence(&self, c: DriftCell) -> SimDuration {
         let u = self
             .coherence_stream
             .fork_idx(zigzag(c.i))
@@ -159,30 +236,71 @@ impl NetworkField {
         SimDuration::from_secs_f64(self.coherence_base.as_secs_f64() * factor)
     }
 
+    /// The local coherence time of the epoch-scale drift at `p`.
+    ///
+    /// Varies around the regional base by ±`coherence_spread`, assigned
+    /// per drift cell; shared across networks (it models how the local
+    /// user population's behavior changes, not operator internals).
+    pub fn coherence_time(&self, p: &GeoPoint) -> SimDuration {
+        self.cell_coherence(self.drift_cell(p))
+    }
+
     /// Smooth coverage multiplier from metro/rural buildout: 1 inside
     /// the metro core, fading to `1 - rural_falloff` over the taper.
-    fn coverage_factor(&self, p: &GeoPoint) -> f64 {
+    /// `dist_m` is the projected distance from the region origin.
+    fn coverage_value(&self, dist_m: f64) -> f64 {
         if self.params.rural_falloff <= 0.0 {
             return 1.0;
         }
-        let d = self.proj.to_xy(p).norm();
-        let t = ((d - self.params.metro_radius_m) / self.params.rural_taper_m)
+        let t = ((dist_m - self.params.metro_radius_m) / self.params.rural_taper_m)
             .clamp(0.0, 1.0);
         let smooth = t * t * (3.0 - 2.0 * t);
         1.0 - self.params.rural_falloff * smooth
     }
 
-    /// Smooth spatial multiplier for throughput at `p` (mean ≈ 1 inside
-    /// the metro area).
-    fn spatial_tput_factor(&self, p: &GeoPoint) -> f64 {
-        let v = self.proj.to_xy(p);
+    /// Throughput spatial multiplier at projected position `v` of `p`
+    /// (mean ≈ 1 inside the metro area).
+    fn spatial_tput_value(&self, v: &Vec2, p: &GeoPoint) -> f64 {
         let n = self
             .spatial_tput
             .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 3, 0.5);
         let tower = self.towers.proximity_factor(p);
         (1.0 + self.params.spatial_amp * n)
             * (1.0 + self.params.tower_weight * (tower - self.tower_mean))
-            * self.coverage_factor(p)
+            * self.coverage_value(v.norm())
+    }
+
+    /// Smooth spatial multiplier for throughput at `p` (mean ≈ 1 inside
+    /// the metro area).
+    fn spatial_tput_factor(&self, p: &GeoPoint) -> f64 {
+        self.spatial_tput_value(&self.proj.to_xy(p), p)
+    }
+
+    /// Latency spatial multiplier at projected position `v`.
+    fn spatial_rtt_value(&self, v: &Vec2) -> f64 {
+        1.0 + 0.45
+            * self
+                .spatial_rtt
+                .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 3, 0.5)
+    }
+
+    /// Jitter spatial multiplier at projected position `v`.
+    fn spatial_jitter_value(&self, v: &Vec2) -> f64 {
+        1.0 + 0.25
+            * self
+                .spatial_jitter
+                .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 2, 0.5)
+    }
+
+    /// Drift multiplier from a resolved cell track. Multi-scale drift
+    /// with energy *rising* toward coarse scales (octave spacings τ, 2τ,
+    /// 4τ, 8τ with growing amplitude): below the coherence time the
+    /// track is smooth, above it the Allan deviation keeps climbing —
+    /// which is what makes the Fig 6 minimum land near τ instead of
+    /// running off to infinity.
+    fn drift_value(&self, track: &ValueNoise1D, tau: SimDuration, amp: f64, t: SimTime) -> f64 {
+        let x = t.as_secs_f64() / tau.as_secs_f64();
+        (1.0 + amp * track.fbm(x / 16.0, 5, 0.5)).max(0.05)
     }
 
     /// Zone-coherent temporal drift multiplier at `(p, t)` (mean ≈ 1).
@@ -193,21 +311,11 @@ impl NetworkField {
     /// (Fig 6) recovers.
     fn drift_factor(&self, p: &GeoPoint, t: SimTime) -> f64 {
         let c = self.drift_cell(p);
-        let track = ValueNoise1D::new(
-            self.drift_stream.fork_idx(zigzag(c.i)).fork_idx(zigzag(c.j)),
-        );
-        let tau = self.coherence_time(p).as_secs_f64();
         let mut amp = self.params.drift_amp;
         if self.is_degraded(p) {
             amp *= self.degraded.variability_multiplier;
         }
-        // Multi-scale drift with energy *rising* toward coarse scales
-        // (octave spacings τ, 2τ, 4τ, 8τ with growing amplitude): below
-        // the coherence time the track is smooth, above it the Allan
-        // deviation keeps climbing — which is what makes the Fig 6
-        // minimum land near τ instead of running off to infinity.
-        let x = t.as_secs_f64() / tau;
-        (1.0 + amp * track.fbm(x / 16.0, 5, 0.5)).max(0.05)
+        self.drift_value(&self.cell_track(c), self.cell_coherence(c), amp, t)
     }
 
     /// Centered diurnal multiplier for capacity (long-run mean ≈ 1).
@@ -233,24 +341,62 @@ impl NetworkField {
         self.events.iter().map(|e| e.latency_factor(p, t)).product()
     }
 
-    /// Mean UDP throughput at `(p, t)`, kbit/s, capped at the radio
-    /// technology's rated ceiling.
-    pub fn mean_udp_kbps(&self, p: &GeoPoint, t: SimTime) -> f64 {
-        let mut v = self.params.base_udp_kbps
-            * self.spatial_tput_factor(p)
-            * self.drift_factor(p, t)
-            * self.diurnal_tput_factor(t)
-            * self.event_tput_factor(p, t);
-        if self.is_degraded(p) {
+    /// UDP throughput from its pre-resolved factors, kbit/s, capped at
+    /// the radio technology's rated ceiling.
+    fn udp_value(&self, spatial: f64, drift: f64, diurnal: f64, event: f64, degraded: bool) -> f64 {
+        let mut v = self.params.base_udp_kbps * spatial * drift * diurnal * event;
+        if degraded {
             v *= self.degraded.throughput_penalty;
         }
         v.clamp(10.0, self.params.id.max_downlink_kbps())
     }
 
+    /// TCP throughput from the UDP mean, kbit/s.
+    fn tcp_value(&self, udp_kbps: f64) -> f64 {
+        (udp_kbps * self.params.tcp_ratio).clamp(10.0, self.params.id.max_downlink_kbps())
+    }
+
+    /// RTT from its pre-resolved factors, ms. Latency reuses the
+    /// capacity drift, inverted and attenuated: a 10% capacity dip
+    /// raises RTT ~1.5% (latency reacts much less than throughput to
+    /// epoch-scale load changes).
+    fn rtt_value(&self, spatial: f64, drift: f64, diurnal: f64, event: f64) -> f64 {
+        let drift_rtt = 1.0 + 0.15 * (1.0 - drift);
+        (self.params.base_rtt_ms * spatial * drift_rtt * diurnal * event).max(5.0)
+    }
+
+    /// Jitter from its pre-resolved factors, ms.
+    fn jitter_value(&self, spatial: f64, event_rtt: f64) -> f64 {
+        (self.params.base_jitter_ms * spatial * event_rtt.sqrt()).max(0.1)
+    }
+
+    /// Loss rate from its pre-resolved factors. Degraded zones use the
+    /// chronic failure probability (Fig 9); events add congestion loss.
+    fn loss_value(&self, degraded: bool, event_rtt: f64) -> f64 {
+        let base = if degraded {
+            self.degraded.ping_fail_prob
+        } else {
+            self.params.base_loss
+        };
+        let event_extra = 0.02 * (event_rtt - 1.0).max(0.0);
+        (base + event_extra).clamp(0.0, 0.5)
+    }
+
+    /// Mean UDP throughput at `(p, t)`, kbit/s, capped at the radio
+    /// technology's rated ceiling.
+    pub fn mean_udp_kbps(&self, p: &GeoPoint, t: SimTime) -> f64 {
+        self.udp_value(
+            self.spatial_tput_factor(p),
+            self.drift_factor(p, t),
+            self.diurnal_tput_factor(t),
+            self.event_tput_factor(p, t),
+            self.is_degraded(p),
+        )
+    }
+
     /// Mean TCP throughput at `(p, t)`, kbit/s.
     pub fn mean_tcp_kbps(&self, p: &GeoPoint, t: SimTime) -> f64 {
-        (self.mean_udp_kbps(p, t) * self.params.tcp_ratio)
-            .clamp(10.0, self.params.id.max_downlink_kbps())
+        self.tcp_value(self.mean_udp_kbps(p, t))
     }
 
     /// Mean RTT at `(p, t)`, ms. Latency moves inversely with the
@@ -258,56 +404,205 @@ impl NetworkField {
     /// is multiplied by any active event (Fig 10).
     pub fn mean_rtt_ms(&self, p: &GeoPoint, t: SimTime) -> f64 {
         let v = self.proj.to_xy(p);
-        let spatial = 1.0
-            + 0.45
-                * self
-                    .spatial_rtt
-                    .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 3, 0.5);
-        // Reuse the capacity drift track, inverted and attenuated: a 10%
-        // capacity dip raises RTT ~1.5% (latency reacts much less than
-        // throughput to epoch-scale load changes).
-        let drift = self.drift_factor(p, t);
-        let drift_rtt = 1.0 + 0.15 * (1.0 - drift);
-        (self.params.base_rtt_ms
-            * spatial
-            * drift_rtt
-            * self.diurnal_rtt_factor(t)
-            * self.event_rtt_factor(p, t))
-        .max(5.0)
+        self.rtt_value(
+            self.spatial_rtt_value(&v),
+            self.drift_factor(p, t),
+            self.diurnal_rtt_factor(t),
+            self.event_rtt_factor(p, t),
+        )
     }
 
     /// Mean IPDV jitter at `(p, t)`, ms.
     pub fn mean_jitter_ms(&self, p: &GeoPoint, t: SimTime) -> f64 {
         let v = self.proj.to_xy(p);
-        let spatial = 1.0
-            + 0.25
-                * self
-                    .spatial_jitter
-                    .fbm(v.x / self.spatial_corr_m, v.y / self.spatial_corr_m, 2, 0.5);
-        (self.params.base_jitter_ms * spatial * self.event_rtt_factor(p, t).sqrt()).max(0.1)
+        self.jitter_value(self.spatial_jitter_value(&v), self.event_rtt_factor(p, t))
     }
 
-    /// Packet-loss probability at `(p, t)`. Degraded zones use the
-    /// chronic failure probability (Fig 9); events add congestion loss.
+    /// Packet-loss probability at `(p, t)`.
     pub fn loss_rate(&self, p: &GeoPoint, t: SimTime) -> f64 {
-        let base = if self.is_degraded(p) {
-            self.degraded.ping_fail_prob
-        } else {
-            self.params.base_loss
-        };
-        let event_extra = 0.02 * (self.event_rtt_factor(p, t) - 1.0).max(0.0);
-        (base + event_extra).clamp(0.0, 0.5)
+        self.loss_value(self.is_degraded(p), self.event_rtt_factor(p, t))
+    }
+
+    /// Assembles a context from a point's resolved cell state.
+    fn ctx_from_parts(
+        &self,
+        p: &GeoPoint,
+        v: &Vec2,
+        cell: DriftCell,
+        degraded: bool,
+        track: ValueNoise1D,
+        tau: SimDuration,
+    ) -> PointCtx {
+        let mut drift_amp = self.params.drift_amp;
+        if degraded {
+            drift_amp *= self.degraded.variability_multiplier;
+        }
+        PointCtx {
+            p: *p,
+            cell,
+            degraded,
+            tau,
+            track,
+            drift_amp,
+            spatial_tput: self.spatial_tput_value(v, p),
+            spatial_rtt: self.spatial_rtt_value(v),
+            spatial_jitter: self.spatial_jitter_value(v),
+        }
+    }
+
+    /// Resolves everything time-independent about `p` once, for reuse
+    /// across many [`NetworkField::link_quality_with`] evaluations.
+    pub fn resolve(&self, p: &GeoPoint) -> PointCtx {
+        let v = self.proj.to_xy(p);
+        let cell = self.cell_of_xy(&v);
+        let (di, dj) = self.degraded_indices(&v);
+        self.ctx_from_parts(
+            p,
+            &v,
+            cell,
+            self.degraded_cell(di, dj),
+            self.cell_track(cell),
+            self.cell_coherence(cell),
+        )
+    }
+
+    /// Drift multiplier at time `t` for a resolved point context.
+    pub fn drift_factor_with(&self, ctx: &PointCtx, t: SimTime) -> f64 {
+        self.drift_value(&ctx.track, ctx.tau, ctx.drift_amp, t)
+    }
+
+    /// Full mean link quality at `(ctx.point(), t)`, bitwise identical
+    /// to [`NetworkField::link_quality`] at the same point and time.
+    pub fn link_quality_with(&self, ctx: &PointCtx, t: SimTime) -> LinkQuality {
+        let p = &ctx.p;
+        let drift = self.drift_factor_with(ctx, t);
+        let event_rtt = self.event_rtt_factor(p, t);
+        let udp_kbps = self.udp_value(
+            ctx.spatial_tput,
+            drift,
+            self.diurnal_tput_factor(t),
+            self.event_tput_factor(p, t),
+            ctx.degraded,
+        );
+        LinkQuality {
+            tcp_kbps: self.tcp_value(udp_kbps),
+            udp_kbps,
+            rtt_ms: self.rtt_value(ctx.spatial_rtt, drift, self.diurnal_rtt_factor(t), event_rtt),
+            jitter_ms: self.jitter_value(ctx.spatial_jitter, event_rtt),
+            loss_rate: self.loss_value(ctx.degraded, event_rtt),
+        }
     }
 
     /// Full mean link quality at `(p, t)`.
     pub fn link_quality(&self, p: &GeoPoint, t: SimTime) -> LinkQuality {
-        LinkQuality {
-            tcp_kbps: self.mean_tcp_kbps(p, t),
-            udp_kbps: self.mean_udp_kbps(p, t),
-            rtt_ms: self.mean_rtt_ms(p, t),
-            jitter_ms: self.mean_jitter_ms(p, t),
-            loss_rate: self.loss_rate(p, t),
+        self.link_quality_with(&self.resolve(p), t)
+    }
+
+    /// Evaluates link quality for a batch of queries through one
+    /// [`FieldCursor`], returning results in query order. Equivalent to
+    /// (and bitwise identical with) calling
+    /// [`NetworkField::link_quality`] per query, but amortizes point and
+    /// cell resolution across queries that share locations or cells.
+    pub fn link_quality_batch(&self, queries: &[(GeoPoint, SimTime)]) -> Vec<LinkQuality> {
+        let mut cursor = FieldCursor::new(self);
+        queries
+            .iter()
+            .map(|(p, t)| cursor.link_quality(p, *t))
+            .collect()
+    }
+}
+
+/// Soft cap on cursor cache maps; far above any realistic region (a
+/// 30 km metro span is ~400 drift cells), it only guards unbounded
+/// growth on adversarial query streams.
+const CURSOR_CACHE_CAP: usize = 1 << 15;
+
+/// A memoizing evaluation handle over one [`NetworkField`].
+///
+/// Caches the resolved [`PointCtx`] of the last point, per-cell drift
+/// tracks / coherence times / degraded flags across points, and the last
+/// `(point, time)` result, so query streams with spatial or temporal
+/// locality (probe trains, mobility traces, grid sweeps) skip most of
+/// the hashing work. Results are bitwise identical to the uncached
+/// [`NetworkField::link_quality`].
+#[derive(Debug, Clone)]
+pub struct FieldCursor<'a> {
+    field: &'a NetworkField,
+    ctx: Option<PointCtx>,
+    memo: Option<(SimTime, LinkQuality)>,
+    cells: HashMap<DriftCell, (ValueNoise1D, SimDuration)>,
+    degraded_cells: HashMap<(i64, i64), bool>,
+}
+
+impl<'a> FieldCursor<'a> {
+    /// Creates a cursor over `field` with empty caches.
+    pub fn new(field: &'a NetworkField) -> Self {
+        Self {
+            field,
+            ctx: None,
+            memo: None,
+            cells: HashMap::new(),
+            degraded_cells: HashMap::new(),
         }
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &'a NetworkField {
+        self.field
+    }
+
+    /// The context of the current point, resolving it if `p` differs
+    /// from the cached point.
+    fn ensure(&mut self, p: &GeoPoint) -> &PointCtx {
+        let stale = match &self.ctx {
+            Some(ctx) => ctx.p != *p,
+            None => true,
+        };
+        if stale {
+            if self.cells.len() > CURSOR_CACHE_CAP {
+                self.cells.clear();
+            }
+            if self.degraded_cells.len() > CURSOR_CACHE_CAP {
+                self.degraded_cells.clear();
+            }
+            let f = self.field;
+            let v = f.proj.to_xy(p);
+            let cell = f.cell_of_xy(&v);
+            let (di, dj) = f.degraded_indices(&v);
+            let degraded = *self
+                .degraded_cells
+                .entry((di, dj))
+                .or_insert_with(|| f.degraded_cell(di, dj));
+            let (track, tau) = *self
+                .cells
+                .entry(cell)
+                .or_insert_with(|| (f.cell_track(cell), f.cell_coherence(cell)));
+            self.ctx = Some(f.ctx_from_parts(p, &v, cell, degraded, track, tau));
+            self.memo = None;
+        }
+        self.ctx.as_ref().expect("ctx resolved above")
+    }
+
+    /// The resolved context for `p` (cached across calls at the same
+    /// point).
+    pub fn resolve(&mut self, p: &GeoPoint) -> &PointCtx {
+        self.ensure(p)
+    }
+
+    /// Full mean link quality at `(p, t)`, bitwise identical to
+    /// `self.field().link_quality(p, t)`.
+    pub fn link_quality(&mut self, p: &GeoPoint, t: SimTime) -> LinkQuality {
+        self.ensure(p);
+        if let Some((mt, q)) = self.memo {
+            if mt == t {
+                return q;
+            }
+        }
+        let q = self
+            .field
+            .link_quality_with(self.ctx.as_ref().expect("ensured"), t);
+        self.memo = Some((t, q));
+        q
     }
 }
 
@@ -518,5 +813,81 @@ mod tests {
         assert!((jb - 3.0).abs() < 1.0, "NetB jitter {jb}");
         assert!((rb - 113.0).abs() < 25.0, "NetB rtt {rb}");
         assert!(ja > jb, "NetA must be jitterier than NetB");
+    }
+
+    /// A deterministic spread of test query points: a spiral around the
+    /// Madison center crossing many drift and degraded cells, with a mix
+    /// of repeated and fresh timestamps.
+    fn query_walk(n: usize) -> Vec<(GeoPoint, SimTime)> {
+        let c = madison_center();
+        (0..n)
+            .map(|i| {
+                let p = c.destination(i as f64 * 0.83, 50.0 + (i as f64 * 137.0) % 11_000.0);
+                let t = SimTime::at((i % 7) as i64, (i % 24) as f64)
+                    + SimDuration::from_secs((i as i64 * 311) % 3600);
+                (p, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn per_metric_methods_match_link_quality_bitwise() {
+        for net in NetworkId::ALL {
+            let f = field(net);
+            for (p, t) in query_walk(60) {
+                let q = f.link_quality(&p, t);
+                assert_eq!(q.tcp_kbps, f.mean_tcp_kbps(&p, t));
+                assert_eq!(q.udp_kbps, f.mean_udp_kbps(&p, t));
+                assert_eq!(q.rtt_ms, f.mean_rtt_ms(&p, t));
+                assert_eq!(q.jitter_ms, f.mean_jitter_ms(&p, t));
+                assert_eq!(q.loss_rate, f.loss_rate(&p, t));
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_matches_uncached_bitwise() {
+        let f = field(NetworkId::NetB);
+        let mut cursor = FieldCursor::new(&f);
+        for (p, t) in query_walk(300) {
+            assert_eq!(cursor.link_quality(&p, t), f.link_quality(&p, t));
+        }
+        // Repeated same-(p, t) queries hit the memo and stay identical.
+        let (p, t) = query_walk(1)[0];
+        let q = f.link_quality(&p, t);
+        for _ in 0..3 {
+            assert_eq!(cursor.link_quality(&p, t), q);
+        }
+        // Same point, sweeping time (probe-train shape).
+        for k in 0..50 {
+            let tk = t + SimDuration::from_secs(k * 90);
+            assert_eq!(cursor.link_quality(&p, tk), f.link_quality(&p, tk));
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let f = field(NetworkId::NetC);
+        let queries = query_walk(200);
+        let batch = f.link_quality_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for ((p, t), q) in queries.iter().zip(&batch) {
+            assert_eq!(*q, f.link_quality(p, *t));
+        }
+    }
+
+    #[test]
+    fn resolved_ctx_exposes_cell_state() {
+        let f = field(NetworkId::NetB);
+        let p = madison_center().destination(1.1, 2750.0);
+        let ctx = f.resolve(&p);
+        assert_eq!(ctx.point(), p);
+        assert_eq!(ctx.cell(), f.drift_cell(&p));
+        assert_eq!(ctx.is_degraded(), f.is_degraded(&p));
+        assert_eq!(ctx.coherence_time(), f.coherence_time(&p));
+        assert_eq!(
+            f.drift_factor_with(&ctx, noon()),
+            f.drift_factor(&p, noon())
+        );
     }
 }

@@ -5,7 +5,7 @@ use wiscape_geo::GeoPoint;
 use wiscape_simcore::{SimDuration, SimTime, StreamRng};
 
 use crate::config::LandscapeConfig;
-use crate::field::{LinkQuality, NetworkField};
+use crate::field::{FieldCursor, LinkQuality, NetworkField};
 use crate::network::NetworkId;
 use crate::probe::{self, PingOutcome, TcpDownload, TransportKind, UdpTrain};
 
@@ -90,6 +90,23 @@ impl Landscape {
         t: SimTime,
     ) -> Result<LinkQuality, UnknownNetwork> {
         Ok(self.field(net)?.link_quality(p, t))
+    }
+
+    /// A memoizing evaluation cursor over one network's field (see
+    /// [`FieldCursor`]); bitwise identical to per-call `link_quality`
+    /// but amortizes point/cell resolution across nearby queries.
+    pub fn cursor(&self, net: NetworkId) -> Result<FieldCursor<'_>, UnknownNetwork> {
+        Ok(FieldCursor::new(self.field(net)?))
+    }
+
+    /// Mean link quality of `net` for a batch of `(point, time)` queries,
+    /// in query order (see [`NetworkField::link_quality_batch`]).
+    pub fn link_quality_batch(
+        &self,
+        net: NetworkId,
+        queries: &[(GeoPoint, SimTime)],
+    ) -> Result<Vec<LinkQuality>, UnknownNetwork> {
+        Ok(self.field(net)?.link_quality_batch(queries))
     }
 
     /// Whether `p` lies in a chronically degraded zone.

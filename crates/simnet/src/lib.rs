@@ -42,10 +42,9 @@ pub mod towers;
 
 pub use config::{LandscapeConfig, NetworkParams, RegionPreset};
 pub use events::{DegradedZoneModel, SpecialEvent};
-pub use field::LinkQuality;
+pub use field::{DriftCell, FieldCursor, LinkQuality, NetworkField, PointCtx};
 pub use landscape::{Landscape, UnknownNetwork};
 pub use network::{NetworkId, Technology};
-pub use field::NetworkField;
 pub use probe::{
     probe_train_with_device, PacketSample, PingOutcome, TcpDownload, TransportKind, UdpTrain,
 };

@@ -70,16 +70,12 @@ impl UdpTrain {
     /// Throughput estimate: mean of per-packet instantaneous throughputs
     /// over received packets, kbit/s. `None` if nothing arrived.
     pub fn estimated_kbps(&self) -> Option<f64> {
-        let vals: Vec<f64> = self
+        let (sum, n) = self
             .packets
             .iter()
             .filter(|p| p.recv_time.is_some())
-            .map(|p| p.inst_kbps)
-            .collect();
-        if vals.is_empty() {
-            return None;
-        }
-        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            .fold((0.0, 0usize), |(sum, n), p| (sum + p.inst_kbps, n + 1));
+        (n > 0).then(|| sum / n as f64)
     }
 
     /// Per-packet instantaneous throughputs of received packets.
@@ -94,17 +90,22 @@ impl UdpTrain {
     /// IPDV jitter estimate: mean absolute difference of consecutive
     /// received packets' one-way delays, ms (RFC 3393 style).
     pub fn jitter_ms(&self) -> Option<f64> {
-        let delays: Vec<f64> = self
+        let mut prev: Option<f64> = None;
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for d in self
             .packets
             .iter()
             .filter(|p| p.recv_time.is_some())
             .map(|p| p.one_way_delay_ms)
-            .collect();
-        if delays.len() < 2 {
-            return None;
+        {
+            if let Some(prev) = prev {
+                sum += (d - prev).abs();
+                pairs += 1;
+            }
+            prev = Some(d);
         }
-        let sum: f64 = delays.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
-        Some(sum / (delays.len() - 1) as f64)
+        (pairs > 0).then(|| sum / pairs as f64)
     }
 
     /// Wall-clock duration from first send to last receive.
@@ -226,15 +227,16 @@ pub fn probe_train_with_device(
     // A train lasts a few seconds at most — far below the drift and
     // diurnal time scales — so evaluate the field means once.
     let device_factor = device_factor.clamp(0.05, 1.0);
+    let quality = field.link_quality(p, start);
     let mean_kbps = device_factor
         * match kind {
-            TransportKind::Tcp => field.mean_tcp_kbps(p, start),
-            TransportKind::Udp => field.mean_udp_kbps(p, start),
+            TransportKind::Tcp => quality.tcp_kbps,
+            TransportKind::Udp => quality.udp_kbps,
         };
-    let loss_rate = field.loss_rate(p, start);
-    let rtt = field.mean_rtt_ms(p, start);
+    let loss_rate = quality.loss_rate;
+    let rtt = quality.rtt_ms;
     // Jitter sigma giving the target mean IPDV: E|ΔN(0,σ)| = 2σ/√π.
-    let jitter_sigma = field.mean_jitter_ms(p, start) * std::f64::consts::PI.sqrt() / 2.0;
+    let jitter_sigma = quality.jitter_ms * std::f64::consts::PI.sqrt() / 2.0;
     for seq in 0..n_packets {
         let t = send_time;
         let node = stream
@@ -282,8 +284,9 @@ pub fn tcp_download(
     size_bytes: u64,
 ) -> TcpDownload {
     let params = field.params();
-    let mean_kbps = field.mean_tcp_kbps(p, start);
-    let rtt_ms = field.mean_rtt_ms(p, start);
+    let quality = field.link_quality(p, start);
+    let mean_kbps = quality.tcp_kbps;
+    let rtt_ms = quality.rtt_ms;
     let mss = 1200.0;
     let n_pkts = (size_bytes as f64 / mss).max(1.0);
     // Residual per-download dispersion: channel noise averaged over the
@@ -318,13 +321,13 @@ pub fn ping(
         .fork("ping")
         .fork_idx(t.as_micros() as u64)
         .fork_idx(seq);
-    if unit(node.fork("loss")) < field.loss_rate(p, t) {
+    let quality = field.link_quality(p, t);
+    if unit(node.fork("loss")) < quality.loss_rate {
         return PingOutcome::Lost;
     }
-    let mean = field.mean_rtt_ms(p, t);
     let cv = field.params().fine_cv_rtt;
     PingOutcome::Reply {
-        rtt_ms: (mean * lognormal_unit_mean(node.fork("rtt"), cv)).max(1.0),
+        rtt_ms: (quality.rtt_ms * lognormal_unit_mean(node.fork("rtt"), cv)).max(1.0),
     }
 }
 

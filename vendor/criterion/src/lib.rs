@@ -1,0 +1,269 @@
+//! Offline vendored `criterion` stand-in.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: warm up, calibrate iterations per sample, take
+//! `sample_size` samples, report min/median/max per iteration.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement (accepted for API
+/// compatibility; this harness times one input at a time regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1500),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.config, f);
+        self
+    }
+
+    /// Starts a named group with its own timing overrides.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            config,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.config, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; routines register through it.
+pub struct Bencher {
+    config: Config,
+    /// Per-iteration nanoseconds collected across samples.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate how many iterations fit in one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let sample_budget =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter) as u64).max(1);
+
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(dt * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up with a handful of runs to estimate routine cost.
+        let mut warm_time = 0.0f64;
+        let mut warm_iters = 0u64;
+        while warm_time < self.config.warm_up_time.as_secs_f64() && warm_iters < 1000 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            warm_time += t0.elapsed().as_secs_f64();
+            warm_iters += 1;
+        }
+        let per_iter = (warm_time / warm_iters as f64).max(1e-9);
+        let sample_budget =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter) as u64).clamp(1, 10_000);
+
+        for _ in 0..self.config.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(dt * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, config: Config, mut f: F) {
+    let mut b = Bencher {
+        config,
+        samples_ns: Vec::with_capacity(config.sample_size),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    b.samples_ns
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = b.samples_ns[0];
+    let med = b.samples_ns[b.samples_ns.len() / 2];
+    let max = b.samples_ns[b.samples_ns.len() - 1];
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(med),
+        format_ns(max)
+    );
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_samples() {
+        let mut c = Criterion {
+            config: Config {
+                sample_size: 3,
+                measurement_time: Duration::from_millis(30),
+                warm_up_time: Duration::from_millis(5),
+            },
+        };
+        let mut acc = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion {
+            config: Config {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(20),
+                warm_up_time: Duration::from_millis(2),
+            },
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).measurement_time(Duration::from_millis(10));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

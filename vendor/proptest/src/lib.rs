@@ -1,0 +1,363 @@
+//! Offline vendored `proptest` stand-in.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!` with optional `#![proptest_config(...)]`, range and
+//! tuple strategies, `prop::collection::vec`, `any::<T>()`,
+//! `prop_map`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream: generation is seeded deterministically
+//! (no persistence files) and failing cases are not shrunk — the
+//! failing input is reported as-is via the panic message.
+
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration (`cases` = iterations per property).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config overriding only the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generation RNG (ChaCha8 under the hood).
+    pub struct TestRng(rand_chacha::ChaCha8Rng);
+
+    impl TestRng {
+        /// A fixed-seed RNG: every run generates the same cases.
+        pub fn deterministic() -> Self {
+            TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(0x9E37_79B9_7F4A_7C15))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: core::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: core::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($idx:tt $name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + core::fmt::Debug {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length bounds for collection strategies (half-open).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of upstream's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __proptest_rng = $crate::test_runner::TestRng::deterministic();
+            for __proptest_case in 0..config.cases {
+                let _ = __proptest_case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
+}
+
+/// Skips the current case when its inputs don't satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled(limit: usize) -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(1u64..100, 1..limit).prop_map(|v| v.iter().map(|x| x * 2).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, f in -1.5..2.5f64) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn mapped_vecs_are_even(v in doubled(16), seed in any::<u64>()) {
+            let _ = seed;
+            prop_assert!(!v.is_empty() && v.len() < 16);
+            for x in v {
+                prop_assert_eq!(x % 2, 0);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Distributions: the `Standard` value mapping and uniform ranges.
+
+use crate::{Rng, RngCore};
+
+/// A sampling distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// An infinite iterator of samples.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: Rng,
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            phantom: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Iterator returned by [`Distribution::sample_iter`].
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    phantom: core::marker::PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: Rng, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" distribution of each primitive type: full-range
+/// integers, `[0, 1)` floats. Mappings match upstream `rand` 0.8.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits scaled into [0, 1) — upstream's multiply method.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges (the `gen_range` machinery).
+
+    use super::RngCore;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd + Copy {
+        /// Uniform sample from `[low, high)` (`inclusive` extends to
+        /// `[low, high]`).
+        fn sample_range_single<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_range_single(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "gen_range: empty range");
+            T::sample_range_single(rng, low, high, true)
+        }
+    }
+
+    /// Uniform `u64` in `[0, range)` by widening multiply with zone
+    /// rejection (Lemire) — exactly uniform.
+    pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let m = (v as u128) * (range as u128);
+            if (m as u64) <= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! int_uniform {
+        ($ty:ty, $unsigned:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_range_single<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (high as $unsigned).wrapping_sub(low as $unsigned);
+                    let range = if inclusive {
+                        match span.checked_add(1) {
+                            Some(r) => r,
+                            // Full type range: every word is valid.
+                            None => return rng.next_u64() as $ty,
+                        }
+                    } else {
+                        span
+                    };
+                    let hi = uniform_u64_below(rng, range as u64) as $unsigned;
+                    low.wrapping_add(hi as $ty)
+                }
+            }
+        };
+    }
+
+    int_uniform!(u64, u64);
+    int_uniform!(i64, u64);
+    int_uniform!(usize, usize);
+    int_uniform!(isize, usize);
+    int_uniform!(u32, u32);
+    int_uniform!(i32, u32);
+    int_uniform!(u16, u16);
+    int_uniform!(u8, u8);
+
+    macro_rules! float_uniform {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bits:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_range_single<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    // Upstream's exponent trick: build a float in [1, 2)
+                    // from the mantissa bits, subtract 1, scale.
+                    let scale = high - low;
+                    let bits = <$uty>::from(rng.next_u64() as $uty) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(bits | $exponent_bits);
+                    let value0_1 = value1_2 - 1.0;
+                    value0_1 * scale + low
+                }
+            }
+        };
+    }
+
+    float_uniform!(f64, u64, 12u32, 1023u64 << 52);
+
+    impl SampleUniform for f32 {
+        fn sample_range_single<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let scale = high - low;
+            let bits = rng.next_u32() >> 9;
+            let value1_2 = f32::from_bits(bits | (127u32 << 23));
+            (value1_2 - 1.0) * scale + low
+        }
+    }
+
+}

@@ -1,0 +1,166 @@
+//! Slice sampling helpers (`SliceRandom`).
+
+use crate::distributions::uniform::uniform_u64_below;
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements sampled without replacement (all of
+    /// them if `amount >= len`), in random order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+/// Iterator over elements picked by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: std::vec::IntoIter<usize>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        self.indices.next().map(|i| &self.slice[i])
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.indices.size_hint()
+    }
+}
+
+impl<'a, T> ExactSizeIterator for SliceChooseIter<'a, T> {}
+
+/// `amount` distinct indices below `length`, uniformly without
+/// replacement. Floyd's algorithm when the sample is sparse (avoids an
+/// `O(length)` allocation per call — this sits in hot resampling
+/// loops), partial Fisher–Yates otherwise.
+fn sample_indices<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> Vec<usize> {
+    let amount = amount.min(length);
+    if amount == 0 {
+        return Vec::new();
+    }
+    if amount * 8 < length {
+        let mut out: Vec<usize> = Vec::with_capacity(amount);
+        for j in (length - amount)..length {
+            let t = uniform_u64_below(rng, j as u64 + 1) as usize;
+            if out.contains(&t) {
+                out.push(j);
+            } else {
+                out.push(t);
+            }
+        }
+        out
+    } else {
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + uniform_u64_below(rng, (length - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        indices
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_u64_below(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        SliceChooseIter {
+            slice: self,
+            indices: sample_indices(rng, self.len(), amount).into_iter(),
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_complete() {
+        let v: Vec<u32> = (0..100).collect();
+        let mut rng = Lcg(3);
+        for amount in [0, 1, 5, 50, 100, 150] {
+            let got: Vec<u32> = v.choose_multiple(&mut rng, amount).copied().collect();
+            assert_eq!(got.len(), amount.min(100));
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), got.len(), "duplicates at amount {amount}");
+        }
+    }
+
+    #[test]
+    fn choose_multiple_is_roughly_uniform() {
+        let v: Vec<usize> = (0..50).collect();
+        let mut rng = Lcg(9);
+        let mut hits = [0usize; 50];
+        for _ in 0..20_000 {
+            for &x in v.choose_multiple(&mut rng, 5) {
+                hits[x] += 1;
+            }
+        }
+        // Each element expected 2000 times.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((1700..2300).contains(&h), "element {i}: {h}");
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u32> = (0..64).collect();
+        let orig = v.clone();
+        let mut rng = Lcg(11);
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+}

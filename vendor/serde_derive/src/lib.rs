@@ -1,0 +1,398 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! Hand-rolled token parsing (the environment has no `syn`/`quote`):
+//! enough to cover the shapes this workspace derives — named-field
+//! structs, tuple/newtype/unit structs, and enums with unit, newtype,
+//! tuple, and struct variants. No generics, no `#[serde]` attributes.
+//! Output shapes match upstream serde's externally-tagged JSON model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item being derived.
+enum Item {
+    /// `struct Name { fields }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T0, ..);` with the field count.
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { variants }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at position `i`; returns the new position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a field-list token sequence on commas at angle-bracket depth
+/// zero (parens/brackets/braces arrive pre-grouped, so only `<`/`>`
+/// need tracking). Returns the token slices of each field.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field token sequence
+/// (`[attrs] [vis] name : Type`).
+fn field_name(tokens: &[TokenTree]) -> Option<String> {
+    let i = skip_attrs_and_vis(tokens, 0);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = split_top_level_commas(&body)
+                    .iter()
+                    .filter_map(|f| field_name(f))
+                    .collect();
+                Item::Struct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level_commas(&body).len();
+                Item::TupleStruct { name, arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde derive: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let g = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for var in split_top_level_commas(&body) {
+                let mut j = skip_attrs_and_vis(&var, 0);
+                let vname = match var.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => continue, // trailing comma
+                    other => panic!("serde derive: expected variant name, got {other:?}"),
+                };
+                j += 1;
+                let kind = match var.get(j) {
+                    None => VariantKind::Unit,
+                    // Discriminant (`Name = expr`): still a unit variant.
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Tuple(split_top_level_commas(&body).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Struct(
+                            split_top_level_commas(&body)
+                                .iter()
+                                .filter_map(|f| field_name(f))
+                                .collect(),
+                        )
+                    }
+                    other => panic!("serde derive: unsupported variant shape {other:?}"),
+                };
+                variants.push(Variant { name: vname, kind });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored facade).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                // Newtype: transparent, like upstream.
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> serde::Value {{\n\
+                             serde::Serialize::to_value(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: String = (0..arity)
+                    .map(|k| format!("serde::Serialize::to_value(&self.{k}),"))
+                    .collect();
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> serde::Value {{\n\
+                             serde::Value::Array(vec![{items}])\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Array(vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(String::from(\"{f}\"), serde::Serialize::to_value({f})),"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Object(vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored facade).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match serde::find_field(fields, \"{f}\") {{\n\
+                             Some(x) => serde::Deserialize::from_value(x).map_err(|e| serde::DeError::new(format!(\"{name}.{f}: {{e}}\")))?,\n\
+                             None => serde::Deserialize::missing_field(\"{name}.{f}\")?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         let fields = v.as_object().ok_or_else(|| serde::DeError::new(\"{name}: expected object\"))?;\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                             Ok(Self(serde::Deserialize::from_value(v)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let inits: String = (0..arity)
+                    .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?,"))
+                    .collect();
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                             let items = v.as_array().ok_or_else(|| serde::DeError::new(\"{name}: expected array\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return Err(serde::DeError::new(format!(\"{name}: expected {arity} elements, got {{}}\", items.len())));\n\
+                             }}\n\
+                             Ok(Self({inits}))\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {{ Ok(Self) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| serde::DeError::new(\"{name}::{vn}: expected array\"))?;\n\
+                                     if items.len() != {n} {{ return Err(serde::DeError::new(\"{name}::{vn}: wrong arity\")); }}\n\
+                                     Ok({name}::{vn}({inits}))\n\
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: match serde::find_field(fields, \"{f}\") {{\n\
+                                             Some(x) => serde::Deserialize::from_value(x)?,\n\
+                                             None => serde::Deserialize::missing_field(\"{name}::{vn}.{f}\")?,\n\
+                                         }},"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let fields = inner.as_object().ok_or_else(|| serde::DeError::new(\"{name}::{vn}: expected object\"))?;\n\
+                                     Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             return match s {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::DeError::new(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         let fields = v.as_object().ok_or_else(|| serde::DeError::new(\"{name}: expected string or object\"))?;\n\
+                         if fields.len() != 1 {{\n\
+                             return Err(serde::DeError::new(\"{name}: expected single-key object\"));\n\
+                         }}\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => Err(serde::DeError::new(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde derive: generated Deserialize impl parses")
+}

@@ -1,0 +1,412 @@
+//! Offline vendored `serde_json` stand-in.
+//!
+//! Serializes the vendored `serde` [`Value`] data model to JSON text and
+//! parses JSON text back. Formatting follows upstream serde_json:
+//! compact output has no spaces, pretty output indents two spaces, and
+//! floats use Rust's shortest round-trip representation (always with a
+//! decimal point or exponent, like ryu).
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON error (serialization is infallible here; parsing reports a
+/// byte offset + message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = core::result::Result<T, Error>;
+
+// ---- serialization ----
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` keeps a trailing `.0` on integral floats, matching
+        // upstream's ryu output for the values this workspace emits.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // Upstream errors on non-finite floats; emitting null keeps
+        // serialization infallible without inventing invalid JSON.
+        out.push_str("null");
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_f64(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+// ---- parsing ----
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                core::str::from_utf8(hex)
+                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // workspace's writer; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = core::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("truncated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses JSON text into any `Deserialize` type (including [`Value`]).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser::new(s);
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_value(&value).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Float(1.5)),
+            ("b".into(), Value::Array(vec![Value::Int(1), Value::Null])),
+            ("s".into(), Value::Str("hi \"there\"\n".into())),
+        ]);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "{\"a\":1.5,\"b\":[1,null],\"s\":\"hi \\\"there\\\"\\n\"}");
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+    }
+
+    #[test]
+    fn pretty_matches_upstream_layout() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Int(1)),
+            ("y".into(), Value::Array(vec![Value::Int(2)])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"x\": 1,\n  \"y\": [\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v: Value = from_str(" { \"k\" : [ 1 , 2.5 , \"\\u0041\" ] } ").unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![(
+                "k".into(),
+                Value::Array(vec![
+                    Value::Int(1),
+                    Value::Float(2.5),
+                    Value::Str("A".into())
+                ])
+            )])
+        );
+    }
+}
