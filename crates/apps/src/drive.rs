@@ -102,8 +102,7 @@ mod tests {
         let d_mid = c.route().point_at(0.0).haversine_distance(&mid);
         assert!((d_mid - len / 2.0).abs() < len * 0.2, "d {d_mid} vs {len}");
         // After a full round trip it is back near the start.
-        let back =
-            c.position_at(SimTime::at(1, 9.0) + SimDuration::from_secs_f64(2.0 * one_leg_s));
+        let back = c.position_at(SimTime::at(1, 9.0) + SimDuration::from_secs_f64(2.0 * one_leg_s));
         assert!(back.haversine_distance(&c.route().point_at(0.0)) < 200.0);
     }
 

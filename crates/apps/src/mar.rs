@@ -14,7 +14,7 @@
 //! The paper measures ≈32% lower total latency for the WiScape variant
 //! (Table 6) and ~37% on named sites (Fig 14b).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wiscape_simcore::{SimDuration, SimTime};
 use wiscape_simnet::{Landscape, NetworkId, UnknownNetwork};
@@ -37,7 +37,7 @@ pub struct MarOutcome {
     /// Wall-clock time until the last interface drained its queue.
     pub total: SimDuration,
     /// Bytes assigned per interface.
-    pub per_interface_bytes: HashMap<NetworkId, u64>,
+    pub per_interface_bytes: BTreeMap<NetworkId, u64>,
     /// Per-request completion latency (from run start).
     pub per_request: Vec<SimDuration>,
 }
@@ -66,16 +66,12 @@ pub fn run_mar_drive(
     // the map if available, else equal weights.
     let weights: Vec<f64> = nets
         .iter()
-        .map(|&n| {
-            map.and_then(|m| m.network_mean(n))
-                .unwrap_or(1.0)
-                .max(1.0)
-        })
+        .map(|&n| map.and_then(|m| m.network_mean(n)).unwrap_or(1.0).max(1.0))
         .collect();
     // Per-interface state.
     let mut next_free: Vec<SimTime> = vec![start; nets.len()];
     let mut assigned_weighted: Vec<f64> = vec![0.0; nets.len()];
-    let mut per_interface_bytes: HashMap<NetworkId, u64> = HashMap::new();
+    let mut per_interface_bytes: BTreeMap<NetworkId, u64> = BTreeMap::new();
     let mut per_request = Vec::with_capacity(requests.len());
 
     for &size in requests {
@@ -96,12 +92,8 @@ pub fn run_mar_drive(
                 // the position where the download would start.
                 (0..nets.len())
                     .min_by(|&a, &b| {
-                        let fa = predicted_finish(
-                            driver, map, nets[a], next_free[a], size,
-                        );
-                        let fb = predicted_finish(
-                            driver, map, nets[b], next_free[b], size,
-                        );
+                        let fa = predicted_finish(driver, map, nets[a], next_free[a], size);
+                        let fb = predicted_finish(driver, map, nets[b], next_free[b], size);
                         fa.partial_cmp(&fb).expect("finite predictions")
                     })
                     .expect("at least one interface")

@@ -37,7 +37,10 @@ pub fn run_multisim_drive(
     map: Option<&ZoneQualityMap>,
     candidates: &[NetworkId],
 ) -> Result<DriveOutcome, UnknownNetwork> {
-    assert!(!candidates.is_empty(), "need at least one candidate network");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate network"
+    );
     let mut now = start;
     let mut per_request = Vec::with_capacity(requests.len());
     let mut bytes = 0u64;
@@ -54,9 +57,8 @@ pub fn run_multisim_drive(
                     .unwrap_or(candidates[0])
             }
         };
-        let result = wiscape_workload::fetch_objects(land, net, now, objects, |t| {
-            driver.position_at(t)
-        })?;
+        let result =
+            wiscape_workload::fetch_objects(land, net, now, objects, |t| driver.position_at(t))?;
         per_request.push(result.duration);
         bytes += result.bytes;
         now = now + result.duration;
@@ -114,9 +116,7 @@ mod tests {
     fn wiscape_beats_fixed_carriers() {
         let (land, driver) = setup();
         let map = truth_map(&land, &driver);
-        let requests: Vec<Vec<u64>> = (0..60)
-            .map(|i| vec![30_000 + (i % 7) * 40_000])
-            .collect();
+        let requests: Vec<Vec<u64>> = (0..60).map(|i| vec![30_000 + (i % 7) * 40_000]).collect();
         let start = SimTime::at(1, 9.0);
         let wiscape = run_multisim_drive(
             &land,

@@ -5,7 +5,7 @@
 //! published estimates (or any equivalently shaped source, e.g. an
 //! aggregated client-sourced dataset) through this map.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wiscape_core::{Coordinator, ZoneId, ZoneIndex};
 use wiscape_geo::GeoPoint;
@@ -17,8 +17,8 @@ use wiscape_simnet::{Landscape, NetworkId};
 #[derive(Debug, Clone)]
 pub struct ZoneQualityMap {
     index: ZoneIndex,
-    map: HashMap<(ZoneId, NetworkId), f64>,
-    rtt: HashMap<(ZoneId, NetworkId), f64>,
+    map: BTreeMap<(ZoneId, NetworkId), f64>,
+    rtt: BTreeMap<(ZoneId, NetworkId), f64>,
 }
 
 /// Handshake + request round trips a fetch pays before data flows
@@ -33,8 +33,8 @@ impl ZoneQualityMap {
     pub fn new(index: ZoneIndex) -> Self {
         Self {
             index,
-            map: HashMap::new(),
-            rtt: HashMap::new(),
+            map: BTreeMap::new(),
+            rtt: BTreeMap::new(),
         }
     }
 
@@ -54,7 +54,7 @@ impl ZoneQualityMap {
         index: ZoneIndex,
         obs: impl IntoIterator<Item = &'a (GeoPoint, NetworkId, f64)>,
     ) -> Self {
-        let mut sums: HashMap<(ZoneId, NetworkId), (f64, u32)> = HashMap::new();
+        let mut sums: BTreeMap<(ZoneId, NetworkId), (f64, u32)> = BTreeMap::new();
         for (p, net, v) in obs {
             let z = index.zone_of(p);
             let e = sums.entry((z, *net)).or_insert((0.0, 0));
@@ -67,7 +67,7 @@ impl ZoneQualityMap {
                 .into_iter()
                 .map(|(k, (s, n))| (k, s / n as f64))
                 .collect(),
-            rtt: HashMap::new(),
+            rtt: BTreeMap::new(),
         }
     }
 
@@ -109,7 +109,7 @@ impl ZoneQualityMap {
         mut self,
         obs: impl IntoIterator<Item = &'a (GeoPoint, NetworkId, f64)>,
     ) -> Self {
-        let mut sums: HashMap<(ZoneId, NetworkId), (f64, u32)> = HashMap::new();
+        let mut sums: BTreeMap<(ZoneId, NetworkId), (f64, u32)> = BTreeMap::new();
         for (p, net, v) in obs {
             let z = self.index.zone_of(p);
             let e = sums.entry((z, *net)).or_insert((0.0, 0));
@@ -289,7 +289,10 @@ mod tests {
         let land = Landscape::new(LandscapeConfig::madison(11));
         let t = wiscape_simcore::SimTime::at(1, 10.0);
         let points: Vec<GeoPoint> = (0..40)
-            .map(|i| land.origin().destination(i as f64 * 9.0, 100.0 + i as f64 * 180.0))
+            .map(|i| {
+                land.origin()
+                    .destination(i as f64 * 9.0, 100.0 + i as f64 * 180.0)
+            })
             .collect();
         let m = ZoneQualityMap::from_ground_truth(
             &land,

@@ -14,7 +14,9 @@ use wiscape_stats::{allan_deviation_profile, Ecdf, RunningStats};
 
 fn stats_benches(c: &mut Criterion) {
     let series = bench_series(20_000);
-    let taus: Vec<f64> = (0..24).map(|i| 60.0 * 10f64.powf(3.0 * i as f64 / 23.0)).collect();
+    let taus: Vec<f64> = (0..24)
+        .map(|i| 60.0 * 10f64.powf(3.0 * i as f64 / 23.0))
+        .collect();
     c.bench_function("allan_profile_20k_samples_24_taus", |b| {
         b.iter(|| allan_deviation_profile(black_box(&series), black_box(&taus)).unwrap())
     });
@@ -51,7 +53,10 @@ fn spatial_benches(c: &mut Criterion) {
     let land = bench_landscape();
     let index = ZoneIndex::around(land.origin(), 7000.0).unwrap();
     let points: Vec<_> = (0..1000)
-        .map(|i| land.origin().destination(i as f64 * 0.7, 100.0 + (i * 13) as f64 % 6000.0))
+        .map(|i| {
+            land.origin()
+                .destination(i as f64 * 0.7, 100.0 + (i * 13) as f64 % 6000.0)
+        })
         .collect();
     c.bench_function("zone_index_1k_lookups", |b| {
         b.iter(|| {
@@ -136,7 +141,12 @@ fn simulator_benches(c: &mut Criterion) {
         })
     });
     c.bench_function("tcp_download_1mb", |b| {
-        b.iter(|| black_box(land.tcp_download(NetworkId::NetB, &p, t, 1_000_000).unwrap()))
+        b.iter(|| {
+            black_box(
+                land.tcp_download(NetworkId::NetB, &p, t, 1_000_000)
+                    .unwrap(),
+            )
+        })
     });
     c.bench_function("ping", |b| {
         let mut seq = 0u64;
@@ -153,7 +163,10 @@ fn coordinator_benches(c: &mut Criterion) {
     let land = bench_landscape();
     let index = ZoneIndex::around(land.origin(), 7000.0).unwrap();
     let points: Vec<_> = (0..200)
-        .map(|i| land.origin().destination(i as f64 * 0.9, 100.0 + (i * 31) as f64 % 6000.0))
+        .map(|i| {
+            land.origin()
+                .destination(i as f64 * 0.9, 100.0 + (i * 31) as f64 % 6000.0)
+        })
         .collect();
     c.bench_function("coordinator_200_checkins", |b| {
         b.iter_batched(

@@ -59,7 +59,11 @@ pub fn zone_radius(seed: u64) -> Vec<ZoneRadiusRow> {
         .expect("valid index");
         let mut client = ZoneAggregator::new(index.clone(), false);
         let mut truth = ZoneAggregator::new(index.clone(), false);
-        for (i, r) in ds.select(NetworkId::NetB, Metric::TcpKbps).iter().enumerate() {
+        for (i, r) in ds
+            .select(NetworkId::NetB, Metric::TcpKbps)
+            .iter()
+            .enumerate()
+        {
             let obs = Observation {
                 network: r.network,
                 point: r.point,
@@ -207,16 +211,17 @@ pub fn sample_count(seed: u64) -> Vec<SampleCountRow> {
         .probe_train(NetworkId::NetB, TransportKind::Udp, &p, t, 4000, 1200)
         .expect("NetB present")
         .received_kbps();
-    let truth = land.link_quality(NetworkId::NetB, &p, t).expect("present").udp_kbps;
+    let truth = land
+        .link_quality(NetworkId::NetB, &p, t)
+        .expect("present")
+        .udp_kbps;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let mut rows = Vec::new();
     for packets in [5usize, 10, 20, 40, 60, 90, 120, 200] {
         let mut errs: Vec<f64> = (0..200)
             .map(|_| {
-                let est: f64 = pool
-                    .choose_multiple(&mut rng, packets)
-                    .sum::<f64>()
-                    / packets as f64;
+                let est: f64 =
+                    pool.choose_multiple(&mut rng, packets).sum::<f64>() / packets as f64;
                 (est - truth).abs() / truth
             })
             .collect();

@@ -99,7 +99,10 @@ mod tests {
             .link_quality(NetworkId::NetB, &actual, t)
             .unwrap()
             .udp_kbps;
-        assert!((mean - truth).abs() / truth < 0.2, "mean {mean} truth {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.2,
+            "mean {mean} truth {truth}"
+        );
     }
 
     #[test]

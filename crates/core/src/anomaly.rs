@@ -11,7 +11,7 @@
 //!   large factor over its baseline for a sustained period (the football
 //!   game of Fig 10: 113 → 418 ms for ~3 h).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use wiscape_simcore::SimTime;
@@ -22,9 +22,9 @@ use crate::zone::ZoneId;
 #[derive(Debug, Clone, Default)]
 pub struct PingFailureTracker {
     /// zone -> set of day indices with ≥1 failure.
-    failure_days: HashMap<ZoneId, BTreeSet<i64>>,
+    failure_days: BTreeMap<ZoneId, BTreeSet<i64>>,
     /// zone -> set of day indices with ≥1 ping attempt.
-    active_days: HashMap<ZoneId, BTreeSet<i64>>,
+    active_days: BTreeMap<ZoneId, BTreeSet<i64>>,
 }
 
 impl PingFailureTracker {
@@ -261,8 +261,9 @@ mod tests {
 
     #[test]
     fn short_blips_are_ignored() {
-        let mut bins: Vec<(SimTime, f64)> =
-            (0..30).map(|k| (SimTime::from_secs(k * 600), 100.0)).collect();
+        let mut bins: Vec<(SimTime, f64)> = (0..30)
+            .map(|k| (SimTime::from_secs(k * 600), 100.0))
+            .collect();
         bins[10].1 = 500.0;
         bins[11].1 = 500.0; // only 2 bins, min is 3
         let det = LatencySurgeDetector::default();
@@ -271,8 +272,9 @@ mod tests {
 
     #[test]
     fn surge_at_series_end_is_emitted() {
-        let mut bins: Vec<(SimTime, f64)> =
-            (0..30).map(|k| (SimTime::from_secs(k * 600), 100.0)).collect();
+        let mut bins: Vec<(SimTime, f64)> = (0..30)
+            .map(|k| (SimTime::from_secs(k * 600), 100.0))
+            .collect();
         for b in bins.iter_mut().skip(26) {
             b.1 = 400.0;
         }
@@ -285,9 +287,7 @@ mod tests {
     fn empty_and_tiny_inputs() {
         let det = LatencySurgeDetector::default();
         assert!(det.detect(z(1), &[]).is_empty());
-        assert!(det
-            .detect(z(1), &[(SimTime::EPOCH, 100.0)])
-            .is_empty());
+        assert!(det.detect(z(1), &[(SimTime::EPOCH, 100.0)]).is_empty());
     }
 
     #[test]

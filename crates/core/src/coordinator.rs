@@ -14,7 +14,7 @@
 //!    published value, the published record is updated and a
 //!    [`ChangeAlert`] is emitted (the operator signal of §4.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wiscape_mobility::ClientId;
@@ -135,15 +135,67 @@ pub struct SampleReport {
     pub samples: Vec<f64>,
 }
 
+/// Why [`Coordinator::ingest_report`] rejected an entire report.
+///
+/// Rejected reports never touch zone state; the coordinator counts them
+/// in [`Coordinator::reports_rejected`] so deployments can monitor a
+/// misbehaving client population without crashing the control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestError {
+    /// The report carried no samples at all.
+    EmptyReport,
+    /// The reported fine zone lies outside the coordinator's index.
+    UnknownZone(ZoneId),
+}
+
+impl core::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IngestError::EmptyReport => write!(f, "report carries no samples"),
+            IngestError::UnknownZone(z) => {
+                write!(f, "zone {z:?} is outside the coordinator's index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Per-report accounting returned by [`Coordinator::ingest_report`].
+///
+/// Malformed samples (non-finite or negative throughput) are dropped
+/// and counted rather than poisoning the zone estimate; the totals also
+/// accumulate in [`Coordinator::malformed_dropped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestSummary {
+    /// Samples accepted into the zone's running estimate.
+    pub accepted: u32,
+    /// Samples dropped because they were NaN or infinite.
+    pub dropped_non_finite: u32,
+    /// Samples dropped because throughput was negative.
+    pub dropped_negative: u32,
+}
+
+impl IngestSummary {
+    /// Total samples dropped from this report.
+    pub fn dropped(&self) -> u32 {
+        self.dropped_non_finite + self.dropped_negative
+    }
+}
+
 /// The WiScape measurement coordinator.
 #[derive(Debug, Clone)]
 pub struct Coordinator {
     config: CoordinatorConfig,
     index: ZoneIndex,
-    state: HashMap<(ZoneId, NetworkId), ZoneState>,
+    state: BTreeMap<(ZoneId, NetworkId), ZoneState>,
     alerts: Vec<ChangeAlert>,
     /// Total packets requested from clients (the client-burden meter).
     packets_requested: u64,
+    /// Malformed samples dropped across all ingested reports.
+    malformed_dropped: u64,
+    /// Whole reports rejected (empty / unknown zone).
+    reports_rejected: u64,
 }
 
 impl Coordinator {
@@ -152,9 +204,11 @@ impl Coordinator {
         Self {
             config,
             index,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
             alerts: Vec::new(),
             packets_requested: 0,
+            malformed_dropped: 0,
+            reports_rejected: 0,
         }
     }
 
@@ -171,14 +225,17 @@ impl Coordinator {
     /// Installs a zone-specific epoch (e.g. from an Allan-deviation
     /// estimate) for all networks in that zone.
     pub fn set_zone_epoch(&mut self, zone: ZoneId, network: NetworkId, epoch: SimDuration) {
-        let state = self.state.entry((zone, network)).or_insert_with(|| ZoneState {
-            epoch: self.config.default_epoch,
-            epoch_start: SimTime::EPOCH,
-            current: RunningStats::new(),
-            issued_this_epoch: 0,
-            published: None,
-            quota: None,
-        });
+        let state = self
+            .state
+            .entry((zone, network))
+            .or_insert_with(|| ZoneState {
+                epoch: self.config.default_epoch,
+                epoch_start: SimTime::EPOCH,
+                current: RunningStats::new(),
+                issued_this_epoch: 0,
+                published: None,
+                quota: None,
+            });
         state.epoch = epoch;
     }
 
@@ -193,14 +250,17 @@ impl Coordinator {
     /// Installs a zone-specific per-epoch sample quota (from the NKLD
     /// tuner, paper §3.4).
     pub fn set_zone_quota(&mut self, zone: ZoneId, network: NetworkId, quota: u32) {
-        let state = self.state.entry((zone, network)).or_insert_with(|| ZoneState {
-            epoch: self.config.default_epoch,
-            epoch_start: SimTime::EPOCH,
-            current: RunningStats::new(),
-            issued_this_epoch: 0,
-            published: None,
-            quota: None,
-        });
+        let state = self
+            .state
+            .entry((zone, network))
+            .or_insert_with(|| ZoneState {
+                epoch: self.config.default_epoch,
+                epoch_start: SimTime::EPOCH,
+                current: RunningStats::new(),
+                issued_this_epoch: 0,
+                published: None,
+                quota: None,
+            });
         state.quota = Some(quota.max(1));
     }
 
@@ -236,14 +296,17 @@ impl Coordinator {
         let mut tasks = Vec::new();
         for &network in networks {
             let default_epoch = self.config.default_epoch;
-            let state = self.state.entry((zone, network)).or_insert_with(|| ZoneState {
-                epoch: default_epoch,
-                epoch_start: t,
-                current: RunningStats::new(),
-                issued_this_epoch: 0,
-                published: None,
-                quota: None,
-            });
+            let state = self
+                .state
+                .entry((zone, network))
+                .or_insert_with(|| ZoneState {
+                    epoch: default_epoch,
+                    epoch_start: t,
+                    current: RunningStats::new(),
+                    issued_this_epoch: 0,
+                    published: None,
+                    quota: None,
+                });
             // Epoch rollover is handled in ingest/finalize; here we only
             // roll the window forward if long past.
             if t - state.epoch_start >= state.epoch {
@@ -268,8 +331,7 @@ impl Coordinator {
                 continue;
             }
             let needed_tasks = (target - have).div_ceil(self.config.packets_per_task);
-            let p = (needed_tasks as f64 / self.config.expected_checkins_per_epoch)
-                .clamp(0.0, 1.0);
+            let p = (needed_tasks as f64 / self.config.expected_checkins_per_epoch).clamp(0.0, 1.0);
             if coin < p {
                 state.issued_this_epoch += 1;
                 self.packets_requested += self.config.packets_per_task as u64;
@@ -327,7 +389,40 @@ impl Coordinator {
     }
 
     /// Ingests a client's sample report.
-    pub fn ingest_report(&mut self, report: &SampleReport) {
+    ///
+    /// The ingest surface is fed by untrusted clients, so it must never
+    /// panic: structurally invalid reports (no samples, zone outside
+    /// the index) are rejected with a typed [`IngestError`], and
+    /// individually malformed samples (NaN, infinite, or negative
+    /// throughput) are dropped and counted instead of entering the zone
+    /// estimate. See [`IngestSummary`] for the per-report accounting.
+    pub fn ingest_report(&mut self, report: &SampleReport) -> Result<IngestSummary, IngestError> {
+        if report.samples.is_empty() {
+            self.reports_rejected += 1;
+            return Err(IngestError::EmptyReport);
+        }
+        if !self.index.in_bounds(report.zone) {
+            self.reports_rejected += 1;
+            return Err(IngestError::UnknownZone(report.zone));
+        }
+        let mut summary = IngestSummary::default();
+        let mut valid: Vec<f64> = Vec::with_capacity(report.samples.len());
+        for &s in &report.samples {
+            if !s.is_finite() {
+                summary.dropped_non_finite += 1;
+            } else if s < 0.0 {
+                summary.dropped_negative += 1;
+            } else {
+                valid.push(s);
+            }
+        }
+        self.malformed_dropped += u64::from(summary.dropped());
+        if valid.is_empty() {
+            // Every sample was malformed: drop the report without
+            // touching epoch bookkeeping (a garbage report must not
+            // roll an epoch over).
+            return Ok(summary);
+        }
         let key = (report.zone, report.task.network);
         let default_epoch = self.config.default_epoch;
         let state = self.state.entry(key).or_insert_with(|| ZoneState {
@@ -351,9 +446,11 @@ impl Coordinator {
             state.current = RunningStats::new();
             state.issued_this_epoch = 0;
         }
-        for &s in &report.samples {
+        for &s in &valid {
             state.current.push(s);
+            summary.accepted += 1;
         }
+        Ok(summary)
     }
 
     /// Forces epoch finalization for every zone at `now` (end-of-run
@@ -372,11 +469,7 @@ impl Coordinator {
 
     /// All published estimates.
     pub fn all_published(&self) -> Vec<ZoneEstimate> {
-        let mut out: Vec<ZoneEstimate> = self
-            .state
-            .values()
-            .filter_map(|s| s.published)
-            .collect();
+        let mut out: Vec<ZoneEstimate> = self.state.values().filter_map(|s| s.published).collect();
         out.sort_by_key(|a| (a.zone, a.network));
         out
     }
@@ -390,6 +483,16 @@ impl Coordinator {
     /// WiScape's whole point is keeping this small).
     pub fn packets_requested(&self) -> u64 {
         self.packets_requested
+    }
+
+    /// Malformed samples dropped (and counted) across all reports.
+    pub fn malformed_dropped(&self) -> u64 {
+        self.malformed_dropped
+    }
+
+    /// Whole reports rejected at the ingest boundary.
+    pub fn reports_rejected(&self) -> u64 {
+        self.reports_rejected
     }
 }
 
@@ -435,14 +538,22 @@ mod tests {
         for k in 0..150 {
             let t = SimTime::from_secs(k * 10);
             // coin = 0 -> always issue when needed.
-            issued += c.client_checkin(ClientId(k as u32), &center(), t, &nets, 0.0).len();
+            issued += c
+                .client_checkin(ClientId(k as u32), &center(), t, &nets, 0.0)
+                .len();
         }
         // 100 samples / 20 per task = 5 tasks, then stop for the epoch.
         assert_eq!(issued, 5);
         assert_eq!(c.packets_requested(), 100);
         // The next epoch starts collection afresh.
         issued += c
-            .client_checkin(ClientId(9), &center(), SimTime::from_secs(31 * 60), &nets, 0.0)
+            .client_checkin(
+                ClientId(9),
+                &center(),
+                SimTime::from_secs(31 * 60),
+                &nets,
+                0.0,
+            )
             .len();
         assert_eq!(issued, 6);
     }
@@ -461,18 +572,26 @@ mod tests {
         let nets = [NetworkId::NetB];
         // needed 5 tasks of 50 expected checkins -> p = 0.1.
         let t = SimTime::from_secs(1);
-        assert!(c.client_checkin(ClientId(1), &center(), t, &nets, 0.5).is_empty());
-        assert_eq!(c.client_checkin(ClientId(1), &center(), t, &nets, 0.05).len(), 1);
+        assert!(c
+            .client_checkin(ClientId(1), &center(), t, &nets, 0.5)
+            .is_empty());
+        assert_eq!(
+            c.client_checkin(ClientId(1), &center(), t, &nets, 0.05)
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn publishes_first_estimate_after_epoch() {
         let mut c = coordinator();
         let zone = c.index().zone_of(&center());
-        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 110.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 110.0]))
+            .unwrap();
         assert!(c.published(zone, NetworkId::NetB).is_none());
         // Next report lands after the default 30 min epoch -> finalize.
-        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[120.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[120.0]))
+            .unwrap();
         let e = c.published(zone, NetworkId::NetB).unwrap();
         assert_eq!(e.samples, 2);
         assert_eq!(e.mean, 105.0);
@@ -485,7 +604,8 @@ mod tests {
         let zone = c.index().zone_of(&center());
         for k in 0..5 {
             let t = SimTime::from_secs(k * 31 * 60);
-            c.ingest_report(&report(&c, t, &[100.0, 102.0, 98.0, 101.0]));
+            c.ingest_report(&report(&c, t, &[100.0, 102.0, 98.0, 101.0]))
+                .unwrap();
         }
         c.flush(SimTime::from_secs(3 * 3600));
         assert!(c.published(zone, NetworkId::NetB).is_some());
@@ -496,11 +616,18 @@ mod tests {
     fn big_shift_alerts_and_updates() {
         let mut c = coordinator();
         let zone = c.index().zone_of(&center());
-        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 102.0, 98.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 102.0, 98.0]))
+            .unwrap();
         // Finalizes first epoch, publishes ~100.
-        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[400.0, 410.0, 390.0]));
+        c.ingest_report(&report(
+            &c,
+            SimTime::from_secs(31 * 60),
+            &[400.0, 410.0, 390.0],
+        ))
+        .unwrap();
         // Finalizes second epoch (mean 400, >> 2 sigma away).
-        c.ingest_report(&report(&c, SimTime::from_secs(62 * 60), &[400.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(62 * 60), &[400.0]))
+            .unwrap();
         assert_eq!(c.alerts().len(), 1);
         let a = c.alerts()[0];
         assert_eq!(a.old_mean, 100.0);
@@ -513,9 +640,16 @@ mod tests {
     fn small_shift_keeps_old_published_value() {
         let mut c = coordinator();
         let zone = c.index().zone_of(&center());
-        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 110.0, 90.0]));
-        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[105.0, 108.0, 102.0]));
-        c.ingest_report(&report(&c, SimTime::from_secs(62 * 60), &[105.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 110.0, 90.0]))
+            .unwrap();
+        c.ingest_report(&report(
+            &c,
+            SimTime::from_secs(31 * 60),
+            &[105.0, 108.0, 102.0],
+        ))
+        .unwrap();
+        c.ingest_report(&report(&c, SimTime::from_secs(62 * 60), &[105.0]))
+            .unwrap();
         // Second estimate within 2 sigma of first -> record unchanged.
         assert_eq!(c.published(zone, NetworkId::NetB).unwrap().mean, 100.0);
         assert!(c.alerts().is_empty());
@@ -531,11 +665,14 @@ mod tests {
             SimDuration::from_mins(75)
         );
         // A report 40 min later must NOT finalize (epoch is 75 min now).
-        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0]));
-        c.ingest_report(&report(&c, SimTime::from_secs(40 * 60), &[200.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0]))
+            .unwrap();
+        c.ingest_report(&report(&c, SimTime::from_secs(40 * 60), &[200.0]))
+            .unwrap();
         assert!(c.published(zone, NetworkId::NetB).is_none());
         // But 80 min later it must.
-        c.ingest_report(&report(&c, SimTime::from_secs(80 * 60), &[200.0]));
+        c.ingest_report(&report(&c, SimTime::from_secs(80 * 60), &[200.0]))
+            .unwrap();
         assert!(c.published(zone, NetworkId::NetB).is_some());
     }
 
@@ -547,14 +684,100 @@ mod tests {
         let z2 = c.index().zone_of(&far);
         assert_ne!(z1, z2);
         let mut r = report(&c, SimTime::from_secs(0), &[100.0]);
-        c.ingest_report(&r);
+        c.ingest_report(&r).unwrap();
         r.zone = z2;
         r.samples = vec![900.0];
-        c.ingest_report(&r);
+        c.ingest_report(&r).unwrap();
         c.flush(SimTime::from_secs(3600 * 2));
         assert_eq!(c.published(z1, NetworkId::NetB).unwrap().mean, 100.0);
         assert_eq!(c.published(z2, NetworkId::NetB).unwrap().mean, 900.0);
         assert_eq!(c.all_published().len(), 2);
+    }
+
+    #[test]
+    fn empty_report_is_rejected() {
+        let mut c = coordinator();
+        let r = report(&c, SimTime::from_secs(0), &[]);
+        assert_eq!(c.ingest_report(&r), Err(IngestError::EmptyReport));
+        assert_eq!(c.reports_rejected(), 1);
+        assert!(c.all_published().is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_zone_is_rejected() {
+        let mut c = coordinator();
+        let mut r = report(&c, SimTime::from_secs(0), &[100.0]);
+        let far = center().destination(0.0, 500_000.0);
+        r.zone = c.index().zone_of(&far);
+        assert_eq!(c.ingest_report(&r), Err(IngestError::UnknownZone(r.zone)));
+        assert_eq!(c.reports_rejected(), 1);
+    }
+
+    #[test]
+    fn malformed_samples_are_dropped_and_counted() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        let r = report(
+            &c,
+            SimTime::from_secs(0),
+            &[100.0, f64::NAN, -5.0, 110.0, f64::INFINITY],
+        );
+        let s = c.ingest_report(&r).unwrap();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.dropped_non_finite, 2);
+        assert_eq!(s.dropped_negative, 1);
+        assert_eq!(c.malformed_dropped(), 3);
+        // The surviving samples form the estimate; the garbage does not.
+        c.flush(SimTime::from_secs(3600));
+        assert_eq!(c.published(zone, NetworkId::NetB).unwrap().mean, 105.0);
+    }
+
+    #[test]
+    fn fully_malformed_report_does_not_roll_epoch() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &[100.0, 110.0]))
+            .unwrap();
+        // An all-garbage report past the epoch boundary must not
+        // finalize the epoch.
+        let s = c
+            .ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[f64::NAN]))
+            .unwrap();
+        assert_eq!(s.accepted, 0);
+        assert!(c.published(zone, NetworkId::NetB).is_none());
+    }
+
+    /// Determinism regression (previously hazardous path): `flush`
+    /// iterated a `HashMap`, so alert emission order depended on hash
+    /// iteration order. With `BTreeMap` state the order is the sorted
+    /// `(zone, network)` key order regardless of ingest order.
+    #[test]
+    fn flush_alert_order_is_ingest_order_independent() {
+        let run = |order: &[f64]| {
+            let mut c = coordinator();
+            for &bearing in order {
+                let p = center().destination(bearing, 3000.0);
+                let zone = c.index().zone_of(&p);
+                let mut r = report(&c, SimTime::from_secs(0), &[100.0, 101.0, 99.0]);
+                r.zone = zone;
+                r.task.zone = zone;
+                c.ingest_report(&r).unwrap();
+                let mut r2 = report(&c, SimTime::from_secs(31 * 60), &[400.0, 401.0, 399.0]);
+                r2.zone = zone;
+                r2.task.zone = zone;
+                c.ingest_report(&r2).unwrap();
+            }
+            c.flush(SimTime::from_secs(62 * 60));
+            c.alerts().to_vec()
+        };
+        let a = run(&[0.0, 90.0, 180.0, 270.0]);
+        let b = run(&[270.0, 90.0, 0.0, 180.0]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b, "alert stream must not depend on ingest order");
+        let keys: Vec<_> = a.iter().map(|al| (al.zone, al.network)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "alerts emitted in sorted key order");
     }
 
     #[test]

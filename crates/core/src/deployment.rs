@@ -88,7 +88,12 @@ pub struct Deployment {
 impl Deployment {
     /// Creates a deployment monitoring `networks` (all of the
     /// landscape's networks when the config list is empty).
-    pub fn new(land: Landscape, fleet: Fleet, index: ZoneIndex, mut config: DeploymentConfig) -> Self {
+    pub fn new(
+        land: Landscape,
+        fleet: Fleet,
+        index: ZoneIndex,
+        mut config: DeploymentConfig,
+    ) -> Self {
         if config.networks.is_empty() {
             config.networks = land.networks();
         }
@@ -187,13 +192,9 @@ impl Deployment {
                 let agent = ClientAgent::new(client.id());
                 for task in tasks {
                     self.stats.tasks_issued += 1;
-                    if let Ok(report) = agent.execute(
-                        &self.land,
-                        self.coordinator.index(),
-                        &task,
-                        &fix.point,
-                        now,
-                    ) {
+                    if let Ok(report) =
+                        agent.execute(&self.land, self.coordinator.index(), &task, &fix.point, now)
+                    {
                         if self.config.auto_tune {
                             self.history.record(
                                 report.zone,
@@ -202,8 +203,12 @@ impl Deployment {
                                 &report.samples,
                             );
                         }
-                        self.coordinator.ingest_report(&report);
-                        self.stats.reports += 1;
+                        // Malformed reports are dropped and counted by
+                        // the coordinator; the loop must not panic on
+                        // client-supplied data.
+                        if self.coordinator.ingest_report(&report).is_ok() {
+                            self.stats.reports += 1;
+                        }
                     }
                 }
             }
@@ -254,7 +259,11 @@ mod tests {
         assert!(stats.tasks_issued > 20, "{stats:?}");
         assert_eq!(stats.reports, stats.tasks_issued, "all tasks on known nets");
         let published = d.coordinator().all_published();
-        assert!(published.len() > 5, "{} published estimates", published.len());
+        assert!(
+            published.len() > 5,
+            "{} published estimates",
+            published.len()
+        );
         for e in &published {
             assert!(e.mean > 50.0 && e.mean < 7200.0, "estimate {e:?}");
             assert!(e.samples >= 1);
@@ -279,7 +288,11 @@ mod tests {
             .unwrap()
             .udp_kbps;
         let err = (est.mean - truth).abs() / truth;
-        assert!(err < 0.25, "estimate {} vs truth {truth}: err {err}", est.mean);
+        assert!(
+            err < 0.25,
+            "estimate {} vs truth {truth}: err {err}",
+            est.mean
+        );
     }
 
     #[test]
@@ -296,9 +309,8 @@ mod tests {
             .map(|e| (e.zone, e.network))
             .collect();
         // 4 hours / 30 min epochs = up to 8 epochs per zone-network.
-        let max_packets = (zones_touched.len().max(1) as u64 + 200)
-            * cfg.target_samples_per_epoch as u64
-            * 9;
+        let max_packets =
+            (zones_touched.len().max(1) as u64 + 200) * cfg.target_samples_per_epoch as u64 * 9;
         assert!(
             d.stats().packets_requested < max_packets,
             "{} packets vs bound {max_packets}",

@@ -45,10 +45,7 @@ impl DominanceOutcome {
 
 /// Applies the paper's 5/95-percentile persistence rule to per-network
 /// sample sets from one zone.
-pub fn persistent_dominant(
-    samples: &[(NetworkId, Vec<f64>)],
-    better: Better,
-) -> DominanceOutcome {
+pub fn persistent_dominant(samples: &[(NetworkId, Vec<f64>)], better: Better) -> DominanceOutcome {
     if samples.len() < 2 {
         return DominanceOutcome::Insufficient;
     }
@@ -106,10 +103,7 @@ impl DominanceBreakdown {
 /// `zones` maps each zone to its per-network samples; zones with
 /// insufficient data are excluded from the denominator (the paper only
 /// counts zones with enough measurements).
-pub fn dominance_ratio(
-    zones: &[Vec<(NetworkId, Vec<f64>)>],
-    better: Better,
-) -> DominanceBreakdown {
+pub fn dominance_ratio(zones: &[Vec<(NetworkId, Vec<f64>)>], better: Better) -> DominanceBreakdown {
     let mut counted = 0usize;
     let mut none = 0usize;
     let mut per: std::collections::BTreeMap<NetworkId, usize> = std::collections::BTreeMap::new();

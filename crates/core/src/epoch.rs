@@ -95,9 +95,7 @@ impl EpochEstimator {
                 got: profile.len(),
             })?;
         let raw = SimDuration::from_secs_f64(best.tau * 60.0);
-        let clamped = raw
-            .max(self.config.min_epoch)
-            .min(self.config.max_epoch);
+        let clamped = raw.max(self.config.min_epoch).min(self.config.max_epoch);
         Ok(EpochEstimate {
             epoch: clamped,
             raw_argmin: raw,
@@ -118,8 +116,7 @@ mod tests {
     /// `tau_min` — the WI (75 min) vs NJ (15 min) contrast of Fig 6.
     fn series_with_coherence(tau_min: f64, days: usize) -> Vec<TimedValue> {
         fn h(k: u64, salt: u64) -> f64 {
-            (((k ^ salt.wrapping_mul(0xABCD_1234_5677)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                >> 11)
+            (((k ^ salt.wrapping_mul(0xABCD_1234_5677)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11)
                 % 1000) as f64
                 / 1000.0
                 - 0.5

@@ -28,11 +28,8 @@ pub struct ZoneError {
 ///
 /// Zones present in only one of the two maps are skipped (no basis for
 /// comparison). Returns entries sorted by zone.
-pub fn zone_errors(
-    estimates: &[(ZoneId, f64)],
-    truths: &[(ZoneId, f64)],
-) -> Vec<ZoneError> {
-    let truth_map: std::collections::HashMap<ZoneId, f64> = truths.iter().copied().collect();
+pub fn zone_errors(estimates: &[(ZoneId, f64)], truths: &[(ZoneId, f64)]) -> Vec<ZoneError> {
+    let truth_map: std::collections::BTreeMap<ZoneId, f64> = truths.iter().copied().collect();
     let mut out: Vec<ZoneError> = estimates
         .iter()
         .filter_map(|&(zone, estimate)| {
@@ -122,7 +119,11 @@ mod tests {
             .collect();
         let s = summarize(&errs).unwrap();
         assert_eq!(s.zones, 100);
-        assert!((s.frac_within_4pct - 0.41).abs() < 0.02, "{}", s.frac_within_4pct);
+        assert!(
+            (s.frac_within_4pct - 0.41).abs() < 0.02,
+            "{}",
+            s.frac_within_4pct
+        );
         assert!((s.max - 0.099).abs() < 1e-12);
         assert!(s.median < s.p90);
         assert!(summarize(&[]).is_none());

@@ -44,7 +44,8 @@ pub mod zonestats;
 
 pub use agent::{ClientAgent, MeasurementReport};
 pub use coordinator::{
-    ChangeAlert, Coordinator, CoordinatorConfig, MeasurementTask, ZoneEstimate,
+    ChangeAlert, Coordinator, CoordinatorConfig, IngestError, IngestSummary, MeasurementTask,
+    ZoneEstimate,
 };
 pub use deployment::{Deployment, DeploymentConfig, DeploymentStats};
 pub use dominance::{dominance_ratio, persistent_dominant, Better, DominanceOutcome};

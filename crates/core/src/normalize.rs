@@ -14,7 +14,7 @@
 //! median of per-zone mean ratios; then divide a category's samples by
 //! its scale before composing them into zone statistics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wiscape_mobility::DeviceCategory;
@@ -40,9 +40,9 @@ pub struct CategorySamples {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CategoryScales {
     reference: DeviceCategory,
-    scales: HashMap<(NetworkId, DeviceCategory), f64>,
+    scales: BTreeMap<(NetworkId, DeviceCategory), f64>,
     /// Zones that contributed to each scale.
-    support: HashMap<(NetworkId, DeviceCategory), usize>,
+    support: BTreeMap<(NetworkId, DeviceCategory), usize>,
 }
 
 impl CategoryScales {
@@ -65,10 +65,7 @@ impl CategoryScales {
 
     /// Zones that supported a learned scale (0 when never learned).
     pub fn support(&self, network: NetworkId, category: DeviceCategory) -> usize {
-        self.support
-            .get(&(network, category))
-            .copied()
-            .unwrap_or(0)
+        self.support.get(&(network, category)).copied().unwrap_or(0)
     }
 
     /// Normalizes one sample from `category` into reference-category
@@ -90,7 +87,7 @@ pub fn learn_scales(
     min_shared_zones: usize,
 ) -> CategoryScales {
     // (net, zone, category) -> mean.
-    let mut means: HashMap<(NetworkId, ZoneId, DeviceCategory), (f64, usize)> = HashMap::new();
+    let mut means: BTreeMap<(NetworkId, ZoneId, DeviceCategory), (f64, usize)> = BTreeMap::new();
     for b in batches {
         if b.values.is_empty() {
             continue;
@@ -104,7 +101,7 @@ pub fn learn_scales(
         e.1 += 1;
     }
     // Collect ratios per (net, category).
-    let mut ratios: HashMap<(NetworkId, DeviceCategory), Vec<f64>> = HashMap::new();
+    let mut ratios: BTreeMap<(NetworkId, DeviceCategory), Vec<f64>> = BTreeMap::new();
     for (&(net, zone, cat), &(mean, _)) in &means {
         if cat == reference {
             continue;
@@ -115,8 +112,8 @@ pub fn learn_scales(
             }
         }
     }
-    let mut scales = HashMap::new();
-    let mut support = HashMap::new();
+    let mut scales = BTreeMap::new();
+    let mut support = BTreeMap::new();
     for ((net, cat), mut rs) in ratios {
         if rs.len() < min_shared_zones.max(1) {
             continue;
@@ -168,13 +165,19 @@ mod tests {
         assert_eq!(scales.support(NetworkId::NetB, DeviceCategory::Phone), 5);
         // Normalization brings a phone sample back to laptop units.
         let normalized = scales.normalize(NetworkId::NetB, DeviceCategory::Phone, 780.0);
-        assert!((normalized - 1000.0).abs() < 30.0, "normalized {normalized}");
+        assert!(
+            (normalized - 1000.0).abs() < 30.0,
+            "normalized {normalized}"
+        );
     }
 
     #[test]
     fn reference_category_is_identity() {
         let scales = learn_scales(&[], DeviceCategory::LaptopModem, 1);
-        assert_eq!(scales.scale(NetworkId::NetA, DeviceCategory::LaptopModem), 1.0);
+        assert_eq!(
+            scales.scale(NetworkId::NetA, DeviceCategory::LaptopModem),
+            1.0
+        );
         assert_eq!(
             scales.normalize(NetworkId::NetA, DeviceCategory::LaptopModem, 500.0),
             500.0
@@ -227,7 +230,9 @@ mod tests {
         let phone_factor = 0.78;
         let mut batches = Vec::new();
         for i in 0..6 {
-            let p = land.origin().destination(i as f64, 300.0 + 700.0 * i as f64);
+            let p = land
+                .origin()
+                .destination(i as f64, 300.0 + 700.0 * i as f64);
             let t = SimTime::at(1, 9.0 + i as f64);
             let z = index.zone_of(&p);
             let laptop = land
@@ -259,6 +264,9 @@ mod tests {
         }
         let scales = learn_scales(&batches, DeviceCategory::LaptopModem, 3);
         let s = scales.scale(NetworkId::NetB, DeviceCategory::Phone);
-        assert!((s - phone_factor).abs() < 0.05, "learned {s} vs {phone_factor}");
+        assert!(
+            (s - phone_factor).abs() < 0.05,
+            "learned {s} vs {phone_factor}"
+        );
     }
 }

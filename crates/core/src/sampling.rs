@@ -31,16 +31,8 @@ pub fn sample_nkld(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
     if a.is_empty() || b.is_empty() {
         return Err(StatsError::NotEnoughSamples { needed: 1, got: 0 });
     }
-    let lo = a
-        .iter()
-        .chain(b)
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let hi = a
-        .iter()
-        .chain(b)
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = a.iter().chain(b).cloned().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(b).cloned().fold(f64::NEG_INFINITY, f64::max);
     let hi = if hi > lo { hi } else { lo + 1.0 };
     let ha = Histogram::from_samples(lo, hi, NKLD_BINS, a)?;
     let hb = Histogram::from_samples(lo, hi, NKLD_BINS, b)?;
@@ -96,9 +88,7 @@ pub fn nkld_curve_mode<R: Rng>(
                         let start = rng.gen_range(0..=incoming.len() - n);
                         incoming[start..start + n].to_vec()
                     }
-                    WindowMode::Scattered => {
-                        incoming.choose_multiple(rng, n).copied().collect()
-                    }
+                    WindowMode::Scattered => incoming.choose_multiple(rng, n).copied().collect(),
                 }
             };
             acc += sample_nkld(reference, &take)?;
@@ -184,9 +174,7 @@ pub fn packets_for_accuracy<R: Rng>(
     while n <= max_packets {
         let mut ok = 0;
         for _ in 0..target.iterations {
-            let mean: f64 = pool
-                .choose_multiple(rng, n.min(pool.len()))
-                .sum::<f64>()
+            let mean: f64 = pool.choose_multiple(rng, n.min(pool.len())).sum::<f64>()
                 / n.min(pool.len()) as f64;
             if ((mean - truth) / truth).abs() <= target.rel_error {
                 ok += 1;
@@ -235,8 +223,7 @@ mod tests {
         let reference = pool(1000.0, 0.12, 4000, 2);
         let incoming = pool(1000.0, 0.12, 4000, 3);
         let mut r = rng();
-        let curve =
-            nkld_curve(&reference, &incoming, &[5, 20, 80, 320], 50, &mut r).unwrap();
+        let curve = nkld_curve(&reference, &incoming, &[5, 20, 80, 320], 50, &mut r).unwrap();
         assert!(curve[0].1 > curve[3].1, "curve {curve:?}");
     }
 
@@ -253,7 +240,14 @@ mod tests {
     /// `block` samples share a mean offset of relative scale
     /// `drift_cv` — the structure client-sourced windows actually have
     /// (a window lands inside one epoch of the zone's drift).
-    fn drifting_pool(mean: f64, cv: f64, drift_cv: f64, block: usize, n: usize, seed: u64) -> Vec<f64> {
+    fn drifting_pool(
+        mean: f64,
+        cv: f64,
+        drift_cv: f64,
+        block: usize,
+        n: usize,
+        seed: u64,
+    ) -> Vec<f64> {
         let mut r = ChaCha8Rng::seed_from_u64(seed);
         let noise = wiscape_simcore::dist::LogNormal::from_mean_cv(1.0, cv).unwrap();
         let shift = wiscape_simcore::dist::Normal::new(0.0, drift_cv).unwrap();

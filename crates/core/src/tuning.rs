@@ -15,7 +15,7 @@
 //!   zone". The [`EpochTuner`] re-runs the Allan search over each zone's
 //!   timestamped history.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::SeedableRng;
 use wiscape_simcore::{SimDuration, SimTime};
@@ -66,7 +66,7 @@ impl ZoneHistory {
 /// metric; WiScape's default pipeline feeds it UDP throughput).
 #[derive(Debug, Clone, Default)]
 pub struct HistoryStore {
-    map: HashMap<(ZoneId, NetworkId), ZoneHistory>,
+    map: BTreeMap<(ZoneId, NetworkId), ZoneHistory>,
 }
 
 impl HistoryStore {

@@ -102,7 +102,11 @@ mod tests {
     fn default_zone_area_matches_paper() {
         let idx = ZoneIndex::around(center(), 7000.0).unwrap();
         // The paper describes zones as ~0.2 km² (250 m radius disc).
-        assert!((idx.zone_area_sq_km() - 0.196).abs() < 0.01, "{}", idx.zone_area_sq_km());
+        assert!(
+            (idx.zone_area_sq_km() - 0.196).abs() < 0.01,
+            "{}",
+            idx.zone_area_sq_km()
+        );
         assert_eq!(idx.radius_m(), 250.0);
     }
 

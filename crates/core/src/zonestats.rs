@@ -6,7 +6,7 @@
 //! (CDF of per-zone relative standard deviation, Fig 4), the city map of
 //! Fig 1, and the ground-truth side of the Fig 8 validation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wiscape_geo::GeoPoint;
 use wiscape_simcore::SimTime;
@@ -33,8 +33,8 @@ pub struct Observation {
 pub struct ZoneAggregator {
     index: ZoneIndex,
     keep_samples: bool,
-    stats: HashMap<(ZoneId, NetworkId), RunningStats>,
-    samples: HashMap<(ZoneId, NetworkId), Vec<f64>>,
+    stats: BTreeMap<(ZoneId, NetworkId), RunningStats>,
+    samples: BTreeMap<(ZoneId, NetworkId), Vec<f64>>,
 }
 
 impl ZoneAggregator {
@@ -45,8 +45,8 @@ impl ZoneAggregator {
         Self {
             index,
             keep_samples,
-            stats: HashMap::new(),
-            samples: HashMap::new(),
+            stats: BTreeMap::new(),
+            samples: BTreeMap::new(),
         }
     }
 

@@ -83,7 +83,10 @@ impl Dataset {
 
     /// Metric values of one metric for one network.
     pub fn values(&self, network: NetworkId, metric: Metric) -> Vec<f64> {
-        self.select(network, metric).iter().map(|r| r.value).collect()
+        self.select(network, metric)
+            .iter()
+            .map(|r| r.value)
+            .collect()
     }
 
     /// Timestamped series (seconds since epoch) of one metric for one
@@ -136,9 +139,12 @@ mod tests {
     #[test]
     fn select_filters_by_network_and_metric() {
         let mut d = Dataset::new("test");
-        d.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 1, 100.0));
-        d.records.push(rec(NetworkId::NetB, Metric::TcpKbps, 2, 200.0));
-        d.records.push(rec(NetworkId::NetA, Metric::UdpKbps, 3, 300.0));
+        d.records
+            .push(rec(NetworkId::NetA, Metric::TcpKbps, 1, 100.0));
+        d.records
+            .push(rec(NetworkId::NetB, Metric::TcpKbps, 2, 200.0));
+        d.records
+            .push(rec(NetworkId::NetA, Metric::UdpKbps, 3, 300.0));
         assert_eq!(d.values(NetworkId::NetA, Metric::TcpKbps), vec![100.0]);
         assert_eq!(d.values(NetworkId::NetB, Metric::TcpKbps), vec![200.0]);
         assert_eq!(d.len(), 3);
@@ -148,8 +154,10 @@ mod tests {
     #[test]
     fn series_preserves_time() {
         let mut d = Dataset::new("test");
-        d.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 10, 1.0));
-        d.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 20, 2.0));
+        d.records
+            .push(rec(NetworkId::NetA, Metric::TcpKbps, 10, 1.0));
+        d.records
+            .push(rec(NetworkId::NetA, Metric::TcpKbps, 20, 2.0));
         let s = d.series(NetworkId::NetA, Metric::TcpKbps);
         assert_eq!(s.len(), 2);
         assert_eq!(s[0].t, 10.0);
@@ -159,9 +167,11 @@ mod tests {
     #[test]
     fn time_span_and_extend() {
         let mut a = Dataset::new("a");
-        a.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 5, 1.0));
+        a.records
+            .push(rec(NetworkId::NetA, Metric::TcpKbps, 5, 1.0));
         let mut b = Dataset::new("b");
-        b.records.push(rec(NetworkId::NetA, Metric::TcpKbps, 50, 1.0));
+        b.records
+            .push(rec(NetworkId::NetA, Metric::TcpKbps, 50, 1.0));
         a.extend(b);
         let (lo, hi) = a.time_span().unwrap();
         assert_eq!(lo, SimTime::from_secs(5));
@@ -173,7 +183,8 @@ mod tests {
     #[test]
     fn dataset_serializes() {
         let mut d = Dataset::new("json");
-        d.records.push(rec(NetworkId::NetC, Metric::PingRttMs, 1, 120.0));
+        d.records
+            .push(rec(NetworkId::NetC, Metric::PingRttMs, 1, 120.0));
         let s = serde_json::to_string(&d).unwrap();
         let back: Dataset = serde_json::from_str(&s).unwrap();
         assert_eq!(back.name, "json");

@@ -59,7 +59,14 @@ pub fn generate(
                     (TransportKind::Udp, Metric::UdpKbps),
                 ] {
                     let train = land
-                        .probe_train(net, kind, &point, t, params.train_packets, params.packet_bytes)
+                        .probe_train(
+                            net,
+                            kind,
+                            &point,
+                            t,
+                            params.train_packets,
+                            params.packet_bytes,
+                        )
                         .expect("network present");
                     if let Some(est) = train.estimated_kbps() {
                         ds.records.push(MeasurementRecord {
@@ -135,7 +142,12 @@ mod tests {
         let land = land();
         let ds = small(&land);
         for net in [NetworkId::NetA, NetworkId::NetB, NetworkId::NetC] {
-            for metric in [Metric::TcpKbps, Metric::UdpKbps, Metric::JitterMs, Metric::LossRate] {
+            for metric in [
+                Metric::TcpKbps,
+                Metric::UdpKbps,
+                Metric::JitterMs,
+                Metric::LossRate,
+            ] {
                 let n = ds.values(net, metric).len();
                 assert!(n >= 140, "{net} {metric:?}: {n} records"); // 144 rounds/day
             }

@@ -164,11 +164,7 @@ mod tests {
     #[test]
     fn records_carry_moving_positions() {
         let ds = small();
-        let moving = ds
-            .records
-            .iter()
-            .filter(|r| r.speed_mps > 0.0)
-            .count();
+        let moving = ds.records.iter().filter(|r| r.speed_mps > 0.0).count();
         assert!(moving > ds.len() / 2, "buses should usually be moving");
         // Positions spread across the city.
         let bb = wiscape_geo::BoundingBox::from_points(

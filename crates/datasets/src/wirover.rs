@@ -138,7 +138,11 @@ mod tests {
         let far = ds
             .records
             .iter()
-            .filter(|r| r.point.fast_distance(&GeoPoint::new(43.0731, -89.4012).unwrap()) > 50_000.0)
+            .filter(|r| {
+                r.point
+                    .fast_distance(&GeoPoint::new(43.0731, -89.4012).unwrap())
+                    > 50_000.0
+            })
             .count();
         assert!(far > 50, "corridor samples: {far}");
     }

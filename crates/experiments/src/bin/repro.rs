@@ -48,14 +48,13 @@ fn main() {
         names = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| die(&format!("mkdir {out_dir}: {e}")));
-    println!(
-        "# WiScape reproduction run (seed {seed}, scale {scale:?})\n",
-    );
+    println!("# WiScape reproduction run (seed {seed}, scale {scale:?})\n",);
     println!("{}", wiscape_experiments::inventory::table1());
     println!("{}", wiscape_experiments::inventory::table2());
     // All experiments run concurrently on the deterministic executor
     // (worker count: WISCAPE_THREADS, default all cores); outputs are
     // byte-identical to a serial run, and are written in input order.
+    // lint:allow(D002): wall-clock timing is stderr progress reporting only; never enters result bytes.
     let wall = std::time::Instant::now();
     let results = run_many_with_charts(&names, seed, scale);
     for (name, result) in names.iter().zip(results) {

@@ -134,11 +134,7 @@ pub fn fig08(r: &crate::fig08::Fig08) -> Charts {
         "fig08_error_cdf.svg",
         line_chart(
             &[("error".to_string(), r.error_cdf_pct.clone())],
-            &ChartOptions::new(
-                "Fig 8 — WiScape estimation error",
-                "error (%)",
-                "CDF",
-            ),
+            &ChartOptions::new("Fig 8 — WiScape estimation error", "error (%)", "CDF"),
         ),
     );
     out

@@ -6,7 +6,7 @@
 //! coefficients between speed and latency, with |cc| ≤ 0.16 for 95% of
 //! zones.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wiscape_core::{ZoneId, ZoneIndex};
@@ -60,7 +60,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig02 {
         overall.push((net.to_string(), cc_all));
         // Per-zone correlations (zones with enough samples and some
         // speed variation).
-        let mut by_zone: HashMap<ZoneId, (Vec<f64>, Vec<f64>)> = HashMap::new();
+        let mut by_zone: BTreeMap<ZoneId, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
         for r in &recs {
             let z = index.zone_of(&r.point);
             let e = by_zone.entry(z).or_default();
@@ -131,8 +131,7 @@ mod tests {
         // Scatter latencies are around ~120 ms regardless of speed.
         for (_, pts) in &r.scatter {
             assert!(pts.len() > 100);
-            let lat_mean =
-                pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
+            let lat_mean = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
             assert!((80.0..250.0).contains(&lat_mean), "mean {lat_mean}");
         }
         assert!(!r.summary().is_empty());

@@ -85,14 +85,12 @@ pub fn run(seed: u64, scale: Scale) -> Fig04 {
 impl Fig04 {
     /// The row nearest the paper's chosen 250 m radius.
     pub fn at_250m(&self) -> Option<&RadiusRow> {
-        self.rows
-            .iter()
-            .min_by(|a, b| {
-                (a.radius_m - 250.0)
-                    .abs()
-                    .partial_cmp(&(b.radius_m - 250.0).abs())
-                    .expect("finite radii")
-            })
+        self.rows.iter().min_by(|a, b| {
+            (a.radius_m - 250.0)
+                .abs()
+                .partial_cmp(&(b.radius_m - 250.0).abs())
+                .expect("finite radii")
+        })
     }
 
     /// Markdown summary.

@@ -147,9 +147,8 @@ mod tests {
         }
         let nj_tcp = r.panel("NJ", "tcp").unwrap();
         assert_eq!(nj_tcp.curves.len(), 2, "two networks in NJ");
-        let mean_rel = |p: &Panel| {
-            p.rel_std.iter().map(|x| x.1).sum::<f64>() / p.rel_std.len() as f64
-        };
+        let mean_rel =
+            |p: &Panel| p.rel_std.iter().map(|x| x.1).sum::<f64>() / p.rel_std.len() as f64;
         assert!(
             mean_rel(nj_tcp) > mean_rel(wi_tcp) * 0.8,
             "NJ {} vs WI {}",

@@ -144,7 +144,12 @@ mod tests {
         // Both are intermediate (not the smallest or largest candidate).
         for p in &r.profiles {
             assert!(p.argmin_min > 1.5, "{}: argmin {}", p.region, p.argmin_min);
-            assert!(p.argmin_min < 900.0, "{}: argmin {}", p.region, p.argmin_min);
+            assert!(
+                p.argmin_min < 900.0,
+                "{}: argmin {}",
+                p.region,
+                p.argmin_min
+            );
             assert!(p.profile.len() > 10);
         }
         assert!(!r.summary().is_empty());
@@ -154,11 +159,7 @@ mod tests {
     fn profiles_are_u_shaped() {
         let r = run(40, Scale::Quick);
         for p in &r.profiles {
-            let min_dev = p
-                .profile
-                .iter()
-                .map(|x| x.1)
-                .fold(f64::INFINITY, f64::min);
+            let min_dev = p.profile.iter().map(|x| x.1).fold(f64::INFINITY, f64::min);
             let finest = p.profile.first().unwrap().1;
             assert!(
                 finest > min_dev * 1.3,

@@ -38,12 +38,7 @@ pub struct Fig07 {
 
 /// Per-packet UDP samples at `p` over several days (the long-term
 /// reference distribution) and at varied offsets (temporal windows).
-fn samples_at(
-    land: &Landscape,
-    p: &wiscape_geo::GeoPoint,
-    days: i64,
-    cadence_s: i64,
-) -> Vec<f64> {
+fn samples_at(land: &Landscape, p: &wiscape_geo::GeoPoint, days: i64, cadence_s: i64) -> Vec<f64> {
     let mut out = Vec::new();
     for day in 0..days {
         let mut t = SimTime::at(day, 0.0);
@@ -77,7 +72,10 @@ fn region_panels(land: &Landscape, seed: u64, scale: Scale, region: &str) -> Vec
     let iterations = scale.pick(40, 100);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xF167);
     let mut panels = Vec::new();
-    for (mode, incoming) in [("temporal", temporal_incoming), ("spatial", spatial_incoming)] {
+    for (mode, incoming) in [
+        ("temporal", temporal_incoming),
+        ("spatial", spatial_incoming),
+    ] {
         // Scattered draws: WiScape accumulates a zone's samples across
         // many client visits at different times, not one sitting.
         let curve = nkld_curve_mode(

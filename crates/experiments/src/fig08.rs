@@ -64,12 +64,14 @@ pub fn run(seed: u64, scale: Scale) -> Fig08 {
     let tru: Vec<_> = truth_means.iter().map(|&(z, m, _)| (z, m)).collect();
     let errors = zone_errors(&est, &tru);
     let stats = summarize(&errors).expect("zones overlap");
-    let ecdf = Ecdf::new(errors.iter().map(|e| e.rel_error * 100.0).collect::<Vec<_>>())
-        .expect("non-empty");
-    let mean_client_samples = client_means
-        .iter()
-        .map(|&(_, _, c)| c as f64)
-        .sum::<f64>()
+    let ecdf = Ecdf::new(
+        errors
+            .iter()
+            .map(|e| e.rel_error * 100.0)
+            .collect::<Vec<_>>(),
+    )
+    .expect("non-empty");
+    let mean_client_samples = client_means.iter().map(|&(_, _, c)| c as f64).sum::<f64>()
         / client_means.len().max(1) as f64;
     Fig08 {
         error_cdf_pct: ecdf.curve(60),

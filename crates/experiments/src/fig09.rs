@@ -70,7 +70,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig09 {
     // a fraction of days, so the streak (counted over *visited* days)
     // is capped by coverage; scale the criterion accordingly.
     let min_streak = scale.pick((days as usize * 2) / 3, 12);
-    let chronic: std::collections::HashSet<_> =
+    let chronic: std::collections::BTreeSet<_> =
         tracker.chronic_zones(min_streak).into_iter().collect();
 
     let min_samples = scale.pick(40, 100);

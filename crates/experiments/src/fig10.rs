@@ -57,10 +57,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig10 {
             t = t + SimDuration::from_secs(cadence);
         }
         let bins = bin_latency_series(&samples, SimDuration::from_mins(10));
-        let timeline: Vec<(f64, f64)> = bins
-            .iter()
-            .map(|(bt, v)| (bt.hour_of_day(), *v))
-            .collect();
+        let timeline: Vec<(f64, f64)> = bins.iter().map(|(bt, v)| (bt.hour_of_day(), *v)).collect();
         // Baseline: bins before 10:00 (pre-game).
         let quiet: Vec<f64> = timeline
             .iter()

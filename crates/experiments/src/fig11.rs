@@ -5,7 +5,7 @@
 //! rule)? The paper finds one network dominant in ~85% of zones,
 //! regardless of zone radius (50–1000 m).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wiscape_core::{dominance_ratio, Better, ZoneId, ZoneIndex};
@@ -50,7 +50,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig11 {
     for radius in [50.0, 100.0, 200.0, 300.0, 500.0, 1000.0] {
         let index = ZoneIndex::new(bounds, radius).expect("valid index");
         // zone -> net -> samples.
-        let mut zones: HashMap<ZoneId, HashMap<NetworkId, Vec<f64>>> = HashMap::new();
+        let mut zones: BTreeMap<ZoneId, BTreeMap<NetworkId, Vec<f64>>> = BTreeMap::new();
         for r in &ds.records {
             if r.metric != Metric::PingRttMs {
                 continue;
@@ -87,7 +87,14 @@ impl Fig11 {
         let rows = self
             .rows
             .iter()
-            .map(|r| format!("{:.0} m: {:.0}% ({} zones)", r.radius_m, r.one_dominant * 100.0, r.zones))
+            .map(|r| {
+                format!(
+                    "{:.0} m: {:.0}% ({} zones)",
+                    r.radius_m,
+                    r.one_dominant * 100.0,
+                    r.zones
+                )
+            })
             .collect::<Vec<_>>()
             .join("; ");
         format!(

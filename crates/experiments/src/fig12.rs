@@ -5,10 +5,12 @@
 //! NetC 13%, and 48% have no persistent winner — 52% of zones have a
 //! dominant network a multi-network client could exploit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use wiscape_core::{dominance_ratio, persistent_dominant, Better, DominanceOutcome, ZoneId, ZoneIndex};
+use wiscape_core::{
+    dominance_ratio, persistent_dominant, Better, DominanceOutcome, ZoneId, ZoneIndex,
+};
 use wiscape_datasets::{short_segment, Metric};
 use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
 
@@ -40,7 +42,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig12 {
     let index = ZoneIndex::around(land.origin(), 25_000.0).expect("valid index");
     let min_samples = scale.pick(10, 40);
 
-    let mut zones: HashMap<ZoneId, HashMap<NetworkId, Vec<f64>>> = HashMap::new();
+    let mut zones: BTreeMap<ZoneId, BTreeMap<NetworkId, Vec<f64>>> = BTreeMap::new();
     for r in &ds.records {
         if r.metric != Metric::TcpKbps {
             continue;
@@ -59,7 +61,10 @@ pub fn run(seed: u64, scale: Scale) -> Fig12 {
         .map(|(z, m)| (z, m.into_iter().collect()))
         .collect();
     let breakdown = dominance_ratio(
-        &qualifying.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+        &qualifying
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect::<Vec<_>>(),
         Better::Higher,
     );
     // Road map: winner per zone ordered by arc length of zone center.

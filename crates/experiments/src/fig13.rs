@@ -4,7 +4,7 @@
 //! The paper's bar series: at some zones the best network delivers
 //! 30–42% more than the next best; other zones show no clear winner.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wiscape_core::{ZoneId, ZoneIndex};
@@ -46,7 +46,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig13 {
     let index = ZoneIndex::around(land.origin(), 25_000.0).expect("valid index");
     let min_samples = scale.pick(8, 40);
 
-    let mut zones: HashMap<ZoneId, HashMap<NetworkId, Vec<f64>>> = HashMap::new();
+    let mut zones: BTreeMap<ZoneId, BTreeMap<NetworkId, Vec<f64>>> = BTreeMap::new();
     for r in &ds.records {
         if r.metric != Metric::TcpKbps {
             continue;
@@ -139,7 +139,7 @@ mod tests {
         // The Fig 13 structure: no single network is best everywhere —
         // NetA leads in the metro stretch, others take over outside it.
         let r = run(49, Scale::Quick);
-        let best_counts: std::collections::HashMap<&str, usize> =
+        let best_counts: std::collections::BTreeMap<&str, usize> =
             r.zones.iter().fold(Default::default(), |mut acc, z| {
                 let best = z
                     .means

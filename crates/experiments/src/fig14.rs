@@ -7,8 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use wiscape_apps::{
-    mar::MarScheduler, multisim::SelectionPolicy, run_mar_drive, run_multisim_drive,
-    DrivingClient,
+    mar::MarScheduler, multisim::SelectionPolicy, run_mar_drive, run_multisim_drive, DrivingClient,
 };
 use wiscape_datasets::short_segment;
 use wiscape_simcore::SimTime;
@@ -85,9 +84,10 @@ pub fn run(seed: u64, scale: Scale) -> Fig14 {
                 .expect("networks present");
                 multisim_acc[slot].1.push(out.total.as_secs_f64());
             }
-            for (slot, sched) in
-                [(0usize, MarScheduler::WiScape), (1, MarScheduler::WeightedRoundRobin)]
-            {
+            for (slot, sched) in [
+                (0usize, MarScheduler::WiScape),
+                (1, MarScheduler::WeightedRoundRobin),
+            ] {
                 let out = run_mar_drive(&land, &driver, start, &objects, sched, Some(&map))
                     .expect("networks present");
                 mar_acc[slot].1.push(out.total.as_secs_f64());
@@ -163,10 +163,17 @@ mod tests {
             // All delays positive and MAR faster than sequential.
             let ws_seq = row.multisim_s[0].1;
             let ws_mar = row.mar_s[0].1;
-            assert!(ws_mar < ws_seq, "{}: MAR {ws_mar} vs seq {ws_seq}", row.site);
+            assert!(
+                ws_mar < ws_seq,
+                "{}: MAR {ws_mar} vs seq {ws_seq}",
+                row.site
+            );
         }
         let winners = r.rows.iter().filter(|r| r.multisim_gain > 0.03).count();
-        assert!(winners >= 2, "only {winners} sites show real multisim gains");
+        assert!(
+            winners >= 2,
+            "only {winners} sites show real multisim gains"
+        );
         assert!(!r.summary().is_empty());
     }
 }

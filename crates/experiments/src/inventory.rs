@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn table1_lists_all_networks_with_correct_caps() {
         let t = table1();
-        assert!(t.contains("| NetA | GSM HSPA | ≤1.2 Mbps | ≤7.2 Mbps |"), "{t}");
+        assert!(
+            t.contains("| NetA | GSM HSPA | ≤1.2 Mbps | ≤7.2 Mbps |"),
+            "{t}"
+        );
         assert!(t.contains("| NetB | CDMA2000 1xEV-DO Rev.A | ≤1.8 Mbps | ≤3.1 Mbps |"));
         assert!(t.contains("| NetC |"));
         assert!(t.contains("GPS"));

@@ -175,6 +175,7 @@ pub fn run_many_with_charts(
     scale: Scale,
 ) -> Vec<Option<(String, String, NamedCharts, f64)>> {
     wiscape_simcore::exec::par_map(names, |_, name| {
+        // lint:allow(D002): wall-clock duration is stderr diagnostics only; never enters result bytes.
         let started = std::time::Instant::now();
         run_by_name_with_charts(name, seed, scale)
             .map(|(summary, json, charts)| (summary, json, charts, started.elapsed().as_secs_f64()))

@@ -77,8 +77,12 @@ pub fn line_chart(series: &[(String, Vec<(f64, f64)>)], opts: &ChartOptions) -> 
     if xs.len() < 2 {
         return None;
     }
-    let (x0, x1) = xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
-    let (y0, y1) = ys.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (x0, x1) = xs
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (y0, y1) = ys
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
     let (y0, y1) = if (y1 - y0).abs() < 1e-12 {
         (y0 - 1.0, y1 + 1.0)
     } else {
@@ -100,9 +104,7 @@ pub fn line_chart(series: &[(String, Vec<(f64, f64)>)], opts: &ChartOptions) -> 
     svg.push_str(&format!(
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
     ));
-    svg.push_str(&format!(
-        r#"<rect width="{w}" height="{h}" fill="white"/>"#
-    ));
+    svg.push_str(&format!(r#"<rect width="{w}" height="{h}" fill="white"/>"#));
     // Title and axis labels.
     svg.push_str(&format!(
         r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
@@ -188,7 +190,9 @@ pub fn line_chart(series: &[(String, Vec<(f64, f64)>)], opts: &ChartOptions) -> 
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -203,7 +207,9 @@ mod tests {
             ),
             (
                 "NetC".into(),
-                (0..20).map(|i| (i as f64, (i as f64 * 0.5).cos())).collect(),
+                (0..20)
+                    .map(|i| (i as f64, (i as f64 * 0.5).cos()))
+                    .collect(),
             ),
         ]
     }
@@ -241,11 +247,7 @@ mod tests {
 
     #[test]
     fn escapes_markup_in_labels() {
-        let svg = line_chart(
-            &demo_series(),
-            &ChartOptions::new("a<b & c>", "x", "y"),
-        )
-        .unwrap();
+        let svg = line_chart(&demo_series(), &ChartOptions::new("a<b & c>", "x", "y")).unwrap();
         assert!(svg.contains("a&lt;b &amp; c&gt;"));
         assert!(!svg.contains("a<b"));
     }

@@ -119,11 +119,8 @@ mod tests {
     fn short_term_std_exceeds_long_term() {
         let r = run(38, Scale::Quick);
         assert!(r.rows.len() >= 12, "{} rows", r.rows.len());
-        let tput_rows: Vec<&Tab04Row> = r
-            .rows
-            .iter()
-            .filter(|row| row.metric != "jitter")
-            .collect();
+        let tput_rows: Vec<&Tab04Row> =
+            r.rows.iter().filter(|row| row.metric != "jitter").collect();
         for row in &tput_rows {
             assert!(
                 row.ratio > 1.2,
@@ -135,7 +132,10 @@ mod tests {
         }
         // At least some rows in the paper's 2-3x regime.
         let big = tput_rows.iter().filter(|r| r.ratio > 1.8).count();
-        assert!(big >= tput_rows.len() / 2, "only {big} rows with ratio >1.8");
+        assert!(
+            big >= tput_rows.len() / 2,
+            "only {big} rows with ratio >1.8"
+        );
         assert!(!r.summary().is_empty());
     }
 }

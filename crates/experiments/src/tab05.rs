@@ -103,9 +103,8 @@ impl Tab05 {
     /// Markdown summary.
     pub fn summary(&self) -> String {
         let fmt = |v: Option<usize>| v.map(|n| n.to_string()).unwrap_or_else(|| ">400".into());
-        let mut lines = vec![
-            "**Table 5 (packets for 97% accuracy).** measured (paper):".to_string(),
-        ];
+        let mut lines =
+            vec!["**Table 5 (packets for 97% accuracy).** measured (paper):".to_string()];
         let paper: &[(&str, &str, &str)] = &[
             ("NetA-WI", "90", "60"),
             ("NetB-WI", "60", "40"),

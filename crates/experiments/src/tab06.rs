@@ -7,8 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 use wiscape_apps::{
-    mar::MarScheduler, multisim::SelectionPolicy, run_mar_drive, run_multisim_drive,
-    DrivingClient, ZoneQualityMap,
+    mar::MarScheduler, multisim::SelectionPolicy, run_mar_drive, run_multisim_drive, DrivingClient,
+    ZoneQualityMap,
 };
 use wiscape_core::ZoneIndex;
 use wiscape_datasets::{short_segment, Metric};
@@ -126,8 +126,10 @@ pub fn run(seed: u64, scale: Scale) -> Tab06 {
             .expect("networks present");
             multisim_results[slot].1.push(out.total.as_secs_f64());
         }
-        for (slot, sched) in [(0usize, MarScheduler::WiScape), (1, MarScheduler::WeightedRoundRobin)]
-        {
+        for (slot, sched) in [
+            (0usize, MarScheduler::WiScape),
+            (1, MarScheduler::WeightedRoundRobin),
+        ] {
             let out = run_mar_drive(&land, &driver, start, &sizes, sched, Some(&map))
                 .expect("networks present");
             mar_results[slot].1.push(out.total.as_secs_f64());

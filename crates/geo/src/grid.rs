@@ -63,12 +63,10 @@ impl SquareGrid {
             return Err(GeoError::InvalidCellSize(cell_size_m));
         }
         let proj = LocalProjection::new(bounds.center());
-        let sw = proj.to_xy(
-            &GeoPoint::new(bounds.south(), bounds.west()).expect("box corners are valid"),
-        );
-        let ne = proj.to_xy(
-            &GeoPoint::new(bounds.north(), bounds.east()).expect("box corners are valid"),
-        );
+        let sw = proj
+            .to_xy(&GeoPoint::new(bounds.south(), bounds.west()).expect("box corners are valid"));
+        let ne = proj
+            .to_xy(&GeoPoint::new(bounds.north(), bounds.east()).expect("box corners are valid"));
         let cols = (((ne.x - sw.x) / cell_size_m).ceil() as i32).max(1);
         let rows = (((ne.y - sw.y) / cell_size_m).ceil() as i32).max(1);
         Ok(Self {

@@ -69,8 +69,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat_rad(), other.lon_rad());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
     }
 
@@ -104,10 +103,9 @@ impl GeoPoint {
         let delta = distance_m / EARTH_RADIUS_M;
         let lat1 = self.lat_rad();
         let lon1 = self.lon_rad();
-        let lat2 = (lat1.sin() * delta.cos()
-            + lat1.cos() * delta.sin() * bearing_rad.cos())
-        .clamp(-1.0, 1.0)
-        .asin();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * bearing_rad.cos())
+            .clamp(-1.0, 1.0)
+            .asin();
         let lon2 = lon1
             + (bearing_rad.sin() * delta.sin() * lat1.cos())
                 .atan2(delta.cos() - lat1.sin() * lat2.sin());

@@ -140,7 +140,11 @@ mod tests {
     #[test]
     fn length_is_sum_of_segments() {
         let l = line();
-        assert!((l.length_m() - 3.0 * 1111.95).abs() < 5.0, "{}", l.length_m());
+        assert!(
+            (l.length_m() - 3.0 * 1111.95).abs() < 5.0,
+            "{}",
+            l.length_m()
+        );
     }
 
     #[test]

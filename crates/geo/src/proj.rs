@@ -108,7 +108,12 @@ mod tests {
     #[test]
     fn round_trip_city_scale() {
         let proj = LocalProjection::new(origin());
-        for (x, y) in [(0.0, 0.0), (1000.0, -2500.0), (-7000.0, 4000.0), (12000.0, 9000.0)] {
+        for (x, y) in [
+            (0.0, 0.0),
+            (1000.0, -2500.0),
+            (-7000.0, 4000.0),
+            (12000.0, 9000.0),
+        ] {
             let v = Vec2::new(x, y);
             let p = proj.from_xy(&v);
             let back = proj.to_xy(&p);

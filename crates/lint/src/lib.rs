@@ -1,0 +1,924 @@
+//! `wiscape-lint` — a workspace-wide determinism & soundness static
+//! analysis for the WiScape codebase.
+//!
+//! WiScape's scientific claim rests on reproducibility: the
+//! coordinator's zone/epoch estimates must be bit-identical for a given
+//! seed regardless of worker count. `simcore::exec` guarantees that
+//! *dynamically*; this tool guarantees it *statically* by mechanically
+//! rejecting the source patterns that reintroduce nondeterminism — a
+//! `HashMap` iteration in the coordinator, a stray `thread_rng()`, a
+//! wall-clock read inside the simulation — plus two soundness rules for
+//! the client-facing ingest surface.
+//!
+//! The rule set (see [`RULES`]):
+//!
+//! * **D001** — no `HashMap`/`HashSet` in deterministic crates; use
+//!   `BTreeMap`/`BTreeSet` or explicit sorted access. Keyed-lookup-only
+//!   caches may suppress with a justification.
+//! * **D002** — no wall-clock reads (`Instant::now`, `SystemTime`,
+//!   `UNIX_EPOCH`, chrono-style dates) outside the `bench` crate.
+//! * **D003** — no ambient randomness (`thread_rng`, `rand::random`,
+//!   `OsRng`, entropy seeding); all randomness flows through
+//!   `simcore::rng` forked streams.
+//! * **D004** — no raw `std::thread::spawn`/`thread::scope` outside
+//!   `simcore::exec`; all parallelism goes through the deterministic
+//!   executor.
+//! * **S001** — every `unsafe` block and `#[allow(...)]` attribute must
+//!   carry a `lint:allow(S001)` justification (and is inventoried).
+//! * **S002** — no `unwrap()`/`expect()`/`panic!` on the sample-ingest
+//!   surface (`core::coordinator`, `core::agent`); malformed input must
+//!   degrade gracefully, per the paper's opportunistic-sampling model.
+//! * **L001** — a `lint:allow` escape hatch without a justification (or
+//!   naming an unknown rule) is itself a violation.
+//!
+//! Suppression syntax, on the offending line or the line above:
+//!
+//! ```text
+//! // lint:allow(D001): keyed lookup cache, never iterated
+//! ```
+//!
+//! The scanner is deliberately self-contained (no external parser): a
+//! line-oriented, token- and brace-aware pass that strips comments and
+//! string/char literals (tracking raw strings and nested block
+//! comments), tracks `#[cfg(test)]` regions by brace depth, and matches
+//! rules on identifier boundaries — in the spirit of the workspace's
+//! vendored stand-ins.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// One rule's identity and documentation.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleInfo {
+    /// Rule code (`D001` … `L001`).
+    pub code: &'static str,
+    /// Diagnostic severity (all current rules are errors).
+    pub severity: &'static str,
+    /// One-line description shown in reports.
+    pub summary: &'static str,
+}
+
+/// The rule table (codes, severities, one-line summaries).
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "D001",
+        severity: "error",
+        summary: "HashMap/HashSet in a deterministic crate: iteration order can leak into \
+                  results; use BTreeMap/BTreeSet or sorted access",
+    },
+    RuleInfo {
+        code: "D002",
+        severity: "error",
+        summary: "wall-clock read outside bench: simulation outputs must be a function of \
+                  (seed, inputs), never of when the run happened",
+    },
+    RuleInfo {
+        code: "D003",
+        severity: "error",
+        summary: "ambient randomness: all randomness must flow through simcore::rng forked \
+                  streams (seeded, schedule-free)",
+    },
+    RuleInfo {
+        code: "D004",
+        severity: "error",
+        summary: "raw thread spawn outside simcore::exec: all parallelism goes through the \
+                  deterministic executor",
+    },
+    RuleInfo {
+        code: "S001",
+        severity: "error",
+        summary: "unsafe block or #[allow(...)] without an inventoried lint:allow(S001) \
+                  justification",
+    },
+    RuleInfo {
+        code: "S002",
+        severity: "error",
+        summary: "unwrap()/expect()/panic! on the sample-ingest surface: malformed client \
+                  input must drop-and-count, not crash the coordinator",
+    },
+    RuleInfo {
+        code: "L001",
+        severity: "error",
+        summary: "lint:allow without a justification string (or naming an unknown rule)",
+    },
+];
+
+/// Looks up a rule by code.
+pub fn rule_info(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// How the rules apply to one file (derived from its workspace path by
+/// [`scope_for`], or supplied directly for fixture tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// D001 applies: this crate's outputs must be reproducible.
+    pub deterministic: bool,
+    /// D002 does not apply (the bench harness measures wall time).
+    pub wallclock_exempt: bool,
+    /// D004 does not apply (this *is* the deterministic executor).
+    pub executor_module: bool,
+    /// S002 applies: client-facing ingest surface.
+    pub ingest_surface: bool,
+    /// The whole file is test code (integration tests, benches).
+    pub all_test_code: bool,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Rule code.
+    pub rule: String,
+    /// Severity (from the rule table).
+    pub severity: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One `lint:allow` site (the suppression inventory).
+#[derive(Debug, Clone, Serialize)]
+pub struct Suppression {
+    /// Rule being suppressed.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `lint:allow` comment.
+    pub line: usize,
+    /// The mandatory justification string.
+    pub justification: String,
+    /// Whether the suppression matched a finding.
+    pub used: bool,
+}
+
+/// Aggregate counters for the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Unsuppressed violations (the CI gate: must be 0).
+    pub violations: usize,
+    /// `lint:allow` sites.
+    pub suppressions: usize,
+    /// Violations per rule code.
+    pub violations_by_rule: Vec<(String, usize)>,
+    /// Suppressions per rule code.
+    pub suppressions_by_rule: Vec<(String, usize)>,
+}
+
+/// The machine-readable lint report (`wiscape-lint --json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Report schema tag.
+    pub schema: String,
+    /// Tool name and version.
+    pub tool: String,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// The rule table.
+    pub rules: Vec<RuleInfo>,
+    /// Unsuppressed violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Every `lint:allow` site, sorted by (file, line).
+    pub suppressions: Vec<Suppression>,
+    /// Aggregate counters.
+    pub summary: Summary,
+}
+
+impl Report {
+    /// Whether the tree is clean (no unsuppressed violations).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source stripping: comments and string/char literals out, line
+// structure preserved.
+// ---------------------------------------------------------------------
+
+/// One source line after stripping: `code` has comments and literal
+/// contents blanked (structure and columns preserved); `comment` holds
+/// the text of plain `//` comments only — doc comments (`///`, `//!`)
+/// and block comments are prose, so a `lint:allow` mentioned there is
+/// documentation, not a directive.
+#[derive(Debug, Clone, Default)]
+struct StrippedLine {
+    code: String,
+    comment: String,
+    original: String,
+}
+
+fn strip_source(source: &str) -> Vec<StrippedLine> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        /// The bool is true for plain `//` comments (directive-bearing),
+        /// false for doc comments (`///`, `//!`).
+        LineComment(bool),
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = StrippedLine::default();
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment(_)) {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        cur.original.push(c);
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        let plain = !matches!(chars.get(i + 2), Some('/') | Some('!'));
+                        mode = Mode::LineComment(plain);
+                        cur.code.push(' ');
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        cur.code.push(' ');
+                        cur.original.push('*');
+                        i += 1;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        cur.code.push('"');
+                    }
+                    'r' | 'b'
+                        if (i == 0 || !ident_char(chars[i - 1]))
+                            && is_raw_string_start(&chars, i) =>
+                    {
+                        // r"..."  r#"..."#  br#"..."#  b"..."
+                        let (hashes, consumed) = raw_string_open(&chars, i);
+                        for k in 1..consumed {
+                            cur.original.push(chars[i + k]);
+                        }
+                        cur.code.push('"');
+                        i += consumed - 1;
+                        mode = match hashes {
+                            None => Mode::Str,
+                            Some(h) => Mode::RawStr(h),
+                        };
+                    }
+                    '\'' if is_char_literal_start(&chars, i) => {
+                        mode = Mode::Char;
+                        cur.code.push('\'');
+                    }
+                    _ => cur.code.push(c),
+                }
+            }
+            Mode::LineComment(plain) => {
+                if plain {
+                    cur.comment.push(c);
+                }
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur.original.push('/');
+                    i += 1;
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && next == Some('*') {
+                    cur.original.push('*');
+                    i += 1;
+                    mode = Mode::BlockComment(depth + 1);
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    // Skip the escaped character (it may be a quote).
+                    if let Some(&e) = chars.get(i + 1) {
+                        if e != '\n' {
+                            cur.original.push(e);
+                            i += 1;
+                        }
+                    }
+                }
+                '"' => {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                }
+                _ => {}
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    for k in 0..hashes {
+                        cur.original.push(chars[i + 1 + k]);
+                    }
+                    cur.code.push('"');
+                    i += hashes;
+                    mode = Mode::Code;
+                }
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    if let Some(&e) = chars.get(i + 1) {
+                        cur.original.push(e);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    cur.code.push('\'');
+                    mode = Mode::Code;
+                }
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+    lines.push(cur);
+    lines
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    raw_string_open(chars, i).1 > 1
+}
+
+/// Returns (Some(hash_count) for raw strings / None for plain, chars
+/// consumed up to and including the opening quote) when a raw or byte
+/// string opens at `i`; (None, 1) otherwise.
+fn raw_string_open(chars: &[char], i: usize) -> (Option<usize>, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        let mut hashes = 0;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) == Some(&'"') {
+            return (Some(hashes), j - i + 1);
+        }
+        return (None, 1);
+    }
+    if chars[i] == 'b' && chars.get(j) == Some(&'"') {
+        return (None, j - i + 1);
+    }
+    (None, 1)
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal (`'a'`, `'\n'`, `'∞'`) from a lifetime
+/// (`'a`, `'static`).
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if c != '\'' => chars.get(i + 2) == Some(&'\''),
+        _ => false,
+    }
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+// ---------------------------------------------------------------------
+// Identifier matching.
+// ---------------------------------------------------------------------
+
+/// Iterates (byte offset, identifier) over a stripped code line.
+fn idents(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = line[i..].chars().next().unwrap_or(' ');
+        if ident_char(c) && !c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < bytes.len() {
+                let cj = line[j..].chars().next().unwrap_or(' ');
+                if !ident_char(cj) {
+                    break;
+                }
+                j += cj.len_utf8();
+            }
+            out.push((start, &line[start..j]));
+            i = j;
+        } else {
+            i += c.len_utf8();
+        }
+    }
+    out.into_iter()
+}
+
+fn has_ident(line: &str, name: &str) -> bool {
+    idents(line).any(|(_, id)| id == name)
+}
+
+/// Matches `first :: second` on identifier boundaries (whitespace
+/// tolerated around the `::`).
+fn has_path(line: &str, first: &str, second: &str) -> bool {
+    for (off, id) in idents(line) {
+        if id != first {
+            continue;
+        }
+        let rest = line[off + id.len()..].trim_start();
+        if let Some(after) = rest.strip_prefix("::") {
+            let after = after.trim_start();
+            if let Some(tail) = after.strip_prefix(second) {
+                let end = tail.chars().next();
+                if !end.map(ident_char).unwrap_or(false) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Detects an `#[allow(...)]` / `#![allow(...)]` attribute on a stripped
+/// code line.
+fn has_allow_attr(line: &str) -> bool {
+    for (off, id) in idents(line) {
+        if id != "allow" {
+            continue;
+        }
+        let before: String = line[..off].chars().rev().collect::<String>();
+        let mut b = before.trim_start().chars();
+        if b.next() == Some('[') {
+            let rest: String = b.collect();
+            let rest = rest.trim_start();
+            if rest.starts_with('#') || rest.starts_with("!#") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Test-region tracking.
+// ---------------------------------------------------------------------
+
+/// Marks each line that belongs to a `#[cfg(test)]` item (module, fn,
+/// or single statement), by brace depth.
+fn test_regions(lines: &[StrippedLine]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth = 0usize;
+    // Armed: a `#[cfg(test)]` was seen at `arm_depth` and we are waiting
+    // for the item's opening `{` (region) or a `;` (single item).
+    let mut armed_at: Option<usize> = None;
+    // Active regions: depths at which a test region closes.
+    let mut region_until: Vec<usize> = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if code.contains("cfg(test)") || code.contains("cfg(all(test") {
+            armed_at = Some(depth);
+            flags[n] = true;
+        }
+        if !region_until.is_empty() || armed_at.is_some() {
+            flags[n] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(d) = armed_at {
+                        if depth == d {
+                            region_until.push(d);
+                            armed_at = None;
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if region_until.last() == Some(&depth) {
+                        region_until.pop();
+                    }
+                }
+                ';' => {
+                    if let Some(d) = armed_at {
+                        if depth == d && region_until.is_empty() {
+                            armed_at = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct AllowSite {
+    line: usize,
+    rule: String,
+    justification: String,
+    used: bool,
+}
+
+/// Parses `lint:allow(RULE): justification` from a comment, returning
+/// `(rule, justification)`; an empty justification is reported as such.
+fn parse_allow(comment: &str) -> Option<(String, String)> {
+    let at = comment.find("lint:allow(")?;
+    let rest = &comment[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let justification = after
+        .strip_prefix(':')
+        .map(|j| j.trim().to_string())
+        .unwrap_or_default();
+    Some((rule, justification))
+}
+
+// ---------------------------------------------------------------------
+// The per-file pass.
+// ---------------------------------------------------------------------
+
+/// Accumulates results across files.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Unsuppressed violations.
+    pub violations: Vec<Violation>,
+    /// All suppression sites.
+    pub suppressions: Vec<Suppression>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+fn push_violation(out: &mut Vec<(usize, String, String)>, line: usize, rule: &str, msg: String) {
+    out.push((line, rule.to_string(), msg));
+}
+
+/// Lints one file's source under `scope`, appending to `outcome`.
+/// `rel_path` is the workspace-relative path used in diagnostics.
+pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mut Outcome) {
+    outcome.files_scanned += 1;
+    let lines = strip_source(source);
+    let in_test = test_regions(&lines);
+
+    // Collect lint:allow sites first (they can suppress findings on
+    // their own line or the line below).
+    let mut allows: Vec<AllowSite> = Vec::new();
+    let mut findings: Vec<(usize, String, String)> = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        if let Some((rule, justification)) = parse_allow(&line.comment) {
+            let lineno = n + 1;
+            if rule_info(&rule).is_none() {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "L001",
+                    format!("lint:allow names unknown rule '{rule}'"),
+                );
+            } else if justification.is_empty() {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "L001",
+                    format!("lint:allow({rule}) requires a justification: `lint:allow({rule}): <why this is sound>`"),
+                );
+            } else {
+                allows.push(AllowSite {
+                    line: lineno,
+                    rule,
+                    justification,
+                    used: false,
+                });
+            }
+        }
+    }
+
+    for (n, line) in lines.iter().enumerate() {
+        let lineno = n + 1;
+        let code = &line.code;
+        if code.trim().is_empty() {
+            continue;
+        }
+        let test = scope.all_test_code || in_test[n];
+
+        if scope.deterministic && !test {
+            for name in ["HashMap", "HashSet"] {
+                if has_ident(code, name) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "D001",
+                        format!(
+                            "{name} in a deterministic crate: iteration order can leak into \
+                             results; use BTree{} or sorted access",
+                            &name[4..]
+                        ),
+                    );
+                }
+            }
+        }
+        if !scope.wallclock_exempt && !test {
+            for name in ["Instant", "SystemTime", "UNIX_EPOCH", "chrono"] {
+                if has_ident(code, name) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "D002",
+                        format!(
+                            "wall-clock read ({name}): outputs must be a function of \
+                             (seed, inputs), not of when the run happened"
+                        ),
+                    );
+                }
+            }
+        }
+        {
+            // D003 applies everywhere, tests included: a test drawing
+            // ambient entropy is irreproducible by construction.
+            for name in ["thread_rng", "OsRng", "from_entropy", "getrandom"] {
+                if has_ident(code, name) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "D003",
+                        format!(
+                            "ambient randomness ({name}): derive a StreamRng fork from \
+                             the run seed instead"
+                        ),
+                    );
+                }
+            }
+            if has_path(code, "rand", "random") {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "D003",
+                    "ambient randomness (rand::random): derive a StreamRng fork from the \
+                     run seed instead"
+                        .to_string(),
+                );
+            }
+        }
+        if !scope.executor_module {
+            for (first, second) in [("thread", "spawn"), ("thread", "scope")] {
+                if has_path(code, first, second) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "D004",
+                        format!(
+                            "raw {first}::{second}: route parallelism through \
+                             simcore::exec::par_map so worker count cannot change results"
+                        ),
+                    );
+                }
+            }
+            for name in ["rayon", "crossbeam"] {
+                if has_ident(code, name) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "D004",
+                        format!("{name} thread pool: use simcore::exec instead"),
+                    );
+                }
+            }
+        }
+        if !test {
+            if has_ident(code, "unsafe") {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "S001",
+                    "unsafe block requires an inventoried justification: \
+                     lint:allow(S001): <why this is sound>"
+                        .to_string(),
+                );
+            }
+            if has_allow_attr(code) {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "S001",
+                    "#[allow(...)] requires an inventoried justification: \
+                     lint:allow(S001): <why the lint does not apply>"
+                        .to_string(),
+                );
+            }
+        }
+        if scope.ingest_surface && !test {
+            for name in ["unwrap", "expect", "panic"] {
+                if has_ident(code, name) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "S002",
+                        format!(
+                            "{name} on the sample-ingest surface: malformed client input \
+                             must drop-and-count, not crash the coordinator"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Apply suppressions: a lint:allow on line N covers findings for its
+    // rule on lines N and N+1.
+    for (lineno, rule, message) in findings {
+        let suppressed = allows
+            .iter_mut()
+            .find(|a| a.rule == rule && (a.line == lineno || a.line + 1 == lineno));
+        match suppressed {
+            Some(site) => site.used = true,
+            None => {
+                let info = rule_info(&rule).map(|r| r.severity).unwrap_or("error");
+                outcome.violations.push(Violation {
+                    rule,
+                    severity: info.to_string(),
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    message,
+                    snippet: lines[lineno - 1].original.trim().to_string(),
+                });
+            }
+        }
+    }
+    for a in allows {
+        outcome.suppressions.push(Suppression {
+            rule: a.rule,
+            file: rel_path.to_string(),
+            line: a.line,
+            justification: a.justification,
+            used: a.used,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking and scoping.
+// ---------------------------------------------------------------------
+
+/// Crates whose outputs feed published results and must therefore be
+/// reproducible (D001 scope). `bench` (measures wall time by design)
+/// and `lint` (this tool) are excluded.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "geo",
+    "stats",
+    "simcore",
+    "simnet",
+    "mobility",
+    "datasets",
+    "core",
+    "workload",
+    "apps",
+    "experiments",
+];
+
+/// Derives a file's rule scope from its workspace-relative path.
+pub fn scope_for(rel: &Path) -> FileScope {
+    let parts: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    let crate_name: &str = match parts.as_slice() {
+        ["crates", name, ..] => name,
+        // Root package (src/, examples/, tests/): deterministic.
+        _ => "wiscape",
+    };
+    let all_test_code = parts.contains(&"tests") || parts.contains(&"benches");
+    FileScope {
+        deterministic: (DETERMINISTIC_CRATES.contains(&crate_name) || crate_name == "wiscape")
+            && !all_test_code,
+        wallclock_exempt: crate_name == "bench",
+        executor_module: rel == Path::new("crates/simcore/src/exec.rs"),
+        ingest_surface: rel == Path::new("crates/core/src/coordinator.rs")
+            || rel == Path::new("crates/core/src/agent.rs"),
+        all_test_code,
+    }
+}
+
+/// Directories never scanned: build output, the offline dependency
+/// stand-ins (exempt by design — they are API-compatibility shims, not
+/// measurement code), VCS metadata, and the lint fixtures (intentional
+/// violations).
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | "vendor" | ".git" | "results" | "fixtures")
+}
+
+/// All `.rs` files to lint under `root`, sorted for deterministic
+/// reports.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !skip_dir(name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut outcome = Outcome::default();
+    for path in workspace_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = std::fs::read_to_string(&path)?;
+        let scope = scope_for(&rel);
+        lint_source(&rel.to_string_lossy(), &source, &scope, &mut outcome);
+    }
+    Ok(build_report(outcome))
+}
+
+/// Builds the final report from an accumulated outcome.
+pub fn build_report(mut outcome: Outcome) -> Report {
+    outcome
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    outcome
+        .suppressions
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let mut vby: BTreeMap<String, usize> = BTreeMap::new();
+    for v in &outcome.violations {
+        *vby.entry(v.rule.clone()).or_default() += 1;
+    }
+    let mut sby: BTreeMap<String, usize> = BTreeMap::new();
+    for s in &outcome.suppressions {
+        *sby.entry(s.rule.clone()).or_default() += 1;
+    }
+    Report {
+        schema: "wiscape-lint/1".to_string(),
+        tool: format!("wiscape-lint {}", env!("CARGO_PKG_VERSION")),
+        files_scanned: outcome.files_scanned,
+        rules: RULES.to_vec(),
+        summary: Summary {
+            violations: outcome.violations.len(),
+            suppressions: outcome.suppressions.len(),
+            violations_by_rule: vby.into_iter().collect(),
+            suppressions_by_rule: sby.into_iter().collect(),
+        },
+        violations: outcome.violations,
+        suppressions: outcome.suppressions,
+    }
+}
+
+/// Renders human-readable diagnostics (one line per violation plus a
+/// summary), the default CLI output.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: {} {}: {}\n    {}\n",
+            v.file, v.line, v.severity, v.rule, v.message, v.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "wiscape-lint: {} file(s), {} violation(s), {} suppression(s)\n",
+        report.files_scanned, report.summary.violations, report.summary.suppressions,
+    ));
+    for s in &report.suppressions {
+        out.push_str(&format!(
+            "    allow {} at {}:{} — {}\n",
+            s.rule, s.file, s.line, s.justification
+        ));
+    }
+    out
+}

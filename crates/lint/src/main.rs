@@ -1,0 +1,109 @@
+//! `wiscape-lint` CLI.
+//!
+//! ```text
+//! wiscape-lint [--root DIR] [--json] [--report PATH] [--quiet]
+//! ```
+//!
+//! Walks the workspace (default: the nearest ancestor directory whose
+//! `Cargo.toml` declares `[workspace]`), applies the determinism &
+//! soundness rule set, and exits non-zero when any unsuppressed
+//! violation exists. `--json` prints the machine-readable report to
+//! stdout; `--report PATH` also writes it to a file (the CI gate writes
+//! `results/LINT_report.json`).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: wiscape-lint [--root DIR] [--json] [--report PATH] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut quiet = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--report" => report_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("wiscape-lint: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("wiscape-lint: cannot resolve cwd: {e}");
+                std::process::exit(2);
+            });
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "wiscape-lint: no workspace Cargo.toml above {} (use --root)",
+                        cwd.display()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let report = match wiscape_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wiscape-lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json_body = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
+        eprintln!("wiscape-lint: report serialization failed: {e}");
+        std::process::exit(2);
+    });
+    if let Some(path) = &report_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, format!("{json_body}\n")) {
+            eprintln!("wiscape-lint: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    if json {
+        println!("{json_body}");
+    } else if !quiet {
+        print!("{}", wiscape_lint::render_text(&report));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: D001 clean — ordered map, deterministic iteration.
+use std::collections::BTreeMap;
+
+pub fn count(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,10 @@
+// Fixture: D001 positive — HashMap in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn count(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

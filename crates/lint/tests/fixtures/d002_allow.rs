@@ -1,0 +1,6 @@
+// Fixture: D002 suppressed with a justification.
+pub fn elapsed_secs() -> f64 {
+    // lint:allow(D002): fixture timing is diagnostics only; never enters results.
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

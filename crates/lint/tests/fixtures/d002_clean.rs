@@ -1,0 +1,4 @@
+// Fixture: D002 clean — time flows in as simulated time, never wall clock.
+pub fn advance(now_s: f64, dt_s: f64) -> f64 {
+    now_s + dt_s
+}

@@ -1,0 +1,11 @@
+// Fixture: D002 positive — wall-clock reads outside the bench crate.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

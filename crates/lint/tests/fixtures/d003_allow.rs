@@ -1,0 +1,5 @@
+// Fixture: D003 suppressed with a justification.
+pub fn roll() -> u64 {
+    // lint:allow(D003): fixture demonstrates the escape hatch; not shipped code.
+    rand::random()
+}

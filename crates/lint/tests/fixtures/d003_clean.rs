@@ -1,0 +1,5 @@
+// Fixture: D003 clean — randomness derived from an explicit seed stream.
+pub fn roll(seed: u64) -> u64 {
+    // Stand-in for wiscape_simcore::StreamRng::new(seed).fork("roll").
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31)
+}

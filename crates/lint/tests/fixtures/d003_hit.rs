@@ -1,0 +1,6 @@
+// Fixture: D003 positive — ambient randomness.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _ = rng;
+    rand::random()
+}

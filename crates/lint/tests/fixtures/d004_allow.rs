@@ -1,0 +1,6 @@
+// Fixture: D004 suppressed with a justification.
+pub fn fan_out() {
+    // lint:allow(D004): fixture demonstrates the escape hatch; not shipped code.
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+// Fixture: D004 clean — parallelism goes through the deterministic
+// executor (stand-in signature for wiscape_simcore::exec::par_map).
+pub fn fan_out(items: &[u64]) -> Vec<u64> {
+    items.iter().map(|x| x + 1).collect()
+}

@@ -1,0 +1,6 @@
+// Fixture: D004 positive — raw thread spawn outside simcore::exec.
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    std::thread::scope(|_s| {});
+}

@@ -1,0 +1,6 @@
+// Fixture: L001 — a bare lint:allow with no justification does not
+// suppress anything and is itself a violation.
+// lint:allow(D001)
+use std::collections::HashMap;
+
+pub type Cache = HashMap<u64, f64>;

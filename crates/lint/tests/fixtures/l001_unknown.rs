@@ -1,0 +1,3 @@
+// Fixture: L001 — lint:allow naming an unknown rule.
+// lint:allow(X999): this rule does not exist.
+pub fn nothing() {}

@@ -1,0 +1,8 @@
+// Fixture: S001 suppressed — both sites carry inventory justifications.
+// lint:allow(S001): fixture lint is expected dead code in a test asset.
+#[allow(dead_code)]
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // lint:allow(S001): pointer is non-null and in bounds per the assert above.
+    unsafe { *xs.as_ptr() }
+}

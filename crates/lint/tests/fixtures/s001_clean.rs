@@ -1,0 +1,4 @@
+// Fixture: S001 clean — no unsafe, no lint waivers.
+pub fn read_first(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}

@@ -1,0 +1,5 @@
+// Fixture: S001 positive — unsafe and #[allow] without inventory entries.
+#[allow(dead_code)]
+pub fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+// Fixture: S002 suppressed with a justification.
+pub fn mean(samples: &[f64]) -> f64 {
+    // lint:allow(S002): fixture input is validated non-empty by the caller.
+    let first = samples.first().unwrap();
+    *first
+}

@@ -1,0 +1,9 @@
+// Fixture: S002 clean — malformed input drops and counts instead of
+// panicking.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    let valid: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+    if valid.is_empty() {
+        return None;
+    }
+    Some(valid.iter().sum::<f64>() / valid.len() as f64)
+}

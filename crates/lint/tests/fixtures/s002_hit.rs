@@ -1,0 +1,10 @@
+// Fixture: S002 positive — panicking on client-supplied input at the
+// ingest surface.
+pub fn mean(samples: &[f64]) -> f64 {
+    let first = samples.first().unwrap();
+    let last = samples.last().expect("non-empty");
+    if !first.is_finite() {
+        panic!("bad sample");
+    }
+    (first + last) / 2.0
+}

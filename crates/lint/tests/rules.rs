@@ -1,0 +1,244 @@
+//! Fixture tests: every rule has a positive hit, a `lint:allow`
+//! suppression, and a clean file under `tests/fixtures/`. The fixtures
+//! are never compiled or scanned by the workspace walk (`fixtures`
+//! directories are skipped) — they exist purely to pin the scanner's
+//! behaviour.
+
+use std::path::{Path, PathBuf};
+
+use wiscape_lint::{build_report, lint_source, FileScope, Outcome, Report};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixtures_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn lint_fixture(name: &str, scope: FileScope) -> Report {
+    let mut outcome = Outcome::default();
+    lint_source(name, &fixture(name), &scope, &mut outcome);
+    build_report(outcome)
+}
+
+fn deterministic() -> FileScope {
+    FileScope {
+        deterministic: true,
+        ..FileScope::default()
+    }
+}
+
+fn ingest() -> FileScope {
+    FileScope {
+        ingest_surface: true,
+        ..FileScope::default()
+    }
+}
+
+/// Asserts the fixture trips only `rule`, at least `min` times, with
+/// zero suppressions.
+fn assert_hits(report: &Report, rule: &str, min: usize) {
+    assert!(
+        report.violations.len() >= min,
+        "expected >= {min} {rule} violations, got {:?}",
+        report.violations
+    );
+    for v in &report.violations {
+        assert_eq!(v.rule, rule, "unexpected rule in {:?}", v);
+        assert!(v.line >= 1);
+        assert!(!v.message.is_empty());
+        assert_eq!(v.severity, "error");
+    }
+    assert!(report.suppressions.is_empty());
+}
+
+/// Asserts the fixture is fully suppressed: zero violations, every
+/// suppression justified and used.
+fn assert_suppressed(report: &Report, rule: &str, n_sites: usize) {
+    assert!(
+        report.is_clean(),
+        "expected clean, got {:?}",
+        report.violations
+    );
+    assert_eq!(report.suppressions.len(), n_sites);
+    for s in &report.suppressions {
+        assert_eq!(s.rule, rule);
+        assert!(!s.justification.is_empty());
+        assert!(s.used, "stale suppression {s:?}");
+    }
+}
+
+#[test]
+fn d001_hit_allow_clean() {
+    assert_hits(&lint_fixture("d001_hit.rs", deterministic()), "D001", 3);
+    assert_suppressed(&lint_fixture("d001_allow.rs", deterministic()), "D001", 3);
+    let clean = lint_fixture("d001_clean.rs", deterministic());
+    assert!(clean.is_clean() && clean.suppressions.is_empty());
+}
+
+#[test]
+fn d001_only_applies_to_deterministic_crates() {
+    let report = lint_fixture("d001_hit.rs", FileScope::default());
+    assert!(
+        report.is_clean(),
+        "non-deterministic scope must not trip D001"
+    );
+}
+
+#[test]
+fn d001_exempts_test_code() {
+    let scope = FileScope {
+        deterministic: true,
+        all_test_code: true,
+        ..FileScope::default()
+    };
+    assert!(lint_fixture("d001_hit.rs", scope).is_clean());
+}
+
+#[test]
+fn d002_hit_allow_clean() {
+    assert_hits(
+        &lint_fixture("d002_hit.rs", FileScope::default()),
+        "D002",
+        4,
+    );
+    assert_suppressed(
+        &lint_fixture("d002_allow.rs", FileScope::default()),
+        "D002",
+        1,
+    );
+    assert!(lint_fixture("d002_clean.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn d002_exempts_the_bench_crate() {
+    let scope = FileScope {
+        wallclock_exempt: true,
+        ..FileScope::default()
+    };
+    assert!(lint_fixture("d002_hit.rs", scope).is_clean());
+}
+
+#[test]
+fn d003_hit_allow_clean() {
+    assert_hits(
+        &lint_fixture("d003_hit.rs", FileScope::default()),
+        "D003",
+        2,
+    );
+    assert_suppressed(
+        &lint_fixture("d003_allow.rs", FileScope::default()),
+        "D003",
+        1,
+    );
+    assert!(lint_fixture("d003_clean.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn d003_applies_even_in_test_code() {
+    let scope = FileScope {
+        all_test_code: true,
+        ..FileScope::default()
+    };
+    assert_hits(&lint_fixture("d003_hit.rs", scope), "D003", 2);
+}
+
+#[test]
+fn d004_hit_allow_clean() {
+    assert_hits(
+        &lint_fixture("d004_hit.rs", FileScope::default()),
+        "D004",
+        2,
+    );
+    assert_suppressed(
+        &lint_fixture("d004_allow.rs", FileScope::default()),
+        "D004",
+        1,
+    );
+    assert!(lint_fixture("d004_clean.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn d004_exempts_the_executor_module() {
+    let scope = FileScope {
+        executor_module: true,
+        ..FileScope::default()
+    };
+    assert!(lint_fixture("d004_hit.rs", scope).is_clean());
+}
+
+#[test]
+fn s001_hit_allow_clean() {
+    assert_hits(
+        &lint_fixture("s001_hit.rs", FileScope::default()),
+        "S001",
+        2,
+    );
+    assert_suppressed(
+        &lint_fixture("s001_allow.rs", FileScope::default()),
+        "S001",
+        2,
+    );
+    assert!(lint_fixture("s001_clean.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn s002_hit_allow_clean() {
+    assert_hits(&lint_fixture("s002_hit.rs", ingest()), "S002", 3);
+    assert_suppressed(&lint_fixture("s002_allow.rs", ingest()), "S002", 1);
+    assert!(lint_fixture("s002_clean.rs", ingest()).is_clean());
+}
+
+#[test]
+fn s002_only_applies_to_the_ingest_surface() {
+    assert!(lint_fixture("s002_hit.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn l001_bare_allow_is_a_violation_and_suppresses_nothing() {
+    let report = lint_fixture("l001_bare.rs", deterministic());
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+    assert!(
+        rules.contains(&"L001"),
+        "bare allow must trip L001: {rules:?}"
+    );
+    assert!(
+        rules.contains(&"D001"),
+        "bare allow must not suppress D001: {rules:?}"
+    );
+    assert!(report.suppressions.is_empty());
+}
+
+#[test]
+fn l001_unknown_rule_is_a_violation() {
+    let report = lint_fixture("l001_unknown.rs", FileScope::default());
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, "L001");
+}
+
+/// The machine-readable output is pinned by a snapshot: field names,
+/// ordering, and counter layout are a contract for downstream tooling
+/// (`results/LINT_report.json`). Regenerate with
+/// `UPDATE_SNAPSHOTS=1 cargo test -p lint`.
+#[test]
+fn json_report_matches_snapshot() {
+    let report = lint_fixture("d001_hit.rs", deterministic());
+    let actual = serde_json::to_string_pretty(&report).unwrap();
+    let path = fixtures_dir().join("snapshot_d001_hit.json");
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, format!("{actual}\n")).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    let actual_v: serde::Value = serde_json::from_str(&actual).unwrap();
+    let expected_v: serde::Value = serde_json::from_str(&expected).unwrap();
+    assert_eq!(
+        actual_v, expected_v,
+        "JSON report drifted from snapshot; run UPDATE_SNAPSHOTS=1 cargo test -p lint \
+         and review the diff\nactual:\n{actual}"
+    );
+}

@@ -1,0 +1,49 @@
+//! Tier-1 gate: the workspace must be lint-clean.
+//!
+//! This test runs in plain `cargo test -q`, so any reintroduced
+//! determinism or soundness hazard fails the build, not just the
+//! (optional) CLI run in `scripts/check.sh`.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_violations() {
+    let report = wiscape_lint::lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "wiscape-lint found unsuppressed violations:\n{}",
+        wiscape_lint::render_text(&report)
+    );
+}
+
+#[test]
+fn every_suppression_is_justified_and_used() {
+    let report = wiscape_lint::lint_workspace(&workspace_root()).expect("workspace scan");
+    for s in &report.suppressions {
+        assert!(
+            !s.justification.is_empty(),
+            "bare suppression at {}:{}",
+            s.file,
+            s.line
+        );
+        assert!(
+            s.used,
+            "stale suppression at {}:{} (rule {} no longer fires there — remove it)",
+            s.file, s.line, s.rule
+        );
+    }
+}

@@ -221,10 +221,7 @@ mod tests {
     #[test]
     fn same_day_same_route() {
         let b = bus();
-        assert_eq!(
-            b.route_for_day(5).name(),
-            b.route_for_day(5).name()
-        );
+        assert_eq!(b.route_for_day(5).name(), b.route_for_day(5).name());
     }
 
     #[test]
@@ -279,11 +276,9 @@ mod tests {
     fn coverage_over_a_month_is_broad() {
         // Five buses over 28 days should visit many distinct 500 m cells.
         let routes = Arc::new(madison_routes(center(), 7000.0, 10, &StreamRng::new(9)));
-        let grid = wiscape_geo::SquareGrid::new(
-            wiscape_geo::BoundingBox::around(center(), 8000.0),
-            500.0,
-        )
-        .unwrap();
+        let grid =
+            wiscape_geo::SquareGrid::new(wiscape_geo::BoundingBox::around(center(), 8000.0), 500.0)
+                .unwrap();
         let mut cells = std::collections::HashSet::new();
         for id in 0..5 {
             let b = TransitBus::new(ClientId(id), routes.clone(), StreamRng::new(9));
@@ -314,10 +309,14 @@ mod tests {
         // Leg takes ~2.2 h at 27 m/s for ~215 km; at 8h + leg + 1h
         // layover the bus heads back.
         let leg_h = route.length_m() / 27.0 / 3600.0;
-        let back = b.position_at(SimTime::at(1, 8.0 + leg_h + 1.0 + 0.2)).unwrap();
+        let back = b
+            .position_at(SimTime::at(1, 8.0 + leg_h + 1.0 + 0.2))
+            .unwrap();
         assert!(back.point.haversine_distance(&chicago) < 40_000.0);
         // Long after both legs: out of service.
-        assert!(b.position_at(SimTime::at(1, 8.0 + 2.0 * leg_h + 1.0 + 0.5)).is_none());
+        assert!(b
+            .position_at(SimTime::at(1, 8.0 + 2.0 * leg_h + 1.0 + 0.5))
+            .is_none());
     }
 
     #[test]

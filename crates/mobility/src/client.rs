@@ -5,9 +5,7 @@ use wiscape_geo::GeoPoint;
 use wiscape_simcore::SimTime;
 
 /// Unique identifier of a measurement client.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ClientId(pub u32);
 
 impl core::fmt::Display for ClientId {
@@ -22,7 +20,7 @@ impl core::fmt::Display for ClientId {
 /// category (laptops/SBCs with cellular modems) but that phones would need
 /// normalization; WiScape therefore tracks the category with every sample
 /// and aggregates per category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DeviceCategory {
     /// Laptop with a USB or PCMCIA cellular modem.
     LaptopModem,

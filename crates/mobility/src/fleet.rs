@@ -83,8 +83,13 @@ impl Fleet {
             &self.stream.fork("segment"),
         ));
         let id = self.take_id();
-        self.clients
-            .push(Box::new(FixedRouteCar::new(id, route, 4, 15.3, self.stream)));
+        self.clients.push(Box::new(FixedRouteCar::new(
+            id,
+            route,
+            4,
+            15.3,
+            self.stream,
+        )));
         self
     }
 
@@ -98,8 +103,12 @@ impl Fleet {
     /// Adds a proximate driver circling `center` within `radius_m`.
     pub fn add_proximate_driver(&mut self, center: GeoPoint, radius_m: f64) -> &mut Self {
         let id = self.take_id();
-        self.clients
-            .push(Box::new(ProximateDriver::new(id, center, radius_m, self.stream)));
+        self.clients.push(Box::new(ProximateDriver::new(
+            id,
+            center,
+            radius_m,
+            self.stream,
+        )));
         self
     }
 

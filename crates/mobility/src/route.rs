@@ -64,8 +64,7 @@ pub fn madison_routes(
     for r in 0..n_routes {
         let node = stream.fork("route").fork_idx(r as u64);
         // Entry bearing spread around the compass; route crosses town.
-        let entry_bearing =
-            node.fork("bearing").draw_unit_f64() * std::f64::consts::TAU;
+        let entry_bearing = node.fork("bearing").draw_unit_f64() * std::f64::consts::TAU;
         let start = center.destination(entry_bearing, city_radius_m * 0.9);
         let toward_center = entry_bearing + std::f64::consts::PI;
         let n_steps = 14;
@@ -145,7 +144,12 @@ mod tests {
         assert!(bb.width_m() > 9000.0, "width {}", bb.width_m());
         assert!(bb.height_m() > 9000.0, "height {}", bb.height_m());
         for r in &routes {
-            assert!(r.length_m() > 8000.0, "{} too short: {}", r.name(), r.length_m());
+            assert!(
+                r.length_m() > 8000.0,
+                "{} too short: {}",
+                r.name(),
+                r.length_m()
+            );
         }
     }
 
@@ -163,7 +167,11 @@ mod tests {
         let r = intercity_route(center(), chicago, &StreamRng::new(3));
         // Great-circle is ~196 km; with road meander and the paper's
         // highway routing it's >196; assert a plausible corridor length.
-        assert!(r.length_m() > 190_000.0 && r.length_m() < 260_000.0, "{}", r.length_m());
+        assert!(
+            r.length_m() > 190_000.0 && r.length_m() < 260_000.0,
+            "{}",
+            r.length_m()
+        );
         assert_eq!(r.point_at(0.0), center());
         let end = r.point_at(r.length_m());
         assert!(end.haversine_distance(&chicago) < 100.0);
@@ -174,7 +182,9 @@ mod tests {
         let r = short_segment_route(center(), 0.7, &StreamRng::new(4));
         assert!((r.length_m() - 20_000.0).abs() < 1500.0, "{}", r.length_m());
         // Endpoints far apart (radial, not a loop).
-        let d = r.point_at(0.0).haversine_distance(&r.point_at(r.length_m()));
+        let d = r
+            .point_at(0.0)
+            .haversine_distance(&r.point_at(r.length_m()));
         assert!(d > 15_000.0, "displacement {d}");
     }
 

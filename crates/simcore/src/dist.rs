@@ -107,8 +107,7 @@ impl BoundedPareto {
         let la = self.lo.powf(self.alpha);
         let ha = self.hi.powf(self.alpha);
         // Inverse CDF of the bounded Pareto.
-        (-(u * ha - u * la - ha) / (ha * la))
-            .powf(-1.0 / self.alpha)
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
     }
 }
 

@@ -143,10 +143,16 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(10), "later");
         q.schedule(SimTime::from_secs(1), "now");
-        assert_eq!(q.pop_due(SimTime::from_secs(5)), Some((SimTime::from_secs(1), "now")));
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(5)),
+            Some((SimTime::from_secs(1), "now"))
+        );
         assert_eq!(q.pop_due(SimTime::from_secs(5)), None);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop_due(SimTime::from_secs(10)), Some((SimTime::from_secs(10), "later")));
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(10)),
+            Some((SimTime::from_secs(10), "later"))
+        );
     }
 
     #[test]

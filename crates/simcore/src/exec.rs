@@ -84,7 +84,9 @@ where
                 let start = c * CHUNK_SIZE;
                 let end = (start + CHUNK_SIZE).min(items.len());
                 let out: Vec<U> = (start..end).map(|i| f(i, &items[i])).collect();
-                done.lock().expect("worker panicked holding lock").push((c, out));
+                done.lock()
+                    .expect("worker panicked holding lock")
+                    .push((c, out));
             });
         }
     });
@@ -124,7 +126,11 @@ mod tests {
     #[test]
     fn matches_serial_map_in_order() {
         let items: Vec<u64> = (0..1000).collect();
-        let serial: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
         for threads in [1, 2, 3, 8] {
             let par = par_map_with_threads(threads, &items, |i, x| x * 3 + i as u64);
             assert_eq!(par, serial, "threads={threads}");
@@ -135,7 +141,10 @@ mod tests {
     fn empty_and_tiny_inputs() {
         let empty: Vec<u32> = Vec::new();
         assert_eq!(par_map_with_threads(4, &empty, |_, x| *x), empty);
-        assert_eq!(par_map_with_threads(4, &[7u32], |i, x| *x + i as u32), vec![7]);
+        assert_eq!(
+            par_map_with_threads(4, &[7u32], |i, x| *x + i as u32),
+            vec![7]
+        );
     }
 
     #[test]
@@ -147,9 +156,7 @@ mod tests {
         let stream2 = stream;
         let run = |threads: usize| {
             par_map_with_threads(threads, &items, |i, x: &u64| {
-                let node = stream2
-                    .fork_idx((i / 64) as u64)
-                    .fork_idx((i % 64) as u64);
+                let node = stream2.fork_idx((i / 64) as u64).fork_idx((i % 64) as u64);
                 node.draw_u64() ^ x
             })
         };

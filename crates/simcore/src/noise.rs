@@ -94,12 +94,7 @@ impl ValueNoise2D {
         // do not collide with positive ones.
         let zi = ((i << 1) ^ (i >> 63)) as u64;
         let zj = ((j << 1) ^ (j >> 63)) as u64;
-        self.stream
-            .fork_idx(zi)
-            .fork_idx(zj)
-            .draw_unit_f64()
-            * 2.0
-            - 1.0
+        self.stream.fork_idx(zi).fork_idx(zj).draw_unit_f64() * 2.0 - 1.0
     }
 
     /// Evaluates the noise at `(x, y)`.

@@ -97,10 +97,7 @@ mod tests {
         let p = DiurnalProfile::default();
         let night = p.load(SimTime::at(1, 4.0));
         let evening = p.load(SimTime::at(1, 19.0));
-        assert!(
-            evening > night + 0.3,
-            "evening {evening} vs night {night}"
-        );
+        assert!(evening > night + 0.3, "evening {evening} vs night {night}");
     }
 
     #[test]

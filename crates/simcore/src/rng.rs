@@ -112,8 +112,16 @@ mod tests {
     fn same_path_same_stream() {
         let r1 = StreamRng::new(7).fork("a").fork_idx(3);
         let r2 = StreamRng::new(7).fork("a").fork_idx(3);
-        let x1: Vec<u64> = r1.rng().sample_iter(rand::distributions::Standard).take(10).collect();
-        let x2: Vec<u64> = r2.rng().sample_iter(rand::distributions::Standard).take(10).collect();
+        let x1: Vec<u64> = r1
+            .rng()
+            .sample_iter(rand::distributions::Standard)
+            .take(10)
+            .collect();
+        let x2: Vec<u64> = r2
+            .rng()
+            .sample_iter(rand::distributions::Standard)
+            .take(10)
+            .collect();
         assert_eq!(x1, x2);
     }
 
@@ -150,7 +158,9 @@ mod tests {
     #[test]
     fn unit_draws_are_in_range_and_spread() {
         let root = StreamRng::new(1234);
-        let vals: Vec<f64> = (0..10_000).map(|i| root.fork_idx(i).draw_unit_f64()).collect();
+        let vals: Vec<f64> = (0..10_000)
+            .map(|i| root.fork_idx(i).draw_unit_f64())
+            .collect();
         assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
@@ -168,13 +178,20 @@ mod tests {
     fn adjacent_indices_are_decorrelated() {
         let root = StreamRng::new(77).fork("pkt");
         // Correlation of consecutive hash draws should be negligible.
-        let xs: Vec<f64> = (0..5000).map(|i| root.fork_idx(i).draw_unit_f64()).collect();
+        let xs: Vec<f64> = (0..5000)
+            .map(|i| root.fork_idx(i).draw_unit_f64())
+            .collect();
         let a: Vec<f64> = xs[..xs.len() - 1].to_vec();
         let b: Vec<f64> = xs[1..].to_vec();
         let n = a.len() as f64;
         let ma = a.iter().sum::<f64>() / n;
         let mb = b.iter().sum::<f64>() / n;
-        let cov: f64 = a.iter().zip(&b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let cov: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / n;
         let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum::<f64>() / n;
         let r = cov / va;
         assert!(r.abs() < 0.05, "serial correlation {r}");

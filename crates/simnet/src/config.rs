@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn madison_has_three_networks() {
         let c = LandscapeConfig::madison(1);
-        assert_eq!(c.network_ids(), vec![NetworkId::NetA, NetworkId::NetB, NetworkId::NetC]);
+        assert_eq!(
+            c.network_ids(),
+            vec![NetworkId::NetA, NetworkId::NetB, NetworkId::NetC]
+        );
         assert!(c.network(NetworkId::NetA).is_some());
     }
 

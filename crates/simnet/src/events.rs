@@ -46,7 +46,12 @@ impl SpecialEvent {
     /// The paper's football-game surge: `day` (0 = Monday), starting at
     /// `start_hour`, lasting `duration_hours`; 3.7× latency and 0.45×
     /// throughput within 600 m of the stadium, recurring weekly.
-    pub fn football_game(stadium: GeoPoint, day: i64, start_hour: f64, duration_hours: f64) -> Self {
+    pub fn football_game(
+        stadium: GeoPoint,
+        day: i64,
+        start_hour: f64,
+        duration_hours: f64,
+    ) -> Self {
         Self {
             center: stadium,
             radius_m: 600.0,
@@ -139,7 +144,12 @@ impl DegradedZoneModel {
     pub fn is_degraded(&self, stream: &StreamRng, i: i64, j: i64) -> bool {
         let zi = ((i << 1) ^ (i >> 63)) as u64;
         let zj = ((j << 1) ^ (j >> 63)) as u64;
-        stream.fork("degraded").fork_idx(zi).fork_idx(zj).draw_unit_f64() < self.fraction
+        stream
+            .fork("degraded")
+            .fork_idx(zi)
+            .fork_idx(zj)
+            .draw_unit_f64()
+            < self.fraction
     }
 }
 

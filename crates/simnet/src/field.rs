@@ -23,6 +23,7 @@
 //! evaluate the same expression trees in the same order, only the
 //! caching of intermediate inputs differs.
 
+// lint:allow(D001): keyed-lookup memo caches only; these maps are never iterated.
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -222,7 +223,11 @@ impl NetworkField {
 
     /// The 1-D drift noise track of cell `c`.
     fn cell_track(&self, c: DriftCell) -> ValueNoise1D {
-        ValueNoise1D::new(self.drift_stream.fork_idx(zigzag(c.i)).fork_idx(zigzag(c.j)))
+        ValueNoise1D::new(
+            self.drift_stream
+                .fork_idx(zigzag(c.i))
+                .fork_idx(zigzag(c.j)),
+        )
     }
 
     /// The coherence time assigned to cell `c`.
@@ -252,8 +257,7 @@ impl NetworkField {
         if self.params.rural_falloff <= 0.0 {
             return 1.0;
         }
-        let t = ((dist_m - self.params.metro_radius_m) / self.params.rural_taper_m)
-            .clamp(0.0, 1.0);
+        let t = ((dist_m - self.params.metro_radius_m) / self.params.rural_taper_m).clamp(0.0, 1.0);
         let smooth = t * t * (3.0 - 2.0 * t);
         1.0 - self.params.rural_falloff * smooth
     }
@@ -487,7 +491,12 @@ impl NetworkField {
         LinkQuality {
             tcp_kbps: self.tcp_value(udp_kbps),
             udp_kbps,
-            rtt_ms: self.rtt_value(ctx.spatial_rtt, drift, self.diurnal_rtt_factor(t), event_rtt),
+            rtt_ms: self.rtt_value(
+                ctx.spatial_rtt,
+                drift,
+                self.diurnal_rtt_factor(t),
+                event_rtt,
+            ),
             jitter_ms: self.jitter_value(ctx.spatial_jitter, event_rtt),
             loss_rate: self.loss_value(ctx.degraded, event_rtt),
         }
@@ -530,7 +539,9 @@ pub struct FieldCursor<'a> {
     field: &'a NetworkField,
     ctx: Option<PointCtx>,
     memo: Option<(SimTime, LinkQuality)>,
+    // lint:allow(D001): per-cell memo cache, accessed by key only (never iterated).
     cells: HashMap<DriftCell, (ValueNoise1D, SimDuration)>,
+    // lint:allow(D001): per-cell memo cache, accessed by key only (never iterated).
     degraded_cells: HashMap<(i64, i64), bool>,
 }
 
@@ -541,7 +552,9 @@ impl<'a> FieldCursor<'a> {
             field,
             ctx: None,
             memo: None,
+            // lint:allow(D001): memo cache construction; lookups are by key only.
             cells: HashMap::new(),
+            // lint:allow(D001): memo cache construction; lookups are by key only.
             degraded_cells: HashMap::new(),
         }
     }

@@ -56,7 +56,10 @@ impl UdpTrain {
 
     /// Number of packets received.
     pub fn received(&self) -> usize {
-        self.packets.iter().filter(|p| p.recv_time.is_some()).count()
+        self.packets
+            .iter()
+            .filter(|p| p.recv_time.is_some())
+            .count()
     }
 
     /// Observed loss rate in `[0, 1]`.
@@ -206,6 +209,7 @@ pub fn probe_train(
 /// composed with laptop measurements without normalization — this hook
 /// is what makes that heterogeneity exist in the simulation so the
 /// normalizer (`wiscape-core::normalize`) has something to learn.
+// lint:allow(S001): probe parameters mirror the wire-level probe train; a struct would obscure the 1:1 mapping.
 #[allow(clippy::too_many_arguments)]
 pub fn probe_train_with_device(
     field: &NetworkField,
@@ -247,8 +251,7 @@ pub fn probe_train_with_device(
         let inst_kbps = (mean_kbps * lognormal_unit_mean(node.fork("tput"), cv))
             .clamp(1.0, params.id.max_downlink_kbps());
         let lost = unit(node.fork("loss")) < loss_rate;
-        let one_way_delay_ms =
-            (rtt / 2.0 + jitter_sigma * std_normal(node.fork("delay"))).max(0.1);
+        let one_way_delay_ms = (rtt / 2.0 + jitter_sigma * std_normal(node.fork("delay"))).max(0.1);
         // Wire time of this packet at the observed instantaneous rate.
         let wire_ms = (size_bytes as f64 * 8.0) / inst_kbps; // kbit / kbps = ms
         let recv_time = (!lost).then(|| {
@@ -296,8 +299,8 @@ pub fn tcp_download(
         .fork("dl")
         .fork_idx(start.as_micros() as u64)
         .fork_idx(size_bytes);
-    let rate_kbps = (mean_kbps * lognormal_unit_mean(node, cv))
-        .clamp(1.0, params.id.max_downlink_kbps());
+    let rate_kbps =
+        (mean_kbps * lognormal_unit_mean(node, cv)).clamp(1.0, params.id.max_downlink_kbps());
     let setup_ms = 1.5 * rtt_ms;
     let slow_start_ms = 2.0 * rtt_ms;
     let transfer_ms = size_bytes as f64 * 8.0 / rate_kbps;
@@ -389,9 +392,24 @@ mod tests {
         for k in 0..40 {
             let t = SimTime::at(2, 8.0) + SimDuration::from_mins(k * 7);
             let truth = f.mean_udp_kbps(&p, t);
-            let small = probe_train(&f, &s.fork_idx(k as u64), TransportKind::Udp, &p, t, 5, 1200);
-            let large =
-                probe_train(&f, &s.fork_idx(k as u64), TransportKind::Udp, &p, t, 150, 1200);
+            let small = probe_train(
+                &f,
+                &s.fork_idx(k as u64),
+                TransportKind::Udp,
+                &p,
+                t,
+                5,
+                1200,
+            );
+            let large = probe_train(
+                &f,
+                &s.fork_idx(k as u64),
+                TransportKind::Udp,
+                &p,
+                t,
+                150,
+                1200,
+            );
             err_small += ((small.estimated_kbps().unwrap() - truth) / truth).abs();
             err_large += ((large.estimated_kbps().unwrap() - truth) / truth).abs();
         }
@@ -409,14 +427,25 @@ mod tests {
         let train = probe_train(&f, &s, TransportKind::Udp, &p, t, 600, 1200);
         let est = train.jitter_ms().unwrap();
         let truth = f.mean_jitter_ms(&p, t);
-        assert!((est - truth).abs() / truth < 0.15, "est {est} truth {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.15,
+            "est {est} truth {truth}"
+        );
     }
 
     #[test]
     fn loss_is_rare_on_healthy_paths() {
         let (f, s) = setup();
         let p = healthy_point(&f);
-        let train = probe_train(&f, &s, TransportKind::Udp, &p, SimTime::at(1, 9.0), 1000, 1200);
+        let train = probe_train(
+            &f,
+            &s,
+            TransportKind::Udp,
+            &p,
+            SimTime::at(1, 9.0),
+            1000,
+            1200,
+        );
         assert!(train.loss_rate() < 0.01, "loss {}", train.loss_rate());
     }
 
@@ -428,7 +457,10 @@ mod tests {
         let train = probe_train(&f, &s, TransportKind::Tcp, &p, t, 300, 1200);
         let est = train.estimated_kbps().unwrap();
         let truth = f.mean_tcp_kbps(&p, t);
-        assert!((est - truth).abs() / truth < 0.06, "est {est} truth {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.06,
+            "est {est} truth {truth}"
+        );
     }
 
     #[test]
@@ -468,7 +500,10 @@ mod tests {
         }
         let mean = sum / n as f64;
         let truth = f.mean_rtt_ms(&p, t);
-        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} truth {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} truth {truth}"
+        );
         assert!(n > 490);
     }
 
@@ -484,7 +519,12 @@ mod tests {
             .find(|p| f.is_degraded(p))
             .expect("some degraded cell exists");
         let lost = (0..500)
-            .filter(|&seq| matches!(ping(&f, &s, &p, SimTime::at(1, 9.0), seq), PingOutcome::Lost))
+            .filter(|&seq| {
+                matches!(
+                    ping(&f, &s, &p, SimTime::at(1, 9.0), seq),
+                    PingOutcome::Lost
+                )
+            })
             .count();
         assert!(lost > 10, "expected frequent failures, got {lost}/500");
     }

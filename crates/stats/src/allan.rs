@@ -45,10 +45,7 @@ pub fn allan_deviation(averages: &[f64]) -> Result<f64, StatsError> {
     }
     crate::ensure_finite(averages)?;
     let n = averages.len();
-    let sum_sq: f64 = averages
-        .windows(2)
-        .map(|w| (w[1] - w[0]).powi(2))
-        .sum();
+    let sum_sq: f64 = averages.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum();
     Ok((sum_sq / (2.0 * (n - 1) as f64)).sqrt())
 }
 
@@ -139,7 +136,9 @@ mod tests {
     #[test]
     fn alternating_series_beats_drifting_series() {
         // Rapidly alternating neighbors -> large successive differences.
-        let alternating: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let alternating: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
         // Same overall variance but slow drift -> small successive diffs.
         let drifting: Vec<f64> = (0..100).map(|i| 1.0 + (i as f64) / 99.0).collect();
         assert!(allan_deviation(&alternating).unwrap() > allan_deviation(&drifting).unwrap());
@@ -209,7 +208,9 @@ mod tests {
 
     #[test]
     fn taus_too_large_are_omitted() {
-        let series: Vec<TimedValue> = (0..100).map(|i| tv(i as f64, 5.0 + (i % 3) as f64)).collect();
+        let series: Vec<TimedValue> = (0..100)
+            .map(|i| tv(i as f64, 5.0 + (i % 3) as f64))
+            .collect();
         // tau = 1000 covers the whole series in one bin -> cannot produce
         // two interval averages -> omitted.
         let profile = allan_deviation_profile(&series, &[10.0, 1000.0]).unwrap();

@@ -44,10 +44,7 @@ pub fn bin_series(series: &[TimedValue], width: f64) -> Result<Vec<RunningStats>
     {
         return Err(StatsError::NonFinite);
     }
-    let t0 = series
-        .iter()
-        .map(|tv| tv.t)
-        .fold(f64::INFINITY, f64::min);
+    let t0 = series.iter().map(|tv| tv.t).fold(f64::INFINITY, f64::min);
     // Accumulate into a sparse map keyed by bin index; emit in order.
     let mut bins: std::collections::BTreeMap<u64, RunningStats> = std::collections::BTreeMap::new();
     for tv in series {

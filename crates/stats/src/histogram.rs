@@ -41,7 +41,12 @@ impl Histogram {
     }
 
     /// Builds a histogram over `[lo, hi)` and fills it with `samples`.
-    pub fn from_samples(lo: f64, hi: f64, bins: usize, samples: &[f64]) -> Result<Self, StatsError> {
+    pub fn from_samples(
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        samples: &[f64],
+    ) -> Result<Self, StatsError> {
         let mut h = Self::new(lo, hi, bins)?;
         for &s in samples {
             h.add(s);
@@ -128,9 +133,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(matches!(Histogram::new(1.0, 1.0, 4), Err(StatsError::InvalidRange)));
-        assert!(matches!(Histogram::new(2.0, 1.0, 4), Err(StatsError::InvalidRange)));
-        assert!(matches!(Histogram::new(0.0, 1.0, 0), Err(StatsError::InvalidBinWidth)));
+        assert!(matches!(
+            Histogram::new(1.0, 1.0, 4),
+            Err(StatsError::InvalidRange)
+        ));
+        assert!(matches!(
+            Histogram::new(2.0, 1.0, 4),
+            Err(StatsError::InvalidRange)
+        ));
+        assert!(matches!(
+            Histogram::new(0.0, 1.0, 0),
+            Err(StatsError::InvalidBinWidth)
+        ));
         assert!(matches!(
             Histogram::new(f64::NAN, 1.0, 2),
             Err(StatsError::InvalidRange)

@@ -37,10 +37,7 @@ fn validate_pmf(p: &[f64]) -> Result<(), StatsError> {
 /// bins contribute zero (the standard `0 log 0 = 0` convention).
 pub fn entropy(p: &[f64]) -> Result<f64, StatsError> {
     validate_pmf(p)?;
-    Ok(p.iter()
-        .filter(|&&v| v > 0.0)
-        .map(|&v| -v * v.ln())
-        .sum())
+    Ok(p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum())
 }
 
 /// Kullback–Leibler divergence `D(p||q) = Σ p(x) |log(p(x)/q(x))|` in nats,

@@ -227,7 +227,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 + (i % 7) as f64).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64) * 0.37 + (i % 7) as f64)
+            .collect();
         let whole = RunningStats::from_slice(&data);
         let mut a = RunningStats::from_slice(&data[..33]);
         let b = RunningStats::from_slice(&data[33..]);
@@ -277,6 +279,10 @@ mod tests {
         let base = 1e9;
         let data: Vec<f64> = [4.0, 7.0, 13.0, 16.0].iter().map(|v| v + base).collect();
         let s = RunningStats::from_slice(&data);
-        assert!((s.sample_variance() - 30.0).abs() < 1e-3, "{}", s.sample_variance());
+        assert!(
+            (s.sample_variance() - 30.0).abs() < 1e-3,
+            "{}",
+            s.sample_variance()
+        );
     }
 }

@@ -89,7 +89,10 @@ mod tests {
         // Find a point where NetA clearly beats NetB in ground truth.
         let t = SimTime::at(1, 10.0);
         let p = (0..200)
-            .map(|i| land.origin().destination(i as f64 * 0.37, (i * 53) as f64 % 6000.0))
+            .map(|i| {
+                land.origin()
+                    .destination(i as f64 * 0.37, (i * 53) as f64 % 6000.0)
+            })
             .find(|p| {
                 let a = land.link_quality(NetworkId::NetA, p, t).unwrap().tcp_kbps;
                 let b = land.link_quality(NetworkId::NetB, p, t).unwrap().tcp_kbps;
@@ -125,8 +128,10 @@ mod tests {
     #[test]
     fn empty_fetch_is_zero() {
         let land = land();
-        let r = fetch_objects(&land, NetworkId::NetB, SimTime::EPOCH, &[], |_| land.origin())
-            .unwrap();
+        let r = fetch_objects(&land, NetworkId::NetB, SimTime::EPOCH, &[], |_| {
+            land.origin()
+        })
+        .unwrap();
         assert_eq!(r.bytes, 0);
         assert_eq!(r.duration, SimDuration::ZERO);
         assert_eq!(r.goodput_kbps(), 0.0);
@@ -135,8 +140,10 @@ mod tests {
     #[test]
     fn unknown_network_errors() {
         let land = Landscape::new(LandscapeConfig::new_brunswick(20));
-        assert!(fetch_objects(&land, NetworkId::NetA, SimTime::EPOCH, &[1000], |_| land
-            .origin())
-        .is_err());
+        assert!(
+            fetch_objects(&land, NetworkId::NetA, SimTime::EPOCH, &[1000], |_| land
+                .origin())
+            .is_err()
+        );
     }
 }

@@ -52,8 +52,7 @@ fn main() {
         let estimator = EpochEstimator::new(EpochConfig::default());
         let est = estimator.estimate(&series).expect("long series");
         ascii_profile(
-            &est
-                .profile
+            &est.profile
                 .iter()
                 .map(|p| (p.tau, p.deviation))
                 .collect::<Vec<_>>(),
@@ -62,7 +61,9 @@ fn main() {
             "argmin {:.0} min -> epoch {:.0} min (true drift coherence here: {:.0} min)\n",
             est.raw_argmin.as_mins_f64(),
             est.epoch.as_mins_f64(),
-            land.coherence_time(&spot).expect("has networks").as_mins_f64()
+            land.coherence_time(&spot)
+                .expect("has networks")
+                .as_mins_f64()
         );
     }
     println!("(the paper found ~75 min for its WI zone and ~15 min for NJ)");

@@ -71,10 +71,24 @@ fn main() {
     // ---- MAR gateway: stripe the same batch over all interfaces ----
     println!("\n== MAR gateway: same batch striped over 3 interfaces ==");
     let sizes: Vec<u64> = pages.iter().map(|p| p.size_bytes).collect();
-    let rr = run_mar_drive(&land, &driver, start, &sizes, MarScheduler::WeightedRoundRobin, Some(&map))
-        .expect("networks present");
-    let mws = run_mar_drive(&land, &driver, start, &sizes, MarScheduler::WiScape, Some(&map))
-        .expect("networks present");
+    let rr = run_mar_drive(
+        &land,
+        &driver,
+        start,
+        &sizes,
+        MarScheduler::WeightedRoundRobin,
+        Some(&map),
+    )
+    .expect("networks present");
+    let mws = run_mar_drive(
+        &land,
+        &driver,
+        start,
+        &sizes,
+        MarScheduler::WiScape,
+        Some(&map),
+    )
+    .expect("networks present");
     println!("  MAR-RR     : {:>7.1} s", rr.total.as_secs_f64());
     println!(
         "  MAR-WiScape: {:>7.1} s  ({:+.0}% vs RR; paper ~-32%)",

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, clippy (warnings are errors),
+# wiscape-lint (determinism & soundness rules, report committed to
+# results/LINT_report.json), and the test suite.
+#
+#   scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== wiscape-lint"
+cargo run -q -p lint -- --quiet --report results/LINT_report.json
+echo "   report: results/LINT_report.json"
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== check.sh: all gates passed"

@@ -12,18 +12,20 @@ use wiscape::datasets::{save_csv, short_segment, spot, standalone, wirover};
 use wiscape::prelude::*;
 
 struct Args {
-    flags: std::collections::HashMap<String, String>,
+    flags: std::collections::BTreeMap<String, String>,
     positional: Vec<String>,
 }
 
 impl Args {
     fn parse(raw: impl Iterator<Item = String>) -> Self {
-        let mut flags = std::collections::HashMap::new();
+        let mut flags = std::collections::BTreeMap::new();
         let mut positional = Vec::new();
         let mut raw = raw.peekable();
         while let Some(a) = raw.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = raw.next().unwrap_or_else(|| die(&format!("--{name} needs a value")));
+                let value = raw
+                    .next()
+                    .unwrap_or_else(|| die(&format!("--{name} needs a value")));
                 flags.insert(name.to_string(), value);
             } else {
                 positional.push(a);
@@ -35,14 +37,20 @@ impl Args {
     fn u64_flag(&self, name: &str, default: u64) -> u64 {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name}: not an integer: {v}"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name}: not an integer: {v}")))
+            })
             .unwrap_or(default)
     }
 
     fn f64_flag(&self, name: &str, default: f64) -> f64 {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name}: not a number: {v}"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name}: not a number: {v}")))
+            })
             .unwrap_or(default)
     }
 
@@ -93,7 +101,8 @@ fn cmd_map(args: &Args) {
         stats.checkins, stats.tasks_issued, stats.packets_requested
     );
     let published = deployment.coordinator().all_published();
-    let mut out = String::from("zone_col,zone_row,lat_deg,lon_deg,network,mean_kbps,std_kbps,samples\n");
+    let mut out =
+        String::from("zone_col,zone_row,lat_deg,lon_deg,network,mean_kbps,std_kbps,samples\n");
     for e in &published {
         let c = deployment.coordinator().index().center_of(e.zone);
         out.push_str(&format!(
@@ -191,7 +200,8 @@ fn cmd_epoch(args: &Args) {
     for day in 0..days {
         let mut t = SimTime::at(day, 0.0);
         while t < SimTime::at(day + 1, 0.0) {
-            if let Ok(train) = land.probe_train(NetworkId::NetB, TransportKind::Udp, &p, t, 40, 1200)
+            if let Ok(train) =
+                land.probe_train(NetworkId::NetB, TransportKind::Udp, &p, t, 40, 1200)
             {
                 if let Some(est) = train.estimated_kbps() {
                     series.push(TimedValue::new(t.as_secs_f64(), est));
@@ -211,7 +221,9 @@ fn cmd_epoch(args: &Args) {
         "argmin {:.0} min -> epoch {:.0} min (true coherence {:.0} min)",
         est.raw_argmin.as_mins_f64(),
         est.epoch.as_mins_f64(),
-        land.coherence_time(&p).expect("networks exist").as_mins_f64()
+        land.coherence_time(&p)
+            .expect("networks exist")
+            .as_mins_f64()
     );
 }
 

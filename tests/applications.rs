@@ -31,9 +31,12 @@ fn coordinator_map(seed: u64) -> (Landscape, ZoneQualityMap) {
 #[test]
 fn coordinator_published_map_feeds_the_applications() {
     let (land, map) = coordinator_map(120);
-    assert!(map.len() > 30, "{} map entries from the coordinator", map.len());
-    let route =
-        short_segment::segment_route(&land, &short_segment::ShortSegmentParams::default());
+    assert!(
+        map.len() > 30,
+        "{} map entries from the coordinator",
+        map.len()
+    );
+    let route = short_segment::segment_route(&land, &short_segment::ShortSegmentParams::default());
     let start = SimTime::at(2, 10.0);
     let driver = DrivingClient::new(route, 15.3, start);
     let requests: Vec<Vec<u64>> = (0..40).map(|i| vec![40_000 + (i % 7) * 90_000]).collect();
@@ -72,13 +75,19 @@ fn coordinator_published_map_feeds_the_applications() {
 #[test]
 fn mar_aggregates_bandwidth_from_all_three_networks() {
     let (land, map) = coordinator_map(121);
-    let route =
-        short_segment::segment_route(&land, &short_segment::ShortSegmentParams::default());
+    let route = short_segment::segment_route(&land, &short_segment::ShortSegmentParams::default());
     let start = SimTime::at(2, 10.0);
     let driver = DrivingClient::new(route, 15.3, start);
     let sizes: Vec<u64> = (0..60).map(|i| 50_000 + (i % 11) * 70_000).collect();
-    let out = run_mar_drive(&land, &driver, start, &sizes, MarScheduler::WiScape, Some(&map))
-        .unwrap();
+    let out = run_mar_drive(
+        &land,
+        &driver,
+        start,
+        &sizes,
+        MarScheduler::WiScape,
+        Some(&map),
+    )
+    .unwrap();
     // All interfaces used, all bytes moved.
     assert_eq!(out.per_interface_bytes.len(), 3);
     assert_eq!(out.bytes(), sizes.iter().sum::<u64>());
@@ -94,8 +103,7 @@ fn mar_aggregates_bandwidth_from_all_three_networks() {
 #[test]
 fn multisim_policies_are_consistent_under_repetition() {
     let (land, map) = coordinator_map(122);
-    let route =
-        short_segment::segment_route(&land, &short_segment::ShortSegmentParams::default());
+    let route = short_segment::segment_route(&land, &short_segment::ShortSegmentParams::default());
     let start = SimTime::at(2, 10.0);
     let driver = DrivingClient::new(route, 15.3, start);
     let requests: Vec<Vec<u64>> = (0..10).map(|i| vec![100_000 + i * 10_000]).collect();

@@ -87,7 +87,9 @@ fn phone_samples_normalize_into_laptop_units() {
     let factor = 0.8;
     let mut batches = Vec::new();
     for i in 0..5 {
-        let p = land.origin().destination(i as f64 * 1.1, 400.0 + 800.0 * i as f64);
+        let p = land
+            .origin()
+            .destination(i as f64 * 1.1, 400.0 + 800.0 * i as f64);
         let t = SimTime::at(1, 10.0 + i as f64);
         let laptop = land
             .probe_train(NetworkId::NetC, TransportKind::Udp, &p, t, 80, 1200)

@@ -260,7 +260,9 @@ mod tests {
             },
         };
         let mut group = c.benchmark_group("g");
-        group.sample_size(2).measurement_time(Duration::from_millis(10));
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
         group.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
         });

@@ -38,7 +38,9 @@ pub mod test_runner {
     impl TestRng {
         /// A fixed-seed RNG: every run generates the same cases.
         pub fn deterministic() -> Self {
-            TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(0x9E37_79B9_7F4A_7C15))
+            TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(
+                0x9E37_79B9_7F4A_7C15,
+            ))
         }
     }
 
@@ -213,7 +215,10 @@ pub mod collection {
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 

@@ -196,5 +196,4 @@ pub mod uniform {
             (value1_2 - 1.0) * scale + low
         }
     }
-
 }

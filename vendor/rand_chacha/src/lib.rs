@@ -86,7 +86,9 @@ impl ChaCha8Rng {
             chacha_block(&input, 8, &mut out);
             self.buffer[blk * BLOCK_WORDS..(blk + 1) * BLOCK_WORDS].copy_from_slice(&out);
         }
-        self.counter = self.counter.wrapping_add((BUFFER_WORDS / BLOCK_WORDS) as u64);
+        self.counter = self
+            .counter
+            .wrapping_add((BUFFER_WORDS / BLOCK_WORDS) as u64);
         self.index = 0;
     }
 }

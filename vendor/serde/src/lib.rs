@@ -375,6 +375,49 @@ where
     }
 }
 
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        // Same pair-array encoding as the HashMap impl above; BTreeMap's
+        // own key order is already deterministic, but entries are sorted
+        // by rendered key form so both map types serialize identically.
+        let mut items: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let kv = k.to_value();
+                (format!("{kv:?}"), Value::Array(vec![kv, v.to_value()]))
+            })
+            .collect();
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Array(items.into_iter().map(|(_, pair)| pair).collect())
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected pair array for map, got {v:?}")))?;
+        items
+            .iter()
+            .map(|pair| {
+                let kv = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| DeError::new("map entry must be a [key, value] pair"))?;
+                Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+            })
+            .collect()
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()

@@ -17,7 +17,10 @@ enum Item {
     /// `struct Name;`
     UnitStruct { name: String },
     /// `enum Name { variants }`
-    Enum { name: String, variants: Vec<Variant> },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -173,11 +176,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),"
-                    )
-                })
+                .map(|f| format!("(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),"))
                 .collect();
             format!(
                 "impl serde::Serialize for {name} {{\n\
@@ -262,7 +261,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde derive: generated Serialize impl parses")
+    code.parse()
+        .expect("serde derive: generated Serialize impl parses")
 }
 
 /// Derives `serde::Deserialize` (vendored facade).
@@ -394,5 +394,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde derive: generated Deserialize impl parses")
+    code.parse()
+        .expect("serde derive: generated Deserialize impl parses")
 }

@@ -309,7 +309,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 character.
                     let rest = core::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("truncated string"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -373,7 +376,10 @@ mod tests {
             ("s".into(), Value::Str("hi \"there\"\n".into())),
         ]);
         let s = to_string(&v).unwrap();
-        assert_eq!(s, "{\"a\":1.5,\"b\":[1,null],\"s\":\"hi \\\"there\\\"\\n\"}");
+        assert_eq!(
+            s,
+            "{\"a\":1.5,\"b\":[1,null],\"s\":\"hi \\\"there\\\"\\n\"}"
+        );
         let back: Value = from_str(&s).unwrap();
         assert_eq!(back, v);
     }
