@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use wiscape_core::{Coordinator, ZoneId, ZoneIndex};
+use wiscape_core::{Coordinator, ZoneEstimate, ZoneId, ZoneIndex};
 use wiscape_geo::GeoPoint;
 use wiscape_simcore::SimTime;
 use wiscape_simnet::{Landscape, NetworkId};
@@ -40,8 +40,15 @@ impl ZoneQualityMap {
 
     /// Builds the map from a coordinator's published estimates.
     pub fn from_coordinator(coordinator: &Coordinator) -> Self {
-        let mut m = Self::new(coordinator.index().clone());
-        for e in coordinator.all_published() {
+        Self::from_estimates(coordinator.index().clone(), &coordinator.all_published())
+    }
+
+    /// Builds the map from published [`ZoneEstimate`]s, wherever they
+    /// came from — a local coordinator, or estimates that crossed the
+    /// control channel (`wiscape-channel`) from a remote one.
+    pub fn from_estimates(index: ZoneIndex, estimates: &[ZoneEstimate]) -> Self {
+        let mut m = Self::new(index);
+        for e in estimates {
             m.map.insert((e.zone, e.network), e.mean);
         }
         m

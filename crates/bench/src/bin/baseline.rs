@@ -42,11 +42,28 @@ struct ExperimentTiming {
     seconds: f64,
 }
 
+/// Control-channel throughput: wire-codec and lossy-link operations per
+/// second (one message = a 20-sample report, the common case).
+#[derive(Serialize)]
+struct ChannelRates {
+    /// `encode` calls per second on a 20-sample report.
+    encode_report_s: f64,
+    /// `decode` calls per second on the same frame.
+    decode_report_s: f64,
+    /// Encoded size of that frame, bytes.
+    report_frame_bytes: usize,
+    /// Perfect-link `send` calls per second (the zero-RNG fast path).
+    perfect_send_s: f64,
+    /// Cellular-link `send` calls per second at 10% drop.
+    cellular_send_s: f64,
+}
+
 #[derive(Serialize)]
 struct BenchCore {
     /// Worker count used (WISCAPE_THREADS or available parallelism).
     threads: usize,
     field_eval: EvalRates,
+    channel: ChannelRates,
     /// Per-experiment wall-clock at Scale::Quick, paper order.
     experiments: Vec<ExperimentTiming>,
     /// Wall-clock of the whole parallel experiment run, seconds.
@@ -122,6 +139,61 @@ fn field_eval_rates(field: &NetworkField, p: wiscape_geo::GeoPoint) -> EvalRates
     }
 }
 
+fn channel_rates() -> ChannelRates {
+    use wiscape_channel::codec::{decode, encode, ReportMsg, WireMessage};
+    use wiscape_channel::{LinkConfig, LossyLink};
+    use wiscape_core::{MeasurementTask, SampleReport, ZoneId};
+    use wiscape_geo::CellId;
+    use wiscape_mobility::ClientId;
+    use wiscape_simcore::StreamRng;
+    use wiscape_simnet::TransportKind;
+
+    let budget = 0.5;
+    let zone = ZoneId(CellId { col: 12, row: -4 });
+    let msg = WireMessage::Report(ReportMsg {
+        seq: 4242,
+        report: SampleReport {
+            client: ClientId(7),
+            task: MeasurementTask {
+                zone,
+                network: NetworkId::NetB,
+                kind: TransportKind::Udp,
+                n_packets: 20,
+                packet_bytes: 1200,
+            },
+            zone,
+            t: SimTime::at(1, 9.5),
+            samples: (0..20).map(|i| 900.0 + i as f64).collect(),
+        },
+    });
+    let encode_report_s = rate(budget, || {
+        black_box(encode(black_box(&msg)));
+    });
+    let frame = encode(&msg);
+    let decode_report_s = rate(budget, || {
+        black_box(decode(black_box(&frame)).expect("valid frame"));
+    });
+    let now = SimTime::at(1, 9.5);
+    let mut perfect = LossyLink::new(LinkConfig::perfect(), StreamRng::new(11).fork("perfect"));
+    let perfect_send_s = rate(budget, || {
+        black_box(perfect.send(black_box(frame.clone()), now, 0.0));
+    });
+    let mut cellular = LossyLink::new(
+        LinkConfig::cellular(0.1),
+        StreamRng::new(11).fork("cellular"),
+    );
+    let cellular_send_s = rate(budget, || {
+        black_box(cellular.send(black_box(frame.clone()), now, 0.05));
+    });
+    ChannelRates {
+        encode_report_s,
+        decode_report_s,
+        report_frame_bytes: frame.len(),
+        perfect_send_s,
+        cellular_send_s,
+    }
+}
+
 fn main() {
     let mut out_path = String::from("results/BENCH_core.json");
     let mut args = std::env::args().skip(1);
@@ -155,6 +227,17 @@ fn main() {
         field_eval.batch_eval_s,
     );
 
+    eprintln!("[baseline] control-channel codec + link rates...");
+    let channel = channel_rates();
+    eprintln!(
+        "[baseline] encode {:.0}/s, decode {:.0}/s ({} B frame), link send perfect {:.0}/s, cellular {:.0}/s",
+        channel.encode_report_s,
+        channel.decode_report_s,
+        channel.report_frame_bytes,
+        channel.perfect_send_s,
+        channel.cellular_send_s,
+    );
+
     eprintln!("[baseline] running all experiments at Scale::Quick...");
     let names: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     let wall = Instant::now();
@@ -173,6 +256,7 @@ fn main() {
     let report = BenchCore {
         threads,
         field_eval,
+        channel,
         experiments,
         experiments_wall_s,
         experiments_cpu_s,

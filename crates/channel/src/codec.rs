@@ -1,0 +1,735 @@
+//! The compact binary wire codec for the control channel.
+//!
+//! Frame layout (all multi-byte integers little-endian):
+//!
+//! ```text
+//! +-------+-------+---------+-----------------+----------+
+//! | magic | ver   | varint  | body            | crc32    |
+//! | 2 B   | 1 B   | len(b)  | tag + fields    | 4 B (LE) |
+//! +-------+-------+---------+-----------------+----------+
+//! ```
+//!
+//! * `magic` = `0x57 0x43` (`"WC"`), `ver` = 1;
+//! * `len` is the body length as an LEB128 varint;
+//! * `body` starts with a one-byte message tag (see [`WireMessage`])
+//!   followed by the message fields: unsigned integers as varints,
+//!   signed integers zigzag-folded first, `f64` as its raw IEEE-754
+//!   bits in 8 LE bytes (bit-exact round-trips, NaN included);
+//! * `crc32` is the IEEE CRC-32 of the body.
+//!
+//! Decoding is total: any byte slice either yields a message or a
+//! typed [`DecodeError`] — never a panic, never an allocation larger
+//! than the input. This file is the wire-decode surface guarded by
+//! lint rule **S003**: no `as` numeric casts (conversions go through
+//! `From`/`TryFrom`/`to_le_bytes`, so silent truncation cannot hide).
+
+use wiscape_core::{MeasurementTask, SampleReport, ZoneId};
+use wiscape_geo::{CellId, GeoPoint};
+use wiscape_mobility::ClientId;
+use wiscape_simcore::SimTime;
+use wiscape_simnet::{NetworkId, TransportKind};
+
+/// Frame magic: `"WC"` (WiScape Channel).
+pub const MAGIC: [u8; 2] = [0x57, 0x43];
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+
+const TAG_CHECKIN: u8 = 1;
+const TAG_TASK: u8 = 2;
+const TAG_REPORT: u8 = 3;
+const TAG_ACK: u8 = 4;
+
+/// A client's periodic coarse-position check-in (client → coordinator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckinRequest {
+    /// Reporting client.
+    pub client: ClientId,
+    /// The client's local check-in counter (monotone per client); the
+    /// coordinator folds it into its task-issuance coin so pacing stays
+    /// reproducible under loss.
+    pub tick: u64,
+    /// Coarse position (tower-granularity in a real deployment).
+    pub point: GeoPoint,
+    /// Client clock at check-in.
+    pub t: SimTime,
+}
+
+/// A measurement task addressed to one client (coordinator → client).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskAssignment {
+    /// Destination client.
+    pub client: ClientId,
+    /// The task to run.
+    pub task: MeasurementTask,
+}
+
+/// A sequenced sample report (client → coordinator). The `seq` is the
+/// client-local sequence number the delivery layer dedups on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportMsg {
+    /// Client-local sequence number (assigned by the uplink queue).
+    pub seq: u64,
+    /// The report payload.
+    pub report: SampleReport,
+}
+
+/// A selective acknowledgement (coordinator → client).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AckMsg {
+    /// Destination client.
+    pub client: ClientId,
+    /// Report sequence numbers received (possibly as duplicates).
+    pub seqs: Vec<u64>,
+}
+
+/// The four control-channel message types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// Client check-in.
+    Checkin(CheckinRequest),
+    /// Task assignment.
+    Task(TaskAssignment),
+    /// Sample report.
+    Report(ReportMsg),
+    /// Selective ack.
+    Ack(AckMsg),
+}
+
+/// Why a frame failed to decode. Every variant is a normal return — the
+/// decoder never panics on arbitrary input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ends before the frame does.
+    Truncated {
+        /// Bytes the decoder needed at the failure point.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first two bytes are not the frame magic.
+    BadMagic,
+    /// The version byte names a protocol we do not speak.
+    UnsupportedVersion(u8),
+    /// The body checksum does not match.
+    BadChecksum {
+        /// CRC carried by the frame.
+        expected: u32,
+        /// CRC computed over the received body.
+        found: u32,
+    },
+    /// The body starts with an unknown message tag.
+    UnknownTag(u8),
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    VarintOverflow,
+    /// Bytes remain after a complete frame (strict single-frame decode).
+    TrailingBytes(usize),
+    /// A field decoded to a value outside its domain.
+    BadValue(&'static str),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} byte(s), have {have}")
+            }
+            DecodeError::BadMagic => write!(f, "bad frame magic"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:#010x}, body is {found:#010x}"
+                )
+            }
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after frame"),
+            DecodeError::BadValue(what) => write!(f, "field out of domain: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).
+// ---------------------------------------------------------------------
+
+/// IEEE CRC-32 of `bytes` (bitwise implementation; table-free keeps the
+/// decode surface trivially audit-able).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        let mut k = 0;
+        while k < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers.
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let low = v & 0x7F;
+        v >>= 7;
+        let mut byte = low.to_le_bytes()[0];
+        if v != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+/// Zigzag-folds a signed 64-bit value into an unsigned one so small
+/// magnitudes (of either sign) stay short on the wire.
+fn zigzag(v: i64) -> u64 {
+    let folded = v.wrapping_shl(1) ^ (v >> 63);
+    u64::from_le_bytes(folded.to_le_bytes())
+}
+
+fn unzigzag(u: u64) -> i64 {
+    let half = u >> 1;
+    let mask = (u & 1).wrapping_neg();
+    i64::from_le_bytes((half ^ mask).to_le_bytes())
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, zigzag(v));
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    put_i64(out, i64::from(v));
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    put_varint(out, u64::from(v));
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_network(out: &mut Vec<u8>, net: NetworkId) {
+    out.push(match net {
+        NetworkId::NetA => 0,
+        NetworkId::NetB => 1,
+        NetworkId::NetC => 2,
+    });
+}
+
+fn put_kind(out: &mut Vec<u8>, kind: TransportKind) {
+    out.push(match kind {
+        TransportKind::Tcp => 0,
+        TransportKind::Udp => 1,
+    });
+}
+
+fn put_zone(out: &mut Vec<u8>, zone: ZoneId) {
+    put_i32(out, zone.0.col);
+    put_i32(out, zone.0.row);
+}
+
+fn put_point(out: &mut Vec<u8>, p: &GeoPoint) {
+    put_f64(out, p.lat_deg());
+    put_f64(out, p.lon_deg());
+}
+
+fn put_time(out: &mut Vec<u8>, t: SimTime) {
+    put_i64(out, t.as_micros());
+}
+
+fn put_task_fields(out: &mut Vec<u8>, task: &MeasurementTask) {
+    put_zone(out, task.zone);
+    put_network(out, task.network);
+    put_kind(out, task.kind);
+    put_u32(out, task.n_packets);
+    put_u32(out, task.packet_bytes);
+}
+
+// ---------------------------------------------------------------------
+// Primitive readers.
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        loop {
+            let byte = self.u8()?;
+            let low = u64::from(byte & 0x7F);
+            if shift >= 64 || (shift == 63 && low > 1) {
+                return Err(DecodeError::VarintOverflow);
+            }
+            value |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(unzigzag(self.varint()?))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        i32::try_from(self.i64()?).map_err(|_| DecodeError::BadValue("32-bit signed field"))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        u32::try_from(self.varint()?).map_err(|_| DecodeError::BadValue("32-bit unsigned field"))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        let raw = self.take(8)?;
+        let mut bits = [0u8; 8];
+        bits.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(bits)))
+    }
+
+    fn network(&mut self) -> Result<NetworkId, DecodeError> {
+        match self.u8()? {
+            0 => Ok(NetworkId::NetA),
+            1 => Ok(NetworkId::NetB),
+            2 => Ok(NetworkId::NetC),
+            _ => Err(DecodeError::BadValue("network id")),
+        }
+    }
+
+    fn kind(&mut self) -> Result<TransportKind, DecodeError> {
+        match self.u8()? {
+            0 => Ok(TransportKind::Tcp),
+            1 => Ok(TransportKind::Udp),
+            _ => Err(DecodeError::BadValue("transport kind")),
+        }
+    }
+
+    fn zone(&mut self) -> Result<ZoneId, DecodeError> {
+        let col = self.i32()?;
+        let row = self.i32()?;
+        Ok(ZoneId(CellId { col, row }))
+    }
+
+    fn point(&mut self) -> Result<GeoPoint, DecodeError> {
+        let lat = self.f64()?;
+        let lon = self.f64()?;
+        GeoPoint::new(lat, lon).map_err(|_| DecodeError::BadValue("geographic coordinates"))
+    }
+
+    fn time(&mut self) -> Result<SimTime, DecodeError> {
+        Ok(SimTime::from_micros(self.i64()?))
+    }
+
+    fn client(&mut self) -> Result<ClientId, DecodeError> {
+        Ok(ClientId(self.u32()?))
+    }
+
+    fn task_fields(&mut self) -> Result<MeasurementTask, DecodeError> {
+        Ok(MeasurementTask {
+            zone: self.zone()?,
+            network: self.network()?,
+            kind: self.kind()?,
+            n_packets: self.u32()?,
+            packet_bytes: self.u32()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message bodies.
+// ---------------------------------------------------------------------
+
+fn encode_body(msg: &WireMessage) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    match msg {
+        WireMessage::Checkin(c) => {
+            body.push(TAG_CHECKIN);
+            put_u32(&mut body, c.client.0);
+            put_varint(&mut body, c.tick);
+            put_point(&mut body, &c.point);
+            put_time(&mut body, c.t);
+        }
+        WireMessage::Task(a) => {
+            body.push(TAG_TASK);
+            put_u32(&mut body, a.client.0);
+            put_task_fields(&mut body, &a.task);
+        }
+        WireMessage::Report(r) => {
+            body.push(TAG_REPORT);
+            put_varint(&mut body, r.seq);
+            put_u32(&mut body, r.report.client.0);
+            put_task_fields(&mut body, &r.report.task);
+            put_zone(&mut body, r.report.zone);
+            put_time(&mut body, r.report.t);
+            put_varint(
+                &mut body,
+                u64::try_from(r.report.samples.len()).unwrap_or(u64::MAX),
+            );
+            for &s in &r.report.samples {
+                put_f64(&mut body, s);
+            }
+        }
+        WireMessage::Ack(a) => {
+            body.push(TAG_ACK);
+            put_u32(&mut body, a.client.0);
+            put_varint(&mut body, u64::try_from(a.seqs.len()).unwrap_or(u64::MAX));
+            for &s in &a.seqs {
+                put_varint(&mut body, s);
+            }
+        }
+    }
+    body
+}
+
+fn decode_body(body: &[u8]) -> Result<WireMessage, DecodeError> {
+    let mut r = Reader::new(body);
+    let tag = r.u8()?;
+    let msg = match tag {
+        TAG_CHECKIN => WireMessage::Checkin(CheckinRequest {
+            client: r.client()?,
+            tick: r.varint()?,
+            point: r.point()?,
+            t: r.time()?,
+        }),
+        TAG_TASK => WireMessage::Task(TaskAssignment {
+            client: r.client()?,
+            task: r.task_fields()?,
+        }),
+        TAG_REPORT => {
+            let seq = r.varint()?;
+            let client = r.client()?;
+            let task = r.task_fields()?;
+            let zone = r.zone()?;
+            let t = r.time()?;
+            let n = r.varint()?;
+            // Each sample is 8 bytes: a length field larger than the
+            // remaining body is a lie, not a reason to allocate.
+            let n = usize::try_from(n).map_err(|_| DecodeError::BadValue("sample count"))?;
+            let need = n
+                .checked_mul(8)
+                .ok_or(DecodeError::BadValue("sample count"))?;
+            if r.remaining() < need {
+                return Err(DecodeError::Truncated {
+                    needed: need,
+                    have: r.remaining(),
+                });
+            }
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                samples.push(r.f64()?);
+            }
+            WireMessage::Report(ReportMsg {
+                seq,
+                report: SampleReport {
+                    client,
+                    task,
+                    zone,
+                    t,
+                    samples,
+                },
+            })
+        }
+        TAG_ACK => {
+            let client = r.client()?;
+            let n = usize::try_from(r.varint()?).map_err(|_| DecodeError::BadValue("ack count"))?;
+            // Acks are varints (>= 1 byte each): bound the allocation by
+            // what the body can actually hold.
+            if r.remaining() < n {
+                return Err(DecodeError::Truncated {
+                    needed: n,
+                    have: r.remaining(),
+                });
+            }
+            let mut seqs = Vec::with_capacity(n);
+            for _ in 0..n {
+                seqs.push(r.varint()?);
+            }
+            WireMessage::Ack(AckMsg { client, seqs })
+        }
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Encodes one message as a self-delimiting frame.
+pub fn encode(msg: &WireMessage) -> Vec<u8> {
+    let body = encode_body(msg);
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, u64::try_from(body.len()).unwrap_or(u64::MAX));
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Decodes one frame from the start of `bytes`, returning the message
+/// and the number of bytes consumed (for concatenated-frame streams).
+pub fn decode_prefix(bytes: &[u8]) -> Result<(WireMessage, usize), DecodeError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(2)?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let len = usize::try_from(r.varint()?).map_err(|_| DecodeError::BadValue("frame length"))?;
+    let body = r.take(len)?;
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(r.take(4)?);
+    let expected = u32::from_le_bytes(crc_bytes);
+    let found = crc32(body);
+    if expected != found {
+        return Err(DecodeError::BadChecksum { expected, found });
+    }
+    let msg = decode_body(body)?;
+    Ok((msg, r.pos))
+}
+
+/// Decodes exactly one frame; trailing bytes are an error.
+pub fn decode(bytes: &[u8]) -> Result<WireMessage, DecodeError> {
+    let (msg, used) = decode_prefix(bytes)?;
+    if used != bytes.len() {
+        return Err(DecodeError::TrailingBytes(bytes.len() - used));
+    }
+    Ok(msg)
+}
+
+/// Decodes a stream of concatenated frames (a batched transmission).
+pub fn decode_all(mut bytes: &[u8]) -> Result<Vec<WireMessage>, DecodeError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let (msg, used) = decode_prefix(bytes)?;
+        out.push(msg);
+        bytes = &bytes[used..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(seq: u64) -> WireMessage {
+        WireMessage::Report(ReportMsg {
+            seq,
+            report: SampleReport {
+                client: ClientId(7),
+                task: MeasurementTask {
+                    zone: ZoneId(CellId { col: -3, row: 11 }),
+                    network: NetworkId::NetB,
+                    kind: TransportKind::Udp,
+                    n_packets: 20,
+                    packet_bytes: 1200,
+                },
+                zone: ZoneId(CellId { col: -3, row: 12 }),
+                t: SimTime::at(2, 13.5),
+                samples: vec![812.25, 799.0, f64::NAN, 0.0],
+            },
+        })
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let msg = sample_report(42);
+        let bytes = encode(&msg);
+        let back = decode(&bytes).unwrap();
+        // NaN breaks PartialEq; compare through the bit patterns.
+        match (&msg, &back) {
+            (WireMessage::Report(a), WireMessage::Report(b)) => {
+                assert_eq!(a.seq, b.seq);
+                assert_eq!(a.report.client, b.report.client);
+                assert_eq!(a.report.task, b.report.task);
+                assert_eq!(a.report.zone, b.report.zone);
+                assert_eq!(a.report.t, b.report.t);
+                let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&a.report.samples), bits(&b.report.samples));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkin_task_ack_round_trip() {
+        let msgs = [
+            WireMessage::Checkin(CheckinRequest {
+                client: ClientId(0),
+                tick: u64::MAX,
+                point: GeoPoint::new(43.0731, -89.4012).unwrap(),
+                t: SimTime::from_micros(-5),
+            }),
+            WireMessage::Task(TaskAssignment {
+                client: ClientId(u32::MAX),
+                task: MeasurementTask {
+                    zone: ZoneId(CellId {
+                        col: i32::MIN,
+                        row: i32::MAX,
+                    }),
+                    network: NetworkId::NetC,
+                    kind: TransportKind::Tcp,
+                    n_packets: 0,
+                    packet_bytes: u32::MAX,
+                },
+            }),
+            WireMessage::Ack(AckMsg {
+                client: ClientId(9),
+                seqs: vec![0, 1, u64::MAX],
+            }),
+        ];
+        for msg in &msgs {
+            assert_eq!(&decode(&encode(msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_cut() {
+        let bytes = encode(&sample_report(3));
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated { .. }) || cut < 3,
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = encode(&sample_report(9));
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    decode(&corrupt).is_err(),
+                    "flip byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_claims_do_not_allocate() {
+        // A report body claiming u64::MAX samples with a 30-byte frame
+        // must fail fast with a typed error.
+        let mut body = vec![TAG_REPORT];
+        put_varint(&mut body, 1); // seq
+        put_u32(&mut body, 1); // client
+        put_task_fields(
+            &mut body,
+            &MeasurementTask {
+                zone: ZoneId(CellId { col: 0, row: 0 }),
+                network: NetworkId::NetA,
+                kind: TransportKind::Udp,
+                n_packets: 1,
+                packet_bytes: 1,
+            },
+        );
+        put_zone(&mut body, ZoneId(CellId { col: 0, row: 0 }));
+        put_time(&mut body, SimTime::EPOCH);
+        put_varint(&mut body, u64::MAX); // sample count lie
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.push(VERSION);
+        put_varint(&mut frame, u64::try_from(body.len()).unwrap());
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        let err = decode(&frame).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::BadValue(_) | DecodeError::Truncated { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order() {
+        let a = encode(&WireMessage::Ack(AckMsg {
+            client: ClientId(1),
+            seqs: vec![5],
+        }));
+        let b = encode(&WireMessage::Ack(AckMsg {
+            client: ClientId(2),
+            seqs: vec![6, 7],
+        }));
+        let stream: Vec<u8> = a.iter().chain(&b).copied().collect();
+        let msgs = decode_all(&stream).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert!(decode(&stream).is_err(), "strict decode rejects trailing");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_boundaries_round_trip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xFF; 11];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.varint().unwrap_err(), DecodeError::VarintOverflow);
+    }
+}

@@ -1,0 +1,683 @@
+//! A WiScape deployment whose control loop runs over the wire protocol.
+//!
+//! [`ChannelDeployment`] replays the exact control loop of
+//! [`wiscape_core::Deployment`] — same rounds, same fleet order, same
+//! RNG fork paths — but every coordinator interaction crosses the
+//! simulated control channel: check-ins and reports are encoded,
+//! framed, and sent over a per-client [`LossyLink`]; task assignments
+//! and acks come back the same way; reports ride the reliable
+//! [`Uplink`] queue.
+//!
+//! **Parity invariant**: with [`perfect_link`] the transport is a
+//! direct function call (zero loss, zero delay, no channel RNG draws),
+//! the server derives each task coin from the same
+//! `fork("coin").fork_idx(round).fork_idx(client)` path the direct
+//! deployment uses, and reports are committed on arrival — so the
+//! published map, alerts, and stats are bitwise-identical to
+//! [`wiscape_core::Deployment`] for the same inputs. Channel
+//! randomness (link fates, backoff jitter) lives under separate
+//! `fork("channel")` paths and therefore cannot perturb the
+//! measurement stream even when enabled.
+
+use std::collections::BTreeMap;
+
+use wiscape_core::{
+    ClientAgent, Coordinator, DeploymentConfig, DeploymentStats, EpochTuner, HistoryStore,
+    QuotaTuner,
+};
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::{ClientId, Fleet};
+use wiscape_simcore::{SimTime, StreamRng};
+use wiscape_simnet::{Landscape, NetworkId};
+
+use crate::codec::{decode, encode, CheckinRequest, WireMessage};
+use crate::link::{LinkConfig, LinkMeters, LossyLink};
+use crate::server::{ChannelServer, CommitPolicy, ServerMeters};
+use crate::uplink::{Uplink, UplinkConfig, UplinkMeters};
+
+/// Configuration of a channel-backed deployment.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// The underlying deployment parameters (coordinator, check-in
+    /// interval, networks, tuning).
+    pub deployment: DeploymentConfig,
+    /// Client → coordinator link model for check-ins.
+    pub uplink_link: LinkConfig,
+    /// Coordinator → client link model (tasks, acks).
+    pub downlink_link: LinkConfig,
+    /// Client → coordinator link model for report frames. Split from
+    /// the check-in link so experiments can study *report* loss (the
+    /// acceptance case of the paper's overhead argument) without also
+    /// perturbing task issuance.
+    pub report_link: LinkConfig,
+    /// Per-client reliable report queue policy.
+    pub uplink: UplinkConfig,
+    /// When deduplicated reports commit into the coordinator.
+    pub commit: CommitPolicy,
+    /// Extra post-run rounds allowed for retransmissions to drain.
+    pub max_drain_rounds: u32,
+}
+
+/// The parity configuration: perfect links in both directions and
+/// immediate commit. Running a deployment with this config reproduces
+/// [`wiscape_core::Deployment`] bit for bit.
+pub fn perfect_link() -> ChannelConfig {
+    ChannelConfig {
+        deployment: DeploymentConfig::default(),
+        uplink_link: LinkConfig::perfect(),
+        downlink_link: LinkConfig::perfect(),
+        report_link: LinkConfig::perfect(),
+        uplink: UplinkConfig::default(),
+        commit: CommitPolicy::Immediate,
+        max_drain_rounds: 0,
+    }
+}
+
+/// Report-path loss only: check-ins, tasks, and acks flow over perfect
+/// links (so the *same* measurements are taken), while report frames
+/// are dropped with probability `drop_rate`. With the deep-watermark
+/// commit this isolates the delivery layer: once retries drain, the
+/// published map must equal the `drop_rate = 0` run exactly.
+pub fn report_loss(drop_rate: f64) -> ChannelConfig {
+    ChannelConfig {
+        deployment: DeploymentConfig::default(),
+        uplink_link: LinkConfig::perfect(),
+        downlink_link: LinkConfig::perfect(),
+        report_link: LinkConfig {
+            drop_rate,
+            ..LinkConfig::perfect()
+        },
+        uplink: UplinkConfig::default(),
+        commit: CommitPolicy::Watermark(wiscape_simcore::SimDuration::from_hours(24 * 365)),
+        max_drain_rounds: 500,
+    }
+}
+
+/// A lossy-cellular configuration: both directions drop `drop_rate` of
+/// frames (plus the zone's own loss), with delay/jitter/duplication,
+/// and reports commit through a deep watermark so the published map
+/// depends only on the set of delivered reports.
+pub fn lossy_cellular(drop_rate: f64) -> ChannelConfig {
+    ChannelConfig {
+        deployment: DeploymentConfig::default(),
+        uplink_link: LinkConfig::cellular(drop_rate),
+        downlink_link: LinkConfig::cellular(drop_rate),
+        report_link: LinkConfig::cellular(drop_rate),
+        uplink: UplinkConfig::default(),
+        commit: CommitPolicy::Watermark(wiscape_simcore::SimDuration::from_hours(24 * 365)),
+        max_drain_rounds: 200,
+    }
+}
+
+/// Aggregated channel-side counters of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelRunMeters {
+    /// Server endpoint counters.
+    pub server: ServerMeters,
+    /// Client → server check-in link counters, summed over clients.
+    pub up: LinkMeters,
+    /// Server → client link counters, summed over clients.
+    pub down: LinkMeters,
+    /// Client → server report link counters, summed over clients.
+    pub report: LinkMeters,
+    /// Uplink (reliable queue) counters, summed over clients.
+    pub uplink: UplinkMeters,
+}
+
+impl ChannelRunMeters {
+    /// Total control-channel bytes put on the air in both directions.
+    pub fn control_bytes(&self) -> u64 {
+        self.up.bytes_sent + self.down.bytes_sent + self.report.bytes_sent
+    }
+}
+
+enum Inbound {
+    /// Frame headed to the coordinator endpoint.
+    ToServer(ClientId, Vec<u8>),
+    /// Frame headed back to a client.
+    ToClient(ClientId, Vec<u8>),
+}
+
+struct ClientState {
+    agent: ClientAgent,
+    uplink: Uplink,
+    link_up: LossyLink,
+    link_down: LossyLink,
+    link_report: LossyLink,
+}
+
+/// A running channel-backed deployment.
+pub struct ChannelDeployment {
+    land: Landscape,
+    fleet: Fleet,
+    server: ChannelServer,
+    config: ChannelConfig,
+    stream: StreamRng,
+    clients: BTreeMap<ClientId, ClientState>,
+    /// Delayed frames keyed by `(arrival, transmission index)`.
+    in_flight: BTreeMap<(SimTime, u64), Inbound>,
+    flight_seq: u64,
+    /// Fixes of the round being processed (for executing late tasks).
+    fixes: BTreeMap<ClientId, GeoPoint>,
+    stats: DeploymentStats,
+    history: HistoryStore,
+    /// NKLD quota tuner (public so runs can lower `min_history`).
+    pub quota_tuner: QuotaTuner,
+    /// Allan epoch tuner (public so runs can lower `min_history`).
+    pub epoch_tuner: EpochTuner,
+    last_retune: Option<SimTime>,
+    carrier: Option<NetworkId>,
+}
+
+impl ChannelDeployment {
+    /// Creates a channel-backed deployment monitoring
+    /// `config.deployment.networks` (all of the landscape's networks
+    /// when that list is empty).
+    pub fn new(
+        land: Landscape,
+        fleet: Fleet,
+        index: wiscape_core::ZoneIndex,
+        mut config: ChannelConfig,
+    ) -> Self {
+        if config.deployment.networks.is_empty() {
+            config.deployment.networks = land.networks();
+        }
+        let seed = land.config().seed;
+        let stream = StreamRng::new(seed).fork("deployment");
+        let channel_stream = StreamRng::new(seed).fork("channel");
+        let coordinator = Coordinator::new(index, config.deployment.coordinator.clone());
+        let server = ChannelServer::new(
+            coordinator,
+            config.commit,
+            stream,
+            config.deployment.networks.clone(),
+        );
+        let mut clients = BTreeMap::new();
+        for client in fleet.clients() {
+            let id = client.id();
+            let per_client = channel_stream.fork_idx(u64::from(id.0));
+            clients.insert(
+                id,
+                ClientState {
+                    agent: ClientAgent::new(id),
+                    uplink: Uplink::new(id, config.uplink.clone(), per_client.fork("uplink")),
+                    link_up: LossyLink::new(config.uplink_link.clone(), per_client.fork("up")),
+                    link_down: LossyLink::new(
+                        config.downlink_link.clone(),
+                        per_client.fork("down"),
+                    ),
+                    link_report: LossyLink::new(
+                        config.report_link.clone(),
+                        per_client.fork("report"),
+                    ),
+                },
+            );
+        }
+        // The control channel rides the first monitored network.
+        let carrier = config.deployment.networks.first().copied();
+        Self {
+            land,
+            fleet,
+            server,
+            config,
+            stream,
+            clients,
+            in_flight: BTreeMap::new(),
+            flight_seq: 0,
+            fixes: BTreeMap::new(),
+            stats: DeploymentStats::default(),
+            history: HistoryStore::new(),
+            quota_tuner: QuotaTuner::default(),
+            epoch_tuner: EpochTuner::default(),
+            last_retune: None,
+            carrier,
+        }
+    }
+
+    /// The server endpoint (coordinator + channel meters).
+    pub fn server(&self) -> &ChannelServer {
+        &self.server
+    }
+
+    /// The wrapped coordinator (and its published map).
+    pub fn coordinator(&self) -> &Coordinator {
+        self.server.coordinator()
+    }
+
+    /// The landscape under measurement.
+    pub fn landscape(&self) -> &Landscape {
+        &self.land
+    }
+
+    /// Deployment-level counters (mirrors
+    /// [`wiscape_core::DeploymentStats`] semantics).
+    pub fn stats(&self) -> DeploymentStats {
+        self.stats
+    }
+
+    /// Accumulated per-zone sample history (feeds the §3.4 tuners).
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// Reports still waiting for an ack across all clients.
+    pub fn pending_reports(&self) -> usize {
+        self.clients.values().map(|c| c.uplink.pending_len()).sum()
+    }
+
+    /// Aggregated channel meters.
+    pub fn meters(&self) -> ChannelRunMeters {
+        let mut m = ChannelRunMeters {
+            server: self.server.meters(),
+            ..Default::default()
+        };
+        fn add(into: &mut LinkMeters, from: LinkMeters) {
+            into.frames_sent += from.frames_sent;
+            into.bytes_sent += from.bytes_sent;
+            into.frames_dropped += from.frames_dropped;
+            into.frames_duplicated += from.frames_duplicated;
+            into.frames_delivered += from.frames_delivered;
+            into.bytes_delivered += from.bytes_delivered;
+        }
+        for c in self.clients.values() {
+            let ul = c.uplink.meters();
+            add(&mut m.up, c.link_up.meters());
+            add(&mut m.down, c.link_down.meters());
+            add(&mut m.report, c.link_report.meters());
+            m.uplink.enqueued += ul.enqueued;
+            m.uplink.overflow_dropped += ul.overflow_dropped;
+            m.uplink.transmissions += ul.transmissions;
+            m.uplink.retries += ul.retries;
+            m.uplink.acked += ul.acked;
+            m.uplink.abandoned += ul.abandoned;
+        }
+        m
+    }
+
+    /// Simnet loss rate at `point` on the control carrier (0.0 when the
+    /// link model does not couple to zone quality).
+    fn zone_loss(&self, id: ClientId, now: SimTime) -> f64 {
+        let couples = self.config.uplink_link.zone_loss_scale > 0.0
+            || self.config.downlink_link.zone_loss_scale > 0.0
+            || self.config.report_link.zone_loss_scale > 0.0;
+        if !couples {
+            return 0.0;
+        }
+        let (Some(carrier), Some(point)) = (self.carrier, self.fixes.get(&id)) else {
+            return 0.0;
+        };
+        match self.land.field(carrier) {
+            Ok(field) => field.loss_rate(point, now),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sends a client-originated frame up (`report` selects the report
+    /// link over the check-in link); immediate deliveries are processed
+    /// synchronously (the perfect-link path), delayed ones are queued.
+    fn send_up(&mut self, id: ClientId, frame: Vec<u8>, now: SimTime, report: bool) {
+        let loss = self.zone_loss(id, now);
+        let state = self.clients.get_mut(&id).expect("known client");
+        let link = if report {
+            &mut state.link_report
+        } else {
+            &mut state.link_up
+        };
+        let deliveries = link.send(frame, now, loss);
+        for d in deliveries {
+            if d.at <= now {
+                self.server_receive(id, &d.frame, now);
+            } else {
+                self.in_flight
+                    .insert((d.at, self.flight_seq), Inbound::ToServer(id, d.frame));
+                self.flight_seq += 1;
+            }
+        }
+    }
+
+    /// Sends a server-originated frame down to `id`; same immediate /
+    /// delayed split as [`ChannelDeployment::send_up`].
+    fn send_down(&mut self, id: ClientId, frame: Vec<u8>, now: SimTime) {
+        let loss = self.zone_loss(id, now);
+        let deliveries = self
+            .clients
+            .get_mut(&id)
+            .expect("known client")
+            .link_down
+            .send(frame, now, loss);
+        for d in deliveries {
+            if d.at <= now {
+                self.client_receive(id, &d.frame, now);
+            } else {
+                self.in_flight
+                    .insert((d.at, self.flight_seq), Inbound::ToClient(id, d.frame));
+                self.flight_seq += 1;
+            }
+        }
+    }
+
+    fn server_receive(&mut self, from: ClientId, frame: &[u8], now: SimTime) {
+        let replies = self.server.receive(frame, now);
+        for reply in replies {
+            self.send_down(from, reply, now);
+        }
+    }
+
+    fn client_receive(&mut self, id: ClientId, frame: &[u8], now: SimTime) {
+        let Ok(msg) = decode(frame) else {
+            // Corrupt frames are modelled as drops by the link, but a
+            // defensive endpoint still must not panic on garbage.
+            return;
+        };
+        match msg {
+            WireMessage::Task(assignment) => {
+                // Execute at the client's position *this* round; a task
+                // arriving while the client is off-shift is skipped
+                // (nobody is there to run the probe).
+                let Some(point) = self.fixes.get(&id).copied() else {
+                    return;
+                };
+                let state = self.clients.get_mut(&id).expect("known client");
+                if let Ok(report) = state.agent.execute(
+                    &self.land,
+                    self.server.coordinator().index(),
+                    &assignment.task,
+                    &point,
+                    now,
+                ) {
+                    if self.config.deployment.auto_tune {
+                        self.history.record(
+                            report.zone,
+                            report.task.network,
+                            report.t,
+                            &report.samples,
+                        );
+                    }
+                    state.uplink.enqueue(report, now);
+                }
+            }
+            WireMessage::Ack(ack) => {
+                let state = self.clients.get_mut(&id).expect("known client");
+                state.uplink.handle_ack(&ack);
+            }
+            // Server-bound traffic delivered to a client is dropped.
+            WireMessage::Checkin(_) | WireMessage::Report(_) => {}
+        }
+    }
+
+    /// Delivers every in-flight frame whose arrival time has come, in
+    /// `(arrival, transmission index)` order.
+    fn deliver_due(&mut self, now: SimTime) {
+        loop {
+            let Some((&key, _)) = self.in_flight.iter().next() else {
+                return;
+            };
+            if key.0 > now {
+                return;
+            }
+            let inbound = self.in_flight.remove(&key).expect("first key exists");
+            match inbound {
+                Inbound::ToServer(from, frame) => self.server_receive(from, &frame, now),
+                Inbound::ToClient(id, frame) => self.client_receive(id, &frame, now),
+            }
+        }
+    }
+
+    /// Re-runs the NKLD quota tuner and the Allan epoch tuner over every
+    /// zone with enough history (same fork path as the direct
+    /// deployment, so tuned runs stay comparable).
+    pub fn retune(&mut self, now: SimTime) {
+        let min = self
+            .quota_tuner
+            .min_history
+            .min(self.epoch_tuner.min_history);
+        for (zone, net) in self.history.keys_with_min(min) {
+            let Some(h) = self.history.history(zone, net) else {
+                continue;
+            };
+            let micros_bits = u64::from_le_bytes(now.as_micros().to_le_bytes());
+            let seed = self.stream.fork("retune").fork_idx(micros_bits).draw_u64();
+            if let Some(q) = self.quota_tuner.quota(h, seed) {
+                self.server.coordinator_mut().set_zone_quota(zone, net, q);
+                self.stats.quotas_tuned += 1;
+            }
+            if let Some(e) = self.epoch_tuner.epoch(h) {
+                self.server.coordinator_mut().set_zone_epoch(zone, net, e);
+                self.stats.epochs_tuned += 1;
+            }
+        }
+        self.last_retune = Some(now);
+    }
+
+    fn round(&mut self, round_idx: u64, now: SimTime) {
+        // Refresh fixes first: late frames delivered this round execute
+        // at the position the client actually occupies now.
+        self.fixes.clear();
+        for client in self.fleet.clients() {
+            if let Some(fix) = client.position_at(now) {
+                self.fixes.insert(client.id(), fix.point);
+            }
+        }
+        self.deliver_due(now);
+        let ids: Vec<ClientId> = self.fleet.clients().iter().map(|c| c.id()).collect();
+        for id in ids {
+            let Some(point) = self.fixes.get(&id).copied() else {
+                continue;
+            };
+            self.stats.checkins += 1;
+            let checkin = encode(&WireMessage::Checkin(CheckinRequest {
+                client: id,
+                tick: round_idx,
+                point,
+                t: now,
+            }));
+            self.send_up(id, checkin, now, false);
+            // Transmission opportunity: fresh reports from tasks that
+            // just ran, plus any retries that have backed off enough.
+            let frames = self
+                .clients
+                .get_mut(&id)
+                .expect("known client")
+                .uplink
+                .due_frames(now);
+            for frame in frames {
+                self.send_up(id, frame, now, true);
+            }
+        }
+        if self.config.deployment.auto_tune {
+            let due = match self.last_retune {
+                None => true,
+                Some(last) => now - last >= self.config.deployment.retune_interval,
+            };
+            if due {
+                self.retune(now);
+            }
+        }
+    }
+
+    /// Advances the deployment from `start` to `end` (exclusive), then
+    /// lets retransmissions drain for up to `max_drain_rounds` extra
+    /// check-in intervals before committing staged reports and
+    /// finalizing every epoch at `end`.
+    pub fn run(&mut self, start: SimTime, end: SimTime) {
+        let mut now = start;
+        let mut round: u64 = 0;
+        while now < end {
+            round += 1;
+            self.round(round, now);
+            now = now + self.config.deployment.checkin_interval;
+        }
+        // Drain phase: no new check-ins, just deliveries and retries.
+        let mut extra = 0;
+        while extra < self.config.max_drain_rounds
+            && (!self.in_flight.is_empty() || self.pending_reports() > 0)
+        {
+            extra += 1;
+            self.fixes.clear();
+            for client in self.fleet.clients() {
+                if let Some(fix) = client.position_at(now) {
+                    self.fixes.insert(client.id(), fix.point);
+                }
+            }
+            self.deliver_due(now);
+            let ids: Vec<ClientId> = self.clients.keys().copied().collect();
+            for id in ids {
+                let frames = self
+                    .clients
+                    .get_mut(&id)
+                    .expect("known client")
+                    .uplink
+                    .due_frames(now);
+                for frame in frames {
+                    self.send_up(id, frame, now, true);
+                }
+            }
+            now = now + self.config.deployment.checkin_interval;
+        }
+        self.server.drain(end);
+        self.stats.tasks_issued = self.server.meters().tasks_sent;
+        self.stats.reports = self.server.meters().reports_ingested;
+        self.stats.packets_requested = self.server.coordinator().packets_requested();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_core::{Deployment, DeploymentConfig};
+    use wiscape_simcore::SimDuration;
+    use wiscape_simnet::LandscapeConfig;
+
+    fn fleet(seed: u64, land: &Landscape) -> Fleet {
+        let mut fleet = Fleet::new(seed);
+        fleet.add_transit_buses(3, land.origin(), 5000.0, 8);
+        fleet.add_static_spot(land.origin());
+        fleet
+    }
+
+    fn channel_deployment(seed: u64, config: ChannelConfig) -> ChannelDeployment {
+        let land = Landscape::new(LandscapeConfig::madison(seed));
+        let f = fleet(seed, &land);
+        let index = wiscape_core::ZoneIndex::around(land.origin(), 6000.0).unwrap();
+        ChannelDeployment::new(land, f, index, config)
+    }
+
+    fn direct_deployment(seed: u64) -> Deployment {
+        let land = Landscape::new(LandscapeConfig::madison(seed));
+        let f = fleet(seed, &land);
+        let index = wiscape_core::ZoneIndex::around(land.origin(), 6000.0).unwrap();
+        Deployment::new(
+            land,
+            f,
+            index,
+            DeploymentConfig {
+                checkin_interval: SimDuration::from_secs(120),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn perfect_link_matches_direct_deployment_bitwise() {
+        let mut cfg = perfect_link();
+        cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+        let mut over_channel = channel_deployment(60, cfg);
+        let mut direct = direct_deployment(60);
+        let start = SimTime::at(1, 8.0);
+        let end = SimTime::at(1, 12.0);
+        over_channel.run(start, end);
+        direct.run(start, end);
+        assert_eq!(over_channel.stats(), direct.stats());
+        let a = over_channel.coordinator().all_published();
+        let b = direct.coordinator().all_published();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y, "published estimates must be bitwise equal");
+        }
+        assert_eq!(
+            over_channel.coordinator().alerts(),
+            direct.coordinator().alerts()
+        );
+        // And the channel actually carried traffic to do it.
+        let m = over_channel.meters();
+        assert!(m.up.frames_sent > 0 && m.down.frames_sent > 0);
+        assert_eq!(m.up.frames_dropped, 0);
+        assert_eq!(m.uplink.retries, 0);
+    }
+
+    #[test]
+    fn lossy_run_never_double_counts_and_matches_lossless_after_drain() {
+        let run = |drop_rate: f64| {
+            let mut cfg = report_loss(drop_rate);
+            cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+            // Retries must fit the run: tight backoff for the test.
+            cfg.uplink.rto_initial = SimDuration::from_secs(120);
+            cfg.uplink.rto_max = SimDuration::from_mins(10);
+            cfg.uplink.max_attempts = 40;
+            let mut d = channel_deployment(61, cfg);
+            d.run(SimTime::at(1, 8.0), SimTime::at(1, 12.0));
+            d
+        };
+        let lossless = run(0.0);
+        let lossy = run(0.2);
+
+        // Dedup invariant: every unique sequence was counted exactly
+        // once (ingested or rejected), duplicates were dropped.
+        let m = lossy.server.meters();
+        assert_eq!(
+            m.reports_ingested + m.reports_rejected,
+            lossy.server.unique_seqs(),
+            "ingested count must equal unique sequence numbers"
+        );
+        assert!(
+            lossy.meters().uplink.retries > 0,
+            "loss should force retries"
+        );
+        assert_eq!(lossy.pending_reports(), 0, "all reports drained");
+        assert_eq!(lossy.meters().uplink.abandoned, 0, "nothing abandoned");
+
+        // With everything delivered and watermark-ordered commit, the
+        // published map is identical to the lossless run.
+        let a = lossless.coordinator().all_published();
+        let b = lossy.coordinator().all_published();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y, "lossy (drained) must match lossless");
+        }
+    }
+
+    #[test]
+    fn channel_run_is_deterministic() {
+        let run = || {
+            let mut cfg = lossy_cellular(0.15);
+            cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+            let mut d = channel_deployment(62, cfg);
+            d.run(SimTime::at(1, 9.0), SimTime::at(1, 11.0));
+            (d.stats(), d.meters(), d.coordinator().all_published())
+        };
+        let (s1, m1, p1) = run();
+        let (s2, m2, p2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(m1, m2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn report_loss_costs_retransmission_bytes() {
+        let bytes = |drop: f64| {
+            let mut cfg = report_loss(drop);
+            cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+            cfg.uplink.rto_initial = SimDuration::from_secs(120);
+            let mut d = channel_deployment(63, cfg);
+            d.run(SimTime::at(1, 9.0), SimTime::at(1, 11.0));
+            d.meters().control_bytes()
+        };
+        let clean = bytes(0.0);
+        let dirty = bytes(0.25);
+        assert!(clean > 0);
+        assert!(
+            dirty > clean,
+            "retransmissions must cost bytes: {dirty} vs {clean}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # wiscape-channel — the client ↔ coordinator control channel
+//!
+//! The paper's coordinator "instructs" clients and clients "report"
+//! samples over a cellular control channel whose cost and loss
+//! behaviour the overhead analysis argues is negligible. This crate
+//! makes that channel a real (simulated) thing:
+//!
+//! * [`codec`] — a compact binary wire format for the four control
+//!   messages (check-in, task, report, ack): varints, length-prefixed
+//!   framing, CRC-32, typed decode errors, total decoding (no panics on
+//!   arbitrary bytes);
+//! * [`link`] — a deterministic seedable lossy link (drop / delay /
+//!   reorder / duplicate) whose drop probability couples to the zone's
+//!   own simnet quality, driven entirely by the sim clock;
+//! * [`uplink`] — client-side reliable report delivery: bounded queue,
+//!   sequence numbers, batching, exponential backoff with seeded
+//!   jitter;
+//! * [`server`] — coordinator-side decode, `(client, seq)` dedup, and
+//!   idempotent ingest, so at-least-once delivery never double-counts a
+//!   sample;
+//! * [`deployment`] — a channel-backed deployment harness that
+//!   reproduces [`wiscape_core::Deployment`] bit for bit under
+//!   [`perfect_link`], and degrades gracefully (and reproducibly) under
+//!   loss.
+//!
+//! Everything is a pure function of the master seed: link fates and
+//! backoff jitter draw from dedicated `StreamRng` forks that are
+//! disjoint from the measurement stream, so *enabling* the channel
+//! cannot perturb what is measured — only whether and when it arrives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod deployment;
+pub mod link;
+pub mod server;
+pub mod uplink;
+
+pub use codec::{
+    decode, decode_all, decode_prefix, encode, AckMsg, CheckinRequest, DecodeError, ReportMsg,
+    TaskAssignment, WireMessage,
+};
+pub use deployment::{
+    lossy_cellular, perfect_link, report_loss, ChannelConfig, ChannelDeployment, ChannelRunMeters,
+};
+pub use link::{Delivery, LinkConfig, LinkMeters, LossyLink};
+pub use server::{ChannelServer, CommitPolicy, ServerMeters};
+pub use uplink::{Uplink, UplinkConfig, UplinkMeters};

@@ -1,0 +1,293 @@
+//! Deterministic lossy-link simulation.
+//!
+//! Models the cellular control channel between a client and the
+//! coordinator as an unreliable datagram link: each transmitted frame
+//! is independently dropped, delayed, reordered (via a long-tail extra
+//! delay), or duplicated. Every decision is drawn from a [`StreamRng`]
+//! fork keyed by the link's own send counter, so a run is a pure
+//! function of the master seed — no wall clock, no global RNG.
+//!
+//! Loss is *zone-coupled*: the caller passes the simnet loss rate at
+//! the client's current position, and [`LinkConfig::zone_loss_scale`]
+//! folds it into the drop probability, so clients in bad-coverage zones
+//! also have bad uplinks (the coupling the paper's overhead argument
+//! glosses over).
+
+use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+
+/// Loss/delay model of one direction of a control-channel link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Base probability a frame is dropped outright.
+    pub drop_rate: f64,
+    /// Probability a delivered frame arrives twice.
+    pub duplicate_rate: f64,
+    /// Fixed one-way propagation delay.
+    pub delay: SimDuration,
+    /// Uniform extra delay in `[0, jitter)` added per delivery.
+    pub jitter: SimDuration,
+    /// Probability a delivered frame takes the slow path (adds
+    /// [`LinkConfig::reorder_extra`]), which is what reorders frames
+    /// relative to later sends.
+    pub reorder_rate: f64,
+    /// Extra delay of the slow path.
+    pub reorder_extra: SimDuration,
+    /// Multiplier folding the zone's simnet packet-loss rate into the
+    /// drop probability (`p_drop = drop_rate + scale * zone_loss`).
+    pub zone_loss_scale: f64,
+}
+
+impl LinkConfig {
+    /// A perfect link: nothing dropped, duplicated, delayed, or
+    /// reordered. Sending over this link is equivalent to a direct
+    /// function call, which is what keeps pre-channel experiments
+    /// bitwise-identical.
+    pub fn perfect() -> Self {
+        Self {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            reorder_rate: 0.0,
+            reorder_extra: SimDuration::ZERO,
+            zone_loss_scale: 0.0,
+        }
+    }
+
+    /// A plausible cellular control channel with the given base frame
+    /// drop rate: ~80 ms propagation, up to 120 ms jitter, 2% slow-path
+    /// (+1.5 s) deliveries, 1% duplicates, and zone loss folded in at
+    /// full weight.
+    pub fn cellular(drop_rate: f64) -> Self {
+        Self {
+            drop_rate,
+            duplicate_rate: 0.01,
+            delay: SimDuration::from_millis(80),
+            jitter: SimDuration::from_millis(120),
+            reorder_rate: 0.02,
+            reorder_extra: SimDuration::from_millis(1500),
+            zone_loss_scale: 1.0,
+        }
+    }
+
+    /// Whether this config can never lose, delay, or duplicate a frame.
+    pub fn is_perfect(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.delay == SimDuration::ZERO
+            && self.jitter == SimDuration::ZERO
+            && self.reorder_rate <= 0.0
+            && self.zone_loss_scale <= 0.0
+    }
+}
+
+/// A frame and the simulated instant it arrives at the far end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival time.
+    pub at: SimTime,
+    /// The frame bytes (unmodified — corruption is modelled as a drop,
+    /// since the CRC would discard the frame anyway).
+    pub frame: Vec<u8>,
+}
+
+/// Traffic counters of one link direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkMeters {
+    /// Frames handed to the link.
+    pub frames_sent: u64,
+    /// Bytes handed to the link.
+    pub bytes_sent: u64,
+    /// Frames the link dropped.
+    pub frames_dropped: u64,
+    /// Extra copies the link injected.
+    pub frames_duplicated: u64,
+    /// Frames that will arrive (including duplicates).
+    pub frames_delivered: u64,
+    /// Bytes that will arrive (including duplicates).
+    pub bytes_delivered: u64,
+}
+
+/// One direction of a lossy control-channel link.
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    config: LinkConfig,
+    stream: StreamRng,
+    sends: u64,
+    meters: LinkMeters,
+}
+
+impl LossyLink {
+    /// Creates a link drawing its fate coins from `stream` (fork a
+    /// dedicated label per link so directions are independent).
+    pub fn new(config: LinkConfig, stream: StreamRng) -> Self {
+        Self {
+            config,
+            stream,
+            sends: 0,
+            meters: LinkMeters::default(),
+        }
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Traffic counters so far.
+    pub fn meters(&self) -> LinkMeters {
+        self.meters
+    }
+
+    /// Transmits one frame at `now`; `zone_loss` is the simnet
+    /// packet-loss rate at the sender's position (pass 0.0 when
+    /// uncoupled). Returns zero, one, or two deliveries with their
+    /// arrival times (arrival = `now` exactly when the link is
+    /// perfect).
+    pub fn send(&mut self, frame: Vec<u8>, now: SimTime, zone_loss: f64) -> Vec<Delivery> {
+        let idx = self.sends;
+        self.sends += 1;
+        self.meters.frames_sent += 1;
+        self.meters.bytes_sent += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+
+        // Fast path: a perfect link is a direct function call. No coins
+        // are drawn, so enabling the channel with `perfect()` perturbs
+        // no RNG stream anywhere else in the simulation.
+        if self.config.is_perfect() {
+            self.meters.frames_delivered += 1;
+            self.meters.bytes_delivered += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+            return vec![Delivery { at: now, frame }];
+        }
+
+        let fate = self.stream.fork("send").fork_idx(idx);
+        let p_drop = (self.config.drop_rate + self.config.zone_loss_scale * zone_loss.max(0.0))
+            .clamp(0.0, 1.0);
+        if fate.fork("drop").draw_unit_f64() < p_drop {
+            self.meters.frames_dropped += 1;
+            return Vec::new();
+        }
+
+        let copies = if fate.fork("dup").draw_unit_f64() < self.config.duplicate_rate {
+            self.meters.frames_duplicated += 1;
+            2
+        } else {
+            1
+        };
+
+        let mut out = Vec::with_capacity(copies);
+        for copy in 0..copies {
+            let leg = fate.fork_idx(copy as u64);
+            let jitter_us = (self.config.jitter.as_micros().max(0) as f64
+                * leg.fork("jitter").draw_unit_f64()) as i64;
+            let mut latency = self.config.delay + SimDuration::from_micros(jitter_us);
+            if leg.fork("slow").draw_unit_f64() < self.config.reorder_rate {
+                latency = latency + self.config.reorder_extra;
+            }
+            self.meters.frames_delivered += 1;
+            self.meters.bytes_delivered += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+            out.push(Delivery {
+                at: now + latency,
+                frame: frame.clone(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> StreamRng {
+        StreamRng::new(7).fork("link-test")
+    }
+
+    #[test]
+    fn perfect_link_delivers_everything_instantly() {
+        let mut link = LossyLink::new(LinkConfig::perfect(), stream());
+        let now = SimTime::at(1, 9.0);
+        for k in 0..100u64 {
+            let d = link.send(vec![1, 2, 3], now, 0.9);
+            assert_eq!(d.len(), 1);
+            assert_eq!(d[0].at, now, "send {k} delayed");
+        }
+        let m = link.meters();
+        assert_eq!(m.frames_sent, 100);
+        assert_eq!(m.frames_delivered, 100);
+        assert_eq!(m.frames_dropped, 0);
+        assert_eq!(m.bytes_sent, 300);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let mut link = LossyLink::new(
+            LinkConfig {
+                drop_rate: 0.3,
+                ..LinkConfig::perfect()
+            },
+            stream(),
+        );
+        let now = SimTime::EPOCH;
+        for _ in 0..2000 {
+            link.send(vec![0; 10], now, 0.0);
+        }
+        let m = link.meters();
+        let rate = m.frames_dropped as f64 / m.frames_sent as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn zone_loss_couples_into_drops() {
+        let cfg = LinkConfig {
+            zone_loss_scale: 1.0,
+            ..LinkConfig::perfect()
+        };
+        let mut clean = LossyLink::new(cfg.clone(), stream());
+        let mut dirty = LossyLink::new(cfg, stream());
+        for _ in 0..1000 {
+            clean.send(vec![0], SimTime::EPOCH, 0.0);
+            dirty.send(vec![0], SimTime::EPOCH, 0.5);
+        }
+        assert_eq!(clean.meters().frames_dropped, 0);
+        let rate = dirty.meters().frames_dropped as f64 / 1000.0;
+        assert!((rate - 0.5).abs() < 0.06, "observed {rate}");
+    }
+
+    #[test]
+    fn duplicates_and_delays_happen() {
+        let mut link = LossyLink::new(
+            LinkConfig {
+                duplicate_rate: 0.2,
+                delay: SimDuration::from_millis(50),
+                jitter: SimDuration::from_millis(100),
+                ..LinkConfig::perfect()
+            },
+            stream(),
+        );
+        let now = SimTime::EPOCH;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for d in link.send(vec![9], now, 0.0) {
+                total += 1;
+                let lag = d.at - now;
+                assert!(lag >= SimDuration::from_millis(50));
+                assert!(lag < SimDuration::from_millis(151));
+            }
+        }
+        assert!(total > 560, "{total} deliveries (expect ~600 with dups)");
+        assert_eq!(link.meters().frames_delivered, total as u64);
+    }
+
+    #[test]
+    fn link_is_deterministic() {
+        let run = || {
+            let mut link = LossyLink::new(LinkConfig::cellular(0.1), stream());
+            let mut out = Vec::new();
+            for k in 0..200u64 {
+                out.push(link.send(vec![5; 8], SimTime::from_secs(1), 0.02 * (k % 3) as f64));
+            }
+            (out, link.meters())
+        };
+        assert_eq!(run(), run());
+    }
+}

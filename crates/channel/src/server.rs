@@ -1,0 +1,400 @@
+//! Coordinator-side channel endpoint: decode, dedup, idempotent ingest.
+//!
+//! The [`ChannelServer`] wraps a [`Coordinator`] behind the wire
+//! protocol. Its contract with the lossy transport:
+//!
+//! * **at-least-once in, exactly-once through** — every received report
+//!   is acknowledged (even rejected ones, so clients stop retrying),
+//!   but a `(client, seq)` pair is ingested at most once no matter how
+//!   many copies arrive;
+//! * **idempotent acks** — re-acking an already-retired sequence is a
+//!   no-op on the client, so duplicated or reordered acks are harmless;
+//! * **typed rejection** — frames that fail to decode are counted in
+//!   [`ServerMeters::decode_errors`] and dropped, never panicking,
+//!   mirroring the coordinator's own `malformed_dropped` /
+//!   `reports_rejected` philosophy one layer down.
+//!
+//! The [`CommitPolicy`] decides *when* a deduplicated report reaches
+//! [`Coordinator::ingest_report`]. `Immediate` ingests on arrival —
+//! with a perfect link this makes the server's call sequence identical
+//! to the direct-call deployment, which is the bitwise-parity argument.
+//! `Watermark` stages reports and ingests them in `(t, client, seq)`
+//! order once they are older than the settle window, which makes the
+//! published map independent of delivery order (and hence of the loss
+//! pattern) provided every report is eventually delivered within the
+//! window: floating-point accumulation in the zone estimator is
+//! order-sensitive, so order-independence has to be manufactured by
+//! sorting, not assumed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wiscape_core::{Coordinator, SampleReport};
+use wiscape_mobility::ClientId;
+use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+use wiscape_simnet::NetworkId;
+
+use crate::codec::{decode_all, encode, AckMsg, CheckinRequest, TaskAssignment, WireMessage};
+
+/// When deduplicated reports are committed into the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPolicy {
+    /// Ingest on arrival. With a perfect link this reproduces the
+    /// direct-call deployment exactly; with loss, the published map
+    /// depends on arrival order.
+    Immediate,
+    /// Stage reports and ingest them in `(t, client, seq)` order once
+    /// `now - t` exceeds the settle window. The published map is then a
+    /// function of the *set* of delivered reports, not their order.
+    Watermark(SimDuration),
+}
+
+/// Traffic and dedup counters of the server endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerMeters {
+    /// Frames received (after transport, before decode).
+    pub frames_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Frames dropped with a typed decode error.
+    pub decode_errors: u64,
+    /// Check-ins processed.
+    pub checkins: u64,
+    /// Task assignments sent.
+    pub tasks_sent: u64,
+    /// Report copies that were duplicates of an already-seen sequence.
+    pub duplicates_dropped: u64,
+    /// Unique reports committed into the coordinator.
+    pub reports_ingested: u64,
+    /// Unique reports the coordinator rejected (still acked).
+    pub reports_rejected: u64,
+    /// Ack frames produced.
+    pub acks_sent: u64,
+    /// Bytes of produced frames (tasks + acks).
+    pub bytes_sent: u64,
+}
+
+/// The coordinator's channel endpoint.
+#[derive(Debug, Clone)]
+pub struct ChannelServer {
+    coordinator: Coordinator,
+    policy: CommitPolicy,
+    stream: StreamRng,
+    networks: Vec<NetworkId>,
+    seen: BTreeMap<ClientId, BTreeSet<u64>>,
+    staged: BTreeMap<(SimTime, ClientId, u64), SampleReport>,
+    meters: ServerMeters,
+}
+
+impl ChannelServer {
+    /// Wraps `coordinator` behind the wire protocol.
+    ///
+    /// `stream` must be the same-rooted fork the direct-call deployment
+    /// would use (`StreamRng::new(seed).fork("deployment")`): the
+    /// task-issuance coin for a check-in with counter `tick` from
+    /// client `c` is drawn from `fork("coin").fork_idx(tick)
+    /// .fork_idx(c)`, exactly the fork path of
+    /// [`wiscape_core::Deployment`], so a perfect link reproduces its
+    /// decisions bit for bit.
+    pub fn new(
+        coordinator: Coordinator,
+        policy: CommitPolicy,
+        stream: StreamRng,
+        networks: Vec<NetworkId>,
+    ) -> Self {
+        Self {
+            coordinator,
+            policy,
+            stream,
+            networks,
+            seen: BTreeMap::new(),
+            staged: BTreeMap::new(),
+            meters: ServerMeters::default(),
+        }
+    }
+
+    /// The wrapped coordinator (and its published map).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// Mutable access for end-of-run flushing and tuner installation.
+    pub fn coordinator_mut(&mut self) -> &mut Coordinator {
+        &mut self.coordinator
+    }
+
+    /// Channel meters so far.
+    pub fn meters(&self) -> ServerMeters {
+        self.meters
+    }
+
+    /// Total distinct `(client, seq)` report sequences ever accepted —
+    /// the dedup invariant is `reports_ingested + reports_rejected ==
+    /// unique_seqs()`.
+    pub fn unique_seqs(&self) -> u64 {
+        self.seen
+            .values()
+            .map(|s| u64::try_from(s.len()).unwrap_or(u64::MAX))
+            .sum()
+    }
+
+    /// Handles one received transmission (a concatenation of frames) at
+    /// `now`, returning the reply frames (task assignments for
+    /// check-ins, acks for reports) to put on the downlink.
+    pub fn receive(&mut self, bytes: &[u8], now: SimTime) -> Vec<Vec<u8>> {
+        self.meters.frames_received += 1;
+        self.meters.bytes_received += u64::try_from(bytes.len()).unwrap_or(u64::MAX);
+        let msgs = match decode_all(bytes) {
+            Ok(msgs) => msgs,
+            Err(_) => {
+                // A torn byte anywhere poisons the rest of the stream;
+                // drop the transmission and let retransmission recover.
+                self.meters.decode_errors += 1;
+                return Vec::new();
+            }
+        };
+        let mut replies = Vec::new();
+        for msg in msgs {
+            match msg {
+                WireMessage::Checkin(req) => {
+                    for assignment in self.handle_checkin(&req) {
+                        let frame = encode(&WireMessage::Task(assignment));
+                        self.meters.bytes_sent += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+                        replies.push(frame);
+                    }
+                }
+                WireMessage::Report(r) => {
+                    let ack = self.handle_report(r, now);
+                    let frame = encode(&WireMessage::Ack(ack));
+                    self.meters.acks_sent += 1;
+                    self.meters.bytes_sent += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+                    replies.push(frame);
+                }
+                // Server-bound traffic only; a client-bound message
+                // looping back is a protocol violation we just drop.
+                WireMessage::Task(_) | WireMessage::Ack(_) => {
+                    self.meters.decode_errors += 1;
+                }
+            }
+        }
+        replies
+    }
+
+    /// Processes a check-in, deriving the task-issuance coin from the
+    /// client's own check-in counter so the decision is reproducible
+    /// even when some check-ins are lost in transit.
+    pub fn handle_checkin(&mut self, req: &CheckinRequest) -> Vec<TaskAssignment> {
+        self.meters.checkins += 1;
+        let coin = self
+            .stream
+            .fork("coin")
+            .fork_idx(req.tick)
+            .fork_idx(u64::from(req.client.0))
+            .draw_unit_f64();
+        let tasks =
+            self.coordinator
+                .client_checkin(req.client, &req.point, req.t, &self.networks, coin);
+        self.meters.tasks_sent += u64::try_from(tasks.len()).unwrap_or(u64::MAX);
+        tasks
+            .into_iter()
+            .map(|task| TaskAssignment {
+                client: req.client,
+                task,
+            })
+            .collect()
+    }
+
+    /// Dedups and (per policy) commits one report copy; always returns
+    /// the ack so the client stops retrying regardless of outcome.
+    pub fn handle_report(&mut self, msg: crate::codec::ReportMsg, now: SimTime) -> AckMsg {
+        let client = msg.report.client;
+        let fresh = self.seen.entry(client).or_default().insert(msg.seq);
+        if fresh {
+            match self.policy {
+                CommitPolicy::Immediate => self.commit(&msg.report),
+                CommitPolicy::Watermark(_) => {
+                    self.staged
+                        .insert((msg.report.t, client, msg.seq), msg.report);
+                }
+            }
+        } else {
+            self.meters.duplicates_dropped += 1;
+        }
+        if let CommitPolicy::Watermark(settle) = self.policy {
+            self.advance(now, settle);
+        }
+        AckMsg {
+            client,
+            seqs: vec![msg.seq],
+        }
+    }
+
+    fn commit(&mut self, report: &SampleReport) {
+        if self.coordinator.ingest_report(report).is_ok() {
+            self.meters.reports_ingested += 1;
+        } else {
+            self.meters.reports_rejected += 1;
+        }
+    }
+
+    /// Commits staged reports older than the settle window, in sorted
+    /// `(t, client, seq)` order.
+    fn advance(&mut self, now: SimTime, settle: SimDuration) {
+        while let Some((&key, _)) = self.staged.iter().next() {
+            if now - key.0 < settle {
+                break;
+            }
+            let report = self.staged.remove(&key).expect("first key exists");
+            self.commit(&report);
+        }
+    }
+
+    /// Commits every staged report (watermark runs) and finalizes all
+    /// epochs at `end`. Call once, after retransmissions have drained.
+    pub fn drain(&mut self, end: SimTime) {
+        let keys: Vec<_> = self.staged.keys().copied().collect();
+        for key in keys {
+            let report = self.staged.remove(&key).expect("staged key exists");
+            self.commit(&report);
+        }
+        self.coordinator.flush(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::ReportMsg;
+    use wiscape_core::{CoordinatorConfig, MeasurementTask, ZoneIndex};
+    use wiscape_geo::GeoPoint;
+    use wiscape_simnet::TransportKind;
+
+    fn center() -> GeoPoint {
+        GeoPoint::new(43.0731, -89.4012).unwrap()
+    }
+
+    fn server(policy: CommitPolicy) -> ChannelServer {
+        let index = ZoneIndex::around(center(), 5000.0).unwrap();
+        ChannelServer::new(
+            Coordinator::new(index, CoordinatorConfig::default()),
+            policy,
+            StreamRng::new(5).fork("deployment"),
+            vec![NetworkId::NetB],
+        )
+    }
+
+    fn report_msg(s: &ChannelServer, seq: u64, t: SimTime, v: f64) -> ReportMsg {
+        let zone = s.coordinator().index().zone_of(&center());
+        ReportMsg {
+            seq,
+            report: SampleReport {
+                client: ClientId(1),
+                task: MeasurementTask {
+                    zone,
+                    network: NetworkId::NetB,
+                    kind: TransportKind::Udp,
+                    n_packets: 1,
+                    packet_bytes: 100,
+                },
+                zone,
+                t,
+                samples: vec![v],
+            },
+        }
+    }
+
+    #[test]
+    fn duplicates_never_double_count() {
+        let mut s = server(CommitPolicy::Immediate);
+        let msg = report_msg(&s, 0, SimTime::EPOCH, 100.0);
+        for _ in 0..5 {
+            let ack = s.handle_report(msg.clone(), SimTime::EPOCH);
+            assert_eq!(ack.seqs, vec![0], "every copy is acked");
+        }
+        assert_eq!(s.meters().reports_ingested, 1);
+        assert_eq!(s.meters().duplicates_dropped, 4);
+        assert_eq!(s.unique_seqs(), 1);
+        s.drain(SimTime::from_secs(3600));
+        let zone = s.coordinator().index().zone_of(&center());
+        let e = s.coordinator().published(zone, NetworkId::NetB).unwrap();
+        assert_eq!(e.samples, 1, "one sample despite five copies");
+    }
+
+    #[test]
+    fn rejected_reports_are_still_acked_and_deduped() {
+        let mut s = server(CommitPolicy::Immediate);
+        let mut msg = report_msg(&s, 7, SimTime::EPOCH, 1.0);
+        msg.report.samples.clear(); // empty -> coordinator rejects
+        let ack = s.handle_report(msg.clone(), SimTime::EPOCH);
+        assert_eq!(ack.seqs, vec![7]);
+        assert_eq!(s.meters().reports_rejected, 1);
+        s.handle_report(msg, SimTime::EPOCH);
+        assert_eq!(s.meters().duplicates_dropped, 1);
+        assert_eq!(s.meters().reports_rejected, 1, "rejection not repeated");
+    }
+
+    #[test]
+    fn watermark_commits_in_time_order_regardless_of_arrival() {
+        let ingest = |arrival_order: &[u64]| {
+            let mut s = server(CommitPolicy::Watermark(SimDuration::from_hours(100)));
+            for &seq in arrival_order {
+                let t = SimTime::from_secs(i64::try_from(seq).unwrap() * 60);
+                let msg = report_msg(&s, seq, t, 100.0 + 7.0 * (seq as f64));
+                s.handle_report(msg, t);
+            }
+            s.drain(SimTime::from_secs(3600));
+            let zone = s.coordinator().index().zone_of(&center());
+            s.coordinator().published(zone, NetworkId::NetB).unwrap()
+        };
+        let a = ingest(&[0, 1, 2, 3, 4]);
+        let b = ingest(&[4, 2, 0, 3, 1]);
+        assert_eq!(a, b, "published estimate independent of arrival order");
+        assert_eq!(a.samples, 5);
+    }
+
+    #[test]
+    fn receive_drops_garbage_with_a_meter_not_a_panic() {
+        let mut s = server(CommitPolicy::Immediate);
+        assert!(s
+            .receive(&[0xDE, 0xAD, 0xBE, 0xEF], SimTime::EPOCH)
+            .is_empty());
+        assert_eq!(s.meters().decode_errors, 1);
+        // And a client-bound message arriving at the server is dropped.
+        let stray = encode(&WireMessage::Ack(AckMsg {
+            client: ClientId(1),
+            seqs: vec![1],
+        }));
+        assert!(s.receive(&stray, SimTime::EPOCH).is_empty());
+        assert_eq!(s.meters().decode_errors, 2);
+    }
+
+    #[test]
+    fn checkin_round_trip_issues_wire_tasks() {
+        let mut s = server(CommitPolicy::Immediate);
+        // Force issuance: with a fresh zone the coin threshold is 0.1;
+        // scan ticks until one coin lands under it.
+        let mut issued = Vec::new();
+        for tick in 0..200 {
+            let req = CheckinRequest {
+                client: ClientId(2),
+                tick,
+                point: center(),
+                t: SimTime::from_secs(i64::try_from(tick).unwrap()),
+            };
+            let frame = encode(&WireMessage::Checkin(req));
+            issued.extend(s.receive(&frame, SimTime::EPOCH));
+            if !issued.is_empty() {
+                break;
+            }
+        }
+        assert!(!issued.is_empty(), "some coin under p within 200 ticks");
+        match crate::codec::decode(&issued[0]).unwrap() {
+            WireMessage::Task(a) => {
+                assert_eq!(a.client, ClientId(2));
+                assert_eq!(a.task.n_packets, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(s.meters().tasks_sent >= 1);
+        assert!(s.meters().bytes_sent > 0);
+    }
+}

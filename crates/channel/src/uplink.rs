@@ -1,0 +1,377 @@
+//! Client-side reliable report delivery.
+//!
+//! Reports are the only control-channel traffic worth retransmitting:
+//! a lost check-in costs nothing (the next one comes a minute later)
+//! and a lost task assignment merely skips one probe, but a lost report
+//! throws away probe packets the client already paid for. The
+//! [`Uplink`] therefore gives each report a client-local sequence
+//! number, keeps it in a bounded queue until the coordinator
+//! acknowledges that sequence number, and retransmits with exponential
+//! backoff plus seeded jitter. Delivery is at-least-once; the server
+//! side dedups on `(client, seq)` so it becomes exactly-once end to
+//! end.
+
+use std::collections::BTreeMap;
+
+use wiscape_core::SampleReport;
+use wiscape_mobility::ClientId;
+use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+
+use crate::codec::{encode, AckMsg, ReportMsg, WireMessage};
+
+/// Retry/queue policy of a client's uplink.
+#[derive(Debug, Clone)]
+pub struct UplinkConfig {
+    /// Maximum unacknowledged reports held; a full queue drops the
+    /// *newest* report (the queued ones already cost probe packets).
+    pub queue_capacity: usize,
+    /// Maximum report frames sent per transmission opportunity.
+    pub batch_max: usize,
+    /// First retransmission timeout.
+    pub rto_initial: SimDuration,
+    /// Backoff ceiling.
+    pub rto_max: SimDuration,
+    /// Jitter fraction: the effective RTO is scaled by a seeded factor
+    /// in `[1 - f, 1 + f]` to de-synchronize client retry storms.
+    pub jitter_frac: f64,
+    /// Attempts (first send + retries) before a report is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for UplinkConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            batch_max: 16,
+            rto_initial: SimDuration::from_secs(30),
+            rto_max: SimDuration::from_mins(10),
+            jitter_frac: 0.25,
+            max_attempts: 12,
+        }
+    }
+}
+
+/// Delivery counters of one client's uplink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UplinkMeters {
+    /// Reports accepted into the queue.
+    pub enqueued: u64,
+    /// Reports refused because the queue was full.
+    pub overflow_dropped: u64,
+    /// Report frames transmitted (first sends + retries).
+    pub transmissions: u64,
+    /// Retransmissions only.
+    pub retries: u64,
+    /// Reports acknowledged and retired.
+    pub acked: u64,
+    /// Reports abandoned after `max_attempts`.
+    pub abandoned: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    report: SampleReport,
+    attempts: u32,
+    next_send: SimTime,
+}
+
+/// The reliable report queue of one client.
+#[derive(Debug, Clone)]
+pub struct Uplink {
+    client: ClientId,
+    config: UplinkConfig,
+    stream: StreamRng,
+    next_seq: u64,
+    pending: BTreeMap<u64, Pending>,
+    meters: UplinkMeters,
+}
+
+impl Uplink {
+    /// Creates the uplink for `client`; `stream` seeds the backoff
+    /// jitter (fork a per-client label so clients de-synchronize).
+    pub fn new(client: ClientId, config: UplinkConfig, stream: StreamRng) -> Self {
+        Self {
+            client,
+            config,
+            stream,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            meters: UplinkMeters::default(),
+        }
+    }
+
+    /// The owning client.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Delivery counters so far.
+    pub fn meters(&self) -> UplinkMeters {
+        self.meters
+    }
+
+    /// Unacknowledged reports currently queued.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queues `report` for delivery, assigning it the next sequence
+    /// number. Returns `false` (and drops the report) when the bounded
+    /// queue is full — the overflow is metered, never silent.
+    pub fn enqueue(&mut self, report: SampleReport, now: SimTime) -> bool {
+        if self.pending.len() >= self.config.queue_capacity {
+            self.meters.overflow_dropped += 1;
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            seq,
+            Pending {
+                report,
+                attempts: 0,
+                next_send: now,
+            },
+        );
+        self.meters.enqueued += 1;
+        true
+    }
+
+    /// Effective retransmission timeout after `attempts` sends of `seq`:
+    /// exponential backoff capped at `rto_max`, scaled by a seeded
+    /// jitter factor in `[1 - jitter_frac, 1 + jitter_frac]`.
+    fn rto(&self, seq: u64, attempts: u32) -> SimDuration {
+        let exp = attempts.saturating_sub(1).min(20);
+        let base = self
+            .config
+            .rto_initial
+            .as_micros()
+            .saturating_mul(1_i64 << exp)
+            .min(self.config.rto_max.as_micros());
+        let u = self
+            .stream
+            .fork("rto")
+            .fork_idx(seq)
+            .fork_idx(u64::from(attempts))
+            .draw_unit_f64();
+        let factor = 1.0 + self.config.jitter_frac * (2.0 * u - 1.0);
+        SimDuration::from_micros((base as f64 * factor) as i64)
+    }
+
+    /// Collects up to `batch_max` report frames due for (re)transmission
+    /// at `now`, advancing their attempt counters and backoff timers.
+    /// Reports that exhausted `max_attempts` are abandoned and metered.
+    pub fn due_frames(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.next_send <= now)
+            .map(|(&seq, _)| seq)
+            .take(self.config.batch_max)
+            .collect();
+        let mut frames = Vec::with_capacity(due.len());
+        for seq in due {
+            let abandoned = {
+                let p = self.pending.get_mut(&seq).expect("due seq is pending");
+                if p.attempts >= self.config.max_attempts {
+                    true
+                } else {
+                    p.attempts += 1;
+                    self.meters.transmissions += 1;
+                    if p.attempts > 1 {
+                        self.meters.retries += 1;
+                    }
+                    frames.push(encode(&WireMessage::Report(ReportMsg {
+                        seq,
+                        report: p.report.clone(),
+                    })));
+                    false
+                }
+            };
+            if abandoned {
+                self.pending.remove(&seq);
+                self.meters.abandoned += 1;
+            } else {
+                let attempts = self.pending[&seq].attempts;
+                let rto = self.rto(seq, attempts);
+                if let Some(p) = self.pending.get_mut(&seq) {
+                    p.next_send = now + rto;
+                }
+            }
+        }
+        frames
+    }
+
+    /// Retires every sequence number the ack covers. Acks for unknown
+    /// (already-retired) sequences are ignored — ack duplication is
+    /// harmless by construction.
+    pub fn handle_ack(&mut self, ack: &AckMsg) {
+        if ack.client != self.client {
+            return;
+        }
+        for seq in &ack.seqs {
+            if self.pending.remove(seq).is_some() {
+                self.meters.acked += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, DecodeError};
+    use wiscape_core::MeasurementTask;
+    use wiscape_core::ZoneId;
+    use wiscape_geo::CellId;
+    use wiscape_simnet::{NetworkId, TransportKind};
+
+    fn report(v: f64) -> SampleReport {
+        SampleReport {
+            client: ClientId(3),
+            task: MeasurementTask {
+                zone: ZoneId(CellId { col: 0, row: 0 }),
+                network: NetworkId::NetA,
+                kind: TransportKind::Udp,
+                n_packets: 1,
+                packet_bytes: 100,
+            },
+            zone: ZoneId(CellId { col: 0, row: 0 }),
+            t: SimTime::EPOCH,
+            samples: vec![v],
+        }
+    }
+
+    fn uplink(cap: usize) -> Uplink {
+        Uplink::new(
+            ClientId(3),
+            UplinkConfig {
+                queue_capacity: cap,
+                ..Default::default()
+            },
+            StreamRng::new(11).fork("uplink-test"),
+        )
+    }
+
+    #[test]
+    fn sends_once_then_backs_off_until_acked() {
+        let mut u = uplink(8);
+        let t0 = SimTime::EPOCH;
+        assert!(u.enqueue(report(1.0), t0));
+        let frames = u.due_frames(t0);
+        assert_eq!(frames.len(), 1);
+        // Nothing due immediately after the first transmission.
+        assert!(u.due_frames(t0).is_empty());
+        // Well past the max RTO it is due again, as a retry.
+        let later = t0 + SimDuration::from_mins(11);
+        assert_eq!(u.due_frames(later).len(), 1);
+        assert_eq!(u.meters().retries, 1);
+        // An ack retires it for good.
+        u.handle_ack(&AckMsg {
+            client: ClientId(3),
+            seqs: vec![0],
+        });
+        assert_eq!(u.pending_len(), 0);
+        assert_eq!(u.meters().acked, 1);
+        assert!(u.due_frames(later + SimDuration::from_hours(1)).is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_are_strictly_increasing() {
+        let mut u = uplink(8);
+        for k in 0..4 {
+            u.enqueue(report(f64::from(k)), SimTime::EPOCH);
+        }
+        let seqs: Vec<u64> = u
+            .due_frames(SimTime::EPOCH)
+            .iter()
+            .map(|f| match decode(f).unwrap() {
+                WireMessage::Report(r) => r.seq,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_queue_drops_and_meters_overflow() {
+        let mut u = uplink(2);
+        assert!(u.enqueue(report(1.0), SimTime::EPOCH));
+        assert!(u.enqueue(report(2.0), SimTime::EPOCH));
+        assert!(!u.enqueue(report(3.0), SimTime::EPOCH));
+        assert_eq!(u.meters().overflow_dropped, 1);
+        assert_eq!(u.pending_len(), 2);
+    }
+
+    #[test]
+    fn batch_max_limits_a_transmission_round() {
+        let mut u = Uplink::new(
+            ClientId(3),
+            UplinkConfig {
+                batch_max: 3,
+                queue_capacity: 100,
+                ..Default::default()
+            },
+            StreamRng::new(1).fork("t"),
+        );
+        for k in 0..10 {
+            u.enqueue(report(f64::from(k)), SimTime::EPOCH);
+        }
+        assert_eq!(u.due_frames(SimTime::EPOCH).len(), 3);
+        assert_eq!(u.due_frames(SimTime::EPOCH).len(), 3);
+    }
+
+    #[test]
+    fn abandons_after_max_attempts() {
+        let mut u = Uplink::new(
+            ClientId(3),
+            UplinkConfig {
+                max_attempts: 2,
+                rto_initial: SimDuration::from_secs(1),
+                rto_max: SimDuration::from_secs(1),
+                ..Default::default()
+            },
+            StreamRng::new(2).fork("t"),
+        );
+        u.enqueue(report(5.0), SimTime::EPOCH);
+        let mut now = SimTime::EPOCH;
+        let mut sent = 0;
+        for _ in 0..10 {
+            sent += u.due_frames(now).len();
+            now = now + SimDuration::from_secs(10);
+        }
+        assert_eq!(sent, 2, "exactly max_attempts transmissions");
+        assert_eq!(u.pending_len(), 0);
+        assert_eq!(u.meters().abandoned, 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let u = uplink(4);
+        let r1 = u.rto(0, 1);
+        let r4 = u.rto(0, 4);
+        assert!(r4 > r1 * 2, "rto(4)={r4:?} vs rto(1)={r1:?}");
+        assert!(r4 <= SimDuration::from_micros((600_000_000.0 * 1.25) as i64));
+        let u2 = uplink(4);
+        assert_eq!(u.rto(7, 3), u2.rto(7, 3));
+    }
+
+    #[test]
+    fn frames_decode_back_to_the_report() {
+        let mut u = uplink(4);
+        u.enqueue(report(42.0), SimTime::EPOCH);
+        let frames = u.due_frames(SimTime::EPOCH);
+        match decode(&frames[0]) {
+            Ok(WireMessage::Report(r)) => {
+                assert_eq!(r.seq, 0);
+                assert_eq!(r.report, report(42.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Sanity: a corrupt frame yields a typed error, not a panic.
+        let mut bad = frames[0].clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(decode(&bad), Err(DecodeError::BadChecksum { .. })));
+    }
+}

@@ -121,7 +121,7 @@ struct ZoneState {
 }
 
 /// A client's sample report for a task.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SampleReport {
     /// Reporting client.
     pub client: ClientId,
@@ -580,6 +580,79 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn quota_exactly_met_stops_issuance() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        let nets = [NetworkId::NetB];
+        c.set_zone_quota(zone, NetworkId::NetB, 40);
+        // Exactly the quota arrives in one epoch: have == target is the
+        // stop condition, not have > target.
+        let vals: Vec<f64> = (0..40).map(|i| 100.0 + i as f64).collect();
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &vals))
+            .unwrap();
+        assert!(c
+            .client_checkin(ClientId(1), &center(), SimTime::from_secs(10), &nets, 0.0)
+            .is_empty());
+        assert_eq!(c.packets_requested(), 0);
+    }
+
+    #[test]
+    fn one_sample_short_issues_exactly_one_task() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        let nets = [NetworkId::NetB];
+        c.set_zone_quota(zone, NetworkId::NetB, 40);
+        let vals: Vec<f64> = (0..39).map(|i| 100.0 + i as f64).collect();
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &vals))
+            .unwrap();
+        // 1 sample missing -> 1 task needed -> p = 1/50; a low coin wins.
+        let t = SimTime::from_secs(10);
+        assert_eq!(
+            c.client_checkin(ClientId(1), &center(), t, &nets, 0.01)
+                .len(),
+            1
+        );
+        // The outstanding task already covers the deficit: nothing more
+        // is issued this epoch, even with coin = 0.
+        assert!(c
+            .client_checkin(ClientId(2), &center(), SimTime::from_secs(20), &nets, 0.0)
+            .is_empty());
+        assert_eq!(c.packets_requested(), 20);
+    }
+
+    #[test]
+    fn quota_exceeded_mid_epoch_is_ingested_but_stops_issuance() {
+        let mut c = coordinator();
+        let zone = c.index().zone_of(&center());
+        let nets = [NetworkId::NetB];
+        c.set_zone_quota(zone, NetworkId::NetB, 40);
+        // Opportunistic over-delivery (50 > 40) is kept, not rejected …
+        let vals: Vec<f64> = (0..50).map(|i| 100.0 + i as f64).collect();
+        c.ingest_report(&report(&c, SimTime::from_secs(0), &vals))
+            .unwrap();
+        assert_eq!(c.reports_rejected(), 0);
+        // … and pacing treats the surplus as quota met.
+        assert!(c
+            .client_checkin(ClientId(1), &center(), SimTime::from_secs(10), &nets, 0.0)
+            .is_empty());
+        assert_eq!(c.packets_requested(), 0);
+        // The surplus samples all enter the epoch estimate.
+        c.ingest_report(&report(&c, SimTime::from_secs(31 * 60), &[100.0]))
+            .unwrap();
+        assert_eq!(c.published(zone, NetworkId::NetB).unwrap().samples, 50);
+    }
+
+    #[test]
+    fn issue_probability_at_zero_need_never_issues() {
+        let c = coordinator();
+        // needed == 0 is a hard floor: p == 0.0 exactly, and the strict
+        // `coin < p` gate means even coin == 0.0 cannot issue.
+        let p = c.issue_probability(0);
+        assert_eq!(p, 0.0);
+        assert!(0.0 >= p, "coin < p must be false for every coin in [0,1)");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod zonestats;
 pub use agent::{ClientAgent, MeasurementReport};
 pub use coordinator::{
     ChangeAlert, Coordinator, CoordinatorConfig, IngestError, IngestSummary, MeasurementTask,
-    ZoneEstimate,
+    SampleReport, ZoneEstimate,
 };
 pub use deployment::{Deployment, DeploymentConfig, DeploymentStats};
 pub use dominance::{dominance_ratio, persistent_dominant, Better, DominanceOutcome};

@@ -27,7 +27,11 @@ pub fn table1() -> String {
          (`wiscape-mobility`). Transport: TCP and UDP probe trains plus ICMP-style \
          pings (`wiscape-simnet::probe`); probe packets 200–2048 B (default 1200 B); \
          logged fields per record: packet sequence/derived metric, receive \
-         timestamp, GPS coordinates, ground speed (`wiscape-datasets::MeasurementRecord`).\n",
+         timestamp, GPS coordinates, ground speed (`wiscape-datasets::MeasurementRecord`).\n\
+         Control channel: check-ins, task assignments, and sample reports cross a \
+         compact binary protocol (varint fields, length-prefixed frames, CRC-32) with \
+         at-least-once report delivery — sequence numbers, acks, seeded-backoff \
+         retries, coordinator-side dedup (`wiscape-channel`; overhead swept in Fig 15).\n",
     );
     out
 }

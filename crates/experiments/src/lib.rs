@@ -30,6 +30,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig15;
 pub mod inventory;
 pub mod plot;
 pub mod tab03;
@@ -39,10 +40,28 @@ pub mod tab06;
 
 pub use common::{Experiment, Scale};
 
-/// Every experiment id, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
-    "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "tab03", "tab04", "tab05", "tab06",
+/// Every experiment id, in paper order (fig15 is repro-only: the
+/// control-channel overhead sweep backing the paper's overhead
+/// argument).
+pub const ALL_EXPERIMENTS: [&str; 18] = [
+    "fig01",
+    "fig02",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15_overhead",
+    "tab03",
+    "tab04",
+    "tab05",
+    "tab06",
 ];
 
 /// `(file name, SVG body)` pairs produced by a figure's chart builder.
@@ -129,6 +148,11 @@ pub fn run_by_name_with_charts(
         }
         "fig14" => {
             let r = fig14::run(seed, scale);
+            let charts = Vec::new();
+            pack(r.summary(), &r, charts)
+        }
+        "fig15_overhead" => {
+            let r = fig15::run(seed, scale);
             let charts = Vec::new();
             pack(r.summary(), &r, charts)
         }

@@ -28,6 +28,10 @@
 //! * **S002** — no `unwrap()`/`expect()`/`panic!` on the sample-ingest
 //!   surface (`core::coordinator`, `core::agent`); malformed input must
 //!   degrade gracefully, per the paper's opportunistic-sampling model.
+//! * **S003** — no `as` numeric casts on the wire-decode surface
+//!   (`channel::codec`); a silently truncating cast on attacker-shaped
+//!   bytes is how length fields become buffer confusion. Use
+//!   `From`/`TryFrom` or explicit `to_le_bytes`/`from_le_bytes`.
 //! * **L001** — a `lint:allow` escape hatch without a justification (or
 //!   naming an unknown rule) is itself a violation.
 //!
@@ -101,6 +105,12 @@ pub const RULES: &[RuleInfo] = &[
                   input must drop-and-count, not crash the coordinator",
     },
     RuleInfo {
+        code: "S003",
+        severity: "error",
+        summary: "`as` numeric cast on the wire-decode surface: casts silently truncate \
+                  attacker-shaped values; use From/TryFrom or to_le_bytes/from_le_bytes",
+    },
+    RuleInfo {
         code: "L001",
         severity: "error",
         summary: "lint:allow without a justification string (or naming an unknown rule)",
@@ -124,6 +134,8 @@ pub struct FileScope {
     pub executor_module: bool,
     /// S002 applies: client-facing ingest surface.
     pub ingest_surface: bool,
+    /// S003 applies: wire-decode surface parsing untrusted bytes.
+    pub wire_decode_surface: bool,
     /// The whole file is test code (integration tests, benches).
     pub all_test_code: bool,
 }
@@ -435,6 +447,29 @@ fn has_ident(line: &str, name: &str) -> bool {
     idents(line).any(|(_, id)| id == name)
 }
 
+/// Numeric primitive type names an `as` cast can silently truncate or
+/// round into (S003 targets).
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Finds `<expr> as <numeric-type>` on a stripped code line, returning
+/// the target type of the first such cast. Identifier-pair scanning: an
+/// `as` keyword immediately followed by a numeric primitive. `use x as
+/// y` renames never target primitives, so they cannot false-positive.
+fn numeric_as_cast(line: &str) -> Option<&'static str> {
+    let ids: Vec<(usize, &str)> = idents(line).collect();
+    for pair in ids.windows(2) {
+        if pair[0].1 == "as" {
+            if let Some(t) = NUMERIC_TYPES.iter().find(|&&t| t == pair[1].1) {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
 /// Matches `first :: second` on identifier boundaries (whitespace
 /// tolerated around the `::`).
 fn has_path(line: &str, first: &str, second: &str) -> bool {
@@ -743,6 +778,20 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mu
                 }
             }
         }
+        if scope.wire_decode_surface && !test {
+            if let Some(target) = numeric_as_cast(code) {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "S003",
+                    format!(
+                        "`as {target}` cast on the wire-decode surface: casts silently \
+                         truncate attacker-shaped values; use From/TryFrom or \
+                         to_le_bytes/from_le_bytes"
+                    ),
+                );
+            }
+        }
     }
 
     // Apply suppressions: a lint:allow on line N covers findings for its
@@ -794,6 +843,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "core",
     "workload",
     "apps",
+    "channel",
     "experiments",
 ];
 
@@ -816,6 +866,7 @@ pub fn scope_for(rel: &Path) -> FileScope {
         executor_module: rel == Path::new("crates/simcore/src/exec.rs"),
         ingest_surface: rel == Path::new("crates/core/src/coordinator.rs")
             || rel == Path::new("crates/core/src/agent.rs"),
+        wire_decode_surface: rel == Path::new("crates/channel/src/codec.rs"),
         all_test_code,
     }
 }

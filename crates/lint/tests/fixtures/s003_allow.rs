@@ -1,0 +1,6 @@
+// Fixture: S003 suppressed with a justification.
+pub fn decode_len(header: &[u8]) -> usize {
+    let claimed = u64::from_le_bytes(header[..8].try_into().unwrap());
+    // lint:allow(S003): fixture value is masked to 7 bits on the line above.
+    (claimed & 0x7F) as usize
+}

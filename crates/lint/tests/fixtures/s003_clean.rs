@@ -1,0 +1,12 @@
+// Fixture: S003 negative — untrusted lengths go through TryFrom and
+// checked conversions; renames (`use x as y`) are not casts.
+use std::io::Read as ReadExt;
+
+pub fn decode_len(header: &[u8]) -> Option<usize> {
+    let claimed = u64::from_le_bytes(header[..8].try_into().ok()?);
+    usize::try_from(claimed).ok()
+}
+
+pub fn widen(tag: u8) -> u64 {
+    u64::from(tag)
+}

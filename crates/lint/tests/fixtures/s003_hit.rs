@@ -1,0 +1,9 @@
+// Fixture: S003 positive — lossy `as` casts while decoding untrusted
+// wire bytes.
+pub fn decode_len(header: &[u8]) -> usize {
+    let claimed = u64::from_le_bytes(header[..8].try_into().unwrap());
+    let len = claimed as usize;
+    let tag = (claimed >> 56) as u8;
+    let scale = claimed as f64;
+    len + tag as usize + scale as usize
+}

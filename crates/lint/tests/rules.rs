@@ -197,6 +197,25 @@ fn s002_only_applies_to_the_ingest_surface() {
     assert!(lint_fixture("s002_hit.rs", FileScope::default()).is_clean());
 }
 
+fn wire_decode() -> FileScope {
+    FileScope {
+        wire_decode_surface: true,
+        ..FileScope::default()
+    }
+}
+
+#[test]
+fn s003_hit_allow_clean() {
+    assert_hits(&lint_fixture("s003_hit.rs", wire_decode()), "S003", 3);
+    assert_suppressed(&lint_fixture("s003_allow.rs", wire_decode()), "S003", 1);
+    assert!(lint_fixture("s003_clean.rs", wire_decode()).is_clean());
+}
+
+#[test]
+fn s003_only_applies_to_the_wire_decode_surface() {
+    assert!(lint_fixture("s003_hit.rs", FileScope::default()).is_clean());
+}
+
 #[test]
 fn l001_bare_allow_is_a_violation_and_suppresses_nothing() {
     let report = lint_fixture("l001_bare.rs", deterministic());

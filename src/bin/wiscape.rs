@@ -1,7 +1,8 @@
 //! `wiscape` — command-line front end for the WiScape reproduction.
 //!
 //! ```text
-//! wiscape map    [--seed N] [--hours H] [--out map.csv]     run a deployment, dump the zone map
+//! wiscape map    [--seed N] [--hours H] [--loss P] [--out map.csv]
+//!                                                           run a deployment, dump the zone map
 //! wiscape trace  <standalone|wirover|spot|short-segment>
 //!                [--seed N] [--days D] [--out trace.csv]    regenerate a dataset as CSV
 //! wiscape epoch  [--seed N] [--region wi|nj]                Allan-deviation epoch profile
@@ -66,7 +67,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wiscape map     [--seed N] [--hours H] [--out map.csv]\n  \
+        "usage:\n  wiscape map     [--seed N] [--hours H] [--loss P] [--out map.csv]\n  \
          wiscape trace   <standalone|wirover|spot|short-segment> [--seed N] [--days D] [--out trace.csv]\n  \
          wiscape epoch   [--seed N] [--region wi|nj]\n  \
          wiscape quality [--seed N] [--lat L --lon L] [--hour H]"
@@ -86,13 +87,22 @@ fn landscape(args: &Args) -> Landscape {
 fn cmd_map(args: &Args) {
     let seed = args.u64_flag("seed", 7);
     let hours = args.f64_flag("hours", 8.0);
+    let loss = args.f64_flag("loss", 0.0);
+    if !(0.0..=1.0).contains(&loss) {
+        die(&format!("--loss: must be in [0, 1], got {loss}"));
+    }
     let land = landscape(args);
     let mut fleet = Fleet::new(seed);
     fleet
         .add_transit_buses(5, land.origin(), 6000.0, 10)
         .add_static_spot(land.origin());
     let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
-    let mut deployment = Deployment::new(land, fleet, index, DeploymentConfig::default());
+    let config = if loss > 0.0 {
+        report_loss(loss)
+    } else {
+        perfect_link()
+    };
+    let mut deployment = ChannelDeployment::new(land, fleet, index, config);
     let start = SimTime::at(1, 7.0);
     deployment.run(start, start + SimDuration::from_secs_f64(hours * 3600.0));
     let stats = deployment.stats();
@@ -100,6 +110,16 @@ fn cmd_map(args: &Args) {
         "deployment: {} checkins, {} tasks, {} packets requested",
         stats.checkins, stats.tasks_issued, stats.packets_requested
     );
+    if loss > 0.0 {
+        let m = deployment.meters();
+        eprintln!(
+            "channel: {} control bytes, {} retries, {} duplicates dropped, {} reports pending",
+            m.control_bytes(),
+            m.uplink.retries,
+            m.server.duplicates_dropped,
+            deployment.pending_reports()
+        );
+    }
     let published = deployment.coordinator().all_published();
     let mut out =
         String::from("zone_col,zone_row,lat_deg,lon_deg,network,mean_kbps,std_kbps,samples\n");

@@ -19,6 +19,8 @@
 //! * [`datasets`] — regenerators for the paper's seven datasets;
 //! * [`core`] — the WiScape framework itself (zones, epochs, sampling,
 //!   coordinator, agents, anomaly and dominance analysis, deployment);
+//! * [`channel`] — the client ↔ coordinator control channel (wire
+//!   codec, lossy-link simulation, reliable report delivery);
 //! * [`workload`] — SURGE pages, named-site page sets, HTTP model;
 //! * [`apps`] — multi-sim selection and the MAR striping gateway;
 //! * [`experiments`] — one module per paper table/figure.
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub use wiscape_apps as apps;
+pub use wiscape_channel as channel;
 pub use wiscape_core as core;
 pub use wiscape_datasets as datasets;
 pub use wiscape_experiments as experiments;
@@ -64,6 +67,9 @@ pub use wiscape_workload as workload;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use wiscape_apps::{MarScheduler, SelectionPolicy, ZoneQualityMap};
+    pub use wiscape_channel::{
+        lossy_cellular, perfect_link, report_loss, ChannelConfig, ChannelDeployment,
+    };
     pub use wiscape_core::{
         Better, ChangeAlert, ClientAgent, Coordinator, CoordinatorConfig, Deployment,
         DeploymentConfig, EpochConfig, EpochEstimator, ZoneId, ZoneIndex,

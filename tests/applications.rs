@@ -6,7 +6,9 @@ use wiscape::datasets::short_segment;
 use wiscape::prelude::*;
 
 /// Builds a quality map straight from a *coordinator* run whose clients
-/// drove the segment — the full production path.
+/// drove the segment — the full production path, including the control
+/// channel the reports cross in a real deployment (`perfect_link()`
+/// keeps it bitwise-identical to the direct-call harness).
 fn coordinator_map(seed: u64) -> (Landscape, ZoneQualityMap) {
     let land = Landscape::new(LandscapeConfig::madison(seed));
     let mut fleet = Fleet::new(seed);
@@ -14,17 +16,16 @@ fn coordinator_map(seed: u64) -> (Landscape, ZoneQualityMap) {
     // published map covers exactly the zones the apps will traverse.
     fleet.add_short_segment_car(land.origin(), 0.7);
     let index = ZoneIndex::around(land.origin(), 25_000.0).unwrap();
-    let mut deployment = Deployment::new(
-        land.clone(),
-        fleet,
-        index,
-        DeploymentConfig {
-            checkin_interval: SimDuration::from_secs(45),
-            ..Default::default()
-        },
-    );
+    let mut config = perfect_link();
+    config.deployment = DeploymentConfig {
+        checkin_interval: SimDuration::from_secs(45),
+        ..Default::default()
+    };
+    let mut deployment = ChannelDeployment::new(land.clone(), fleet, index, config);
     deployment.run(SimTime::at(1, 7.0), SimTime::at(1, 22.0));
-    let map = ZoneQualityMap::from_coordinator(deployment.coordinator());
+    let coordinator = deployment.coordinator();
+    let map =
+        ZoneQualityMap::from_estimates(coordinator.index().clone(), &coordinator.all_published());
     (land, map)
 }
 
