@@ -11,6 +11,7 @@ use wiscape_core::{Coordinator, ZoneEstimate, ZoneId, ZoneIndex};
 use wiscape_geo::GeoPoint;
 use wiscape_simcore::SimTime;
 use wiscape_simnet::{Landscape, NetworkId};
+use wiscape_stats::MeanSketch;
 
 /// Per-zone per-network mean quality: TCP throughput (kbit/s), plus an
 /// optional RTT layer (ms) enabling latency-aware fetch predictions.
@@ -56,24 +57,20 @@ impl ZoneQualityMap {
 
     /// Builds the map from raw `(point, network, value)` observations by
     /// averaging per zone (the "client-sourced map" used in §4.2 where
-    /// the short-segment dataset itself supplies the estimates).
+    /// the short-segment dataset itself supplies the estimates). One
+    /// constant-size [`MeanSketch`] per populated cell; no raw retention.
     pub fn from_observations<'a>(
         index: ZoneIndex,
         obs: impl IntoIterator<Item = &'a (GeoPoint, NetworkId, f64)>,
     ) -> Self {
-        let mut sums: BTreeMap<(ZoneId, NetworkId), (f64, u32)> = BTreeMap::new();
+        let mut sums: BTreeMap<(ZoneId, NetworkId), MeanSketch> = BTreeMap::new();
         for (p, net, v) in obs {
             let z = index.zone_of(p);
-            let e = sums.entry((z, *net)).or_insert((0.0, 0));
-            e.0 += v;
-            e.1 += 1;
+            sums.entry((z, *net)).or_default().push(*v);
         }
         Self {
             index,
-            map: sums
-                .into_iter()
-                .map(|(k, (s, n))| (k, s / n as f64))
-                .collect(),
+            map: sums.into_iter().map(|(k, s)| (k, s.mean())).collect(),
             rtt: BTreeMap::new(),
         }
     }
@@ -116,17 +113,12 @@ impl ZoneQualityMap {
         mut self,
         obs: impl IntoIterator<Item = &'a (GeoPoint, NetworkId, f64)>,
     ) -> Self {
-        let mut sums: BTreeMap<(ZoneId, NetworkId), (f64, u32)> = BTreeMap::new();
+        let mut sums: BTreeMap<(ZoneId, NetworkId), MeanSketch> = BTreeMap::new();
         for (p, net, v) in obs {
             let z = self.index.zone_of(p);
-            let e = sums.entry((z, *net)).or_insert((0.0, 0));
-            e.0 += v;
-            e.1 += 1;
+            sums.entry((z, *net)).or_default().push(*v);
         }
-        self.rtt = sums
-            .into_iter()
-            .map(|(k, (s, n))| (k, s / n as f64))
-            .collect();
+        self.rtt = sums.into_iter().map(|(k, s)| (k, s.mean())).collect();
         self
     }
 
@@ -164,17 +156,11 @@ impl ZoneQualityMap {
 
     /// Mean RTT of a network across all its zones, ms.
     pub fn network_mean_rtt(&self, net: NetworkId) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .rtt
-            .iter()
-            .filter(|((_, n), _)| *n == net)
-            .map(|(_, &v)| v)
-            .collect();
-        if vals.is_empty() {
-            None
-        } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        let mut s = MeanSketch::new();
+        for (_, &v) in self.rtt.iter().filter(|((_, n), _)| *n == net) {
+            s.push(v);
         }
+        (!s.is_empty()).then(|| s.mean())
     }
 
     /// The zone index in use.
@@ -216,17 +202,11 @@ impl ZoneQualityMap {
     /// Mean estimate of a network across all its zones (used for the
     /// weighted round robin baseline's static weights).
     pub fn network_mean(&self, net: NetworkId) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .map
-            .iter()
-            .filter(|((_, n), _)| *n == net)
-            .map(|(_, &v)| v)
-            .collect();
-        if vals.is_empty() {
-            None
-        } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        let mut s = MeanSketch::new();
+        for (_, &v) in self.map.iter().filter(|((_, n), _)| *n == net) {
+            s.push(v);
         }
+        (!s.is_empty()).then(|| s.mean())
     }
 }
 

@@ -57,8 +57,8 @@ pub fn zone_radius(seed: u64) -> Vec<ZoneRadiusRow> {
             radius,
         )
         .expect("valid index");
-        let mut client = ZoneAggregator::new(index.clone(), false);
-        let mut truth = ZoneAggregator::new(index.clone(), false);
+        let mut client = ZoneAggregator::new(index.clone());
+        let mut truth = ZoneAggregator::new(index.clone());
         for (i, r) in ds
             .select(NetworkId::NetB, Metric::TcpKbps)
             .iter()

@@ -58,12 +58,36 @@ struct ChannelRates {
     cellular_send_s: f64,
 }
 
+/// Estimation-ingest throughput and resident sketch footprint. One
+/// report carries 20 samples; memory counters are taken after the
+/// timed runs, when every benchmark zone has been touched.
+#[derive(Serialize)]
+struct IngestRates {
+    /// `Coordinator::ingest_report` calls per second (direct fold,
+    /// no wire codec).
+    coordinator_reports_s: f64,
+    /// Samples folded per second on that path (`reports * 20`).
+    coordinator_samples_s: f64,
+    /// `ChannelServer::handle_report` calls per second: dedup +
+    /// immediate commit + ack construction, fresh sequence per call.
+    server_reports_s: f64,
+    /// `(zone, network)` cells tracked after the runs.
+    zones_tracked: usize,
+    /// Resident bytes of per-zone estimation state — stays
+    /// `zones_tracked * per_zone_state_bytes` regardless of how many
+    /// observations streamed through.
+    sketch_bytes: usize,
+    /// Fixed footprint of one tracked cell.
+    per_zone_state_bytes: usize,
+}
+
 #[derive(Serialize)]
 struct BenchCore {
     /// Worker count used (WISCAPE_THREADS or available parallelism).
     threads: usize,
     field_eval: EvalRates,
     channel: ChannelRates,
+    ingest: IngestRates,
     /// Per-experiment wall-clock at Scale::Quick, paper order.
     experiments: Vec<ExperimentTiming>,
     /// Wall-clock of the whole parallel experiment run, seconds.
@@ -194,6 +218,89 @@ fn channel_rates() -> ChannelRates {
     }
 }
 
+fn ingest_rates() -> IngestRates {
+    use wiscape_channel::codec::ReportMsg;
+    use wiscape_channel::{ChannelServer, CommitPolicy};
+    use wiscape_core::{Coordinator, CoordinatorConfig, MeasurementTask, SampleReport, ZoneIndex};
+    use wiscape_geo::{BoundingBox, GeoPoint};
+    use wiscape_mobility::ClientId;
+    use wiscape_simcore::StreamRng;
+    use wiscape_simnet::TransportKind;
+
+    let budget = 0.5;
+    let origin = GeoPoint::new(39.0, -77.0).expect("valid origin");
+    let bounds = BoundingBox::around(origin, 8000.0);
+    let index = ZoneIndex::new(bounds, 200.0).expect("valid index");
+
+    // 64 reports spread over distinct zones, 20 samples each — the
+    // common report shape, cycled so every fold hits live state.
+    let reports: Vec<SampleReport> = (0..64u64)
+        .map(|i| {
+            let p = origin.destination(i as f64 * 0.7, 400.0 + 90.0 * i as f64);
+            let zone = index.zone_of(&p);
+            let network = if i.is_multiple_of(2) {
+                NetworkId::NetA
+            } else {
+                NetworkId::NetB
+            };
+            SampleReport {
+                client: ClientId(u32::try_from(i % 8).expect("small")),
+                task: MeasurementTask {
+                    zone,
+                    network,
+                    kind: TransportKind::Udp,
+                    n_packets: 20,
+                    packet_bytes: 1200,
+                },
+                zone,
+                t: SimTime::at(1, 9.5),
+                samples: (0..20).map(|k| 900.0 + (k + i) as f64).collect(),
+            }
+        })
+        .collect();
+
+    let mut coordinator = Coordinator::new(index.clone(), CoordinatorConfig::default());
+    let mut k = 0usize;
+    let coordinator_reports_s = rate(budget, || {
+        k += 1;
+        black_box(
+            coordinator
+                .ingest_report(black_box(&reports[k % reports.len()]))
+                .ok(),
+        );
+    });
+
+    let mut server = ChannelServer::new(
+        Coordinator::new(index, CoordinatorConfig::default()),
+        CommitPolicy::Immediate,
+        StreamRng::new(11).fork("deployment"),
+        vec![NetworkId::NetA, NetworkId::NetB],
+    );
+    let now = SimTime::at(1, 9.5);
+    let mut seq = 0u64;
+    let server_reports_s = rate(budget, || {
+        seq += 1;
+        let msg = ReportMsg {
+            seq,
+            report: reports[usize::try_from(seq).unwrap_or(0) % reports.len()].clone(),
+        };
+        black_box(server.handle_report(msg, now));
+    });
+
+    debug_assert_eq!(
+        server.sketch_bytes(),
+        server.zones_tracked() * Coordinator::per_zone_state_bytes()
+    );
+    IngestRates {
+        coordinator_reports_s,
+        coordinator_samples_s: coordinator_reports_s * 20.0,
+        server_reports_s,
+        zones_tracked: coordinator.zones_tracked(),
+        sketch_bytes: coordinator.sketch_bytes(),
+        per_zone_state_bytes: Coordinator::per_zone_state_bytes(),
+    }
+}
+
 fn main() {
     let mut out_path = String::from("results/BENCH_core.json");
     let mut args = std::env::args().skip(1);
@@ -238,6 +345,19 @@ fn main() {
         channel.cellular_send_s,
     );
 
+    eprintln!("[baseline] estimation-ingest rates + sketch footprint...");
+    let ingest = ingest_rates();
+    eprintln!(
+        "[baseline] coordinator {:.0} reports/s ({:.0} samples/s), server {:.0} reports/s; \
+         {} zones x {} B = {} B resident",
+        ingest.coordinator_reports_s,
+        ingest.coordinator_samples_s,
+        ingest.server_reports_s,
+        ingest.zones_tracked,
+        ingest.per_zone_state_bytes,
+        ingest.sketch_bytes,
+    );
+
     eprintln!("[baseline] running all experiments at Scale::Quick...");
     let names: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     let wall = Instant::now();
@@ -257,6 +377,7 @@ fn main() {
         threads,
         field_eval,
         channel,
+        ingest,
         experiments,
         experiments_wall_s,
         experiments_cpu_s,

@@ -25,6 +25,11 @@
 //! window: floating-point accumulation in the zone estimator is
 //! order-sensitive, so order-independence has to be manufactured by
 //! sorting, not assumed.
+//!
+//! Committed samples land in the coordinator's per-zone
+//! `MomentSketch`es (`wiscape_stats::sketch`) — constant state per
+//! `(zone, network)` cell, so server memory is O(zones) plus the
+//! watermark-bounded staging buffer, never O(reports).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -137,6 +142,25 @@ impl ChannelServer {
             .sum()
     }
 
+    /// Number of `(zone, network)` cells the wrapped coordinator tracks.
+    pub fn zones_tracked(&self) -> usize {
+        self.coordinator.zones_tracked()
+    }
+
+    /// Resident bytes of the coordinator's per-zone estimation state —
+    /// O(zones) however many reports stream through. The watermark
+    /// staging buffer is the only other report storage, and it is
+    /// bounded by the settle window, not the run length.
+    pub fn sketch_bytes(&self) -> usize {
+        self.coordinator.sketch_bytes()
+    }
+
+    /// Reports currently staged awaiting the watermark (0 under
+    /// [`CommitPolicy::Immediate`]).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
     /// Handles one received transmission (a concatenation of frames) at
     /// `now`, returning the reply frames (task assignments for
     /// check-ins, acks for reports) to put on the downlink.
@@ -228,6 +252,10 @@ impl ChannelServer {
         }
     }
 
+    /// Folds one deduplicated report into the coordinator's per-zone
+    /// sketch: O(1) state per `(zone, network)` cell and no per-report
+    /// allocation (the ingest path filters and folds the samples in
+    /// place — see `Coordinator::ingest_report`).
     fn commit(&mut self, report: &SampleReport) {
         if self.coordinator.ingest_report(report).is_ok() {
             self.meters.reports_ingested += 1;

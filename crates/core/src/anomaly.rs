@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use wiscape_simcore::SimTime;
+use wiscape_stats::MeanSketch;
 
 use crate::zone::ZoneId;
 
@@ -179,20 +180,21 @@ impl LatencySurgeDetector {
 
 /// Convenience: bins a raw latency series into `bin` wide means keyed by
 /// bin start (for feeding [`LatencySurgeDetector::detect`]).
+///
+/// Each bin is a constant-size [`MeanSketch`], so the pass holds
+/// O(occupied bins) regardless of how many samples stream through.
 pub fn bin_latency_series(
     samples: &[(SimTime, f64)],
     bin: wiscape_simcore::SimDuration,
 ) -> Vec<(SimTime, f64)> {
-    let mut bins: BTreeMap<i64, (f64, u32)> = BTreeMap::new();
+    let mut bins: BTreeMap<i64, MeanSketch> = BTreeMap::new();
     let w = bin.as_micros().max(1);
     for &(t, v) in samples {
         let k = t.as_micros().div_euclid(w);
-        let e = bins.entry(k).or_insert((0.0, 0));
-        e.0 += v;
-        e.1 += 1;
+        bins.entry(k).or_default().push(v);
     }
     bins.into_iter()
-        .map(|(k, (sum, n))| (SimTime::from_micros(k * w), sum / n as f64))
+        .map(|(k, s)| (SimTime::from_micros(k * w), s.mean()))
         .collect()
 }
 

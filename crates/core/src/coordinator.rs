@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use wiscape_mobility::ClientId;
 use wiscape_simcore::{SimDuration, SimTime};
 use wiscape_simnet::{NetworkId, TransportKind};
-use wiscape_stats::RunningStats;
+use wiscape_stats::MomentSketch;
 
 use crate::zone::{ZoneId, ZoneIndex};
 
@@ -108,16 +108,33 @@ pub struct ChangeAlert {
 }
 
 /// Per-(zone, network) epoch state.
+///
+/// Fixed size: the epoch's samples live in a [`MomentSketch`], never a
+/// buffer, so coordinator memory is O(tracked zones) no matter how many
+/// reports stream through (lint rule D005 enforces this).
 #[derive(Debug, Clone)]
 struct ZoneState {
     epoch: SimDuration,
     epoch_start: SimTime,
-    current: RunningStats,
+    current: MomentSketch,
     issued_this_epoch: u32,
     published: Option<ZoneEstimate>,
     /// Per-zone sample quota override (from the NKLD tuner); falls back
     /// to the config's global target when unset.
     quota: Option<u32>,
+}
+
+impl ZoneState {
+    fn fresh(epoch: SimDuration, epoch_start: SimTime) -> Self {
+        Self {
+            epoch,
+            epoch_start,
+            current: MomentSketch::new(),
+            issued_this_epoch: 0,
+            published: None,
+            quota: None,
+        }
+    }
 }
 
 /// A client's sample report for a task.
@@ -225,17 +242,11 @@ impl Coordinator {
     /// Installs a zone-specific epoch (e.g. from an Allan-deviation
     /// estimate) for all networks in that zone.
     pub fn set_zone_epoch(&mut self, zone: ZoneId, network: NetworkId, epoch: SimDuration) {
+        let default_epoch = self.config.default_epoch;
         let state = self
             .state
             .entry((zone, network))
-            .or_insert_with(|| ZoneState {
-                epoch: self.config.default_epoch,
-                epoch_start: SimTime::EPOCH,
-                current: RunningStats::new(),
-                issued_this_epoch: 0,
-                published: None,
-                quota: None,
-            });
+            .or_insert_with(|| ZoneState::fresh(default_epoch, SimTime::EPOCH));
         state.epoch = epoch;
     }
 
@@ -250,17 +261,11 @@ impl Coordinator {
     /// Installs a zone-specific per-epoch sample quota (from the NKLD
     /// tuner, paper §3.4).
     pub fn set_zone_quota(&mut self, zone: ZoneId, network: NetworkId, quota: u32) {
+        let default_epoch = self.config.default_epoch;
         let state = self
             .state
             .entry((zone, network))
-            .or_insert_with(|| ZoneState {
-                epoch: self.config.default_epoch,
-                epoch_start: SimTime::EPOCH,
-                current: RunningStats::new(),
-                issued_this_epoch: 0,
-                published: None,
-                quota: None,
-            });
+            .or_insert_with(|| ZoneState::fresh(default_epoch, SimTime::EPOCH));
         state.quota = Some(quota.max(1));
     }
 
@@ -299,14 +304,7 @@ impl Coordinator {
             let state = self
                 .state
                 .entry((zone, network))
-                .or_insert_with(|| ZoneState {
-                    epoch: default_epoch,
-                    epoch_start: t,
-                    current: RunningStats::new(),
-                    issued_this_epoch: 0,
-                    published: None,
-                    quota: None,
-                });
+                .or_insert_with(|| ZoneState::fresh(default_epoch, t));
             // Epoch rollover is handled in ingest/finalize; here we only
             // roll the window forward if long past.
             if t - state.epoch_start >= state.epoch {
@@ -321,7 +319,7 @@ impl Coordinator {
                     t,
                 );
                 state.epoch_start = t;
-                state.current = RunningStats::new();
+                state.current = MomentSketch::new();
                 state.issued_this_epoch = 0;
             }
             let target = state.quota.unwrap_or(self.config.target_samples_per_epoch);
@@ -405,19 +403,19 @@ impl Coordinator {
             self.reports_rejected += 1;
             return Err(IngestError::UnknownZone(report.zone));
         }
+        // Classification pass: count malformed samples without
+        // allocating a scratch buffer (the ingest path is O(1) memory
+        // per report).
         let mut summary = IngestSummary::default();
-        let mut valid: Vec<f64> = Vec::with_capacity(report.samples.len());
         for &s in &report.samples {
             if !s.is_finite() {
                 summary.dropped_non_finite += 1;
             } else if s < 0.0 {
                 summary.dropped_negative += 1;
-            } else {
-                valid.push(s);
             }
         }
         self.malformed_dropped += u64::from(summary.dropped());
-        if valid.is_empty() {
+        if summary.dropped() as usize == report.samples.len() {
             // Every sample was malformed: drop the report without
             // touching epoch bookkeeping (a garbage report must not
             // roll an epoch over).
@@ -425,14 +423,10 @@ impl Coordinator {
         }
         let key = (report.zone, report.task.network);
         let default_epoch = self.config.default_epoch;
-        let state = self.state.entry(key).or_insert_with(|| ZoneState {
-            epoch: default_epoch,
-            epoch_start: report.t,
-            current: RunningStats::new(),
-            issued_this_epoch: 0,
-            published: None,
-            quota: None,
-        });
+        let state = self
+            .state
+            .entry(key)
+            .or_insert_with(|| ZoneState::fresh(default_epoch, report.t));
         if report.t - state.epoch_start >= state.epoch {
             Self::finalize_epoch(
                 &mut self.alerts,
@@ -443,12 +437,16 @@ impl Coordinator {
                 report.t,
             );
             state.epoch_start = report.t;
-            state.current = RunningStats::new();
+            state.current = MomentSketch::new();
             state.issued_this_epoch = 0;
         }
-        for &s in &valid {
-            state.current.push(s);
-            summary.accepted += 1;
+        // Fold pass: valid samples stream straight into the sketch, in
+        // report order.
+        for &s in &report.samples {
+            if s.is_finite() && s >= 0.0 {
+                state.current.push(s);
+                summary.accepted += 1;
+            }
         }
         Ok(summary)
     }
@@ -493,6 +491,30 @@ impl Coordinator {
     /// Whole reports rejected at the ingest boundary.
     pub fn reports_rejected(&self) -> u64 {
         self.reports_rejected
+    }
+
+    /// The current epoch's moment sketch for a zone/network, if the
+    /// coordinator tracks it (monitoring/diagnostics surface).
+    pub fn current_sketch(&self, zone: ZoneId, network: NetworkId) -> Option<&MomentSketch> {
+        self.state.get(&(zone, network)).map(|s| &s.current)
+    }
+
+    /// Number of `(zone, network)` cells the coordinator tracks.
+    pub fn zones_tracked(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Resident bytes of all per-zone aggregation state. Every cell is
+    /// a fixed-size sketch, so this is exactly
+    /// `zones_tracked() * per_zone_state_bytes()` — proportional to the
+    /// zone count, never the observation count.
+    pub fn sketch_bytes(&self) -> usize {
+        self.state.len() * Self::per_zone_state_bytes()
+    }
+
+    /// Fixed per-cell footprint (key plus epoch state).
+    pub fn per_zone_state_bytes() -> usize {
+        std::mem::size_of::<(ZoneId, NetworkId)>() + std::mem::size_of::<ZoneState>()
     }
 }
 

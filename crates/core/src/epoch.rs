@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use wiscape_simcore::SimDuration;
-use wiscape_stats::{allan_deviation_profile, profile_argmin, AllanPoint, StatsError, TimedValue};
+use wiscape_stats::{profile_argmin, AllanPoint, AllanSketch, StatsError, TimedValue};
 
 /// Configuration of the epoch search.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -70,15 +70,39 @@ impl EpochEstimator {
         &self.config
     }
 
+    /// Starts an empty streaming accumulator sized for this estimator's
+    /// candidate set. Feed it with [`EpochEstimator::observe`] and turn
+    /// it into an estimate with [`EpochEstimator::estimate_from_sketch`]
+    /// — memory stays O(candidates) however long the series runs.
+    pub fn sketch(&self) -> Result<AllanSketch, StatsError> {
+        AllanSketch::new(&self.config.candidate_mins)
+    }
+
+    /// Streams one timestamped observation (timestamp in **seconds**)
+    /// into an accumulator created by [`EpochEstimator::sketch`].
+    pub fn observe(sketch: &mut AllanSketch, t_secs: f64, value: f64) {
+        // Work in minutes to match candidate units.
+        sketch.push(t_secs / 60.0, value);
+    }
+
     /// Runs the Allan-deviation search on a measurement series
     /// (timestamps in **seconds**, as produced by dataset `series()`).
+    ///
+    /// Implemented as a single streaming pass over the series: for
+    /// time-ordered input this is bit-identical to profiling the
+    /// retained series, without retaining it.
     pub fn estimate(&self, series: &[TimedValue]) -> Result<EpochEstimate, StatsError> {
-        // Work in minutes to match candidate units.
-        let series_min: Vec<TimedValue> = series
-            .iter()
-            .map(|tv| TimedValue::new(tv.t / 60.0, tv.value))
-            .collect();
-        let profile = allan_deviation_profile(&series_min, &self.config.candidate_mins)?;
+        let mut sketch = self.sketch()?;
+        for tv in series {
+            Self::observe(&mut sketch, tv.t, tv.value);
+        }
+        self.estimate_from_sketch(&sketch)
+    }
+
+    /// Turns a streamed [`AllanSketch`] into an epoch estimate: profile,
+    /// trusted argmin, clamp to the configured bounds.
+    pub fn estimate_from_sketch(&self, sketch: &AllanSketch) -> Result<EpochEstimate, StatsError> {
+        let profile = sketch.profile()?;
         // Candidates whose interval count is tiny produce statistically
         // meaningless deviations (two 16-hour bins of a 2-day trace say
         // nothing); exclude them from the argmin but keep them in the

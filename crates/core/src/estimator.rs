@@ -66,6 +66,10 @@ pub struct ErrorSummary {
 }
 
 /// Summarizes per-zone errors; `None` when empty.
+///
+/// The internal [`Ecdf`] holds one value *per zone* (a transient
+/// O(zones) buffer over already-aggregated errors), not per raw sample —
+/// it is outside the streaming pipeline's no-retention rule.
 pub fn summarize(errors: &[ZoneError]) -> Option<ErrorSummary> {
     if errors.is_empty() {
         return None;

@@ -27,6 +27,16 @@ use crate::sampling::{samples_until_similar, WindowMode};
 use crate::zone::ZoneId;
 
 /// Per-(zone, network) sample history with a bounded memory footprint.
+///
+/// This is the **one deliberate raw-value store** left in the framework:
+/// the NKLD quota search ([`QuotaTuner`]) resamples random windows of
+/// the actual value distribution, which no constant-size sketch can
+/// reproduce. The footprint is hard-capped at [`MAX_HISTORY`] samples
+/// per cell (oldest evicted), so it is bounded — unlike the unbounded
+/// retain-everything path the streaming sketches replaced. The epoch
+/// tuner no longer needs this store's raw values (the Allan search
+/// streams through [`wiscape_stats::AllanSketch`]); it only still reads
+/// it for convenience when both tuners share one store.
 #[derive(Debug, Clone, Default)]
 pub struct ZoneHistory {
     /// Timestamped samples, oldest first.

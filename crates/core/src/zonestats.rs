@@ -1,17 +1,23 @@
 //! Per-zone sample aggregation.
 //!
 //! [`ZoneAggregator`] bins arbitrary observations into zones and keeps
-//! running statistics plus (optionally) raw samples per
-//! `(zone, network)`. It backs the paper's §3.1 homogeneity analysis
-//! (CDF of per-zone relative standard deviation, Fig 4), the city map of
-//! Fig 1, and the ground-truth side of the Fig 8 validation.
+//! one constant-size [`MomentSketch`] per `(zone, network)` — it never
+//! retains raw samples, so memory is O(populated zones) regardless of
+//! how many observations stream through. It backs the paper's §3.1
+//! homogeneity analysis (CDF of per-zone relative standard deviation,
+//! Fig 4), the city map of Fig 1, and the ground-truth side of the
+//! Fig 8 validation.
+//!
+//! Experiments that genuinely need raw per-zone values (percentiles,
+//! NKLD resampling) pull them offline via `wiscape_datasets::offline`
+//! instead of asking the aggregation pipeline to hoard them.
 
 use std::collections::BTreeMap;
 
 use wiscape_geo::GeoPoint;
 use wiscape_simcore::SimTime;
 use wiscape_simnet::NetworkId;
-use wiscape_stats::RunningStats;
+use wiscape_stats::MomentSketch;
 
 use crate::zone::{ZoneId, ZoneIndex};
 
@@ -32,21 +38,17 @@ pub struct Observation {
 #[derive(Debug, Clone)]
 pub struct ZoneAggregator {
     index: ZoneIndex,
-    keep_samples: bool,
-    stats: BTreeMap<(ZoneId, NetworkId), RunningStats>,
-    samples: BTreeMap<(ZoneId, NetworkId), Vec<f64>>,
+    stats: BTreeMap<(ZoneId, NetworkId), MomentSketch>,
 }
 
 impl ZoneAggregator {
-    /// Creates an aggregator over `index`. With `keep_samples`, raw
-    /// values are retained per zone (needed for percentiles/NKLD; costs
-    /// memory proportional to the dataset).
-    pub fn new(index: ZoneIndex, keep_samples: bool) -> Self {
+    /// Creates an aggregator over `index`. Memory stays proportional to
+    /// the number of populated `(zone, network)` cells; raw samples are
+    /// never retained.
+    pub fn new(index: ZoneIndex) -> Self {
         Self {
             index,
-            keep_samples,
             stats: BTreeMap::new(),
-            samples: BTreeMap::new(),
         }
     }
 
@@ -58,11 +60,10 @@ impl ZoneAggregator {
     /// Ingests one observation.
     pub fn ingest(&mut self, obs: &Observation) {
         let zone = self.index.zone_of(&obs.point);
-        let key = (zone, obs.network);
-        self.stats.entry(key).or_default().push(obs.value);
-        if self.keep_samples {
-            self.samples.entry(key).or_default().push(obs.value);
-        }
+        self.stats
+            .entry((zone, obs.network))
+            .or_default()
+            .push(obs.value);
     }
 
     /// Ingests many observations.
@@ -73,16 +74,18 @@ impl ZoneAggregator {
     }
 
     /// Statistics for one zone/network, if any samples landed there.
-    pub fn stats(&self, zone: ZoneId, network: NetworkId) -> Option<&RunningStats> {
+    pub fn stats(&self, zone: ZoneId, network: NetworkId) -> Option<&MomentSketch> {
         self.stats.get(&(zone, network))
     }
 
-    /// Raw samples for one zone/network (empty unless `keep_samples`).
-    pub fn samples(&self, zone: ZoneId, network: NetworkId) -> &[f64] {
-        self.samples
-            .get(&(zone, network))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    /// Merges another aggregator's sketches into this one. Callers must
+    /// merge shards in a fixed order (the executor's shard index) for
+    /// deterministic results; the per-key fold itself walks sorted
+    /// `(zone, network)` keys.
+    pub fn merge(&mut self, other: &ZoneAggregator) {
+        for (key, sketch) in &other.stats {
+            self.stats.entry(*key).or_default().merge(sketch);
+        }
     }
 
     /// All `(zone, network)` keys with at least `min_samples` samples.
@@ -108,6 +111,13 @@ impl ZoneAggregator {
             .collect();
         out.sort_by_key(|a| a.0);
         out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Total resident bytes of the per-zone sketches — O(populated
+    /// cells), never O(samples).
+    pub fn sketch_bytes(&self) -> usize {
+        self.stats.values().map(|s| s.mem_bytes()).sum::<usize>()
+            + self.stats.len() * std::mem::size_of::<(ZoneId, NetworkId)>()
     }
 
     /// Per-zone mean map for one network (Fig 1's dots): zone id, zone
@@ -153,8 +163,8 @@ mod tests {
         GeoPoint::new(43.0731, -89.4012).unwrap()
     }
 
-    fn agg(keep: bool) -> ZoneAggregator {
-        ZoneAggregator::new(ZoneIndex::around(center(), 5000.0).unwrap(), keep)
+    fn agg() -> ZoneAggregator {
+        ZoneAggregator::new(ZoneIndex::around(center(), 5000.0).unwrap())
     }
 
     fn obs(p: GeoPoint, v: f64) -> Observation {
@@ -168,7 +178,7 @@ mod tests {
 
     #[test]
     fn aggregates_by_zone() {
-        let mut a = agg(true);
+        let mut a = agg();
         let p1 = center();
         let p2 = center().destination(0.0, 3000.0);
         a.ingest(&obs(p1, 100.0));
@@ -179,13 +189,14 @@ mod tests {
         assert_ne!(z1, z2);
         assert_eq!(a.stats(z1, NetworkId::NetB).unwrap().count(), 2);
         assert_eq!(a.stats(z1, NetworkId::NetB).unwrap().mean(), 105.0);
-        assert_eq!(a.samples(z2, NetworkId::NetB), &[500.0]);
+        assert_eq!(a.stats(z2, NetworkId::NetB).unwrap().count(), 1);
+        assert_eq!(a.stats(z2, NetworkId::NetB).unwrap().mean(), 500.0);
         assert!(a.stats(z2, NetworkId::NetA).is_none());
     }
 
     #[test]
     fn populated_respects_threshold() {
-        let mut a = agg(false);
+        let mut a = agg();
         for k in 0..5 {
             a.ingest(&obs(center(), k as f64));
         }
@@ -197,7 +208,7 @@ mod tests {
 
     #[test]
     fn rel_std_devs_match_manual() {
-        let mut a = agg(false);
+        let mut a = agg();
         for v in [10.0, 11.0, 9.0, 10.0] {
             a.ingest(&obs(center(), v));
         }
@@ -209,16 +220,40 @@ mod tests {
     }
 
     #[test]
-    fn keep_samples_flag_controls_memory() {
-        let mut a = agg(false);
+    fn memory_is_o_zones_not_o_samples() {
+        let mut a = agg();
         a.ingest(&obs(center(), 1.0));
+        let after_one = a.sketch_bytes();
+        for k in 0..10_000 {
+            a.ingest(&obs(center(), k as f64));
+        }
+        // Ten thousand more samples into the same zone: zero growth.
+        assert_eq!(a.sketch_bytes(), after_one);
+        // A new zone grows the footprint by exactly one cell.
+        a.ingest(&obs(center().destination(0.0, 3000.0), 1.0));
+        assert!(a.sketch_bytes() > after_one);
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = agg();
+        let mut b = agg();
+        for v in [10.0, 12.0] {
+            a.ingest(&obs(center(), v));
+        }
+        for v in [14.0, 16.0] {
+            b.ingest(&obs(center(), v));
+        }
+        a.merge(&b);
         let z = a.index().zone_of(&center());
-        assert!(a.samples(z, NetworkId::NetB).is_empty());
+        let s = a.stats(z, NetworkId::NetB).unwrap();
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 13.0).abs() < 1e-12);
     }
 
     #[test]
     fn zone_map_rows_are_consistent() {
-        let mut a = agg(false);
+        let mut a = agg();
         for k in 0..10 {
             a.ingest(&obs(center(), 100.0 + k as f64));
         }
@@ -232,7 +267,7 @@ mod tests {
 
     #[test]
     fn networks_are_kept_separate() {
-        let mut a = agg(false);
+        let mut a = agg();
         a.ingest(&Observation {
             network: NetworkId::NetA,
             point: center(),

@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn aggregator_mean_is_sample_mean(values in prop::collection::vec(1.0..1e4f64, 1..100)) {
         let index = ZoneIndex::around(center(), 5000.0).unwrap();
-        let mut agg = ZoneAggregator::new(index, true);
+        let mut agg = ZoneAggregator::new(index);
         for &v in &values {
             agg.ingest(&Observation {
                 network: NetworkId::NetB,
@@ -51,7 +51,97 @@ proptest! {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.max(1.0));
         prop_assert_eq!(s.count() as usize, values.len());
-        prop_assert_eq!(agg.samples(z, NetworkId::NetB).len(), values.len());
+        // No raw retention: the aggregator's footprint is one cell.
+        prop_assert_eq!(
+            agg.sketch_bytes(),
+            std::mem::size_of::<wiscape_stats::MomentSketch>()
+                + std::mem::size_of::<(wiscape_core::ZoneId, NetworkId)>()
+        );
+    }
+
+    #[test]
+    fn moment_sketch_matches_from_slice_bitwise(
+        values in prop::collection::vec(-1e6..1e6f64, 1..200),
+    ) {
+        // Streaming a series through the sketch must be *bit-identical*
+        // to the batch Welford pass over the retained slice — this is
+        // the byte-identity contract of the refactor.
+        let mut sk = wiscape_stats::MomentSketch::new();
+        for &v in &values {
+            sk.push(v);
+        }
+        let batch = wiscape_stats::RunningStats::from_slice(&values);
+        prop_assert_eq!(sk.count(), batch.count());
+        prop_assert_eq!(sk.mean().to_bits(), batch.mean().to_bits());
+        prop_assert_eq!(
+            sk.sample_variance().to_bits(),
+            batch.sample_variance().to_bits()
+        );
+        prop_assert_eq!(sk.min(), batch.min());
+        prop_assert_eq!(sk.max(), batch.max());
+    }
+
+    #[test]
+    fn moment_sketch_fixed_order_merge_is_deterministic_and_exact(
+        values in prop::collection::vec(1.0..1e4f64, 2..200),
+        cut in 0usize..200,
+    ) {
+        // Shards merged in a fixed order give the same bits every time,
+        // and the merged moments agree with the batch pass to floating
+        // round-off.
+        let cut = cut % values.len();
+        let shard = |r: &[f64]| {
+            let mut s = wiscape_stats::MomentSketch::new();
+            for &v in r {
+                s.push(v);
+            }
+            s
+        };
+        let (a, b) = (shard(&values[..cut]), shard(&values[cut..]));
+        let mut m1 = a;
+        m1.merge(&b);
+        let mut m2 = a;
+        m2.merge(&b);
+        prop_assert_eq!(m1.mean().to_bits(), m2.mean().to_bits());
+        prop_assert_eq!(
+            m1.sample_variance().to_bits(),
+            m2.sample_variance().to_bits()
+        );
+        let batch = wiscape_stats::RunningStats::from_slice(&values);
+        prop_assert_eq!(m1.count(), batch.count());
+        prop_assert!((m1.mean() - batch.mean()).abs() <= 1e-9 * batch.mean().abs().max(1.0));
+        prop_assert!(
+            (m1.sample_variance() - batch.sample_variance()).abs()
+                <= 1e-6 * batch.sample_variance().abs().max(1.0)
+        );
+    }
+
+    #[test]
+    fn quantile_sketch_merge_is_order_insensitive(
+        values in prop::collection::vec(0.0..1e4f64, 1..200),
+        cut in 0usize..200,
+    ) {
+        // Bin counts are integers, so shard merge order cannot matter.
+        let cut = cut % values.len();
+        let shard = |r: &[f64]| {
+            let mut s = wiscape_stats::QuantileSketch::new(0.5).unwrap();
+            for &v in r {
+                s.push(v);
+            }
+            s
+        };
+        let (a, b) = (shard(&values[..cut]), shard(&values[cut..]));
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(ab.count(), values.len() as u64);
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            prop_assert_eq!(
+                ab.quantile(q).map(f64::to_bits),
+                ba.quantile(q).map(f64::to_bits)
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod io;
 pub mod locations;
+pub mod offline;
 pub mod proximate;
 pub mod record;
 pub mod short_segment;
@@ -31,4 +32,5 @@ pub mod wirover;
 
 pub use io::{load_csv, read_csv, save_csv, write_csv, TraceIoError};
 pub use locations::{representative_static_locations, RepresentativeSpot};
+pub use offline::{offline_extract, offline_values};
 pub use record::{Dataset, MeasurementRecord, Metric};

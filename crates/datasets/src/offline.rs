@@ -1,0 +1,99 @@
+//! Explicit offline raw-value extraction.
+//!
+//! The online estimation pipeline (zone aggregators, coordinator,
+//! channel server) holds only constant-memory sketches and never
+//! retains raw samples (lint rule D005 enforces this on the ingest
+//! surfaces). A few analyses genuinely need the raw values — the exact
+//! 5/95-percentile dominance rule, per-zone correlation, NKLD
+//! resampling — and they pull them **here**, offline, straight from the
+//! dataset. Routing every raw pull through this module keeps the memory
+//! cost explicit and visible instead of smuggled into the hot path.
+
+use std::collections::BTreeMap;
+
+use crate::record::MeasurementRecord;
+
+/// Groups record-derived values by an arbitrary ordered key.
+///
+/// `f` maps each record to `Some((key, value))` to include it or `None`
+/// to skip it. Values are appended in record order, so consumers see
+/// exactly the per-key sequences a retain-everything pipeline would
+/// have produced.
+pub fn offline_extract<'a, K: Ord, V>(
+    records: impl IntoIterator<Item = &'a MeasurementRecord>,
+    mut f: impl FnMut(&MeasurementRecord) -> Option<(K, V)>,
+) -> BTreeMap<K, Vec<V>> {
+    let mut out: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for r in records {
+        if let Some((k, v)) = f(r) {
+            out.entry(k).or_default().push(v);
+        }
+    }
+    out
+}
+
+/// Convenience wrapper over [`offline_extract`]: groups raw metric
+/// *values* by key.
+pub fn offline_values<'a, K: Ord>(
+    records: impl IntoIterator<Item = &'a MeasurementRecord>,
+    mut key: impl FnMut(&MeasurementRecord) -> Option<K>,
+) -> BTreeMap<K, Vec<f64>> {
+    offline_extract(records, |r| key(r).map(|k| (k, r.value)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Metric;
+    use wiscape_geo::GeoPoint;
+    use wiscape_mobility::ClientId;
+    use wiscape_simcore::SimTime;
+    use wiscape_simnet::NetworkId;
+
+    fn rec(net: NetworkId, metric: Metric, t: i64, value: f64) -> MeasurementRecord {
+        MeasurementRecord {
+            client: ClientId(0),
+            network: net,
+            metric,
+            t: SimTime::from_secs(t),
+            point: GeoPoint::new(43.0, -89.0).unwrap(),
+            speed_mps: 2.0 * t as f64,
+            value,
+        }
+    }
+
+    #[test]
+    fn groups_in_record_order() {
+        let records = vec![
+            rec(NetworkId::NetA, Metric::PingRttMs, 0, 3.0),
+            rec(NetworkId::NetB, Metric::PingRttMs, 1, 1.0),
+            rec(NetworkId::NetA, Metric::PingRttMs, 2, 2.0),
+            rec(NetworkId::NetA, Metric::TcpKbps, 3, 9.0),
+        ];
+        let by_net = offline_values(&records, |r| {
+            (r.metric == Metric::PingRttMs).then_some(r.network)
+        });
+        assert_eq!(by_net.len(), 2);
+        assert_eq!(by_net[&NetworkId::NetA], vec![3.0, 2.0]);
+        assert_eq!(by_net[&NetworkId::NetB], vec![1.0]);
+    }
+
+    #[test]
+    fn extract_carries_arbitrary_payloads() {
+        let records = vec![
+            rec(NetworkId::NetA, Metric::PingRttMs, 1, 10.0),
+            rec(NetworkId::NetA, Metric::PingRttMs, 2, 20.0),
+        ];
+        let pairs = offline_extract(&records, |r| Some((r.network, (r.speed_mps, r.value))));
+        assert_eq!(pairs[&NetworkId::NetA], vec![(2.0, 10.0), (4.0, 20.0)]);
+    }
+
+    #[test]
+    fn skipped_records_leave_no_key() {
+        let records = vec![rec(NetworkId::NetA, Metric::TcpKbps, 0, 1.0)];
+        let m = offline_values(&records, |r| {
+            (r.metric == Metric::PingRttMs).then_some(r.network)
+        });
+        assert!(m.is_empty());
+    }
+}

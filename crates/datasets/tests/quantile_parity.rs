@@ -1,0 +1,155 @@
+//! Quantile parity between [`wiscape_stats::QuantileSketch`] and the
+//! exact [`wiscape_stats::Ecdf`] on real generator output.
+//!
+//! The streaming refactor keeps exact-quantile consumers on `Ecdf`
+//! over explicitly pulled offline values; the sketch is for O(1)
+//! monitoring state. This suite pins the accuracy contract between the
+//! two on tier-1 dataset series (not synthetic toy vectors):
+//!
+//! * grid-quantized values: sketch quantiles == `Ecdf::quantile`
+//!   bit for bit, at every probed rank;
+//! * raw values: sketch quantiles within one bin width of exact;
+//! * sharded-and-merged sketches == the single-pass sketch, bytes and
+//!   quantiles, on real record streams.
+
+use wiscape_datasets::{standalone, wirover, Dataset, Metric};
+use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
+use wiscape_stats::{Ecdf, QuantileSketch};
+
+const QS: [f64; 9] = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99];
+
+fn wirover_small() -> Dataset {
+    let land = Landscape::new(LandscapeConfig::madison(9));
+    wirover::generate(
+        &land,
+        9,
+        &wirover::WiRoverParams {
+            days: 1,
+            buses: 2,
+            include_intercity: true,
+            ping_interval_s: 60,
+            ..Default::default()
+        },
+    )
+}
+
+fn standalone_small() -> Dataset {
+    let land = Landscape::new(LandscapeConfig::madison(8));
+    standalone::generate(
+        &land,
+        8,
+        &standalone::StandaloneParams {
+            days: 2,
+            buses: 2,
+            download_interval_s: 600,
+            ping_interval_s: 120,
+            ..Default::default()
+        },
+    )
+}
+
+/// Series worth probing: latency (ms scale) and throughput (kbps
+/// scale), each with a bin width sized to the metric.
+fn tier1_series() -> Vec<(&'static str, Vec<f64>, f64)> {
+    let wr = wirover_small();
+    let sa = standalone_small();
+    let series = vec![
+        (
+            "wirover NetB rtt",
+            wr.values(NetworkId::NetB, Metric::PingRttMs),
+            0.5,
+        ),
+        (
+            "wirover NetC rtt",
+            wr.values(NetworkId::NetC, Metric::PingRttMs),
+            0.5,
+        ),
+        (
+            "standalone NetB tcp",
+            sa.values(NetworkId::NetB, Metric::TcpKbps),
+            10.0,
+        ),
+    ];
+    for (name, vals, _) in &series {
+        assert!(vals.len() >= 100, "{name}: only {} values", vals.len());
+    }
+    series
+}
+
+#[test]
+fn sketch_equals_ecdf_on_grid_quantized_values() {
+    for (name, vals, width) in tier1_series() {
+        let quantized: Vec<f64> = vals.iter().map(|v| (v / width).round() * width).collect();
+        let ecdf = Ecdf::new(quantized.clone()).expect("non-empty series");
+        let mut sketch = QuantileSketch::new(width).expect("positive width");
+        for v in &quantized {
+            sketch.push(*v);
+        }
+        for q in QS {
+            let exact = ecdf.quantile(q);
+            let approx = sketch.quantile(q).expect("non-empty sketch");
+            assert_eq!(
+                exact.to_bits(),
+                approx.to_bits(),
+                "{name} q={q}: ecdf {exact} vs sketch {approx}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sketch_is_within_one_bin_width_of_ecdf_on_raw_values() {
+    for (name, vals, width) in tier1_series() {
+        let ecdf = Ecdf::new(vals.clone()).expect("non-empty series");
+        let mut sketch = QuantileSketch::new(width).expect("positive width");
+        for v in &vals {
+            sketch.push(*v);
+        }
+        for q in QS {
+            let exact = ecdf.quantile(q);
+            let approx = sketch.quantile(q).expect("non-empty sketch");
+            assert!(
+                (exact - approx).abs() <= width,
+                "{name} q={q}: |{exact} - {approx}| > width {width}"
+            );
+        }
+        // The sketch held the whole series in O(range/width) bins.
+        assert_eq!(sketch.count(), vals.len() as u64);
+        assert!(
+            sketch.occupied_bins() < vals.len(),
+            "{name}: {} bins for {} values",
+            sketch.occupied_bins(),
+            vals.len()
+        );
+    }
+}
+
+#[test]
+fn sharded_merge_matches_single_pass_on_real_streams() {
+    for (name, vals, width) in tier1_series() {
+        let mut whole = QuantileSketch::new(width).expect("positive width");
+        for v in &vals {
+            whole.push(*v);
+        }
+        // Three uneven shards, merged in reverse order: integer counts
+        // make the result identical to the single pass regardless.
+        let cut_a = vals.len() / 3;
+        let cut_b = vals.len() / 2;
+        let mut merged = QuantileSketch::new(width).expect("positive width");
+        for shard in [&vals[cut_b..], &vals[cut_a..cut_b], &vals[..cut_a]] {
+            let mut s = QuantileSketch::new(width).expect("positive width");
+            for v in shard {
+                s.push(*v);
+            }
+            merged.merge(&s).expect("same width");
+        }
+        assert_eq!(whole, merged, "{name}: shard/merge drifted");
+        for q in QS {
+            assert_eq!(
+                whole.quantile(q).map(f64::to_bits),
+                merged.quantile(q).map(f64::to_bits),
+                "{name} q={q}"
+            );
+        }
+    }
+}

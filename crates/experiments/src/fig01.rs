@@ -52,7 +52,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig01 {
     };
     let ds = standalone::generate(&land, seed, &params);
     let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
-    let mut agg = ZoneAggregator::new(index, false);
+    let mut agg = ZoneAggregator::new(index);
     for r in ds.select(NetworkId::NetB, Metric::TcpKbps) {
         agg.ingest(&Observation {
             network: r.network,

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wiscape_core::{ZoneId, ZoneIndex};
-use wiscape_datasets::{wirover, Metric};
+use wiscape_datasets::{offline_extract, wirover, Metric};
 use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
 use wiscape_stats::{pearson_correlation, Ecdf};
 
@@ -59,21 +59,22 @@ pub fn run(seed: u64, scale: Scale) -> Fig02 {
         let cc_all = pearson_correlation(&speeds, &lats).unwrap_or(0.0);
         overall.push((net.to_string(), cc_all));
         // Per-zone correlations (zones with enough samples and some
-        // speed variation).
-        let mut by_zone: BTreeMap<ZoneId, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
-        for r in &recs {
-            let z = index.zone_of(&r.point);
-            let e = by_zone.entry(z).or_default();
-            e.0.push(r.speed_mps);
-            e.1.push(r.value);
-        }
+        // speed variation). Correlation needs the raw per-zone pairs:
+        // pull them through the explicit offline path.
+        let by_zone: BTreeMap<ZoneId, Vec<(f64, f64)>> =
+            offline_extract(recs.iter().copied(), |r| {
+                Some((index.zone_of(&r.point), (r.speed_mps, r.value)))
+            });
         // Enough visits per zone that a near-zero true correlation does
         // not read as spurious finite-sample correlation.
         let min_samples = scale.pick(20, 60);
         let ccs: Vec<f64> = by_zone
             .values()
-            .filter(|(s, _)| s.len() >= min_samples)
-            .filter_map(|(s, l)| pearson_correlation(s, l).ok())
+            .filter(|pairs| pairs.len() >= min_samples)
+            .filter_map(|pairs| {
+                let (s, l): (Vec<f64>, Vec<f64>) = pairs.iter().copied().unzip();
+                pearson_correlation(&s, &l).ok()
+            })
             .collect();
         if let Ok(ecdf) = Ecdf::new(ccs.clone()) {
             cc_cdf.push((net.to_string(), ecdf.curve(60)));

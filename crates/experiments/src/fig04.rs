@@ -63,7 +63,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig04 {
     for k in 0..8 {
         let radius = 50.0 + 100.0 * k as f64;
         let index = ZoneIndex::new(bounds, radius).expect("valid index");
-        let mut agg = ZoneAggregator::new(index, false);
+        let mut agg = ZoneAggregator::new(index);
         agg.ingest_all(obs.iter());
         let rel = agg.rel_std_devs(NetworkId::NetB, min_samples);
         if rel.len() < 3 {

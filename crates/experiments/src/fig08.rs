@@ -29,7 +29,7 @@ pub struct Fig08 {
 }
 
 fn zone_means(ds: &Dataset, index: &ZoneIndex, min: u64) -> Vec<(wiscape_core::ZoneId, f64, u64)> {
-    let mut agg = ZoneAggregator::new(index.clone(), false);
+    let mut agg = ZoneAggregator::new(index.clone());
     for r in ds.select(NetworkId::NetB, Metric::TcpKbps) {
         agg.ingest(&Observation {
             network: r.network,

@@ -47,7 +47,7 @@ pub fn run(seed: u64, scale: Scale) -> Fig09 {
     let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid index");
 
     // Throughput variability per zone.
-    let mut agg = ZoneAggregator::new(index.clone(), false);
+    let mut agg = ZoneAggregator::new(index.clone());
     for r in ds.select(NetworkId::NetB, Metric::TcpKbps) {
         agg.ingest(&Observation {
             network: r.network,

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wiscape_core::{dominance_ratio, Better, ZoneId, ZoneIndex};
-use wiscape_datasets::{wirover, Metric};
+use wiscape_datasets::{offline_values, wirover, Metric};
 use wiscape_geo::BoundingBox;
 use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
 
@@ -49,23 +49,18 @@ pub fn run(seed: u64, scale: Scale) -> Fig11 {
     let mut rows = Vec::new();
     for radius in [50.0, 100.0, 200.0, 300.0, 500.0, 1000.0] {
         let index = ZoneIndex::new(bounds, radius).expect("valid index");
-        // zone -> net -> samples.
-        let mut zones: BTreeMap<ZoneId, BTreeMap<NetworkId, Vec<f64>>> = BTreeMap::new();
-        for r in &ds.records {
-            if r.metric != Metric::PingRttMs {
-                continue;
-            }
-            zones
-                .entry(index.zone_of(&r.point))
-                .or_default()
-                .entry(r.network)
-                .or_default()
-                .push(r.value);
+        // Exact 5/95 percentiles need raw per-zone values: pull them
+        // through the explicit offline path, not the sketch pipeline.
+        let by_cell = offline_values(&ds.records, |r| {
+            (r.metric == Metric::PingRttMs).then(|| (index.zone_of(&r.point), r.network))
+        });
+        let mut zones: BTreeMap<ZoneId, Vec<(NetworkId, Vec<f64>)>> = BTreeMap::new();
+        for ((z, n), vals) in by_cell {
+            zones.entry(z).or_default().push((n, vals));
         }
         let per_zone: Vec<Vec<(NetworkId, Vec<f64>)>> = zones
             .into_values()
-            .filter(|m| m.len() == 2 && m.values().all(|v| v.len() >= min_samples))
-            .map(|m| m.into_iter().collect())
+            .filter(|m| m.len() == 2 && m.iter().all(|(_, v)| v.len() >= min_samples))
             .collect();
         if per_zone.len() < 5 {
             continue;

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use wiscape_core::{
     dominance_ratio, persistent_dominant, Better, DominanceOutcome, ZoneId, ZoneIndex,
 };
-use wiscape_datasets::{short_segment, Metric};
+use wiscape_datasets::{offline_values, short_segment, Metric};
 use wiscape_simnet::{Landscape, LandscapeConfig, NetworkId};
 
 use crate::common::Scale;
@@ -42,23 +42,19 @@ pub fn run(seed: u64, scale: Scale) -> Fig12 {
     let index = ZoneIndex::around(land.origin(), 25_000.0).expect("valid index");
     let min_samples = scale.pick(10, 40);
 
-    let mut zones: BTreeMap<ZoneId, BTreeMap<NetworkId, Vec<f64>>> = BTreeMap::new();
-    for r in &ds.records {
-        if r.metric != Metric::TcpKbps {
-            continue;
-        }
-        zones
-            .entry(index.zone_of(&r.point))
-            .or_default()
-            .entry(r.network)
-            .or_default()
-            .push(r.value);
-    }
+    // Exact 5/95 percentiles need raw per-zone values: pull them through
+    // the explicit offline path, not the sketch pipeline.
+    let by_cell = offline_values(&ds.records, |r| {
+        (r.metric == Metric::TcpKbps).then(|| (index.zone_of(&r.point), r.network))
+    });
     type ZoneSamples = Vec<(NetworkId, Vec<f64>)>;
+    let mut zones: BTreeMap<ZoneId, ZoneSamples> = BTreeMap::new();
+    for ((z, n), vals) in by_cell {
+        zones.entry(z).or_default().push((n, vals));
+    }
     let qualifying: Vec<(ZoneId, ZoneSamples)> = zones
         .into_iter()
-        .filter(|(_, m)| m.len() == 3 && m.values().all(|v| v.len() >= min_samples))
-        .map(|(z, m)| (z, m.into_iter().collect()))
+        .filter(|(_, m)| m.len() == 3 && m.iter().all(|(_, v)| v.len() >= min_samples))
         .collect();
     let breakdown = dominance_ratio(
         &qualifying

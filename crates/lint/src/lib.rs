@@ -23,6 +23,13 @@
 //! * **D004** — no raw `std::thread::spawn`/`thread::scope` outside
 //!   `simcore::exec`; all parallelism goes through the deterministic
 //!   executor.
+//! * **D005** — no raw-sample retention on the estimation hot path
+//!   (`core::coordinator`, `core::zonestats`, `core::agent`,
+//!   `channel::server`): a `keep_samples`-style API or a `Vec<f64>`
+//!   nested inside a keyed container is an unbounded per-sample
+//!   accumulator; fold into a constant-memory sketch
+//!   (`wiscape_stats::sketch`) and pull raw values offline via
+//!   `wiscape_datasets::offline` instead.
 //! * **S001** — every `unsafe` block and `#[allow(...)]` attribute must
 //!   carry a `lint:allow(S001)` justification (and is inventoried).
 //! * **S002** — no `unwrap()`/`expect()`/`panic!` on the sample-ingest
@@ -93,6 +100,13 @@ pub const RULES: &[RuleInfo] = &[
                   deterministic executor",
     },
     RuleInfo {
+        code: "D005",
+        severity: "error",
+        summary: "raw-sample retention on the estimation hot path: memory must stay \
+                  O(zones), not O(samples); fold into a wiscape_stats sketch and pull raw \
+                  values via wiscape_datasets::offline",
+    },
+    RuleInfo {
         code: "S001",
         severity: "error",
         summary: "unsafe block or #[allow(...)] without an inventoried lint:allow(S001) \
@@ -134,6 +148,9 @@ pub struct FileScope {
     pub executor_module: bool,
     /// S002 applies: client-facing ingest surface.
     pub ingest_surface: bool,
+    /// D005 applies: streaming-estimation hot path that must never
+    /// retain raw samples.
+    pub retention_surface: bool,
     /// S003 applies: wire-decode surface parsing untrusted bytes.
     pub wire_decode_surface: bool,
     /// The whole file is test code (integration tests, benches).
@@ -470,6 +487,38 @@ fn numeric_as_cast(line: &str) -> Option<&'static str> {
     None
 }
 
+/// Detects a `Vec<f64>` nested inside another generic type on a
+/// stripped code line — `BTreeMap<Key, Vec<f64>>`, `Vec<Vec<f64>>` —
+/// the shape of a per-key raw-sample accumulator (D005). A top-level
+/// `Vec<f64>` (a wire payload field, a transient local) is *not*
+/// matched: the rule targets unbounded keyed retention, not buffers.
+fn nested_vec_f64(line: &str) -> bool {
+    for (off, id) in idents(line) {
+        if id != "Vec" {
+            continue;
+        }
+        let rest = line[off + id.len()..].trim_start();
+        let Some(inner) = rest.strip_prefix('<') else {
+            continue;
+        };
+        let Some(tail) = inner.trim_start().strip_prefix("f64") else {
+            continue;
+        };
+        if !tail.trim_start().starts_with('>') {
+            continue;
+        }
+        // Inside an open generic? Count unmatched `<` before this Vec,
+        // ignoring the `>` of `->` / `=>` arrows.
+        let before = line[..off].replace("->", "  ").replace("=>", "  ");
+        let depth = before.chars().filter(|&c| c == '<').count() as i64
+            - before.chars().filter(|&c| c == '>').count() as i64;
+        if depth > 0 {
+            return true;
+        }
+    }
+    false
+}
+
 /// Matches `first :: second` on identifier boundaries (whitespace
 /// tolerated around the `::`).
 fn has_path(line: &str, first: &str, second: &str) -> bool {
@@ -763,6 +812,29 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mu
                 );
             }
         }
+        if scope.retention_surface && !test {
+            if has_ident(code, "keep_samples") {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "D005",
+                    "keep_samples-style raw retention on the estimation hot path: fold \
+                     into a constant-memory sketch (wiscape_stats::sketch) instead"
+                        .to_string(),
+                );
+            }
+            if nested_vec_f64(code) {
+                push_violation(
+                    &mut findings,
+                    lineno,
+                    "D005",
+                    "keyed Vec<f64> accumulator on the estimation hot path: memory must \
+                     stay O(zones), not O(samples); fold into a sketch and pull raw \
+                     values via wiscape_datasets::offline"
+                        .to_string(),
+                );
+            }
+        }
         if scope.ingest_surface && !test {
             for name in ["unwrap", "expect", "panic"] {
                 if has_ident(code, name) {
@@ -866,6 +938,10 @@ pub fn scope_for(rel: &Path) -> FileScope {
         executor_module: rel == Path::new("crates/simcore/src/exec.rs"),
         ingest_surface: rel == Path::new("crates/core/src/coordinator.rs")
             || rel == Path::new("crates/core/src/agent.rs"),
+        retention_surface: rel == Path::new("crates/core/src/coordinator.rs")
+            || rel == Path::new("crates/core/src/zonestats.rs")
+            || rel == Path::new("crates/core/src/agent.rs")
+            || rel == Path::new("crates/channel/src/server.rs"),
         wire_decode_surface: rel == Path::new("crates/channel/src/codec.rs"),
         all_test_code,
     }

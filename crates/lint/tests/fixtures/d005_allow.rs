@@ -1,0 +1,20 @@
+// Fixture: D005 suppressed — a deliberately bounded raw store with a
+// justification (the NKLD resampler needs real values).
+use std::collections::BTreeMap;
+
+pub struct History {
+    // lint:allow(D005): bounded NKLD history, hard-capped at MAX entries.
+    samples: BTreeMap<u64, Vec<f64>>,
+}
+
+impl History {
+    pub fn record(&mut self, zone: u64, v: f64) {
+        let h = self.samples.entry(zone).or_default();
+        h.push(v);
+        h.truncate(1000);
+    }
+
+    pub fn snapshot(&self) -> BTreeMap<u64, Vec<f64>> { // lint:allow(D005): read-only export of the bounded store.
+        self.samples.clone()
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: D005 clean — constant-memory sketch per zone; a *top-level*
+// Vec<f64> (wire payload field / transient local) is allowed.
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+pub struct Sketch {
+    count: u64,
+    mean: f64,
+}
+
+impl Sketch {
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.mean += (v - self.mean) / self.count as f64;
+    }
+}
+
+pub struct Report {
+    // A wire payload carries its samples once; it is not retention.
+    pub samples: Vec<f64>,
+}
+
+pub struct Aggregator {
+    stats: BTreeMap<u64, Sketch>,
+}
+
+impl Aggregator {
+    pub fn ingest(&mut self, zone: u64, report: &Report) {
+        let s = self.stats.entry(zone).or_default();
+        for &v in &report.samples {
+            s.push(v);
+        }
+    }
+}

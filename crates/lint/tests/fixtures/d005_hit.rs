@@ -1,0 +1,27 @@
+// Fixture: D005 positive — raw-sample retention on the hot path.
+use std::collections::BTreeMap;
+
+pub struct ZoneState {
+    // A keyed per-sample accumulator: grows with every report.
+    samples: BTreeMap<u64, Vec<f64>>,
+    keep_samples: bool,
+}
+
+impl ZoneState {
+    pub fn new(keep_samples: bool) -> Self {
+        Self {
+            samples: BTreeMap::new(),
+            keep_samples,
+        }
+    }
+
+    pub fn ingest(&mut self, zone: u64, v: f64) {
+        if self.keep_samples {
+            self.samples.entry(zone).or_default().push(v);
+        }
+    }
+
+    pub fn nested(&self) -> Vec<Vec<f64>> {
+        self.samples.values().cloned().collect()
+    }
+}

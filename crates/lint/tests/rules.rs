@@ -170,6 +170,35 @@ fn d004_exempts_the_executor_module() {
     assert!(lint_fixture("d004_hit.rs", scope).is_clean());
 }
 
+fn retention() -> FileScope {
+    FileScope {
+        retention_surface: true,
+        ..FileScope::default()
+    }
+}
+
+#[test]
+fn d005_hit_allow_clean() {
+    // The hit fixture has keep_samples sites plus nested Vec<f64>
+    // accumulators.
+    assert_hits(&lint_fixture("d005_hit.rs", retention()), "D005", 4);
+    assert_suppressed(&lint_fixture("d005_allow.rs", retention()), "D005", 2);
+    assert!(lint_fixture("d005_clean.rs", retention()).is_clean());
+}
+
+#[test]
+fn d005_only_applies_to_the_retention_surface() {
+    assert!(lint_fixture("d005_hit.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn d005_allows_top_level_vec_f64_wire_payloads() {
+    // The clean fixture's `samples: Vec<f64>` wire field must not trip:
+    // D005 targets keyed retention, not payload buffers.
+    let report = lint_fixture("d005_clean.rs", retention());
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
 #[test]
 fn s001_hit_allow_clean() {
     assert_hits(

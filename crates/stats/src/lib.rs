@@ -15,7 +15,10 @@
 //! * histograms, entropy, KL divergence and the **symmetric normalized KLD
 //!   (NKLD)** — sample-count sizing (paper §3.3, Fig 7);
 //! * Pearson correlation — the speed-vs-latency independence check
-//!   (paper §2, Fig 2).
+//!   (paper §2, Fig 2);
+//! * **streaming sketches** ([`sketch`]) — constant-memory, mergeable
+//!   accumulators (compensated moments, fixed-bin quantiles, incremental
+//!   Allan deviation) backing the retain-nothing estimation pipeline.
 //!
 //! All functions are pure and deterministic; nothing here consumes
 //! randomness.
@@ -30,6 +33,7 @@ mod ecdf;
 mod histogram;
 mod kld;
 mod moments;
+pub mod sketch;
 
 pub use allan::{allan_deviation, allan_deviation_profile, profile_argmin, AllanPoint};
 pub use binning::{bin_means, bin_series, TimedValue};
@@ -38,6 +42,7 @@ pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use kld::{entropy, kl_divergence, nkld, NKLD_SIMILARITY_THRESHOLD};
 pub use moments::{mean, rel_std_dev, std_dev, variance, RunningStats};
+pub use sketch::{AllanSketch, KahanSum, MeanSketch, MomentSketch, QuantileSketch};
 
 /// Errors produced by statistical routines on degenerate input.
 #[derive(Debug, Clone, PartialEq, Eq)]

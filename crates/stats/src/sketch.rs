@@ -1,0 +1,963 @@
+//! Constant-memory, mergeable streaming sketches.
+//!
+//! This module is the streaming backbone of the estimation pipeline:
+//! every hot-path consumer (zone aggregation, the coordinator's epoch
+//! state, the channel server's commit fold, anomaly binning) holds one
+//! of these fixed-size accumulators instead of retaining raw samples.
+//! All sketches share three properties:
+//!
+//! 1. **Incremental** — `push` is `O(1)` and allocation-free (the
+//!    quantile sketch allocates only when a value lands in a new bin,
+//!    bounded by the bin count, not the sample count);
+//! 2. **Mergeable** — `merge` combines two shards; shards are always
+//!    combined in a *fixed order* (sorted `(zone, network)` key order,
+//!    or explicit shard index), which makes merged floating-point
+//!    results deterministic even where they are not associative;
+//! 3. **Deterministic** — for a fixed push sequence the resulting
+//!    bytes are identical across runs, platforms, and worker counts.
+//!
+//! # Byte-identity with the retained-sample pipeline
+//!
+//! The refactor away from raw-sample retention must not move a single
+//! output bit, so each sketch reproduces the *exact* floating-point
+//! operation sequence of the batch code it replaces:
+//!
+//! * [`MomentSketch`] runs the same Welford update as
+//!   [`RunningStats`] (it embeds one), so streamed moments are
+//!   bit-identical to `RunningStats::from_slice` on the same values in
+//!   the same order. A Neumaier-compensated sum rides alongside for
+//!   merge-heavy shard topologies where plain summation would drift.
+//! * [`MeanSketch`] is the naive `(sum, count)` fold used by the map
+//!   builders and latency binning — same adds, same divide, same bits.
+//! * [`AllanSketch`] replays `allan_deviation_profile` as a left fold
+//!   over time-ordered pushes: per-τ current-bin Welford state, the
+//!   previous bin mean, and the running sum of squared successive
+//!   differences. For non-decreasing timestamps the profile is
+//!   bit-identical to the batch computation.
+//! * [`QuantileSketch`] is the one *approximate* sketch: fixed-width
+//!   bins with integer counts (its merge is exactly order-insensitive).
+//!   On values quantized to the bin grid its nearest-rank quantiles
+//!   equal [`crate::Ecdf::quantile`] exactly; on arbitrary values the
+//!   error is bounded by the bin width. Consumers that publish exact
+//!   quantiles (the dominance 5/95 rule, CDF figures) therefore pull
+//!   raw values through the explicit offline `datasets` helper instead.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AllanPoint, RunningStats, StatsError};
+
+/// Neumaier-compensated (improved Kahan) running sum.
+///
+/// Tracks a correction term alongside the naive sum so that long
+/// streams and merges of many shards do not lose low-order bits.
+///
+/// ```
+/// use wiscape_stats::KahanSum;
+/// let mut s = KahanSum::new();
+/// for _ in 0..10 {
+///     s.add(0.1);
+/// }
+/// assert!((s.total() - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// An empty (zero) sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value (Neumaier's branch keeps the correction valid
+    /// even when the addend exceeds the running sum).
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Merges another compensated sum into this one. Merge shards in a
+    /// fixed order for deterministic results.
+    pub fn merge(&mut self, other: &KahanSum) {
+        self.add(other.sum);
+        self.compensation += other.compensation;
+    }
+
+    /// The compensated total.
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Compensated running moments: the mergeable moment sketch held per
+/// `(zone, network)` by the aggregation pipeline.
+///
+/// The moment core is the exact Welford recurrence of [`RunningStats`]
+/// — streamed `mean`/`sample_std_dev`/`rel_std_dev` are bit-identical
+/// to `RunningStats::from_slice` over the same push order — plus a
+/// [`KahanSum`] of the accepted values for merge-robust totals.
+///
+/// Non-finite pushes are ignored, like [`RunningStats::push`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MomentSketch {
+    core: RunningStats,
+    sum: KahanSum,
+}
+
+impl Default for MomentSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MomentSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self {
+            core: RunningStats::new(),
+            sum: KahanSum::new(),
+        }
+    }
+
+    /// Builds a sketch from a slice (push order = slice order).
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one sample. Non-finite samples are ignored.
+    pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.core.push(value);
+        self.sum.add(value);
+    }
+
+    /// Merges another sketch (Chan et al. moment combination plus
+    /// compensated-sum addition). Merge shards in a fixed order.
+    pub fn merge(&mut self, other: &MomentSketch) {
+        self.core.merge(&other.core);
+        self.sum.merge(&other.sum);
+    }
+
+    /// Number of (finite) samples.
+    pub fn count(&self) -> u64 {
+        self.core.count()
+    }
+
+    /// Whether no samples have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.core.is_empty()
+    }
+
+    /// Sample mean (Welford); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.core.mean()
+    }
+
+    /// Unbiased sample variance.
+    pub fn sample_variance(&self) -> f64 {
+        self.core.sample_variance()
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.core.sample_std_dev()
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.core.population_std_dev()
+    }
+
+    /// Relative standard deviation (see [`RunningStats::rel_std_dev`]).
+    pub fn rel_std_dev(&self) -> f64 {
+        self.core.rel_std_dev()
+    }
+
+    /// Smallest sample seen.
+    pub fn min(&self) -> Option<f64> {
+        self.core.min()
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Option<f64> {
+        self.core.max()
+    }
+
+    /// Compensated sum of all accepted samples.
+    pub fn compensated_sum(&self) -> f64 {
+        self.sum.total()
+    }
+
+    /// Compensated mean (`compensated_sum / count`); 0 when empty. Used
+    /// by merge-heavy shard topologies; the hot path reads [`Self::mean`].
+    pub fn compensated_mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum.total() / self.count() as f64
+        }
+    }
+
+    /// The Welford moment core.
+    pub fn moments(&self) -> &RunningStats {
+        &self.core
+    }
+
+    /// Resident bytes of this sketch (constant).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Naive `(sum, count)` mean fold as a sketch.
+///
+/// This reproduces — bit for bit — the `e.0 += v; e.1 += 1; sum / n`
+/// pattern previously open-coded by the map builders and the latency
+/// binner, so migrating them onto the sketch moves no output bits.
+/// Prefer [`MomentSketch`] for new code that also needs spread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanSketch {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value (no finiteness filter: exact replacement for the
+    /// open-coded fold, which had none).
+    pub fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Merges another sketch. Merge shards in a fixed order.
+    pub fn merge(&mut self, other: &MeanSketch) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Running sum.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean (`sum / count`); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Resident bytes of this sketch (constant).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Deterministic fixed-bin quantile/ECDF sketch.
+///
+/// Values are counted in fixed-width bins (`idx = round(v / width)`),
+/// so memory is bounded by the occupied bin count — the value *range*
+/// over the resolution, never the sample count. Because the state is
+/// integer counts, `merge` is **exactly** order-insensitive: any shard
+/// permutation yields identical bytes.
+///
+/// # Accuracy
+///
+/// Quantiles use the same nearest-rank rule as [`crate::Ecdf`], over
+/// bin representatives (`idx * width`, the bin center):
+///
+/// * values already quantized to the grid (`v = k * width`) are
+///   recovered exactly — quantiles equal `Ecdf::quantile` bit for bit;
+/// * arbitrary values are off by at most `width / 2` per sample, so a
+///   quantile differs from the exact nearest-rank answer by at most
+///   `width` (representative error plus rank ties at bin boundaries).
+///
+/// Consumers that must publish exact quantiles keep using [`crate::Ecdf`]
+/// over explicitly pulled offline values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    width: f64,
+    bins: BTreeMap<i64, u64>,
+    count: u64,
+    dropped_non_finite: u64,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch with the given bin width (must be finite and
+    /// positive).
+    pub fn new(width: f64) -> Result<Self, StatsError> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(StatsError::InvalidBinWidth);
+        }
+        Ok(Self {
+            width,
+            bins: BTreeMap::new(),
+            count: 0,
+            dropped_non_finite: 0,
+        })
+    }
+
+    /// The bin width (quantile error bound).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Adds one value; non-finite values are dropped and counted.
+    pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.dropped_non_finite += 1;
+            return;
+        }
+        let idx = (value / self.width).round() as i64;
+        *self.bins.entry(idx).or_insert(0) += 1;
+        self.count += 1;
+    }
+
+    /// Merges another sketch of the **same width**; integer counts make
+    /// this exactly order-insensitive.
+    pub fn merge(&mut self, other: &QuantileSketch) -> Result<(), StatsError> {
+        if self.width != other.width {
+            return Err(StatsError::InvalidBinWidth);
+        }
+        for (&idx, &n) in &other.bins {
+            *self.bins.entry(idx).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.dropped_non_finite += other.dropped_non_finite;
+        Ok(())
+    }
+
+    /// Number of (finite) samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Non-finite values dropped.
+    pub fn dropped_non_finite(&self) -> u64 {
+        self.dropped_non_finite
+    }
+
+    /// Whether no samples have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of occupied bins (the memory driver).
+    pub fn occupied_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    fn representative(&self, idx: i64) -> f64 {
+        idx as f64 * self.width
+    }
+
+    /// Fraction of samples `<= x` (to within one bin); 0 when empty.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .bins
+            .iter()
+            .take_while(|(&idx, _)| self.representative(idx) <= x)
+            .map(|(_, &n)| n)
+            .sum();
+        below as f64 / self.count as f64
+    }
+
+    /// The `q`-quantile by the nearest-rank rule over bin
+    /// representatives; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.count;
+        let rank = if q <= 0.0 {
+            1
+        } else {
+            ((q * n as f64).ceil() as u64).clamp(1, n)
+        };
+        let mut cum = 0u64;
+        for (&idx, &cnt) in &self.bins {
+            cum += cnt;
+            if cum >= rank {
+                return Some(self.representative(idx));
+            }
+        }
+        None
+    }
+
+    /// Percentile convenience wrapper (`percentile(95.0)` = 0.95-quantile).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        self.quantile(p / 100.0)
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest bin representative; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.bins.keys().next().map(|&i| self.representative(i))
+    }
+
+    /// Largest bin representative; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.bins
+            .keys()
+            .next_back()
+            .map(|&i| self.representative(i))
+    }
+
+    /// Resident bytes: the fixed header plus one `(i64, u64)` entry per
+    /// occupied bin (map node overhead not included).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bins.len() * std::mem::size_of::<(i64, u64)>()
+    }
+}
+
+/// Per-τ accumulator state of an [`AllanSketch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TauState {
+    tau: f64,
+    /// Bin index of the currently open bin (valid once `open` is true).
+    cur_idx: u64,
+    /// Whether a bin is open (at least one valid sample binned).
+    open: bool,
+    /// Welford state of the open bin.
+    cur: RunningStats,
+    /// Mean of the most recently closed bin.
+    prev_mean: Option<f64>,
+    /// Left-fold sum of squared successive bin-mean differences, in
+    /// bin order — exactly the `windows(2)` fold of the batch code.
+    sum_sq: f64,
+    /// Closed (non-empty) bins so far.
+    bins_closed: u64,
+}
+
+impl TauState {
+    fn new(tau: f64) -> Self {
+        Self {
+            tau,
+            cur_idx: 0,
+            open: false,
+            cur: RunningStats::new(),
+            prev_mean: None,
+            sum_sq: 0.0,
+            bins_closed: 0,
+        }
+    }
+
+    fn push(&mut self, dt: f64, value: f64) {
+        // Negative dt saturates to bin 0 via the `as` cast, matching
+        // the documented out-of-order clamp.
+        let idx = (dt / self.tau).floor() as u64;
+        if !self.open {
+            self.cur_idx = idx;
+            self.open = true;
+        } else if idx > self.cur_idx {
+            self.close_bin();
+            self.cur_idx = idx;
+        }
+        // idx < cur_idx (out-of-order push): clamped into the open bin.
+        self.cur.push(value);
+    }
+
+    fn close_bin(&mut self) {
+        let mean = self.cur.mean();
+        if let Some(prev) = self.prev_mean {
+            self.sum_sq += (mean - prev).powi(2);
+        }
+        self.prev_mean = Some(mean);
+        self.bins_closed += 1;
+        self.cur = RunningStats::new();
+    }
+
+    /// Closes the open bin and produces the profile point, replicating
+    /// `allan_deviation` over the bin means. `None` for < 2 bins.
+    fn finish(mut self, global_mean: f64) -> Option<AllanPoint> {
+        if self.open {
+            self.close_bin();
+        }
+        let n = self.bins_closed;
+        if n < 2 {
+            return None;
+        }
+        let dev = (self.sum_sq / (2.0 * (n - 1) as f64)).sqrt();
+        Some(AllanPoint {
+            tau: self.tau,
+            deviation: dev / global_mean.abs(),
+            intervals: n as usize,
+        })
+    }
+}
+
+/// Incremental Allan-deviation accumulator over a fixed candidate-τ
+/// set: the streaming replacement for retaining a measurement series
+/// and calling [`crate::allan_deviation_profile`] on it.
+///
+/// For **non-decreasing timestamps** (how every pipeline source emits),
+/// [`AllanSketch::profile`] is bit-identical to the batch profile of
+/// the same `(t, value)` sequence: the global mean is the same naive
+/// ordered sum, bins anchor at the first timestamp with the same
+/// `floor((t - t0) / τ)` index, and the deviation is the same left
+/// fold over successive bin means. An out-of-order push is clamped
+/// into the open bin and flagged via [`AllanSketch::saw_out_of_order`].
+///
+/// Memory is `O(taus)` — one fixed-size [`TauState`] per candidate —
+/// regardless of how many samples stream through.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllanSketch {
+    taus: Vec<TauState>,
+    /// Pushes seen, including non-finite ones (mirrors the batch
+    /// `series.len()` check).
+    raw_count: u64,
+    /// Naive ordered sum of all pushed values (mirrors the batch global
+    /// mean; goes NaN if garbage streams in, exactly like the batch).
+    sum: f64,
+    t0: Option<f64>,
+    last_t: f64,
+    saw_non_finite: bool,
+    saw_out_of_order: bool,
+}
+
+impl AllanSketch {
+    /// Creates a sketch over candidate intervals `taus` (same time unit
+    /// as the pushed timestamps; each must be finite and positive).
+    pub fn new(taus: &[f64]) -> Result<Self, StatsError> {
+        if taus.iter().any(|&t| !(t.is_finite() && t > 0.0)) {
+            return Err(StatsError::InvalidBinWidth);
+        }
+        Ok(Self {
+            taus: taus.iter().map(|&t| TauState::new(t)).collect(),
+            raw_count: 0,
+            sum: 0.0,
+            t0: None,
+            last_t: f64::NEG_INFINITY,
+            saw_non_finite: false,
+            saw_out_of_order: false,
+        })
+    }
+
+    /// Adds one timestamped value. Push in non-decreasing `t` order for
+    /// exact batch parity.
+    pub fn push(&mut self, t: f64, value: f64) {
+        self.raw_count += 1;
+        self.sum += value;
+        if !t.is_finite() || !value.is_finite() {
+            // The profile will error like the batch path; skip binning.
+            self.saw_non_finite = true;
+            return;
+        }
+        let t0 = *self.t0.get_or_insert(t);
+        if t < self.last_t {
+            self.saw_out_of_order = true;
+        }
+        self.last_t = t;
+        let dt = t - t0;
+        for state in &mut self.taus {
+            state.push(dt, value);
+        }
+    }
+
+    /// Total pushes seen (including dropped non-finite ones).
+    pub fn count(&self) -> u64 {
+        self.raw_count
+    }
+
+    /// Whether any push carried a non-finite timestamp or value.
+    pub fn saw_non_finite(&self) -> bool {
+        self.saw_non_finite
+    }
+
+    /// Whether any push arrived with a timestamp before the first one
+    /// (exact batch parity is void if so).
+    pub fn saw_out_of_order(&self) -> bool {
+        self.saw_out_of_order
+    }
+
+    /// The normalized Allan-deviation profile of everything pushed so
+    /// far, matching [`crate::allan_deviation_profile`] exactly for
+    /// time-ordered input. Candidates with fewer than two non-empty
+    /// bins are omitted; the sketch itself is not consumed.
+    pub fn profile(&self) -> Result<Vec<AllanPoint>, StatsError> {
+        if self.raw_count < 4 {
+            return Err(StatsError::NotEnoughSamples {
+                needed: 4,
+                got: self.raw_count as usize,
+            });
+        }
+        let global_mean = self.sum / self.raw_count as f64;
+        if !global_mean.is_finite() || global_mean == 0.0 {
+            return Err(StatsError::NonFinite);
+        }
+        if self.saw_non_finite {
+            // A finite global mean despite garbage (e.g. a non-finite
+            // timestamp): the batch binner would reject the series.
+            return Err(StatsError::NonFinite);
+        }
+        Ok(self
+            .taus
+            .iter()
+            .filter_map(|s| s.clone().finish(global_mean))
+            .collect())
+    }
+
+    /// Resident bytes: fixed header plus one fixed-size state per
+    /// candidate τ (constant; independent of the sample count).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.taus.len() * std::mem::size_of::<TauState>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allan_deviation_profile, Ecdf, TimedValue};
+
+    #[test]
+    fn kahan_beats_naive_on_pathological_sum() {
+        let mut k = KahanSum::new();
+        let mut naive = 0.0f64;
+        k.add(1e16);
+        naive += 1e16;
+        for _ in 0..1000 {
+            k.add(1.0);
+            naive += 1.0;
+        }
+        k.add(-1e16);
+        naive += -1e16;
+        assert_eq!(k.total(), 1000.0);
+        assert!((naive - 1000.0).abs() >= 0.0); // naive may or may not drift; kahan must not
+    }
+
+    #[test]
+    fn kahan_merge_matches_sequential_adds() {
+        let mut a = KahanSum::new();
+        let mut b = KahanSum::new();
+        let mut whole = KahanSum::new();
+        for i in 0..100 {
+            let v = (i as f64) * 0.1 + 1e12;
+            if i < 50 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+            whole.add(v);
+        }
+        a.merge(&b);
+        assert!((a.total() - whole.total()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn moment_sketch_is_bit_identical_to_running_stats() {
+        let data: Vec<f64> = (0..500)
+            .map(|i| 1e6 + (i as f64) * 0.37 + ((i * i) % 13) as f64)
+            .collect();
+        let sketch = MomentSketch::from_slice(&data);
+        let stats = RunningStats::from_slice(&data);
+        assert_eq!(sketch.count(), stats.count());
+        assert_eq!(sketch.mean().to_bits(), stats.mean().to_bits());
+        assert_eq!(
+            sketch.sample_std_dev().to_bits(),
+            stats.sample_std_dev().to_bits()
+        );
+        assert_eq!(
+            sketch.rel_std_dev().to_bits(),
+            stats.rel_std_dev().to_bits()
+        );
+        assert_eq!(sketch.min(), stats.min());
+        assert_eq!(sketch.max(), stats.max());
+    }
+
+    #[test]
+    fn moment_sketch_ignores_non_finite() {
+        let mut s = MomentSketch::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.compensated_sum(), 4.0);
+    }
+
+    #[test]
+    fn moment_sketch_merge_matches_chan_combination() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 17) as f64 * 1.3).collect();
+        let mut merged = MomentSketch::from_slice(&data[..80]);
+        merged.merge(&MomentSketch::from_slice(&data[80..]));
+        let whole = MomentSketch::from_slice(&data);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.compensated_sum() - whole.compensated_sum()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn moment_sketch_compensated_mean_tracks_mean() {
+        let data: Vec<f64> = (0..1000).map(|i| 100.0 + (i % 7) as f64).collect();
+        let s = MomentSketch::from_slice(&data);
+        assert!((s.compensated_mean() - s.mean()).abs() < 1e-12);
+        assert_eq!(MomentSketch::new().compensated_mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_sketch_replicates_naive_fold() {
+        let data = [813.2, 991.0, 1204.8, 77.7];
+        let mut naive_sum = 0.0f64;
+        let mut naive_n = 0u32;
+        let mut sketch = MeanSketch::new();
+        for &v in &data {
+            naive_sum += v;
+            naive_n += 1;
+            sketch.push(v);
+        }
+        let naive_mean = naive_sum / naive_n as f64;
+        assert_eq!(sketch.mean().to_bits(), naive_mean.to_bits());
+        assert_eq!(sketch.count(), 4);
+        assert_eq!(sketch.sum().to_bits(), naive_sum.to_bits());
+    }
+
+    #[test]
+    fn mean_sketch_merge_is_exact_for_ordered_shards() {
+        let mut a = MeanSketch::new();
+        a.push(1.5);
+        a.push(2.5);
+        let mut b = MeanSketch::new();
+        b.push(4.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 8.0);
+        assert_eq!(MeanSketch::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_sketch_rejects_bad_width() {
+        assert!(QuantileSketch::new(0.0).is_err());
+        assert!(QuantileSketch::new(-1.0).is_err());
+        assert!(QuantileSketch::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantile_sketch_exact_on_grid_values() {
+        let width = 0.5;
+        let values: Vec<f64> = (0..100).map(|i| ((i * 7) % 41) as f64 * width).collect();
+        let mut sk = QuantileSketch::new(width).unwrap();
+        for &v in &values {
+            sk.push(v);
+        }
+        let ecdf = Ecdf::new(values.clone()).unwrap();
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(
+                sk.quantile(q).unwrap().to_bits(),
+                ecdf.quantile(q).to_bits(),
+                "q={q}"
+            );
+        }
+        assert_eq!(sk.median(), sk.quantile(0.5));
+        assert_eq!(sk.percentile(95.0), sk.quantile(0.95));
+    }
+
+    #[test]
+    fn quantile_sketch_error_bounded_by_width() {
+        let width = 1.0;
+        let values: Vec<f64> = (0..500)
+            .map(|i| ((i * 131) % 977) as f64 * 0.613 + 3.21)
+            .collect();
+        let mut sk = QuantileSketch::new(width).unwrap();
+        for &v in &values {
+            sk.push(v);
+        }
+        let ecdf = Ecdf::new(values.clone()).unwrap();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let err = (sk.quantile(q).unwrap() - ecdf.quantile(q)).abs();
+            assert!(err <= width, "q={q} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantile_sketch_merge_is_order_insensitive() {
+        let width = 0.25;
+        let values: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64 * width).collect();
+        let shard = |range: std::ops::Range<usize>| {
+            let mut s = QuantileSketch::new(width).unwrap();
+            for &v in &values[range] {
+                s.push(v);
+            }
+            s
+        };
+        let (a, b, c) = (shard(0..100), shard(100..200), shard(200..300));
+        let mut abc = a.clone();
+        abc.merge(&b).unwrap();
+        abc.merge(&c).unwrap();
+        let mut cba = c.clone();
+        cba.merge(&b).unwrap();
+        cba.merge(&a).unwrap();
+        assert_eq!(abc, cba);
+        let mut wrong = QuantileSketch::new(width * 2.0).unwrap();
+        assert!(wrong.merge(&a).is_err());
+    }
+
+    #[test]
+    fn quantile_sketch_counts_and_bounds() {
+        let mut sk = QuantileSketch::new(1.0).unwrap();
+        assert!(sk.is_empty());
+        assert_eq!(sk.quantile(0.5), None);
+        assert_eq!(sk.min(), None);
+        sk.push(f64::NAN);
+        assert_eq!(sk.dropped_non_finite(), 1);
+        for v in [2.0, -3.0, 7.0] {
+            sk.push(v);
+        }
+        assert_eq!(sk.count(), 3);
+        assert_eq!(sk.min(), Some(-3.0));
+        assert_eq!(sk.max(), Some(7.0));
+        assert_eq!(sk.occupied_bins(), 3);
+        assert!(sk.eval(10.0) == 1.0 && sk.eval(-10.0) == 0.0);
+        assert!(sk.mem_bytes() >= std::mem::size_of::<QuantileSketch>());
+    }
+
+    #[test]
+    fn allan_sketch_rejects_bad_taus() {
+        assert!(AllanSketch::new(&[1.0, 0.0]).is_err());
+        assert!(AllanSketch::new(&[-2.0]).is_err());
+        assert!(AllanSketch::new(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn allan_sketch_matches_batch_profile_exactly() {
+        // Irregular, time-ordered series with drift + deterministic noise.
+        let series: Vec<TimedValue> = (0..800)
+            .map(|i| {
+                let t = i as f64 * 1.7 + ((i * 13) % 5) as f64 * 0.21;
+                let v = 500.0
+                    + 0.05 * t
+                    + (((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) % 97) as f64;
+                TimedValue::new(t, v)
+            })
+            .collect();
+        let taus = [2.0, 5.0, 17.0, 60.0, 250.0, 5000.0];
+        let batch = allan_deviation_profile(&series, &taus).unwrap();
+        let mut sk = AllanSketch::new(&taus).unwrap();
+        for tv in &series {
+            sk.push(tv.t, tv.value);
+        }
+        let streamed = sk.profile().unwrap();
+        assert_eq!(batch.len(), streamed.len());
+        for (b, s) in batch.iter().zip(&streamed) {
+            assert_eq!(b.tau, s.tau);
+            assert_eq!(b.intervals, s.intervals);
+            assert_eq!(
+                b.deviation.to_bits(),
+                s.deviation.to_bits(),
+                "tau={} batch={} streamed={}",
+                b.tau,
+                b.deviation,
+                s.deviation
+            );
+        }
+        assert!(!sk.saw_out_of_order());
+        assert!(!sk.saw_non_finite());
+    }
+
+    #[test]
+    fn allan_sketch_replicates_batch_errors() {
+        let mut sk = AllanSketch::new(&[5.0]).unwrap();
+        for i in 0..3 {
+            sk.push(i as f64, 1.0);
+        }
+        assert!(matches!(
+            sk.profile(),
+            Err(StatsError::NotEnoughSamples { needed: 4, got: 3 })
+        ));
+        sk.push(3.0, f64::NAN);
+        // Now 4 pushes but the global sum is NaN -> NonFinite, exactly
+        // like the batch path.
+        assert!(matches!(sk.profile(), Err(StatsError::NonFinite)));
+        assert!(sk.saw_non_finite());
+
+        // Zero global mean is rejected too.
+        let mut zero = AllanSketch::new(&[1.0]).unwrap();
+        for i in 0..4 {
+            zero.push(i as f64, if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        assert!(matches!(zero.profile(), Err(StatsError::NonFinite)));
+    }
+
+    #[test]
+    fn allan_sketch_out_of_order_is_flagged_and_clamped() {
+        let mut sk = AllanSketch::new(&[1.0]).unwrap();
+        sk.push(10.0, 5.0);
+        sk.push(11.0, 6.0);
+        sk.push(9.0, 5.5); // before t0: clamped into the open bin
+        sk.push(12.0, 6.5);
+        assert!(sk.saw_out_of_order());
+        assert!(sk.profile().is_ok());
+    }
+
+    #[test]
+    fn allan_sketch_memory_is_constant() {
+        let taus: Vec<f64> = (1..=24).map(|i| i as f64).collect();
+        let mut sk = AllanSketch::new(&taus).unwrap();
+        let before = sk.mem_bytes();
+        for i in 0..10_000 {
+            sk.push(i as f64, 100.0 + (i % 11) as f64);
+        }
+        assert_eq!(sk.mem_bytes(), before);
+        assert!(before < 10_000);
+    }
+
+    #[test]
+    fn allan_sketch_omits_single_bin_taus() {
+        // tau covering everything -> one bin -> omitted (batch parity).
+        let series: Vec<TimedValue> = (0..50)
+            .map(|i| TimedValue::new(i as f64, 5.0 + (i % 3) as f64))
+            .collect();
+        let taus = [10.0, 1000.0];
+        let batch = allan_deviation_profile(&series, &taus).unwrap();
+        let mut sk = AllanSketch::new(&taus).unwrap();
+        for tv in &series {
+            sk.push(tv.t, tv.value);
+        }
+        let streamed = sk.profile().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].tau, 10.0);
+    }
+}

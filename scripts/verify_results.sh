@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Byte-identity gate for the experiment artifacts.
+#
+# Regenerates the quick-scale results (seed 7) into a scratch directory
+# and compares the sha256 of every JSON artifact against the committed
+# manifest (results/QUICK_MANIFEST.sha256). Any refactor of the
+# estimation pipeline must keep these bytes stable; a deliberate change
+# to experiment output is made visible by re-running with --update and
+# committing the manifest diff.
+#
+# Usage:
+#   scripts/verify_results.sh            # verify against the manifest
+#   scripts/verify_results.sh --update   # regenerate the manifest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+manifest=results/QUICK_MANIFEST.sha256
+out="${TMPDIR:-/tmp}/wiscape_quick_manifest_check"
+
+cargo build --release -q -p wiscape-experiments --bin repro
+rm -rf "$out"
+./target/release/repro --seed 7 --quick --out "$out" >/dev/null
+
+(cd "$out" && sha256sum -- *.json | LC_ALL=C sort -k2) > "$out.manifest"
+
+if [[ "${1:-}" == "--update" ]]; then
+    cp "$out.manifest" "$manifest"
+    echo "[verify_results] wrote $(wc -l < "$manifest") hashes to $manifest"
+else
+    if ! diff -u "$manifest" "$out.manifest"; then
+        echo "[verify_results] FAIL: quick-scale artifacts drifted from $manifest" >&2
+        exit 1
+    fi
+    echo "[verify_results] OK: $(wc -l < "$manifest") artifacts byte-identical"
+fi

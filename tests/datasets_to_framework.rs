@@ -21,7 +21,7 @@ fn standalone_dataset_populates_hundreds_of_zones() {
         },
     );
     let index = ZoneIndex::around(land.origin(), 7000.0).unwrap();
-    let mut agg = ZoneAggregator::new(index, false);
+    let mut agg = ZoneAggregator::new(index);
     for r in ds.select(NetworkId::NetB, Metric::TcpKbps) {
         agg.ingest(&Observation {
             network: r.network,
