@@ -319,6 +319,10 @@ fn main() {
         }
     }
 
+    // The baseline doubles as the reference obs capture: everything it
+    // exercises records into the registry, dumped next to the report.
+    wiscape_obs::set_enabled(true);
+
     let threads = exec::thread_count();
     eprintln!("[baseline] field evaluation rates ({threads} worker(s) configured)...");
     let land = bench_landscape();
@@ -388,6 +392,12 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
     std::fs::write(&out_path, &json).expect("write report");
+    // Obs snapshot alongside the bench report (OBS_bench.json next to
+    // BENCH_core.json): the deterministic sections double as a
+    // regression reference, the timing section as a coarse profile.
+    let obs_path = std::path::Path::new(&out_path).with_file_name("OBS_bench.json");
+    wiscape_obs::write_snapshot(&obs_path).expect("write obs snapshot");
+    eprintln!("[baseline] obs snapshot -> {}", obs_path.display());
     eprintln!(
         "[baseline] {} experiments: {experiments_cpu_s:.1}s cpu / {experiments_wall_s:.1}s wall \
          ({:.1}x) -> {out_path}",

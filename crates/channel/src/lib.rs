@@ -27,9 +27,38 @@
 //! backoff jitter draw from dedicated `StreamRng` forks that are
 //! disjoint from the measurement stream, so *enabling* the channel
 //! cannot perturb what is measured — only whether and when it arrives.
+//!
+//! A message round-trips the wire format exactly, and a perfect link
+//! delivers it unchanged with zero delay:
+//!
+//! ```
+//! use wiscape_channel::{decode, encode, CheckinRequest, WireMessage};
+//! use wiscape_channel::{LinkConfig, LossyLink};
+//! use wiscape_geo::GeoPoint;
+//! use wiscape_mobility::ClientId;
+//! use wiscape_simcore::{SimTime, StreamRng};
+//!
+//! let msg = WireMessage::Checkin(CheckinRequest {
+//!     client: ClientId(3),
+//!     tick: 7,
+//!     point: GeoPoint::new(43.07, -89.40).unwrap(),
+//!     t: SimTime::at(1, 8.0),
+//! });
+//! let bytes = encode(&msg);
+//! assert_eq!(decode(&bytes).unwrap(), msg);
+//!
+//! let mut link = LossyLink::new(
+//!     LinkConfig::perfect(),
+//!     StreamRng::new(7).fork("channel"),
+//! );
+//! let deliveries = link.send(bytes.clone(), SimTime::at(1, 8.0), 0.0);
+//! assert_eq!(deliveries.len(), 1);
+//! assert_eq!(deliveries[0].frame, bytes);
+//! assert_eq!(deliveries[0].at, SimTime::at(1, 8.0));
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod deployment;

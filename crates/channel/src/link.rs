@@ -13,7 +13,32 @@
 //! also have bad uplinks (the coupling the paper's overhead argument
 //! glosses over).
 
+use std::sync::OnceLock;
+
 use wiscape_simcore::{SimDuration, SimTime, StreamRng};
+
+/// Obs mirrors of [`LinkMeters`], aggregated over every link direction
+/// in the process (commutative adds only).
+struct LinkObs {
+    frames_sent: wiscape_obs::Counter,
+    bytes_sent: wiscape_obs::Counter,
+    frames_dropped: wiscape_obs::Counter,
+    frames_duplicated: wiscape_obs::Counter,
+    frames_delivered: wiscape_obs::Counter,
+    bytes_delivered: wiscape_obs::Counter,
+}
+
+fn link_obs() -> &'static LinkObs {
+    static M: OnceLock<LinkObs> = OnceLock::new();
+    M.get_or_init(|| LinkObs {
+        frames_sent: wiscape_obs::counter("channel/link_frames_sent"),
+        bytes_sent: wiscape_obs::counter("channel/link_bytes_sent"),
+        frames_dropped: wiscape_obs::counter("channel/link_frames_dropped"),
+        frames_duplicated: wiscape_obs::counter("channel/link_frames_duplicated"),
+        frames_delivered: wiscape_obs::counter("channel/link_frames_delivered"),
+        bytes_delivered: wiscape_obs::counter("channel/link_bytes_delivered"),
+    })
+}
 
 /// Loss/delay model of one direction of a control-channel link.
 #[derive(Debug, Clone)]
@@ -145,17 +170,23 @@ impl LossyLink {
     /// arrival times (arrival = `now` exactly when the link is
     /// perfect).
     pub fn send(&mut self, frame: Vec<u8>, now: SimTime, zone_loss: f64) -> Vec<Delivery> {
+        let obs = link_obs();
         let idx = self.sends;
         self.sends += 1;
         self.meters.frames_sent += 1;
-        self.meters.bytes_sent += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+        obs.frames_sent.inc();
+        let nbytes = u64::try_from(frame.len()).unwrap_or(u64::MAX);
+        self.meters.bytes_sent += nbytes;
+        obs.bytes_sent.add(nbytes);
 
         // Fast path: a perfect link is a direct function call. No coins
         // are drawn, so enabling the channel with `perfect()` perturbs
         // no RNG stream anywhere else in the simulation.
         if self.config.is_perfect() {
             self.meters.frames_delivered += 1;
-            self.meters.bytes_delivered += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+            obs.frames_delivered.inc();
+            self.meters.bytes_delivered += nbytes;
+            obs.bytes_delivered.add(nbytes);
             return vec![Delivery { at: now, frame }];
         }
 
@@ -164,11 +195,13 @@ impl LossyLink {
             .clamp(0.0, 1.0);
         if fate.fork("drop").draw_unit_f64() < p_drop {
             self.meters.frames_dropped += 1;
+            obs.frames_dropped.inc();
             return Vec::new();
         }
 
         let copies = if fate.fork("dup").draw_unit_f64() < self.config.duplicate_rate {
             self.meters.frames_duplicated += 1;
+            obs.frames_duplicated.inc();
             2
         } else {
             1
@@ -184,7 +217,9 @@ impl LossyLink {
                 latency = latency + self.config.reorder_extra;
             }
             self.meters.frames_delivered += 1;
-            self.meters.bytes_delivered += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+            obs.frames_delivered.inc();
+            self.meters.bytes_delivered += nbytes;
+            obs.bytes_delivered.add(nbytes);
             out.push(Delivery {
                 at: now + latency,
                 frame: frame.clone(),

@@ -32,6 +32,7 @@
 //! watermark-bounded staging buffer, never O(reports).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
 
 use wiscape_core::{Coordinator, SampleReport};
 use wiscape_mobility::ClientId;
@@ -76,6 +77,39 @@ pub struct ServerMeters {
     pub acks_sent: u64,
     /// Bytes of produced frames (tasks + acks).
     pub bytes_sent: u64,
+}
+
+/// Obs mirrors of [`ServerMeters`]: every field that increments also
+/// bumps the shared registry (counter adds are commutative, so the
+/// totals are schedule-independent). The typed meter struct remains the
+/// programmatic API; the registry is the uniform snapshot/report path.
+struct ServerObs {
+    frames_received: wiscape_obs::Counter,
+    bytes_received: wiscape_obs::Counter,
+    decode_errors: wiscape_obs::Counter,
+    checkins: wiscape_obs::Counter,
+    tasks_sent: wiscape_obs::Counter,
+    duplicates_dropped: wiscape_obs::Counter,
+    reports_ingested: wiscape_obs::Counter,
+    reports_rejected: wiscape_obs::Counter,
+    acks_sent: wiscape_obs::Counter,
+    bytes_sent: wiscape_obs::Counter,
+}
+
+fn server_obs() -> &'static ServerObs {
+    static M: OnceLock<ServerObs> = OnceLock::new();
+    M.get_or_init(|| ServerObs {
+        frames_received: wiscape_obs::counter("channel/server_frames_received"),
+        bytes_received: wiscape_obs::counter("channel/server_bytes_received"),
+        decode_errors: wiscape_obs::counter("channel/server_decode_errors"),
+        checkins: wiscape_obs::counter("channel/server_checkins"),
+        tasks_sent: wiscape_obs::counter("channel/server_tasks_sent"),
+        duplicates_dropped: wiscape_obs::counter("channel/server_duplicates_dropped"),
+        reports_ingested: wiscape_obs::counter("channel/server_reports_ingested"),
+        reports_rejected: wiscape_obs::counter("channel/server_reports_rejected"),
+        acks_sent: wiscape_obs::counter("channel/server_acks_sent"),
+        bytes_sent: wiscape_obs::counter("channel/server_bytes_sent"),
+    })
 }
 
 /// The coordinator's channel endpoint.
@@ -165,14 +199,19 @@ impl ChannelServer {
     /// `now`, returning the reply frames (task assignments for
     /// check-ins, acks for reports) to put on the downlink.
     pub fn receive(&mut self, bytes: &[u8], now: SimTime) -> Vec<Vec<u8>> {
+        let obs = server_obs();
         self.meters.frames_received += 1;
-        self.meters.bytes_received += u64::try_from(bytes.len()).unwrap_or(u64::MAX);
+        obs.frames_received.inc();
+        let nbytes = u64::try_from(bytes.len()).unwrap_or(u64::MAX);
+        self.meters.bytes_received += nbytes;
+        obs.bytes_received.add(nbytes);
         let msgs = match decode_all(bytes) {
             Ok(msgs) => msgs,
             Err(_) => {
                 // A torn byte anywhere poisons the rest of the stream;
                 // drop the transmission and let retransmission recover.
                 self.meters.decode_errors += 1;
+                obs.decode_errors.inc();
                 return Vec::new();
             }
         };
@@ -182,7 +221,9 @@ impl ChannelServer {
                 WireMessage::Checkin(req) => {
                     for assignment in self.handle_checkin(&req) {
                         let frame = encode(&WireMessage::Task(assignment));
-                        self.meters.bytes_sent += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+                        let fbytes = u64::try_from(frame.len()).unwrap_or(u64::MAX);
+                        self.meters.bytes_sent += fbytes;
+                        obs.bytes_sent.add(fbytes);
                         replies.push(frame);
                     }
                 }
@@ -190,13 +231,17 @@ impl ChannelServer {
                     let ack = self.handle_report(r, now);
                     let frame = encode(&WireMessage::Ack(ack));
                     self.meters.acks_sent += 1;
-                    self.meters.bytes_sent += u64::try_from(frame.len()).unwrap_or(u64::MAX);
+                    obs.acks_sent.inc();
+                    let fbytes = u64::try_from(frame.len()).unwrap_or(u64::MAX);
+                    self.meters.bytes_sent += fbytes;
+                    obs.bytes_sent.add(fbytes);
                     replies.push(frame);
                 }
                 // Server-bound traffic only; a client-bound message
                 // looping back is a protocol violation we just drop.
                 WireMessage::Task(_) | WireMessage::Ack(_) => {
                     self.meters.decode_errors += 1;
+                    obs.decode_errors.inc();
                 }
             }
         }
@@ -208,6 +253,7 @@ impl ChannelServer {
     /// even when some check-ins are lost in transit.
     pub fn handle_checkin(&mut self, req: &CheckinRequest) -> Vec<TaskAssignment> {
         self.meters.checkins += 1;
+        server_obs().checkins.inc();
         let coin = self
             .stream
             .fork("coin")
@@ -217,7 +263,9 @@ impl ChannelServer {
         let tasks =
             self.coordinator
                 .client_checkin(req.client, &req.point, req.t, &self.networks, coin);
-        self.meters.tasks_sent += u64::try_from(tasks.len()).unwrap_or(u64::MAX);
+        let n_tasks = u64::try_from(tasks.len()).unwrap_or(u64::MAX);
+        self.meters.tasks_sent += n_tasks;
+        server_obs().tasks_sent.add(n_tasks);
         tasks
             .into_iter()
             .map(|task| TaskAssignment {
@@ -242,6 +290,7 @@ impl ChannelServer {
             }
         } else {
             self.meters.duplicates_dropped += 1;
+            server_obs().duplicates_dropped.inc();
         }
         if let CommitPolicy::Watermark(settle) = self.policy {
             self.advance(now, settle);
@@ -259,8 +308,10 @@ impl ChannelServer {
     fn commit(&mut self, report: &SampleReport) {
         if self.coordinator.ingest_report(report).is_ok() {
             self.meters.reports_ingested += 1;
+            server_obs().reports_ingested.inc();
         } else {
             self.meters.reports_rejected += 1;
+            server_obs().reports_rejected.inc();
         }
     }
 

@@ -12,6 +12,7 @@
 //! end.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use wiscape_core::SampleReport;
 use wiscape_mobility::ClientId;
@@ -75,6 +76,31 @@ struct Pending {
     next_send: SimTime,
 }
 
+/// Obs mirrors of [`UplinkMeters`], aggregated across every client's
+/// uplink (commutative adds only; see `OBSERVABILITY.md`).
+struct UplinkObs {
+    enqueued: wiscape_obs::Counter,
+    overflow_dropped: wiscape_obs::Counter,
+    transmissions: wiscape_obs::Counter,
+    retries: wiscape_obs::Counter,
+    acked: wiscape_obs::Counter,
+    abandoned: wiscape_obs::Counter,
+    frame_bytes: wiscape_obs::Counter,
+}
+
+fn uplink_obs() -> &'static UplinkObs {
+    static M: OnceLock<UplinkObs> = OnceLock::new();
+    M.get_or_init(|| UplinkObs {
+        enqueued: wiscape_obs::counter("channel/uplink_enqueued"),
+        overflow_dropped: wiscape_obs::counter("channel/uplink_overflow_dropped"),
+        transmissions: wiscape_obs::counter("channel/uplink_transmissions"),
+        retries: wiscape_obs::counter("channel/uplink_retries"),
+        acked: wiscape_obs::counter("channel/uplink_acked"),
+        abandoned: wiscape_obs::counter("channel/uplink_abandoned"),
+        frame_bytes: wiscape_obs::counter("channel/uplink_frame_bytes"),
+    })
+}
+
 /// The reliable report queue of one client.
 #[derive(Debug, Clone)]
 pub struct Uplink {
@@ -121,6 +147,7 @@ impl Uplink {
     pub fn enqueue(&mut self, report: SampleReport, now: SimTime) -> bool {
         if self.pending.len() >= self.config.queue_capacity {
             self.meters.overflow_dropped += 1;
+            uplink_obs().overflow_dropped.inc();
             return false;
         }
         let seq = self.next_seq;
@@ -134,6 +161,7 @@ impl Uplink {
             },
         );
         self.meters.enqueued += 1;
+        uplink_obs().enqueued.inc();
         true
     }
 
@@ -178,19 +206,26 @@ impl Uplink {
                 } else {
                     p.attempts += 1;
                     self.meters.transmissions += 1;
+                    uplink_obs().transmissions.inc();
                     if p.attempts > 1 {
                         self.meters.retries += 1;
+                        uplink_obs().retries.inc();
                     }
-                    frames.push(encode(&WireMessage::Report(ReportMsg {
+                    let frame = encode(&WireMessage::Report(ReportMsg {
                         seq,
                         report: p.report.clone(),
-                    })));
+                    }));
+                    uplink_obs()
+                        .frame_bytes
+                        .add(u64::try_from(frame.len()).unwrap_or(u64::MAX));
+                    frames.push(frame);
                     false
                 }
             };
             if abandoned {
                 self.pending.remove(&seq);
                 self.meters.abandoned += 1;
+                uplink_obs().abandoned.inc();
             } else {
                 let attempts = self.pending[&seq].attempts;
                 let rto = self.rto(seq, attempts);
@@ -212,6 +247,7 @@ impl Uplink {
         for seq in &ack.seqs {
             if self.pending.remove(seq).is_some() {
                 self.meters.acked += 1;
+                uplink_obs().acked.inc();
             }
         }
     }

@@ -15,6 +15,7 @@
 //!    [`ChangeAlert`] is emitted (the operator signal of §4.1).
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 use wiscape_mobility::ClientId;
@@ -23,6 +24,37 @@ use wiscape_simnet::{NetworkId, TransportKind};
 use wiscape_stats::MomentSketch;
 
 use crate::zone::{ZoneId, ZoneIndex};
+
+/// Obs handles for the ingest surface (see `OBSERVABILITY.md`). All of
+/// these mirror the coordinator's own typed counters into the shared
+/// registry with commutative updates only, so totals stay bitwise
+/// identical under `exec::par_map` no matter the worker count.
+struct IngestMetrics {
+    packets_requested: wiscape_obs::Counter,
+    reports_accepted: wiscape_obs::Counter,
+    reports_rejected: wiscape_obs::Counter,
+    samples_accepted: wiscape_obs::Counter,
+    malformed_dropped: wiscape_obs::Counter,
+    /// Per-epoch sample counts at finalize time (bin width 1).
+    zone_samples: wiscape_obs::Histogram,
+    /// High-water marks (commutative `set_max`, parallel-safe).
+    zones_tracked: wiscape_obs::Gauge,
+    sketch_bytes: wiscape_obs::Gauge,
+}
+
+fn obs_metrics() -> &'static IngestMetrics {
+    static M: OnceLock<IngestMetrics> = OnceLock::new();
+    M.get_or_init(|| IngestMetrics {
+        packets_requested: wiscape_obs::counter("coordinator/packets_requested"),
+        reports_accepted: wiscape_obs::counter("coordinator/reports_accepted"),
+        reports_rejected: wiscape_obs::counter("coordinator/reports_rejected"),
+        samples_accepted: wiscape_obs::counter("coordinator/samples_accepted"),
+        malformed_dropped: wiscape_obs::counter("coordinator/malformed_dropped"),
+        zone_samples: wiscape_obs::histogram("coordinator/zone_samples", 1.0),
+        zones_tracked: wiscape_obs::gauge("coordinator/zones_tracked_max"),
+        sketch_bytes: wiscape_obs::gauge("coordinator/sketch_bytes_max"),
+    })
+}
 
 /// Coordinator tuning knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -333,6 +365,9 @@ impl Coordinator {
             if coin < p {
                 state.issued_this_epoch += 1;
                 self.packets_requested += self.config.packets_per_task as u64;
+                obs_metrics()
+                    .packets_requested
+                    .add(self.config.packets_per_task as u64);
                 tasks.push(MeasurementTask {
                     zone,
                     network,
@@ -356,6 +391,9 @@ impl Coordinator {
         if state.current.is_empty() {
             return;
         }
+        obs_metrics()
+            .zone_samples
+            .record(state.current.count() as f64);
         let estimate = ZoneEstimate {
             zone,
             network,
@@ -397,10 +435,12 @@ impl Coordinator {
     pub fn ingest_report(&mut self, report: &SampleReport) -> Result<IngestSummary, IngestError> {
         if report.samples.is_empty() {
             self.reports_rejected += 1;
+            obs_metrics().reports_rejected.inc();
             return Err(IngestError::EmptyReport);
         }
         if !self.index.in_bounds(report.zone) {
             self.reports_rejected += 1;
+            obs_metrics().reports_rejected.inc();
             return Err(IngestError::UnknownZone(report.zone));
         }
         // Classification pass: count malformed samples without
@@ -415,6 +455,9 @@ impl Coordinator {
             }
         }
         self.malformed_dropped += u64::from(summary.dropped());
+        obs_metrics()
+            .malformed_dropped
+            .add(u64::from(summary.dropped()));
         if summary.dropped() as usize == report.samples.len() {
             // Every sample was malformed: drop the report without
             // touching epoch bookkeeping (a garbage report must not
@@ -448,6 +491,9 @@ impl Coordinator {
                 summary.accepted += 1;
             }
         }
+        let m = obs_metrics();
+        m.reports_accepted.inc();
+        m.samples_accepted.add(u64::from(summary.accepted));
         Ok(summary)
     }
 
@@ -458,6 +504,9 @@ impl Coordinator {
         for ((zone, network), state) in self.state.iter_mut() {
             Self::finalize_epoch(&mut self.alerts, threshold, *zone, *network, state, now);
         }
+        let m = obs_metrics();
+        m.zones_tracked.set_max(self.state.len() as f64);
+        m.sketch_bytes.set_max(self.sketch_bytes() as f64);
     }
 
     /// The published estimate for a zone/network, if any.

@@ -1,12 +1,18 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--seed N] [--full] [--out DIR] [EXPERIMENT...]
+//! repro [--seed N] [--full] [--out DIR] [--obs PATH] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs all of them. Writes one JSON file per
 //! experiment into `DIR` (default `results/`) and prints each markdown
 //! summary to stdout (the content of `EXPERIMENTS.md`).
+//!
+//! `--obs PATH` enables the observability registry and dumps its
+//! snapshot (e.g. `results/OBS_repro.json`) after the run. Everything
+//! outside the snapshot's `timing` section is byte-identical across
+//! runs and `WISCAPE_THREADS` settings; keep the snapshot out of
+//! manifest-checked directories because the timing section is not.
 
 use std::io::Write as _;
 
@@ -16,6 +22,7 @@ fn main() {
     let mut seed: u64 = 7;
     let mut scale = Scale::Quick;
     let mut out_dir = String::from("results");
+    let mut obs_path: Option<String> = None;
     let mut svg = false;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -32,10 +39,13 @@ fn main() {
             "--out" => {
                 out_dir = args.next().unwrap_or_else(|| die("--out needs a path"));
             }
+            "--obs" => {
+                obs_path = Some(args.next().unwrap_or_else(|| die("--obs needs a path")));
+            }
             "--svg" => svg = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--seed N] [--full|--quick] [--out DIR] [--svg] [EXPERIMENT...]\n\
+                    "usage: repro [--seed N] [--full|--quick] [--out DIR] [--obs PATH] [--svg] [EXPERIMENT...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -46,6 +56,9 @@ fn main() {
     }
     if names.is_empty() {
         names = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if obs_path.is_some() {
+        wiscape_obs::set_enabled(true);
     }
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| die(&format!("mkdir {out_dir}: {e}")));
     println!("# WiScape reproduction run (seed {seed}, scale {scale:?})\n",);
@@ -90,6 +103,11 @@ fn main() {
         wall.elapsed().as_secs_f64(),
         wiscape_simcore::exec::thread_count()
     );
+    if let Some(path) = obs_path {
+        wiscape_obs::write_snapshot(std::path::Path::new(&path))
+            .unwrap_or_else(|e| die(&format!("write obs snapshot {path}: {e}")));
+        eprintln!("[repro] obs snapshot -> {path}");
+    }
 }
 
 fn die(msg: &str) -> ! {

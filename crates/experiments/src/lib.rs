@@ -74,6 +74,11 @@ pub fn run_by_name_with_charts(
     seed: u64,
     scale: Scale,
 ) -> Option<(String, String, NamedCharts)> {
+    // Per-figure span tree: each experiment's wall time lands under
+    // `repro/<name>` in the (byte-identity-exempt) timing section; the
+    // run counter lands in the deterministic counters.
+    wiscape_obs::counter("experiments/runs").inc();
+    let _span = wiscape_obs::timing::wall_span(&format!("repro/{name}"));
     fn pack<R: serde::Serialize>(
         summary: String,
         result: &R,

@@ -39,6 +39,12 @@
 //!   (`channel::codec`); a silently truncating cast on attacker-shaped
 //!   bytes is how length fields become buffer confusion. Use
 //!   `From`/`TryFrom` or explicit `to_le_bytes`/`from_le_bytes`.
+//! * **O001** — no ad-hoc telemetry (`eprintln!`/`println!`/`print!`/
+//!   `dbg!`) on instrumented surfaces (`simcore::exec`,
+//!   `core::coordinator`, `channel::{server, link, uplink,
+//!   deployment}`): the `wiscape-obs` registry is the single telemetry
+//!   path, so every meter stays deterministic, snapshot-visible, and
+//!   silent when disabled (see `OBSERVABILITY.md`).
 //! * **L001** — a `lint:allow` escape hatch without a justification (or
 //!   naming an unknown rule) is itself a violation.
 //!
@@ -125,6 +131,13 @@ pub const RULES: &[RuleInfo] = &[
                   attacker-shaped values; use From/TryFrom or to_le_bytes/from_le_bytes",
     },
     RuleInfo {
+        code: "O001",
+        severity: "error",
+        summary: "ad-hoc telemetry (eprintln!/println!/print!/dbg!) on an instrumented \
+                  surface: report through the wiscape-obs registry so the meter is \
+                  deterministic, snapshot-visible, and silent when disabled",
+    },
+    RuleInfo {
         code: "L001",
         severity: "error",
         summary: "lint:allow without a justification string (or naming an unknown rule)",
@@ -153,6 +166,9 @@ pub struct FileScope {
     pub retention_surface: bool,
     /// S003 applies: wire-decode surface parsing untrusted bytes.
     pub wire_decode_surface: bool,
+    /// O001 applies: this surface reports through the `wiscape-obs`
+    /// registry; ad-hoc printing would fork the telemetry path.
+    pub instrumented_surface: bool,
     /// The whole file is test code (integration tests, benches).
     pub all_test_code: bool,
 }
@@ -850,6 +866,22 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mu
                 }
             }
         }
+        if scope.instrumented_surface && !test {
+            for name in ["eprintln", "println", "print", "eprint", "dbg"] {
+                if has_ident(code, name) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "O001",
+                        format!(
+                            "ad-hoc telemetry ({name}!) on an instrumented surface: \
+                             report through the wiscape-obs registry instead \
+                             (counter/gauge/histogram/span; see OBSERVABILITY.md)"
+                        ),
+                    );
+                }
+            }
+        }
         if scope.wire_decode_surface && !test {
             if let Some(target) = numeric_as_cast(code) {
                 push_violation(
@@ -908,6 +940,7 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mu
 pub const DETERMINISTIC_CRATES: &[&str] = &[
     "geo",
     "stats",
+    "obs",
     "simcore",
     "simnet",
     "mobility",
@@ -934,7 +967,10 @@ pub fn scope_for(rel: &Path) -> FileScope {
     FileScope {
         deterministic: (DETERMINISTIC_CRATES.contains(&crate_name) || crate_name == "wiscape")
             && !all_test_code,
-        wallclock_exempt: crate_name == "bench",
+        // `obs::timing` is the quarantined wall-clock surface: the one
+        // module allowed to read `Instant`, feeding the snapshot's
+        // byte-identity-exempt `timing` section.
+        wallclock_exempt: crate_name == "bench" || rel == Path::new("crates/obs/src/timing.rs"),
         executor_module: rel == Path::new("crates/simcore/src/exec.rs"),
         ingest_surface: rel == Path::new("crates/core/src/coordinator.rs")
             || rel == Path::new("crates/core/src/agent.rs"),
@@ -943,6 +979,12 @@ pub fn scope_for(rel: &Path) -> FileScope {
             || rel == Path::new("crates/core/src/agent.rs")
             || rel == Path::new("crates/channel/src/server.rs"),
         wire_decode_surface: rel == Path::new("crates/channel/src/codec.rs"),
+        instrumented_surface: rel == Path::new("crates/simcore/src/exec.rs")
+            || rel == Path::new("crates/core/src/coordinator.rs")
+            || rel == Path::new("crates/channel/src/server.rs")
+            || rel == Path::new("crates/channel/src/link.rs")
+            || rel == Path::new("crates/channel/src/uplink.rs")
+            || rel == Path::new("crates/channel/src/deployment.rs"),
         all_test_code,
     }
 }

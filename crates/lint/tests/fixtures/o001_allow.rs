@@ -1,0 +1,5 @@
+// Fixture: O001 suppressed with a justification.
+pub fn ingest(frames: u64) {
+    // lint:allow(O001): fatal-path diagnostic before abort; registry is already flushed.
+    eprintln!("ingest wedged after {frames} frames");
+}

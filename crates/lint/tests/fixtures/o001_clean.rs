@@ -1,0 +1,15 @@
+// Fixture: O001 clean — telemetry goes through the obs registry, and
+// test code may print freely.
+pub fn ingest(frames: u64, bytes: u64) {
+    wiscape_obs::counter("channel/server_frames_received").add(frames);
+    wiscape_obs::counter("channel/server_bytes_received").add(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counts() {
+        super::ingest(1, 64);
+        println!("test output is exempt");
+    }
+}

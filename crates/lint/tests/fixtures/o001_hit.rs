@@ -1,0 +1,7 @@
+// Fixture: O001 positive — ad-hoc telemetry on an instrumented surface.
+pub fn ingest(frames: u64, bytes: u64) {
+    eprintln!("ingested {frames} frames");
+    println!("{bytes} bytes so far");
+    print!("tick ");
+    let _peek = dbg!(frames + 1);
+}

@@ -245,6 +245,35 @@ fn s003_only_applies_to_the_wire_decode_surface() {
     assert!(lint_fixture("s003_hit.rs", FileScope::default()).is_clean());
 }
 
+fn instrumented() -> FileScope {
+    FileScope {
+        instrumented_surface: true,
+        ..FileScope::default()
+    }
+}
+
+#[test]
+fn o001_hit_allow_clean() {
+    assert_hits(&lint_fixture("o001_hit.rs", instrumented()), "O001", 4);
+    assert_suppressed(&lint_fixture("o001_allow.rs", instrumented()), "O001", 1);
+    assert!(lint_fixture("o001_clean.rs", instrumented()).is_clean());
+}
+
+#[test]
+fn o001_only_applies_to_instrumented_surfaces() {
+    assert!(lint_fixture("o001_hit.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn o001_exempts_test_code() {
+    let scope = FileScope {
+        instrumented_surface: true,
+        all_test_code: true,
+        ..FileScope::default()
+    };
+    assert!(lint_fixture("o001_hit.rs", scope).is_clean());
+}
+
 #[test]
 fn l001_bare_allow_is_a_violation_and_suppresses_nothing() {
     let report = lint_fixture("l001_bare.rs", deterministic());

@@ -1,0 +1,79 @@
+//! Wall-clock span timing — the one place in the workspace (outside
+//! the bench harness) allowed to read real time.
+//!
+//! Everything recorded here lands in the `timing` section of a
+//! snapshot, which is rendered last and explicitly **exempt from
+//! byte-identity**: wall durations vary run to run and with
+//! `WISCAPE_THREADS`, so [`crate::strip_timing`] (or
+//! `snapshot_json(false)`) removes the section before any
+//! determinism comparison. Deterministic durations (simulated time)
+//! belong in [`crate::span`] instead.
+//!
+//! ```
+//! wiscape_obs::set_enabled(true);
+//! wiscape_obs::reset();
+//! {
+//!     let _span = wiscape_obs::timing::wall_span("doc/timed_region");
+//!     // ... work ...
+//! } // recorded on drop
+//! let snap = wiscape_obs::snapshot_json(true);
+//! assert!(snap.contains("doc/timed_region"));
+//! assert!(!wiscape_obs::snapshot_json(false).contains("doc/timed_region"));
+//! # wiscape_obs::set_enabled(false);
+//! ```
+
+// This module IS the quarantined wall-clock surface (D002-exempt in
+// wiscape-lint's scope table, like crates/bench): its output is
+// confined to the byte-identity-exempt `timing` snapshot section.
+use std::time::Instant;
+
+use crate::Span;
+
+/// An RAII guard that records the wall-clock duration of a region into
+/// the `timing` section when dropped. Obtain one with [`wall_span`].
+pub struct WallSpan {
+    state: Option<(Span, Instant)>,
+}
+
+impl WallSpan {
+    /// Stops the clock and records now instead of at scope end.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some((span, started)) = self.state.take() {
+            let us = started.elapsed().as_micros();
+            span.record_micros(u64::try_from(us).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Starts timing a region under `name`. While collection is disabled
+/// the guard is inert — no clock read, no registration.
+pub fn wall_span(name: &str) -> WallSpan {
+    let state = if crate::enabled() {
+        Some((crate::timing_span(name), Instant::now()))
+    } else {
+        None
+    };
+    WallSpan { state }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        crate::set_enabled(false);
+        let g = wall_span("timing/test_inert");
+        assert!(g.state.is_none());
+    }
+}

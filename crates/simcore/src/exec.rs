@@ -18,9 +18,34 @@
 //! variable when set, else from [`std::thread::available_parallelism`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use crate::rng::StreamRng;
+
+/// Obs handles for the executor, registered once. Everything recorded
+/// here is a function of the input length alone (calls, items, chunk
+/// count under the fixed [`CHUNK_SIZE`]) — never of the worker count —
+/// so the deterministic snapshot sections stay thread-count-invariant.
+/// Wall-clock duration goes through `obs::timing` (the exempt section).
+struct ExecMetrics {
+    calls: wiscape_obs::Counter,
+    items: wiscape_obs::Counter,
+    chunks: wiscape_obs::Counter,
+    single_chunk_calls: wiscape_obs::Counter,
+}
+
+fn metrics() -> &'static ExecMetrics {
+    static M: OnceLock<ExecMetrics> = OnceLock::new();
+    M.get_or_init(|| ExecMetrics {
+        calls: wiscape_obs::counter("exec/par_map_calls"),
+        items: wiscape_obs::counter("exec/items"),
+        chunks: wiscape_obs::counter("exec/chunks"),
+        // Calls too small to split (<= one chunk). Derived from the
+        // input length, NOT from the resolved worker count, which
+        // must never leak into a deterministic metric.
+        single_chunk_calls: wiscape_obs::counter("exec/single_chunk_calls"),
+    })
+}
 
 /// Items per chunk. Fixed (not derived from the thread count) so the
 /// chunk structure — and therefore every chunk-keyed RNG fork — is a
@@ -65,6 +90,14 @@ where
 {
     let n_chunks = items.len().div_ceil(CHUNK_SIZE);
     let workers = threads.max(1).min(n_chunks);
+    let m = metrics();
+    m.calls.inc();
+    m.items.add(items.len() as u64);
+    m.chunks.add(n_chunks as u64);
+    if n_chunks <= 1 {
+        m.single_chunk_calls.inc();
+    }
+    let _wall = wiscape_obs::timing::wall_span("exec/par_map");
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }

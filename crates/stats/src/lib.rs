@@ -24,7 +24,7 @@
 //! randomness.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod allan;
 mod binning;

@@ -107,6 +107,20 @@ impl KahanSum {
 /// [`KahanSum`] of the accepted values for merge-robust totals.
 ///
 /// Non-finite pushes are ignored, like [`RunningStats::push`].
+///
+/// ```
+/// use wiscape_stats::sketch::MomentSketch;
+///
+/// // Two shards fold samples independently, then merge in fixed order.
+/// let mut a = MomentSketch::new();
+/// let mut b = MomentSketch::new();
+/// for v in [840.0, 860.0] { a.push(v); }
+/// for v in [850.0, 870.0] { b.push(v); }
+/// a.merge(&b);
+/// assert_eq!(a.count(), 4);
+/// assert_eq!(a.mean(), 855.0);
+/// assert_eq!(a.min(), Some(840.0));
+/// ```
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MomentSketch {
     core: RunningStats,
@@ -230,6 +244,16 @@ impl MomentSketch {
 /// pattern previously open-coded by the map builders and the latency
 /// binner, so migrating them onto the sketch moves no output bits.
 /// Prefer [`MomentSketch`] for new code that also needs spread.
+///
+/// ```
+/// use wiscape_stats::sketch::MeanSketch;
+///
+/// let mut latency = MeanSketch::new();
+/// latency.push(110.0);
+/// latency.push(130.0);
+/// assert_eq!(latency.mean(), 120.0);
+/// assert_eq!(latency.mem_bytes(), 16);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct MeanSketch {
     sum: f64,
@@ -306,6 +330,16 @@ impl MeanSketch {
 ///
 /// Consumers that must publish exact quantiles keep using [`crate::Ecdf`]
 /// over explicitly pulled offline values.
+///
+/// ```
+/// use wiscape_stats::sketch::QuantileSketch;
+///
+/// // 10-kbps bins; values on the grid are recovered exactly.
+/// let mut q = QuantileSketch::new(10.0).unwrap();
+/// for v in [840.0, 850.0, 860.0, 870.0, 880.0] { q.push(v); }
+/// assert_eq!(q.median(), Some(860.0));
+/// assert_eq!(q.occupied_bins(), 5);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantileSketch {
     width: f64,
@@ -538,8 +572,21 @@ impl TauState {
 /// fold over successive bin means. An out-of-order push is clamped
 /// into the open bin and flagged via [`AllanSketch::saw_out_of_order`].
 ///
-/// Memory is `O(taus)` — one fixed-size [`TauState`] per candidate —
+/// Memory is `O(taus)` — one fixed-size `TauState` per candidate —
 /// regardless of how many samples stream through.
+///
+/// ```
+/// use wiscape_stats::sketch::AllanSketch;
+///
+/// // Stream (timestamp, value) pairs; ask for the deviation profile.
+/// let mut a = AllanSketch::new(&[60.0, 300.0]).unwrap();
+/// for i in 0..600 {
+///     a.push(i as f64, if i % 2 == 0 { 900.0 } else { 800.0 });
+/// }
+/// let profile = a.profile().unwrap();
+/// assert_eq!(profile.len(), 2);
+/// assert!(profile.iter().all(|p| p.deviation >= 0.0));
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AllanSketch {
     taus: Vec<TauState>,

@@ -20,4 +20,7 @@ echo "   report: results/LINT_report.json"
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo test --doc"
+cargo test -q --doc --workspace
+
 echo "== check.sh: all gates passed"

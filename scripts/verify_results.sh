@@ -8,6 +8,11 @@
 # to experiment output is made visible by re-running with --update and
 # committing the manifest diff.
 #
+# The run happens with observability enabled (--obs), proving the
+# instrumented build produces the same artifact bytes. The obs snapshot
+# itself lands *next to* the scratch directory, never inside it: its
+# timing section is wall-clock and must not enter the manifest.
+#
 # Usage:
 #   scripts/verify_results.sh            # verify against the manifest
 #   scripts/verify_results.sh --update   # regenerate the manifest
@@ -19,7 +24,8 @@ out="${TMPDIR:-/tmp}/wiscape_quick_manifest_check"
 
 cargo build --release -q -p wiscape-experiments --bin repro
 rm -rf "$out"
-./target/release/repro --seed 7 --quick --out "$out" >/dev/null
+./target/release/repro --seed 7 --quick --out "$out" --obs "$out.obs.json" >/dev/null
+echo "[verify_results] obs snapshot: $out.obs.json"
 
 (cd "$out" && sha256sum -- *.json | LC_ALL=C sort -k2) > "$out.manifest"
 

@@ -1,7 +1,7 @@
 //! `wiscape` — command-line front end for the WiScape reproduction.
 //!
 //! ```text
-//! wiscape map    [--seed N] [--hours H] [--loss P] [--out map.csv]
+//! wiscape map    [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]
 //!                                                           run a deployment, dump the zone map
 //! wiscape trace  <standalone|wirover|spot|short-segment>
 //!                [--seed N] [--days D] [--out trace.csv]    regenerate a dataset as CSV
@@ -67,7 +67,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wiscape map     [--seed N] [--hours H] [--loss P] [--out map.csv]\n  \
+        "usage:\n  wiscape map     [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]\n  \
          wiscape trace   <standalone|wirover|spot|short-segment> [--seed N] [--days D] [--out trace.csv]\n  \
          wiscape epoch   [--seed N] [--region wi|nj]\n  \
          wiscape quality [--seed N] [--lat L --lon L] [--hour H]"
@@ -91,6 +91,13 @@ fn cmd_map(args: &Args) {
     if !(0.0..=1.0).contains(&loss) {
         die(&format!("--loss: must be in [0, 1], got {loss}"));
     }
+    // Telemetry comes from the shared obs registry: on for --obs (to
+    // dump a snapshot) and for lossy runs (to print the channel/ingest
+    // meters below).
+    let obs_path = args.str_flag("obs").map(|s| s.to_string());
+    if obs_path.is_some() || loss > 0.0 {
+        wiscape::obs::set_enabled(true);
+    }
     let land = landscape(args);
     let mut fleet = Fleet::new(seed);
     fleet
@@ -104,20 +111,33 @@ fn cmd_map(args: &Args) {
     };
     let mut deployment = ChannelDeployment::new(land, fleet, index, config);
     let start = SimTime::at(1, 7.0);
-    deployment.run(start, start + SimDuration::from_secs_f64(hours * 3600.0));
+    let window = SimDuration::from_secs_f64(hours * 3600.0);
+    deployment.run(start, start + window);
+    wiscape::obs::span("map/sim_window")
+        .record_micros(u64::try_from(window.as_micros()).unwrap_or(0));
     let stats = deployment.stats();
     eprintln!(
         "deployment: {} checkins, {} tasks, {} packets requested",
         stats.checkins, stats.tasks_issued, stats.packets_requested
     );
     if loss > 0.0 {
+        // Ingest-hygiene meters come from the shared obs registry —
+        // the same counters every instrumented layer reports through —
+        // so the CLI shows the server's dedup drops *and* the
+        // coordinator's malformed-sample drops side by side.
         let m = deployment.meters();
         eprintln!(
             "channel: {} control bytes, {} retries, {} duplicates dropped, {} reports pending",
             m.control_bytes(),
-            m.uplink.retries,
-            m.server.duplicates_dropped,
+            wiscape::obs::counter("channel/uplink_retries").get(),
+            wiscape::obs::counter("channel/server_duplicates_dropped").get(),
             deployment.pending_reports()
+        );
+        eprintln!(
+            "ingest: {} reports ingested, {} rejected, {} malformed samples dropped",
+            wiscape::obs::counter("channel/server_reports_ingested").get(),
+            wiscape::obs::counter("channel/server_reports_rejected").get(),
+            wiscape::obs::counter("coordinator/malformed_dropped").get()
         );
     }
     let published = deployment.coordinator().all_published();
@@ -143,6 +163,11 @@ fn cmd_map(args: &Args) {
             eprintln!("{} zone estimates -> {path}", published.len());
         }
         None => print!("{out}"),
+    }
+    if let Some(path) = obs_path {
+        wiscape::obs::write_snapshot(std::path::Path::new(&path))
+            .unwrap_or_else(|e| die(&format!("write obs snapshot {path}: {e}")));
+        eprintln!("obs snapshot -> {path}");
     }
 }
 
