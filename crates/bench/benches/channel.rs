@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wiscape_channel::codec::{crc32, decode, decode_all, encode, ReportMsg, WireMessage};
+use wiscape_channel::codec::{
+    crc32, decode, decode_all, decode_ref, encode, FrameReader, ReportMsg, WireMessage,
+};
 use wiscape_channel::{LinkConfig, LossyLink};
 use wiscape_core::{MeasurementTask, SampleReport, ZoneId};
 use wiscape_geo::CellId;
@@ -46,14 +48,32 @@ fn codec_benches(c: &mut Criterion) {
     c.bench_function("codec_decode_report_20_samples", |b| {
         b.iter(|| decode(black_box(&frame)).unwrap())
     });
+    // The zero-copy path: same frame, borrowed view, no sample Vec.
+    c.bench_function("codec_decode_report_20_samples_view", |b| {
+        b.iter(|| decode_ref(black_box(&frame)).unwrap())
+    });
 
     let stream: Vec<u8> = (0..16).flat_map(|_| encode(&msg)).collect();
     c.bench_function("codec_decode_stream_16_frames", |b| {
         b.iter(|| decode_all(black_box(&stream)).unwrap())
     });
+    c.bench_function("codec_stream_16_frames_reader", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for f in FrameReader::new(black_box(&stream)) {
+                f.unwrap();
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
 
     let body = vec![0xA5u8; 1500];
     c.bench_function("crc32_1500_bytes", |b| b.iter(|| crc32(black_box(&body))));
+    let big: Vec<u8> = (0..65_536u32)
+        .map(|i| (i.wrapping_mul(31) % 251) as u8)
+        .collect();
+    c.bench_function("crc32_64kib", |b| b.iter(|| crc32(black_box(&big))));
 }
 
 fn link_benches(c: &mut Criterion) {

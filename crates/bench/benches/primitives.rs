@@ -131,6 +131,23 @@ fn simulator_benches(c: &mut Criterion) {
     c.bench_function("field_link_quality_batch_1k", |b| {
         b.iter(|| black_box(field.link_quality_batch(black_box(&walk))))
     });
+    // Train shape: one point, 1000 distinct times. The SoA batch path
+    // hoists point resolution, drift octave forks, and event spatial
+    // weights once per run, so this is where it beats the cursor.
+    let train: Vec<(wiscape_geo::GeoPoint, SimTime)> = (0..1000i64)
+        .map(|k| (p, t + wiscape_simcore::SimDuration::from_secs(k)))
+        .collect();
+    c.bench_function("field_link_quality_batch_train_1k", |b| {
+        b.iter(|| black_box(field.link_quality_batch(black_box(&train))))
+    });
+    c.bench_function("field_link_quality_cursor_train_1k", |b| {
+        let mut cursor = wiscape_simnet::FieldCursor::new(field);
+        b.iter(|| {
+            for (q, tq) in &train {
+                black_box(cursor.link_quality(black_box(q), *tq));
+            }
+        })
+    });
     c.bench_function("probe_train_100_packets", |b| {
         b.iter(|| {
             black_box(

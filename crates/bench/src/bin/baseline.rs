@@ -1,7 +1,7 @@
 //! Machine-readable core performance baseline.
 //!
 //! ```text
-//! cargo run -p wiscape-bench --release --bin baseline [-- --out PATH]
+//! cargo run -p wiscape-bench --release --bin baseline [-- --out PATH | -- --smoke]
 //! ```
 //!
 //! Measures the field-evaluation hot path (per-metric calls, shared
@@ -10,6 +10,12 @@
 //! on the deterministic parallel executor, and writes the numbers to
 //! `results/BENCH_core.json` (or `--out PATH`). The `WISCAPE_THREADS`
 //! environment variable pins the worker count.
+//!
+//! `--smoke` runs only the fast decode/batch-eval measurements and
+//! exits nonzero if either hot path regressed past its floor (owned
+//! decode under 2M frames/s, or the SoA batch path slower than the
+//! scalar cursor on a train-shaped workload). CI runs this after the
+//! test suite; `WISCAPE_SKIP_PERF_SMOKE=1` skips it there.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -34,6 +40,40 @@ struct EvalRates {
     batch_eval_s: f64,
     /// `cursor_eval_s / per_metric_eval_s`.
     cursor_speedup_vs_per_metric: f64,
+}
+
+/// Batch evaluation on the probe-train shape — one point, many
+/// distinct times — where the SoA path hoists the per-run work
+/// (point resolution, drift noise octave forks, per-event spatial
+/// weights) once and then sweeps each component across the whole run.
+/// `cursor_eval_s` pushes the identical query list through a
+/// [`FieldCursor`], the best scalar path, so the ratio isolates the
+/// structure-of-arrays win.
+#[derive(Serialize)]
+struct BatchEval {
+    /// Queries in the train-shaped batch.
+    train_len: usize,
+    /// `link_quality_batch` evaluations per second on the train.
+    batch_eval_s: f64,
+    /// `FieldCursor` evaluations per second on the same queries.
+    cursor_eval_s: f64,
+    /// `batch_eval_s / cursor_eval_s`.
+    batch_speedup_vs_cursor: f64,
+}
+
+/// Wire-decode throughput: the owned decoder vs the borrowed zero-copy
+/// view over the same 20-sample report frame, plus raw CRC-32
+/// (slicing-by-8) throughput.
+#[derive(Serialize)]
+struct DecodeRates {
+    /// `decode` (owned `WireMessage`) calls per second.
+    decode_report_s: f64,
+    /// `decode_ref` (borrowed `WireMessageRef`) calls per second.
+    decode_report_view_s: f64,
+    /// `decode_report_view_s / decode_report_s`.
+    view_speedup_vs_owned: f64,
+    /// `crc32` throughput over a 64 KiB buffer, gigabytes per second.
+    crc32_gbps: f64,
 }
 
 #[derive(Serialize)]
@@ -86,7 +126,9 @@ struct BenchCore {
     /// Worker count used (WISCAPE_THREADS or available parallelism).
     threads: usize,
     field_eval: EvalRates,
+    batch_train: BatchEval,
     channel: ChannelRates,
+    decode: DecodeRates,
     ingest: IngestRates,
     /// Per-experiment wall-clock at Scale::Quick, paper order.
     experiments: Vec<ExperimentTiming>,
@@ -163,18 +205,44 @@ fn field_eval_rates(field: &NetworkField, p: wiscape_geo::GeoPoint) -> EvalRates
     }
 }
 
-fn channel_rates() -> ChannelRates {
-    use wiscape_channel::codec::{decode, encode, ReportMsg, WireMessage};
-    use wiscape_channel::{LinkConfig, LossyLink};
+fn batch_eval_rates(field: &NetworkField, p: wiscape_geo::GeoPoint) -> BatchEval {
+    let t = SimTime::at(1, 12.0);
+    let budget = 0.5;
+    // Train shape: one point, 1000 distinct times — exactly what the
+    // batched probe path hands to the evaluator.
+    let train: Vec<(wiscape_geo::GeoPoint, SimTime)> = (0..1000i64)
+        .map(|k| (p, t + SimDuration::from_secs(k)))
+        .collect();
+    let n = train.len();
+    let batch_eval_s = n as f64
+        * rate(budget, || {
+            black_box(field.link_quality_batch(black_box(&train)));
+        });
+    let mut cursor = FieldCursor::new(field);
+    let cursor_eval_s = n as f64
+        * rate(budget, || {
+            for (q, tq) in &train {
+                black_box(cursor.link_quality(black_box(q), *tq));
+            }
+        });
+    BatchEval {
+        train_len: n,
+        batch_eval_s,
+        cursor_eval_s,
+        batch_speedup_vs_cursor: batch_eval_s / cursor_eval_s,
+    }
+}
+
+/// The 20-sample report message both codec benches frame and decode.
+fn report_message() -> wiscape_channel::codec::WireMessage {
+    use wiscape_channel::codec::{ReportMsg, WireMessage};
     use wiscape_core::{MeasurementTask, SampleReport, ZoneId};
     use wiscape_geo::CellId;
     use wiscape_mobility::ClientId;
-    use wiscape_simcore::StreamRng;
     use wiscape_simnet::TransportKind;
 
-    let budget = 0.5;
     let zone = ZoneId(CellId { col: 12, row: -4 });
-    let msg = WireMessage::Report(ReportMsg {
+    WireMessage::Report(ReportMsg {
         seq: 4242,
         report: SampleReport {
             client: ClientId(7),
@@ -189,7 +257,41 @@ fn channel_rates() -> ChannelRates {
             t: SimTime::at(1, 9.5),
             samples: (0..20).map(|i| 900.0 + i as f64).collect(),
         },
+    })
+}
+
+fn decode_rates() -> DecodeRates {
+    use wiscape_channel::codec::{crc32, decode, decode_ref, encode};
+
+    let budget = 0.5;
+    let frame = encode(&report_message());
+    let decode_report_s = rate(budget, || {
+        black_box(decode(black_box(&frame)).expect("valid frame"));
     });
+    let decode_report_view_s = rate(budget, || {
+        black_box(decode_ref(black_box(&frame)).expect("valid frame"));
+    });
+    let buf: Vec<u8> = (0..65_536u32)
+        .map(|i| (i.wrapping_mul(31) % 251) as u8)
+        .collect();
+    let crc_calls_s = rate(budget, || {
+        black_box(crc32(black_box(&buf)));
+    });
+    DecodeRates {
+        decode_report_s,
+        decode_report_view_s,
+        view_speedup_vs_owned: decode_report_view_s / decode_report_s,
+        crc32_gbps: crc_calls_s * buf.len() as f64 / 1e9,
+    }
+}
+
+fn channel_rates() -> ChannelRates {
+    use wiscape_channel::codec::{decode, encode};
+    use wiscape_channel::{LinkConfig, LossyLink};
+    use wiscape_simcore::StreamRng;
+
+    let budget = 0.5;
+    let msg = report_message();
     let encode_report_s = rate(budget, || {
         black_box(encode(black_box(&msg)));
     });
@@ -301,8 +403,54 @@ fn ingest_rates() -> IngestRates {
     }
 }
 
+/// `--smoke`: measure just the two hot paths this repo's perf work
+/// guards, assert their floors, and exit. Floors are deliberately
+/// tolerant — they catch an accidental return to the per-byte CRC /
+/// owned-alloc decode or the scalar eval path, not run-to-run noise.
+fn run_smoke() -> ! {
+    eprintln!("[smoke] batch field evaluation (train shape)...");
+    let land = bench_landscape();
+    let p = bench_point(&land);
+    let field = land.field(NetworkId::NetB).expect("NetB present");
+    let batch = batch_eval_rates(field, p);
+    eprintln!(
+        "[smoke] batch {:.0}/s vs cursor {:.0}/s ({:.2}x)",
+        batch.batch_eval_s, batch.cursor_eval_s, batch.batch_speedup_vs_cursor,
+    );
+    eprintln!("[smoke] wire decode...");
+    let decode = decode_rates();
+    eprintln!(
+        "[smoke] decode owned {:.2}M/s, view {:.2}M/s ({:.2}x), crc32 {:.1} GB/s",
+        decode.decode_report_s / 1e6,
+        decode.decode_report_view_s / 1e6,
+        decode.view_speedup_vs_owned,
+        decode.crc32_gbps,
+    );
+    let mut ok = true;
+    if decode.decode_report_s < 2.0e6 {
+        eprintln!(
+            "[smoke] FAIL: decode_report_s {:.0}/s is under the 2M/s floor",
+            decode.decode_report_s
+        );
+        ok = false;
+    }
+    // 5% slack absorbs scheduler noise; the SoA path wins by far more.
+    if batch.batch_eval_s < 0.95 * batch.cursor_eval_s {
+        eprintln!(
+            "[smoke] FAIL: batch_eval_s {:.0}/s is slower than cursor_eval_s {:.0}/s",
+            batch.batch_eval_s, batch.cursor_eval_s
+        );
+        ok = false;
+    }
+    if ok {
+        eprintln!("[smoke] OK");
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
 fn main() {
     let mut out_path = String::from("results/BENCH_core.json");
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -312,11 +460,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--smoke" => smoke = true,
             other => {
-                eprintln!("baseline: unknown argument '{other}' (usage: baseline [--out PATH])");
+                eprintln!(
+                    "baseline: unknown argument '{other}' (usage: baseline [--out PATH | --smoke])"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if smoke {
+        run_smoke();
     }
 
     // The baseline doubles as the reference obs capture: everything it
@@ -338,6 +492,13 @@ fn main() {
         field_eval.batch_eval_s,
     );
 
+    eprintln!("[baseline] batch evaluation on the train shape...");
+    let batch_train = batch_eval_rates(field, p);
+    eprintln!(
+        "[baseline] train batch {:.0}/s vs cursor {:.0}/s ({:.2}x)",
+        batch_train.batch_eval_s, batch_train.cursor_eval_s, batch_train.batch_speedup_vs_cursor,
+    );
+
     eprintln!("[baseline] control-channel codec + link rates...");
     let channel = channel_rates();
     eprintln!(
@@ -347,6 +508,16 @@ fn main() {
         channel.report_frame_bytes,
         channel.perfect_send_s,
         channel.cellular_send_s,
+    );
+
+    eprintln!("[baseline] decode view-path + crc rates...");
+    let decode = decode_rates();
+    eprintln!(
+        "[baseline] decode owned {:.0}/s, view {:.0}/s ({:.2}x), crc32 {:.1} GB/s",
+        decode.decode_report_s,
+        decode.decode_report_view_s,
+        decode.view_speedup_vs_owned,
+        decode.crc32_gbps,
     );
 
     eprintln!("[baseline] estimation-ingest rates + sketch footprint...");
@@ -380,7 +551,9 @@ fn main() {
     let report = BenchCore {
         threads,
         field_eval,
+        batch_train,
         channel,
+        decode,
         ingest,
         experiments,
         experiments_wall_s,

@@ -95,6 +95,183 @@ pub enum WireMessage {
     Ack(AckMsg),
 }
 
+/// A borrowed decode of a [`ReportMsg`]: scalar fields are decoded
+/// eagerly (they are `Copy` and fit in registers), but the sample block
+/// stays a slice of the frame buffer — no `Vec<f64>` is allocated until
+/// (unless) the caller asks for an owned message. Samples iterate
+/// lazily via [`ReportView::samples`], reading each `f64` straight from
+/// its 8 little-endian wire bytes, bit-for-bit the same values the
+/// owned decoder produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportView<'a> {
+    /// Client-local sequence number (assigned by the uplink queue).
+    pub seq: u64,
+    /// Reporting client.
+    pub client: ClientId,
+    /// The task this answers.
+    pub task: MeasurementTask,
+    /// Fine zone confirmed by the client's GPS at execution time.
+    pub zone: ZoneId,
+    /// When the measurement ran.
+    pub t: SimTime,
+    /// Raw sample block: exactly `n * 8` LE bytes, length-validated at
+    /// decode time.
+    samples: &'a [u8],
+}
+
+impl<'a> ReportView<'a> {
+    /// Number of samples carried.
+    pub fn n_samples(&self) -> usize {
+        self.samples.len() / 8
+    }
+
+    /// The samples, decoded lazily from the wire bytes.
+    pub fn samples(&self) -> SampleIter<'a> {
+        SampleIter {
+            chunks: self.samples.chunks_exact(8),
+        }
+    }
+
+    /// Materializes the owned message (allocates the sample vector).
+    pub fn to_msg(&self) -> ReportMsg {
+        ReportMsg {
+            seq: self.seq,
+            report: SampleReport {
+                client: self.client,
+                task: self.task,
+                zone: self.zone,
+                t: self.t,
+                samples: self.samples().collect(),
+            },
+        }
+    }
+}
+
+/// Lazy sample decoder over a [`ReportView`]'s raw byte block.
+#[derive(Debug, Clone)]
+pub struct SampleIter<'a> {
+    chunks: core::slice::ChunksExact<'a, u8>,
+}
+
+impl Iterator for SampleIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.chunks.next().map(|c| {
+            let mut bits = [0u8; 8];
+            bits.copy_from_slice(c);
+            f64::from_bits(u64::from_le_bytes(bits))
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.chunks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SampleIter<'_> {}
+
+/// A borrowed decode of an [`AckMsg`]: the varint-encoded sequence
+/// numbers stay in the frame buffer (validated at decode time) and are
+/// re-read lazily by [`AckView::seqs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AckView<'a> {
+    /// Destination client.
+    pub client: ClientId,
+    /// Number of sequence numbers carried.
+    n: usize,
+    /// The validated varint block.
+    seqs: &'a [u8],
+}
+
+impl<'a> AckView<'a> {
+    /// Number of acknowledged sequence numbers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the ack covers no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The acknowledged sequence numbers, decoded lazily.
+    pub fn seqs(&self) -> AckSeqIter<'a> {
+        AckSeqIter {
+            buf: self.seqs,
+            pos: 0,
+            left: self.n,
+        }
+    }
+
+    /// Materializes the owned message (allocates the seq vector).
+    pub fn to_msg(&self) -> AckMsg {
+        AckMsg {
+            client: self.client,
+            seqs: self.seqs().collect(),
+        }
+    }
+}
+
+/// Lazy varint decoder over an [`AckView`]'s sequence block. The block
+/// was fully validated when the frame decoded, so iteration is total.
+#[derive(Debug, Clone)]
+pub struct AckSeqIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    left: usize,
+}
+
+impl Iterator for AckSeqIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let mut r = Reader::new(&self.buf[self.pos..]);
+        // Cannot fail: the block was varint-validated at decode time.
+        let v = r.varint().ok()?;
+        self.pos += r.pos;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.left, Some(self.left))
+    }
+}
+
+impl ExactSizeIterator for AckSeqIter<'_> {}
+
+/// The borrowed counterpart of [`WireMessage`], produced by
+/// [`decode_prefix_ref`] / [`FrameReader`]. `Checkin` and `Task` carry
+/// no heap data, so their owned forms are reused; `Report` and `Ack`
+/// borrow their variable-length payloads from the frame buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessageRef<'a> {
+    /// Client check-in.
+    Checkin(CheckinRequest),
+    /// Task assignment.
+    Task(TaskAssignment),
+    /// Sample report (borrowed samples).
+    Report(ReportView<'a>),
+    /// Selective ack (borrowed seq block).
+    Ack(AckView<'a>),
+}
+
+impl WireMessageRef<'_> {
+    /// Materializes the owned message.
+    pub fn to_message(&self) -> WireMessage {
+        match self {
+            WireMessageRef::Checkin(c) => WireMessage::Checkin(c.clone()),
+            WireMessageRef::Task(a) => WireMessage::Task(*a),
+            WireMessageRef::Report(v) => WireMessage::Report(v.to_msg()),
+            WireMessageRef::Ack(v) => WireMessage::Ack(v.to_msg()),
+        }
+    }
+}
+
 /// Why a frame failed to decode. Every variant is a normal return — the
 /// decoder never panics on arbitrary input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,18 +332,66 @@ impl std::error::Error for DecodeError {}
 // CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).
 // ---------------------------------------------------------------------
 
-/// IEEE CRC-32 of `bytes` (bitwise implementation; table-free keeps the
-/// decode surface trivially audit-able).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFF_u32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        let mut k = 0;
-        while k < 8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-            k += 1;
+/// One CRC step over a single byte via the base table (also the tail
+/// loop of the sliced path).
+fn crc32_byte(tables: &[[u32; 256]; 8], crc: u32, b: u8) -> u32 {
+    tables[0][usize::from(crc.to_le_bytes()[0] ^ b)] ^ (crc >> 8)
+}
+
+/// The eight slicing tables, generated once from the bitwise definition
+/// (so the reference implementation is still in the source, auditable,
+/// and the tables cannot drift from it).
+fn crc32_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for b in 0..=255u8 {
+            let mut crc = u32::from(b);
+            let mut k = 0;
+            while k < 8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                k += 1;
+            }
+            t[0][usize::from(b)] = crc;
         }
+        for b in 0..=255u8 {
+            let mut crc = t[0][usize::from(b)];
+            let mut k = 1;
+            while k < 8 {
+                crc = t[0][usize::from(crc.to_le_bytes()[0])] ^ (crc >> 8);
+                t[k][usize::from(b)] = crc;
+                k += 1;
+            }
+        }
+        t
+    })
+}
+
+/// IEEE CRC-32 of `bytes`, slicing-by-8: each iteration folds eight
+/// input bytes through eight precomputed tables instead of running the
+/// 8-step bitwise loop per byte. Output is identical to the bitwise
+/// definition (the tables are generated from it above).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = crc32_tables();
+    let mut crc = 0xFFFF_FFFF_u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        let lb = lo.to_le_bytes();
+        let hb = hi.to_le_bytes();
+        crc = t[7][usize::from(lb[0])]
+            ^ t[6][usize::from(lb[1])]
+            ^ t[5][usize::from(lb[2])]
+            ^ t[4][usize::from(lb[3])]
+            ^ t[3][usize::from(hb[0])]
+            ^ t[2][usize::from(hb[1])]
+            ^ t[1][usize::from(hb[2])]
+            ^ t[0][usize::from(hb[3])];
+    }
+    for &b in chunks.remainder() {
+        crc = crc32_byte(t, crc, b);
     }
     !crc
 }
@@ -420,17 +645,21 @@ fn encode_body(msg: &WireMessage) -> Vec<u8> {
     body
 }
 
-fn decode_body(body: &[u8]) -> Result<WireMessage, DecodeError> {
+/// Decodes one message body into borrowed views. This is the *only*
+/// body decoder — the owned path materializes from it — so owned and
+/// borrowed decoding cannot disagree, on values or on errors. Allocates
+/// nothing (lint rule S004).
+fn decode_body_ref(body: &[u8]) -> Result<WireMessageRef<'_>, DecodeError> {
     let mut r = Reader::new(body);
     let tag = r.u8()?;
     let msg = match tag {
-        TAG_CHECKIN => WireMessage::Checkin(CheckinRequest {
+        TAG_CHECKIN => WireMessageRef::Checkin(CheckinRequest {
             client: r.client()?,
             tick: r.varint()?,
             point: r.point()?,
             t: r.time()?,
         }),
-        TAG_TASK => WireMessage::Task(TaskAssignment {
+        TAG_TASK => WireMessageRef::Task(TaskAssignment {
             client: r.client()?,
             task: r.task_fields()?,
         }),
@@ -442,48 +671,44 @@ fn decode_body(body: &[u8]) -> Result<WireMessage, DecodeError> {
             let t = r.time()?;
             let n = r.varint()?;
             // Each sample is 8 bytes: a length field larger than the
-            // remaining body is a lie, not a reason to allocate.
+            // remaining body is a lie, not a reason to slice.
             let n = usize::try_from(n).map_err(|_| DecodeError::BadValue("sample count"))?;
             let need = n
                 .checked_mul(8)
                 .ok_or(DecodeError::BadValue("sample count"))?;
-            if r.remaining() < need {
-                return Err(DecodeError::Truncated {
-                    needed: need,
-                    have: r.remaining(),
-                });
-            }
-            let mut samples = Vec::with_capacity(n);
-            for _ in 0..n {
-                samples.push(r.f64()?);
-            }
-            WireMessage::Report(ReportMsg {
+            let samples = r.take(need)?;
+            WireMessageRef::Report(ReportView {
                 seq,
-                report: SampleReport {
-                    client,
-                    task,
-                    zone,
-                    t,
-                    samples,
-                },
+                client,
+                task,
+                zone,
+                t,
+                samples,
             })
         }
         TAG_ACK => {
             let client = r.client()?;
             let n = usize::try_from(r.varint()?).map_err(|_| DecodeError::BadValue("ack count"))?;
-            // Acks are varints (>= 1 byte each): bound the allocation by
-            // what the body can actually hold.
+            // Acks are varints (>= 1 byte each): bound the claim by what
+            // the body can actually hold.
             if r.remaining() < n {
                 return Err(DecodeError::Truncated {
                     needed: n,
                     have: r.remaining(),
                 });
             }
-            let mut seqs = Vec::with_capacity(n);
-            for _ in 0..n {
-                seqs.push(r.varint()?);
+            // Validate every varint now so AckSeqIter is total later.
+            let start = r.pos;
+            let mut k = 0;
+            while k < n {
+                let _ = r.varint()?;
+                k += 1;
             }
-            WireMessage::Ack(AckMsg { client, seqs })
+            WireMessageRef::Ack(AckView {
+                client,
+                n,
+                seqs: &body[start..r.pos],
+            })
         }
         other => return Err(DecodeError::UnknownTag(other)),
     };
@@ -509,9 +734,30 @@ pub fn encode(msg: &WireMessage) -> Vec<u8> {
     out
 }
 
-/// Decodes one frame from the start of `bytes`, returning the message
-/// and the number of bytes consumed (for concatenated-frame streams).
-pub fn decode_prefix(bytes: &[u8]) -> Result<(WireMessage, usize), DecodeError> {
+/// Encodes the ack frame for a single report sequence: byte-identical
+/// to `encode(&WireMessage::Ack(AckMsg { client, seqs: vec![seq] }))`
+/// without building the one-element vector (the server acks every
+/// report copy individually, so this is its hottest encode path).
+pub fn encode_ack_one(client: ClientId, seq: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16);
+    body.push(TAG_ACK);
+    put_u32(&mut body, client.0);
+    put_varint(&mut body, 1);
+    put_varint(&mut body, seq);
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, u64::try_from(body.len()).unwrap_or(u64::MAX));
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Decodes one frame from the start of `bytes` into borrowed views,
+/// returning the message and the number of bytes consumed (for
+/// concatenated-frame streams). Zero-copy: the returned views slice the
+/// input buffer; nothing is allocated (lint rule S004).
+pub fn decode_prefix_ref(bytes: &[u8]) -> Result<(WireMessageRef<'_>, usize), DecodeError> {
     let mut r = Reader::new(bytes);
     let magic = r.take(2)?;
     if magic != MAGIC {
@@ -530,8 +776,27 @@ pub fn decode_prefix(bytes: &[u8]) -> Result<(WireMessage, usize), DecodeError> 
     if expected != found {
         return Err(DecodeError::BadChecksum { expected, found });
     }
-    let msg = decode_body(body)?;
+    let msg = decode_body_ref(body)?;
     Ok((msg, r.pos))
+}
+
+/// Decodes exactly one frame into borrowed views; trailing bytes are an
+/// error.
+pub fn decode_ref(bytes: &[u8]) -> Result<WireMessageRef<'_>, DecodeError> {
+    let (msg, used) = decode_prefix_ref(bytes)?;
+    if used != bytes.len() {
+        return Err(DecodeError::TrailingBytes(bytes.len() - used));
+    }
+    Ok(msg)
+}
+
+/// Decodes one frame from the start of `bytes`, returning the owned
+/// message and the number of bytes consumed. Delegates to
+/// [`decode_prefix_ref`], so values and errors are identical by
+/// construction.
+pub fn decode_prefix(bytes: &[u8]) -> Result<(WireMessage, usize), DecodeError> {
+    let (msg, used) = decode_prefix_ref(bytes)?;
+    Ok((msg.to_message(), used))
 }
 
 /// Decodes exactly one frame; trailing bytes are an error.
@@ -543,13 +808,88 @@ pub fn decode(bytes: &[u8]) -> Result<WireMessage, DecodeError> {
     Ok(msg)
 }
 
-/// Decodes a stream of concatenated frames (a batched transmission).
-pub fn decode_all(mut bytes: &[u8]) -> Result<Vec<WireMessage>, DecodeError> {
-    let mut out = Vec::new();
-    while !bytes.is_empty() {
-        let (msg, used) = decode_prefix(bytes)?;
-        out.push(msg);
-        bytes = &bytes[used..];
+/// Streaming decoder over a batched transmission (concatenated frames).
+/// Each call to [`FrameReader::next_frame`] decodes one frame in place
+/// and hands back borrowed views — no accumulation `Vec`, no per-frame
+/// copies. After any error the reader is exhausted (a torn byte poisons
+/// everything behind it; frame boundaries cannot be trusted past it).
+#[derive(Debug, Clone)]
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Starts reading frames from the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Decodes the next frame, or `None` at end of input. Allocates
+    /// nothing (lint rule S004).
+    pub fn next_frame(&mut self) -> Option<Result<WireMessageRef<'a>, DecodeError>> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        match decode_prefix_ref(&self.buf[self.pos..]) {
+            Ok((msg, used)) => {
+                self.pos += used;
+                Some(Ok(msg))
+            }
+            Err(e) => {
+                self.pos = self.buf.len();
+                Some(Err(e))
+            }
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+}
+
+impl<'a> Iterator for FrameReader<'a> {
+    type Item = Result<WireMessageRef<'a>, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_frame()
+    }
+}
+
+/// Structural pre-scan: counts frames by walking headers and claimed
+/// lengths only (no CRC, no body decode), so `decode_all` can size its
+/// output exactly. On malformed input the count up to the damage is
+/// returned — the real decode reports the error. Bounded by the
+/// smallest possible frame (8 bytes) as a sanity cap.
+fn scan_frame_count(bytes: &[u8]) -> usize {
+    let mut n = 0usize;
+    let mut r = Reader::new(bytes);
+    while r.remaining() > 0 {
+        // magic (2) + version (1); contents checked by the real decode.
+        if r.take(3).is_err() {
+            break;
+        }
+        let Ok(len) = r.varint() else { break };
+        let Ok(len) = usize::try_from(len) else {
+            break;
+        };
+        if r.take(len).is_err() || r.take(4).is_err() {
+            break;
+        }
+        n += 1;
+    }
+    n.min(bytes.len() / 8)
+}
+
+/// Decodes a stream of concatenated frames (a batched transmission)
+/// into owned messages. The output is pre-sized from a structural
+/// pre-scan, so a well-formed batch costs exactly one allocation here.
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<WireMessage>, DecodeError> {
+    let mut out = Vec::with_capacity(scan_frame_count(bytes));
+    let mut frames = FrameReader::new(bytes);
+    while let Some(item) = frames.next_frame() {
+        out.push(item?.to_message());
     }
     Ok(out)
 }
@@ -713,6 +1053,131 @@ mod tests {
         // IEEE CRC-32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    /// The slicing-by-8 path must agree with the bitwise definition at
+    /// every length (chunked main loop + per-byte tail).
+    #[test]
+    fn crc32_sliced_matches_bitwise_reference_at_every_length() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFF_u32;
+            for &b in bytes {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(151) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn report_view_matches_owned_decode() {
+        let msg = sample_report(42);
+        let bytes = encode(&msg);
+        let (view, used) = decode_prefix_ref(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        let WireMessageRef::Report(v) = view else {
+            panic!("wrong shape");
+        };
+        let WireMessage::Report(owned) = decode(&bytes).unwrap() else {
+            panic!("wrong shape");
+        };
+        assert_eq!(v.seq, owned.seq);
+        assert_eq!(v.client, owned.report.client);
+        assert_eq!(v.task, owned.report.task);
+        assert_eq!(v.zone, owned.report.zone);
+        assert_eq!(v.t, owned.report.t);
+        assert_eq!(v.n_samples(), owned.report.samples.len());
+        let view_bits: Vec<u64> = v.samples().map(f64::to_bits).collect();
+        let owned_bits: Vec<u64> = owned.report.samples.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(view_bits, owned_bits, "NaN included, bit for bit");
+        // And the materialized message equals the owned decode.
+        assert_eq!(view_bits.len(), v.to_msg().report.samples.len());
+    }
+
+    #[test]
+    fn ack_view_is_lazy_but_validated() {
+        let msg = WireMessage::Ack(AckMsg {
+            client: ClientId(9),
+            seqs: vec![0, 127, 128, u64::MAX],
+        });
+        let bytes = encode(&msg);
+        let WireMessageRef::Ack(v) = decode_ref(&bytes).unwrap() else {
+            panic!("wrong shape");
+        };
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.seqs().collect::<Vec<_>>(), vec![0, 127, 128, u64::MAX]);
+        assert_eq!(WireMessage::Ack(v.to_msg()), msg);
+    }
+
+    #[test]
+    fn frame_reader_streams_and_poisons_after_error() {
+        let a = encode(&WireMessage::Ack(AckMsg {
+            client: ClientId(1),
+            seqs: vec![5],
+        }));
+        let b = encode(&sample_report(2));
+        let mut stream: Vec<u8> = a.iter().chain(&b).copied().collect();
+        let mut reader = FrameReader::new(&stream);
+        assert!(matches!(
+            reader.next_frame(),
+            Some(Ok(WireMessageRef::Ack(_)))
+        ));
+        assert!(matches!(
+            reader.next_frame(),
+            Some(Ok(WireMessageRef::Report(_)))
+        ));
+        assert!(reader.next_frame().is_none());
+        assert_eq!(reader.remaining(), 0);
+        // Corrupt the second frame: the reader reports one error, then
+        // refuses to resynchronize.
+        let flip = a.len() + 7;
+        stream[flip] ^= 0x10;
+        let mut reader = FrameReader::new(&stream);
+        assert!(matches!(reader.next_frame(), Some(Ok(_))));
+        assert!(matches!(reader.next_frame(), Some(Err(_))));
+        assert!(reader.next_frame().is_none());
+    }
+
+    #[test]
+    fn decode_all_presize_scan_counts_frames() {
+        let a = encode(&sample_report(1));
+        let b = encode(&sample_report(2));
+        let c = encode(&WireMessage::Ack(AckMsg {
+            client: ClientId(3),
+            seqs: vec![9],
+        }));
+        let stream: Vec<u8> = a.iter().chain(&b).chain(&c).copied().collect();
+        assert_eq!(scan_frame_count(&stream), 3);
+        assert_eq!(decode_all(&stream).unwrap().len(), 3);
+        // Truncated tails stop the scan without lying about counts.
+        assert!(scan_frame_count(&stream[..stream.len() - 3]) <= 3);
+        assert_eq!(scan_frame_count(&[]), 0);
+        assert_eq!(scan_frame_count(&[0xFF; 5]), 0);
+    }
+
+    #[test]
+    fn encode_ack_one_is_byte_identical_to_the_general_encoder() {
+        for (client, seq) in [
+            (ClientId(0), 0u64),
+            (ClientId(7), 127),
+            (ClientId(u32::MAX), u64::MAX),
+        ] {
+            let general = encode(&WireMessage::Ack(AckMsg {
+                client,
+                seqs: vec![seq],
+            }));
+            assert_eq!(encode_ack_one(client, seq), general);
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use wiscape_mobility::{ClientId, Fleet};
 use wiscape_simcore::{SimTime, StreamRng};
 use wiscape_simnet::{Landscape, NetworkId};
 
-use crate::codec::{decode, encode, CheckinRequest, WireMessage};
+use crate::codec::{decode_ref, encode, CheckinRequest, WireMessage, WireMessageRef};
 use crate::link::{LinkConfig, LinkMeters, LossyLink};
 use crate::server::{ChannelServer, CommitPolicy, ServerMeters};
 use crate::uplink::{Uplink, UplinkConfig, UplinkMeters};
@@ -364,13 +364,15 @@ impl ChannelDeployment {
     }
 
     fn client_receive(&mut self, id: ClientId, frame: &[u8], now: SimTime) {
-        let Ok(msg) = decode(frame) else {
+        // Borrowed decode: tasks and acks carry no heap payload, so the
+        // client endpoint never allocates a message either.
+        let Ok(msg) = decode_ref(frame) else {
             // Corrupt frames are modelled as drops by the link, but a
             // defensive endpoint still must not panic on garbage.
             return;
         };
         match msg {
-            WireMessage::Task(assignment) => {
+            WireMessageRef::Task(assignment) => {
                 // Execute at the client's position *this* round; a task
                 // arriving while the client is off-shift is skipped
                 // (nobody is there to run the probe).
@@ -396,12 +398,12 @@ impl ChannelDeployment {
                     state.uplink.enqueue(report, now);
                 }
             }
-            WireMessage::Ack(ack) => {
+            WireMessageRef::Ack(ack) => {
                 let state = self.clients.get_mut(&id).expect("known client");
-                state.uplink.handle_ack(&ack);
+                state.uplink.handle_ack_view(&ack);
             }
             // Server-bound traffic delivered to a client is dropped.
-            WireMessage::Checkin(_) | WireMessage::Report(_) => {}
+            WireMessageRef::Checkin(_) | WireMessageRef::Report(_) => {}
         }
     }
 

@@ -39,7 +39,10 @@ use wiscape_mobility::ClientId;
 use wiscape_simcore::{SimDuration, SimTime, StreamRng};
 use wiscape_simnet::NetworkId;
 
-use crate::codec::{decode_all, encode, AckMsg, CheckinRequest, TaskAssignment, WireMessage};
+use crate::codec::{
+    encode, encode_ack_one, AckMsg, CheckinRequest, FrameReader, ReportView, TaskAssignment,
+    WireMessage, WireMessageRef,
+};
 
 /// When deduplicated reports are committed into the coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,20 +208,26 @@ impl ChannelServer {
         let nbytes = u64::try_from(bytes.len()).unwrap_or(u64::MAX);
         self.meters.bytes_received += nbytes;
         obs.bytes_received.add(nbytes);
-        let msgs = match decode_all(bytes) {
-            Ok(msgs) => msgs,
-            Err(_) => {
-                // A torn byte anywhere poisons the rest of the stream;
-                // drop the transmission and let retransmission recover.
-                self.meters.decode_errors += 1;
-                obs.decode_errors.inc();
-                return Vec::new();
+        // Zero-copy decode: the views borrow `bytes` directly; no owned
+        // `ReportMsg` (and no per-report `Vec<f64>`) is built on this
+        // path. The whole transmission is still validated before any
+        // message takes effect — a torn byte anywhere poisons the rest
+        // of the stream, so drop it all and let retransmission recover.
+        let mut msgs: Vec<WireMessageRef<'_>> = Vec::new();
+        for item in FrameReader::new(bytes) {
+            match item {
+                Ok(msg) => msgs.push(msg),
+                Err(_) => {
+                    self.meters.decode_errors += 1;
+                    obs.decode_errors.inc();
+                    return Vec::new();
+                }
             }
-        };
+        }
         let mut replies = Vec::new();
         for msg in msgs {
             match msg {
-                WireMessage::Checkin(req) => {
+                WireMessageRef::Checkin(req) => {
                     for assignment in self.handle_checkin(&req) {
                         let frame = encode(&WireMessage::Task(assignment));
                         let fbytes = u64::try_from(frame.len()).unwrap_or(u64::MAX);
@@ -227,9 +236,10 @@ impl ChannelServer {
                         replies.push(frame);
                     }
                 }
-                WireMessage::Report(r) => {
-                    let ack = self.handle_report(r, now);
-                    let frame = encode(&WireMessage::Ack(ack));
+                WireMessageRef::Report(view) => {
+                    let (client, seq) = (view.client, view.seq);
+                    self.handle_report_view(&view, now);
+                    let frame = encode_ack_one(client, seq);
                     self.meters.acks_sent += 1;
                     obs.acks_sent.inc();
                     let fbytes = u64::try_from(frame.len()).unwrap_or(u64::MAX);
@@ -239,7 +249,7 @@ impl ChannelServer {
                 }
                 // Server-bound traffic only; a client-bound message
                 // looping back is a protocol violation we just drop.
-                WireMessage::Task(_) | WireMessage::Ack(_) => {
+                WireMessageRef::Task(_) | WireMessageRef::Ack(_) => {
                     self.meters.decode_errors += 1;
                     obs.decode_errors.inc();
                 }
@@ -301,12 +311,59 @@ impl ChannelServer {
         }
     }
 
+    /// [`ChannelServer::handle_report`] for a borrowed frame view: same
+    /// dedup and commit policy, but on the immediate path the samples
+    /// fold straight from the wire bytes into the zone sketch — no
+    /// owned `SampleReport`, no `Vec<f64>` (lint rule S004 keeps this
+    /// function allocation-free). The caller acks separately via
+    /// [`encode_ack_one`].
+    pub fn handle_report_view(&mut self, view: &ReportView<'_>, now: SimTime) {
+        let client = view.client;
+        let fresh = self.seen.entry(client).or_default().insert(view.seq);
+        if fresh {
+            match self.policy {
+                CommitPolicy::Immediate => self.commit_view(view),
+                CommitPolicy::Watermark(_) => {
+                    // lint:allow(S004): watermark staging must own the report — the frame buffer dies with this call, the settle window does not; bounded by the window, not the run.
+                    let msg = view.to_msg();
+                    self.staged
+                        .insert((msg.report.t, client, msg.seq), msg.report);
+                }
+            }
+        } else {
+            self.meters.duplicates_dropped += 1;
+            server_obs().duplicates_dropped.inc();
+        }
+        if let CommitPolicy::Watermark(settle) = self.policy {
+            self.advance(now, settle);
+        }
+    }
+
     /// Folds one deduplicated report into the coordinator's per-zone
     /// sketch: O(1) state per `(zone, network)` cell and no per-report
     /// allocation (the ingest path filters and folds the samples in
     /// place — see `Coordinator::ingest_report`).
     fn commit(&mut self, report: &SampleReport) {
         if self.coordinator.ingest_report(report).is_ok() {
+            self.meters.reports_ingested += 1;
+            server_obs().reports_ingested.inc();
+        } else {
+            self.meters.reports_rejected += 1;
+            server_obs().reports_rejected.inc();
+        }
+    }
+
+    /// [`ChannelServer::commit`] for a borrowed view: streams the
+    /// samples from the frame bytes into
+    /// [`Coordinator::ingest_samples`]. Identical counters and bits to
+    /// the owned path (`ingest_report` is the same call over a slice
+    /// iterator).
+    fn commit_view(&mut self, view: &ReportView<'_>) {
+        let ok = self
+            .coordinator
+            .ingest_samples(view.zone, view.task.network, view.t, view.samples())
+            .is_ok();
+        if ok {
             self.meters.reports_ingested += 1;
             server_obs().reports_ingested.inc();
         } else {
@@ -330,9 +387,11 @@ impl ChannelServer {
     /// Commits every staged report (watermark runs) and finalizes all
     /// epochs at `end`. Call once, after retransmissions have drained.
     pub fn drain(&mut self, end: SimTime) {
-        let keys: Vec<_> = self.staged.keys().copied().collect();
-        for key in keys {
-            let report = self.staged.remove(&key).expect("staged key exists");
+        // Pop-first loop: commits in sorted key order (same order the
+        // collected-keys version used) without materializing the whole
+        // key set — the staging buffer can hold a full settle window.
+        while let Some((&key, _)) = self.staged.iter().next() {
+            let report = self.staged.remove(&key).expect("first key exists");
             self.commit(&report);
         }
         self.coordinator.flush(end);

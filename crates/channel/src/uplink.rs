@@ -18,7 +18,7 @@ use wiscape_core::SampleReport;
 use wiscape_mobility::ClientId;
 use wiscape_simcore::{SimDuration, SimTime, StreamRng};
 
-use crate::codec::{encode, AckMsg, ReportMsg, WireMessage};
+use crate::codec::{encode, AckMsg, AckView, ReportMsg, WireMessage};
 
 /// Retry/queue policy of a client's uplink.
 #[derive(Debug, Clone)]
@@ -241,11 +241,21 @@ impl Uplink {
     /// (already-retired) sequences are ignored — ack duplication is
     /// harmless by construction.
     pub fn handle_ack(&mut self, ack: &AckMsg) {
-        if ack.client != self.client {
+        self.ack_seqs(ack.client, ack.seqs.iter().copied());
+    }
+
+    /// [`Uplink::handle_ack`] for a borrowed frame view: retires the
+    /// sequences straight from the wire bytes, no owned `AckMsg`.
+    pub fn handle_ack_view(&mut self, ack: &AckView<'_>) {
+        self.ack_seqs(ack.client, ack.seqs());
+    }
+
+    fn ack_seqs(&mut self, client: ClientId, seqs: impl Iterator<Item = u64>) {
+        if client != self.client {
             return;
         }
-        for seq in &ack.seqs {
-            if self.pending.remove(seq).is_some() {
+        for seq in seqs {
+            if self.pending.remove(&seq).is_some() {
                 self.meters.acked += 1;
                 uplink_obs().acked.inc();
             }

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use wiscape_channel::codec::{
-    crc32, decode, decode_all, encode, AckMsg, CheckinRequest, DecodeError, ReportMsg,
-    TaskAssignment, WireMessage,
+    crc32, decode, decode_all, decode_ref, encode, AckMsg, CheckinRequest, DecodeError, ReportMsg,
+    TaskAssignment, WireMessage, WireMessageRef,
 };
 use wiscape_core::{MeasurementTask, SampleReport, ZoneId};
 use wiscape_geo::{CellId, GeoPoint};
@@ -155,6 +155,68 @@ proptest! {
     }
 
     #[test]
+    fn view_decode_matches_owned_decode_field_for_field(msg in arb_message()) {
+        let bytes = encode(&msg);
+        let owned = decode(&bytes).expect("round trip");
+        let view = decode_ref(&bytes).expect("borrowed round trip");
+        match (&owned, &view) {
+            (WireMessage::Checkin(a), WireMessageRef::Checkin(b)) => prop_assert_eq!(a, b),
+            (WireMessage::Task(a), WireMessageRef::Task(b)) => prop_assert_eq!(a, b),
+            (WireMessage::Report(a), WireMessageRef::Report(b)) => {
+                prop_assert_eq!(a.seq, b.seq);
+                prop_assert_eq!(a.report.client, b.client);
+                prop_assert_eq!(&a.report.task, &b.task);
+                prop_assert_eq!(a.report.zone, b.zone);
+                prop_assert_eq!(a.report.t, b.t);
+                prop_assert_eq!(a.report.samples.len(), b.n_samples());
+                let owned_bits: Vec<u64> =
+                    a.report.samples.iter().map(|s| s.to_bits()).collect();
+                let view_bits: Vec<u64> = b.samples().map(f64::to_bits).collect();
+                prop_assert_eq!(owned_bits, view_bits);
+            }
+            (WireMessage::Ack(a), WireMessageRef::Ack(b)) => {
+                prop_assert_eq!(a.client, b.client);
+                prop_assert_eq!(a.seqs.clone(), b.seqs().collect::<Vec<_>>());
+            }
+            _ => prop_assert!(false, "variant mismatch: {:?} vs {:?}", owned, view),
+        }
+        prop_assert_eq!(view.to_message(), owned);
+    }
+
+    #[test]
+    fn view_decode_errors_match_owned_decode_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256)
+    ) {
+        match (decode(&bytes), decode_ref(&bytes)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(owned, view.to_message()),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "owned {:?} vs view {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn view_decode_errors_match_owned_decode_on_corrupted_frames(
+        msg in arb_message(),
+        flip in any::<usize>(),
+        bit in 0..8u32,
+        cut_frac in 0.0..1.0f64,
+    ) {
+        // Same parity check aimed at near-valid frames: bit flips and
+        // truncations of real encodings reach far deeper into the body
+        // parser than uniformly random bytes do.
+        let bytes = encode(&msg);
+        let mut corrupt = bytes.clone();
+        let i = flip % corrupt.len();
+        corrupt[i] ^= 1u8 << bit;
+        corrupt.truncate(((corrupt.len() as f64) * cut_frac) as usize);
+        match (decode(&corrupt), decode_ref(&corrupt)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(owned, view.to_message()),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "owned {:?} vs view {:?}", a, b),
+        }
+    }
+
+    #[test]
     fn frame_streams_decode_to_the_sent_sequence(
         msgs in prop::collection::vec(arb_message(), 0..8)
     ) {
@@ -232,6 +294,11 @@ fn corpus_of_hostile_frames_yields_typed_errors() {
     for (bytes, what) in corpus {
         let out = decode(&bytes);
         assert!(out.is_err(), "{what}: decoded {out:?} from {bytes:?}");
+        // The borrowed decoder fails identically on every corpus entry.
+        match decode_ref(&bytes) {
+            Ok(v) => panic!("{what}: view-decoded {v:?} from {bytes:?}"),
+            Err(e) => assert_eq!(Err(e), out, "{what}: error mismatch"),
+        }
     }
 }
 

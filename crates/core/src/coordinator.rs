@@ -433,21 +433,48 @@ impl Coordinator {
     /// throughput) are dropped and counted instead of entering the zone
     /// estimate. See [`IngestSummary`] for the per-report accounting.
     pub fn ingest_report(&mut self, report: &SampleReport) -> Result<IngestSummary, IngestError> {
-        if report.samples.is_empty() {
+        self.ingest_samples(
+            report.zone,
+            report.task.network,
+            report.t,
+            report.samples.iter().copied(),
+        )
+    }
+
+    /// The allocation-free core of [`Coordinator::ingest_report`]: folds
+    /// one report's samples — supplied as any re-iterable exact-size
+    /// stream — into the `(zone, network)` sketch. The wire layer feeds
+    /// this directly from borrowed frame views (`wiscape-channel`'s
+    /// `ReportView::samples`), so a report can go wire → sketch without
+    /// an intermediate `Vec<f64>`; `ingest_report` is the same call over
+    /// a slice iterator, which keeps the two paths identical bit for
+    /// bit, counter for counter.
+    pub fn ingest_samples<I>(
+        &mut self,
+        zone: ZoneId,
+        network: NetworkId,
+        t: SimTime,
+        samples: I,
+    ) -> Result<IngestSummary, IngestError>
+    where
+        I: Iterator<Item = f64> + ExactSizeIterator + Clone,
+    {
+        let n_samples = samples.len();
+        if n_samples == 0 {
             self.reports_rejected += 1;
             obs_metrics().reports_rejected.inc();
             return Err(IngestError::EmptyReport);
         }
-        if !self.index.in_bounds(report.zone) {
+        if !self.index.in_bounds(zone) {
             self.reports_rejected += 1;
             obs_metrics().reports_rejected.inc();
-            return Err(IngestError::UnknownZone(report.zone));
+            return Err(IngestError::UnknownZone(zone));
         }
         // Classification pass: count malformed samples without
         // allocating a scratch buffer (the ingest path is O(1) memory
         // per report).
         let mut summary = IngestSummary::default();
-        for &s in &report.samples {
+        for s in samples.clone() {
             if !s.is_finite() {
                 summary.dropped_non_finite += 1;
             } else if s < 0.0 {
@@ -458,34 +485,34 @@ impl Coordinator {
         obs_metrics()
             .malformed_dropped
             .add(u64::from(summary.dropped()));
-        if summary.dropped() as usize == report.samples.len() {
+        if summary.dropped() as usize == n_samples {
             // Every sample was malformed: drop the report without
             // touching epoch bookkeeping (a garbage report must not
             // roll an epoch over).
             return Ok(summary);
         }
-        let key = (report.zone, report.task.network);
+        let key = (zone, network);
         let default_epoch = self.config.default_epoch;
         let state = self
             .state
             .entry(key)
-            .or_insert_with(|| ZoneState::fresh(default_epoch, report.t));
-        if report.t - state.epoch_start >= state.epoch {
+            .or_insert_with(|| ZoneState::fresh(default_epoch, t));
+        if t - state.epoch_start >= state.epoch {
             Self::finalize_epoch(
                 &mut self.alerts,
                 self.config.change_threshold_sigma,
-                report.zone,
-                report.task.network,
+                zone,
+                network,
                 state,
-                report.t,
+                t,
             );
-            state.epoch_start = report.t;
+            state.epoch_start = t;
             state.current = MomentSketch::new();
             state.issued_this_epoch = 0;
         }
         // Fold pass: valid samples stream straight into the sketch, in
         // report order.
-        for &s in &report.samples {
+        for s in samples {
             if s.is_finite() && s >= 0.0 {
                 state.current.push(s);
                 summary.accepted += 1;

@@ -39,17 +39,23 @@ pub struct Fig07 {
 /// Per-packet UDP samples at `p` over several days (the long-term
 /// reference distribution) and at varied offsets (temporal windows).
 fn samples_at(land: &Landscape, p: &wiscape_geo::GeoPoint, days: i64, cadence_s: i64) -> Vec<f64> {
-    let mut out = Vec::new();
+    // All trains share the point, so the whole sweep's start times go
+    // through the batched probe path (one SoA field pass per point).
+    let mut starts = Vec::new();
     for day in 0..days {
         let mut t = SimTime::at(day, 0.0);
         let end = SimTime::at(day + 1, 0.0);
         while t < end {
-            let train = land
-                .probe_train(NetworkId::NetB, TransportKind::Udp, p, t, 4, 1200)
-                .expect("NetB present");
-            out.extend(train.received_kbps());
+            starts.push(t);
             t = t + SimDuration::from_secs(cadence_s);
         }
+    }
+    let trains = land
+        .probe_trains(NetworkId::NetB, TransportKind::Udp, p, &starts, 4, 1200)
+        .expect("NetB present");
+    let mut out = Vec::new();
+    for train in &trains {
+        out.extend(train.received_kbps());
     }
     out
 }

@@ -39,6 +39,13 @@
 //!   (`channel::codec`); a silently truncating cast on attacker-shaped
 //!   bytes is how length fields become buffer confusion. Use
 //!   `From`/`TryFrom` or explicit `to_le_bytes`/`from_le_bytes`.
+//! * **S004** — no heap allocation inside declared alloc-free hot
+//!   functions (the zero-copy decode path in `channel::codec` and the
+//!   view-ingest path in `channel::server`): `Vec`, `vec!`, `String`,
+//!   `format!`, `collect`, `to_vec`/`to_owned`/`to_string`, `Box`, and
+//!   the owning materializers `to_msg`/`to_message` are all rejected —
+//!   the whole point of the borrowed-view rewrite is that these paths
+//!   touch only the frame buffer.
 //! * **O001** — no ad-hoc telemetry (`eprintln!`/`println!`/`print!`/
 //!   `dbg!`) on instrumented surfaces (`simcore::exec`,
 //!   `core::coordinator`, `channel::{server, link, uplink,
@@ -131,6 +138,13 @@ pub const RULES: &[RuleInfo] = &[
                   attacker-shaped values; use From/TryFrom or to_le_bytes/from_le_bytes",
     },
     RuleInfo {
+        code: "S004",
+        severity: "error",
+        summary: "heap allocation in a declared alloc-free hot function: the zero-copy \
+                  decode/ingest paths must touch only the frame buffer; borrow a view or \
+                  stage outside the hot function",
+    },
+    RuleInfo {
         code: "O001",
         severity: "error",
         summary: "ad-hoc telemetry (eprintln!/println!/print!/dbg!) on an instrumented \
@@ -169,6 +183,9 @@ pub struct FileScope {
     /// O001 applies: this surface reports through the `wiscape-obs`
     /// registry; ad-hoc printing would fork the telemetry path.
     pub instrumented_surface: bool,
+    /// S004 applies inside these named functions: they are declared
+    /// alloc-free hot paths (empty slice = rule off for this file).
+    pub alloc_free_fns: &'static [&'static str],
     /// The whole file is test code (integration tests, benches).
     pub all_test_code: bool,
 }
@@ -630,6 +647,79 @@ fn test_regions(lines: &[StrippedLine]) -> Vec<bool> {
     flags
 }
 
+/// Marks each line belonging to the body (signature through closing
+/// brace) of any `fn` whose name is in `names`, by brace depth — the
+/// same tracking as [`test_regions`], armed on `fn <name>` instead of
+/// `#[cfg(test)]`.
+fn named_fn_regions(lines: &[StrippedLine], names: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    if names.is_empty() {
+        return flags;
+    }
+    let mut depth = 0usize;
+    let mut armed_at: Option<usize> = None;
+    let mut region_until: Vec<usize> = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let ids: Vec<(usize, &str)> = idents(code).collect();
+        for pair in ids.windows(2) {
+            if pair[0].1 == "fn" && names.contains(&pair[1].1) {
+                armed_at = Some(depth);
+            }
+        }
+        if !region_until.is_empty() || armed_at.is_some() {
+            flags[n] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(d) = armed_at {
+                        if depth == d {
+                            region_until.push(d);
+                            armed_at = None;
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if region_until.last() == Some(&depth) {
+                        region_until.pop();
+                    }
+                }
+                ';' => {
+                    // A bodyless signature (trait method declaration).
+                    if let Some(d) = armed_at {
+                        if depth == d && region_until.is_empty() {
+                            armed_at = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+/// Identifiers whose presence in an alloc-free hot function means a heap
+/// allocation (or an owning materialization) happened on the zero-copy
+/// path (S004 targets). `to_msg`/`to_message` are this workspace's
+/// view-to-owned materializers — allocation by construction.
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec",
+    "vec",
+    "String",
+    "format",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+    "Box",
+    "to_msg",
+    "to_message",
+];
+
 // ---------------------------------------------------------------------
 // Suppressions.
 // ---------------------------------------------------------------------
@@ -682,6 +772,7 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mu
     outcome.files_scanned += 1;
     let lines = strip_source(source);
     let in_test = test_regions(&lines);
+    let in_alloc_free = named_fn_regions(&lines, scope.alloc_free_fns);
 
     // Collect lint:allow sites first (they can suppress findings on
     // their own line or the line below).
@@ -882,6 +973,23 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mu
                 }
             }
         }
+        if in_alloc_free[n] && !test {
+            for name in ALLOC_TOKENS {
+                if has_ident(code, name) {
+                    push_violation(
+                        &mut findings,
+                        lineno,
+                        "S004",
+                        format!(
+                            "heap allocation ({name}) in a declared alloc-free hot \
+                             function: the zero-copy decode/ingest path must touch only \
+                             the frame buffer; borrow a view or stage outside this \
+                             function"
+                        ),
+                    );
+                }
+            }
+        }
         if scope.wire_decode_surface && !test {
             if let Some(target) = numeric_as_cast(code) {
                 push_violation(
@@ -979,6 +1087,18 @@ pub fn scope_for(rel: &Path) -> FileScope {
             || rel == Path::new("crates/core/src/agent.rs")
             || rel == Path::new("crates/channel/src/server.rs"),
         wire_decode_surface: rel == Path::new("crates/channel/src/codec.rs"),
+        alloc_free_fns: if rel == Path::new("crates/channel/src/codec.rs") {
+            &[
+                "crc32",
+                "decode_body_ref",
+                "decode_prefix_ref",
+                "next_frame",
+            ]
+        } else if rel == Path::new("crates/channel/src/server.rs") {
+            &["handle_report_view", "commit_view"]
+        } else {
+            &[]
+        },
         instrumented_surface: rel == Path::new("crates/simcore/src/exec.rs")
             || rel == Path::new("crates/core/src/coordinator.rs")
             || rel == Path::new("crates/channel/src/server.rs")

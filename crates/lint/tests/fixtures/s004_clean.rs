@@ -1,0 +1,11 @@
+// Fixture: S004 negative — the hot function only borrows and slices;
+// owning helpers outside the alloc-free list may allocate.
+pub fn decode_body_ref(body: &[u8]) -> Option<(&[u8], &[u8])> {
+    let split = body.len().min(4);
+    let (head, tail) = body.split_at(split);
+    Some((head, tail))
+}
+
+pub fn materialize(body: &[u8]) -> Vec<u8> {
+    body.to_vec()
+}

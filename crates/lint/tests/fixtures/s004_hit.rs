@@ -1,0 +1,14 @@
+// Fixture: S004 positive — heap allocations inside declared alloc-free
+// hot functions (scope lists `decode_body_ref` and `commit_view`).
+pub fn decode_body_ref(body: &[u8]) -> Vec<u8> {
+    let owned = body.to_vec();
+    let label = format!("{} bytes", owned.len());
+    let mut out = Vec::with_capacity(label.len());
+    out.extend(label.into_bytes());
+    out
+}
+
+// An unlisted function may allocate freely — no findings below here.
+pub fn untracked(body: &[u8]) -> Vec<u8> {
+    body.to_vec()
+}

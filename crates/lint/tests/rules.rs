@@ -245,6 +245,40 @@ fn s003_only_applies_to_the_wire_decode_surface() {
     assert!(lint_fixture("s003_hit.rs", FileScope::default()).is_clean());
 }
 
+fn alloc_free() -> FileScope {
+    FileScope {
+        alloc_free_fns: &["decode_body_ref", "commit_view"],
+        ..FileScope::default()
+    }
+}
+
+#[test]
+fn s004_hit_allow_clean() {
+    let hit = lint_fixture("s004_hit.rs", alloc_free());
+    assert_hits(&hit, "S004", 4);
+    // The unlisted `untracked` fn (line 12 on) allocates without findings.
+    for v in &hit.violations {
+        assert!(v.line < 11, "finding outside the listed fns: {v:?}");
+    }
+    assert_suppressed(&lint_fixture("s004_allow.rs", alloc_free()), "S004", 1);
+    assert!(lint_fixture("s004_clean.rs", alloc_free()).is_clean());
+}
+
+#[test]
+fn s004_only_applies_to_listed_functions() {
+    assert!(lint_fixture("s004_hit.rs", FileScope::default()).is_clean());
+}
+
+#[test]
+fn s004_exempts_test_code() {
+    let scope = FileScope {
+        alloc_free_fns: &["decode_body_ref", "commit_view"],
+        all_test_code: true,
+        ..FileScope::default()
+    };
+    assert!(lint_fixture("s004_hit.rs", scope).is_clean());
+}
+
 fn instrumented() -> FileScope {
     FileScope {
         instrumented_surface: true,

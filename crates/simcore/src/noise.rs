@@ -74,6 +74,68 @@ impl ValueNoise1D {
             0.0
         }
     }
+
+    /// Pre-forks the octave layers of [`ValueNoise1D::fbm`] so repeated
+    /// evaluations of the same fractal track skip the per-call stream
+    /// forking. [`FbmLayers1D::at`] is bitwise identical to
+    /// `self.fbm(x, octaves, gain)` for every `x`.
+    pub fn fbm_layers(&self, octaves: u32, gain: f64) -> FbmLayers1D {
+        let mut layers = Vec::with_capacity(octaves as usize);
+        let mut amp = 1.0;
+        let mut freq = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            layers.push(FbmLayer {
+                layer: ValueNoise1D {
+                    stream: self.stream.fork_idx(1000 + o as u64),
+                },
+                amp,
+                freq,
+            });
+            norm += amp;
+            amp *= gain;
+            freq *= 2.0;
+        }
+        FbmLayers1D { layers, norm }
+    }
+}
+
+/// One pre-forked octave of a 1-D fractal sum.
+#[derive(Debug, Clone, Copy)]
+struct FbmLayer {
+    layer: ValueNoise1D,
+    amp: f64,
+    freq: f64,
+}
+
+/// The octave layers of one [`ValueNoise1D::fbm`] track, pre-forked by
+/// [`ValueNoise1D::fbm_layers`].
+///
+/// The per-octave amplitudes, frequencies, and the normalization are the
+/// exact values the `fbm` loop produces, and [`FbmLayers1D::at`] sums the
+/// layers in the same order, so results are bitwise identical to calling
+/// `fbm` with the same `(octaves, gain)` — only the stream-forking and
+/// amplitude bookkeeping are hoisted out of the per-`x` path.
+#[derive(Debug, Clone)]
+pub struct FbmLayers1D {
+    layers: Vec<FbmLayer>,
+    norm: f64,
+}
+
+impl FbmLayers1D {
+    /// Evaluates the fractal sum at `x`, bitwise identical to
+    /// [`ValueNoise1D::fbm`] on the originating track.
+    pub fn at(&self, x: f64) -> f64 {
+        let mut sum = 0.0;
+        for l in &self.layers {
+            sum += l.amp * l.layer.at(x * l.freq);
+        }
+        if self.norm > 0.0 {
+            sum / self.norm
+        } else {
+            0.0
+        }
+    }
 }
 
 /// 2-D value noise: a smooth function of the plane with values in
@@ -237,6 +299,22 @@ mod tests {
         let eps = 1e-4;
         assert!((f.at(-eps, 0.5) - f.at(eps, 0.5)).abs() < 0.01);
         assert!((f.at(-5.5, -3.5) - f.at(5.5, 3.5)).abs() > 1e-9);
+    }
+
+    #[test]
+    fn fbm_layers_match_fbm_bitwise() {
+        let n = n1(17);
+        for (octaves, gain) in [(0u32, 0.5), (1, 0.5), (3, 0.5), (5, 0.6), (7, 0.35)] {
+            let layers = n.fbm_layers(octaves, gain);
+            for i in -500..500 {
+                let x = i as f64 * 0.217;
+                assert_eq!(
+                    layers.at(x),
+                    n.fbm(x, octaves, gain),
+                    "octaves={octaves} gain={gain} x={x}"
+                );
+            }
+        }
     }
 
     #[test]

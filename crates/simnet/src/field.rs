@@ -507,17 +507,145 @@ impl NetworkField {
         self.link_quality_with(&self.resolve(p), t)
     }
 
-    /// Evaluates link quality for a batch of queries through one
-    /// [`FieldCursor`], returning results in query order. Equivalent to
-    /// (and bitwise identical with) calling
-    /// [`NetworkField::link_quality`] per query, but amortizes point and
-    /// cell resolution across queries that share locations or cells.
+    /// Evaluates link quality for a batch of queries, returning results
+    /// in query order, bitwise identical to calling
+    /// [`NetworkField::link_quality`] per query.
+    ///
+    /// The batch is split into *runs* of consecutive queries at the same
+    /// point. Each run is evaluated structure-of-arrays style: every
+    /// component (drift, diurnal, event factors) sweeps the whole run
+    /// through a flat `f64` scratch buffer before the next component
+    /// starts, and [`LinkQuality`] values are only assembled in a final
+    /// combine pass. Point resolution, drift-octave stream forking, and
+    /// per-event spatial weights are hoisted out of the per-time loop;
+    /// the scalar expression evaluated per element is unchanged, which is
+    /// what keeps the results bitwise identical.
     pub fn link_quality_batch(&self, queries: &[(GeoPoint, SimTime)]) -> Vec<LinkQuality> {
+        let mut out = Vec::with_capacity(queries.len());
+        let mut scratch = BatchScratch::default();
+        // Cursor only for point/cell resolution: it memoizes per-cell
+        // state across runs that revisit cells.
         let mut cursor = FieldCursor::new(self);
-        queries
-            .iter()
-            .map(|(p, t)| cursor.link_quality(p, *t))
-            .collect()
+        let mut i = 0;
+        while i < queries.len() {
+            let p = queries[i].0;
+            let mut j = i + 1;
+            while j < queries.len() && queries[j].0 == p {
+                j += 1;
+            }
+            let ctx = *cursor.resolve(&p);
+            self.eval_run_into(&ctx, &queries[i..j], &mut scratch, &mut out);
+            i = j;
+        }
+        out
+    }
+
+    /// Evaluates one same-point run of `queries` into `out`, component by
+    /// component over `scratch`. Every element-wise expression is the one
+    /// [`NetworkField::link_quality_with`] evaluates, with identical
+    /// inputs and operation order, so the appended results are bitwise
+    /// identical to per-query evaluation.
+    fn eval_run_into(
+        &self,
+        ctx: &PointCtx,
+        run: &[(GeoPoint, SimTime)],
+        s: &mut BatchScratch,
+        out: &mut Vec<LinkQuality>,
+    ) {
+        let n = run.len();
+        s.reset(n);
+
+        // Drift pass: fork the track's fbm octaves once, then sweep the
+        // run. `drift_value` computes `fbm(x / 16.0, 5, 0.5)` on exactly
+        // these layers with exactly this `x`.
+        let layers = ctx.track.fbm_layers(5, 0.5);
+        let tau_secs = ctx.tau.as_secs_f64();
+        for (k, (_, t)) in run.iter().enumerate() {
+            let x = t.as_secs_f64() / tau_secs;
+            s.drift[k] = (1.0 + ctx.drift_amp * layers.at(x / 16.0)).max(0.05);
+        }
+
+        // Diurnal pass: `load(t)` is shared between the throughput and
+        // latency factors (both scalar paths call it with the same `t`).
+        let depth = self.params.diurnal.depth;
+        for (k, (_, t)) in run.iter().enumerate() {
+            let load = self.params.diurnal.load(*t);
+            s.diurnal_tput[k] = 1.0 - depth * (load - 0.5);
+            s.diurnal_rtt[k] = 1.0 + depth * (load - 0.5);
+        }
+
+        // Event pass, event-major so each event's spatial weight is
+        // computed once per run. The factor products accumulate in event
+        // order starting from 1.0 — the fold `iter().product()` performs
+        // in the scalar path. An event with zero spatial weight
+        // contributes a factor of exactly 1.0, which multiplication
+        // leaves bitwise unchanged, so those events are skipped.
+        let p = &ctx.p;
+        for e in &self.events {
+            let w_spatial = e.spatial_weight(p);
+            if w_spatial == 0.0 {
+                continue;
+            }
+            for (k, (_, t)) in run.iter().enumerate() {
+                let w = e.activation(*t) * w_spatial;
+                s.event_rtt[k] *= 1.0 + (e.latency_multiplier - 1.0) * w;
+                s.event_tput[k] *= 1.0 + (e.throughput_multiplier - 1.0) * w;
+            }
+        }
+
+        // Combine pass: assemble each LinkQuality from the precomputed
+        // components through the same `*_value` helpers the scalar path
+        // uses.
+        for k in 0..n {
+            let udp_kbps = self.udp_value(
+                ctx.spatial_tput,
+                s.drift[k],
+                s.diurnal_tput[k],
+                s.event_tput[k],
+                ctx.degraded,
+            );
+            out.push(LinkQuality {
+                tcp_kbps: self.tcp_value(udp_kbps),
+                udp_kbps,
+                rtt_ms: self.rtt_value(
+                    ctx.spatial_rtt,
+                    s.drift[k],
+                    s.diurnal_rtt[k],
+                    s.event_rtt[k],
+                ),
+                jitter_ms: self.jitter_value(ctx.spatial_jitter, s.event_rtt[k]),
+                loss_rate: self.loss_value(ctx.degraded, s.event_rtt[k]),
+            });
+        }
+    }
+}
+
+/// Flat per-component scratch buffers for one batch run, reused across
+/// runs so a whole batch allocates each buffer at most once.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    drift: Vec<f64>,
+    diurnal_tput: Vec<f64>,
+    diurnal_rtt: Vec<f64>,
+    /// Product of per-event latency factors, accumulated event-major.
+    event_rtt: Vec<f64>,
+    /// Product of per-event throughput factors, accumulated event-major.
+    event_tput: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Resizes every buffer to `n`, resetting the event products to 1.
+    fn reset(&mut self, n: usize) {
+        self.drift.clear();
+        self.drift.resize(n, 0.0);
+        self.diurnal_tput.clear();
+        self.diurnal_tput.resize(n, 0.0);
+        self.diurnal_rtt.clear();
+        self.diurnal_rtt.resize(n, 0.0);
+        self.event_rtt.clear();
+        self.event_rtt.resize(n, 1.0);
+        self.event_tput.clear();
+        self.event_tput.resize(n, 1.0);
     }
 }
 
@@ -882,6 +1010,32 @@ mod tests {
     fn batch_matches_individual_queries() {
         let f = field(NetworkId::NetC);
         let queries = query_walk(200);
+        let batch = f.link_quality_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for ((p, t), q) in queries.iter().zip(&batch) {
+            assert_eq!(*q, f.link_quality(p, *t));
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_queries_on_trains() {
+        // Train-shaped batches — long same-point runs with a time sweep —
+        // exercise the hoisted drift-octave and event-weight paths.
+        let f = field(NetworkId::NetB);
+        let mut queries = Vec::new();
+        for (p, t0) in query_walk(12) {
+            for k in 0..40u64 {
+                queries.push((p, t0 + SimDuration::from_secs_f64(k as f64 * 37.5)));
+            }
+        }
+        // Include the stadium during a game so event factors are live.
+        let stadium = stadium_location();
+        for k in 0..60i64 {
+            queries.push((
+                stadium,
+                SimTime::at(5, 12.0) + SimDuration::from_secs(k * 60),
+            ));
+        }
         let batch = f.link_quality_batch(&queries);
         assert_eq!(batch.len(), queries.len());
         for ((p, t), q) in queries.iter().zip(&batch) {

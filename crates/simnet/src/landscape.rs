@@ -150,6 +150,31 @@ impl Landscape {
         ))
     }
 
+    /// Runs one probe train per entry of `starts`, all from point `p`,
+    /// batching the field evaluations (see
+    /// [`probe::probe_trains_with_device`]). Each train is bitwise
+    /// identical to the corresponding [`Landscape::probe_train`] call.
+    pub fn probe_trains(
+        &self,
+        net: NetworkId,
+        kind: TransportKind,
+        p: &GeoPoint,
+        starts: &[SimTime],
+        n_packets: u32,
+        size_bytes: u32,
+    ) -> Result<Vec<UdpTrain>, UnknownNetwork> {
+        Ok(probe::probe_trains_with_device(
+            self.field(net)?,
+            &self.probe_stream.fork_idx(net.index()),
+            kind,
+            p,
+            starts,
+            n_packets,
+            size_bytes,
+            1.0,
+        ))
+    }
+
     /// Runs a back-to-back probe train (see [`probe::probe_train`]).
     pub fn probe_train(
         &self,
@@ -244,6 +269,24 @@ mod tests {
             .probe_train(NetworkId::NetB, TransportKind::Udp, &p, t, 30, 1200)
             .unwrap();
         assert_eq!(ta.packets, tb.packets);
+    }
+
+    #[test]
+    fn batched_probe_trains_match_scalar_calls() {
+        let land = Landscape::new(LandscapeConfig::madison(5));
+        let p = land.origin().destination(0.8, 2100.0);
+        let starts: Vec<SimTime> = (0..10)
+            .map(|k| SimTime::at(2, 9.0) + SimDuration::from_mins(k * 13))
+            .collect();
+        let batched = land
+            .probe_trains(NetworkId::NetB, TransportKind::Udp, &p, &starts, 6, 1200)
+            .unwrap();
+        for (start, train) in starts.iter().zip(&batched) {
+            let scalar = land
+                .probe_train(NetworkId::NetB, TransportKind::Udp, &p, *start, 6, 1200)
+                .unwrap();
+            assert_eq!(train.packets, scalar.packets);
+        }
     }
 
     #[test]

@@ -46,5 +46,6 @@ pub use field::{DriftCell, FieldCursor, LinkQuality, NetworkField, PointCtx};
 pub use landscape::{Landscape, UnknownNetwork};
 pub use network::{NetworkId, Technology};
 pub use probe::{
-    probe_train_with_device, PacketSample, PingOutcome, TcpDownload, TransportKind, UdpTrain,
+    probe_train_with_device, probe_trains_with_device, PacketSample, PingOutcome, TcpDownload,
+    TransportKind, UdpTrain,
 };

@@ -221,6 +221,73 @@ pub fn probe_train_with_device(
     size_bytes: u32,
     device_factor: f64,
 ) -> UdpTrain {
+    // A train lasts a few seconds at most — far below the drift and
+    // diurnal time scales — so evaluate the field means once.
+    let quality = field.link_quality(p, start);
+    train_from_quality(
+        field,
+        stream,
+        kind,
+        start,
+        n_packets,
+        size_bytes,
+        device_factor,
+        &quality,
+    )
+}
+
+/// Generates many probe trains from the same point, one per entry of
+/// `starts`, batching the field evaluations through
+/// [`NetworkField::link_quality_batch`]. Each returned train is bitwise
+/// identical to [`probe_train_with_device`] called with the matching
+/// start time (packet randomness is keyed by send times only, and the
+/// batched field means are bitwise identical to per-query evaluation).
+// lint:allow(S001): probe parameters mirror the wire-level probe train; a struct would obscure the 1:1 mapping.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_trains_with_device(
+    field: &NetworkField,
+    stream: &StreamRng,
+    kind: TransportKind,
+    p: &GeoPoint,
+    starts: &[SimTime],
+    n_packets: u32,
+    size_bytes: u32,
+    device_factor: f64,
+) -> Vec<UdpTrain> {
+    let queries: Vec<(GeoPoint, SimTime)> = starts.iter().map(|t| (*p, *t)).collect();
+    let qualities = field.link_quality_batch(&queries);
+    starts
+        .iter()
+        .zip(&qualities)
+        .map(|(start, quality)| {
+            train_from_quality(
+                field,
+                stream,
+                kind,
+                *start,
+                n_packets,
+                size_bytes,
+                device_factor,
+                quality,
+            )
+        })
+        .collect()
+}
+
+/// Generates the packet records of one train from pre-evaluated field
+/// means — the shared tail of the scalar and batched train paths.
+// lint:allow(S001): probe parameters mirror the wire-level probe train; a struct would obscure the 1:1 mapping.
+#[allow(clippy::too_many_arguments)]
+fn train_from_quality(
+    field: &NetworkField,
+    stream: &StreamRng,
+    kind: TransportKind,
+    start: SimTime,
+    n_packets: u32,
+    size_bytes: u32,
+    device_factor: f64,
+    quality: &crate::field::LinkQuality,
+) -> UdpTrain {
     let params = field.params();
     let (cv, kind_label) = match kind {
         TransportKind::Tcp => (params.fine_cv_tcp, 1u64),
@@ -228,10 +295,7 @@ pub fn probe_train_with_device(
     };
     let mut packets = Vec::with_capacity(n_packets as usize);
     let mut send_time = start;
-    // A train lasts a few seconds at most — far below the drift and
-    // diurnal time scales — so evaluate the field means once.
     let device_factor = device_factor.clamp(0.05, 1.0);
-    let quality = field.link_quality(p, start);
     let mean_kbps = device_factor
         * match kind {
             TransportKind::Tcp => quality.tcp_kbps,
@@ -527,6 +591,41 @@ mod tests {
             })
             .count();
         assert!(lost > 10, "expected frequent failures, got {lost}/500");
+    }
+
+    #[test]
+    fn batched_trains_match_scalar_trains_bitwise() {
+        let (f, s) = setup();
+        let p = healthy_point(&f);
+        let starts: Vec<SimTime> = (0..25)
+            .map(|k| SimTime::at(2, 9.0) + SimDuration::from_mins(k * 11))
+            .collect();
+        for device_factor in [1.0, 0.62] {
+            let batched = probe_trains_with_device(
+                &f,
+                &s,
+                TransportKind::Udp,
+                &p,
+                &starts,
+                8,
+                1200,
+                device_factor,
+            );
+            assert_eq!(batched.len(), starts.len());
+            for (start, train) in starts.iter().zip(&batched) {
+                let scalar = probe_train_with_device(
+                    &f,
+                    &s,
+                    TransportKind::Udp,
+                    &p,
+                    *start,
+                    8,
+                    1200,
+                    device_factor,
+                );
+                assert_eq!(train.packets, scalar.packets);
+            }
+        }
     }
 
     #[test]

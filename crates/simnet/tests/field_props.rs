@@ -1,0 +1,70 @@
+//! Property tests for the SoA batch field evaluator.
+//!
+//! The contract under test: [`NetworkField::link_quality_batch`] is
+//! bitwise identical to per-query [`NetworkField::link_quality`] (and to
+//! a [`FieldCursor`] sweep) for *any* mix of run lengths, seeds, and
+//! time orderings — including train-shaped batches (one point, many
+//! times), walk-shaped batches (every point fresh), and batches that
+//! revisit earlier points.
+
+use proptest::prelude::*;
+use wiscape_simcore::{SimDuration, SimTime};
+use wiscape_simnet::{FieldCursor, LandscapeConfig, NetworkField, NetworkId};
+
+/// A batch built from proptest-chosen run structure: each `(bearing_deg,
+/// dist_m, run_len)` triple contributes one point queried `run_len`
+/// times at successive offsets.
+fn arb_batch() -> impl Strategy<Value = Vec<(f64, f64, usize, i64)>> {
+    prop::collection::vec(
+        (0.0..360.0f64, 0.0..12_000.0f64, 1..12usize, 0..86_400i64),
+        1..12,
+    )
+}
+
+fn quality_bits(q: &wiscape_simnet::LinkQuality) -> [u64; 5] {
+    [
+        q.tcp_kbps.to_bits(),
+        q.udp_kbps.to_bits(),
+        q.rtt_ms.to_bits(),
+        q.jitter_ms.to_bits(),
+        q.loss_rate.to_bits(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_is_bitwise_identical_to_scalar_and_cursor(
+        seed in 0..64u64,
+        runs in arb_batch(),
+    ) {
+        let cfg = LandscapeConfig::madison(seed);
+        let field = NetworkField::new(&cfg, NetworkId::NetB).expect("NetB present");
+        let origin = cfg.origin;
+        let mut queries = Vec::new();
+        for (bearing, dist, run_len, t0) in &runs {
+            let p = origin.destination(*bearing, *dist);
+            for k in 0..*run_len {
+                let t = SimTime::from_micros(*t0 * 1_000_000)
+                    + SimDuration::from_secs(k as i64 * 37);
+                queries.push((p, t));
+            }
+        }
+        let batch = field.link_quality_batch(&queries);
+        prop_assert_eq!(batch.len(), queries.len());
+        let mut cursor = FieldCursor::new(&field);
+        for ((p, t), q) in queries.iter().zip(&batch) {
+            prop_assert_eq!(
+                quality_bits(q),
+                quality_bits(&field.link_quality(p, *t)),
+                "scalar mismatch at ({:?}, {:?})", p, t
+            );
+            prop_assert_eq!(
+                quality_bits(q),
+                quality_bits(&cursor.link_quality(p, *t)),
+                "cursor mismatch at ({:?}, {:?})", p, t
+            );
+        }
+    }
+}

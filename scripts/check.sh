@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # The full local CI gate: formatting, clippy (warnings are errors),
 # wiscape-lint (determinism & soundness rules, report committed to
-# results/LINT_report.json), and the test suite.
+# results/LINT_report.json), the test suite, and a perf smoke test of
+# the two guarded hot paths (zero-copy decode, SoA batch evaluation).
+# Set WISCAPE_SKIP_PERF_SMOKE=1 to skip the perf step (e.g. on shared
+# or throttled machines where throughput floors are meaningless).
 #
 #   scripts/check.sh
 set -euo pipefail
@@ -22,5 +25,12 @@ cargo test -q
 
 echo "== cargo test --doc"
 cargo test -q --doc --workspace
+
+if [[ "${WISCAPE_SKIP_PERF_SMOKE:-0}" == "1" ]]; then
+    echo "== perf smoke (skipped: WISCAPE_SKIP_PERF_SMOKE=1)"
+else
+    echo "== perf smoke (baseline --smoke)"
+    cargo run --release -q -p wiscape-bench --bin baseline -- --smoke
+fi
 
 echo "== check.sh: all gates passed"
