@@ -379,8 +379,9 @@ impl ChannelServer {
             if now - key.0 < settle {
                 break;
             }
-            let report = self.staged.remove(&key).expect("first key exists");
-            self.commit(&report);
+            if let Some(report) = self.staged.remove(&key) {
+                self.commit(&report);
+            }
         }
     }
 
@@ -391,8 +392,9 @@ impl ChannelServer {
         // collected-keys version used) without materializing the whole
         // key set — the staging buffer can hold a full settle window.
         while let Some((&key, _)) = self.staged.iter().next() {
-            let report = self.staged.remove(&key).expect("first key exists");
-            self.commit(&report);
+            if let Some(report) = self.staged.remove(&key) {
+                self.commit(&report);
+            }
         }
         self.coordinator.flush(end);
     }

@@ -70,6 +70,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -154,7 +156,27 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         code: "L001",
         severity: "error",
-        summary: "lint:allow without a justification string (or naming an unknown rule)",
+        summary: "lint:allow without a justification string (or naming an unknown rule), or \
+                  total suppression count over the committed budget",
+    },
+    RuleInfo {
+        code: "P001",
+        severity: "error",
+        summary: "transitive panic: a function reachable from the declared ingest/decode \
+                  surface contains unwrap/expect/panic-family macros or [idx] indexing; \
+                  the diagnostic carries the witness call chain",
+    },
+    RuleInfo {
+        code: "A001",
+        severity: "error",
+        summary: "transitive allocation: a callee of a declared alloc-free hot function \
+                  allocates; alloc-freedom must hold through the whole call chain",
+    },
+    RuleInfo {
+        code: "T001",
+        severity: "error",
+        summary: "determinism taint: a wall-clock/ambient-randomness source in a \
+                  quarantined file is reachable from a deterministic crate's call chain",
     },
 ];
 
@@ -205,6 +227,10 @@ pub struct Violation {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For the transitive rules (P001/A001/T001): the shortest witness
+    /// call chain from an analysis root to the offending function,
+    /// root symbol first. Empty for the per-file rules.
+    pub witness: Vec<String>,
 }
 
 /// One `lint:allow` site (the suppression inventory).
@@ -233,6 +259,9 @@ pub struct Summary {
     pub violations_by_rule: Vec<(String, usize)>,
     /// Suppressions per rule code.
     pub suppressions_by_rule: Vec<(String, usize)>,
+    /// The enforced suppression budget (L001 gate), when one applied to
+    /// this run; `null` for fixture/partial runs.
+    pub allow_budget: Option<usize>,
 }
 
 /// The machine-readable lint report (`wiscape-lint --json`).
@@ -272,13 +301,13 @@ impl Report {
 /// and block comments are prose, so a `lint:allow` mentioned there is
 /// documentation, not a directive.
 #[derive(Debug, Clone, Default)]
-struct StrippedLine {
-    code: String,
-    comment: String,
-    original: String,
+pub(crate) struct StrippedLine {
+    pub(crate) code: String,
+    pub(crate) comment: String,
+    pub(crate) original: String,
 }
 
-fn strip_source(source: &str) -> Vec<StrippedLine> {
+pub(crate) fn strip_source(source: &str) -> Vec<StrippedLine> {
     #[derive(PartialEq)]
     enum Mode {
         Code,
@@ -468,7 +497,7 @@ fn ident_char(c: char) -> bool {
 // ---------------------------------------------------------------------
 
 /// Iterates (byte offset, identifier) over a stripped code line.
-fn idents(line: &str) -> impl Iterator<Item = (usize, &str)> {
+pub(crate) fn idents(line: &str) -> impl Iterator<Item = (usize, &str)> {
     let bytes = line.as_bytes();
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -493,7 +522,7 @@ fn idents(line: &str) -> impl Iterator<Item = (usize, &str)> {
     out.into_iter()
 }
 
-fn has_ident(line: &str, name: &str) -> bool {
+pub(crate) fn has_ident(line: &str, name: &str) -> bool {
     idents(line).any(|(_, id)| id == name)
 }
 
@@ -554,7 +583,7 @@ fn nested_vec_f64(line: &str) -> bool {
 
 /// Matches `first :: second` on identifier boundaries (whitespace
 /// tolerated around the `::`).
-fn has_path(line: &str, first: &str, second: &str) -> bool {
+pub(crate) fn has_path(line: &str, first: &str, second: &str) -> bool {
     for (off, id) in idents(line) {
         if id != first {
             continue;
@@ -599,7 +628,7 @@ fn has_allow_attr(line: &str) -> bool {
 
 /// Marks each line that belongs to a `#[cfg(test)]` item (module, fn,
 /// or single statement), by brace depth.
-fn test_regions(lines: &[StrippedLine]) -> Vec<bool> {
+pub(crate) fn test_regions(lines: &[StrippedLine]) -> Vec<bool> {
     let mut flags = vec![false; lines.len()];
     let mut depth = 0usize;
     // Armed: a `#[cfg(test)]` was seen at `arm_depth` and we are waiting
@@ -706,7 +735,7 @@ fn named_fn_regions(lines: &[StrippedLine], names: &[&str]) -> Vec<bool> {
 /// allocation (or an owning materialization) happened on the zero-copy
 /// path (S004 targets). `to_msg`/`to_message` are this workspace's
 /// view-to-owned materializers — allocation by construction.
-const ALLOC_TOKENS: &[&str] = &[
+pub(crate) const ALLOC_TOKENS: &[&str] = &[
     "Vec",
     "vec",
     "String",
@@ -1023,6 +1052,7 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope, outcome: &mu
                     line: lineno,
                     message,
                     snippet: lines[lineno - 1].original.trim().to_string(),
+                    witness: Vec::new(),
                 });
             }
         }
@@ -1145,20 +1175,172 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints the whole workspace rooted at `root`.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+/// The committed suppression budget (the L001 gate): the exact number
+/// of inventoried `lint:allow` sites in the tree. Adding a suppression
+/// without raising this (and defending the raise in review) fails the
+/// workspace lint.
+pub const ALLOW_BUDGET: usize = 20;
+
+/// Builds the interprocedural-analysis configuration for the real
+/// workspace: P001 roots are the ingest/decode surface (coordinator,
+/// agent, channel server, and the whole wire codec), A001 roots are the
+/// declared S004 alloc-free hot functions, T001 roots are every
+/// deterministic-crate file, and the taint sources are the wall-clock
+/// quarantine surfaces (`bench`, `obs::timing`). `files` is the scanned
+/// `(rel_path, source)` list — only its paths are consulted.
+pub fn workspace_graph_config(files: &[(String, String)]) -> graph::GraphConfig {
+    let mut deterministic_files = Vec::new();
+    let mut taint_source_files = Vec::new();
+    let mut panic_boundaries = Vec::new();
+    for (rel, _) in files {
+        let scope = scope_for(Path::new(rel));
+        if scope.deterministic {
+            deterministic_files.push(rel.clone());
+        }
+        if scope.wallclock_exempt {
+            taint_source_files.push(rel.clone());
+        }
+        if rel.starts_with("crates/simnet/") {
+            panic_boundaries.push((
+                rel.clone(),
+                "simulator-side field evaluation: agents call probe_train only inside \
+                 the simulation harness, never on deployed-client input; the SoA \
+                 scratch-buffer indexing there is bounds-established at batch setup"
+                    .to_string(),
+            ));
+        }
+    }
+    graph::GraphConfig {
+        panic_roots: vec![
+            graph::FnSpec::file("crates/core/src/coordinator.rs"),
+            graph::FnSpec::file("crates/core/src/agent.rs"),
+            graph::FnSpec::file("crates/channel/src/server.rs"),
+            graph::FnSpec::file("crates/channel/src/codec.rs"),
+        ],
+        panic_local_files: vec![
+            "crates/core/src/coordinator.rs".to_string(),
+            "crates/core/src/agent.rs".to_string(),
+        ],
+        panic_boundaries,
+        alloc_roots: vec![
+            graph::FnSpec::func("crates/channel/src/codec.rs", "crc32"),
+            graph::FnSpec::func("crates/channel/src/codec.rs", "decode_body_ref"),
+            graph::FnSpec::func("crates/channel/src/codec.rs", "decode_prefix_ref"),
+            graph::FnSpec::func("crates/channel/src/codec.rs", "next_frame"),
+            graph::FnSpec::func("crates/channel/src/server.rs", "handle_report_view"),
+            graph::FnSpec::func("crates/channel/src/server.rs", "commit_view"),
+        ],
+        deterministic_files,
+        taint_source_files,
+    }
+}
+
+/// Merges graph findings into an outcome, honoring `lint:allow`
+/// suppressions already collected by the per-file pass (same rule, on
+/// the site's line or the line above). `snippet_of(file, line)` supplies
+/// the original source line for the diagnostic.
+pub fn apply_graph_findings(
+    findings: Vec<graph::GraphFinding>,
+    snippet_of: &dyn Fn(&str, usize) -> String,
+    outcome: &mut Outcome,
+) {
+    for f in findings {
+        let suppressed = outcome.suppressions.iter_mut().find(|s| {
+            s.rule == f.rule && s.file == f.file && (s.line == f.line || s.line + 1 == f.line)
+        });
+        match suppressed {
+            Some(site) => site.used = true,
+            None => outcome.violations.push(Violation {
+                rule: f.rule.to_string(),
+                severity: "error".to_string(),
+                snippet: snippet_of(&f.file, f.line),
+                file: f.file,
+                line: f.line,
+                message: f.message,
+                witness: f.witness,
+            }),
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root`: the per-file rules plus
+/// the interprocedural P001/A001/T001 pass, under the committed
+/// suppression budget. Returns the report and the call-graph document.
+pub fn lint_workspace_full(root: &Path) -> std::io::Result<(Report, graph::CallGraphDoc)> {
+    lint_workspace_with_budget(root, ALLOW_BUDGET)
+}
+
+/// [`lint_workspace_full`] with an explicit suppression budget
+/// (`lint --max-allows N`).
+pub fn lint_workspace_with_budget(
+    root: &Path,
+    max_allows: usize,
+) -> std::io::Result<(Report, graph::CallGraphDoc)> {
     let mut outcome = Outcome::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in workspace_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let source = std::fs::read_to_string(&path)?;
         let scope = scope_for(&rel);
-        lint_source(&rel.to_string_lossy(), &source, &scope, &mut outcome);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        lint_source(&rel_str, &source, &scope, &mut outcome);
+        if !scope.all_test_code {
+            sources.push((rel_str, source));
+        }
     }
-    Ok(build_report(outcome))
+    let config = workspace_graph_config(&sources);
+    let index = graph::build_index(&sources, &config);
+    let findings = graph::analyze(&index, &config);
+    let by_file: BTreeMap<&str, &str> = sources
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    let snippet_of = |file: &str, line: usize| -> String {
+        by_file
+            .get(file)
+            .and_then(|s| s.lines().nth(line.saturating_sub(1)))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    apply_graph_findings(findings, &snippet_of, &mut outcome);
+    let doc = graph::callgraph_doc(&index, &config);
+    Ok((build_report_with_budget(outcome, Some(max_allows)), doc))
 }
 
-/// Builds the final report from an accumulated outcome.
-pub fn build_report(mut outcome: Outcome) -> Report {
+/// Lints the whole workspace rooted at `root` (report only).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    lint_workspace_full(root).map(|(report, _)| report)
+}
+
+/// Builds the final report from an accumulated outcome (no budget gate;
+/// used by fixture tests that exercise individual rules).
+pub fn build_report(outcome: Outcome) -> Report {
+    build_report_with_budget(outcome, None)
+}
+
+/// Builds the final report, enforcing the suppression budget when one
+/// is given: more `lint:allow` sites than `budget` is itself an L001
+/// violation (anchored to the workspace, not a file), so suppressions
+/// cannot silently accumulate.
+pub fn build_report_with_budget(mut outcome: Outcome, budget: Option<usize>) -> Report {
+    if let Some(b) = budget {
+        if outcome.suppressions.len() > b {
+            outcome.violations.push(Violation {
+                rule: "L001".to_string(),
+                severity: "error".to_string(),
+                file: "(workspace)".to_string(),
+                line: 0,
+                message: format!(
+                    "suppression budget exceeded: {} lint:allow site(s) against a committed \
+                     budget of {b}; remove a suppression or raise ALLOW_BUDGET (and defend \
+                     the raise in review)",
+                    outcome.suppressions.len()
+                ),
+                snippet: String::new(),
+                witness: Vec::new(),
+            });
+        }
+    }
     outcome
         .violations
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
@@ -1174,7 +1356,7 @@ pub fn build_report(mut outcome: Outcome) -> Report {
         *sby.entry(s.rule.clone()).or_default() += 1;
     }
     Report {
-        schema: "wiscape-lint/1".to_string(),
+        schema: "wiscape-lint/2".to_string(),
         tool: format!("wiscape-lint {}", env!("CARGO_PKG_VERSION")),
         files_scanned: outcome.files_scanned,
         rules: RULES.to_vec(),
@@ -1183,6 +1365,7 @@ pub fn build_report(mut outcome: Outcome) -> Report {
             suppressions: outcome.suppressions.len(),
             violations_by_rule: vby.into_iter().collect(),
             suppressions_by_rule: sby.into_iter().collect(),
+            allow_budget: budget,
         },
         violations: outcome.violations,
         suppressions: outcome.suppressions,
@@ -1198,6 +1381,9 @@ pub fn render_text(report: &Report) -> String {
             "{}:{}: {} {}: {}\n    {}\n",
             v.file, v.line, v.severity, v.rule, v.message, v.snippet
         ));
+        if !v.witness.is_empty() {
+            out.push_str(&format!("    witness: {}\n", v.witness.join(" -> ")));
+        }
     }
     out.push_str(&format!(
         "wiscape-lint: {} file(s), {} violation(s), {} suppression(s)\n",

@@ -1,15 +1,20 @@
 //! `wiscape-lint` CLI.
 //!
 //! ```text
-//! wiscape-lint [--root DIR] [--json] [--report PATH] [--quiet]
+//! wiscape-lint [--root DIR] [--json] [--report PATH]
+//!              [--callgraph PATH] [--max-allows N] [--quiet]
 //! ```
 //!
 //! Walks the workspace (default: the nearest ancestor directory whose
 //! `Cargo.toml` declares `[workspace]`), applies the determinism &
-//! soundness rule set, and exits non-zero when any unsuppressed
-//! violation exists. `--json` prints the machine-readable report to
-//! stdout; `--report PATH` also writes it to a file (the CI gate writes
-//! `results/LINT_report.json`).
+//! soundness rule set plus the interprocedural P001/A001/T001 pass, and
+//! exits non-zero when any unsuppressed violation exists. `--json`
+//! prints the machine-readable report to stdout; `--report PATH` also
+//! writes it to a file (the CI gate writes `results/LINT_report.json`);
+//! `--callgraph PATH` writes the deterministic call-graph document
+//! (the CI gate writes `results/CALLGRAPH.json`); `--max-allows N`
+//! overrides the committed suppression budget (default:
+//! `wiscape_lint::ALLOW_BUDGET`).
 
 #![forbid(unsafe_code)]
 
@@ -34,7 +39,10 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: wiscape-lint [--root DIR] [--json] [--report PATH] [--quiet]");
+    eprintln!(
+        "usage: wiscape-lint [--root DIR] [--json] [--report PATH] [--callgraph PATH] \
+         [--max-allows N] [--quiet]"
+    );
     std::process::exit(2);
 }
 
@@ -43,6 +51,8 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut quiet = false;
     let mut report_path: Option<PathBuf> = None;
+    let mut callgraph_path: Option<PathBuf> = None;
+    let mut max_allows = wiscape_lint::ALLOW_BUDGET;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -50,6 +60,16 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--report" => report_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--callgraph" => {
+                callgraph_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--max-allows" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                max_allows = n.parse().unwrap_or_else(|_| {
+                    eprintln!("wiscape-lint: --max-allows expects an integer, got '{n}'");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("wiscape-lint: unknown argument '{other}'");
@@ -76,7 +96,7 @@ fn main() -> ExitCode {
             }
         }
     };
-    let report = match wiscape_lint::lint_workspace(&root) {
+    let (report, callgraph) = match wiscape_lint::lint_workspace_with_budget(&root, max_allows) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("wiscape-lint: scan failed: {e}");
@@ -87,6 +107,19 @@ fn main() -> ExitCode {
         eprintln!("wiscape-lint: report serialization failed: {e}");
         std::process::exit(2);
     });
+    if let Some(path) = &callgraph_path {
+        let body = serde_json::to_string_pretty(&callgraph).unwrap_or_else(|e| {
+            eprintln!("wiscape-lint: call-graph serialization failed: {e}");
+            std::process::exit(2);
+        });
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, format!("{body}\n")) {
+            eprintln!("wiscape-lint: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
     if let Some(path) = &report_path {
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);

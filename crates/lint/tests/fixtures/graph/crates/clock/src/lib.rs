@@ -1,0 +1,16 @@
+//! Fixture quarantined clock crate: the one T001 taint source of the
+//! graph-rule test workspace. Locally exempt from D002 (like
+//! `crates/bench`), so only the transitive rule can flag it.
+
+/// Seeded T001 violation: a wall-clock read reachable from the
+/// deterministic ingest surface.
+pub fn now_micros() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_micros() as u64
+}
+
+/// Not reachable from any root: must never appear in a finding.
+pub fn idle_clock() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,47 @@
+//! Fixture ingest crate: the declared panic-free decode surface of the
+//! graph-rule test workspace. Every public function here is a P001
+//! root; `hot_loop` is additionally the A001 root and the whole file is
+//! the T001 deterministic surface.
+//!
+//! These files are never compiled — they are parsed by the lint graph
+//! tests as plain source text (the `fixtures` directory is excluded
+//! from the workspace scan).
+
+/// Multi-hop chain: decode_frame -> util::parse_header -> util::read_u16,
+/// where the last hop unwraps and slices.
+pub fn decode_frame(buf: &[u8]) -> u16 {
+    util::parse_header(buf)
+}
+
+/// Two routes to the same panicking helper: a direct one-hop call and a
+/// two-hop route via `util::middle`. The reported witness must be the
+/// one-hop chain.
+pub fn decode_fast(buf: &[u8]) -> u8 {
+    let _ = util::middle(buf);
+    util::deep_panic(buf)
+}
+
+/// Cycle entry: `util::ping` and `util::pong` are mutually recursive
+/// and `pong` panics; traversal must terminate and still report it.
+pub fn decode_looping(n: u32) -> u32 {
+    util::ping(n)
+}
+
+/// Ambiguous method resolution: `.poke(..)` matches both
+/// `util::Gauge::poke` and `util::Dial::poke`; only the latter panics.
+pub fn decode_with_probe(buf: &[u8]) -> u32 {
+    let d = util::dial();
+    d.poke(buf.len())
+}
+
+/// A001 root: allocation inside this function is S004's business, but
+/// the callee `util::widen` allocates and must be reported with a
+/// witness chain.
+pub fn hot_loop(buf: &[u8]) -> usize {
+    util::widen(buf)
+}
+
+/// T001: reaches a wall-clock read inside the quarantined clock crate.
+pub fn stamp() -> u64 {
+    clock::now_micros()
+}

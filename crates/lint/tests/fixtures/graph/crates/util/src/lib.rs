@@ -1,0 +1,78 @@
+//! Fixture helper crate reached from the ingest surface. Holds the
+//! seeded violations the graph tests assert on: a deep unwrap, a
+//! panicking cycle member, an ambiguous method pair, and an allocating
+//! callee of the hot path.
+
+/// First hop of the multi-hop chain.
+pub fn parse_header(buf: &[u8]) -> u16 {
+    read_u16(buf)
+}
+
+/// Seeded P001 violation two hops from the surface: slices and unwraps.
+fn read_u16(buf: &[u8]) -> u16 {
+    let pair: [u8; 2] = buf[..2].try_into().unwrap();
+    u16::from_le_bytes(pair)
+}
+
+/// The long route to `deep_panic` (the short route is a direct call
+/// from `ingest::decode_fast`).
+pub fn middle(buf: &[u8]) -> u8 {
+    deep_panic(buf)
+}
+
+/// Seeded P001 violation reachable over two distinct routes.
+pub fn deep_panic(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap()
+}
+
+/// One half of a mutual-recursion cycle.
+pub fn ping(n: u32) -> u32 {
+    if n == 0 {
+        return pong(n);
+    }
+    ping(n - 1)
+}
+
+/// The other half; panics, so the cycle must be traversed exactly once.
+pub fn pong(n: u32) -> u32 {
+    if n > 10 {
+        panic!("fixture overflow");
+    }
+    ping(n) + 1
+}
+
+pub struct Gauge {
+    v: u32,
+}
+
+impl Gauge {
+    /// Benign `poke`: same name and arity as `Dial::poke`.
+    pub fn poke(&self, n: usize) -> u32 {
+        self.v + n as u32
+    }
+}
+
+pub struct Dial {
+    v: u32,
+}
+
+impl Dial {
+    /// Seeded P001 violation behind an ambiguous method call.
+    pub fn poke(&self, n: usize) -> u32 {
+        if n > 8 {
+            panic!("fixture dial out of range");
+        }
+        self.v
+    }
+}
+
+/// Constructor used by the ambiguous-method fixture path.
+pub fn dial() -> Dial {
+    Dial { v: 1 }
+}
+
+/// Seeded A001 violation: allocates in a callee of the hot path.
+pub fn widen(buf: &[u8]) -> usize {
+    let copy = buf.to_vec();
+    copy.len()
+}

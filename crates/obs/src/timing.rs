@@ -59,6 +59,7 @@ impl Drop for WallSpan {
 /// the guard is inert — no clock read, no registration.
 pub fn wall_span(name: &str) -> WallSpan {
     let state = if crate::enabled() {
+        // lint:allow(T001): quarantined wall-clock surface — timing totals land only in the snapshot's byte-identity-exempt `timing` section, never in result bytes (see OBSERVABILITY.md).
         Some((crate::timing_span(name), Instant::now()))
     } else {
         None

@@ -60,8 +60,12 @@ impl Histogram {
             return;
         }
         let idx = self.bin_index(value);
-        self.counts[idx] += 1;
-        self.total += 1;
+        // `bin_index` clamps into range; the guard keeps `total` equal
+        // to the bin sum even if that invariant ever broke.
+        if let Some(count) = self.counts.get_mut(idx) {
+            *count += 1;
+            self.total += 1;
+        }
     }
 
     /// The bin a value falls into (with boundary clamping).

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The full local CI gate: formatting, clippy (warnings are errors),
-# wiscape-lint (determinism & soundness rules, report committed to
-# results/LINT_report.json), the test suite, and a perf smoke test of
-# the two guarded hot paths (zero-copy decode, SoA batch evaluation).
+# wiscape-lint (determinism & soundness rules — local and transitive
+# call-graph proofs; report committed to results/LINT_report.json, call
+# graph to results/CALLGRAPH.json), the test suite, and a perf smoke
+# test of the two guarded hot paths (zero-copy decode, SoA batch
+# evaluation).
 # Set WISCAPE_SKIP_PERF_SMOKE=1 to skip the perf step (e.g. on shared
 # or throttled machines where throughput floors are meaningless).
 #
@@ -16,9 +18,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== wiscape-lint"
-cargo run -q -p lint -- --quiet --report results/LINT_report.json
-echo "   report: results/LINT_report.json"
+echo "== wiscape-lint (local + call-graph rules)"
+cargo run -q -p lint -- --quiet --report results/LINT_report.json \
+    --callgraph results/CALLGRAPH.json
+echo "   report:    results/LINT_report.json"
+echo "   callgraph: results/CALLGRAPH.json"
 
 echo "== cargo test -q"
 cargo test -q
