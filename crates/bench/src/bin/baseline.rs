@@ -11,11 +11,12 @@
 //! `results/BENCH_core.json` (or `--out PATH`). The `WISCAPE_THREADS`
 //! environment variable pins the worker count.
 //!
-//! `--smoke` runs only the fast decode/batch-eval measurements and
-//! exits nonzero if either hot path regressed past its floor (owned
-//! decode under 2M frames/s, or the SoA batch path slower than the
-//! scalar cursor on a train-shaped workload). CI runs this after the
-//! test suite; `WISCAPE_SKIP_PERF_SMOKE=1` skips it there.
+//! `--smoke` runs only the fast decode/batch-eval/WAL measurements and
+//! exits nonzero if a hot path regressed past its floor (owned decode
+//! under 2M frames/s, WAL replay under 1M reports/s, or the SoA batch
+//! path slower than the scalar cursor on a train-shaped workload). CI
+//! runs this after the test suite; `WISCAPE_SKIP_PERF_SMOKE=1` skips
+//! it there.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -121,6 +122,26 @@ struct IngestRates {
     per_zone_state_bytes: usize,
 }
 
+/// WAL durability cost and recovery speed. Append measures the full
+/// commit-before-fold path (encode + log append + sketch fold); replay
+/// measures `DurableCoordinator::recover` over a log of ingest records.
+#[derive(Serialize)]
+struct RecoveryRates {
+    /// `ingest_samples_tagged` calls per second through the
+    /// `DurableCoordinator` (20-sample reports, encode + append + fold).
+    append_report_s: f64,
+    /// Reports replayed per second during recovery (scan + decode +
+    /// re-fold, no snapshot shortcut).
+    replay_report_s: f64,
+    /// Records in the timed replay.
+    replay_records: u64,
+    /// Bytes appended per ingest record (frame overhead included).
+    append_bytes_per_record: f64,
+    /// Encoded full-state snapshot bytes per tracked `(zone, network)`
+    /// cell.
+    snapshot_bytes_per_zone: f64,
+}
+
 #[derive(Serialize)]
 struct BenchCore {
     /// Worker count used (WISCAPE_THREADS or available parallelism).
@@ -130,6 +151,7 @@ struct BenchCore {
     channel: ChannelRates,
     decode: DecodeRates,
     ingest: IngestRates,
+    recovery: RecoveryRates,
     /// Per-experiment wall-clock at Scale::Quick, paper order.
     experiments: Vec<ExperimentTiming>,
     /// Wall-clock of the whole parallel experiment run, seconds.
@@ -403,6 +425,110 @@ fn ingest_rates() -> IngestRates {
     }
 }
 
+fn recovery_rates() -> RecoveryRates {
+    use wiscape_core::{CoordinatorConfig, CoordinatorHandle, ZoneIndex};
+    use wiscape_geo::{BoundingBox, GeoPoint};
+    use wiscape_mobility::ClientId;
+    use wiscape_simnet::NetworkId;
+    use wiscape_wal::{encode_state, DurableCoordinator, WalOptions};
+
+    let budget = 0.5;
+    let origin = GeoPoint::new(39.0, -77.0).expect("valid origin");
+    let bounds = BoundingBox::around(origin, 8000.0);
+    let index = ZoneIndex::new(bounds, 200.0).expect("valid index");
+    // The same 64-zone / 20-sample report shape as `ingest_rates`, so
+    // append_report_s is directly comparable to coordinator_reports_s:
+    // the gap between them is the durability tax.
+    let spots: Vec<(wiscape_core::ZoneId, NetworkId)> = (0..64u64)
+        .map(|i| {
+            let p = origin.destination(i as f64 * 0.7, 400.0 + 90.0 * i as f64);
+            let network = if i.is_multiple_of(2) {
+                NetworkId::NetA
+            } else {
+                NetworkId::NetB
+            };
+            (index.zone_of(&p), network)
+        })
+        .collect();
+    let samples: Vec<f64> = (0..20).map(|k| 900.0 + k as f64).collect();
+    let t = SimTime::at(1, 9.5);
+    let dir = std::env::temp_dir().join("wiscape_bench_wal_append");
+    let opts = WalOptions {
+        snapshot_every: u64::MAX,
+        ..WalOptions::default()
+    };
+    let mut durable =
+        DurableCoordinator::create(&dir, index.clone(), CoordinatorConfig::default(), opts)
+            .expect("temp wal dir writable");
+    let mut seq = 0u64;
+    let append_report_s = rate(budget, || {
+        seq += 1;
+        let (zone, network) = spots[usize::try_from(seq).unwrap_or(0) % spots.len()];
+        black_box(
+            durable
+                .ingest_samples_tagged(
+                    ClientId(u32::try_from(seq % 8).expect("small")),
+                    seq,
+                    zone,
+                    network,
+                    t,
+                    samples.iter().copied(),
+                )
+                .ok(),
+        );
+    });
+    let m = durable.wal_meters();
+    let append_bytes_per_record = m.bytes_appended as f64 / (m.records.max(1)) as f64;
+    durable.shutdown().expect("wal shutdown");
+
+    // Replay: a fresh log of exactly `replay_records` ingest records,
+    // recovered cold (no snapshot, so every record re-folds).
+    let replay_records = 200_000u64;
+    let dir = std::env::temp_dir().join("wiscape_bench_wal_replay");
+    let opts = WalOptions {
+        snapshot_every: u64::MAX,
+        ..WalOptions::default()
+    };
+    let mut durable =
+        DurableCoordinator::create(&dir, index.clone(), CoordinatorConfig::default(), opts)
+            .expect("temp wal dir writable");
+    for seq in 0..replay_records {
+        let (zone, network) = spots[usize::try_from(seq).unwrap_or(0) % spots.len()];
+        durable
+            .ingest_samples_tagged(
+                ClientId(u32::try_from(seq % 8).expect("small")),
+                seq,
+                zone,
+                network,
+                t,
+                samples.iter().copied(),
+            )
+            .ok();
+    }
+    durable.shutdown().expect("wal shutdown");
+    drop(durable);
+    let opts = WalOptions {
+        snapshot_every: u64::MAX,
+        ..WalOptions::default()
+    };
+    let t0 = Instant::now();
+    let (recovered, report) =
+        DurableCoordinator::recover(&dir, index, CoordinatorConfig::default(), opts)
+            .expect("recover the bench log");
+    let replay_s = t0.elapsed().as_secs_f64();
+    assert_eq!(report.replayed, replay_records, "replay covers the log");
+    let mut snap = Vec::new();
+    encode_state(&recovered.coordinator_ref().export_state(), &mut snap);
+    let zones = recovered.coordinator_ref().zones_tracked().max(1);
+    RecoveryRates {
+        append_report_s,
+        replay_report_s: replay_records as f64 / replay_s,
+        replay_records,
+        append_bytes_per_record,
+        snapshot_bytes_per_zone: snap.len() as f64 / zones as f64,
+    }
+}
+
 /// `--smoke`: measure just the two hot paths this repo's perf work
 /// guards, assert their floors, and exit. Floors are deliberately
 /// tolerant — they catch an accidental return to the per-byte CRC /
@@ -426,7 +552,24 @@ fn run_smoke() -> ! {
         decode.view_speedup_vs_owned,
         decode.crc32_gbps,
     );
+    eprintln!("[smoke] wal append + replay...");
+    let recovery = recovery_rates();
+    eprintln!(
+        "[smoke] wal append {:.2}M reports/s, replay {:.2}M reports/s ({} records), \
+         {:.0} B/record",
+        recovery.append_report_s / 1e6,
+        recovery.replay_report_s / 1e6,
+        recovery.replay_records,
+        recovery.append_bytes_per_record,
+    );
     let mut ok = true;
+    if recovery.replay_report_s < 1.0e6 {
+        eprintln!(
+            "[smoke] FAIL: replay_report_s {:.0}/s is under the 1M/s floor",
+            recovery.replay_report_s
+        );
+        ok = false;
+    }
     if decode.decode_report_s < 2.0e6 {
         eprintln!(
             "[smoke] FAIL: decode_report_s {:.0}/s is under the 2M/s floor",
@@ -533,6 +676,18 @@ fn main() {
         ingest.sketch_bytes,
     );
 
+    eprintln!("[baseline] wal append + replay recovery rates...");
+    let recovery = recovery_rates();
+    eprintln!(
+        "[baseline] wal append {:.0} reports/s ({:.0} B/record), replay {:.0} reports/s \
+         over {} records, snapshot {:.0} B/zone",
+        recovery.append_report_s,
+        recovery.append_bytes_per_record,
+        recovery.replay_report_s,
+        recovery.replay_records,
+        recovery.snapshot_bytes_per_zone,
+    );
+
     eprintln!("[baseline] running all experiments at Scale::Quick...");
     let names: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     let wall = Instant::now();
@@ -555,6 +710,7 @@ fn main() {
         channel,
         decode,
         ingest,
+        recovery,
         experiments,
         experiments_wall_s,
         experiments_cpu_s,

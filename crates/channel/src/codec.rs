@@ -444,7 +444,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // Primitive writers.
 // ---------------------------------------------------------------------
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Appends `v` as an LEB128 varint (the WAL reuses the codec's
+/// primitive field encodings; see `wiscape-wal`).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let low = v & 0x7F;
         v >>= 7;
@@ -472,7 +474,8 @@ fn unzigzag(u: u64) -> i64 {
     i64::from_le_bytes((half ^ mask).to_le_bytes())
 }
 
-fn put_i64(out: &mut Vec<u8>, v: i64) {
+/// Appends `v` zigzag-folded as a varint.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
     put_varint(out, zigzag(v));
 }
 
@@ -480,15 +483,19 @@ fn put_i32(out: &mut Vec<u8>, v: i32) {
     put_i64(out, i64::from(v));
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Appends `v` as a varint.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     put_varint(out, u64::from(v));
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+/// Appends `v` as its exact little-endian bit pattern (8 bytes):
+/// the round-trip through [`Reader::f64`] is bitwise.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-fn put_network(out: &mut Vec<u8>, net: NetworkId) {
+/// Appends a network id as a single byte.
+pub fn put_network(out: &mut Vec<u8>, net: NetworkId) {
     out.push(match net {
         NetworkId::NetA => 0,
         NetworkId::NetB => 1,
@@ -503,17 +510,20 @@ fn put_kind(out: &mut Vec<u8>, kind: TransportKind) {
     });
 }
 
-fn put_zone(out: &mut Vec<u8>, zone: ZoneId) {
+/// Appends a zone id as two zigzag varints (col, row).
+pub fn put_zone(out: &mut Vec<u8>, zone: ZoneId) {
     put_i32(out, zone.0.col);
     put_i32(out, zone.0.row);
 }
 
-fn put_point(out: &mut Vec<u8>, p: &GeoPoint) {
+/// Appends a geographic point as two raw-bit f64 fields (lat, lon).
+pub fn put_point(out: &mut Vec<u8>, p: &GeoPoint) {
     put_f64(out, p.lat_deg());
     put_f64(out, p.lon_deg());
 }
 
-fn put_time(out: &mut Vec<u8>, t: SimTime) {
+/// Appends a simulation time as its microsecond count (zigzag varint).
+pub fn put_time(out: &mut Vec<u8>, t: SimTime) {
     put_i64(out, t.as_micros());
 }
 
@@ -529,21 +539,30 @@ fn put_task_fields(out: &mut Vec<u8>, task: &MeasurementTask) {
 // Primitive readers.
 // ---------------------------------------------------------------------
 
-struct Reader<'a> {
+/// A bounds-checked, panic-free cursor over an encoded byte buffer.
+///
+/// Every accessor returns a typed [`DecodeError`] instead of slicing,
+/// so arbitrary (corrupt, truncated, hostile) bytes can never panic
+/// the decode path. Shared with `wiscape-wal`, whose log records use
+/// the same primitive field encodings.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
         self.buf.len().saturating_sub(self.pos)
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    /// Takes the next `n` bytes, or a typed truncation error.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n);
         let out = end.and_then(|e| self.buf.get(self.pos..e));
         match out {
@@ -558,14 +577,16 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         match self.take(1)? {
             &[b] => Ok(b),
             _ => Err(DecodeError::Truncated { needed: 1, have: 0 }),
         }
     }
 
-    fn varint(&mut self) -> Result<u64, DecodeError> {
+    /// Reads an LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
         let mut value: u64 = 0;
         let mut shift: u32 = 0;
         loop {
@@ -582,7 +603,8 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn i64(&mut self) -> Result<i64, DecodeError> {
+    /// Reads a zigzag varint.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
         Ok(unzigzag(self.varint()?))
     }
 
@@ -590,18 +612,21 @@ impl<'a> Reader<'a> {
         i32::try_from(self.i64()?).map_err(|_| DecodeError::BadValue("32-bit signed field"))
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    /// Reads a varint bounded to 32 bits.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
         u32::try_from(self.varint()?).map_err(|_| DecodeError::BadValue("32-bit unsigned field"))
     }
 
-    fn f64(&mut self) -> Result<f64, DecodeError> {
+    /// Reads an f64 from its exact little-endian bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
         let raw = self.take(8)?;
         let mut bits = [0u8; 8];
         bits.copy_from_slice(raw);
         Ok(f64::from_bits(u64::from_le_bytes(bits)))
     }
 
-    fn network(&mut self) -> Result<NetworkId, DecodeError> {
+    /// Reads a network id byte.
+    pub fn network(&mut self) -> Result<NetworkId, DecodeError> {
         match self.u8()? {
             0 => Ok(NetworkId::NetA),
             1 => Ok(NetworkId::NetB),
@@ -618,23 +643,27 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn zone(&mut self) -> Result<ZoneId, DecodeError> {
+    /// Reads a zone id (col, row zigzag varints).
+    pub fn zone(&mut self) -> Result<ZoneId, DecodeError> {
         let col = self.i32()?;
         let row = self.i32()?;
         Ok(ZoneId(CellId { col, row }))
     }
 
-    fn point(&mut self) -> Result<GeoPoint, DecodeError> {
+    /// Reads and validates a geographic point (lat, lon raw-bit f64s).
+    pub fn point(&mut self) -> Result<GeoPoint, DecodeError> {
         let lat = self.f64()?;
         let lon = self.f64()?;
         GeoPoint::new(lat, lon).map_err(|_| DecodeError::BadValue("geographic coordinates"))
     }
 
-    fn time(&mut self) -> Result<SimTime, DecodeError> {
+    /// Reads a simulation time (microsecond zigzag varint).
+    pub fn time(&mut self) -> Result<SimTime, DecodeError> {
         Ok(SimTime::from_micros(self.i64()?))
     }
 
-    fn client(&mut self) -> Result<ClientId, DecodeError> {
+    /// Reads a client id (32-bit varint).
+    pub fn client(&mut self) -> Result<ClientId, DecodeError> {
         Ok(ClientId(self.u32()?))
     }
 

@@ -22,8 +22,8 @@
 use std::collections::BTreeMap;
 
 use wiscape_core::{
-    ClientAgent, Coordinator, DeploymentConfig, DeploymentStats, EpochTuner, HistoryStore,
-    QuotaTuner,
+    ClientAgent, Coordinator, CoordinatorHandle, DeploymentConfig, DeploymentStats, EpochTuner,
+    HistoryStore, QuotaTuner,
 };
 use wiscape_geo::GeoPoint;
 use wiscape_mobility::{ClientId, Fleet};
@@ -147,10 +147,15 @@ struct ClientState {
 }
 
 /// A running channel-backed deployment.
-pub struct ChannelDeployment {
+///
+/// Generic over the [`CoordinatorHandle`] behind the server endpoint
+/// (default: a plain [`Coordinator`]); see
+/// [`ChannelDeployment::with_coordinator`] for running against a
+/// WAL-backed handle.
+pub struct ChannelDeployment<C: CoordinatorHandle = Coordinator> {
     land: Landscape,
     fleet: Fleet,
-    server: ChannelServer,
+    server: ChannelServer<C>,
     config: ChannelConfig,
     stream: StreamRng,
     clients: BTreeMap<ClientId, ClientState>,
@@ -177,6 +182,21 @@ impl ChannelDeployment {
         land: Landscape,
         fleet: Fleet,
         index: wiscape_core::ZoneIndex,
+        config: ChannelConfig,
+    ) -> Self {
+        let coordinator = Coordinator::new(index, config.deployment.coordinator.clone());
+        Self::with_coordinator(land, fleet, coordinator, config)
+    }
+}
+
+impl<C: CoordinatorHandle> ChannelDeployment<C> {
+    /// [`ChannelDeployment::new`] over an externally built coordinator
+    /// handle — the WAL entry point: pass a `DurableCoordinator` and
+    /// every committed mutation is event-logged before it folds.
+    pub fn with_coordinator(
+        land: Landscape,
+        fleet: Fleet,
+        coordinator: C,
         mut config: ChannelConfig,
     ) -> Self {
         if config.deployment.networks.is_empty() {
@@ -185,7 +205,6 @@ impl ChannelDeployment {
         let seed = land.config().seed;
         let stream = StreamRng::new(seed).fork("deployment");
         let channel_stream = StreamRng::new(seed).fork("channel");
-        let coordinator = Coordinator::new(index, config.deployment.coordinator.clone());
         let server = ChannelServer::new(
             coordinator,
             config.commit,
@@ -235,8 +254,14 @@ impl ChannelDeployment {
     }
 
     /// The server endpoint (coordinator + channel meters).
-    pub fn server(&self) -> &ChannelServer {
+    pub fn server(&self) -> &ChannelServer<C> {
         &self.server
+    }
+
+    /// Mutable access to the coordinator handle behind the server
+    /// (end-of-run WAL inspection, forced snapshots).
+    pub fn handle_mut(&mut self) -> &mut C {
+        self.server.handle_mut()
     }
 
     /// The wrapped coordinator (and its published map).
@@ -440,11 +465,11 @@ impl ChannelDeployment {
             let micros_bits = u64::from_le_bytes(now.as_micros().to_le_bytes());
             let seed = self.stream.fork("retune").fork_idx(micros_bits).draw_u64();
             if let Some(q) = self.quota_tuner.quota(h, seed) {
-                self.server.coordinator_mut().set_zone_quota(zone, net, q);
+                self.server.handle_mut().set_zone_quota_tagged(zone, net, q);
                 self.stats.quotas_tuned += 1;
             }
             if let Some(e) = self.epoch_tuner.epoch(h) {
-                self.server.coordinator_mut().set_zone_epoch(zone, net, e);
+                self.server.handle_mut().set_zone_epoch_tagged(zone, net, e);
                 self.stats.epochs_tuned += 1;
             }
         }

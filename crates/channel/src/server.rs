@@ -34,7 +34,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::OnceLock;
 
-use wiscape_core::{Coordinator, SampleReport};
+use wiscape_core::{Coordinator, CoordinatorHandle, SampleReport};
 use wiscape_mobility::ClientId;
 use wiscape_simcore::{SimDuration, SimTime, StreamRng};
 use wiscape_simnet::NetworkId;
@@ -116,9 +116,14 @@ fn server_obs() -> &'static ServerObs {
 }
 
 /// The coordinator's channel endpoint.
+///
+/// Generic over the [`CoordinatorHandle`] it drives: the default is a
+/// plain [`Coordinator`]; `wiscape-wal` substitutes its
+/// `DurableCoordinator` so every committed mutation is appended to an
+/// event log before it folds into sketch state.
 #[derive(Debug, Clone)]
-pub struct ChannelServer {
-    coordinator: Coordinator,
+pub struct ChannelServer<C: CoordinatorHandle = Coordinator> {
+    coordinator: C,
     policy: CommitPolicy,
     stream: StreamRng,
     networks: Vec<NetworkId>,
@@ -127,7 +132,7 @@ pub struct ChannelServer {
     meters: ServerMeters,
 }
 
-impl ChannelServer {
+impl<C: CoordinatorHandle> ChannelServer<C> {
     /// Wraps `coordinator` behind the wire protocol.
     ///
     /// `stream` must be the same-rooted fork the direct-call deployment
@@ -138,7 +143,7 @@ impl ChannelServer {
     /// [`wiscape_core::Deployment`], so a perfect link reproduces its
     /// decisions bit for bit.
     pub fn new(
-        coordinator: Coordinator,
+        coordinator: C,
         policy: CommitPolicy,
         stream: StreamRng,
         networks: Vec<NetworkId>,
@@ -156,11 +161,13 @@ impl ChannelServer {
 
     /// The wrapped coordinator (and its published map).
     pub fn coordinator(&self) -> &Coordinator {
-        &self.coordinator
+        self.coordinator.as_coordinator()
     }
 
-    /// Mutable access for end-of-run flushing and tuner installation.
-    pub fn coordinator_mut(&mut self) -> &mut Coordinator {
+    /// Mutable access to the coordinator handle, for tuner
+    /// installation: routing quota/epoch updates through the handle
+    /// keeps them in the event log when the handle is WAL-backed.
+    pub fn handle_mut(&mut self) -> &mut C {
         &mut self.coordinator
     }
 
@@ -181,7 +188,7 @@ impl ChannelServer {
 
     /// Number of `(zone, network)` cells the wrapped coordinator tracks.
     pub fn zones_tracked(&self) -> usize {
-        self.coordinator.zones_tracked()
+        self.coordinator.as_coordinator().zones_tracked()
     }
 
     /// Resident bytes of the coordinator's per-zone estimation state —
@@ -189,7 +196,7 @@ impl ChannelServer {
     /// staging buffer is the only other report storage, and it is
     /// bounded by the settle window, not the run length.
     pub fn sketch_bytes(&self) -> usize {
-        self.coordinator.sketch_bytes()
+        self.coordinator.as_coordinator().sketch_bytes()
     }
 
     /// Reports currently staged awaiting the watermark (0 under
@@ -272,7 +279,7 @@ impl ChannelServer {
             .draw_unit_f64();
         let tasks =
             self.coordinator
-                .client_checkin(req.client, &req.point, req.t, &self.networks, coin);
+                .checkin_tagged(req.client, &req.point, req.t, &self.networks, coin);
         let n_tasks = u64::try_from(tasks.len()).unwrap_or(u64::MAX);
         self.meters.tasks_sent += n_tasks;
         server_obs().tasks_sent.add(n_tasks);
@@ -292,7 +299,7 @@ impl ChannelServer {
         let fresh = self.seen.entry(client).or_default().insert(msg.seq);
         if fresh {
             match self.policy {
-                CommitPolicy::Immediate => self.commit(&msg.report),
+                CommitPolicy::Immediate => self.commit(&msg.report, msg.seq),
                 CommitPolicy::Watermark(_) => {
                     self.staged
                         .insert((msg.report.t, client, msg.seq), msg.report);
@@ -343,8 +350,19 @@ impl ChannelServer {
     /// sketch: O(1) state per `(zone, network)` cell and no per-report
     /// allocation (the ingest path filters and folds the samples in
     /// place — see `Coordinator::ingest_report`).
-    fn commit(&mut self, report: &SampleReport) {
-        if self.coordinator.ingest_report(report).is_ok() {
+    fn commit(&mut self, report: &SampleReport, seq: u64) {
+        let ok = self
+            .coordinator
+            .ingest_samples_tagged(
+                report.client,
+                seq,
+                report.zone,
+                report.task.network,
+                report.t,
+                report.samples.iter().copied(),
+            )
+            .is_ok();
+        if ok {
             self.meters.reports_ingested += 1;
             server_obs().reports_ingested.inc();
         } else {
@@ -361,7 +379,14 @@ impl ChannelServer {
     fn commit_view(&mut self, view: &ReportView<'_>) {
         let ok = self
             .coordinator
-            .ingest_samples(view.zone, view.task.network, view.t, view.samples())
+            .ingest_samples_tagged(
+                view.client,
+                view.seq,
+                view.zone,
+                view.task.network,
+                view.t,
+                view.samples(),
+            )
             .is_ok();
         if ok {
             self.meters.reports_ingested += 1;
@@ -380,7 +405,7 @@ impl ChannelServer {
                 break;
             }
             if let Some(report) = self.staged.remove(&key) {
-                self.commit(&report);
+                self.commit(&report, key.2);
             }
         }
     }
@@ -393,10 +418,10 @@ impl ChannelServer {
         // key set — the staging buffer can hold a full settle window.
         while let Some((&key, _)) = self.staged.iter().next() {
             if let Some(report) = self.staged.remove(&key) {
-                self.commit(&report);
+                self.commit(&report, key.2);
             }
         }
-        self.coordinator.flush(end);
+        self.coordinator.flush_tagged(end);
     }
 }
 

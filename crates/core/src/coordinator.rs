@@ -592,6 +592,196 @@ impl Coordinator {
     pub fn per_zone_state_bytes() -> usize {
         std::mem::size_of::<(ZoneId, NetworkId)>() + std::mem::size_of::<ZoneState>()
     }
+
+    /// Exports the coordinator's full *dynamic* state — every tracked
+    /// `(zone, network)` cell plus alert and counter history — as a
+    /// plain value the WAL snapshots to disk.
+    ///
+    /// Static identity (the [`ZoneIndex`] and [`CoordinatorConfig`]) is
+    /// deliberately not part of the export: recovery reconstructs it
+    /// from the same deployment parameters, and
+    /// [`Coordinator::restore_state`] on a coordinator built with the
+    /// same index/config reproduces this coordinator bit for bit (cells
+    /// come out in sorted key order; the sketches round-trip through
+    /// their `raw_parts` surfaces).
+    pub fn export_state(&self) -> CoordinatorState {
+        let cells = self
+            .state
+            .iter()
+            .map(|(&(zone, network), s)| ZoneCellState {
+                zone,
+                network,
+                epoch: s.epoch,
+                epoch_start: s.epoch_start,
+                sketch: s.current,
+                issued_this_epoch: s.issued_this_epoch,
+                published: s.published,
+                quota: s.quota,
+            })
+            .collect();
+        CoordinatorState {
+            cells,
+            alerts: self.alerts.clone(),
+            packets_requested: self.packets_requested,
+            malformed_dropped: self.malformed_dropped,
+            reports_rejected: self.reports_rejected,
+        }
+    }
+
+    /// Replaces the coordinator's dynamic state with an exported
+    /// [`CoordinatorState`] (the WAL recovery path). The index and
+    /// config are untouched; see [`Coordinator::export_state`].
+    pub fn restore_state(&mut self, state: CoordinatorState) {
+        self.state.clear();
+        for cell in state.cells {
+            self.state.insert(
+                (cell.zone, cell.network),
+                ZoneState {
+                    epoch: cell.epoch,
+                    epoch_start: cell.epoch_start,
+                    current: cell.sketch,
+                    issued_this_epoch: cell.issued_this_epoch,
+                    published: cell.published,
+                    quota: cell.quota,
+                },
+            );
+        }
+        self.alerts = state.alerts;
+        self.packets_requested = state.packets_requested;
+        self.malformed_dropped = state.malformed_dropped;
+        self.reports_rejected = state.reports_rejected;
+    }
+}
+
+/// One `(zone, network)` cell of exported coordinator state (the
+/// public mirror of the private per-zone epoch record).
+#[derive(Debug, Clone)]
+pub struct ZoneCellState {
+    /// The zone.
+    pub zone: ZoneId,
+    /// The network.
+    pub network: NetworkId,
+    /// Epoch length in force for this cell.
+    pub epoch: SimDuration,
+    /// When the current epoch started.
+    pub epoch_start: SimTime,
+    /// The current epoch's moment sketch.
+    pub sketch: MomentSketch,
+    /// Tasks issued so far this epoch.
+    pub issued_this_epoch: u32,
+    /// The published estimate, if any.
+    pub published: Option<ZoneEstimate>,
+    /// Per-zone sample quota override, if any.
+    pub quota: Option<u32>,
+}
+
+/// Full dynamic coordinator state, exported by
+/// [`Coordinator::export_state`] and reinstated by
+/// [`Coordinator::restore_state`]. Cells are in sorted
+/// `(zone, network)` order.
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatorState {
+    /// Every tracked `(zone, network)` cell.
+    pub cells: Vec<ZoneCellState>,
+    /// Change-alert history.
+    pub alerts: Vec<ChangeAlert>,
+    /// Total probe packets requested from clients.
+    pub packets_requested: u64,
+    /// Malformed samples dropped across all reports.
+    pub malformed_dropped: u64,
+    /// Whole reports rejected at the ingest boundary.
+    pub reports_rejected: u64,
+}
+
+/// The coordinator surface the channel layer drives.
+///
+/// [`Coordinator`] implements it by delegating straight to its
+/// inherent methods; `wiscape-wal`'s `DurableCoordinator` implements
+/// it by appending each mutation to its event log *before* folding it
+/// into the wrapped coordinator (commit-before-fold), which is what
+/// makes snapshot+replay recovery byte-identical. The `client`/`seq`
+/// tags identify the committed report in the log's canonical
+/// `(t, client, seq)` order; the plain coordinator ignores them.
+pub trait CoordinatorHandle {
+    /// Read-only view of the underlying coordinator.
+    fn as_coordinator(&self) -> &Coordinator;
+
+    /// [`Coordinator::client_checkin`], tagged for the event log.
+    fn checkin_tagged(
+        &mut self,
+        client: ClientId,
+        point: &wiscape_geo::GeoPoint,
+        t: SimTime,
+        networks: &[NetworkId],
+        coin: f64,
+    ) -> Vec<MeasurementTask>;
+
+    /// [`Coordinator::ingest_samples`], tagged with the committed
+    /// report's identity for the event log.
+    fn ingest_samples_tagged<I>(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+        zone: ZoneId,
+        network: NetworkId,
+        t: SimTime,
+        samples: I,
+    ) -> Result<IngestSummary, IngestError>
+    where
+        I: Iterator<Item = f64> + ExactSizeIterator + Clone;
+
+    /// [`Coordinator::set_zone_quota`], tagged for the event log.
+    fn set_zone_quota_tagged(&mut self, zone: ZoneId, network: NetworkId, quota: u32);
+
+    /// [`Coordinator::set_zone_epoch`], tagged for the event log.
+    fn set_zone_epoch_tagged(&mut self, zone: ZoneId, network: NetworkId, epoch: SimDuration);
+
+    /// [`Coordinator::flush`], tagged for the event log.
+    fn flush_tagged(&mut self, now: SimTime);
+}
+
+impl CoordinatorHandle for Coordinator {
+    fn as_coordinator(&self) -> &Coordinator {
+        self
+    }
+
+    fn checkin_tagged(
+        &mut self,
+        client: ClientId,
+        point: &wiscape_geo::GeoPoint,
+        t: SimTime,
+        networks: &[NetworkId],
+        coin: f64,
+    ) -> Vec<MeasurementTask> {
+        self.client_checkin(client, point, t, networks, coin)
+    }
+
+    fn ingest_samples_tagged<I>(
+        &mut self,
+        _client: ClientId,
+        _seq: u64,
+        zone: ZoneId,
+        network: NetworkId,
+        t: SimTime,
+        samples: I,
+    ) -> Result<IngestSummary, IngestError>
+    where
+        I: Iterator<Item = f64> + ExactSizeIterator + Clone,
+    {
+        self.ingest_samples(zone, network, t, samples)
+    }
+
+    fn set_zone_quota_tagged(&mut self, zone: ZoneId, network: NetworkId, quota: u32) {
+        self.set_zone_quota(zone, network, quota);
+    }
+
+    fn set_zone_epoch_tagged(&mut self, zone: ZoneId, network: NetworkId, epoch: SimDuration) {
+        self.set_zone_epoch(zone, network, epoch);
+    }
+
+    fn flush_tagged(&mut self, now: SimTime) {
+        self.flush(now);
+    }
 }
 
 #[cfg(test)]

@@ -44,8 +44,8 @@ pub mod zonestats;
 
 pub use agent::{ClientAgent, MeasurementReport};
 pub use coordinator::{
-    ChangeAlert, Coordinator, CoordinatorConfig, IngestError, IngestSummary, MeasurementTask,
-    SampleReport, ZoneEstimate,
+    ChangeAlert, Coordinator, CoordinatorConfig, CoordinatorHandle, CoordinatorState, IngestError,
+    IngestSummary, MeasurementTask, SampleReport, ZoneCellState, ZoneEstimate,
 };
 pub use deployment::{Deployment, DeploymentConfig, DeploymentStats};
 pub use dominance::{dominance_ratio, persistent_dominant, Better, DominanceOutcome};

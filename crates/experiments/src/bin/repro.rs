@@ -1,12 +1,19 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--seed N] [--full] [--out DIR] [--obs PATH] [EXPERIMENT...]
+//! repro [--seed N] [--full] [--out DIR] [--obs PATH] [--wal DIR] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs all of them. Writes one JSON file per
 //! experiment into `DIR` (default `results/`) and prints each markdown
 //! summary to stdout (the content of `EXPERIMENTS.md`).
+//!
+//! `--wal DIR` routes every channel-driven coordinator (fig15) through
+//! the `wiscape-wal` event log under `DIR`; `--wal-crash-seed N`
+//! additionally injects a deterministic crash (kill + recover) into
+//! each such run. Either way the emitted artifacts must stay
+//! byte-identical to a WAL-less run — `scripts/verify_results.sh`
+//! enforces it.
 //!
 //! `--obs PATH` enables the observability registry and dumps its
 //! snapshot (e.g. `results/OBS_repro.json`) after the run. Everything
@@ -23,6 +30,8 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut out_dir = String::from("results");
     let mut obs_path: Option<String> = None;
+    let mut wal_dir: Option<String> = None;
+    let mut wal_crash_seed: Option<u64> = None;
     let mut svg = false;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -42,10 +51,21 @@ fn main() {
             "--obs" => {
                 obs_path = Some(args.next().unwrap_or_else(|| die("--obs needs a path")));
             }
+            "--wal" => {
+                wal_dir = Some(args.next().unwrap_or_else(|| die("--wal needs a path")));
+            }
+            "--wal-crash-seed" => {
+                wal_crash_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--wal-crash-seed needs an integer")),
+                );
+            }
             "--svg" => svg = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--seed N] [--full|--quick] [--out DIR] [--obs PATH] [--svg] [EXPERIMENT...]\n\
+                    "usage: repro [--seed N] [--full|--quick] [--out DIR] [--obs PATH] \
+                     [--wal DIR] [--wal-crash-seed N] [--svg] [EXPERIMENT...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -59,6 +79,16 @@ fn main() {
     }
     if obs_path.is_some() {
         wiscape_obs::set_enabled(true);
+    }
+    if wal_crash_seed.is_some() && wal_dir.is_none() {
+        die("--wal-crash-seed requires --wal DIR");
+    }
+    if let Some(dir) = &wal_dir {
+        wiscape_wal::set_run_config(wiscape_wal::WalRunConfig {
+            dir: std::path::PathBuf::from(dir),
+            crash_seed: wal_crash_seed,
+            snapshot_every: 256,
+        });
     }
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| die(&format!("mkdir {out_dir}: {e}")));
     println!("# WiScape reproduction run (seed {seed}, scale {scale:?})\n",);

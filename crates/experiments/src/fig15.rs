@@ -88,9 +88,53 @@ fn run_one(seed: u64, clients: usize, hours: f64, loss: f64, max_attempts: u32) 
     let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
     let mut config = report_loss(loss);
     config.uplink.max_attempts = max_attempts;
-    let mut d = ChannelDeployment::new(land, fleet, index, config);
     let start = SimTime::at(1, 7.0);
-    d.run(start, start + SimDuration::from_secs_f64(hours * 3600.0));
+    let end = start + SimDuration::from_secs_f64(hours * 3600.0);
+    // With `--wal` the coordinator runs event-sourced: every commit is
+    // appended to a per-run log (and, with a crash seed, the run is
+    // killed and recovered mid-flight). Either way the outcome must be
+    // byte-identical to the in-memory path — CI diffs the artifacts.
+    if let Some(wal) = wiscape_wal::run_config() {
+        let loss_permille = (loss * 1000.0).round() as u64;
+        let sub = wal.dir.join(format!(
+            "fig15_s{seed}_c{clients}_l{loss_permille}_a{max_attempts}"
+        ));
+        let plan = match wal.crash_seed {
+            Some(s) => wiscape_wal::CrashPlan::seeded(s, 500),
+            None => wiscape_wal::CrashPlan::none(),
+        };
+        let opts = wiscape_wal::WalOptions {
+            snapshot_every: wal.snapshot_every,
+            plan,
+            ..wiscape_wal::WalOptions::default()
+        };
+        let coordinator = wiscape_wal::DurableCoordinator::create(
+            &sub,
+            index,
+            config.deployment.coordinator.clone(),
+            opts,
+        )
+        .expect("wal directory writable");
+        let mut d = ChannelDeployment::with_coordinator(land, fleet, coordinator, config);
+        d.run(start, end);
+        let m = d.meters();
+        let out = RunOutcome {
+            published: d.coordinator().all_published(),
+            control_bytes: m.control_bytes(),
+            retries: m.uplink.retries,
+            abandoned: m.uplink.abandoned,
+        };
+        let wal_handle = d.handle_mut();
+        wal_handle.shutdown().expect("wal shutdown");
+        assert_eq!(
+            wal_handle.wal_meters().recovery_mismatches,
+            0,
+            "WAL recovery diverged from the live coordinator"
+        );
+        return out;
+    }
+    let mut d = ChannelDeployment::new(land, fleet, index, config);
+    d.run(start, end);
     let m = d.meters();
     RunOutcome {
         published: d.coordinator().all_published(),

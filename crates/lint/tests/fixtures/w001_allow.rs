@@ -1,0 +1,6 @@
+// Fixture: W001 suppressed with a justification.
+pub fn recover(bytes: &[u8]) -> u8 {
+    // lint:allow(W001): fixture frame is length-checked two lines up.
+    let len = bytes.first().unwrap();
+    *len
+}

@@ -1,0 +1,13 @@
+// Fixture: W001 clean — crash leftovers decode into a typed error and
+// recovery consumes only virtual time carried in the log itself.
+pub fn recover(bytes: &[u8]) -> Result<u64, &'static str> {
+    let len = match bytes.first() {
+        Some(b) => u64::from(*b),
+        None => return Err("truncated frame"),
+    };
+    match bytes.get(1) {
+        Some(tag) if *tag <= 5 => Ok(len),
+        Some(_) => Err("unknown record tag"),
+        None => Err("truncated frame"),
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: W001 positive — a recovery path that can panic on crash
+// leftovers or drift with the host clock.
+pub fn recover(bytes: &[u8]) -> u64 {
+    let len = bytes.first().unwrap();
+    let tag = bytes.get(1).expect("tag byte");
+    if *tag > 5 {
+        panic!("unknown record tag");
+    }
+    let started = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    u64::from(*len) + started.elapsed().as_secs()
+}

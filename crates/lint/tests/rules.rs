@@ -308,6 +308,65 @@ fn o001_exempts_test_code() {
     assert!(lint_fixture("o001_hit.rs", scope).is_clean());
 }
 
+fn wal_recovery() -> FileScope {
+    FileScope {
+        wal_recovery_surface: true,
+        // The hit fixture's Instant/SystemTime lines are W001's own
+        // wall-clock findings; exempt D002 so the report is pure W001.
+        wallclock_exempt: true,
+        ..FileScope::default()
+    }
+}
+
+#[test]
+fn w001_hit_allow_clean() {
+    // unwrap + expect + panic + Instant + SystemTime.
+    assert_hits(&lint_fixture("w001_hit.rs", wal_recovery()), "W001", 5);
+    assert_suppressed(&lint_fixture("w001_allow.rs", wal_recovery()), "W001", 1);
+    assert!(lint_fixture("w001_clean.rs", wal_recovery()).is_clean());
+}
+
+#[test]
+fn w001_only_applies_to_the_wal_recovery_surface() {
+    let scope = FileScope {
+        wallclock_exempt: true,
+        ..FileScope::default()
+    };
+    assert!(lint_fixture("w001_hit.rs", scope).is_clean());
+}
+
+#[test]
+fn w001_exempts_test_code() {
+    let scope = FileScope {
+        all_test_code: true,
+        ..wal_recovery()
+    };
+    assert!(lint_fixture("w001_hit.rs", scope).is_clean());
+}
+
+/// The W001 JSON report is pinned alongside the D001 one: the rule is
+/// new in this tree, so its machine-readable shape is part of the
+/// contract from day one.
+#[test]
+fn w001_json_report_matches_snapshot() {
+    let report = lint_fixture("w001_hit.rs", wal_recovery());
+    let actual = serde_json::to_string_pretty(&report).unwrap();
+    let path = fixtures_dir().join("snapshot_w001_hit.json");
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, format!("{actual}\n")).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    let actual_v: serde::Value = serde_json::from_str(&actual).unwrap();
+    let expected_v: serde::Value = serde_json::from_str(&expected).unwrap();
+    assert_eq!(
+        actual_v, expected_v,
+        "JSON report drifted from snapshot; run UPDATE_SNAPSHOTS=1 cargo test -p lint \
+         and review the diff\nactual:\n{actual}"
+    );
+}
+
 #[test]
 fn l001_bare_allow_is_a_violation_and_suppresses_nothing() {
     let report = lint_fixture("l001_bare.rs", deterministic());

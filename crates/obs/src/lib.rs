@@ -302,7 +302,6 @@ pub fn counter(name: &str) -> Counter {
 pub fn gauge(name: &str) -> Gauge {
     with_registry(|r| {
         r.gauges
-            // lint:allow(A001): one-time name registration; hot paths hold the returned handle in a static OnceLock and never re-enter.
             .entry(name.to_string())
             .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0))))
             .clone()
@@ -320,7 +319,6 @@ pub fn histogram(name: &str, bin_width: f64) -> Histogram {
     };
     with_registry(|r| {
         r.histograms
-            // lint:allow(A001): one-time name registration; hot paths hold the returned handle in a static OnceLock and never re-enter.
             .entry(name.to_string())
             .or_insert_with(|| {
                 Histogram(Arc::new(HistogramState {

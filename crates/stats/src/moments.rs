@@ -87,6 +87,30 @@ impl RunningStats {
         self.count
     }
 
+    /// Exact internal representation `(count, mean, m2, min, max)`.
+    ///
+    /// This is the snapshot/restore surface used by the WAL: the floats
+    /// are handed out verbatim so a serializer that stores their raw
+    /// bits can reproduce the accumulator bitwise via
+    /// [`RunningStats::from_raw_parts`].
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`RunningStats::raw_parts`] output.
+    ///
+    /// No validation or normalization is applied: the round-trip
+    /// `from_raw_parts(s.raw_parts())` is bitwise-identical to `s`.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Whether no samples have been accumulated.
     pub fn is_empty(&self) -> bool {
         self.count == 0

@@ -96,6 +96,18 @@ impl KahanSum {
     pub fn total(&self) -> f64 {
         self.sum + self.compensation
     }
+
+    /// Exact internal representation `(sum, compensation)` — the WAL
+    /// snapshot surface; store the raw f64 bits and rebuild with
+    /// [`KahanSum::from_raw_parts`] for a bitwise round-trip.
+    pub fn raw_parts(&self) -> (f64, f64) {
+        (self.sum, self.compensation)
+    }
+
+    /// Rebuilds a sum from [`KahanSum::raw_parts`] output, verbatim.
+    pub fn from_raw_parts(sum: f64, compensation: f64) -> Self {
+        Self { sum, compensation }
+    }
 }
 
 /// Compensated running moments: the mergeable moment sketch held per
@@ -165,6 +177,20 @@ impl MomentSketch {
     pub fn merge(&mut self, other: &MomentSketch) {
         self.core.merge(&other.core);
         self.sum.merge(&other.sum);
+    }
+
+    /// Exact internal representation `(moment core, compensated sum)` —
+    /// the WAL snapshot surface; both parts expose their own
+    /// `raw_parts` so the full sketch round-trips bitwise through
+    /// [`MomentSketch::from_raw_parts`].
+    pub fn raw_parts(&self) -> (RunningStats, KahanSum) {
+        (self.core, self.sum)
+    }
+
+    /// Rebuilds a sketch from [`MomentSketch::raw_parts`] output,
+    /// verbatim.
+    pub fn from_raw_parts(core: RunningStats, sum: KahanSum) -> Self {
+        Self { core, sum }
     }
 
     /// Number of (finite) samples.

@@ -1,0 +1,173 @@
+//! Deterministic crash injection.
+//!
+//! A [`CrashPlan`] is drawn once from a seeded [`StreamRng`] fork —
+//! the same construction the channel uses for lossy links — so a
+//! given `(seed, horizon)` pair always kills the coordinator at the
+//! same operation, at the same boundary, with the same torn-write
+//! length. The hot-path check ([`CrashPlan::fires_at`]) is a pair of
+//! comparisons; all randomness is spent up front.
+
+use wiscape_simcore::StreamRng;
+
+/// Where in the commit pipeline the injected crash lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the record reaches disk: the append is skipped entirely.
+    PreAppend,
+    /// Mid-append: only a prefix of the frame lands on disk.
+    TornAppend,
+    /// After the append is durable but before the fold into sketches.
+    PostAppend,
+    /// After both append and fold (crash between commits).
+    PostFold,
+    /// During snapshot serialization: a partial `.tmp` is left behind.
+    SnapshotTorn,
+    /// After the snapshot file is complete but before the manifest
+    /// points at it.
+    PreManifest,
+    /// After a fully-committed snapshot.
+    PostSnapshot,
+}
+
+impl CrashPoint {
+    /// True for the points that fire on a record append (vs. a
+    /// snapshot attempt).
+    pub fn is_record_point(self) -> bool {
+        matches!(
+            self,
+            CrashPoint::PreAppend
+                | CrashPoint::TornAppend
+                | CrashPoint::PostAppend
+                | CrashPoint::PostFold
+        )
+    }
+}
+
+const POINTS: [CrashPoint; 7] = [
+    CrashPoint::PreAppend,
+    CrashPoint::TornAppend,
+    CrashPoint::PostAppend,
+    CrashPoint::PostFold,
+    CrashPoint::SnapshotTorn,
+    CrashPoint::PreManifest,
+    CrashPoint::PostSnapshot,
+];
+
+/// A pre-drawn, single-shot crash: kill the coordinator when the
+/// `record_op`-th record (or the first snapshot at/after it) reaches
+/// boundary `point`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Whether the plan fires at all.
+    pub armed: bool,
+    /// The global record index the crash targets.
+    pub record_op: u64,
+    /// The pipeline boundary it fires at.
+    pub point: CrashPoint,
+    /// For torn writes: permille of the frame that reaches disk.
+    pub torn_permille: u64,
+}
+
+impl CrashPlan {
+    /// A plan that never fires.
+    pub fn none() -> Self {
+        Self {
+            armed: false,
+            record_op: 0,
+            point: CrashPoint::PostFold,
+            torn_permille: 0,
+        }
+    }
+
+    /// Draws a crash deterministically from `seed`: a target record
+    /// index in `[0, horizon)`, a pipeline boundary, and a torn-write
+    /// fraction. Identical `(seed, horizon)` always yields the
+    /// identical plan.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let rng = StreamRng::new(seed).fork("crash");
+        let horizon = horizon.max(1);
+        let record_op = rng.fork("op").draw_u64() % horizon;
+        let point_idx = (rng.fork("point").draw_u64() % POINTS.len() as u64) as usize;
+        let point = POINTS
+            .get(point_idx)
+            .copied()
+            .unwrap_or(CrashPoint::PostFold);
+        // Keep at least one byte and never the whole frame.
+        let torn_permille = 1 + rng.fork("torn").draw_u64() % 998;
+        Self {
+            armed: true,
+            record_op,
+            point,
+            torn_permille,
+        }
+    }
+
+    /// Hot-path check: does this plan fire on record index `op`?
+    /// Comparison-only; no state, no allocation.
+    pub fn fires_at(&self, op: u64) -> bool {
+        self.armed && self.point.is_record_point() && op == self.record_op
+    }
+
+    /// Does this plan fire on a snapshot attempt covering `records`
+    /// committed records?
+    pub fn fires_at_snapshot(&self, records: u64) -> bool {
+        self.armed && !self.point.is_record_point() && records >= self.record_op
+    }
+
+    /// How many bytes of an `len`-byte frame a torn append keeps:
+    /// always at least one, always strictly fewer than `len`.
+    pub fn torn_keep(&self, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        let keep = (len as u64).saturating_mul(self.torn_permille) / 1000;
+        (keep.max(1) as usize).min(len - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..50u64 {
+            let a = CrashPlan::seeded(seed, 1000);
+            let b = CrashPlan::seeded(seed, 1000);
+            assert_eq!(a, b);
+            assert!(a.record_op < 1000);
+            assert!((1..999).contains(&a.torn_permille));
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_point_kind() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..200u64 {
+            seen.insert(format!("{:?}", CrashPlan::seeded(seed, 100).point));
+        }
+        assert_eq!(seen.len(), POINTS.len(), "seen: {seen:?}");
+    }
+
+    #[test]
+    fn torn_keep_is_a_strict_prefix() {
+        let plan = CrashPlan::seeded(7, 100);
+        for len in 0..200usize {
+            let keep = plan.torn_keep(len);
+            if len <= 1 {
+                assert_eq!(keep, 0);
+            } else {
+                assert!(keep >= 1 && keep < len, "len {len} keep {keep}");
+            }
+        }
+    }
+
+    #[test]
+    fn unarmed_plan_never_fires() {
+        let plan = CrashPlan::none();
+        for op in 0..100 {
+            assert!(!plan.fires_at(op));
+            assert!(!plan.fires_at_snapshot(op));
+        }
+    }
+}

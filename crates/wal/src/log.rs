@@ -1,0 +1,416 @@
+//! Segmented append-only log storage.
+//!
+//! Records live in files named `wal-{index:010}.seg`, where `index` is
+//! the global record index of the segment's first record. The writer
+//! appends framed records to the current segment and rotates to a new
+//! one once the segment passes a byte threshold; rotation is deferred
+//! to non-hot call sites (building a filename allocates, and the hot
+//! append path must stay allocation-free).
+//!
+//! The scanner replays the whole directory in order. Its torn-tail
+//! policy mirrors journaled filesystems: a truncated frame at the very
+//! end of the *final* segment is treated as an interrupted append and
+//! cleanly dropped; a truncated frame anywhere else, or any corrupt
+//! frame (bad magic, bad checksum, bad field), is a typed
+//! [`WalError`] — never a panic, and never a silent skip.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use wiscape_channel::codec::DecodeError;
+
+use crate::record::{decode_record_view, RecordView, WalError, WalRecord};
+
+/// Default segment rotation threshold in bytes.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> WalError {
+    move |e| WalError::Io { op, kind: e.kind() }
+}
+
+/// Builds the path of the segment whose first record has global
+/// index `first`.
+pub fn segment_path(dir: &Path, first: u64) -> PathBuf {
+    dir.join(format!("wal-{first:010}.seg"))
+}
+
+/// Lists the segment files under `dir` as `(first_record_index, path)`
+/// pairs in ascending order. Non-segment files are ignored.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segs: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(segs),
+        Err(e) => {
+            return Err(WalError::Io {
+                op: "list",
+                kind: e.kind(),
+            })
+        }
+    };
+    for entry in entries {
+        let entry = entry.map_err(io_err("list"))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+        else {
+            continue;
+        };
+        let Some(first) = stem.parse::<u64>().ok() else {
+            continue;
+        };
+        segs.push((first, entry.path()));
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+/// Append-only writer over the segment files of one WAL directory.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    file: Option<File>,
+    /// Global record index of the current segment's first record.
+    seg_first: u64,
+    /// Bytes written to the current segment so far.
+    seg_bytes: u64,
+    /// Total records appended across all segments.
+    records: u64,
+    /// Total bytes appended across all segments.
+    bytes: u64,
+    segment_limit: u64,
+    /// Set when the current segment is past the limit; the next
+    /// non-hot `maybe_rotate` call opens a fresh segment.
+    rotate_pending: bool,
+}
+
+impl WalWriter {
+    /// A writer positioned at the start of an empty directory.
+    pub fn create(dir: &Path, segment_limit: u64) -> Result<Self, WalError> {
+        fs::create_dir_all(dir).map_err(io_err("create dir"))?;
+        let mut w = Self {
+            dir: dir.to_path_buf(),
+            file: None,
+            seg_first: 0,
+            seg_bytes: 0,
+            records: 0,
+            bytes: 0,
+            segment_limit: segment_limit.max(1),
+            rotate_pending: false,
+        };
+        w.open_segment(0)?;
+        Ok(w)
+    }
+
+    /// A writer resuming after `records` already-durable records, with
+    /// the final segment (starting at `seg_first`, currently holding
+    /// `valid_bytes` valid bytes) truncated to drop any torn tail.
+    pub fn resume(
+        dir: &Path,
+        segment_limit: u64,
+        records: u64,
+        bytes: u64,
+        seg_first: u64,
+        valid_bytes: u64,
+    ) -> Result<Self, WalError> {
+        let path = segment_path(dir, seg_first);
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(io_err("reopen"))?;
+        file.set_len(valid_bytes).map_err(io_err("truncate"))?;
+        let mut w = Self {
+            dir: dir.to_path_buf(),
+            file: Some(file),
+            seg_first,
+            seg_bytes: valid_bytes,
+            records,
+            bytes,
+            segment_limit: segment_limit.max(1),
+            rotate_pending: false,
+        };
+        w.seek_end()?;
+        w.rotate_pending = w.seg_bytes >= w.segment_limit;
+        Ok(w)
+    }
+
+    fn seek_end(&mut self) -> Result<(), WalError> {
+        use std::io::Seek;
+        if let Some(f) = self.file.as_mut() {
+            f.seek(std::io::SeekFrom::End(0)).map_err(io_err("seek"))?;
+        }
+        Ok(())
+    }
+
+    fn open_segment(&mut self, first: u64) -> Result<(), WalError> {
+        let path = segment_path(&self.dir, first);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err("open segment"))?;
+        self.file = Some(file);
+        self.seg_first = first;
+        self.seg_bytes = 0;
+        self.rotate_pending = false;
+        Ok(())
+    }
+
+    /// Total records appended.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total bytes appended.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Rotates to a fresh segment if the current one is past the byte
+    /// limit. Allocates (filename), so callers keep it off the hot
+    /// ingest path; appends simply continue into the oversized segment
+    /// until the next non-hot boundary.
+    pub fn maybe_rotate(&mut self) -> Result<(), WalError> {
+        if self.rotate_pending {
+            if let Some(f) = self.file.as_mut() {
+                f.flush().map_err(io_err("flush"))?;
+            }
+            self.open_segment(self.records)?;
+        }
+        Ok(())
+    }
+
+    /// Appends one framed record. Hot-path safe: no allocation, one
+    /// `write_all` into the already-open segment.
+    pub fn append(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        let Some(f) = self.file.as_mut() else {
+            return Err(WalError::Corrupt("append on closed writer"));
+        };
+        f.write_all(frame).map_err(io_err("append"))?;
+        self.note_record(frame.len());
+        Ok(())
+    }
+
+    /// Appends only the first `keep` bytes of `frame` — a simulated
+    /// torn write. The writer's record accounting is *not* advanced;
+    /// the torn bytes are an artifact on disk that recovery must drop.
+    pub fn append_torn(&mut self, frame: &[u8], keep: usize) -> Result<(), WalError> {
+        let keep = keep.min(frame.len());
+        let Some(partial) = frame.get(..keep) else {
+            return Err(WalError::Corrupt("torn range"));
+        };
+        let Some(f) = self.file.as_mut() else {
+            return Err(WalError::Corrupt("append on closed writer"));
+        };
+        f.write_all(partial).map_err(io_err("append"))?;
+        Ok(())
+    }
+
+    /// Records bookkeeping for a frame appended by other means (used
+    /// when recovery re-appends a pending frame to a rebuilt writer).
+    fn note_record(&mut self, frame_len: usize) {
+        let len = frame_len as u64;
+        self.records = self.records.saturating_add(1);
+        self.bytes = self.bytes.saturating_add(len);
+        self.seg_bytes = self.seg_bytes.saturating_add(len);
+        if self.seg_bytes >= self.segment_limit {
+            self.rotate_pending = true;
+        }
+    }
+
+    /// Flushes the current segment to the OS.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if let Some(f) = self.file.as_mut() {
+            f.flush().map_err(io_err("flush"))?;
+            f.sync_all().map_err(io_err("sync"))?;
+        }
+        Ok(())
+    }
+}
+
+/// What a full scan of the log found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanSummary {
+    /// Records decoded (including any skipped before the snapshot
+    /// position).
+    pub records_seen: u64,
+    /// Valid bytes across all segments (torn tail excluded).
+    pub valid_bytes: u64,
+    /// Torn bytes dropped from the final segment's tail.
+    pub torn_bytes: u64,
+    /// First record index of the final segment.
+    pub last_seg_first: u64,
+    /// Valid bytes within the final segment.
+    pub last_seg_valid_bytes: u64,
+}
+
+/// Scans every segment under `dir` in order, invoking `visit` for each
+/// record whose global index is `>= skip` (records before `skip` are
+/// decoded for integrity but not delivered — they are covered by a
+/// snapshot).
+///
+/// Torn-tail policy: a `Truncated` decode error at the tail of the
+/// final segment is clean truncation (counted in
+/// [`ScanSummary::torn_bytes`]); the same error in an earlier segment,
+/// or any other decode error anywhere, is returned as a typed
+/// [`WalError`].
+pub fn scan<F>(dir: &Path, skip: u64, mut visit: F) -> Result<ScanSummary, WalError>
+where
+    F: FnMut(u64, WalRecord) -> Result<(), WalError>,
+{
+    scan_views(dir, skip, |index, view| match view {
+        RecordView::Ingest(v) => visit(index, v.to_record()),
+        RecordView::Owned(record) => visit(index, record),
+    })
+}
+
+/// Like [`scan`], but delivers borrowed [`RecordView`]s: `Ingest`
+/// samples stay inside the segment buffer, so replay can fold them
+/// without a per-record allocation. Same ordering, skip semantics, and
+/// torn-tail policy as [`scan`].
+pub fn scan_views<F>(dir: &Path, skip: u64, mut visit: F) -> Result<ScanSummary, WalError>
+where
+    F: FnMut(u64, RecordView<'_>) -> Result<(), WalError>,
+{
+    let segs = list_segments(dir)?;
+    let mut summary = ScanSummary::default();
+    let mut index: u64 = 0;
+    let total = segs.len();
+    for (pos, (first, path)) in segs.into_iter().enumerate() {
+        if first != index {
+            return Err(WalError::Corrupt("segment sequence gap"));
+        }
+        let is_last = pos + 1 == total;
+        let data = fs::read(&path).map_err(io_err("read segment"))?;
+        let mut off = 0usize;
+        summary.last_seg_first = first;
+        summary.last_seg_valid_bytes = 0;
+        while let Some(rest) = data.get(off..) {
+            if rest.is_empty() {
+                break;
+            }
+            match decode_record_view(rest) {
+                Ok((record, used)) => {
+                    if index >= skip {
+                        visit(index, record)?;
+                    }
+                    off += used;
+                    index += 1;
+                    summary.records_seen += 1;
+                    summary.valid_bytes += used as u64;
+                    summary.last_seg_valid_bytes += used as u64;
+                }
+                Err(WalError::Frame(DecodeError::Truncated { .. })) if is_last => {
+                    // Interrupted append: everything before `off` is
+                    // intact, the tail is dropped.
+                    summary.torn_bytes = (data.len() - off) as u64;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordEncoder, TAG_FLUSH};
+    use wiscape_simcore::SimTime;
+
+    fn flush_frame(t_us: i64) -> Vec<u8> {
+        let mut enc = RecordEncoder::with_capacity(16);
+        let mut frame = Vec::new();
+        enc.begin(TAG_FLUSH);
+        enc.put_time(SimTime::from_micros(t_us));
+        enc.seal_into(&mut frame);
+        frame
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wiscape-wal-log-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn appends_rotate_and_scan_in_order() {
+        let dir = temp_dir("rotate");
+        let mut w = WalWriter::create(&dir, 64).unwrap();
+        for i in 0..20 {
+            w.maybe_rotate().unwrap();
+            w.append(&flush_frame(i)).unwrap();
+        }
+        w.sync().unwrap();
+        assert!(list_segments(&dir).unwrap().len() > 1, "expected rotation");
+        let mut seen = Vec::new();
+        let summary = scan(&dir, 0, |idx, rec| {
+            match rec {
+                WalRecord::Flush { t } => seen.push((idx, t.as_micros())),
+                other => panic!("unexpected {other:?}"),
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(summary.records_seen, 20);
+        assert_eq!(summary.torn_bytes, 0);
+        let expect: Vec<(u64, i64)> = (0..20).map(|i| (i as u64, i as i64)).collect();
+        assert_eq!(seen, expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_final_segment_is_clean() {
+        let dir = temp_dir("torn");
+        let mut w = WalWriter::create(&dir, u64::MAX).unwrap();
+        w.append(&flush_frame(1)).unwrap();
+        let frame = flush_frame(2);
+        w.append_torn(&frame, frame.len() - 3).unwrap();
+        w.sync().unwrap();
+        let summary = scan(&dir, 0, |_, _| Ok(())).unwrap();
+        assert_eq!(summary.records_seen, 1);
+        assert_eq!(summary.torn_bytes, (frame.len() - 3) as u64);
+        // Resume truncates the tail and the next append lands clean.
+        let mut w2 = WalWriter::resume(
+            &dir,
+            u64::MAX,
+            summary.records_seen,
+            summary.valid_bytes,
+            summary.last_seg_first,
+            summary.last_seg_valid_bytes,
+        )
+        .unwrap();
+        w2.append(&flush_frame(3)).unwrap();
+        w2.sync().unwrap();
+        let summary2 = scan(&dir, 0, |_, _| Ok(())).unwrap();
+        assert_eq!(summary2.records_seen, 2);
+        assert_eq!(summary2.torn_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_middle_is_typed_error() {
+        let dir = temp_dir("corrupt");
+        let mut w = WalWriter::create(&dir, u64::MAX).unwrap();
+        w.append(&flush_frame(1)).unwrap();
+        w.append(&flush_frame(2)).unwrap();
+        w.sync().unwrap();
+        let (first, path) = list_segments(&dir).unwrap().remove(0);
+        assert_eq!(first, 0);
+        let mut data = fs::read(&path).unwrap();
+        data[4] ^= 0xFF; // inside the first record's body
+        fs::write(&path, &data).unwrap();
+        match scan(&dir, 0, |_, _| Ok(())) {
+            Err(WalError::Frame(_)) => {}
+            other => panic!("expected frame error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -13,6 +13,15 @@
 # itself lands *next to* the scratch directory, never inside it: its
 # timing section is wall-clock and must not enter the manifest.
 #
+# A second pass then proves the durability layer is transparent: the
+# same quick run re-executes with every channel-driven coordinator
+# event-sourced through a wiscape-wal log AND a seeded mid-run crash
+# injected into each WAL run (kill at an append/snapshot/fold boundary,
+# torn tail included, then snapshot+replay recovery). The regenerated
+# artifacts are diffed against the *same* committed manifest — commit,
+# crash, recover must change nothing. The WAL segment/snapshot/manifest
+# files are hashed into $out.wal.manifest for the CI artifact.
+#
 # Usage:
 #   scripts/verify_results.sh            # verify against the manifest
 #   scripts/verify_results.sh --update   # regenerate the manifest
@@ -21,9 +30,10 @@ cd "$(dirname "$0")/.."
 
 manifest=results/QUICK_MANIFEST.sha256
 out="${TMPDIR:-/tmp}/wiscape_quick_manifest_check"
+wal_crash_seed=11
 
 cargo build --release -q -p wiscape-experiments --bin repro
-rm -rf "$out"
+rm -rf "$out" "$out.wal" "$out.waldir"
 ./target/release/repro --seed 7 --quick --out "$out" --obs "$out.obs.json" >/dev/null
 echo "[verify_results] obs snapshot: $out.obs.json"
 
@@ -39,3 +49,19 @@ else
     fi
     echo "[verify_results] OK: $(wc -l < "$manifest") artifacts byte-identical"
 fi
+
+# --- crash-recover-verify pass -------------------------------------------
+# Quick run again, WAL-backed, with a deterministic crash per WAL run.
+./target/release/repro --seed 7 --quick --out "$out.wal" \
+    --wal "$out.waldir" --wal-crash-seed "$wal_crash_seed" >/dev/null
+
+(cd "$out.wal" && sha256sum -- *.json | LC_ALL=C sort -k2) > "$out.wal.artifacts"
+if ! diff -u "$manifest" "$out.wal.artifacts"; then
+    echo "[verify_results] FAIL: WAL-backed crash+recover run drifted from $manifest" >&2
+    exit 1
+fi
+
+# Hash the WAL itself (segments, snapshots, manifests) for the CI artifact.
+(cd "$out.waldir" && find . -type f | LC_ALL=C sort | xargs sha256sum --) > "$out.wal.manifest"
+wal_files=$(wc -l < "$out.wal.manifest")
+echo "[verify_results] OK: crash+recover (seed $wal_crash_seed) byte-identical; $wal_files WAL files hashed to $out.wal.manifest"

@@ -2,13 +2,23 @@
 //!
 //! ```text
 //! wiscape map    [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]
+//!                [--wal DIR] [--crash-seed N] [--recover DIR]
 //!                                                           run a deployment, dump the zone map
+//!
+//!   --wal DIR         route the coordinator through the wiscape-wal event
+//!                     log under DIR (commit-before-fold durability)
+//!   --crash-seed N    with --wal: deterministically kill and recover the
+//!                     coordinator mid-run; the map must stay byte-identical
+//!   --recover DIR     skip the simulation entirely: rebuild the coordinator
+//!                     from the WAL under DIR (snapshot + replay) and dump
+//!                     the zone map it had published
 //! wiscape trace  <standalone|wirover|spot|short-segment>
 //!                [--seed N] [--days D] [--out trace.csv]    regenerate a dataset as CSV
 //! wiscape epoch  [--seed N] [--region wi|nj]                Allan-deviation epoch profile
 //! wiscape quality [--seed N] [--lat L --lon L] [--hour H]   ground-truth link quality lookup
 //! ```
 
+use wiscape::core::CoordinatorHandle;
 use wiscape::datasets::{save_csv, short_segment, spot, standalone, wirover};
 use wiscape::prelude::*;
 
@@ -67,7 +77,8 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  wiscape map     [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]\n  \
+        "usage:\n  wiscape map     [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]\n                  \
+         [--wal DIR] [--crash-seed N] [--recover DIR]\n  \
          wiscape trace   <standalone|wirover|spot|short-segment> [--seed N] [--days D] [--out trace.csv]\n  \
          wiscape epoch   [--seed N] [--region wi|nj]\n  \
          wiscape quality [--seed N] [--lat L --lon L] [--hour H]"
@@ -99,19 +110,86 @@ fn cmd_map(args: &Args) {
         wiscape::obs::set_enabled(true);
     }
     let land = landscape(args);
-    let mut fleet = Fleet::new(seed);
-    fleet
-        .add_transit_buses(5, land.origin(), 6000.0, 10)
-        .add_static_spot(land.origin());
-    let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
     let config = if loss > 0.0 {
         report_loss(loss)
     } else {
         perfect_link()
     };
-    let mut deployment = ChannelDeployment::new(land, fleet, index, config);
+    // --recover: no simulation at all. Rebuild the coordinator from the
+    // WAL directory (latest snapshot + log replay) and dump the zone map
+    // it had published — byte-identical to the run that wrote the log.
+    if let Some(dir) = args.str_flag("recover") {
+        let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
+        let (recovered, report) = wiscape::wal::DurableCoordinator::recover(
+            std::path::Path::new(dir),
+            index,
+            config.deployment.coordinator.clone(),
+            wiscape::wal::WalOptions::default(),
+        )
+        .unwrap_or_else(|e| die(&format!("recover {dir}: {e}")));
+        eprintln!(
+            "recovered: snapshot at {} records, {} replayed, {} torn bytes truncated, {} records",
+            report.snapshot_records, report.replayed, report.torn_bytes, report.records
+        );
+        emit_map(args, recovered.coordinator_ref(), obs_path.as_deref());
+        return;
+    }
+    let mut fleet = Fleet::new(seed);
+    fleet
+        .add_transit_buses(5, land.origin(), 6000.0, 10)
+        .add_static_spot(land.origin());
+    let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
     let start = SimTime::at(1, 7.0);
     let window = SimDuration::from_secs_f64(hours * 3600.0);
+    if let Some(dir) = args.str_flag("wal") {
+        let plan = match args.flags.get("crash-seed") {
+            Some(v) => {
+                let s: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--crash-seed: not an integer: {v}")));
+                wiscape::wal::CrashPlan::seeded(s, 500)
+            }
+            None => wiscape::wal::CrashPlan::none(),
+        };
+        let opts = wiscape::wal::WalOptions {
+            snapshot_every: 256,
+            plan,
+            ..wiscape::wal::WalOptions::default()
+        };
+        let coordinator = wiscape::wal::DurableCoordinator::create(
+            std::path::Path::new(dir),
+            index,
+            config.deployment.coordinator.clone(),
+            opts,
+        )
+        .unwrap_or_else(|e| die(&format!("wal {dir}: {e}")));
+        let mut deployment = ChannelDeployment::with_coordinator(land, fleet, coordinator, config);
+        drive_map(&mut deployment, loss, start, window);
+        let wal = deployment.handle_mut();
+        wal.shutdown()
+            .unwrap_or_else(|e| die(&format!("wal shutdown: {e}")));
+        let m = wal.wal_meters();
+        if m.recovery_mismatches != 0 {
+            die("wal recovery diverged from the live run");
+        }
+        eprintln!(
+            "wal: {} records, {} bytes, {} snapshots, {} recoveries",
+            m.records, m.bytes_appended, m.snapshots, m.recoveries
+        );
+        emit_map(args, deployment.coordinator(), obs_path.as_deref());
+    } else {
+        let mut deployment = ChannelDeployment::new(land, fleet, index, config);
+        drive_map(&mut deployment, loss, start, window);
+        emit_map(args, deployment.coordinator(), obs_path.as_deref());
+    }
+}
+
+fn drive_map<C: CoordinatorHandle>(
+    deployment: &mut ChannelDeployment<C>,
+    loss: f64,
+    start: SimTime,
+    window: SimDuration,
+) {
     deployment.run(start, start + window);
     wiscape::obs::span("map/sim_window")
         .record_micros(u64::try_from(window.as_micros()).unwrap_or(0));
@@ -140,11 +218,14 @@ fn cmd_map(args: &Args) {
             wiscape::obs::counter("coordinator/malformed_dropped").get()
         );
     }
-    let published = deployment.coordinator().all_published();
+}
+
+fn emit_map(args: &Args, coordinator: &Coordinator, obs_path: Option<&str>) {
+    let published = coordinator.all_published();
     let mut out =
         String::from("zone_col,zone_row,lat_deg,lon_deg,network,mean_kbps,std_kbps,samples\n");
     for e in &published {
-        let c = deployment.coordinator().index().center_of(e.zone);
+        let c = coordinator.index().center_of(e.zone);
         out.push_str(&format!(
             "{},{},{:.6},{:.6},{},{:.1},{:.1},{}\n",
             e.zone.0.col,
@@ -165,7 +246,7 @@ fn cmd_map(args: &Args) {
         None => print!("{out}"),
     }
     if let Some(path) = obs_path {
-        wiscape::obs::write_snapshot(std::path::Path::new(&path))
+        wiscape::obs::write_snapshot(std::path::Path::new(path))
             .unwrap_or_else(|e| die(&format!("write obs snapshot {path}: {e}")));
         eprintln!("obs snapshot -> {path}");
     }

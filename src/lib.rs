@@ -65,6 +65,7 @@ pub use wiscape_obs as obs;
 pub use wiscape_simcore as simcore;
 pub use wiscape_simnet as simnet;
 pub use wiscape_stats as stats;
+pub use wiscape_wal as wal;
 pub use wiscape_workload as workload;
 
 /// The most commonly used types, re-exported flat.
