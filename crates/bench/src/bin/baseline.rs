@@ -11,10 +11,12 @@
 //! `results/BENCH_core.json` (or `--out PATH`). The `WISCAPE_THREADS`
 //! environment variable pins the worker count.
 //!
-//! `--smoke` runs only the fast decode/batch-eval/WAL measurements and
-//! exits nonzero if a hot path regressed past its floor (owned decode
-//! under 2M frames/s, WAL replay under 1M reports/s, or the SoA batch
-//! path slower than the scalar cursor on a train-shaped workload). CI
+//! `--smoke` runs only the fast decode/batch-eval/WAL/shard
+//! measurements and exits nonzero if a hot path regressed past its
+//! floor (owned decode under 2M frames/s, WAL replay under 1M
+//! reports/s, the SoA batch path slower than the scalar cursor on a
+//! train-shaped workload, or — when at least 4 workers are configured
+//! — the 4-shard batch ingest under 2x the single-shard rate). CI
 //! runs this after the test suite; `WISCAPE_SKIP_PERF_SMOKE=1` skips
 //! it there.
 
@@ -122,6 +124,39 @@ struct IngestRates {
     per_zone_state_bytes: usize,
 }
 
+/// Sharded-ingest throughput at one shard count:
+/// `ShardSet::ingest_batch` reports per second with the batch bucketed
+/// by owning zone-range shard and each bucket folded on its own
+/// worker.
+#[derive(Serialize)]
+struct ShardScale {
+    /// Shard count for this row.
+    shards: usize,
+    /// Reports routed to each shard per second (bucket share times the
+    /// batch rate; the buckets are near-even under the contiguous
+    /// zone-range assignment).
+    per_shard_reports_s: Vec<f64>,
+    /// Total reports folded per second across all shards.
+    aggregate_reports_s: f64,
+    /// `aggregate_reports_s / (the N=1 aggregate)`.
+    speedup_vs_single: f64,
+}
+
+/// Sharded-ingest scaling across shard counts 1/2/4/8. Buckets fold in
+/// parallel on the deterministic executor, so the aggregate tracks
+/// `WISCAPE_THREADS`: near-linear up to the worker count, flat beyond
+/// it (on one worker every row stays near the N=1 rate and the
+/// per-shard share drops as 1/N).
+#[derive(Serialize)]
+struct ShardRates {
+    /// Worker threads available to the batch fold.
+    threads: usize,
+    /// Reports per timed batch.
+    batch_len: usize,
+    /// One row per shard count, in `[1, 2, 4, 8]` order.
+    per_count: Vec<ShardScale>,
+}
+
 /// WAL durability cost and recovery speed. Append measures the full
 /// commit-before-fold path (encode + log append + sketch fold); replay
 /// measures `DurableCoordinator::recover` over a log of ingest records.
@@ -151,6 +186,7 @@ struct BenchCore {
     channel: ChannelRates,
     decode: DecodeRates,
     ingest: IngestRates,
+    shard: ShardRates,
     recovery: RecoveryRates,
     /// Per-experiment wall-clock at Scale::Quick, paper order.
     experiments: Vec<ExperimentTiming>,
@@ -425,6 +461,74 @@ fn ingest_rates() -> IngestRates {
     }
 }
 
+fn shard_rates() -> ShardRates {
+    use wiscape_core::{
+        CoordinatorConfig, MeasurementTask, SampleReport, ShardSet, ZoneId, ZoneIndex,
+    };
+    use wiscape_geo::{BoundingBox, GeoPoint};
+    use wiscape_mobility::ClientId;
+    use wiscape_simnet::TransportKind;
+
+    let budget = 0.4;
+    let origin = GeoPoint::new(39.0, -77.0).expect("valid origin");
+    let bounds = BoundingBox::around(origin, 8000.0);
+    let index = ZoneIndex::new(bounds, 200.0).expect("valid index");
+    let zones: Vec<ZoneId> = index.zones().collect();
+    // A batch big enough to amortize the bucketing pass, striding the
+    // zone list so every shard's range gets an even share of the work.
+    let batch: Vec<SampleReport> = (0..2048u64)
+        .map(|i| {
+            let zone = zones[(i as usize).wrapping_mul(131) % zones.len()];
+            let network = if i.is_multiple_of(2) {
+                NetworkId::NetA
+            } else {
+                NetworkId::NetB
+            };
+            SampleReport {
+                client: ClientId(u32::try_from(i % 64).expect("small")),
+                task: MeasurementTask {
+                    zone,
+                    network,
+                    kind: TransportKind::Udp,
+                    n_packets: 20,
+                    packet_bytes: 1200,
+                },
+                zone,
+                t: SimTime::at(1, 9.5),
+                samples: (0..20).map(|k| 850.0 + (k + i) as f64).collect(),
+            }
+        })
+        .collect();
+
+    let mut per_count = Vec::new();
+    let mut single_aggregate = 0.0f64;
+    for n in [1usize, 2, 4, 8] {
+        let mut set = ShardSet::new(index.clone(), CoordinatorConfig::default(), n);
+        let batches_s = rate(budget, || {
+            set.ingest_batch(black_box(&batch));
+        });
+        let aggregate_reports_s = batches_s * batch.len() as f64;
+        let mut counts = vec![0u64; n];
+        for r in &batch {
+            counts[set.assignment().shard_of(r.zone)] += 1;
+        }
+        if n == 1 {
+            single_aggregate = aggregate_reports_s;
+        }
+        per_count.push(ShardScale {
+            shards: n,
+            per_shard_reports_s: counts.iter().map(|&c| c as f64 * batches_s).collect(),
+            aggregate_reports_s,
+            speedup_vs_single: aggregate_reports_s / single_aggregate.max(1.0),
+        });
+    }
+    ShardRates {
+        threads: exec::thread_count(),
+        batch_len: batch.len(),
+        per_count,
+    }
+}
+
 fn recovery_rates() -> RecoveryRates {
     use wiscape_core::{CoordinatorConfig, CoordinatorHandle, ZoneIndex};
     use wiscape_geo::{BoundingBox, GeoPoint};
@@ -562,7 +666,40 @@ fn run_smoke() -> ! {
         recovery.replay_records,
         recovery.append_bytes_per_record,
     );
+    eprintln!("[smoke] sharded ingest scaling...");
+    let shard = shard_rates();
+    for row in &shard.per_count {
+        eprintln!(
+            "[smoke] shards={} aggregate {:.2}M reports/s ({:.2}x vs single)",
+            row.shards,
+            row.aggregate_reports_s / 1e6,
+            row.speedup_vs_single,
+        );
+    }
     let mut ok = true;
+    // The sharded floor needs real parallelism: each shard folds its
+    // bucket on its own worker, so on fewer than 4 workers the N=4 run
+    // time-slices one core and the 2x target is unmeasurable.
+    if shard.threads >= 4 {
+        let single = shard.per_count.iter().find(|r| r.shards == 1);
+        let four = shard.per_count.iter().find(|r| r.shards == 4);
+        match (single, four) {
+            (Some(s), Some(f)) if f.aggregate_reports_s < 2.0 * s.aggregate_reports_s => {
+                eprintln!(
+                    "[smoke] FAIL: 4-shard aggregate {:.0}/s is under 2x the single-shard \
+                     {:.0}/s on {} workers",
+                    f.aggregate_reports_s, s.aggregate_reports_s, shard.threads,
+                );
+                ok = false;
+            }
+            _ => {}
+        }
+    } else {
+        eprintln!(
+            "[smoke] SKIP: shard scaling floor needs >= 4 workers (have {})",
+            shard.threads
+        );
+    }
     if recovery.replay_report_s < 1.0e6 {
         eprintln!(
             "[smoke] FAIL: replay_report_s {:.0}/s is under the 1M/s floor",
@@ -676,6 +813,15 @@ fn main() {
         ingest.sketch_bytes,
     );
 
+    eprintln!("[baseline] sharded ingest scaling (1/2/4/8 shards)...");
+    let shard = shard_rates();
+    for row in &shard.per_count {
+        eprintln!(
+            "[baseline] shards={}: aggregate {:.0} reports/s ({:.2}x vs single)",
+            row.shards, row.aggregate_reports_s, row.speedup_vs_single,
+        );
+    }
+
     eprintln!("[baseline] wal append + replay recovery rates...");
     let recovery = recovery_rates();
     eprintln!(
@@ -710,6 +856,7 @@ fn main() {
         channel,
         decode,
         ingest,
+        shard,
         recovery,
         experiments,
         experiments_wall_s,

@@ -7,13 +7,20 @@
 //! touched) is byte-for-byte the footprint at the end, and it equals
 //! `zones_tracked * per_zone_state_bytes` exactly.
 //!
+//! A second, nation-scale smoke drives one million distinct clients
+//! over a >= 100k-zone index through a 4-way [`ShardSet`] and asserts
+//! the merged state is bitwise identical to a single coordinator.
+//!
 //! Run with `cargo test --release -p wiscape-bench --test scale_smoke`;
-//! under a debug profile the test is compiled but ignored (the 1M-fold
-//! loop is release-speed work).
+//! under a debug profile the tests are compiled but ignored (the
+//! 1M-fold loops are release-speed work).
 
 use wiscape_channel::codec::{encode, ReportMsg, WireMessage};
 use wiscape_channel::{ChannelServer, CommitPolicy};
-use wiscape_core::{Coordinator, CoordinatorConfig, MeasurementTask, SampleReport, ZoneIndex};
+use wiscape_core::{
+    state_fingerprint, Coordinator, CoordinatorConfig, MeasurementTask, SampleReport, ShardSet,
+    ZoneIndex,
+};
 use wiscape_geo::{BoundingBox, GeoPoint};
 use wiscape_mobility::ClientId;
 use wiscape_simcore::{SimTime, StreamRng};
@@ -98,5 +105,86 @@ fn million_observations_hold_o_zones_memory() {
     assert_eq!(
         server.sketch_bytes(),
         server.zones_tracked() * Coordinator::per_zone_state_bytes()
+    );
+}
+
+const NATION_REPORTS: usize = 1_000_000;
+const NATION_SAMPLES: usize = 2;
+const NATION_BATCH: usize = 8192;
+
+/// Nation-scale topology smoke: a >= 100k-zone index, one million
+/// distinct clients reporting, folded through a 4-shard `ShardSet`
+/// with the parallel batch path — and the merged state is bitwise
+/// identical to one coordinator folding the same stream serially.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "1M-client nation-scale loop; run with --release"
+)]
+fn nation_scale_sharded_merge_matches_single() {
+    let origin = GeoPoint::new(39.0, -77.0).expect("valid origin");
+    // 72 km around the center at the paper's 250 m default zone radius
+    // puts the index well past the 100k-zone nation-scale floor.
+    let index = ZoneIndex::around(origin, 72_000.0).expect("valid index");
+    assert!(
+        index.zone_count() >= 100_000,
+        "nation-scale index holds only {} zones",
+        index.zone_count()
+    );
+    let zones: Vec<_> = index.zones().collect();
+    let t = SimTime::at(1, 9.0);
+
+    // One distinct client per report (>= 1M clients total), striding
+    // the zone list with a prime so every zone is touched.
+    let make = |i: usize| -> SampleReport {
+        let zone = zones[i.wrapping_mul(7919) % zones.len()];
+        let network = if i.is_multiple_of(2) {
+            NetworkId::NetA
+        } else {
+            NetworkId::NetB
+        };
+        SampleReport {
+            client: ClientId(u32::try_from(i).expect("fits u32")),
+            task: MeasurementTask {
+                zone,
+                network,
+                kind: TransportKind::Udp,
+                n_packets: u32::try_from(NATION_SAMPLES).expect("small"),
+                packet_bytes: 1200,
+            },
+            zone,
+            t,
+            samples: (0..NATION_SAMPLES)
+                .map(|s| 700.0 + (s + i % 211) as f64)
+                .collect(),
+        }
+    };
+
+    let mut single = Coordinator::new(index.clone(), CoordinatorConfig::default());
+    let mut sharded = ShardSet::new(index.clone(), CoordinatorConfig::default(), 4);
+    let mut batch: Vec<SampleReport> = Vec::with_capacity(NATION_BATCH);
+    for i in 0..NATION_REPORTS {
+        batch.push(make(i));
+        if batch.len() == NATION_BATCH || i + 1 == NATION_REPORTS {
+            for r in &batch {
+                let _ = single.ingest_report(r);
+            }
+            sharded.ingest_batch(&batch);
+            batch.clear();
+        }
+    }
+    let end = SimTime::at(1, 10.0);
+    single.flush(end);
+    sharded.flush(end);
+
+    assert!(
+        single.zones_tracked() >= 100_000,
+        "stream touched only {} cells",
+        single.zones_tracked()
+    );
+    assert_eq!(
+        state_fingerprint(&sharded.merged_state()),
+        state_fingerprint(&single.export_state()),
+        "4-shard merged state diverged from the single coordinator at nation scale"
     );
 }

@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 
 use wiscape_core::{
     ClientAgent, Coordinator, CoordinatorHandle, DeploymentConfig, DeploymentStats, EpochTuner,
-    HistoryStore, QuotaTuner,
+    HistoryStore, QuotaTuner, RebalanceMove, ShardAssignment,
 };
 use wiscape_geo::GeoPoint;
 use wiscape_mobility::{ClientId, Fleet};
@@ -32,7 +32,8 @@ use wiscape_simnet::{Landscape, NetworkId};
 
 use crate::codec::{decode_ref, encode, CheckinRequest, WireMessage, WireMessageRef};
 use crate::link::{LinkConfig, LinkMeters, LossyLink};
-use crate::server::{ChannelServer, CommitPolicy, ServerMeters};
+use crate::server::{ChannelServer, CommitPolicy, ServerEndpoint, ServerMeters};
+use crate::shard::ShardedChannelServer;
 use crate::uplink::{Uplink, UplinkConfig, UplinkMeters};
 
 /// Configuration of a channel-backed deployment.
@@ -148,14 +149,17 @@ struct ClientState {
 
 /// A running channel-backed deployment.
 ///
-/// Generic over the [`CoordinatorHandle`] behind the server endpoint
-/// (default: a plain [`Coordinator`]); see
+/// Generic over the [`ServerEndpoint`] terminating the wire protocol:
+/// the default is a single-coordinator [`ChannelServer`]; substitute a
+/// [`ShardedChannelServer`] (via [`ChannelDeployment::sharded`]) for
+/// the N-way zone-range topology — the control loop is the same code
+/// either way, which is the sharded-parity argument. See
 /// [`ChannelDeployment::with_coordinator`] for running against a
 /// WAL-backed handle.
-pub struct ChannelDeployment<C: CoordinatorHandle = Coordinator> {
+pub struct ChannelDeployment<S: ServerEndpoint = ChannelServer<Coordinator>> {
     land: Landscape,
     fleet: Fleet,
-    server: ChannelServer<C>,
+    server: S,
     config: ChannelConfig,
     stream: StreamRng,
     clients: BTreeMap<ClientId, ClientState>,
@@ -172,6 +176,12 @@ pub struct ChannelDeployment<C: CoordinatorHandle = Coordinator> {
     pub epoch_tuner: EpochTuner,
     last_retune: Option<SimTime>,
     carrier: Option<NetworkId>,
+    /// Rounds executed so far: `run_until` keeps numbering ticks from
+    /// here, so a run split around a mid-stream rebalance draws the
+    /// same task coins as an unsplit run.
+    rounds_done: u64,
+    /// The time the next `run_until`/`finish` call resumes from.
+    clock: SimTime,
 }
 
 impl ChannelDeployment {
@@ -189,7 +199,79 @@ impl ChannelDeployment {
     }
 }
 
-impl<C: CoordinatorHandle> ChannelDeployment<C> {
+impl ChannelDeployment<ShardedChannelServer> {
+    /// [`ChannelDeployment::new`] over `shards` zone-range shards (an
+    /// even split of the index), each a plain [`Coordinator`] behind
+    /// its own per-shard server.
+    pub fn sharded(
+        land: Landscape,
+        fleet: Fleet,
+        index: wiscape_core::ZoneIndex,
+        config: ChannelConfig,
+        shards: usize,
+    ) -> Self {
+        let n = shards.max(1);
+        let coordinators = (0..n)
+            .map(|_| Coordinator::new(index.clone(), config.deployment.coordinator.clone()))
+            .collect();
+        let assignment = ShardAssignment::even(&index, n);
+        Self::with_sharded_coordinators(land, fleet, coordinators, assignment, index, config)
+    }
+}
+
+impl<C: CoordinatorHandle> ChannelDeployment<ShardedChannelServer<C>> {
+    /// [`ChannelDeployment::sharded`] over externally built coordinator
+    /// handles (one per shard) and an explicit ownership map — the
+    /// sharded WAL entry point: pass per-shard `DurableCoordinator`s
+    /// and every shard logs its own event stream, including the
+    /// `MigrateOut`/`MigrateIn` records of a rebalance.
+    pub fn with_sharded_coordinators(
+        land: Landscape,
+        fleet: Fleet,
+        coordinators: Vec<C>,
+        assignment: ShardAssignment,
+        index: wiscape_core::ZoneIndex,
+        mut config: ChannelConfig,
+    ) -> Self {
+        if config.deployment.networks.is_empty() {
+            config.deployment.networks = land.networks();
+        }
+        let seed = land.config().seed;
+        let stream = StreamRng::new(seed).fork("deployment");
+        let server = ShardedChannelServer::new(
+            coordinators,
+            assignment,
+            index,
+            config.deployment.coordinator.clone(),
+            config.commit,
+            stream,
+            config.deployment.networks.clone(),
+        );
+        Self::from_parts(land, fleet, server, config)
+    }
+
+    /// Applies a zone-range rebalance on the endpoint mid-run (returns
+    /// migrated cells; 0 for an inapplicable move). Call between
+    /// [`ChannelDeployment::run_until`] segments so the move lands on a
+    /// check-in boundary.
+    pub fn rebalance(&mut self, mv: &RebalanceMove) -> usize {
+        let n = self.server.rebalance(mv);
+        self.server.refresh_merged();
+        n
+    }
+
+    /// Mutable per-shard coordinator handles, in shard order.
+    pub fn shard_handles_mut(&mut self) -> impl Iterator<Item = &mut C> + '_ {
+        self.server.handles_mut()
+    }
+
+    /// The sharded endpoint (assignment, per-shard servers).
+    pub fn sharded_server(&self) -> &ShardedChannelServer<C> {
+        &self.server
+    }
+}
+
+impl<C: CoordinatorHandle> ChannelDeployment<ChannelServer<C>> {
     /// [`ChannelDeployment::new`] over an externally built coordinator
     /// handle — the WAL entry point: pass a `DurableCoordinator` and
     /// every committed mutation is event-logged before it folds.
@@ -204,13 +286,28 @@ impl<C: CoordinatorHandle> ChannelDeployment<C> {
         }
         let seed = land.config().seed;
         let stream = StreamRng::new(seed).fork("deployment");
-        let channel_stream = StreamRng::new(seed).fork("channel");
         let server = ChannelServer::new(
             coordinator,
             config.commit,
             stream,
             config.deployment.networks.clone(),
         );
+        Self::from_parts(land, fleet, server, config)
+    }
+
+    /// Mutable access to the coordinator handle behind the server
+    /// (end-of-run WAL inspection, forced snapshots).
+    pub fn handle_mut(&mut self) -> &mut C {
+        self.server.handle_mut()
+    }
+}
+
+impl<S: ServerEndpoint> ChannelDeployment<S> {
+    /// Shared tail of every constructor: wires the fleet's per-client
+    /// channel state around an already-built endpoint.
+    fn from_parts(land: Landscape, fleet: Fleet, server: S, config: ChannelConfig) -> Self {
+        let seed = land.config().seed;
+        let channel_stream = StreamRng::new(seed).fork("channel");
         let mut clients = BTreeMap::new();
         for client in fleet.clients() {
             let id = client.id();
@@ -234,6 +331,7 @@ impl<C: CoordinatorHandle> ChannelDeployment<C> {
         }
         // The control channel rides the first monitored network.
         let carrier = config.deployment.networks.first().copied();
+        let stream = StreamRng::new(seed).fork("deployment");
         Self {
             land,
             fleet,
@@ -250,18 +348,20 @@ impl<C: CoordinatorHandle> ChannelDeployment<C> {
             epoch_tuner: EpochTuner::default(),
             last_retune: None,
             carrier,
+            rounds_done: 0,
+            clock: SimTime::EPOCH,
         }
     }
 
     /// The server endpoint (coordinator + channel meters).
-    pub fn server(&self) -> &ChannelServer<C> {
+    pub fn server(&self) -> &S {
         &self.server
     }
 
-    /// Mutable access to the coordinator handle behind the server
-    /// (end-of-run WAL inspection, forced snapshots).
-    pub fn handle_mut(&mut self) -> &mut C {
-        self.server.handle_mut()
+    /// The check-in interval driving round timing (for callers that
+    /// split a run on a round boundary).
+    pub fn checkin_interval(&self) -> wiscape_simcore::SimDuration {
+        self.config.deployment.checkin_interval
     }
 
     /// The wrapped coordinator (and its published map).
@@ -464,12 +564,15 @@ impl<C: CoordinatorHandle> ChannelDeployment<C> {
             };
             let micros_bits = u64::from_le_bytes(now.as_micros().to_le_bytes());
             let seed = self.stream.fork("retune").fork_idx(micros_bits).draw_u64();
+            // Routed through the endpoint: a sharded server makes the
+            // owner decision exactly once, at the router (see
+            // `ServerEndpoint::set_zone_quota`).
             if let Some(q) = self.quota_tuner.quota(h, seed) {
-                self.server.handle_mut().set_zone_quota_tagged(zone, net, q);
+                self.server.set_zone_quota(zone, net, q);
                 self.stats.quotas_tuned += 1;
             }
             if let Some(e) = self.epoch_tuner.epoch(h) {
-                self.server.handle_mut().set_zone_epoch_tagged(zone, net, e);
+                self.server.set_zone_epoch(zone, net, e);
                 self.stats.epochs_tuned += 1;
             }
         }
@@ -527,14 +630,36 @@ impl<C: CoordinatorHandle> ChannelDeployment<C> {
     /// check-in intervals before committing staged reports and
     /// finalizing every epoch at `end`.
     pub fn run(&mut self, start: SimTime, end: SimTime) {
-        let mut now = start;
-        let mut round: u64 = 0;
+        self.run_until(start, end);
+        self.finish(end);
+    }
+
+    /// Advances main-phase rounds from `start` (or, on a continuation,
+    /// from where the previous segment stopped) up to `end`
+    /// (exclusive), without draining. Tick numbering continues across
+    /// calls, so `run_until(a, m); run_until(m, b); finish(b)` draws
+    /// the same task coins as `run(a, b)` — the hook for mid-stream
+    /// rebalancing between segments.
+    pub fn run_until(&mut self, start: SimTime, end: SimTime) {
+        let mut now = if self.rounds_done > 0 && self.clock > start {
+            self.clock
+        } else {
+            start
+        };
         while now < end {
-            round += 1;
-            self.round(round, now);
+            self.rounds_done += 1;
+            self.round(self.rounds_done, now);
             now = now + self.config.deployment.checkin_interval;
         }
-        // Drain phase: no new check-ins, just deliveries and retries.
+        self.clock = now;
+    }
+
+    /// Runs the drain phase (no new check-ins, just deliveries and
+    /// retries, up to `max_drain_rounds` intervals), then commits
+    /// staged reports and finalizes every epoch at `end`. Call once,
+    /// after the last [`ChannelDeployment::run_until`] segment.
+    pub fn finish(&mut self, end: SimTime) {
+        let mut now = self.clock;
         let mut extra = 0;
         while extra < self.config.max_drain_rounds
             && (!self.in_flight.is_empty() || self.pending_reports() > 0)
@@ -561,6 +686,7 @@ impl<C: CoordinatorHandle> ChannelDeployment<C> {
             }
             now = now + self.config.deployment.checkin_interval;
         }
+        self.clock = now;
         self.server.drain(end);
         self.stats.tasks_issued = self.server.meters().tasks_sent;
         self.stats.reports = self.server.meters().reports_ingested;
@@ -687,6 +813,111 @@ mod tests {
         assert_eq!(s1, s2);
         assert_eq!(m1, m2);
         assert_eq!(p1, p2);
+    }
+
+    fn sharded_deployment(
+        seed: u64,
+        config: ChannelConfig,
+        n: usize,
+    ) -> ChannelDeployment<ShardedChannelServer> {
+        let land = Landscape::new(LandscapeConfig::madison(seed));
+        let f = fleet(seed, &land);
+        let index = wiscape_core::ZoneIndex::around(land.origin(), 6000.0).unwrap();
+        ChannelDeployment::sharded(land, f, index, config, n)
+    }
+
+    #[test]
+    fn sharded_run_matches_single_for_any_shard_count() {
+        let mut cfg = perfect_link();
+        cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+        let start = SimTime::at(1, 8.0);
+        let end = SimTime::at(1, 12.0);
+        let mut single = channel_deployment(64, cfg.clone());
+        single.run(start, end);
+        let want = wiscape_core::state_fingerprint(&single.coordinator().export_state());
+        for n in [1usize, 2, 4] {
+            let mut sharded = sharded_deployment(64, cfg.clone(), n);
+            sharded.run(start, end);
+            assert_eq!(
+                wiscape_core::state_fingerprint(&sharded.coordinator().export_state()),
+                want,
+                "sharded (n={n}) must be bitwise identical to single"
+            );
+            assert_eq!(sharded.stats(), single.stats(), "stats (n={n})");
+            assert_eq!(sharded.meters(), single.meters(), "meters (n={n})");
+        }
+    }
+
+    #[test]
+    fn sharded_lossy_watermark_matches_single_after_drain() {
+        let mut cfg = report_loss(0.2);
+        cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+        cfg.uplink.rto_initial = SimDuration::from_secs(120);
+        cfg.uplink.rto_max = SimDuration::from_mins(10);
+        cfg.uplink.max_attempts = 40;
+        let start = SimTime::at(1, 8.0);
+        let end = SimTime::at(1, 12.0);
+        let mut single = channel_deployment(65, cfg.clone());
+        single.run(start, end);
+        let mut sharded = sharded_deployment(65, cfg, 4);
+        sharded.run(start, end);
+        assert_eq!(sharded.pending_reports(), 0);
+        assert!(sharded.meters().uplink.retries > 0, "loss forces retries");
+        assert_eq!(
+            wiscape_core::state_fingerprint(&sharded.coordinator().export_state()),
+            wiscape_core::state_fingerprint(&single.coordinator().export_state()),
+            "lossy sharded run (drained) must match single bitwise"
+        );
+    }
+
+    #[test]
+    fn mid_run_rebalance_preserves_bitwise_parity() {
+        let mut cfg = perfect_link();
+        cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+        let start = SimTime::at(1, 8.0);
+        let mid = SimTime::at(1, 10.0); // on a check-in boundary
+        let end = SimTime::at(1, 12.0);
+        let mut single = channel_deployment(66, cfg.clone());
+        single.run(start, end);
+        let mut sharded = sharded_deployment(66, cfg, 4);
+        sharded.run_until(start, mid);
+        let mv = wiscape_core::RebalanceMove::seeded(
+            7,
+            single.coordinator().index(),
+            sharded.sharded_server().assignment(),
+        )
+        .expect("seeded move exists");
+        let moved = sharded.rebalance(&mv);
+        assert!(moved > 0, "mid-run rebalance must migrate live cells");
+        sharded.run_until(mid, end);
+        sharded.finish(end);
+        assert_eq!(
+            wiscape_core::state_fingerprint(&sharded.coordinator().export_state()),
+            wiscape_core::state_fingerprint(&single.coordinator().export_state()),
+            "rebalanced sharded run must match single bitwise"
+        );
+        assert_eq!(sharded.stats(), single.stats());
+    }
+
+    #[test]
+    fn split_run_equals_unsplit_run() {
+        let mut cfg = lossy_cellular(0.1);
+        cfg.deployment.checkin_interval = SimDuration::from_secs(120);
+        let start = SimTime::at(1, 8.0);
+        let mid = SimTime::at(1, 10.0);
+        let end = SimTime::at(1, 12.0);
+        let mut whole = channel_deployment(67, cfg.clone());
+        whole.run(start, end);
+        let mut split = channel_deployment(67, cfg);
+        split.run_until(start, mid);
+        split.run_until(mid, end);
+        split.finish(end);
+        assert_eq!(split.stats(), whole.stats());
+        assert_eq!(split.meters(), whole.meters());
+        assert_eq!(
+            wiscape_core::state_fingerprint(&split.coordinator().export_state()),
+            wiscape_core::state_fingerprint(&whole.coordinator().export_state()),
+        );
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod codec;
 pub mod deployment;
 pub mod link;
 pub mod server;
+pub mod shard;
 pub mod uplink;
 
 pub use codec::{
@@ -74,5 +75,6 @@ pub use deployment::{
     lossy_cellular, perfect_link, report_loss, ChannelConfig, ChannelDeployment, ChannelRunMeters,
 };
 pub use link::{Delivery, LinkConfig, LinkMeters, LossyLink};
-pub use server::{ChannelServer, CommitPolicy, ServerMeters};
+pub use server::{ChannelServer, CommitPolicy, ServerEndpoint, ServerMeters};
+pub use shard::ShardedChannelServer;
 pub use uplink::{Uplink, UplinkConfig, UplinkMeters};

@@ -34,7 +34,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::OnceLock;
 
-use wiscape_core::{Coordinator, CoordinatorHandle, SampleReport};
+use wiscape_core::{Coordinator, CoordinatorHandle, SampleReport, ZoneId};
 use wiscape_mobility::ClientId;
 use wiscape_simcore::{SimDuration, SimTime, StreamRng};
 use wiscape_simnet::NetworkId;
@@ -113,6 +113,34 @@ fn server_obs() -> &'static ServerObs {
         acks_sent: wiscape_obs::counter("channel/server_acks_sent"),
         bytes_sent: wiscape_obs::counter("channel/server_bytes_sent"),
     })
+}
+
+/// What the deployment loop needs from a server-side endpoint.
+///
+/// [`ChannelServer`] is the single-coordinator implementation;
+/// `ShardedChannelServer` (`crate::shard`) routes the same wire traffic
+/// across N zone-range shards. The deployment is generic over this
+/// trait, so the *control loop* is provably identical in both
+/// topologies — only the endpoint behind `receive` changes.
+///
+/// Quota/epoch updates go through the endpoint (not the coordinator
+/// handle directly) so a sharded endpoint can make the routing decision
+/// exactly once at the router: a zone's tuning lands on the one shard
+/// that owns the zone, never broadcast (a broadcast would materialize
+/// the cell on every shard and corrupt the merged state).
+pub trait ServerEndpoint {
+    /// Handles one received transmission, returning reply frames.
+    fn receive(&mut self, bytes: &[u8], now: SimTime) -> Vec<Vec<u8>>;
+    /// Commits staged reports and finalizes all epochs at `end`.
+    fn drain(&mut self, end: SimTime);
+    /// Aggregated channel meters of the endpoint.
+    fn meters(&self) -> ServerMeters;
+    /// The (merged, for sharded endpoints) coordinator view.
+    fn coordinator(&self) -> &Coordinator;
+    /// Installs a tuned quota on the owning coordinator.
+    fn set_zone_quota(&mut self, zone: ZoneId, network: NetworkId, quota: u32);
+    /// Installs a tuned epoch on the owning coordinator.
+    fn set_zone_epoch(&mut self, zone: ZoneId, network: NetworkId, epoch: SimDuration);
 }
 
 /// The coordinator's channel endpoint.
@@ -422,6 +450,32 @@ impl<C: CoordinatorHandle> ChannelServer<C> {
             }
         }
         self.coordinator.flush_tagged(end);
+    }
+}
+
+impl<C: CoordinatorHandle> ServerEndpoint for ChannelServer<C> {
+    fn receive(&mut self, bytes: &[u8], now: SimTime) -> Vec<Vec<u8>> {
+        ChannelServer::receive(self, bytes, now)
+    }
+
+    fn drain(&mut self, end: SimTime) {
+        ChannelServer::drain(self, end)
+    }
+
+    fn meters(&self) -> ServerMeters {
+        self.meters
+    }
+
+    fn coordinator(&self) -> &Coordinator {
+        self.coordinator.as_coordinator()
+    }
+
+    fn set_zone_quota(&mut self, zone: ZoneId, network: NetworkId, quota: u32) {
+        self.coordinator.set_zone_quota_tagged(zone, network, quota);
+    }
+
+    fn set_zone_epoch(&mut self, zone: ZoneId, network: NetworkId, epoch: SimDuration) {
+        self.coordinator.set_zone_epoch_tagged(zone, network, epoch);
     }
 }
 

@@ -651,11 +651,58 @@ impl Coordinator {
         self.malformed_dropped = state.malformed_dropped;
         self.reports_rejected = state.reports_rejected;
     }
+
+    /// Removes and returns every tracked cell whose zone lies in
+    /// `lo..=hi`, in sorted `(zone, network)` order — the donor side of
+    /// a shard zone-range migration.
+    pub fn take_range(&mut self, lo: ZoneId, hi: ZoneId) -> Vec<ZoneCellState> {
+        let keys: Vec<(ZoneId, NetworkId)> = self
+            .state
+            .keys()
+            .filter(|(z, _)| *z >= lo && *z <= hi)
+            .copied()
+            .collect();
+        let mut cells = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(s) = self.state.remove(&key) {
+                cells.push(ZoneCellState {
+                    zone: key.0,
+                    network: key.1,
+                    epoch: s.epoch,
+                    epoch_start: s.epoch_start,
+                    sketch: s.current,
+                    issued_this_epoch: s.issued_this_epoch,
+                    published: s.published,
+                    quota: s.quota,
+                });
+            }
+        }
+        cells
+    }
+
+    /// Installs cells produced by [`Coordinator::take_range`] on
+    /// another shard — the receiver side of a zone-range migration.
+    /// Cells already tracked under the same key are replaced.
+    pub fn install_cells(&mut self, cells: Vec<ZoneCellState>) {
+        for cell in cells {
+            self.state.insert(
+                (cell.zone, cell.network),
+                ZoneState {
+                    epoch: cell.epoch,
+                    epoch_start: cell.epoch_start,
+                    current: cell.sketch,
+                    issued_this_epoch: cell.issued_this_epoch,
+                    published: cell.published,
+                    quota: cell.quota,
+                },
+            );
+        }
+    }
 }
 
 /// One `(zone, network)` cell of exported coordinator state (the
 /// public mirror of the private per-zone epoch record).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZoneCellState {
     /// The zone.
     pub zone: ZoneId,
@@ -738,6 +785,16 @@ pub trait CoordinatorHandle {
 
     /// [`Coordinator::flush`], tagged for the event log.
     fn flush_tagged(&mut self, now: SimTime);
+
+    /// [`Coordinator::take_range`], tagged for the event log: the donor
+    /// side of a shard zone-range rebalance. Durable implementations
+    /// append a migration record *before* removing the cells so a crash
+    /// mid-migration replays to the same post-move state.
+    fn migrate_out_tagged(&mut self, lo: ZoneId, hi: ZoneId) -> Vec<ZoneCellState>;
+
+    /// [`Coordinator::install_cells`], tagged for the event log: the
+    /// receiver side of a shard zone-range rebalance.
+    fn migrate_in_tagged(&mut self, cells: Vec<ZoneCellState>);
 }
 
 impl CoordinatorHandle for Coordinator {
@@ -781,6 +838,14 @@ impl CoordinatorHandle for Coordinator {
 
     fn flush_tagged(&mut self, now: SimTime) {
         self.flush(now);
+    }
+
+    fn migrate_out_tagged(&mut self, lo: ZoneId, hi: ZoneId) -> Vec<ZoneCellState> {
+        self.take_range(lo, hi)
+    }
+
+    fn migrate_in_tagged(&mut self, cells: Vec<ZoneCellState>) {
+        self.install_cells(cells);
     }
 }
 

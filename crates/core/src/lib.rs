@@ -38,6 +38,7 @@ pub mod epoch;
 pub mod estimator;
 pub mod normalize;
 pub mod sampling;
+pub mod shard;
 pub mod tuning;
 pub mod zone;
 pub mod zonestats;
@@ -52,6 +53,10 @@ pub use dominance::{dominance_ratio, persistent_dominant, Better, DominanceOutco
 pub use epoch::{EpochConfig, EpochEstimator};
 pub use normalize::{learn_scales, CategorySamples, CategoryScales};
 pub use sampling::{packets_for_accuracy, samples_until_similar, AccuracyTarget};
+pub use shard::{
+    merge_states, set_shard_run_config, shard_run_config, state_fingerprint, AlertMerge,
+    RebalanceMove, ShardAssignment, ShardRunConfig, ShardSet,
+};
 pub use tuning::{EpochTuner, HistoryStore, QuotaTuner, ZoneHistory};
 pub use zone::{ZoneId, ZoneIndex};
 pub use zonestats::{Observation, ZoneAggregator};

@@ -1,0 +1,833 @@
+//! Sharded multi-coordinator scale-out (ROADMAP item 1).
+//!
+//! A single [`Coordinator`] folds every zone of the map; at carrier
+//! scale (millions of reporting handsets) the ingest path must scale
+//! horizontally. This module partitions the zone index into **N
+//! contiguous zone ranges**, runs one coordinator per range, and folds
+//! the per-shard state back together with a deterministic merge tier
+//! whose output is provably **bit-identical** to a single-coordinator
+//! run — the same proof discipline as the channel's `perfect_link()`
+//! and the WAL's snapshot+replay recovery.
+//!
+//! Why this is sound:
+//!
+//! * Every non-flush coordinator operation touches exactly **one**
+//!   `(zone, network)` cell group: a sample report folds into one cell,
+//!   a check-in touches one zone across its networks. Routing each
+//!   operation to the shard owning its zone therefore preserves the
+//!   per-cell operation subsequence exactly, and each cell's state is a
+//!   pure fold of that subsequence — so every cell ends bit-identical
+//!   to the single-coordinator run.
+//! * The counters are commutative sums, so totals are
+//!   shard-count-invariant.
+//! * Change alerts are chronological. [`AlertMerge`] drains each
+//!   shard's newly emitted alerts immediately after every routed
+//!   operation, reconstructing the exact single-coordinator alert
+//!   stream; flush alerts (all stamped with the same instant) are
+//!   collected across shards and sorted by `(zone, network)` — the
+//!   precise order a single coordinator's sorted-cell flush emits them.
+//! * Zone-range **rebalancing** moves whole cells between shards via
+//!   [`Coordinator::take_range`] / [`Coordinator::install_cells`]
+//!   (durably: WAL migration records), which does not alter any cell's
+//!   fold, so the merged bytes stay identical across any seeded
+//!   mid-stream move.
+//!
+//! The shard/merge code is part of the panic-proved surface (lint rule
+//! P001 roots): no indexing, no `unwrap`, total routing.
+
+use std::sync::OnceLock;
+
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::ClientId;
+use wiscape_simcore::{exec, SimTime, StreamRng};
+use wiscape_simnet::NetworkId;
+
+use crate::coordinator::{
+    ChangeAlert, Coordinator, CoordinatorConfig, CoordinatorState, IngestError, IngestSummary,
+    MeasurementTask, SampleReport,
+};
+use crate::zone::{ZoneId, ZoneIndex};
+
+/// Obs handles for the shard tier (see `OBSERVABILITY.md`). All
+/// updates are commutative (counter adds, gauge max), so snapshot
+/// totals stay bitwise identical for any worker count.
+struct ShardMetrics {
+    checkins_routed: wiscape_obs::Counter,
+    reports_routed: wiscape_obs::Counter,
+    batches: wiscape_obs::Counter,
+    rebalances: wiscape_obs::Counter,
+    cells_migrated: wiscape_obs::Counter,
+    merges: wiscape_obs::Counter,
+    shards: wiscape_obs::Gauge,
+}
+
+fn metrics() -> &'static ShardMetrics {
+    static M: OnceLock<ShardMetrics> = OnceLock::new();
+    M.get_or_init(|| ShardMetrics {
+        checkins_routed: wiscape_obs::counter("shard/checkins_routed"),
+        reports_routed: wiscape_obs::counter("shard/reports_routed"),
+        batches: wiscape_obs::counter("shard/batches"),
+        rebalances: wiscape_obs::counter("shard/rebalances"),
+        cells_migrated: wiscape_obs::counter("shard/cells_migrated"),
+        merges: wiscape_obs::counter("shard/merges"),
+        shards: wiscape_obs::gauge("shard/shards_max"),
+    })
+}
+
+/// Partition of the zone index into contiguous zone ranges, each owned
+/// by one shard.
+///
+/// `starts` holds the first zone of each range in ascending [`ZoneId`]
+/// order; `owners` maps each range to the shard that folds it. Routing
+/// is total: zones below the first start (including out-of-bounds ids,
+/// which the owning coordinator then rejects exactly as a single
+/// coordinator would) fall to the first range's owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    starts: Vec<ZoneId>,
+    owners: Vec<usize>,
+}
+
+impl ShardAssignment {
+    /// Partitions `index` into `shards` contiguous ranges of
+    /// near-equal zone count (range `k` owned by shard `k`).
+    pub fn even(index: &ZoneIndex, shards: usize) -> Self {
+        let n = shards.max(1);
+        let mut zones: Vec<ZoneId> = index.zones().collect();
+        zones.sort_unstable();
+        let mut starts = Vec::with_capacity(n);
+        let mut owners = Vec::with_capacity(n);
+        let per = zones.len().div_ceil(n).max(1);
+        for (k, chunk) in zones.chunks(per).enumerate() {
+            if let Some(&first) = chunk.first() {
+                starts.push(first);
+                owners.push(k);
+            }
+        }
+        Self { starts, owners }
+    }
+
+    /// Number of contiguous ranges.
+    pub fn ranges(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The first zone of range `k`, if it exists.
+    pub fn range_start(&self, k: usize) -> Option<ZoneId> {
+        self.starts.get(k).copied()
+    }
+
+    /// The shard owning range `k`, if it exists.
+    pub fn owner_of_range(&self, k: usize) -> Option<usize> {
+        self.owners.get(k).copied()
+    }
+
+    /// Replaces the range→shard ownership map (used by determinism
+    /// tests to prove merge invariance under owner permutations).
+    /// Returns `false` (unchanged) if the length does not match.
+    pub fn set_owners(&mut self, owners: Vec<usize>) -> bool {
+        if owners.len() == self.owners.len() {
+            self.owners = owners;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The shard owning `zone`. Total: ids below the first range
+    /// boundary route to the first range's owner.
+    pub fn shard_of(&self, zone: ZoneId) -> usize {
+        let range = self
+            .starts
+            .partition_point(|s| *s <= zone)
+            .saturating_sub(1);
+        self.owners.get(range).copied().unwrap_or(0)
+    }
+
+    /// Applies a boundary move: the range following `mv.from`'s range
+    /// now begins at `mv.lo`. Returns whether the assignment changed.
+    pub fn apply(&mut self, mv: &RebalanceMove) -> bool {
+        let range = self
+            .starts
+            .partition_point(|s| *s <= mv.lo)
+            .saturating_sub(1);
+        let next = range.saturating_add(1);
+        let ok = self.owners.get(range).copied() == Some(mv.from)
+            && self.owners.get(next).copied() == Some(mv.to);
+        if ok {
+            if let Some(s) = self.starts.get_mut(next) {
+                *s = mv.lo;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A zone-range move between two adjacent shards: zones `lo..=hi`
+/// leave shard `from` and join shard `to` (the owner of the next
+/// range, whose boundary slides down to `lo`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceMove {
+    /// Donor shard.
+    pub from: usize,
+    /// Receiving shard.
+    pub to: usize,
+    /// First zone moved (the receiving range's new start).
+    pub lo: ZoneId,
+    /// Last zone moved, inclusive.
+    pub hi: ZoneId,
+}
+
+impl RebalanceMove {
+    /// Moves the upper half of range `k`'s zones to the owner of range
+    /// `k + 1`. `None` when the split is impossible (no next range, or
+    /// fewer than two zones in the range).
+    pub fn split_upper(index: &ZoneIndex, assignment: &ShardAssignment, k: usize) -> Option<Self> {
+        let from = assignment.owner_of_range(k)?;
+        let to = assignment.owner_of_range(k.checked_add(1)?)?;
+        let lo_bound = assignment.range_start(k)?;
+        let hi_bound = assignment.range_start(k.checked_add(1)?)?;
+        let mut zones: Vec<ZoneId> = index
+            .zones()
+            .filter(|z| *z >= lo_bound && *z < hi_bound)
+            .collect();
+        zones.sort_unstable();
+        if zones.len() < 2 {
+            return None;
+        }
+        let lo = zones.get(zones.len() / 2).copied()?;
+        let hi = zones.last().copied()?;
+        Some(Self { from, to, lo, hi })
+    }
+
+    /// Seeded move: forks a [`StreamRng`] on `"rebalance"` to pick the
+    /// donor range, then splits its upper half — the same
+    /// deterministic-injection discipline as the WAL's `CrashPlan`.
+    pub fn seeded(seed: u64, index: &ZoneIndex, assignment: &ShardAssignment) -> Option<Self> {
+        let ranges = assignment.ranges();
+        if ranges < 2 {
+            return None;
+        }
+        let stream = StreamRng::new(seed).fork("rebalance");
+        let k = (stream.fork("range").draw_u64() % (ranges as u64 - 1)) as usize;
+        Self::split_upper(index, assignment, k)
+    }
+}
+
+/// Deterministic reconstruction of the single-coordinator alert
+/// stream from per-shard alert logs.
+///
+/// Each shard appends alerts chronologically to its own log; a cursor
+/// per shard marks how far this merge has drained it. Draining
+/// *immediately after every routed operation* ([`AlertMerge::note`])
+/// interleaves the per-shard streams in true chronological order,
+/// because each operation can only emit alerts on the one shard it
+/// routed to. Synchronized flushes ([`AlertMerge::note_flush`]) stamp
+/// every alert with the same instant, so their canonical order is
+/// sorted `(zone, network)` — exactly the order a single coordinator's
+/// sorted-cell flush emits.
+#[derive(Debug, Clone, Default)]
+pub struct AlertMerge {
+    cursors: Vec<usize>,
+    merged: Vec<ChangeAlert>,
+}
+
+impl AlertMerge {
+    /// A merge over `shards` per-shard alert logs.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            cursors: vec![0; shards],
+            merged: Vec::new(),
+        }
+    }
+
+    /// Drains shard `shard`'s newly emitted alerts (its log suffix past
+    /// this merge's cursor) into the merged stream, in log order.
+    pub fn note(&mut self, shard: usize, alerts: &[ChangeAlert]) {
+        if let Some(cursor) = self.cursors.get_mut(shard) {
+            if let Some(new) = alerts.get(*cursor..) {
+                self.merged.extend_from_slice(new);
+            }
+            *cursor = alerts.len();
+        }
+    }
+
+    /// Drains every shard's new alerts after a synchronized flush,
+    /// appending them in sorted `(zone, network)` order.
+    pub fn note_flush(&mut self, per_shard: &[&[ChangeAlert]]) {
+        let mut batch: Vec<ChangeAlert> = Vec::new();
+        for (shard, alerts) in per_shard.iter().enumerate() {
+            if let Some(cursor) = self.cursors.get_mut(shard) {
+                if let Some(new) = alerts.get(*cursor..) {
+                    batch.extend_from_slice(new);
+                }
+                *cursor = alerts.len();
+            }
+        }
+        batch.sort_by_key(|a| (a.zone, a.network));
+        self.merged.extend_from_slice(&batch);
+    }
+
+    /// The merged chronological alert stream.
+    pub fn merged(&self) -> &[ChangeAlert] {
+        &self.merged
+    }
+}
+
+/// Folds per-shard exported states into one [`CoordinatorState`]:
+/// cells concatenated and sorted by `(zone, network)` (each cell lives
+/// on exactly one shard), counters summed, the alert stream supplied
+/// by the caller's [`AlertMerge`].
+pub fn merge_states<I>(states: I, alerts: Vec<ChangeAlert>) -> CoordinatorState
+where
+    I: IntoIterator<Item = CoordinatorState>,
+{
+    let mut merged = CoordinatorState {
+        cells: Vec::new(),
+        alerts,
+        packets_requested: 0,
+        malformed_dropped: 0,
+        reports_rejected: 0,
+    };
+    for state in states {
+        merged.cells.extend(state.cells);
+        merged.packets_requested = merged
+            .packets_requested
+            .wrapping_add(state.packets_requested);
+        merged.malformed_dropped = merged
+            .malformed_dropped
+            .wrapping_add(state.malformed_dropped);
+        merged.reports_rejected = merged.reports_rejected.wrapping_add(state.reports_rejected);
+    }
+    merged.cells.sort_by_key(|c| (c.zone, c.network));
+    metrics().merges.inc();
+    merged
+}
+
+/// A canonical fingerprint of a [`CoordinatorState`]: every float
+/// captured via `to_bits`, every integer exact, cells in their stored
+/// order. Two states fingerprint equal iff the WAL snapshot codec
+/// would serialize them to identical bytes — the determinism tests'
+/// bit-exact comparator (usable from crates below `wiscape-wal`).
+pub fn state_fingerprint(state: &CoordinatorState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for c in &state.cells {
+        let (core, kahan) = c.sketch.raw_parts();
+        let (count, mean, m2, min, max) = core.raw_parts();
+        let (sum, comp) = kahan.raw_parts();
+        let _ = write!(
+            out,
+            "cell {:?} {:?} epoch={:?} start={:?} \
+             sketch=({count},{:x},{:x},{:x},{:x},{:x},{:x}) issued={}",
+            c.zone,
+            c.network,
+            c.epoch,
+            c.epoch_start,
+            mean.to_bits(),
+            m2.to_bits(),
+            min.to_bits(),
+            max.to_bits(),
+            sum.to_bits(),
+            comp.to_bits(),
+            c.issued_this_epoch,
+        );
+        match c.published {
+            None => out.push_str(" pub=-"),
+            Some(e) => {
+                let _ = write!(
+                    out,
+                    " pub=({:?},{:?},{:x},{:x},{},{:?})",
+                    e.zone,
+                    e.network,
+                    e.mean.to_bits(),
+                    e.std_dev.to_bits(),
+                    e.samples,
+                    e.formed_at,
+                );
+            }
+        }
+        match c.quota {
+            None => out.push_str(" quota=-\n"),
+            Some(q) => {
+                let _ = writeln!(out, " quota={q}");
+            }
+        }
+    }
+    for a in &state.alerts {
+        let _ = writeln!(
+            out,
+            "alert {:?} {:?} {:x} {:x} {:x} {:?}",
+            a.zone,
+            a.network,
+            a.old_mean.to_bits(),
+            a.new_mean.to_bits(),
+            a.sigmas.to_bits(),
+            a.at,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "counters {} {} {}",
+        state.packets_requested, state.malformed_dropped, state.reports_rejected,
+    );
+    out
+}
+
+/// N coordinators over one zone index, with routed operations, a
+/// batched parallel ingest path, seeded rebalancing, and the
+/// deterministic merge back to single-coordinator state.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    shards: Vec<Coordinator>,
+    assignment: ShardAssignment,
+    merge: AlertMerge,
+    index: ZoneIndex,
+    config: CoordinatorConfig,
+}
+
+impl ShardSet {
+    /// `shards` coordinators over `index` with an even contiguous
+    /// zone-range assignment.
+    pub fn new(index: ZoneIndex, config: CoordinatorConfig, shards: usize) -> Self {
+        let assignment = ShardAssignment::even(&index, shards);
+        Self::with_assignment(index, config, shards, assignment)
+    }
+
+    /// As [`ShardSet::new`] with an explicit assignment (permuted
+    /// ownership, pre-split ranges).
+    pub fn with_assignment(
+        index: ZoneIndex,
+        config: CoordinatorConfig,
+        shards: usize,
+        assignment: ShardAssignment,
+    ) -> Self {
+        let n = shards.max(1);
+        metrics().shards.set_max(n as f64);
+        let fleet = (0..n)
+            .map(|_| Coordinator::new(index.clone(), config.clone()))
+            .collect();
+        Self {
+            shards: fleet,
+            assignment,
+            merge: AlertMerge::new(n),
+            index,
+            config,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current zone-range assignment.
+    pub fn assignment(&self) -> &ShardAssignment {
+        &self.assignment
+    }
+
+    /// The shared zone index.
+    pub fn index(&self) -> &ZoneIndex {
+        &self.index
+    }
+
+    /// The per-shard coordinators.
+    pub fn shards(&self) -> &[Coordinator] {
+        &self.shards
+    }
+
+    /// Routes a client check-in to the shard owning the client's zone.
+    /// The coin is drawn once by the caller and spent on exactly one
+    /// shard, so quota pacing decisions are made once no matter how
+    /// zones are partitioned.
+    pub fn checkin(
+        &mut self,
+        client: ClientId,
+        point: &GeoPoint,
+        t: SimTime,
+        networks: &[NetworkId],
+        coin: f64,
+    ) -> Vec<MeasurementTask> {
+        let zone = self.index.zone_of(point);
+        let shard = self.assignment.shard_of(zone);
+        metrics().checkins_routed.inc();
+        match self.shards.get_mut(shard) {
+            Some(c) => {
+                let tasks = c.client_checkin(client, point, t, networks, coin);
+                self.merge.note(shard, c.alerts());
+                tasks
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Routes a sample report to the shard owning its zone.
+    pub fn ingest_report(&mut self, report: &SampleReport) -> Result<IngestSummary, IngestError> {
+        let shard = self.assignment.shard_of(report.zone);
+        metrics().reports_routed.inc();
+        match self.shards.get_mut(shard) {
+            Some(c) => {
+                let out = c.ingest_report(report);
+                self.merge.note(shard, c.alerts());
+                out
+            }
+            None => Err(IngestError::UnknownZone(report.zone)),
+        }
+    }
+
+    /// Batched parallel ingest: reports are bucketed by owning shard
+    /// (stable, preserving per-shard arrival order) and each shard
+    /// folds its bucket serially on its own worker
+    /// ([`exec::par_map_mut`]), so the folded cells are bitwise
+    /// identical for any `WISCAPE_THREADS`. Alerts emitted mid-batch
+    /// are drained in shard order afterwards (chronological-exact when
+    /// the batch stays within one epoch, as the throughput benches
+    /// do).
+    pub fn ingest_batch(&mut self, reports: &[SampleReport]) {
+        metrics().batches.inc();
+        metrics().reports_routed.add(reports.len() as u64);
+        let fleet = std::mem::take(&mut self.shards);
+        let mut work: Vec<(Coordinator, Vec<usize>)> =
+            fleet.into_iter().map(|c| (c, Vec::new())).collect();
+        for (i, report) in reports.iter().enumerate() {
+            let shard = self.assignment.shard_of(report.zone);
+            if let Some(bucket) = work.get_mut(shard) {
+                bucket.1.push(i);
+            }
+        }
+        exec::par_map_mut(&mut work, |_, (coordinator, bucket)| {
+            for &i in bucket.iter() {
+                if let Some(report) = reports.get(i) {
+                    let _ = coordinator.ingest_report(report);
+                }
+            }
+        });
+        for (shard, (coordinator, _)) in work.iter().enumerate() {
+            self.merge.note(shard, coordinator.alerts());
+        }
+        self.shards = work.into_iter().map(|(c, _)| c).collect();
+    }
+
+    /// Flushes every shard at `now` and merges the flush alerts in
+    /// canonical sorted order.
+    pub fn flush(&mut self, now: SimTime) {
+        for c in self.shards.iter_mut() {
+            c.flush(now);
+        }
+        let logs: Vec<&[ChangeAlert]> = self.shards.iter().map(|c| c.alerts()).collect();
+        self.merge.note_flush(&logs);
+    }
+
+    /// Moves the cells of `mv`'s zone range from shard `mv.from` to
+    /// `mv.to` and slides the range boundary. Returns the number of
+    /// cells migrated.
+    pub fn rebalance(&mut self, mv: &RebalanceMove) -> usize {
+        let cells = match self.shards.get_mut(mv.from) {
+            Some(c) => c.take_range(mv.lo, mv.hi),
+            None => return 0,
+        };
+        let n = cells.len();
+        if let Some(c) = self.shards.get_mut(mv.to) {
+            c.install_cells(cells);
+        }
+        self.assignment.apply(mv);
+        metrics().rebalances.inc();
+        metrics().cells_migrated.add(n as u64);
+        n
+    }
+
+    /// The merged dynamic state — provably identical to what a single
+    /// coordinator fed the same operation stream would export.
+    pub fn merged_state(&self) -> CoordinatorState {
+        merge_states(
+            self.shards.iter().map(|c| c.export_state()),
+            self.merge.merged().to_vec(),
+        )
+    }
+
+    /// A single coordinator holding the merged state (for artifact
+    /// emission through the unchanged single-coordinator reporting
+    /// paths).
+    pub fn merged(&self) -> Coordinator {
+        let mut c = Coordinator::new(self.index.clone(), self.config.clone());
+        c.restore_state(self.merged_state());
+        c
+    }
+}
+
+/// Per-run shard wiring chosen on the command line and read by the
+/// experiment drivers (the same late-bound pattern as
+/// `wiscape-wal`'s `WalRunConfig`: drivers construct deployments deep
+/// inside deterministic run loops).
+#[derive(Debug, Clone)]
+pub struct ShardRunConfig {
+    /// Number of coordinator shards.
+    pub shards: usize,
+    /// Seed for one mid-stream zone-range rebalance; `None` runs
+    /// without one.
+    pub rebalance_seed: Option<u64>,
+}
+
+static RUN_CONFIG: OnceLock<ShardRunConfig> = OnceLock::new();
+
+/// Installs the process-wide shard run configuration. First caller
+/// wins; returns whether this call installed it.
+pub fn set_shard_run_config(config: ShardRunConfig) -> bool {
+    RUN_CONFIG.set(config).is_ok()
+}
+
+/// The process-wide shard run configuration, if one was installed.
+pub fn shard_run_config() -> Option<&'static ShardRunConfig> {
+    RUN_CONFIG.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::MeasurementTask;
+    use wiscape_simnet::TransportKind;
+
+    fn center() -> GeoPoint {
+        GeoPoint::new(43.0731, -89.4012).unwrap()
+    }
+
+    fn index() -> ZoneIndex {
+        ZoneIndex::around(center(), 4000.0).unwrap()
+    }
+
+    fn report(zone: ZoneId, t: SimTime, values: &[f64]) -> SampleReport {
+        SampleReport {
+            client: ClientId(1),
+            task: MeasurementTask {
+                zone,
+                network: NetworkId::NetB,
+                kind: TransportKind::Udp,
+                n_packets: values.len() as u32,
+                packet_bytes: 1200,
+            },
+            zone,
+            t,
+            samples: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn even_assignment_covers_all_zones_contiguously() {
+        let idx = index();
+        for n in [1usize, 2, 3, 4, 7] {
+            let a = ShardAssignment::even(&idx, n);
+            assert!(a.ranges() <= n);
+            let mut zones: Vec<ZoneId> = idx.zones().collect();
+            zones.sort_unstable();
+            let owners: Vec<usize> = zones.iter().map(|z| a.shard_of(*z)).collect();
+            // Contiguous: owner sequence over sorted zones never revisits
+            // an owner after leaving it.
+            let mut seen = Vec::new();
+            for &o in &owners {
+                match seen.last() {
+                    Some(&last) if last == o => {}
+                    _ => {
+                        assert!(!seen.contains(&o), "owner {o} revisited");
+                        seen.push(o);
+                    }
+                }
+            }
+            assert!(owners.iter().all(|&o| o < n));
+            // Near-even: range sizes differ by at most the chunk remainder.
+            if n <= zones.len() {
+                assert_eq!(seen.len(), a.ranges());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_total() {
+        let idx = index();
+        let a = ShardAssignment::even(&idx, 4);
+        // Way out-of-bounds zones still route somewhere.
+        let far = center().destination(0.0, 500_000.0);
+        let z = idx.zone_of(&far);
+        assert!(a.shard_of(z) < 4);
+        let far_south = center().destination(180.0, 500_000.0);
+        let z2 = idx.zone_of(&far_south);
+        assert!(a.shard_of(z2) < 4);
+    }
+
+    #[test]
+    fn sharded_run_merges_to_single_coordinator_state() {
+        let idx = index();
+        let cfg = CoordinatorConfig::default();
+        let nets = [NetworkId::NetB, NetworkId::NetC];
+        let stream = StreamRng::new(7).fork("shard-test");
+
+        // Deterministic mixed op stream over many zones and epochs:
+        // check-ins (with precomputed coins), task-driven reports, and
+        // occasional malformed reports.
+        enum Op {
+            Checkin(ClientId, GeoPoint, SimTime, f64),
+            Ingest(SampleReport),
+        }
+        let mut ops = Vec::new();
+        for k in 0i64..400 {
+            let p = center().destination((k % 360) as f64, 200.0 + (k % 17) as f64 * 200.0);
+            let t = SimTime::from_secs(k * 30);
+            let coin = stream.fork("coin").fork_idx(k as u64).draw_unit_f64();
+            ops.push(Op::Checkin(ClientId((k % 50) as u32), p, t, coin));
+            let zone = idx.zone_of(&p);
+            let base = 100.0 + (k % 7) as f64 * 40.0;
+            ops.push(Op::Ingest(report(zone, t, &[base, base + 1.0, base - 1.0])));
+            if k % 5 == 0 {
+                ops.push(Op::Ingest(report(zone, t, &[90.0, f64::NAN, 110.0])));
+            }
+        }
+
+        let single = {
+            let mut c = Coordinator::new(idx.clone(), cfg.clone());
+            for op in &ops {
+                match op {
+                    Op::Checkin(id, p, t, coin) => {
+                        let _ = c.client_checkin(*id, p, *t, &nets, *coin);
+                    }
+                    Op::Ingest(r) => {
+                        let _ = c.ingest_report(r);
+                    }
+                }
+            }
+            c.flush(SimTime::from_secs(4 * 3600));
+            state_fingerprint(&c.export_state())
+        };
+        for n in [1usize, 2, 3, 4, 5] {
+            let mut s = ShardSet::new(idx.clone(), cfg.clone(), n);
+            for op in &ops {
+                match op {
+                    Op::Checkin(id, p, t, coin) => {
+                        let _ = s.checkin(*id, p, *t, &nets, *coin);
+                    }
+                    Op::Ingest(r) => {
+                        let _ = s.ingest_report(r);
+                    }
+                }
+            }
+            s.flush(SimTime::from_secs(4 * 3600));
+            assert_eq!(state_fingerprint(&s.merged_state()), single, "shards={n}");
+        }
+    }
+
+    #[test]
+    fn owner_permutation_does_not_change_merge() {
+        let idx = index();
+        let cfg = CoordinatorConfig::default();
+        let run = |owners: Option<Vec<usize>>| {
+            let mut a = ShardAssignment::even(&idx, 4);
+            if let Some(o) = owners {
+                assert!(a.set_owners(o));
+            }
+            let mut s = ShardSet::with_assignment(idx.clone(), cfg.clone(), 4, a);
+            for k in 0i64..300 {
+                let p = center().destination((k % 360) as f64, 150.0 + (k % 23) as f64 * 150.0);
+                let zone = idx.zone_of(&p);
+                let base = 50.0 + (k % 11) as f64 * 30.0;
+                let _ = s.ingest_report(&report(
+                    zone,
+                    SimTime::from_secs(k * 20),
+                    &[base, base + 2.0],
+                ));
+            }
+            s.flush(SimTime::from_secs(3 * 3600));
+            state_fingerprint(&s.merged_state())
+        };
+        let identity = run(None);
+        assert_eq!(run(Some(vec![3, 1, 0, 2])), identity);
+        assert_eq!(run(Some(vec![1, 0, 3, 2])), identity);
+    }
+
+    #[test]
+    fn seeded_rebalance_preserves_merged_state() {
+        let idx = index();
+        let cfg = CoordinatorConfig::default();
+        let run = |rebalance_at: Option<i64>| {
+            let mut s = ShardSet::new(idx.clone(), cfg.clone(), 3);
+            for k in 0i64..300 {
+                if Some(k) == rebalance_at {
+                    let mv = RebalanceMove::seeded(11, &idx, s.assignment()).expect("move");
+                    // An early move may migrate zero cells (range not yet
+                    // tracked); the boundary still slides.
+                    let before = s.assignment().clone();
+                    s.rebalance(&mv);
+                    assert_ne!(s.assignment(), &before);
+                }
+                let p = center().destination((k % 360) as f64, 150.0 + (k % 23) as f64 * 150.0);
+                let zone = idx.zone_of(&p);
+                let base = 50.0 + (k % 11) as f64 * 30.0;
+                let _ = s.ingest_report(&report(
+                    zone,
+                    SimTime::from_secs(k * 40),
+                    &[base, base + 2.0],
+                ));
+            }
+            s.flush(SimTime::from_secs(6 * 3600));
+            state_fingerprint(&s.merged_state())
+        };
+        let base = run(None);
+        assert_eq!(run(Some(150)), base);
+        assert_eq!(run(Some(1)), base);
+    }
+
+    #[test]
+    fn ingest_batch_matches_routed_ingest() {
+        let idx = index();
+        let cfg = CoordinatorConfig::default();
+        let reports: Vec<SampleReport> = (0i64..500)
+            .map(|k| {
+                let p = center().destination((k % 360) as f64, 100.0 + (k % 29) as f64 * 120.0);
+                let zone = idx.zone_of(&p);
+                report(
+                    zone,
+                    SimTime::from_secs(10 + k % 50),
+                    &[80.0 + (k % 13) as f64],
+                )
+            })
+            .collect();
+        let mut routed = ShardSet::new(idx.clone(), cfg.clone(), 4);
+        for r in &reports {
+            let _ = routed.ingest_report(r);
+        }
+        routed.flush(SimTime::from_secs(3600 * 2));
+        let mut batched = ShardSet::new(idx.clone(), cfg.clone(), 4);
+        batched.ingest_batch(&reports);
+        batched.flush(SimTime::from_secs(3600 * 2));
+        assert_eq!(
+            state_fingerprint(&batched.merged_state()),
+            state_fingerprint(&routed.merged_state()),
+        );
+    }
+
+    #[test]
+    fn merged_coordinator_round_trips() {
+        let idx = index();
+        let mut s = ShardSet::new(idx.clone(), CoordinatorConfig::default(), 2);
+        let zone = idx.zone_of(&center());
+        let _ = s.ingest_report(&report(zone, SimTime::from_secs(0), &[100.0, 110.0]));
+        s.flush(SimTime::from_secs(3600));
+        let merged = s.merged();
+        assert_eq!(
+            state_fingerprint(&merged.export_state()),
+            state_fingerprint(&s.merged_state()),
+        );
+        assert_eq!(merged.zones_tracked(), 1);
+    }
+
+    #[test]
+    fn run_config_is_installable_once() {
+        assert!(set_shard_run_config(ShardRunConfig {
+            shards: 4,
+            rebalance_seed: Some(9),
+        }));
+        assert!(!set_shard_run_config(ShardRunConfig {
+            shards: 2,
+            rebalance_seed: None,
+        }));
+        assert_eq!(shard_run_config().map(|c| c.shards), Some(4));
+    }
+}

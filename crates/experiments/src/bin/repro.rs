@@ -11,9 +11,12 @@
 //! `--wal DIR` routes every channel-driven coordinator (fig15) through
 //! the `wiscape-wal` event log under `DIR`; `--wal-crash-seed N`
 //! additionally injects a deterministic crash (kill + recover) into
-//! each such run. Either way the emitted artifacts must stay
-//! byte-identical to a WAL-less run — `scripts/verify_results.sh`
-//! enforces it.
+//! each such run. `--shards N` runs every channel-driven deployment
+//! N-way sharded (zone-range shards behind a deterministic router;
+//! per-shard logs when combined with `--wal`), and
+//! `--rebalance-seed S` additionally applies one seeded mid-stream
+//! zone-range rebalance. Every combination must stay byte-identical to
+//! a plain run — `scripts/verify_results.sh` enforces it.
 //!
 //! `--obs PATH` enables the observability registry and dumps its
 //! snapshot (e.g. `results/OBS_repro.json`) after the run. Everything
@@ -32,6 +35,8 @@ fn main() {
     let mut obs_path: Option<String> = None;
     let mut wal_dir: Option<String> = None;
     let mut wal_crash_seed: Option<u64> = None;
+    let mut shards: Option<usize> = None;
+    let mut rebalance_seed: Option<u64> = None;
     let mut svg = false;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -61,11 +66,26 @@ fn main() {
                         .unwrap_or_else(|| die("--wal-crash-seed needs an integer")),
                 );
             }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--shards needs an integer")),
+                );
+            }
+            "--rebalance-seed" => {
+                rebalance_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--rebalance-seed needs an integer")),
+                );
+            }
             "--svg" => svg = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--seed N] [--full|--quick] [--out DIR] [--obs PATH] \
-                     [--wal DIR] [--wal-crash-seed N] [--svg] [EXPERIMENT...]\n\
+                     [--wal DIR] [--wal-crash-seed N] [--shards N] [--rebalance-seed S] \
+                     [--svg] [EXPERIMENT...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
@@ -88,6 +108,18 @@ fn main() {
             dir: std::path::PathBuf::from(dir),
             crash_seed: wal_crash_seed,
             snapshot_every: 256,
+        });
+    }
+    if rebalance_seed.is_some() && shards.is_none() {
+        die("--rebalance-seed requires --shards N");
+    }
+    if let Some(n) = shards {
+        if n == 0 {
+            die("--shards must be at least 1");
+        }
+        wiscape_core::set_shard_run_config(wiscape_core::ShardRunConfig {
+            shards: n,
+            rebalance_seed,
         });
     }
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| die(&format!("mkdir {out_dir}: {e}")));

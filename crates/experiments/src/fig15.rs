@@ -20,8 +20,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
-use wiscape_channel::{report_loss, ChannelDeployment};
-use wiscape_core::{ZoneEstimate, ZoneIndex};
+use wiscape_channel::{report_loss, ChannelDeployment, ServerEndpoint, ShardedChannelServer};
+use wiscape_core::{CoordinatorHandle, RebalanceMove, ShardAssignment, ZoneEstimate, ZoneIndex};
 use wiscape_mobility::Fleet;
 use wiscape_simcore::{SimDuration, SimTime};
 use wiscape_simnet::{Landscape, LandscapeConfig};
@@ -79,6 +79,43 @@ struct RunOutcome {
     abandoned: u64,
 }
 
+fn harvest<S: ServerEndpoint>(d: &ChannelDeployment<S>) -> RunOutcome {
+    let m = d.meters();
+    RunOutcome {
+        published: d.coordinator().all_published(),
+        control_bytes: m.control_bytes(),
+        retries: m.uplink.retries,
+        abandoned: m.uplink.abandoned,
+    }
+}
+
+/// Drives a sharded deployment over the window, applying the seeded
+/// mid-stream rebalance (on a check-in boundary) when configured.
+fn run_sharded_segments<C: CoordinatorHandle>(
+    d: &mut ChannelDeployment<ShardedChannelServer<C>>,
+    start: SimTime,
+    end: SimTime,
+    rebalance_seed: Option<u64>,
+) {
+    let Some(seed) = rebalance_seed else {
+        d.run(start, end);
+        return;
+    };
+    let interval = d.checkin_interval();
+    let rounds = (end - start).as_micros() / interval.as_micros().max(1);
+    let mid = start + interval * (rounds / 2);
+    d.run_until(start, mid);
+    if let Some(mv) = RebalanceMove::seeded(
+        seed,
+        d.coordinator().index(),
+        d.sharded_server().assignment(),
+    ) {
+        d.rebalance(&mv);
+    }
+    d.run_until(mid, end);
+    d.finish(end);
+}
+
 fn run_one(seed: u64, clients: usize, hours: f64, loss: f64, max_attempts: u32) -> RunOutcome {
     let land = Landscape::new(LandscapeConfig::madison(seed));
     let mut fleet = Fleet::new(seed);
@@ -90,40 +127,73 @@ fn run_one(seed: u64, clients: usize, hours: f64, loss: f64, max_attempts: u32) 
     config.uplink.max_attempts = max_attempts;
     let start = SimTime::at(1, 7.0);
     let end = start + SimDuration::from_secs_f64(hours * 3600.0);
+    let shard_cfg = wiscape_core::shard_run_config();
     // With `--wal` the coordinator runs event-sourced: every commit is
     // appended to a per-run log (and, with a crash seed, the run is
-    // killed and recovered mid-flight). Either way the outcome must be
-    // byte-identical to the in-memory path — CI diffs the artifacts.
+    // killed and recovered mid-flight). With `--shards` the deployment
+    // runs N-way sharded (per-shard logs when both are set). Every
+    // combination must be byte-identical to the plain in-memory path —
+    // CI diffs the artifacts.
     if let Some(wal) = wiscape_wal::run_config() {
         let loss_permille = (loss * 1000.0).round() as u64;
         let sub = wal.dir.join(format!(
             "fig15_s{seed}_c{clients}_l{loss_permille}_a{max_attempts}"
         ));
-        let plan = match wal.crash_seed {
-            Some(s) => wiscape_wal::CrashPlan::seeded(s, 500),
-            None => wiscape_wal::CrashPlan::none(),
+        let opts_for = |i: u64| {
+            let plan = match wal.crash_seed {
+                Some(s) => wiscape_wal::CrashPlan::seeded(s.wrapping_add(i), 500),
+                None => wiscape_wal::CrashPlan::none(),
+            };
+            wiscape_wal::WalOptions {
+                snapshot_every: wal.snapshot_every,
+                plan,
+                ..wiscape_wal::WalOptions::default()
+            }
         };
-        let opts = wiscape_wal::WalOptions {
-            snapshot_every: wal.snapshot_every,
-            plan,
-            ..wiscape_wal::WalOptions::default()
-        };
+        if let Some(sc) = shard_cfg {
+            let shards = sc.shards.max(1);
+            let coordinators: Vec<wiscape_wal::DurableCoordinator> = (0..shards)
+                .map(|i| {
+                    wiscape_wal::DurableCoordinator::create(
+                        &sub.join(format!("shard-{i}")),
+                        index.clone(),
+                        config.deployment.coordinator.clone(),
+                        opts_for(i as u64),
+                    )
+                    .expect("wal directory writable")
+                })
+                .collect();
+            let assignment = ShardAssignment::even(&index, shards);
+            let mut d = ChannelDeployment::with_sharded_coordinators(
+                land,
+                fleet,
+                coordinators,
+                assignment,
+                index,
+                config,
+            );
+            run_sharded_segments(&mut d, start, end, sc.rebalance_seed);
+            let out = harvest(&d);
+            for wal_handle in d.shard_handles_mut() {
+                wal_handle.shutdown().expect("wal shutdown");
+                assert_eq!(
+                    wal_handle.wal_meters().recovery_mismatches,
+                    0,
+                    "WAL recovery diverged from the live coordinator"
+                );
+            }
+            return out;
+        }
         let coordinator = wiscape_wal::DurableCoordinator::create(
             &sub,
             index,
             config.deployment.coordinator.clone(),
-            opts,
+            opts_for(0),
         )
         .expect("wal directory writable");
         let mut d = ChannelDeployment::with_coordinator(land, fleet, coordinator, config);
         d.run(start, end);
-        let m = d.meters();
-        let out = RunOutcome {
-            published: d.coordinator().all_published(),
-            control_bytes: m.control_bytes(),
-            retries: m.uplink.retries,
-            abandoned: m.uplink.abandoned,
-        };
+        let out = harvest(&d);
         let wal_handle = d.handle_mut();
         wal_handle.shutdown().expect("wal shutdown");
         assert_eq!(
@@ -133,15 +203,14 @@ fn run_one(seed: u64, clients: usize, hours: f64, loss: f64, max_attempts: u32) 
         );
         return out;
     }
+    if let Some(sc) = shard_cfg {
+        let mut d = ChannelDeployment::sharded(land, fleet, index, config, sc.shards.max(1));
+        run_sharded_segments(&mut d, start, end, sc.rebalance_seed);
+        return harvest(&d);
+    }
     let mut d = ChannelDeployment::new(land, fleet, index, config);
     d.run(start, end);
-    let m = d.meters();
-    RunOutcome {
-        published: d.coordinator().all_published(),
-        control_bytes: m.control_bytes(),
-        retries: m.uplink.retries,
-        abandoned: m.uplink.abandoned,
-    }
+    harvest(&d)
 }
 
 /// Mean absolute relative error (%) and missing-pair count vs `base`.

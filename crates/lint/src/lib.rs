@@ -1230,12 +1230,13 @@ pub const ALLOW_BUDGET: usize = 18;
 
 /// Builds the interprocedural-analysis configuration for the real
 /// workspace: P001 roots are the ingest/decode surface (coordinator,
-/// agent, channel server, the whole wire codec, and the WAL recovery
-/// surface), A001 roots are the
-/// declared S004 alloc-free hot functions, T001 roots are every
-/// deterministic-crate file, and the taint sources are the wall-clock
-/// quarantine surfaces (`bench`, `obs::timing`). `files` is the scanned
-/// `(rel_path, source)` list — only its paths are consulted.
+/// agent, channel server, the whole wire codec, the shard router /
+/// merge surface on both layers, and the WAL recovery surface), A001
+/// roots are the declared S004 alloc-free hot functions, T001 roots
+/// are every deterministic-crate file, and the taint sources are the
+/// wall-clock quarantine surfaces (`bench`, `obs::timing`). `files` is
+/// the scanned `(rel_path, source)` list — only its paths are
+/// consulted.
 pub fn workspace_graph_config(files: &[(String, String)]) -> graph::GraphConfig {
     let mut deterministic_files = Vec::new();
     let mut taint_source_files = Vec::new();
@@ -1270,10 +1271,15 @@ pub fn workspace_graph_config(files: &[(String, String)]) -> graph::GraphConfig 
             ));
         }
     }
+    // The shard router and merge tier join the P001 roots: routing a
+    // report to the wrong shard is recoverable, but a panic inside the
+    // router or the deterministic merge drops the whole ingest stream.
     let mut panic_roots = vec![
         graph::FnSpec::file("crates/core/src/coordinator.rs"),
         graph::FnSpec::file("crates/core/src/agent.rs"),
+        graph::FnSpec::file("crates/core/src/shard.rs"),
         graph::FnSpec::file("crates/channel/src/server.rs"),
+        graph::FnSpec::file("crates/channel/src/shard.rs"),
         graph::FnSpec::file("crates/channel/src/codec.rs"),
     ];
     panic_roots.extend(wal_panic_roots);

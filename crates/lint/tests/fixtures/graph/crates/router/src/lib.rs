@@ -1,0 +1,25 @@
+//! Fixture shard-router crate: models the N-way router tier that
+//! fronts the ingest surface (`channel::shard` in the real workspace).
+//! Its routing entry point is a P001 root exactly like the real
+//! router, so a panic anywhere down the routed chain must be reported
+//! with a witness that crosses the router hop; the merge helper is
+//! benign and must never appear in a finding.
+//!
+//! These files are never compiled — they are parsed by the lint graph
+//! tests as plain source text (the `fixtures` directory is excluded
+//! from the workspace scan).
+
+/// Routes a report to the shard owning its zone range:
+/// route_report -> util::bucket_of, where the last hop indexes the
+/// per-shard bucket array by shard id (the seeded violation — the
+/// classic router bug shape).
+pub fn route_report(counts: &[u64], shard: usize) -> u64 {
+    util::bucket_of(counts, shard)
+}
+
+/// Benign deterministic merge tier: no panic and no allocation
+/// reachable, so it must stay finding-free even though the whole file
+/// is a P001 root.
+pub fn merge_counts(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

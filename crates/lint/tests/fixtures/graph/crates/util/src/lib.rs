@@ -76,3 +76,10 @@ pub fn widen(buf: &[u8]) -> usize {
     let copy = buf.to_vec();
     copy.len()
 }
+
+/// Seeded P001 violation behind the router hop: indexes the per-shard
+/// bucket array by shard id without a bounds check. Reachable only
+/// from `router::route_report`, so its witness must cross that hop.
+pub fn bucket_of(counts: &[u64], shard: usize) -> u64 {
+    counts[shard]
+}

@@ -1,9 +1,10 @@
 //! Interprocedural-rule tests over the fixture mini-workspace in
-//! `tests/fixtures/graph/` (three single-file crates: `ingest` declares
-//! the analysis roots, `util` holds the seeded panic/alloc violations,
-//! `clock` is the quarantined taint source). The fixtures are parsed as
-//! plain text — they are never compiled and the `fixtures` directory is
-//! excluded from the real workspace scan.
+//! `tests/fixtures/graph/` (four single-file crates: `ingest` declares
+//! the analysis roots, `router` models the shard-router tier fronting
+//! it, `util` holds the seeded panic/alloc violations, `clock` is the
+//! quarantined taint source). The fixtures are parsed as plain text —
+//! they are never compiled and the `fixtures` directory is excluded
+//! from the real workspace scan.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -22,7 +23,7 @@ fn workspace_root() -> PathBuf {
 /// internally, so input order must not matter — one test shuffles it).
 fn fixture_files() -> Vec<(String, String)> {
     let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph");
-    ["ingest", "util", "clock"]
+    ["ingest", "router", "util", "clock"]
         .iter()
         .map(|krate| {
             let rel = format!("crates/{krate}/src/lib.rs");
@@ -34,11 +35,17 @@ fn fixture_files() -> Vec<(String, String)> {
 
 fn fixture_config() -> GraphConfig {
     GraphConfig {
-        panic_roots: vec![FnSpec::file("crates/ingest/src/lib.rs")],
+        panic_roots: vec![
+            FnSpec::file("crates/ingest/src/lib.rs"),
+            FnSpec::file("crates/router/src/lib.rs"),
+        ],
         panic_local_files: Vec::new(),
         panic_boundaries: Vec::new(),
         alloc_roots: vec![FnSpec::func("crates/ingest/src/lib.rs", "hot_loop")],
-        deterministic_files: vec!["crates/ingest/src/lib.rs".to_string()],
+        deterministic_files: vec![
+            "crates/ingest/src/lib.rs".to_string(),
+            "crates/router/src/lib.rs".to_string(),
+        ],
         taint_source_files: vec!["crates/clock/src/lib.rs".to_string()],
     }
 }
@@ -62,9 +69,12 @@ fn witnesses(findings: &[GraphFinding], rule: &str) -> Vec<Vec<String>> {
 fn index_covers_all_fixture_functions() {
     let files = fixture_files();
     let index = graph::build_index(&files, &fixture_config());
-    assert_eq!(index.files_indexed, 3);
+    assert_eq!(index.files_indexed, 4);
     for sym in [
         "ingest::decode_frame",
+        "router::route_report",
+        "router::merge_counts",
+        "util::bucket_of",
         "ingest::decode_fast",
         "ingest::decode_looping",
         "ingest::decode_with_probe",
@@ -106,6 +116,30 @@ fn multi_hop_panic_carries_full_witness() {
         witnesses(&findings, "P001").contains(&expected),
         "no P001 finding with the 3-hop witness; got {:?}",
         witnesses(&findings, "P001")
+    );
+}
+
+#[test]
+fn router_hop_panic_is_reported_and_merge_stays_clean() {
+    // The router crate is a P001 root of its own (modelling the shard
+    // router fronting the ingest surface): the unchecked bucket index
+    // two files away must be reported with a witness that crosses the
+    // router hop, while the benign merge tier stays finding-free.
+    let findings = fixture_findings();
+    let expected: Vec<String> = ["router::route_report", "util::bucket_of"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(
+        witnesses(&findings, "P001").contains(&expected),
+        "no P001 finding crossing the router hop; got {:?}",
+        witnesses(&findings, "P001")
+    );
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.witness.iter().any(|s| s == "router::merge_counts")),
+        "benign merge tier appeared in a finding"
     );
 }
 

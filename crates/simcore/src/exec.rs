@@ -152,6 +152,35 @@ where
     })
 }
 
+/// Mutates each item of `items` in place, in parallel, one worker per
+/// item. `f` receives `(index, &mut item)` and must be a pure function
+/// of the item's prior state and the index; under that contract the
+/// result is bitwise identical for any worker count.
+///
+/// Unlike [`par_map`] this primitive is **panic-free** (no locks, no
+/// `expect`) so it may be called from panic-proved surfaces such as the
+/// shard ingest path. It is intended for small item counts (one
+/// coordinator shard per item), so it spawns one scoped thread per item
+/// rather than chunking.
+pub fn par_map_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if thread_count() <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (i, item) in items.iter_mut().enumerate() {
+            scope.spawn(move || f(i, item));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +232,19 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn par_map_mut_matches_serial() {
+        let mut par: Vec<u64> = (0..9).collect();
+        let mut serial = par.clone();
+        for (i, x) in serial.iter_mut().enumerate() {
+            *x = *x * 7 + i as u64;
+        }
+        par_map_mut(&mut par, |i, x| *x = *x * 7 + i as u64);
+        assert_eq!(par, serial);
+        let mut empty: Vec<u64> = Vec::new();
+        par_map_mut(&mut empty, |_, _| {});
+        assert!(empty.is_empty());
     }
 }

@@ -133,7 +133,7 @@ impl KahanSum {
 /// assert_eq!(a.mean(), 855.0);
 /// assert_eq!(a.min(), Some(840.0));
 /// ```
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MomentSketch {
     core: RunningStats,
     sum: KahanSum,

@@ -37,7 +37,7 @@ use std::sync::OnceLock;
 
 use wiscape_core::{
     Coordinator, CoordinatorConfig, CoordinatorHandle, IngestError, IngestSummary, MeasurementTask,
-    ZoneId, ZoneIndex,
+    ZoneCellState, ZoneId, ZoneIndex,
 };
 use wiscape_geo::GeoPoint;
 use wiscape_mobility::ClientId;
@@ -48,7 +48,7 @@ use crate::crash::{CrashPlan, CrashPoint};
 use crate::log::{scan_views, WalWriter, DEFAULT_SEGMENT_BYTES};
 use crate::record::{
     decode_record, RecordEncoder, RecordView, WalError, WalRecord, TAG_CHECKIN, TAG_FLUSH,
-    TAG_INGEST, TAG_SET_EPOCH, TAG_SET_QUOTA,
+    TAG_INGEST, TAG_MIGRATE_IN, TAG_MIGRATE_OUT, TAG_SET_EPOCH, TAG_SET_QUOTA,
 };
 use crate::snapshot::{
     encode_state, load_snapshot, read_manifest, write_snapshot, SnapshotWriteMode,
@@ -580,6 +580,10 @@ fn replay_into(c: &mut Coordinator, rec: &WalRecord) {
             epoch,
         } => c.set_zone_epoch(*zone, *network, *epoch),
         WalRecord::Flush { t } => c.flush(*t),
+        WalRecord::MigrateOut { lo, hi } => {
+            let _ = c.take_range(*lo, *hi);
+        }
+        WalRecord::MigrateIn { cells } => c.install_cells(cells.clone()),
     }
 }
 
@@ -674,6 +678,35 @@ impl CoordinatorHandle for DurableCoordinator {
         self.enc.seal_into(&mut self.frame);
         self.commit_frame();
         self.inner.set_zone_epoch(zone, network, epoch);
+        self.maybe_restart();
+        self.maybe_snapshot();
+    }
+
+    fn migrate_out_tagged(&mut self, lo: ZoneId, hi: ZoneId) -> Vec<ZoneCellState> {
+        self.maybe_restart();
+        let _ = self.writer.maybe_rotate();
+        self.enc.begin(TAG_MIGRATE_OUT);
+        self.enc.put_zone(lo);
+        self.enc.put_zone(hi);
+        self.enc.seal_into(&mut self.frame);
+        self.commit_frame();
+        let cells = self.inner.take_range(lo, hi);
+        self.maybe_restart();
+        self.maybe_snapshot();
+        cells
+    }
+
+    fn migrate_in_tagged(&mut self, cells: Vec<ZoneCellState>) {
+        self.maybe_restart();
+        let _ = self.writer.maybe_rotate();
+        self.enc.begin(TAG_MIGRATE_IN);
+        self.enc.put_u64(cells.len() as u64);
+        for cell in &cells {
+            self.enc.put_cell(cell);
+        }
+        self.enc.seal_into(&mut self.frame);
+        self.commit_frame();
+        self.inner.install_cells(cells);
         self.maybe_restart();
         self.maybe_snapshot();
     }

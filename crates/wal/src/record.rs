@@ -24,7 +24,7 @@ use wiscape_channel::codec::{
     crc32, put_f64, put_network, put_point, put_time, put_u32, put_varint, put_zone, DecodeError,
     Reader,
 };
-use wiscape_core::ZoneId;
+use wiscape_core::{ZoneCellState, ZoneId};
 use wiscape_geo::GeoPoint;
 use wiscape_mobility::ClientId;
 use wiscape_simcore::{SimDuration, SimTime};
@@ -44,6 +44,8 @@ pub(crate) const TAG_INGEST: u8 = 2;
 pub(crate) const TAG_SET_QUOTA: u8 = 3;
 pub(crate) const TAG_SET_EPOCH: u8 = 4;
 pub(crate) const TAG_FLUSH: u8 = 5;
+pub(crate) const TAG_MIGRATE_OUT: u8 = 6;
+pub(crate) const TAG_MIGRATE_IN: u8 = 7;
 
 /// Why a WAL operation failed. Everything on the recovery surface is
 /// typed — corrupt or truncated bytes can never panic the coordinator.
@@ -135,6 +137,20 @@ pub enum WalRecord {
         /// Finalization time.
         t: SimTime,
     },
+    /// A zone-range handoff out of this coordinator (shard
+    /// rebalancing): every cell with `lo <= zone <= hi` leaves.
+    MigrateOut {
+        /// Inclusive lower bound of the departing zone range.
+        lo: ZoneId,
+        /// Inclusive upper bound of the departing zone range.
+        hi: ZoneId,
+    },
+    /// A zone-range handoff into this coordinator: the migrated cells,
+    /// carried bit-exactly in the snapshot cell format.
+    MigrateIn {
+        /// The installed cells.
+        cells: Vec<ZoneCellState>,
+    },
 }
 
 impl WalRecord {
@@ -145,7 +161,10 @@ impl WalRecord {
             WalRecord::Checkin { t, .. } => Some(*t),
             WalRecord::Ingest { t, .. } => Some(*t),
             WalRecord::Flush { t } => Some(*t),
-            WalRecord::SetQuota { .. } | WalRecord::SetEpoch { .. } => None,
+            WalRecord::SetQuota { .. }
+            | WalRecord::SetEpoch { .. }
+            | WalRecord::MigrateOut { .. }
+            | WalRecord::MigrateIn { .. } => None,
         }
     }
 }
@@ -213,6 +232,12 @@ impl RecordEncoder {
     /// Appends a simulation time.
     pub fn put_time(&mut self, t: SimTime) {
         put_time(&mut self.body, t);
+    }
+
+    /// Appends one zone cell in the snapshot cell format (shared with
+    /// snapshot serialization, so migrated bytes equal snapshot bytes).
+    pub fn put_cell(&mut self, cell: &ZoneCellState) {
+        crate::snapshot::put_cell(&mut self.body, cell);
     }
 
     /// Appends a duration as its microsecond count.
@@ -455,6 +480,24 @@ fn decode_body(body: &[u8]) -> Result<WalRecord, WalError> {
             }
         }
         TAG_FLUSH => WalRecord::Flush { t: r.time()? },
+        TAG_MIGRATE_OUT => WalRecord::MigrateOut {
+            lo: r.zone()?,
+            hi: r.zone()?,
+        },
+        TAG_MIGRATE_IN => {
+            let n = usize::try_from(r.varint()?)
+                .map_err(|_| WalError::Frame(DecodeError::BadValue("cell count")))?;
+            // Each cell is at least ~30 bytes; reject counts the body
+            // cannot hold.
+            if n > body.len() {
+                return Err(WalError::Frame(DecodeError::BadValue("cell count")));
+            }
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                cells.push(crate::snapshot::take_cell(&mut r)?);
+            }
+            WalRecord::MigrateIn { cells }
+        }
         other => return Err(WalError::Frame(DecodeError::UnknownTag(other))),
     };
     if r.remaining() != 0 {
@@ -498,7 +541,38 @@ mod tests {
             WalRecord::Flush {
                 t: SimTime::from_micros(7_200_000_000),
             },
+            WalRecord::MigrateOut {
+                lo: ZoneId(CellId { col: -3, row: 12 }),
+                hi: ZoneId(CellId { col: 5, row: -5 }),
+            },
+            WalRecord::MigrateIn {
+                cells: vec![sample_cell()],
+            },
         ]
+    }
+
+    fn sample_cell() -> ZoneCellState {
+        let mut sketch = wiscape_stats::MomentSketch::new();
+        for v in [812.5, 793.25, 1024.0, 640.125] {
+            sketch.push(v);
+        }
+        ZoneCellState {
+            zone: ZoneId(CellId { col: 4, row: -2 }),
+            network: NetworkId::NetB,
+            epoch: SimDuration::from_micros(1_800_000_000),
+            epoch_start: SimTime::from_micros(3_600_000_000),
+            sketch,
+            issued_this_epoch: 7,
+            published: Some(wiscape_core::ZoneEstimate {
+                zone: ZoneId(CellId { col: 4, row: -2 }),
+                network: NetworkId::NetB,
+                mean: 817.46875,
+                std_dev: 161.0220581,
+                samples: 150,
+                formed_at: SimTime::from_micros(3_600_000_000),
+            }),
+            quota: Some(140),
+        }
     }
 
     fn encode(rec: &WalRecord) -> Vec<u8> {
@@ -564,6 +638,18 @@ mod tests {
             WalRecord::Flush { t } => {
                 enc.begin(TAG_FLUSH);
                 enc.put_time(*t);
+            }
+            WalRecord::MigrateOut { lo, hi } => {
+                enc.begin(TAG_MIGRATE_OUT);
+                enc.put_zone(*lo);
+                enc.put_zone(*hi);
+            }
+            WalRecord::MigrateIn { cells } => {
+                enc.begin(TAG_MIGRATE_IN);
+                enc.put_u64(cells.len() as u64);
+                for cell in cells {
+                    enc.put_cell(cell);
+                }
             }
         }
         enc.seal_into(&mut frame);

@@ -66,35 +66,7 @@ pub fn encode_state(state: &CoordinatorState, out: &mut Vec<u8>) {
     out.clear();
     put_varint(out, state.cells.len() as u64);
     for cell in &state.cells {
-        put_zone(out, cell.zone);
-        put_network(out, cell.network);
-        put_i64(out, cell.epoch.as_micros());
-        put_time(out, cell.epoch_start);
-        let (core, kahan) = cell.sketch.raw_parts();
-        let (count, mean, m2, min, max) = core.raw_parts();
-        put_varint(out, count);
-        put_f64(out, mean);
-        put_f64(out, m2);
-        put_f64(out, min);
-        put_f64(out, max);
-        let (sum, compensation) = kahan.raw_parts();
-        put_f64(out, sum);
-        put_f64(out, compensation);
-        put_varint(out, u64::from(cell.issued_this_epoch));
-        match &cell.published {
-            Some(est) => {
-                out.push(1);
-                put_estimate(out, est);
-            }
-            None => out.push(0),
-        }
-        match cell.quota {
-            Some(q) => {
-                out.push(1);
-                put_varint(out, u64::from(q));
-            }
-            None => out.push(0),
-        }
+        put_cell(out, cell);
     }
     put_varint(out, state.alerts.len() as u64);
     for alert in &state.alerts {
@@ -108,6 +80,84 @@ pub fn encode_state(state: &CoordinatorState, out: &mut Vec<u8>) {
     put_varint(out, state.packets_requested);
     put_varint(out, state.malformed_dropped);
     put_varint(out, state.reports_rejected);
+}
+
+/// Serializes one `(zone, network)` cell in the snapshot cell format.
+/// Shared with the WAL's migration records so a migrated cell carries
+/// exactly the bytes a snapshot of it would.
+pub(crate) fn put_cell(out: &mut Vec<u8>, cell: &ZoneCellState) {
+    put_zone(out, cell.zone);
+    put_network(out, cell.network);
+    put_i64(out, cell.epoch.as_micros());
+    put_time(out, cell.epoch_start);
+    let (core, kahan) = cell.sketch.raw_parts();
+    let (count, mean, m2, min, max) = core.raw_parts();
+    put_varint(out, count);
+    put_f64(out, mean);
+    put_f64(out, m2);
+    put_f64(out, min);
+    put_f64(out, max);
+    let (sum, compensation) = kahan.raw_parts();
+    put_f64(out, sum);
+    put_f64(out, compensation);
+    put_varint(out, u64::from(cell.issued_this_epoch));
+    match &cell.published {
+        Some(est) => {
+            out.push(1);
+            put_estimate(out, est);
+        }
+        None => out.push(0),
+    }
+    match cell.quota {
+        Some(q) => {
+            out.push(1);
+            put_varint(out, u64::from(q));
+        }
+        None => out.push(0),
+    }
+}
+
+/// Decodes one cell written by [`put_cell`].
+pub(crate) fn take_cell(r: &mut Reader<'_>) -> Result<ZoneCellState, WalError> {
+    let zone = r.zone()?;
+    let network = r.network()?;
+    let epoch = SimDuration::from_micros(r.i64()?);
+    let epoch_start = r.time()?;
+    let count = r.varint()?;
+    let mean = r.f64()?;
+    let m2 = r.f64()?;
+    let min = r.f64()?;
+    let max = r.f64()?;
+    let sum = r.f64()?;
+    let compensation = r.f64()?;
+    let core = RunningStats::from_raw_parts(count, mean, m2, min, max);
+    let kahan = KahanSum::from_raw_parts(sum, compensation);
+    let sketch = MomentSketch::from_raw_parts(core, kahan);
+    let issued = u32::try_from(r.varint()?)
+        .map_err(|_| WalError::Frame(DecodeError::BadValue("issued count")))?;
+    let published = match r.u8()? {
+        0 => None,
+        1 => Some(take_estimate(r)?),
+        _ => return Err(WalError::Frame(DecodeError::BadValue("published flag"))),
+    };
+    let quota = match r.u8()? {
+        0 => None,
+        1 => Some(
+            u32::try_from(r.varint()?)
+                .map_err(|_| WalError::Frame(DecodeError::BadValue("quota")))?,
+        ),
+        _ => return Err(WalError::Frame(DecodeError::BadValue("quota flag"))),
+    };
+    Ok(ZoneCellState {
+        zone,
+        network,
+        epoch,
+        epoch_start,
+        sketch,
+        issued_this_epoch: issued,
+        published,
+        quota,
+    })
 }
 
 fn put_estimate(out: &mut Vec<u8>, est: &ZoneEstimate) {
@@ -131,45 +181,7 @@ pub fn decode_state(body: &[u8]) -> Result<CoordinatorState, WalError> {
     let mut state = CoordinatorState::default();
     state.cells.reserve(cells_n);
     for _ in 0..cells_n {
-        let zone = r.zone()?;
-        let network = r.network()?;
-        let epoch = SimDuration::from_micros(r.i64()?);
-        let epoch_start = r.time()?;
-        let count = r.varint()?;
-        let mean = r.f64()?;
-        let m2 = r.f64()?;
-        let min = r.f64()?;
-        let max = r.f64()?;
-        let sum = r.f64()?;
-        let compensation = r.f64()?;
-        let core = RunningStats::from_raw_parts(count, mean, m2, min, max);
-        let kahan = KahanSum::from_raw_parts(sum, compensation);
-        let sketch = MomentSketch::from_raw_parts(core, kahan);
-        let issued = u32::try_from(r.varint()?)
-            .map_err(|_| WalError::Frame(DecodeError::BadValue("issued count")))?;
-        let published = match r.u8()? {
-            0 => None,
-            1 => Some(take_estimate(&mut r)?),
-            _ => return Err(WalError::Frame(DecodeError::BadValue("published flag"))),
-        };
-        let quota = match r.u8()? {
-            0 => None,
-            1 => Some(
-                u32::try_from(r.varint()?)
-                    .map_err(|_| WalError::Frame(DecodeError::BadValue("quota")))?,
-            ),
-            _ => return Err(WalError::Frame(DecodeError::BadValue("quota flag"))),
-        };
-        state.cells.push(ZoneCellState {
-            zone,
-            network,
-            epoch,
-            epoch_start,
-            sketch,
-            issued_this_epoch: issued,
-            published,
-            quota,
-        });
+        state.cells.push(take_cell(&mut r)?);
     }
     let alerts_n = usize::try_from(r.varint()?)
         .map_err(|_| WalError::Frame(DecodeError::BadValue("alert count")))?;

@@ -57,6 +57,14 @@ enum Op {
         mins: u32,
     },
     Flush,
+    /// A zone-range handoff: take every cell up to `(col, row)` out of
+    /// the coordinator and install it back — the WAL sees a
+    /// `MigrateOut`/`MigrateIn` pair, exactly what one side of a shard
+    /// rebalance appends, while the fold state is unchanged.
+    Migrate {
+        col: i32,
+        row: i32,
+    },
 }
 
 fn net_of(pick: u8) -> NetworkId {
@@ -82,7 +90,7 @@ fn net_subset(bits: u8) -> Vec<NetworkId> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     (
-        0..8u32,
+        0..9u32,
         (any::<u32>(), any::<u64>()),
         (42.99..43.15f64, -89.55..-89.25f64),
         (-6..6i32, -6..6i32),
@@ -121,6 +129,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
                         net: bits,
                         quota,
                     },
+                    8 => Op::Migrate { col, row },
                     _ => {
                         if mins % 2 == 0 {
                             Op::SetEpoch {
@@ -197,6 +206,23 @@ fn apply<H: CoordinatorHandle>(h: &mut H, op: &Op, t: SimTime) {
             SimDuration::from_mins(i64::from(*mins)),
         ),
         Op::Flush => h.flush_tagged(t),
+        Op::Migrate { col, row } => {
+            let lo = ZoneId(CellId { col: -7, row: -7 });
+            let hi = ZoneId(CellId {
+                col: *col,
+                row: *row,
+            });
+            let cells = h.migrate_out_tagged(lo, hi);
+            h.migrate_in_tagged(cells);
+        }
+    }
+}
+
+/// WAL records an op appends (`Migrate` is an out/in record pair).
+fn records_of(op: &Op) -> u64 {
+    match op {
+        Op::Migrate { .. } => 2,
+        _ => 1,
     }
 }
 
@@ -264,9 +290,10 @@ proptest! {
         }
         durable.shutdown().unwrap();
 
+        let expected_records: u64 = ops.iter().map(records_of).sum();
         let meters = durable.wal_meters();
         prop_assert_eq!(meters.recovery_mismatches, 0, "recovery proof failed (seed {})", seed);
-        prop_assert_eq!(meters.records, ops.len() as u64, "every op must be durable");
+        prop_assert_eq!(meters.records, expected_records, "every op must be durable");
         let live = state_bytes(durable.coordinator_ref());
         let reference = state_bytes(&baseline);
         prop_assert_eq!(live, reference, "crashed run diverged (seed {})", seed);
@@ -275,7 +302,7 @@ proptest! {
         // reproduces the final state bitwise.
         let (cold, report) =
             DurableCoordinator::recover(&dir, index, config, wal_opts(CrashPlan::none())).unwrap();
-        prop_assert_eq!(report.records, ops.len() as u64);
+        prop_assert_eq!(report.records, expected_records);
         prop_assert_eq!(state_bytes(cold.coordinator_ref()), state_bytes(&baseline));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -407,5 +434,158 @@ proptest! {
         prop_assert_eq!(summary.records_seen, frames.len() as u64);
         prop_assert_eq!(summary.torn_bytes, keep as u64);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A real two-shard handoff under injected crashes: two durable
+/// coordinators split the zone space, a mid-stream rebalance moves a
+/// column band from one WAL to the other via `MigrateOut`/`MigrateIn`
+/// records, and seeded crashes fire on both logs. The merged final
+/// state must fingerprint-equal a single uninterrupted coordinator fed
+/// the same stream, with both recovery proofs clean.
+#[test]
+fn two_shard_migration_with_seeded_crashes_matches_single() {
+    use wiscape_core::{merge_states, state_fingerprint, AlertMerge};
+
+    let (index, config) = index_and_config();
+    let boundary = |after_move: bool| if after_move { -3i32 } else { 0 };
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Ingest { col: i32, row: i32, net: u8, v: f64 },
+        Quota { col: i32, row: i32, q: u32 },
+        Flush,
+    }
+    let mut evs = Vec::new();
+    for i in 0..300i64 {
+        let col = ((i * 7) % 12 - 6) as i32;
+        let row = ((i * 5) % 12 - 6) as i32;
+        match i % 17 {
+            16 => evs.push(Ev::Flush),
+            15 => evs.push(Ev::Quota {
+                col,
+                row,
+                q: 40 + (i % 90) as u32,
+            }),
+            _ => evs.push(Ev::Ingest {
+                col,
+                row,
+                net: (i % 3) as u8,
+                v: 500.0 + (i as f64) * 1.75,
+            }),
+        }
+    }
+
+    for seed in [11u64, 29, 47] {
+        // Uninterrupted single-coordinator reference.
+        let mut single = Coordinator::new(index.clone(), config.clone());
+        let apply_ev = |h: &mut dyn FnMut(&Ev, SimTime), evs: &[Ev]| {
+            for (i, ev) in evs.iter().enumerate() {
+                h(ev, op_time(i));
+            }
+        };
+        apply_ev(
+            &mut |ev, t| match *ev {
+                Ev::Ingest { col, row, net, v } => {
+                    let _ = single.ingest_samples_tagged(
+                        ClientId(1),
+                        0,
+                        ZoneId(CellId { col, row }),
+                        net_of(net),
+                        t,
+                        [v].into_iter(),
+                    );
+                }
+                Ev::Quota { col, row, q } => {
+                    single.set_zone_quota_tagged(ZoneId(CellId { col, row }), NetworkId::NetA, q)
+                }
+                Ev::Flush => single.flush_tagged(t),
+            },
+            &evs,
+        );
+
+        // Sharded run: shard 0 owns col < boundary, shard 1 the rest,
+        // each behind its own WAL with a seeded crash plan.
+        let dir_a = fresh_dir(&format!("mig-a-{seed}"));
+        let dir_b = fresh_dir(&format!("mig-b-{seed}"));
+        let mut a = DurableCoordinator::create(
+            &dir_a,
+            index.clone(),
+            config.clone(),
+            wal_opts(CrashPlan::seeded(seed, 120)),
+        )
+        .unwrap();
+        let mut b = DurableCoordinator::create(
+            &dir_b,
+            index.clone(),
+            config.clone(),
+            wal_opts(CrashPlan::seeded(seed.wrapping_add(1), 120)),
+        )
+        .unwrap();
+        let mut merge = AlertMerge::new(2);
+        let mut moved = false;
+        for (i, ev) in evs.iter().enumerate() {
+            let t = op_time(i);
+            if i == 150 {
+                // Rebalance: columns [-3, -1] move from shard 0 to 1.
+                let lo = ZoneId(CellId {
+                    col: -3,
+                    row: i32::MIN,
+                });
+                let hi = ZoneId(CellId {
+                    col: -1,
+                    row: i32::MAX,
+                });
+                let cells = a.migrate_out_tagged(lo, hi);
+                assert!(!cells.is_empty(), "rebalance must move tracked cells");
+                b.migrate_in_tagged(cells);
+                moved = true;
+            }
+            match *ev {
+                Ev::Ingest { col, row, net, v } => {
+                    let shard = usize::from(col >= boundary(moved));
+                    let h: &mut DurableCoordinator = if shard == 0 { &mut a } else { &mut b };
+                    let _ = h.ingest_samples_tagged(
+                        ClientId(1),
+                        0,
+                        ZoneId(CellId { col, row }),
+                        net_of(net),
+                        t,
+                        [v].into_iter(),
+                    );
+                    merge.note(shard, h.coordinator_ref().alerts());
+                }
+                Ev::Quota { col, row, q } => {
+                    let shard = usize::from(col >= boundary(moved));
+                    let h: &mut DurableCoordinator = if shard == 0 { &mut a } else { &mut b };
+                    h.set_zone_quota_tagged(ZoneId(CellId { col, row }), NetworkId::NetA, q);
+                    merge.note(shard, h.coordinator_ref().alerts());
+                }
+                Ev::Flush => {
+                    a.flush_tagged(t);
+                    b.flush_tagged(t);
+                    merge.note_flush(&[a.coordinator_ref().alerts(), b.coordinator_ref().alerts()]);
+                }
+            }
+        }
+        a.shutdown().unwrap();
+        b.shutdown().unwrap();
+        assert_eq!(a.wal_meters().recovery_mismatches, 0, "seed {seed}");
+        assert_eq!(b.wal_meters().recovery_mismatches, 0, "seed {seed}");
+
+        let merged = merge_states(
+            [
+                a.coordinator_ref().export_state(),
+                b.coordinator_ref().export_state(),
+            ],
+            merge.merged().to_vec(),
+        );
+        assert_eq!(
+            state_fingerprint(&merged),
+            state_fingerprint(&single.export_state()),
+            "merged sharded state diverged (seed {seed})"
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
     }
 }

@@ -22,6 +22,16 @@
 # crash, recover must change nothing. The WAL segment/snapshot/manifest
 # files are hashed into $out.wal.manifest for the CI artifact.
 #
+# The sharded passes then prove the scale-out topology is transparent
+# too: the quick run re-executes with every channel-driven deployment
+# split across zone-range shards behind the deterministic router —
+# once at --shards 1 (the degenerate topology), once at --shards 4
+# with a seeded mid-stream zone-range rebalance, and once at
+# --shards 4 with the rebalance AND per-shard WAL logs with a seeded
+# crash during the run (migration records included in the replay). All
+# three are diffed against the same committed manifest, and the pass
+# summary lands in $out.shard_topology.json for the CI artifact.
+#
 # Usage:
 #   scripts/verify_results.sh            # verify against the manifest
 #   scripts/verify_results.sh --update   # regenerate the manifest
@@ -31,9 +41,10 @@ cd "$(dirname "$0")/.."
 manifest=results/QUICK_MANIFEST.sha256
 out="${TMPDIR:-/tmp}/wiscape_quick_manifest_check"
 wal_crash_seed=11
+rebalance_seed=5
 
 cargo build --release -q -p wiscape-experiments --bin repro
-rm -rf "$out" "$out.wal" "$out.waldir"
+rm -rf "$out" "$out.wal" "$out.waldir" "$out.shard1" "$out.shard4" "$out.shardwal" "$out.shardwaldir"
 ./target/release/repro --seed 7 --quick --out "$out" --obs "$out.obs.json" >/dev/null
 echo "[verify_results] obs snapshot: $out.obs.json"
 
@@ -65,3 +76,44 @@ fi
 (cd "$out.waldir" && find . -type f | LC_ALL=C sort | xargs sha256sum --) > "$out.wal.manifest"
 wal_files=$(wc -l < "$out.wal.manifest")
 echo "[verify_results] OK: crash+recover (seed $wal_crash_seed) byte-identical; $wal_files WAL files hashed to $out.wal.manifest"
+
+# --- sharded-topology passes ---------------------------------------------
+# The scale-out refactor's transparency proof: the same quick run at
+# three shard topologies, each diffed against the committed manifest.
+verify_shard_pass() {
+    local label="$1" dir="$2"
+    shift 2
+    ./target/release/repro --seed 7 --quick --out "$dir" "$@" >/dev/null
+    (cd "$dir" && sha256sum -- *.json | LC_ALL=C sort -k2) > "$dir.artifacts"
+    if ! diff -u "$manifest" "$dir.artifacts"; then
+        echo "[verify_results] FAIL: sharded pass '$label' drifted from $manifest" >&2
+        exit 1
+    fi
+    echo "[verify_results] OK: sharded pass '$label' byte-identical"
+}
+
+verify_shard_pass "shards=1" "$out.shard1" --shards 1
+verify_shard_pass "shards=4 rebalance" "$out.shard4" \
+    --shards 4 --rebalance-seed "$rebalance_seed"
+verify_shard_pass "shards=4 rebalance wal crash" "$out.shardwal" \
+    --shards 4 --rebalance-seed "$rebalance_seed" \
+    --wal "$out.shardwaldir" --wal-crash-seed "$wal_crash_seed"
+
+shard_logs=$(find "$out.shardwaldir" -type f | wc -l)
+artifacts=$(wc -l < "$manifest")
+cat > "$out.shard_topology.json" <<EOF
+{
+  "seed": 7,
+  "scale": "quick",
+  "artifacts_checked": $artifacts,
+  "rebalance_seed": $rebalance_seed,
+  "wal_crash_seed": $wal_crash_seed,
+  "passes": [
+    { "label": "shards=1", "shards": 1, "rebalance": false, "wal": false, "byte_identical": true },
+    { "label": "shards=4 rebalance", "shards": 4, "rebalance": true, "wal": false, "byte_identical": true },
+    { "label": "shards=4 rebalance wal crash", "shards": 4, "rebalance": true, "wal": true, "byte_identical": true }
+  ],
+  "shard_wal_files": $shard_logs
+}
+EOF
+echo "[verify_results] OK: shard topology report -> $out.shard_topology.json"

@@ -3,6 +3,7 @@
 //! ```text
 //! wiscape map    [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]
 //!                [--wal DIR] [--crash-seed N] [--recover DIR]
+//!                [--shards N] [--rebalance-seed S]
 //!                                                           run a deployment, dump the zone map
 //!
 //!   --wal DIR         route the coordinator through the wiscape-wal event
@@ -12,6 +13,12 @@
 //!   --recover DIR     skip the simulation entirely: rebuild the coordinator
 //!                     from the WAL under DIR (snapshot + replay) and dump
 //!                     the zone map it had published
+//!   --shards N        shard the coordinator into N zone ranges behind a
+//!                     deterministic router; the map is byte-identical to
+//!                     the single-coordinator run for any N. With --wal,
+//!                     each shard logs under DIR/shard-<i>.
+//!   --rebalance-seed S with --shards: apply a seeded zone-range rebalance
+//!                     at the midpoint of the run (still byte-identical)
 //! wiscape trace  <standalone|wirover|spot|short-segment>
 //!                [--seed N] [--days D] [--out trace.csv]    regenerate a dataset as CSV
 //! wiscape epoch  [--seed N] [--region wi|nj]                Allan-deviation epoch profile
@@ -78,7 +85,7 @@ fn die(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  wiscape map     [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]\n                  \
-         [--wal DIR] [--crash-seed N] [--recover DIR]\n  \
+         [--wal DIR] [--crash-seed N] [--recover DIR] [--shards N] [--rebalance-seed S]\n  \
          wiscape trace   <standalone|wirover|spot|short-segment> [--seed N] [--days D] [--out trace.csv]\n  \
          wiscape epoch   [--seed N] [--region wi|nj]\n  \
          wiscape quality [--seed N] [--lat L --lon L] [--hour H]"
@@ -141,26 +148,79 @@ fn cmd_map(args: &Args) {
     let index = ZoneIndex::around(land.origin(), 7000.0).expect("valid zone index");
     let start = SimTime::at(1, 7.0);
     let window = SimDuration::from_secs_f64(hours * 3600.0);
+    let shards = usize::try_from(args.u64_flag("shards", 1))
+        .unwrap_or(1)
+        .max(1);
+    let rebalance_seed = args.flags.get("rebalance-seed").map(|v| {
+        v.parse::<u64>()
+            .unwrap_or_else(|_| die(&format!("--rebalance-seed: not an integer: {v}")))
+    });
+    let crash_plan_for = |i: usize| match args.flags.get("crash-seed") {
+        Some(v) => {
+            let s: u64 = v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--crash-seed: not an integer: {v}")));
+            wiscape::wal::CrashPlan::seeded(s.wrapping_add(i as u64), 500)
+        }
+        None => wiscape::wal::CrashPlan::none(),
+    };
+    let wal_opts_for = |i: usize| wiscape::wal::WalOptions {
+        snapshot_every: 256,
+        plan: crash_plan_for(i),
+        ..wiscape::wal::WalOptions::default()
+    };
     if let Some(dir) = args.str_flag("wal") {
-        let plan = match args.flags.get("crash-seed") {
-            Some(v) => {
-                let s: u64 = v
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("--crash-seed: not an integer: {v}")));
-                wiscape::wal::CrashPlan::seeded(s, 500)
+        if shards > 1 {
+            // Sharded + durable: each shard logs its own event stream
+            // (including MigrateOut/MigrateIn on a rebalance) under
+            // DIR/shard-<i> and recovers independently.
+            let coordinators: Vec<wiscape::wal::DurableCoordinator> = (0..shards)
+                .map(|i| {
+                    let sub = std::path::Path::new(dir).join(format!("shard-{i}"));
+                    wiscape::wal::DurableCoordinator::create(
+                        &sub,
+                        index.clone(),
+                        config.deployment.coordinator.clone(),
+                        wal_opts_for(i),
+                    )
+                    .unwrap_or_else(|e| die(&format!("wal {}: {e}", sub.display())))
+                })
+                .collect();
+            let assignment = wiscape::core::ShardAssignment::even(&index, shards);
+            let mut deployment = ChannelDeployment::with_sharded_coordinators(
+                land,
+                fleet,
+                coordinators,
+                assignment,
+                index,
+                config,
+            );
+            drive_map_sharded(&mut deployment, loss, start, window, rebalance_seed);
+            let mut totals = (0u64, 0u64, 0u64, 0u64);
+            for wal in deployment.shard_handles_mut() {
+                wal.shutdown()
+                    .unwrap_or_else(|e| die(&format!("wal shutdown: {e}")));
+                let m = wal.wal_meters();
+                if m.recovery_mismatches != 0 {
+                    die("wal recovery diverged from the live run");
+                }
+                totals.0 += m.records;
+                totals.1 += m.bytes_appended;
+                totals.2 += m.snapshots;
+                totals.3 += m.recoveries;
             }
-            None => wiscape::wal::CrashPlan::none(),
-        };
-        let opts = wiscape::wal::WalOptions {
-            snapshot_every: 256,
-            plan,
-            ..wiscape::wal::WalOptions::default()
-        };
+            eprintln!(
+                "wal: {} records, {} bytes, {} snapshots, {} recoveries ({shards} shards)",
+                totals.0, totals.1, totals.2, totals.3
+            );
+            emit_map(args, deployment.coordinator(), obs_path.as_deref());
+            return;
+        }
         let coordinator = wiscape::wal::DurableCoordinator::create(
             std::path::Path::new(dir),
             index,
             config.deployment.coordinator.clone(),
-            opts,
+            wal_opts_for(0),
         )
         .unwrap_or_else(|e| die(&format!("wal {dir}: {e}")));
         let mut deployment = ChannelDeployment::with_coordinator(land, fleet, coordinator, config);
@@ -177,6 +237,10 @@ fn cmd_map(args: &Args) {
             m.records, m.bytes_appended, m.snapshots, m.recoveries
         );
         emit_map(args, deployment.coordinator(), obs_path.as_deref());
+    } else if shards > 1 {
+        let mut deployment = ChannelDeployment::sharded(land, fleet, index, config, shards);
+        drive_map_sharded(&mut deployment, loss, start, window, rebalance_seed);
+        emit_map(args, deployment.coordinator(), obs_path.as_deref());
     } else {
         let mut deployment = ChannelDeployment::new(land, fleet, index, config);
         drive_map(&mut deployment, loss, start, window);
@@ -184,8 +248,50 @@ fn cmd_map(args: &Args) {
     }
 }
 
-fn drive_map<C: CoordinatorHandle>(
-    deployment: &mut ChannelDeployment<C>,
+/// Runs a sharded deployment, applying the seeded midpoint rebalance
+/// when requested (the midpoint lands on a check-in boundary so the
+/// split run draws the same task coins as an unsplit one).
+fn drive_map_sharded<C: CoordinatorHandle>(
+    deployment: &mut ChannelDeployment<ShardedChannelServer<C>>,
+    loss: f64,
+    start: SimTime,
+    window: SimDuration,
+    rebalance_seed: Option<u64>,
+) {
+    let end = start + window;
+    match rebalance_seed {
+        None => deployment.run(start, end),
+        Some(seed) => {
+            let interval = deployment.checkin_interval();
+            let rounds = window.as_micros() / interval.as_micros().max(1);
+            let mid = start + interval * (rounds / 2);
+            deployment.run_until(start, mid);
+            let mv = wiscape::core::RebalanceMove::seeded(
+                seed,
+                deployment.coordinator().index(),
+                deployment.sharded_server().assignment(),
+            );
+            match mv {
+                Some(mv) => {
+                    let moved = deployment.rebalance(&mv);
+                    eprintln!(
+                        "rebalance: moved {moved} cells from shard {} to shard {}",
+                        mv.from, mv.to
+                    );
+                }
+                None => eprintln!("rebalance: no applicable move (single range?)"),
+            }
+            deployment.run_until(mid, end);
+            deployment.finish(end);
+        }
+    }
+    wiscape::obs::span("map/sim_window")
+        .record_micros(u64::try_from(window.as_micros()).unwrap_or(0));
+    report_map_stats(deployment, loss);
+}
+
+fn drive_map<S: ServerEndpoint>(
+    deployment: &mut ChannelDeployment<S>,
     loss: f64,
     start: SimTime,
     window: SimDuration,
@@ -193,6 +299,10 @@ fn drive_map<C: CoordinatorHandle>(
     deployment.run(start, start + window);
     wiscape::obs::span("map/sim_window")
         .record_micros(u64::try_from(window.as_micros()).unwrap_or(0));
+    report_map_stats(deployment, loss);
+}
+
+fn report_map_stats<S: ServerEndpoint>(deployment: &mut ChannelDeployment<S>, loss: f64) {
     let stats = deployment.stats();
     eprintln!(
         "deployment: {} checkins, {} tasks, {} packets requested",
