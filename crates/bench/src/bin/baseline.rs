@@ -157,6 +157,25 @@ struct ShardRates {
     per_count: Vec<ShardScale>,
 }
 
+/// Adaptive-regionalization throughput: `wiscape-region`'s quadtree
+/// build plus the hotspot scan over it, on a synthetic city-scale
+/// state (≥100k zones, one `(zone, network)` cell each).
+#[derive(Serialize)]
+struct RegionRates {
+    /// Zones in the synthetic grid.
+    zones: usize,
+    /// `(zone, network)` cells in the exported state.
+    cells: usize,
+    /// Regions the build merges the grid into (default config).
+    regions: usize,
+    /// Full `RegionSet::build` passes per second.
+    build_s: f64,
+    /// Zones regionalized per second (`build_s * zones`).
+    zones_per_s: f64,
+    /// `locate_hotspots` scans per second over the built set.
+    hotspot_scan_s: f64,
+}
+
 /// WAL durability cost and recovery speed. Append measures the full
 /// commit-before-fold path (encode + log append + sketch fold); replay
 /// measures `DurableCoordinator::recover` over a log of ingest records.
@@ -188,6 +207,7 @@ struct BenchCore {
     ingest: IngestRates,
     shard: ShardRates,
     recovery: RecoveryRates,
+    region: RegionRates,
     /// Per-experiment wall-clock at Scale::Quick, paper order.
     experiments: Vec<ExperimentTiming>,
     /// Wall-clock of the whole parallel experiment run, seconds.
@@ -529,6 +549,82 @@ fn shard_rates() -> ShardRates {
     }
 }
 
+/// Builds a synthetic city-scale coordinator state (≥100k zones, one
+/// NetB cell per zone) with mild spatial structure plus a handful of
+/// high-variance pockets so the quadtree does real split work.
+fn region_state() -> (wiscape_core::ZoneIndex, wiscape_core::CoordinatorState) {
+    use wiscape_core::coordinator::{CoordinatorState, ZoneCellState};
+    use wiscape_core::ZoneIndex;
+    use wiscape_geo::{BoundingBox, GeoPoint};
+    use wiscape_stats::MomentSketch;
+
+    let origin = GeoPoint::new(39.0, -77.0).expect("valid origin");
+    let bounds = BoundingBox::around(origin, 71_000.0);
+    let index = ZoneIndex::new(bounds, 250.0).expect("valid index");
+    let cells = index
+        .zones()
+        .map(|zone| {
+            let (col, row) = (zone.0.col, zone.0.row);
+            // Smooth large-scale structure (forces deep splits along the
+            // gradients, clean merges on the plateaus) plus scattered
+            // high-variance pockets (exercises the variability
+            // criterion).
+            let base =
+                800.0 + 250.0 * (f64::from(col) / 37.0).sin() * (f64::from(row) / 29.0).cos();
+            let noisy = (col * 31 + row * 17).rem_euclid(23) == 0;
+            let swing = if noisy { 300.0 } else { 20.0 };
+            let mut sketch = MomentSketch::new();
+            for k in 0..4 {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sketch.push(base + sign * swing);
+            }
+            ZoneCellState {
+                zone,
+                network: NetworkId::NetB,
+                epoch: SimDuration::from_mins(30),
+                epoch_start: SimTime::at(1, 0.0),
+                sketch,
+                issued_this_epoch: 0,
+                published: None,
+                quota: None,
+            }
+        })
+        .collect();
+    let state = CoordinatorState {
+        cells,
+        ..CoordinatorState::default()
+    };
+    (index, state)
+}
+
+fn region_rates() -> RegionRates {
+    use wiscape_region::{locate_hotspots, HotspotConfig, RegionConfig, RegionSet};
+
+    let budget = 0.4;
+    let (index, state) = region_state();
+    let config = RegionConfig::default();
+    let set = RegionSet::build(&state, &index, &config);
+    let build_s = rate(budget, || {
+        black_box(RegionSet::build(
+            black_box(&state),
+            black_box(&index),
+            black_box(&config),
+        ));
+    });
+    let hotspot_config = HotspotConfig::default();
+    let hotspot_scan_s = rate(budget * 0.5, || {
+        black_box(locate_hotspots(black_box(&set), black_box(&hotspot_config)));
+    });
+    RegionRates {
+        zones: index.zone_count(),
+        cells: state.cells.len(),
+        regions: set.regions.len(),
+        build_s,
+        zones_per_s: build_s * index.zone_count() as f64,
+        hotspot_scan_s,
+    }
+}
+
 fn recovery_rates() -> RecoveryRates {
     use wiscape_core::{CoordinatorConfig, CoordinatorHandle, ZoneIndex};
     use wiscape_geo::{BoundingBox, GeoPoint};
@@ -676,7 +772,44 @@ fn run_smoke() -> ! {
             row.speedup_vs_single,
         );
     }
+    eprintln!("[smoke] adaptive regionalization (city-scale grid)...");
+    let (region_index, region_state) = region_state();
+    let region_config = wiscape_region::RegionConfig::default();
+    // Best of three: one-shot wall times on shared machines are noisy.
+    let mut region_build = f64::INFINITY;
+    let mut region_count = 0usize;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let set = wiscape_region::RegionSet::build(
+            black_box(&region_state),
+            black_box(&region_index),
+            black_box(&region_config),
+        );
+        region_build = region_build.min(t.elapsed().as_secs_f64());
+        region_count = set.regions.len();
+    }
+    eprintln!(
+        "[smoke] regionalized {} zones into {} regions in {:.0} ms",
+        region_index.zone_count(),
+        region_count,
+        region_build * 1e3,
+    );
     let mut ok = true;
+    // A city-scale partition must be cheap enough to rebuild on every
+    // coordinator publish tick: >=100k zones under a 2 s wall budget
+    // (the tolerant floor; the quadtree normally does this in tens of
+    // milliseconds).
+    if region_index.zone_count() < 100_000 {
+        eprintln!(
+            "[smoke] FAIL: region grid has {} zones, expected >= 100k",
+            region_index.zone_count()
+        );
+        ok = false;
+    }
+    if region_build > 2.0 {
+        eprintln!("[smoke] FAIL: region build took {region_build:.2} s over the 2 s budget");
+        ok = false;
+    }
     // The sharded floor needs real parallelism: each shard folds its
     // bucket on its own worker, so on fewer than 4 workers the N=4 run
     // time-slices one core and the 2x target is unmeasurable.
@@ -834,6 +967,18 @@ fn main() {
         recovery.snapshot_bytes_per_zone,
     );
 
+    eprintln!("[baseline] adaptive regionalization (city-scale grid)...");
+    let region = region_rates();
+    eprintln!(
+        "[baseline] region build {:.2}/s over {} zones ({:.1}M zones/s, {} regions), \
+         hotspot scan {:.0}/s",
+        region.build_s,
+        region.zones,
+        region.zones_per_s / 1e6,
+        region.regions,
+        region.hotspot_scan_s,
+    );
+
     eprintln!("[baseline] running all experiments at Scale::Quick...");
     let names: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     let wall = Instant::now();
@@ -858,6 +1003,7 @@ fn main() {
         ingest,
         shard,
         recovery,
+        region,
         experiments,
         experiments_wall_s,
         experiments_cpu_s,

@@ -88,6 +88,12 @@ impl ZoneIndex {
     pub fn bounds(&self) -> &BoundingBox {
         self.grid.bounds()
     }
+
+    /// The underlying square grid (column/row geometry for analytics
+    /// layers that need zone *indices*, e.g. the quadtree regionalizer).
+    pub fn grid(&self) -> &SquareGrid {
+        &self.grid
+    }
 }
 
 #[cfg(test)]

@@ -233,9 +233,85 @@ pub fn fig13(r: &crate::fig13::Fig13) -> Charts {
     out
 }
 
+/// Chart for Fig 16 (fixed-zone vs adaptive-region error per budget).
+pub fn fig16(r: &crate::fig16::Fig16) -> Charts {
+    let curve = |err: &[f64]| -> Vec<(f64, f64)> {
+        r.budgets
+            .iter()
+            .zip(err)
+            .map(|(b, e)| (f64::from(*b), *e))
+            .collect()
+    };
+    let series = vec![
+        ("fixed 250 m grid".to_string(), curve(&r.fixed_err_pct)),
+        ("adaptive regions".to_string(), curve(&r.adaptive_err_pct)),
+    ];
+    let mut out = Vec::new();
+    push(
+        &mut out,
+        "fig16_regions.svg",
+        line_chart(
+            &series,
+            &ChartOptions::new(
+                "Fig 16 — estimation error vs per-zone sample budget",
+                "samples per zone",
+                "mean abs. relative error (%)",
+            ),
+        ),
+    );
+    out
+}
+
+/// File names of the SVG charts [`crate::run_by_name_with_charts`]
+/// emits for experiment `name`, in emission order — the static mirror
+/// of the builders above. `inventory::results_table` renders it into
+/// the committed artifact inventory, and `charts_match_manifest` below
+/// holds it to the actual builder output so it cannot drift.
+pub fn chart_manifest(name: &str) -> &'static [&'static str] {
+    match name {
+        "fig02" => &["fig02b_cc_cdf.svg", "fig02a_scatter.svg"],
+        "fig04" => &["fig04_relstd_cdf.svg"],
+        "fig05" => &[
+            "fig05_wi_tcp.svg",
+            "fig05_wi_udp.svg",
+            "fig05_wi_jitter.svg",
+            "fig05_wi_loss.svg",
+            "fig05_nj_tcp.svg",
+            "fig05_nj_udp.svg",
+            "fig05_nj_jitter.svg",
+            "fig05_nj_loss.svg",
+        ],
+        "fig06" => &["fig06_allan.svg"],
+        "fig07" => &["fig07_nkld.svg"],
+        "fig08" => &["fig08_error_cdf.svg"],
+        "fig09" => &["fig09_relstd_cdf.svg"],
+        "fig10" => &["fig10_stadium.svg"],
+        "fig11" => &["fig11_dominance.svg"],
+        "fig13" => &["fig13_road.svg"],
+        "fig16_regions" => &["fig16_regions.svg"],
+        _ => &[],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::common::Scale;
+
+    #[test]
+    fn charts_match_manifest() {
+        // Every registered experiment's actual chart output must match
+        // the static manifest, name for name, in order.
+        for name in crate::ALL_EXPERIMENTS {
+            let (_, _, charts) =
+                crate::run_by_name_with_charts(name, 7, Scale::Quick).expect("known experiment");
+            let got: Vec<&str> = charts.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(
+                got,
+                super::chart_manifest(name),
+                "chart manifest drifted for {name}"
+            );
+        }
+    }
 
     #[test]
     fn figure_charts_render() {

@@ -83,9 +83,63 @@ pub fn table2() -> String {
     out
 }
 
+/// Markdown table of every `results/` artifact the registry produces:
+/// one row per experiment with its gated JSON file and the SVG charts
+/// its builder emits. Generated from [`crate::ALL_EXPERIMENTS`] and
+/// [`crate::charts::chart_manifest`] rather than hand-maintained, so
+/// the committed copy in `EXPERIMENTS.md` cannot drift from the code
+/// (the `experiments_md_contains_results_table` test holds them
+/// together).
+pub fn results_table() -> String {
+    let mut out =
+        String::from("| Experiment | JSON (manifest-gated) | SVG charts |\n|---|---|---|\n");
+    for name in crate::ALL_EXPERIMENTS {
+        let charts = crate::charts::chart_manifest(name);
+        let svgs = if charts.is_empty() {
+            "—".to_string()
+        } else {
+            charts
+                .iter()
+                .map(|c| format!("`{c}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!("| {name} | `{name}.json` | {svgs} |\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn results_table_covers_every_experiment() {
+        let t = results_table();
+        for name in crate::ALL_EXPERIMENTS {
+            assert!(
+                t.contains(&format!("| {name} | `{name}.json` |")),
+                "missing row for {name} in:\n{t}"
+            );
+        }
+        assert!(t.contains("`fig16_regions.svg`"));
+    }
+
+    #[test]
+    fn experiments_md_contains_results_table() {
+        // The committed EXPERIMENTS.md inventory is the rendered output
+        // of results_table(), verbatim: regenerate it (see the Artifact
+        // inventory section there) instead of editing it by hand.
+        let md =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md"))
+                .expect("EXPERIMENTS.md readable");
+        assert!(
+            md.contains(&results_table()),
+            "EXPERIMENTS.md artifact inventory drifted from the registry; \
+             paste the output of `inventory::results_table()` into its \
+             'Artifact inventory' section"
+        );
+    }
 
     #[test]
     fn table1_lists_all_networks_with_correct_caps() {

@@ -31,6 +31,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod fig16;
 pub mod inventory;
 pub mod plot;
 pub mod tab03;
@@ -42,8 +43,9 @@ pub use common::{Experiment, Scale};
 
 /// Every experiment id, in paper order (fig15 is repro-only: the
 /// control-channel overhead sweep backing the paper's overhead
-/// argument).
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+/// argument; fig16 is repro-only: the adaptive-regionalization and
+/// hotspot-localization study layered on `wiscape-region`).
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "fig01",
     "fig02",
     "fig04",
@@ -58,6 +60,7 @@ pub const ALL_EXPERIMENTS: [&str; 18] = [
     "fig13",
     "fig14",
     "fig15_overhead",
+    "fig16_regions",
     "tab03",
     "tab04",
     "tab05",
@@ -159,6 +162,11 @@ pub fn run_by_name_with_charts(
         "fig15_overhead" => {
             let r = fig15::run(seed, scale);
             let charts = Vec::new();
+            pack(r.summary(), &r, charts)
+        }
+        "fig16_regions" => {
+            let r = fig16::run(seed, scale);
+            let charts = charts::fig16(&r);
             pack(r.summary(), &r, charts)
         }
         "tab03" => {

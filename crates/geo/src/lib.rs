@@ -14,9 +14,25 @@
 //! * no `unsafe`, no panicking paths in the public API for valid inputs —
 //!   constructors validate and return [`GeoError`] where inputs can be
 //!   out of range.
+//!
+//! The typical flow — a point, a box around it, a square grid over the
+//! box — is three calls:
+//!
+//! ```
+//! use wiscape_geo::{BoundingBox, GeoPoint, SquareGrid};
+//!
+//! let madison = GeoPoint::new(43.0731, -89.4012)?;
+//! let bounds = BoundingBox::around(madison, 1000.0); // 1 km half-extent
+//! let grid = SquareGrid::new(bounds, 250.0)?;        // 250 m cells
+//! let cell = grid.cell_of(&madison);
+//! assert!(grid.in_bounds(cell));
+//! // A cell's center maps back to the same cell.
+//! assert_eq!(grid.cell_of(&grid.cell_center(cell)), cell);
+//! # Ok::<(), wiscape_geo::GeoError>(())
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bbox;
 mod grid;

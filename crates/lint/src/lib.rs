@@ -1130,6 +1130,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "apps",
     "channel",
     "wal",
+    "region",
     "experiments",
 ];
 
@@ -1274,6 +1275,10 @@ pub fn workspace_graph_config(files: &[(String, String)]) -> graph::GraphConfig 
     // The shard router and merge tier join the P001 roots: routing a
     // report to the wrong shard is recoverable, but a panic inside the
     // router or the deterministic merge drops the whole ingest stream.
+    // The analytics layer joins them too: the regionalizer and the
+    // localizers run inside the coordinator's publish path over
+    // arbitrary exported state, so a panic there takes down the
+    // coordinator exactly like a router panic would.
     let mut panic_roots = vec![
         graph::FnSpec::file("crates/core/src/coordinator.rs"),
         graph::FnSpec::file("crates/core/src/agent.rs"),
@@ -1281,11 +1286,15 @@ pub fn workspace_graph_config(files: &[(String, String)]) -> graph::GraphConfig 
         graph::FnSpec::file("crates/channel/src/server.rs"),
         graph::FnSpec::file("crates/channel/src/shard.rs"),
         graph::FnSpec::file("crates/channel/src/codec.rs"),
+        graph::FnSpec::file("crates/region/src/quadtree.rs"),
+        graph::FnSpec::file("crates/region/src/hotspot.rs"),
     ];
     panic_roots.extend(wal_panic_roots);
     let mut panic_local_files = vec![
         "crates/core/src/coordinator.rs".to_string(),
         "crates/core/src/agent.rs".to_string(),
+        "crates/region/src/quadtree.rs".to_string(),
+        "crates/region/src/hotspot.rs".to_string(),
     ];
     panic_local_files.extend(wal_panic_local);
     graph::GraphConfig {

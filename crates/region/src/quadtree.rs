@@ -1,0 +1,658 @@
+//! Deterministic quadtree regionalization over the zone grid.
+//!
+//! The builder canonicalizes the coordinator's exported cell list into
+//! a `(zone, network)`-sorted map (so any ingest order, worker count,
+//! or shard topology yields the same input), sorts occupied zones by
+//! Morton (Z-order) key, and recurses top-down over an aligned
+//! power-of-two square covering the grid. A node splits into its four
+//! quadrants when it holds enough samples *and* the spatial variation
+//! of its zone means exceeds the homogeneity threshold; otherwise it
+//! becomes a leaf region whose statistics are the exact sketch-merge of
+//! its zones. Quadrant order is fixed (SW, SE, NW, NE — ascending
+//! Morton), so the emitted region list is canonical.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use wiscape_core::{CoordinatorState, ZoneId, ZoneIndex};
+use wiscape_simnet::NetworkId;
+use wiscape_stats::MomentSketch;
+
+/// Tuning knobs for the quadtree regionalizer.
+///
+/// Defaults follow the paper's homogeneity analysis: §3.1 / Fig 4 pick
+/// 250 m zones because 97% of them keep TCP-throughput relative
+/// standard deviation below 8%, so 0.08 is the natural "this area is
+/// one region" bar for the *spatial* spread of zone means too.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Split a node when the sample-weighted relative standard
+    /// deviation of its per-zone means exceeds this (paper Fig 4 bar).
+    /// Catches *level* heterogeneity: areas whose typical throughput
+    /// differs.
+    pub split_rel_spatial_std: f64,
+    /// Split a node when the sample-weighted standard deviation of its
+    /// per-zone relative standard deviations exceeds this. Catches
+    /// *variability* heterogeneity — a chronic patch has the same mean
+    /// as its neighbors but ~6× their rel-std (paper Fig 9), which a
+    /// mean-based criterion alone would merge away.
+    pub split_rel_std_spread: f64,
+    /// Never split a node holding fewer samples than this: with too few
+    /// samples the spatial-variance estimate is noise, and pooling is
+    /// exactly what a starved area needs.
+    pub min_split_samples: u64,
+    /// Hard recursion bound (the `side > 1` leaf rule stops first on
+    /// any real grid; this bounds adversarial inputs).
+    pub max_depth: u32,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        Self {
+            split_rel_spatial_std: 0.08,
+            split_rel_std_spread: 0.05,
+            min_split_samples: 40,
+            max_depth: 32,
+        }
+    }
+}
+
+/// Identifier of a region: an axis-aligned `size`×`size` square of
+/// zone-grid cells anchored at its southwest corner `(col0, row0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId {
+    /// Southwest corner column (zone-grid coordinates).
+    pub col0: i32,
+    /// Southwest corner row (zone-grid coordinates).
+    pub row0: i32,
+    /// Side length in zone cells (a power of two).
+    pub size: i32,
+}
+
+impl RegionId {
+    /// Whether `zone` falls inside this region's square.
+    pub fn contains(&self, zone: ZoneId) -> bool {
+        let (c, r) = (i64::from(zone.0.col), i64::from(zone.0.row));
+        let (c0, r0, s) = (
+            i64::from(self.col0),
+            i64::from(self.row0),
+            i64::from(self.size),
+        );
+        c >= c0 && c < c0 + s && r >= r0 && r < r0 + s
+    }
+
+    /// Area of the region in zone cells.
+    pub fn cells(&self) -> u64 {
+        let s = self.size.unsigned_abs() as u64;
+        s * s
+    }
+}
+
+impl core::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "region({},{},{})", self.col0, self.row0, self.size)
+    }
+}
+
+/// Aggregated statistics for one network within a region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkRegionStat {
+    /// The network.
+    pub network: NetworkId,
+    /// Exact merge of this network's per-zone sketches, in ascending
+    /// zone order.
+    pub sketch: MomentSketch,
+}
+
+/// One leaf of the quadtree: a merged group of zones and its pooled,
+/// exactly-merged statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// The region's square footprint.
+    pub id: RegionId,
+    /// Occupied zones inside the footprint (zones the coordinator has
+    /// state for; empty grid cells don't count).
+    pub zones: usize,
+    /// Exact merge of every zone's all-network sketch, in ascending
+    /// Morton order — bit-identical to folding all samples directly.
+    pub sketch: MomentSketch,
+    /// Sample-weighted relative standard deviation of the per-zone
+    /// means inside this region (the split criterion's view of it).
+    pub spatial_rel_std: f64,
+    /// Sample-weighted standard deviation of the per-zone rel-stds
+    /// (the variability-heterogeneity split criterion's view).
+    pub rel_std_spread: f64,
+    /// Per-network breakdown, ascending by network id.
+    pub per_network: Vec<NetworkRegionStat>,
+}
+
+impl Region {
+    /// Pooled sample count.
+    pub fn samples(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// Pooled mean, in the ingested metric's units.
+    pub fn mean(&self) -> f64 {
+        self.sketch.mean()
+    }
+
+    /// Pooled relative standard deviation.
+    pub fn rel_std(&self) -> f64 {
+        self.sketch.rel_std_dev()
+    }
+
+    /// Within-zone (temporal) relative standard deviation.
+    ///
+    /// A pooled multi-zone sketch mixes two variance sources: temporal
+    /// variability *within* each zone and legitimate spatial spread
+    /// *between* zone means. By the law of total variance the pooled
+    /// variance is exactly their sum, so subtracting the stored
+    /// between-zone component ([`Region::spatial_rel_std`]) recovers
+    /// the temporal part — which is what chronic-patch detection must
+    /// compare across regions of *different sizes* without the mixing
+    /// bias inflating large regions. For single-zone regions this
+    /// equals [`Region::rel_std`].
+    pub fn within_rel_std(&self) -> f64 {
+        let total = self.rel_std();
+        let between = self.spatial_rel_std;
+        (total * total - between * between).max(0.0).sqrt()
+    }
+}
+
+/// A canonical adaptive partition of the zone grid.
+///
+/// Regions are emitted in ascending Morton order of their southwest
+/// corners and tile the occupied part of the grid: every zone the
+/// coordinator holds state for lies in exactly one region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionSet {
+    /// Zone-grid columns covered.
+    pub cols: i32,
+    /// Zone-grid rows covered.
+    pub rows: i32,
+    /// Side of the quadtree root (next power of two ≥ max(cols, rows)).
+    pub root_size: i32,
+    /// Coordinator cells ignored because their zone lay outside the
+    /// grid (should be zero on any well-formed export).
+    pub skipped_cells: u64,
+    /// The configuration the partition was built with.
+    pub config: RegionConfig,
+    /// The partition, ascending by Morton key of the southwest corner.
+    pub regions: Vec<Region>,
+}
+
+/// One occupied zone, pre-aggregated across networks.
+struct ZoneAgg {
+    key: u64,
+    zone: ZoneId,
+    merged: MomentSketch,
+    nets: Vec<(NetworkId, MomentSketch)>,
+}
+
+/// Spreads the low 32 bits of `v` into the even bit positions.
+fn spread(v: u32) -> u64 {
+    let mut x = u64::from(v);
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Morton (Z-order) key: column bits even, row bits odd. Within any
+/// aligned power-of-two square the keys form one contiguous range, so
+/// quadtree nodes are contiguous slices of the Morton-sorted zone list.
+fn morton(col: u32, row: u32) -> u64 {
+    spread(col) | (spread(row) << 1)
+}
+
+impl RegionSet {
+    /// Builds the adaptive partition from a coordinator's exported
+    /// sketch state.
+    ///
+    /// Deterministic by construction: the input is canonicalized into
+    /// `(zone, network)`-sorted order (duplicate cells merge, so shard
+    /// exports concatenated in any order are fine), recursion order is
+    /// fixed, and every merge folds in ascending order.
+    pub fn build(state: &CoordinatorState, index: &ZoneIndex, config: &RegionConfig) -> RegionSet {
+        let m = crate::metrics();
+        m.builds.inc();
+
+        let grid = index.grid();
+        let (cols, rows) = (grid.cols(), grid.rows());
+
+        // Canonicalize: (zone, network) -> merged sketch.
+        let mut canon: BTreeMap<(ZoneId, NetworkId), MomentSketch> = BTreeMap::new();
+        let mut skipped = 0u64;
+        for cell in &state.cells {
+            let in_grid = cell.zone.0.col >= 0
+                && cell.zone.0.col < cols
+                && cell.zone.0.row >= 0
+                && cell.zone.0.row < rows;
+            if !in_grid {
+                skipped = skipped.wrapping_add(1);
+                continue;
+            }
+            canon
+                .entry((cell.zone, cell.network))
+                .or_default()
+                .merge(&cell.sketch);
+        }
+        m.cells_skipped.add(skipped);
+
+        // Group by zone (BTreeMap iteration is zone-ascending, and
+        // network-ascending within a zone).
+        let mut zones: Vec<ZoneAgg> = Vec::new();
+        for ((zone, network), sketch) in canon {
+            let key = morton(zone.0.col.unsigned_abs(), zone.0.row.unsigned_abs());
+            match zones.last_mut() {
+                Some(last) if last.zone == zone => {
+                    last.merged.merge(&sketch);
+                    last.nets.push((network, sketch));
+                }
+                _ => {
+                    let mut merged = MomentSketch::new();
+                    merged.merge(&sketch);
+                    zones.push(ZoneAgg {
+                        key,
+                        zone,
+                        merged,
+                        nets: vec![(network, sketch)],
+                    });
+                }
+            }
+        }
+        zones.sort_by_key(|z| z.key);
+
+        let side = cols.max(rows).max(1).unsigned_abs().next_power_of_two();
+        let mut out = Vec::new();
+        let mut splits = 0u64;
+        build_node(
+            Node {
+                col0: 0,
+                row0: 0,
+                size: side,
+                depth: 0,
+            },
+            &zones,
+            config,
+            &mut splits,
+            &mut out,
+        );
+        m.splits.add(splits);
+        m.regions_max.set_max(out.len() as f64);
+
+        RegionSet {
+            cols,
+            rows,
+            root_size: i32::try_from(side).unwrap_or(i32::MAX),
+            skipped_cells: skipped,
+            config: config.clone(),
+            regions: out,
+        }
+    }
+
+    /// The region containing `zone`, if the zone lies inside the grid
+    /// the partition was built over.
+    ///
+    /// O(log regions): regions are disjoint contiguous Morton ranges in
+    /// ascending order, so a binary search on the southwest-corner key
+    /// finds the only candidate.
+    pub fn region_of(&self, zone: ZoneId) -> Option<&Region> {
+        if zone.0.col < 0 || zone.0.col >= self.cols || zone.0.row < 0 || zone.0.row >= self.rows {
+            return None;
+        }
+        let key = morton(zone.0.col.unsigned_abs(), zone.0.row.unsigned_abs());
+        let i = self
+            .regions
+            .partition_point(|r| morton(r.id.col0.unsigned_abs(), r.id.row0.unsigned_abs()) <= key);
+        let region = self.regions.get(i.checked_sub(1)?)?;
+        region.id.contains(zone).then_some(region)
+    }
+
+    /// Total pooled samples across all regions.
+    pub fn total_samples(&self) -> u64 {
+        self.regions
+            .iter()
+            .fold(0u64, |acc, r| acc.wrapping_add(r.sketch.count()))
+    }
+}
+
+/// Sample-weighted spatial statistics of a node's zone slice, folded in
+/// slice (Morton) order so the floats are order-canonical.
+struct SpatialStats {
+    samples: u64,
+    occupied: usize,
+    /// Rel-std of per-zone *means* (level heterogeneity).
+    rel_std: f64,
+    /// Std of per-zone *rel-stds* (variability heterogeneity).
+    rel_spread: f64,
+}
+
+fn spatial_stats(slice: &[ZoneAgg]) -> SpatialStats {
+    let mut samples = 0u64;
+    let mut occupied = 0usize;
+    let mut wsum = 0.0f64;
+    let mut wrel = 0.0f64;
+    for z in slice {
+        let n = z.merged.count();
+        if n == 0 {
+            continue;
+        }
+        samples = samples.wrapping_add(n);
+        occupied += 1;
+        wsum += (n as f64) * z.merged.mean();
+        wrel += (n as f64) * z.merged.rel_std_dev();
+    }
+    if samples == 0 {
+        return SpatialStats {
+            samples,
+            occupied,
+            rel_std: 0.0,
+            rel_spread: 0.0,
+        };
+    }
+    let mean = wsum / (samples as f64);
+    let rel_mean = wrel / (samples as f64);
+    let mut var = 0.0f64;
+    let mut rel_var = 0.0f64;
+    for z in slice {
+        let n = z.merged.count();
+        if n == 0 {
+            continue;
+        }
+        let d = z.merged.mean() - mean;
+        var += (n as f64) * d * d;
+        let dr = z.merged.rel_std_dev() - rel_mean;
+        rel_var += (n as f64) * dr * dr;
+    }
+    var /= samples as f64;
+    rel_var /= samples as f64;
+    let rel_std = if mean.abs() > f64::EPSILON {
+        var.sqrt() / mean.abs()
+    } else {
+        0.0
+    };
+    SpatialStats {
+        samples,
+        occupied,
+        rel_std,
+        rel_spread: rel_var.sqrt(),
+    }
+}
+
+/// One quadtree node: an aligned `size`×`size` square at `(col0, row0)`.
+#[derive(Clone, Copy)]
+struct Node {
+    col0: u32,
+    row0: u32,
+    size: u32,
+    depth: u32,
+}
+
+fn build_node(
+    node: Node,
+    slice: &[ZoneAgg],
+    config: &RegionConfig,
+    splits: &mut u64,
+    out: &mut Vec<Region>,
+) {
+    let Node {
+        col0,
+        row0,
+        size,
+        depth,
+    } = node;
+    if slice.is_empty() {
+        return;
+    }
+    let stats = spatial_stats(slice);
+    let split = size > 1
+        && depth < config.max_depth
+        && stats.occupied >= 2
+        && stats.samples >= config.min_split_samples
+        && (stats.rel_std > config.split_rel_spatial_std
+            || stats.rel_spread > config.split_rel_std_spread);
+    if split {
+        *splits = splits.wrapping_add(1);
+        let half = size / 2;
+        let base = morton(col0, row0);
+        let quarter = u64::from(half) * u64::from(half);
+        let mut rest = slice;
+        for q in 0..4u32 {
+            let hi = base.wrapping_add(quarter.wrapping_mul(u64::from(q) + 1));
+            let cut = rest.partition_point(|z| z.key < hi);
+            let (child, tail) = (rest.get(..cut), rest.get(cut..));
+            rest = tail.unwrap_or(&[]);
+            let (dc, dr) = (q & 1, q >> 1);
+            if let Some(child) = child {
+                build_node(
+                    Node {
+                        col0: col0 + dc * half,
+                        row0: row0 + dr * half,
+                        size: half,
+                        depth: depth + 1,
+                    },
+                    child,
+                    config,
+                    splits,
+                    out,
+                );
+            }
+        }
+        return;
+    }
+
+    // Leaf: exact pooled statistics, folded in Morton / network order.
+    let mut sketch = MomentSketch::new();
+    let mut nets: BTreeMap<NetworkId, MomentSketch> = BTreeMap::new();
+    for z in slice {
+        sketch.merge(&z.merged);
+        for (network, s) in &z.nets {
+            nets.entry(*network).or_default().merge(s);
+        }
+    }
+    out.push(Region {
+        id: RegionId {
+            col0: i32::try_from(col0).unwrap_or(i32::MAX),
+            row0: i32::try_from(row0).unwrap_or(i32::MAX),
+            size: i32::try_from(size).unwrap_or(i32::MAX),
+        },
+        zones: slice.len(),
+        sketch,
+        spatial_rel_std: stats.rel_std,
+        rel_std_spread: stats.rel_spread,
+        per_network: nets
+            .into_iter()
+            .map(|(network, sketch)| NetworkRegionStat { network, sketch })
+            .collect(),
+    });
+}
+
+fn write_sketch(out: &mut String, sketch: &MomentSketch) {
+    use std::fmt::Write as _;
+    let (core, kahan) = sketch.raw_parts();
+    let (count, mean, m2, min, max) = core.raw_parts();
+    let (sum, comp) = kahan.raw_parts();
+    let _ = write!(
+        out,
+        "({count},{:x},{:x},{:x},{:x},{:x},{:x})",
+        mean.to_bits(),
+        m2.to_bits(),
+        min.to_bits(),
+        max.to_bits(),
+        sum.to_bits(),
+        comp.to_bits(),
+    );
+}
+
+/// Canonical byte rendering of a region set, `state_fingerprint`-style:
+/// every float is hex-encoded via `to_bits`, so two partitions are
+/// byte-identical iff they agree exactly — across worker counts, shard
+/// counts, and ingest-order permutations.
+pub fn region_fingerprint(set: &RegionSet) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "regions cols={} rows={} root={} skipped={} split={:x} spread={:x} min_split={} n={}",
+        set.cols,
+        set.rows,
+        set.root_size,
+        set.skipped_cells,
+        set.config.split_rel_spatial_std.to_bits(),
+        set.config.split_rel_std_spread.to_bits(),
+        set.config.min_split_samples,
+        set.regions.len(),
+    );
+    for r in &set.regions {
+        let _ = write!(
+            out,
+            "region ({},{},{}) zones={} spatial={:x} spread={:x} sketch=",
+            r.id.col0,
+            r.id.row0,
+            r.id.size,
+            r.zones,
+            r.spatial_rel_std.to_bits(),
+            r.rel_std_spread.to_bits(),
+        );
+        write_sketch(&mut out, &r.sketch);
+        for n in &r.per_network {
+            let _ = write!(out, " {:?}=", n.network);
+            write_sketch(&mut out, &n.sketch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiscape_core::{Coordinator, CoordinatorConfig};
+    use wiscape_geo::GeoPoint;
+    use wiscape_simcore::SimTime;
+
+    fn index() -> ZoneIndex {
+        let center = GeoPoint::new(43.0731, -89.4012).unwrap();
+        ZoneIndex::around(center, 1500.0).unwrap()
+    }
+
+    /// Ingests `n` samples around `base` into every zone, with one
+    /// optional "hot" quadrant offset to a very different mean.
+    fn coordinator_with(index: &ZoneIndex, n: u32, hot: Option<f64>) -> Coordinator {
+        let mut coord = Coordinator::new(index.clone(), CoordinatorConfig::default());
+        let t = SimTime::from_secs(60);
+        let (cols, rows) = (index.grid().cols(), index.grid().rows());
+        for zone in index.zones() {
+            let mut base = 800.0;
+            if let Some(hot) = hot {
+                if zone.0.col >= cols / 2 && zone.0.row >= rows / 2 {
+                    base = hot;
+                }
+            }
+            coord
+                .ingest_samples(
+                    zone,
+                    NetworkId::NetB,
+                    t,
+                    (0..n).map(move |i| base + f64::from(i % 5)),
+                )
+                .unwrap();
+        }
+        coord
+    }
+
+    #[test]
+    fn homogeneous_field_stays_merged() {
+        let index = index();
+        let coord = coordinator_with(&index, 8, None);
+        let set = RegionSet::build(&coord.export_state(), &index, &RegionConfig::default());
+        // Near-identical zone means: nothing should split down to
+        // single cells; the partition must be far coarser than the grid.
+        assert!(set.regions.len() < index.zone_count() / 2);
+        let occupied: usize = set.regions.iter().map(|r| r.zones).sum();
+        assert_eq!(occupied, index.zone_count());
+    }
+
+    #[test]
+    fn heterogeneous_quadrant_splits_out() {
+        let index = index();
+        let flat = coordinator_with(&index, 8, None);
+        let mixed = coordinator_with(&index, 8, Some(200.0));
+        let cfg = RegionConfig::default();
+        let flat_set = RegionSet::build(&flat.export_state(), &index, &cfg);
+        let mixed_set = RegionSet::build(&mixed.export_state(), &index, &cfg);
+        assert!(mixed_set.regions.len() > flat_set.regions.len());
+    }
+
+    #[test]
+    fn every_zone_resolves_to_exactly_one_region() {
+        let index = index();
+        let coord = coordinator_with(&index, 8, Some(200.0));
+        let set = RegionSet::build(&coord.export_state(), &index, &RegionConfig::default());
+        for zone in index.zones() {
+            let hits = set.regions.iter().filter(|r| r.id.contains(zone)).count();
+            assert_eq!(hits, 1, "{zone} covered by {hits} regions");
+            let via_lookup = set.region_of(zone).expect("lookup");
+            assert!(via_lookup.id.contains(zone));
+        }
+        // Out-of-grid zones resolve to nothing.
+        let outside = ZoneId(wiscape_geo::CellId::new(-1, 0));
+        assert!(set.region_of(outside).is_none());
+    }
+
+    #[test]
+    fn merge_is_exact_total_count_preserved() {
+        let index = index();
+        let coord = coordinator_with(&index, 8, None);
+        let set = RegionSet::build(&coord.export_state(), &index, &RegionConfig::default());
+        assert_eq!(set.total_samples(), 8 * index.zone_count() as u64);
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_to_cell_order() {
+        let index = index();
+        let coord = coordinator_with(&index, 8, Some(200.0));
+        let cfg = RegionConfig::default();
+        let state = coord.export_state();
+        let fp = region_fingerprint(&RegionSet::build(&state, &index, &cfg));
+        let mut reversed = state.clone();
+        reversed.cells.reverse();
+        let fp_rev = region_fingerprint(&RegionSet::build(&reversed, &index, &cfg));
+        assert_eq!(fp, fp_rev);
+    }
+
+    #[test]
+    fn no_split_below_sample_floor() {
+        let index = index();
+        // Wildly heterogeneous but starved: 2 samples per zone keeps
+        // the whole grid under min_split_samples per quadrant? No — the
+        // floor is per *node*; use a high floor instead.
+        let coord = coordinator_with(&index, 2, Some(200.0));
+        let cfg = RegionConfig {
+            min_split_samples: u64::MAX,
+            ..RegionConfig::default()
+        };
+        let set = RegionSet::build(&coord.export_state(), &index, &cfg);
+        assert_eq!(set.regions.len(), 1, "starved tree must stay one region");
+    }
+
+    #[test]
+    fn morton_keys_are_contiguous_per_quadrant() {
+        // Aligned square property the slicing relies on.
+        for size in [2u32, 4, 8] {
+            let quarter = u64::from(size / 2) * u64::from(size / 2);
+            let mut keys: Vec<u64> = (0..size)
+                .flat_map(|r| (0..size).map(move |c| morton(c, r)))
+                .collect();
+            keys.sort_unstable();
+            for (i, k) in keys.iter().enumerate() {
+                assert_eq!(*k, i as u64, "aligned square keys must be dense");
+            }
+            let _ = quarter;
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-topology determinism for the analytics layer: the adaptive
+//! region set and the hotspot ranking must be **byte-identical** across
+//! `WISCAPE_THREADS` settings, shard counts, and ingest order. The
+//! contract inherits from the coordinator's own `state_fingerprint`
+//! guarantee — merging is exact sketch merge — and ANALYTICS.md's
+//! determinism argument; these tests are the executable form of it.
+
+use proptest::prelude::*;
+use wiscape_core::{
+    CoordinatorConfig, CoordinatorState, MeasurementTask, SampleReport, ShardSet, ZoneIndex,
+};
+use wiscape_geo::GeoPoint;
+use wiscape_mobility::ClientId;
+use wiscape_region::{
+    hotspot_fingerprint, locate_hotspots, region_fingerprint, HotspotConfig, RegionConfig,
+    RegionSet,
+};
+use wiscape_simcore::{SimTime, StreamRng};
+use wiscape_simnet::{NetworkId, TransportKind};
+
+fn index() -> ZoneIndex {
+    ZoneIndex::around(GeoPoint::new(43.0731, -89.4012).expect("valid"), 1800.0).expect("valid")
+}
+
+/// Deterministic synthetic reports: 24 samples per zone, a base field
+/// with mild spatial structure, and a high-variance pocket in the
+/// south-west quadrant so both split criteria and the hotspot scan do
+/// real work.
+fn reports(index: &ZoneIndex, seed: u64) -> Vec<SampleReport> {
+    let rng = StreamRng::new(seed).fork("region-determinism");
+    let mut out = Vec::new();
+    for (zi, zone) in index.zones().enumerate() {
+        let (col, row) = (zone.0.col, zone.0.row);
+        let base = 700.0 + 40.0 * f64::from((col + 2 * row).rem_euclid(5));
+        let swing = if col < 2 && row < 2 { 350.0 } else { 25.0 };
+        let zrng = rng.fork_idx(zi as u64);
+        let samples: Vec<f64> = (0..24)
+            .map(|k| {
+                let jitter = (zrng.fork_idx(k).draw_unit_f64() - 0.5) * 10.0;
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                base + sign * swing + jitter
+            })
+            .collect();
+        out.push(SampleReport {
+            client: ClientId(zi as u32),
+            task: MeasurementTask {
+                zone,
+                network: NetworkId::NetB,
+                kind: TransportKind::Udp,
+                n_packets: 24,
+                packet_bytes: 1200,
+            },
+            zone,
+            t: SimTime::at(1, 9.0),
+            samples,
+        });
+    }
+    out
+}
+
+fn merged_state(index: &ZoneIndex, reports: &[SampleReport], shards: usize) -> CoordinatorState {
+    let mut set = ShardSet::new(index.clone(), CoordinatorConfig::default(), shards);
+    set.ingest_batch(reports);
+    set.merged_state()
+}
+
+fn fingerprints(index: &ZoneIndex, state: &CoordinatorState) -> (String, String) {
+    let set = RegionSet::build(state, index, &RegionConfig::default());
+    let spots = locate_hotspots(&set, &HotspotConfig::default());
+    (region_fingerprint(&set), hotspot_fingerprint(&spots))
+}
+
+/// One test drives the whole thread × shard sweep so the process-global
+/// `WISCAPE_THREADS` mutation cannot race a parallel test.
+#[test]
+fn regions_and_hotspots_identical_across_threads_and_shards() {
+    let index = index();
+    let reports = reports(&index, 7);
+    let reference = fingerprints(&index, &merged_state(&index, &reports, 1));
+    assert!(reference.0.starts_with("regions "));
+    assert!(reference.1.starts_with("hotspots "));
+    for threads in ["1", "4", "8"] {
+        std::env::set_var("WISCAPE_THREADS", threads);
+        for shards in [1usize, 4] {
+            let got = fingerprints(&index, &merged_state(&index, &reports, shards));
+            assert_eq!(
+                got, reference,
+                "fingerprints diverged at threads={threads} shards={shards}"
+            );
+        }
+    }
+    std::env::remove_var("WISCAPE_THREADS");
+}
+
+/// The planted high-variance pocket must be flagged regardless of
+/// topology — determinism would be vacuous if the sweep above compared
+/// empty rankings.
+#[test]
+fn planted_pocket_is_flagged() {
+    let index = index();
+    let reports = reports(&index, 7);
+    let state = merged_state(&index, &reports, 2);
+    let set = RegionSet::build(&state, &index, &RegionConfig::default());
+    let spots = locate_hotspots(&set, &HotspotConfig::default());
+    assert!(!spots.is_empty(), "pocket must produce hotspot candidates");
+    for s in &spots {
+        assert!(
+            s.region.col0 < 2 && s.region.row0 < 2 && s.region.size <= 2,
+            "flag {} must lie inside the planted 2x2 pocket",
+            s.region
+        );
+    }
+}
+
+proptest! {
+    /// Ingest order must not matter: any permutation of the report
+    /// batch yields byte-identical region and hotspot fingerprints.
+    #[test]
+    fn fingerprints_invariant_to_report_permutation(seed in 0u64..64) {
+        let index = index();
+        let mut batch = reports(&index, 11);
+        // Seeded Fisher–Yates over the batch order.
+        let rng = StreamRng::new(seed).fork("permute");
+        for i in (1..batch.len()).rev() {
+            let j = (rng.fork_idx(i as u64).draw_u64() % (i as u64 + 1)) as usize;
+            batch.swap(i, j);
+        }
+        let reference = fingerprints(&index, &merged_state(&index, &reports(&index, 11), 1));
+        let shards = 1 + (seed as usize % 4);
+        let got = fingerprints(&index, &merged_state(&index, &batch, shards));
+        prop_assert_eq!(got, reference);
+    }
+}

@@ -32,6 +32,14 @@
 # three are diffed against the same committed manifest, and the pass
 # summary lands in $out.shard_topology.json for the CI artifact.
 #
+# A final region pass drives the analytics layer end to end through the
+# CLI: `wiscape map --regions/--hotspots` dumps the adaptive partition
+# and the ranked hotspot candidates, then the same deployment re-runs
+# serial (WISCAPE_THREADS=1) and 4-way sharded — both region CSV and
+# hotspot JSON must be byte-identical across topologies (the
+# ANALYTICS.md determinism contract, exercised from the outside). The
+# hotspot report lands in $out.hotspots.json for the CI artifact.
+#
 # Usage:
 #   scripts/verify_results.sh            # verify against the manifest
 #   scripts/verify_results.sh --update   # regenerate the manifest
@@ -117,3 +125,23 @@ cat > "$out.shard_topology.json" <<EOF
 }
 EOF
 echo "[verify_results] OK: shard topology report -> $out.shard_topology.json"
+
+# --- region / hotspot pass -------------------------------------------------
+# The analytics layer through the CLI: partition + hotspot ranking must
+# be byte-identical across worker counts and shard topologies.
+cargo build --release -q --bin wiscape
+./target/release/wiscape map --seed 7 --hours 2 \
+    --regions "$out.regions.csv" --hotspots "$out.hotspots.json" >/dev/null
+WISCAPE_THREADS=1 ./target/release/wiscape map --seed 7 --hours 2 \
+    --regions "$out.regions.serial.csv" --hotspots "$out.hotspots.serial.json" >/dev/null
+./target/release/wiscape map --seed 7 --hours 2 --shards 4 \
+    --regions "$out.regions.shard4.csv" --hotspots "$out.hotspots.shard4.json" >/dev/null
+for variant in serial shard4; do
+    if ! diff -q "$out.regions.csv" "$out.regions.$variant.csv" >/dev/null \
+       || ! diff -q "$out.hotspots.json" "$out.hotspots.$variant.json" >/dev/null; then
+        echo "[verify_results] FAIL: region/hotspot output drifted in '$variant' pass" >&2
+        exit 1
+    fi
+done
+regions=$(($(wc -l < "$out.regions.csv") - 1))
+echo "[verify_results] OK: region pass byte-identical across topologies ($regions regions); hotspot report -> $out.hotspots.json"

@@ -4,6 +4,7 @@
 //! wiscape map    [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]
 //!                [--wal DIR] [--crash-seed N] [--recover DIR]
 //!                [--shards N] [--rebalance-seed S]
+//!                [--regions REGIONS.csv] [--hotspots HOTSPOTS.json]
 //!                                                           run a deployment, dump the zone map
 //!
 //!   --wal DIR         route the coordinator through the wiscape-wal event
@@ -19,6 +20,11 @@
 //!                     each shard logs under DIR/shard-<i>.
 //!   --rebalance-seed S with --shards: apply a seeded zone-range rebalance
 //!                     at the midpoint of the run (still byte-identical)
+//!   --regions PATH    also run the adaptive regionalizer (`wiscape-region`)
+//!                     over the final coordinator state and dump the merged
+//!                     region map as CSV (see ANALYTICS.md)
+//!   --hotspots PATH   also run the chronic-patch localizer over the adaptive
+//!                     regions and write the ranked hotspot report as JSON
 //! wiscape trace  <standalone|wirover|spot|short-segment>
 //!                [--seed N] [--days D] [--out trace.csv]    regenerate a dataset as CSV
 //! wiscape epoch  [--seed N] [--region wi|nj]                Allan-deviation epoch profile
@@ -85,7 +91,8 @@ fn die(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  wiscape map     [--seed N] [--hours H] [--loss P] [--out map.csv] [--obs OBS.json]\n                  \
-         [--wal DIR] [--crash-seed N] [--recover DIR] [--shards N] [--rebalance-seed S]\n  \
+         [--wal DIR] [--crash-seed N] [--recover DIR] [--shards N] [--rebalance-seed S]\n                  \
+         [--regions REGIONS.csv] [--hotspots HOTSPOTS.json]\n  \
          wiscape trace   <standalone|wirover|spot|short-segment> [--seed N] [--days D] [--out trace.csv]\n  \
          wiscape epoch   [--seed N] [--region wi|nj]\n  \
          wiscape quality [--seed N] [--lat L --lon L] [--hour H]"
@@ -359,6 +366,61 @@ fn emit_map(args: &Args, coordinator: &Coordinator, obs_path: Option<&str>) {
         wiscape::obs::write_snapshot(std::path::Path::new(path))
             .unwrap_or_else(|e| die(&format!("write obs snapshot {path}: {e}")));
         eprintln!("obs snapshot -> {path}");
+    }
+    emit_regions(args, coordinator);
+}
+
+/// `--regions` / `--hotspots`: run the analytics layer (`wiscape-region`)
+/// over the final coordinator state — adaptive quadtree partition and
+/// the chronic-patch localizer on top of it (see ANALYTICS.md).
+fn emit_regions(args: &Args, coordinator: &Coordinator) {
+    let regions_path = args.str_flag("regions");
+    let hotspots_path = args.str_flag("hotspots");
+    if regions_path.is_none() && hotspots_path.is_none() {
+        return;
+    }
+    let state = coordinator.export_state();
+    let set = wiscape::region::RegionSet::build(
+        &state,
+        coordinator.index(),
+        &wiscape::region::RegionConfig::default(),
+    );
+    if let Some(path) = regions_path {
+        let mut out =
+            String::from("col0,row0,size,zones,samples,mean_kbps,rel_std_pct,within_rel_std_pct\n");
+        for r in &set.regions {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.1},{:.2},{:.2}\n",
+                r.id.col0,
+                r.id.row0,
+                r.id.size,
+                r.zones,
+                r.samples(),
+                r.mean(),
+                r.rel_std() * 100.0,
+                r.within_rel_std() * 100.0
+            ));
+        }
+        std::fs::write(path, out).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("{} adaptive regions -> {path}", set.regions.len());
+    }
+    if let Some(path) = hotspots_path {
+        let spots =
+            wiscape::region::locate_hotspots(&set, &wiscape::region::HotspotConfig::default());
+        #[derive(serde::Serialize)]
+        struct HotspotReport {
+            regions: usize,
+            hotspots: Vec<wiscape::region::Hotspot>,
+        }
+        let n = spots.len();
+        let report = HotspotReport {
+            regions: set.regions.len(),
+            hotspots: spots,
+        };
+        let body = serde_json::to_string_pretty(&report)
+            .unwrap_or_else(|e| die(&format!("serialize hotspot report: {e}")));
+        std::fs::write(path, body).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("{n} hotspot candidates -> {path}");
     }
 }
 

@@ -23,6 +23,8 @@
 //!   codec, lossy-link simulation, reliable report delivery);
 //! * [`workload`] — SURGE pages, named-site page sets, HTTP model;
 //! * [`apps`] — multi-sim selection and the MAR striping gateway;
+//! * [`region`] — adaptive regionalization and hotspot localization
+//!   over the coordinator's sketch state (see `ANALYTICS.md`);
 //! * [`experiments`] — one module per paper table/figure;
 //! * [`obs`] — the deterministic observability registry every
 //!   instrumented layer reports through (see `OBSERVABILITY.md`).
@@ -62,6 +64,7 @@ pub use wiscape_experiments as experiments;
 pub use wiscape_geo as geo;
 pub use wiscape_mobility as mobility;
 pub use wiscape_obs as obs;
+pub use wiscape_region as region;
 pub use wiscape_simcore as simcore;
 pub use wiscape_simnet as simnet;
 pub use wiscape_stats as stats;
